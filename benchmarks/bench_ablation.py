@@ -1,0 +1,94 @@
+"""Ablations — the engine design choices DESIGN.md calls out.
+
+Three switches, each mapped to a paper-motivated mechanism:
+
+- **atom indexing** (`use_atom_index`): hash-index relations on the bound
+  argument prefix — the basic join machinery behind "many joins" GNF;
+- **instance memoization** (`memoize_instances`): cache second-order
+  instance extents — what makes library calls like `sum[...]`/`TC[E]`
+  affordable when they recur;
+- **semi-naive evaluation** (`semi_naive`): already measured head-to-head
+  in B1; included here on a smaller input for the combined table.
+
+Expected shape: each mechanism on ≥ off; memoization matters most for
+repeated second-order application, indexing for selective joins.
+"""
+
+import pytest
+
+from repro import RelProgram, Relation
+from repro.engine.program import EngineOptions
+from repro.workloads import chain_graph, random_graph, random_order_database
+
+GRAPH = random_graph(60, 200, seed=8)[1]
+ORDERS = random_order_database(120, 30, seed=8)
+
+
+def selective_join(options):
+    """A chain of selective joins: indexing shines here."""
+    program = RelProgram(options=options)
+    program.define("E", Relation(GRAPH))
+    program.add_source(
+        """
+        def Two(x, z) : exists((y) | E(x, y) and E(y, z))
+        def Three(x, w) : exists((z) | Two(x, z) and E(z, w))
+        """
+    )
+    return program.relation("Three")
+
+
+def repeated_instances(options):
+    """Grouped sums call the same second-order instances repeatedly."""
+    program = RelProgram(database=ORDERS, options=options)
+    program.add_source(
+        """
+        def Ord(x) : OrderProductQuantity(x, _, _)
+        def OPA(x, y, z) : PaymentOrder(y, x) and PaymentAmount(y, z)
+        def Paid[x in Ord] : sum[OPA[x]] <++ 0
+        def Lines[x in Ord] : count[OrderProductQuantity[x]]
+        """
+    )
+    return (program.relation("Paid"), program.relation("Lines"))
+
+
+def test_join_with_index(benchmark):
+    benchmark(selective_join, EngineOptions())
+
+
+def test_join_without_index(benchmark):
+    benchmark(selective_join, EngineOptions(use_atom_index=False))
+
+
+def test_aggregation_with_memo(benchmark):
+    benchmark(repeated_instances, EngineOptions())
+
+
+def test_aggregation_without_memo(benchmark):
+    benchmark(repeated_instances, EngineOptions(memoize_instances=False))
+
+
+def test_shape_ablations_preserve_results():
+    baseline_join = selective_join(EngineOptions())
+    baseline_agg = repeated_instances(EngineOptions())
+    assert selective_join(EngineOptions(use_atom_index=False)) == baseline_join
+    assert repeated_instances(EngineOptions(memoize_instances=False)) == \
+        baseline_agg
+    assert selective_join(
+        EngineOptions(use_atom_index=False, memoize_instances=False,
+                      semi_naive=False)
+    ) == baseline_join
+
+
+def test_shape_index_helps_selective_joins():
+    import time
+
+    def timed(options):
+        t0 = time.perf_counter()
+        selective_join(options)
+        return time.perf_counter() - t0
+
+    with_index = timed(EngineOptions())
+    without = timed(EngineOptions(use_atom_index=False))
+    assert with_index < without * 1.2, (
+        f"indexing should not hurt: {with_index:.3f}s vs {without:.3f}s"
+    )

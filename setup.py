@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Offline environments that lack ``wheel`` cannot build PEP 660 editable
+installs; with this shim, ``pip install -e .`` falls back to the legacy
+``setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

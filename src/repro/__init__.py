@@ -1,0 +1,52 @@
+"""repro — a from-scratch Python implementation of the Rel programming
+language for relational data.
+
+This package reproduces "Rel: A Programming Language for Relational Data"
+(SIGMOD 2025): the language frontend (Figure 2), the formal semantics
+(Figures 3–4), graph normal form and the database layer (Sections 2–3),
+programming-in-the-large features (Section 4), the standard/RA/LA/graph
+libraries written in Rel itself (Section 5), and the relational knowledge
+graph layer (Section 6).
+
+Quickstart::
+
+    from repro import RelProgram, Relation
+
+    program = RelProgram()
+    program.define("Edge", Relation([(1, 2), (2, 3)]))
+    program.add_source('''
+        def Path(x, y) : Edge(x, y)
+        def Path(x, y) : exists((z) | Edge(x, z) and Path(z, y))
+    ''')
+    print(program.relation("Path"))
+"""
+
+from repro.engine import (
+    ConvergenceError,
+    DispatchError,
+    EvaluationError,
+    RelError,
+    RelProgram,
+    SafetyError,
+    UnknownRelationError,
+)
+from repro.model import Entity, EntityRegistry, Relation, Symbol, relation, singleton
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvergenceError",
+    "DispatchError",
+    "Entity",
+    "EntityRegistry",
+    "EvaluationError",
+    "RelError",
+    "RelProgram",
+    "Relation",
+    "SafetyError",
+    "Symbol",
+    "UnknownRelationError",
+    "__version__",
+    "relation",
+    "singleton",
+]

@@ -1,0 +1,143 @@
+"""Command-line interface: run Rel programs and queries.
+
+Usage::
+
+    python -m repro program.rel                 # run; print `output`
+    python -m repro program.rel -q 'TC[E]'      # evaluate a query too
+    python -m repro -e 'def output(x) : {(1);(2)}(x)'
+    python -m repro program.rel --relation TC_E # print a named relation
+    echo 'def output(x): P(x)' | python -m repro -  # read from stdin
+
+Base relations can be loaded from simple TSV files with ``--load NAME=file``
+(tab-separated; values parsed as int/float when possible, strings otherwise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import RelError, RelProgram, Relation
+from repro.model.values import value_repr
+
+
+def _parse_value(text: str):
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    return text
+
+
+def load_tsv(path: Path) -> Relation:
+    """Load a relation from a TSV file (one tuple per line)."""
+    tuples = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            tuples.append(tuple(_parse_value(v) for v in line.split("\t")))
+    return Relation(tuples)
+
+
+def print_relation(name: str, relation: Relation) -> None:
+    print(f"{name} ({len(relation)} tuples):")
+    for tup in relation.sorted_tuples():
+        print("  (" + ", ".join(value_repr(v) for v in tup) + ")")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run Rel programs (SIGMOD 2025 reproduction engine).",
+    )
+    parser.add_argument("program", nargs="?",
+                        help="a .rel source file, or - for stdin")
+    parser.add_argument("-e", "--source", action="append", default=[],
+                        help="inline Rel source (repeatable)")
+    parser.add_argument("-q", "--query", action="append", default=[],
+                        help="Rel expression to evaluate (repeatable)")
+    parser.add_argument("--relation", action="append", default=[],
+                        help="print a named relation (repeatable)")
+    parser.add_argument("--load", action="append", default=[],
+                        metavar="NAME=FILE",
+                        help="load a base relation from a TSV file")
+    parser.add_argument("--no-stdlib", action="store_true",
+                        help="do not load the standard library")
+    parser.add_argument("--repl", action="store_true",
+                        help="interactive session after loading the program")
+    args = parser.parse_args(argv)
+
+    program = RelProgram(load_stdlib=not args.no_stdlib)
+    try:
+        for spec in args.load:
+            name, _, path = spec.partition("=")
+            if not path:
+                parser.error(f"--load expects NAME=FILE, got {spec!r}")
+            program.define(name, load_tsv(Path(path)))
+        if args.program == "-":
+            program.add_source(sys.stdin.read())
+        elif args.program:
+            program.add_source(Path(args.program).read_text())
+        for source in args.source:
+            program.add_source(source)
+
+        output = program.output()
+        if output or "output" in program.closures:
+            print_relation("output", output)
+        for name in args.relation:
+            print_relation(name, program.relation(name))
+        for query in args.query:
+            print_relation(query, program.query(query))
+    except RelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.repl:
+        repl(program)
+    return 0
+
+
+def repl(program: RelProgram) -> None:
+    """A line-oriented interactive session.
+
+    Lines starting with ``def`` or ``ic`` extend the program; anything else
+    is evaluated as a query expression. ``:quit`` exits, ``:relations``
+    lists defined names.
+    """
+    print("Rel repl — def/ic to define, expressions to query, :quit to exit")
+    while True:
+        try:
+            line = input("rel> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return
+        if not line:
+            continue
+        if line in (":quit", ":q", ":exit"):
+            return
+        if line == ":relations":
+            names = sorted(set(program.closures) | set(program.base_relations))
+            print("  " + ", ".join(names))
+            continue
+        try:
+            if line.startswith(("def ", "ic ")):
+                program.add_source(line)
+                print("  ok")
+            else:
+                print_relation(line, program.query(line))
+        except (RelError, SyntaxError) as exc:
+            print(f"  error: {exc}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

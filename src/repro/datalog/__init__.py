@@ -1,0 +1,23 @@
+"""A textbook stratified-Datalog engine: the baseline Rel extends.
+
+Section 3.1 of the paper: "The starting point of Rel is Datalog rules with
+first-order formulas in their bodies." This package implements the
+*starting point* itself — positive Datalog with stratified negation,
+evaluated naively or semi-naively — as an independent baseline for the
+benchmarks (B1: naive vs. semi-naive; B6: Rel engine vs. plain Datalog on
+the shared language subset).
+
+The engine is deliberately minimal and classical (Abiteboul–Hull–Vianu
+Chapter 13): rules are conjunctions of positive/negative atoms over
+variables and constants; no aggregation, no second-order features, no
+tuple variables — exactly the feature gap the paper's Section 4 motivates.
+"""
+
+from repro.datalog.engine import (
+    DatalogProgram,
+    Literal,
+    Rule,
+    UnstratifiableError,
+)
+
+__all__ = ["DatalogProgram", "Literal", "Rule", "UnstratifiableError"]

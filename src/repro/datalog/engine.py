@@ -1,0 +1,263 @@
+"""Classical stratified Datalog with naive and semi-naive evaluation.
+
+Terms are variables (strings starting with an uppercase letter or ``?``) or
+constants (anything else, or non-string values). A :class:`Rule` derives a
+head atom from a conjunction of literals; negative literals require safety
+(every variable bound positively) and stratification.
+
+>>> p = DatalogProgram()
+>>> p.fact("edge", 1, 2)
+>>> p.fact("edge", 2, 3)
+>>> p.rule(("tc", "?x", "?y"), [("edge", "?x", "?y")])
+>>> p.rule(("tc", "?x", "?y"), [("edge", "?x", "?z"), ("tc", "?z", "?y")])
+>>> sorted(p.query("tc"))
+[(1, 2), (1, 3), (2, 3)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+Term = Any
+Fact = Tuple[Any, ...]
+
+
+class UnstratifiableError(ValueError):
+    """Negation through recursion: the program has no stratification."""
+
+
+def is_variable(term: Term) -> bool:
+    """Variables are strings starting with ``?``."""
+    return isinstance(term, str) and term.startswith("?")
+
+
+@dataclass(frozen=True)
+class Literal:
+    """One body literal: relation name, argument terms, polarity."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+    positive: bool = True
+
+    def variables(self) -> Set[str]:
+        return {t for t in self.terms if is_variable(t)}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``; the head is an atom (relation name + terms)."""
+
+    head_relation: str
+    head_terms: Tuple[Term, ...]
+    body: Tuple[Literal, ...]
+
+    def validate(self) -> None:
+        positive_vars: Set[str] = set()
+        for lit in self.body:
+            if lit.positive:
+                positive_vars |= lit.variables()
+        head_vars = {t for t in self.head_terms if is_variable(t)}
+        unsafe = head_vars - positive_vars
+        if unsafe:
+            raise ValueError(f"unsafe head variables {sorted(unsafe)}")
+        for lit in self.body:
+            if not lit.positive:
+                unbound = lit.variables() - positive_vars
+                if unbound:
+                    raise ValueError(
+                        f"negative literal {lit.relation} uses unbound "
+                        f"variables {sorted(unbound)}"
+                    )
+
+
+class DatalogProgram:
+    """A set of facts and rules with stratified bottom-up evaluation."""
+
+    def __init__(self, semi_naive: bool = True) -> None:
+        self.semi_naive = semi_naive
+        self._facts: Dict[str, Set[Fact]] = {}
+        self._rules: List[Rule] = []
+        self._computed: Optional[Dict[str, Set[Fact]]] = None
+        self.iterations = 0  # instrumentation for the benchmarks
+
+    # -- construction ------------------------------------------------------
+
+    def fact(self, relation: str, *values: Any) -> None:
+        self._facts.setdefault(relation, set()).add(tuple(values))
+        self._computed = None
+
+    def facts(self, relation: str, tuples: Iterable[Fact]) -> None:
+        self._facts.setdefault(relation, set()).update(
+            tuple(t) for t in tuples
+        )
+        self._computed = None
+
+    def rule(self, head: Sequence[Any], body: Iterable[Sequence[Any]]) -> None:
+        """Add a rule; atoms are ``(relation, term, ...)`` tuples, and a
+        leading ``"not"`` marks a negative literal:
+        ``("not", "edge", "?x", "?y")``."""
+        literals: List[Literal] = []
+        for atom in body:
+            atom = tuple(atom)
+            if atom and atom[0] == "not":
+                literals.append(Literal(atom[1], tuple(atom[2:]), False))
+            else:
+                literals.append(Literal(atom[0], tuple(atom[1:]), True))
+        new_rule = Rule(head[0], tuple(head[1:]), tuple(literals))
+        new_rule.validate()
+        self._rules.append(new_rule)
+        self._computed = None
+
+    # -- stratification ------------------------------------------------------
+
+    def _idb(self) -> Set[str]:
+        return {r.head_relation for r in self._rules}
+
+    def _strata(self) -> List[Set[str]]:
+        """Assign strata by the classical level-mapping algorithm."""
+        idb = self._idb()
+        level: Dict[str, int] = {name: 0 for name in idb}
+        changed = True
+        bound = len(idb) + 1
+        while changed:
+            changed = False
+            for rule in self._rules:
+                head = rule.head_relation
+                for lit in rule.body:
+                    if lit.relation not in idb:
+                        continue
+                    need = level[lit.relation] + (0 if lit.positive else 1)
+                    if level[head] < need:
+                        level[head] = need
+                        if level[head] > bound:
+                            raise UnstratifiableError(
+                                f"negation through recursion at {head}"
+                            )
+                        changed = True
+        max_level = max(level.values(), default=0)
+        return [
+            {n for n, l in level.items() if l == s}
+            for s in range(max_level + 1)
+        ]
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self) -> Dict[str, Set[Fact]]:
+        if self._computed is not None:
+            return self._computed
+        state: Dict[str, Set[Fact]] = {
+            name: set(facts) for name, facts in self._facts.items()
+        }
+        self.iterations = 0
+        for stratum in self._strata():
+            rules = [r for r in self._rules if r.head_relation in stratum]
+            for name in stratum:
+                state.setdefault(name, set())
+                state[name] |= self._facts.get(name, set())
+            if self.semi_naive:
+                self._eval_semi_naive(rules, stratum, state)
+            else:
+                self._eval_naive(rules, stratum, state)
+        self._computed = state
+        return state
+
+    def query(self, relation: str) -> Set[Fact]:
+        return set(self.evaluate().get(relation, set()))
+
+    def _eval_naive(self, rules: List[Rule], stratum: Set[str],
+                    state: Dict[str, Set[Fact]]) -> None:
+        """Naive iteration: re-derive everything until fixpoint."""
+        while True:
+            self.iterations += 1
+            changed = False
+            for rule in rules:
+                for fact in self._derive(rule, state, None, set()):
+                    if fact not in state[rule.head_relation]:
+                        state[rule.head_relation].add(fact)
+                        changed = True
+            if not changed:
+                return
+
+    def _eval_semi_naive(self, rules: List[Rule], stratum: Set[str],
+                         state: Dict[str, Set[Fact]]) -> None:
+        """Semi-naive: each round joins at least one delta-restricted atom."""
+        delta: Dict[str, Set[Fact]] = {}
+        self.iterations += 1
+        for rule in rules:
+            head = rule.head_relation
+            for fact in self._derive(rule, state, None, set()):
+                if fact not in state[head]:
+                    delta.setdefault(head, set()).add(fact)
+        for name, facts in delta.items():
+            state[name] |= facts
+        recursive = stratum
+        while any(delta.get(n) for n in recursive):
+            self.iterations += 1
+            new_delta: Dict[str, Set[Fact]] = {}
+            for rule in rules:
+                head = rule.head_relation
+                occurrences = [
+                    i for i, lit in enumerate(rule.body)
+                    if lit.positive and lit.relation in recursive
+                ]
+                for occ in occurrences:
+                    for fact in self._derive(rule, state, occ, delta):
+                        if fact not in state[head]:
+                            new_delta.setdefault(head, set()).add(fact)
+            for name, facts in new_delta.items():
+                state[name] |= facts
+            delta = new_delta
+
+    def _derive(self, rule: Rule, state: Dict[str, Set[Fact]],
+                delta_occurrence: Optional[int], delta) -> Iterable[Fact]:
+        """All head facts derivable from one rule.
+
+        With ``delta_occurrence`` set, that body literal ranges over the
+        delta relation instead of the full extent (semi-naive restriction).
+        """
+        bindings: List[Dict[str, Any]] = [{}]
+        for i, lit in enumerate(rule.body):
+            if lit.positive:
+                if delta_occurrence is not None and i == delta_occurrence:
+                    extent = delta.get(lit.relation, set())
+                else:
+                    extent = state.get(lit.relation, set())
+                bindings = self._join(bindings, lit, extent)
+                if not bindings:
+                    return
+            else:
+                extent = state.get(lit.relation, set())
+                bindings = [
+                    b for b in bindings
+                    if self._instantiate(lit.terms, b) not in extent
+                ]
+        for b in bindings:
+            yield self._instantiate(rule.head_terms, b)
+
+    @staticmethod
+    def _instantiate(terms: Tuple[Term, ...], binding: Dict[str, Any]) -> Fact:
+        return tuple(binding[t] if is_variable(t) else t for t in terms)
+
+    @staticmethod
+    def _join(bindings: List[Dict[str, Any]], lit: Literal,
+              extent: Set[Fact]) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        for b in bindings:
+            for fact in extent:
+                if len(fact) != len(lit.terms):
+                    continue
+                new = dict(b)
+                ok = True
+                for term, value in zip(lit.terms, fact):
+                    if is_variable(term):
+                        if term in new and new[term] != value:
+                            ok = False
+                            break
+                        new[term] = value
+                    elif term != value:
+                        ok = False
+                        break
+                if ok:
+                    out.append(new)
+        return out

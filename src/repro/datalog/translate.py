@@ -1,0 +1,93 @@
+"""Translate baseline Datalog programs into Rel source.
+
+Rel strictly extends Datalog (Section 3.1: "The starting point of Rel is
+Datalog rules with first-order formulas in their bodies"). This module
+makes the inclusion executable: any :class:`DatalogProgram` becomes a Rel
+program whose evaluation must agree — the cross-engine consistency check
+behind benchmark B6 and the translation tests.
+
+Positive literals become atoms; body-only variables are explicitly
+existentially quantified; negative literals become ``not`` atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.datalog.engine import DatalogProgram, Literal, Rule, is_variable
+from repro.engine.program import RelProgram
+from repro.model.relation import Relation
+
+
+def _term_to_rel(term: Any, renaming: Dict[str, str]) -> str:
+    if is_variable(term):
+        return renaming[term]
+    if isinstance(term, str):
+        escaped = term.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(term, bool):
+        return "true" if term else "false"
+    return repr(term)
+
+
+def _fresh_names(rule: Rule) -> Dict[str, str]:
+    """Map ?x-style Datalog variables to Rel identifiers."""
+    renaming: Dict[str, str] = {}
+    used: Set[str] = set()
+    for literal in rule.body:
+        for term in literal.terms:
+            if is_variable(term) and term not in renaming:
+                base = term[1:] or "v"
+                name = base if base.isidentifier() else f"v{len(renaming)}"
+                while name in used:
+                    name += "_"
+                used.add(name)
+                renaming[term] = name
+    for term in rule.head_terms:
+        if is_variable(term) and term not in renaming:
+            raise ValueError(f"unsafe head variable {term}")
+    return renaming
+
+
+def _literal_to_rel(literal: Literal, renaming: Dict[str, str]) -> str:
+    args = ", ".join(_term_to_rel(t, renaming) for t in literal.terms)
+    atom = f"{literal.relation}({args})"
+    return f"not {atom}" if not literal.positive else atom
+
+
+def rule_to_rel(rule: Rule) -> str:
+    """One Datalog rule as a Rel ``def``."""
+    renaming = _fresh_names(rule)
+    head_vars = [renaming[t] if is_variable(t) else _term_to_rel(t, renaming)
+                 for t in rule.head_terms]
+    body_atoms = [_literal_to_rel(l, renaming) for l in rule.body]
+    body = " and ".join(body_atoms) if body_atoms else "true"
+    head_var_set = {renaming[t] for t in rule.head_terms if is_variable(t)}
+    locals_ = [renaming[v] for v in sorted(renaming)
+               if renaming[v] not in head_var_set]
+    if locals_:
+        body = f"exists(({', '.join(locals_)}) | {body})"
+    return f"def {rule.head_relation}({', '.join(head_vars)}) : {body}"
+
+
+def to_rel_source(program: DatalogProgram) -> str:
+    """The full rule set as Rel source (facts are installed separately)."""
+    return "\n".join(rule_to_rel(rule) for rule in program._rules)
+
+
+def to_rel_program(program: DatalogProgram, **kwargs) -> RelProgram:
+    """A ready-to-run RelProgram equivalent to the Datalog program."""
+    rel = RelProgram(**kwargs)
+    for name, facts in program._facts.items():
+        rel.define(name, Relation(facts))
+    rel.add_source(to_rel_source(program))
+    return rel
+
+
+def engines_agree(program: DatalogProgram, relations: List[str]) -> bool:
+    """Do both engines compute the same extents? (Used by tests/B6.)"""
+    rel = to_rel_program(program)
+    for name in relations:
+        if set(rel.relation(name).tuples) != program.query(name):
+            return False
+    return True

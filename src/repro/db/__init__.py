@@ -1,0 +1,45 @@
+"""Database layer: persistent base relations, transactions, and GNF.
+
+Implements Sections 2 and 3.4–3.5 of the paper:
+
+- :class:`Database` — named base relations in graph normal form, with the
+  unique-identifier property enforced through an entity registry;
+- :class:`Transaction` — the execution of a query against a database, with
+  the control relations ``output``, ``insert``, and ``delete``; changes
+  persist unless the transaction aborts;
+- integrity constraints (``ic … requires``), checked at commit time; a
+  violation aborts the transaction (:class:`ConstraintViolation`);
+- :mod:`repro.db.gnf` — graph normal form validation (the 6NF key condition
+  and the unique-identifier property) and ER→GNF schema derivation.
+"""
+
+from repro.db.database import Database
+from repro.db.transaction import Transaction, TransactionResult
+from repro.db.gnf import (
+    GNFViolation,
+    check_gnf,
+    gnf_violations,
+    is_functional_relation,
+)
+from repro.db.schema import (
+    Attribute,
+    EntityType,
+    ERModel,
+    RelationshipType,
+    derive_gnf_schema,
+)
+
+__all__ = [
+    "Attribute",
+    "Database",
+    "EntityType",
+    "ERModel",
+    "GNFViolation",
+    "RelationshipType",
+    "Transaction",
+    "TransactionResult",
+    "check_gnf",
+    "derive_gnf_schema",
+    "gnf_violations",
+    "is_functional_relation",
+]

@@ -1,0 +1,155 @@
+"""ER-style conceptual models and their derivation into GNF schemas.
+
+Section 2 of the paper walks through an ER diagram (orders, products,
+payments) and derives the GNF database schema::
+
+    ProductPrice(product, price)      ProductName(product, name)
+    OrderCustomer(order, customer)    OrderProductQuantity(order, product, quantity)
+    PaymentAmount(payment, amount)    PaymentOrder(payment, order)
+
+This module automates that derivation: entity types with attributes become
+one binary (key, value) relation per attribute; relationships become
+relations over the participating entity keys plus one optional attribute
+(kept last, per GNF's "non-key column is the last one").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """An attribute of an entity or relationship type."""
+
+    name: str
+    value_type: type = object
+    required: bool = False
+
+
+@dataclass(frozen=True)
+class EntityType:
+    """A conceptual entity type (Product, Order, Payment, …)."""
+
+    name: str
+    attributes: Tuple[Attribute, ...] = ()
+
+    def attribute_relation_name(self, attribute: Attribute) -> str:
+        # ProductPrice, ProductName, PaymentAmount, ... (paper's scheme:
+        # entity name + capitalized attribute).
+        return f"{self.name}{attribute.name[0].upper()}{attribute.name[1:]}"
+
+
+@dataclass(frozen=True)
+class RelationshipType:
+    """A conceptual relationship among entity types, possibly attributed.
+
+    ``cardinalities`` mirror ER notation: one entry per participant, "1" or
+    "N". At most one attribute is supported per relationship in GNF (more
+    would bundle several facts into one tuple — split the relationship).
+    """
+
+    name: str
+    participants: Tuple[str, ...]
+    attribute: Optional[Attribute] = None
+    cardinalities: Tuple[str, ...] = ()
+
+    def relation_name(self) -> str:
+        return self.name
+
+
+@dataclass
+class ERModel:
+    """A conceptual model: entity types plus relationship types."""
+
+    entities: List[EntityType] = field(default_factory=list)
+    relationships: List[RelationshipType] = field(default_factory=list)
+
+    def entity(self, name: str, *attribute_names: str) -> EntityType:
+        ent = EntityType(name, tuple(Attribute(a) for a in attribute_names))
+        self.entities.append(ent)
+        return ent
+
+    def relationship(self, name: str, participants: Sequence[str],
+                     attribute: Optional[str] = None,
+                     cardinalities: Sequence[str] = ()) -> RelationshipType:
+        unknown = [p for p in participants
+                   if not any(e.name == p for e in self.entities)]
+        if unknown:
+            raise ValueError(f"unknown participants: {unknown}")
+        rel = RelationshipType(
+            name,
+            tuple(participants),
+            Attribute(attribute) if attribute else None,
+            tuple(cardinalities),
+        )
+        self.relationships.append(rel)
+        return rel
+
+
+@dataclass(frozen=True)
+class GNFRelationSchema:
+    """One relation of a derived GNF schema."""
+
+    name: str
+    key_columns: Tuple[str, ...]
+    value_column: Optional[str]  # None: all columns are the key
+
+    @property
+    def arity(self) -> int:
+        return len(self.key_columns) + (1 if self.value_column else 0)
+
+
+def derive_gnf_schema(model: ERModel) -> Dict[str, GNFRelationSchema]:
+    """Derive the GNF schema of a conceptual model (paper Section 2).
+
+    Every entity attribute yields a functional binary relation; every
+    relationship yields a relation over participant keys, with its
+    attribute (if any) as the final non-key column. N:1 relationships keep
+    only the "N" side in the key.
+    """
+    schema: Dict[str, GNFRelationSchema] = {}
+    for entity in model.entities:
+        for attribute in entity.attributes:
+            name = entity.attribute_relation_name(attribute)
+            schema[name] = GNFRelationSchema(
+                name=name,
+                key_columns=(entity.name.lower(),),
+                value_column=attribute.name,
+            )
+    for rel in model.relationships:
+        keys = tuple(p.lower() for p in rel.participants)
+        if rel.cardinalities and len(rel.cardinalities) == len(keys):
+            # Participants marked "1" are functionally determined by the
+            # "N" participants and drop out of the key.
+            n_side = tuple(k for k, c in zip(keys, rel.cardinalities)
+                           if c.upper() == "N")
+            if n_side and len(n_side) < len(keys):
+                one_side = [k for k in keys if k not in n_side]
+                if rel.attribute is None and len(one_side) == 1:
+                    schema[rel.relation_name()] = GNFRelationSchema(
+                        name=rel.relation_name(),
+                        key_columns=n_side,
+                        value_column=one_side[0],
+                    )
+                    continue
+        schema[rel.relation_name()] = GNFRelationSchema(
+            name=rel.relation_name(),
+            key_columns=keys,
+            value_column=rel.attribute.name if rel.attribute else None,
+        )
+    return schema
+
+
+def paper_er_model() -> ERModel:
+    """The conceptual model of Figure (Section 2): orders/products/payments."""
+    model = ERModel()
+    model.entity("Product", "name", "price")
+    model.entity("Order", "customer")
+    model.entity("Payment", "amount")
+    model.relationship("OrderProductQuantity", ["Order", "Product"],
+                       attribute="quantity", cardinalities=["N", "N"])
+    model.relationship("PaymentOrder", ["Payment", "Order"],
+                       cardinalities=["N", "1"])
+    return model

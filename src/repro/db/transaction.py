@@ -1,0 +1,182 @@
+"""Transactions: query execution with control relations (Section 3.4).
+
+"The execution of a query against a database is called a transaction. A
+transaction performs computation using derived relations and interacts with
+the environment using control relations" — ``output``, ``insert``, and
+``delete``. When a transaction terminates, changes are persisted, unless it
+is aborted (for instance, when integrity constraints are violated,
+Section 3.5).
+
+``insert`` and ``delete`` address target base relations by :class:`Symbol`
+(``:Name``) in their first column; targets need not exist beforehand —
+"if ClosedOrders does not exist, it will be created on the spot".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.db.database import Database
+from repro.engine.errors import EvaluationError
+from repro.engine.expand import eval_rule
+from repro.engine.program import EngineOptions, RelProgram
+from repro.engine.runtime import Env, compile_rule
+from repro.lang import ast
+from repro.lang.nnf import negate
+from repro.model.relation import EMPTY, Relation
+from repro.model.values import Symbol
+
+#: The reserved control relation names of Section 3.4.
+CONTROL_RELATIONS = frozenset({"output", "insert", "delete"})
+
+
+@dataclass
+class TransactionResult:
+    """Outcome of one transaction."""
+
+    committed: bool
+    output: Relation
+    inserted: Dict[str, Relation] = field(default_factory=dict)
+    deleted: Dict[str, Relation] = field(default_factory=dict)
+    violations: Dict[str, Relation] = field(default_factory=dict)
+    aborted_by: Optional[str] = None
+
+
+class Transaction:
+    """One query execution against a database.
+
+    >>> db = Database({"P": Relation([(1,), (2,)])})
+    >>> txn = Transaction(db)
+    >>> result = txn.execute("def output(x) : P(x) and x > 1")
+    >>> sorted(result.output.tuples)
+    [(2,)]
+    """
+
+    def __init__(self, database: Database,
+                 options: Optional[EngineOptions] = None,
+                 load_stdlib: bool = True) -> None:
+        self.database = database
+        self.options = options
+        self.load_stdlib = load_stdlib
+
+    def execute(self, source: str) -> TransactionResult:
+        """Run a Rel program; commit its effects unless a constraint fails.
+
+        The program's rules are evaluated against the current database
+        state; ``insert``/``delete`` requests are computed, constraints are
+        checked on the *post-state*, and only then is the database mutated.
+        """
+        program = RelProgram(
+            source,
+            database=self.database.as_mapping(),
+            load_stdlib=self.load_stdlib,
+            options=self.options,
+        )
+        program.evaluate()
+
+        output = (program.relation("output")
+                  if "output" in program.closures else EMPTY)
+        inserted = _split_by_target(
+            program.relation("insert") if "insert" in program.closures else EMPTY
+        )
+        deleted = _split_by_target(
+            program.relation("delete") if "delete" in program.closures else EMPTY
+        )
+
+        # Build the tentative post-state.
+        post = self.database.copy()
+        for name, tuples in deleted.items():
+            post.delete(name, tuples)
+        for name, tuples in inserted.items():
+            post.insert(name, tuples)
+
+        # Check integrity constraints against the post-state (Section 3.5:
+        # "If a transaction violates a constraint, it is aborted").
+        violations = check_constraints(program, post)
+        failed = {name: rel for name, rel in violations.items() if rel}
+        if failed:
+            name = sorted(failed)[0]
+            return TransactionResult(
+                committed=False,
+                output=output,
+                inserted=inserted,
+                deleted=deleted,
+                violations=failed,
+                aborted_by=name,
+            )
+
+        # Commit.
+        for name, rel in post.as_mapping().items():
+            self.database.install(name, rel)
+        for name in self.database.names():
+            if name not in post:
+                self.database.drop(name)
+        return TransactionResult(
+            committed=True,
+            output=output,
+            inserted=inserted,
+            deleted=deleted,
+        )
+
+
+def _split_by_target(requests: Relation) -> Dict[str, Relation]:
+    """Group ``insert``/``delete`` tuples by their :Name first column."""
+    grouped: Dict[str, List[Tuple]] = {}
+    for tup in requests:
+        if not tup or not isinstance(tup[0], Symbol):
+            raise EvaluationError(
+                "insert/delete tuples must start with a :RelationName symbol"
+            )
+        grouped.setdefault(tup[0].name, []).append(tup[1:])
+    return {name: Relation(tuples) for name, tuples in grouped.items()}
+
+
+def check_constraints(program: RelProgram,
+                      database: Database) -> Dict[str, Relation]:
+    """Evaluate every ``ic`` against a database state.
+
+    Returns, per constraint, the relation of violations: for parameterless
+    constraints ``{()}`` means *violated* (the requirement does not hold);
+    for parameterized constraints the violating valuations are returned
+    (Section 3.5: "integrity_quantities will be populated with the values x
+    that violate the constraint").
+    """
+    checker = RelProgram(
+        database=database.as_mapping(),
+        options=program.options if program else None,
+    )
+    # Re-install the program's derived rules so constraints can use them.
+    if program is not None:
+        checker.merge_rules_from(program)
+    checker.evaluate()
+
+    results: Dict[str, Relation] = {}
+    constraints = program.constraints if program else []
+    for ic in constraints:
+        # The violation relation is the *negation* of the requirement,
+        # pushed to negation normal form so the positive guard of
+        # "G implies F" generates the candidate bindings.
+        violation_body = negate(ic.body)
+        rule = compile_rule(ast.RuleDef(
+            name=f"__ic_{ic.name}",
+            head=tuple(ic.params),
+            body=violation_body,
+            formula_head=True,
+            pos=ic.pos,
+        ))
+        ctx = checker._context()
+        try:
+            facts = eval_rule(rule, Env.EMPTY, ctx)
+        except Exception as exc:  # surface with constraint context
+            raise EvaluationError(
+                f"integrity constraint {ic.name!r} could not be evaluated: {exc}"
+            ) from exc
+        results[ic.name] = Relation(facts)
+    return results
+
+
+def run_transaction(database: Database, source: str,
+                    **kwargs) -> TransactionResult:
+    """Convenience one-shot transaction."""
+    return Transaction(database, **kwargs).execute(source)

@@ -1,0 +1,718 @@
+"""Built-in (infinite) relations and their binding patterns.
+
+Section 3.2 of the paper: Rel exposes conceptually infinite relations such as
+``Int`` and ``add``. They cannot be enumerated, but they can be *solved* when
+enough argument positions are bound. Following the external-predicate
+treatment of [28], each builtin declares which binding patterns it supports:
+``add`` supports ``bbf`` (forward), ``bfb``/``fbb`` (inverse), and ``bbb``
+(check), while ``Int`` supports only ``b``.
+
+The subgoal orderer (:mod:`repro.engine.expand`) consults these patterns to
+decide evaluation order; an atom whose pattern is unsupported in every order
+makes the enclosing expression *potentially unsafe* (:class:`SafetyError`).
+
+The primitives named ``rel_primitive_*`` are the engine-level operations the
+standard library wraps (Section 5.1: "Others are just wrappers for external
+implementations"); both names are registered.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.model.values import Entity, Symbol
+
+
+class _FreeSlot:
+    """Sentinel for an unbound argument position."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "FREE"
+
+
+FREE = _FreeSlot()
+
+Args = Tuple[Any, ...]
+
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _is_int(v: Any) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _mask(args: Sequence[Any]) -> str:
+    return "".join("f" if a is FREE else "b" for a in args)
+
+
+class Builtin:
+    """A built-in relation with pattern-indexed solvers.
+
+    ``solvers`` maps binding-pattern strings (e.g. ``"bbf"``) to functions
+    taking the *bound* values (in positional order) and yielding tuples of
+    the *free* values (in positional order). A pattern of all ``b`` acts as
+    a membership check: the solver yields ``()`` once iff the tuple is in
+    the relation.
+    """
+
+    __slots__ = ("name", "solvers", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        solvers: Dict[str, Callable[..., Iterable[Tuple[Any, ...]]]],
+        doc: str = "",
+    ) -> None:
+        self.name = name
+        self.solvers = solvers
+        self.doc = doc
+
+    def supports(self, mask: str) -> bool:
+        return mask in self.solvers
+
+    def arities(self) -> set[int]:
+        return {len(p) for p in self.solvers}
+
+    def solve(self, args: Args) -> Iterator[Args]:
+        """Yield complete tuples consistent with the bound positions."""
+        mask = _mask(args)
+        solver = self.solvers.get(mask)
+        if solver is None:
+            raise KeyError(
+                f"builtin {self.name!r} does not support binding pattern {mask!r}"
+            )
+        bound = [a for a in args if a is not FREE]
+        for frees in solver(*bound):
+            out = []
+            it = iter(frees)
+            for a in args:
+                out.append(next(it) if a is FREE else a)
+            yield tuple(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<builtin {self.name}>"
+
+
+REGISTRY: Dict[str, Builtin] = {}
+
+
+def register(builtin: Builtin, *aliases: str) -> Builtin:
+    REGISTRY[builtin.name] = builtin
+    for alias in aliases:
+        REGISTRY[alias] = Builtin(alias, builtin.solvers, builtin.doc)
+    return builtin
+
+
+def lookup(name: str) -> Optional[Builtin]:
+    return REGISTRY.get(name)
+
+
+# ---------------------------------------------------------------------------
+# Helpers for defining solvers
+# ---------------------------------------------------------------------------
+
+
+def _yield_if(cond: bool) -> Iterator[Tuple[Any, ...]]:
+    if cond:
+        yield ()
+
+
+def _one(*values: Any) -> Iterator[Tuple[Any, ...]]:
+    yield tuple(values)
+
+
+def _nothing() -> Iterator[Tuple[Any, ...]]:
+    return iter(())
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _exact_div(x: Any, y: Any) -> Iterator[Tuple[Any, ...]]:
+    """Division with Rel-ish typing: int/int stays int when exact."""
+    if not (_is_number(x) and _is_number(y)) or y == 0:
+        return
+    if _is_int(x) and _is_int(y) and x % y == 0:
+        yield (x // y,)
+    else:
+        yield (x / y,)
+
+
+def _add_bbf(x: Any, y: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(x) and _is_number(y):
+        yield (x + y,)
+    elif isinstance(x, str) and isinstance(y, str):
+        yield (x + y,)
+
+
+def _sub_pair(x: Any, y: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(x) and _is_number(y):
+        yield (x - y,)
+
+
+register(
+    Builtin(
+        "add",
+        {
+            "bbf": _add_bbf,
+            "bfb": lambda x, z: _sub_pair(z, x),
+            "fbb": lambda y, z: _sub_pair(z, y),
+            "bbb": lambda x, y, z: _yield_if(
+                (_is_number(x) and _is_number(y) and _is_number(z) and x + y == z)
+                or (
+                    isinstance(x, str)
+                    and isinstance(y, str)
+                    and isinstance(z, str)
+                    and x + y == z
+                )
+            ),
+        },
+        doc="add(x, y, z): x + y = z. Numbers, or string concatenation.",
+    ),
+    "rel_primitive_add",
+)
+
+register(
+    Builtin(
+        "subtract",
+        {
+            "bbf": _sub_pair,
+            "bfb": lambda x, z: _sub_pair(x, z),
+            "fbb": lambda y, z: _add_bbf(z, y),
+            "bbb": lambda x, y, z: _yield_if(
+                _is_number(x) and _is_number(y) and _is_number(z) and x - y == z
+            ),
+        },
+        doc="subtract(x, y, z): x - y = z.",
+    ),
+    "rel_primitive_subtract",
+)
+
+
+def _mul_bbf(x: Any, y: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(x) and _is_number(y):
+        yield (x * y,)
+
+
+def _mul_inverse(known: Any, product: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(known) and _is_number(product) and known != 0:
+        yield from _exact_div(product, known)
+
+
+register(
+    Builtin(
+        "multiply",
+        {
+            "bbf": _mul_bbf,
+            "bfb": _mul_inverse,
+            "fbb": _mul_inverse,
+            "bbb": lambda x, y, z: _yield_if(
+                _is_number(x) and _is_number(y) and _is_number(z) and x * y == z
+            ),
+        },
+        doc="multiply(x, y, z): x * y = z.",
+    ),
+    "rel_primitive_multiply",
+)
+
+register(
+    Builtin(
+        "divide",
+        {
+            "bbf": _exact_div,
+            "bfb": lambda x, z: _exact_div(x, z) if z != 0 else _nothing(),
+            "fbb": _mul_bbf,
+            "bbb": lambda x, y, z: _yield_if(
+                _is_number(x)
+                and _is_number(y)
+                and y != 0
+                and _is_number(z)
+                and next(iter(_exact_div(x, y)), (None,))[0] == z
+            ),
+        },
+        doc="divide(x, y, z): x / y = z (int/int stays int when exact).",
+    ),
+    "rel_primitive_divide",
+)
+
+
+def _mod_bbf(x: Any, y: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(x) and _is_number(y) and y != 0:
+        yield (x % y,)
+
+
+register(
+    Builtin(
+        "modulo",
+        {
+            "bbf": _mod_bbf,
+            "bbb": lambda x, y, z: _yield_if(
+                _is_number(x) and _is_number(y) and y != 0 and x % y == z
+            ),
+        },
+        doc="modulo(x, y, z): x % y = z.",
+    ),
+    "rel_primitive_modulo",
+)
+
+
+def _pow_bbf(x: Any, y: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(x) and _is_number(y):
+        try:
+            result = x ** y
+        except (OverflowError, ZeroDivisionError, ValueError):
+            return
+        if isinstance(result, complex):
+            return
+        yield (result,)
+
+
+register(
+    Builtin(
+        "power",
+        {
+            "bbf": _pow_bbf,
+            "bbb": lambda x, y, z: _yield_if(
+                next(iter(_pow_bbf(x, y)), (None,))[0] == z
+            ),
+        },
+        doc="power(x, y, z): x ^ y = z.",
+    ),
+    "rel_primitive_power",
+)
+
+
+def _minmax(fn):
+    def solver(x: Any, y: Any) -> Iterator[Tuple[Any, ...]]:
+        if _is_number(x) and _is_number(y):
+            yield (fn(x, y),)
+        elif isinstance(x, str) and isinstance(y, str):
+            yield (fn(x, y),)
+
+    return solver
+
+
+register(
+    Builtin(
+        "minimum",
+        {
+            "bbf": _minmax(min),
+            "bbb": lambda x, y, z: _yield_if(min(x, y) == z),
+        },
+        doc="minimum(x, y, z): min(x, y) = z.",
+    ),
+    "rel_primitive_minimum",
+)
+
+register(
+    Builtin(
+        "maximum",
+        {
+            "bbf": _minmax(max),
+            "bbb": lambda x, y, z: _yield_if(max(x, y) == z),
+        },
+        doc="maximum(x, y, z): max(x, y) = z.",
+    ),
+    "rel_primitive_maximum",
+)
+
+
+def _abs_fbb(y: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(y) and y >= 0:
+        yield (y,)
+        if y != 0:
+            yield (-y,)
+
+
+register(
+    Builtin(
+        "abs_value",
+        {
+            "bf": lambda x: _one(abs(x)) if _is_number(x) else _nothing(),
+            "fb": _abs_fbb,
+            "bb": lambda x, y: _yield_if(_is_number(x) and abs(x) == y),
+        },
+        doc="abs_value(x, y): |x| = y.",
+    ),
+    "rel_primitive_abs",
+)
+
+
+def _neg(x: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(x):
+        yield (-x,)
+
+
+register(
+    Builtin(
+        "negate",
+        {"bf": _neg, "fb": _neg, "bb": lambda x, y: _yield_if(_is_number(x) and -x == y)},
+        doc="negate(x, y): -x = y.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Type predicates (infinite unary relations)
+# ---------------------------------------------------------------------------
+
+
+def _type_pred(name: str, pred: Callable[[Any], bool], doc: str) -> None:
+    register(Builtin(name, {"b": lambda x: _yield_if(pred(x))}, doc=doc))
+
+
+_type_pred("Int", _is_int, "Int(x): x is an integer.")
+_type_pred("Float", lambda v: isinstance(v, float), "Float(x): x is a float.")
+_type_pred("Number", _is_number, "Number(x): x is an int or float.")
+_type_pred("String", lambda v: isinstance(v, str), "String(x): x is a string.")
+_type_pred("Boolean", lambda v: isinstance(v, bool), "Boolean(x): x is a boolean.")
+_type_pred("EntityType", lambda v: isinstance(v, Entity), "EntityType(x): x is an entity.")
+_type_pred("SymbolType", lambda v: isinstance(v, Symbol), "SymbolType(x): x is a symbol.")
+_type_pred("Any", lambda v: True, "Any(x): true of every value.")
+
+
+# ---------------------------------------------------------------------------
+# Comparisons
+# ---------------------------------------------------------------------------
+
+
+def _comparable(x: Any, y: Any) -> bool:
+    if _is_number(x) and _is_number(y):
+        return True
+    return type(x) is type(y) and isinstance(x, (str, bool))
+
+
+def _cmp(name: str, op: Callable[[Any, Any], bool], doc: str) -> None:
+    register(
+        Builtin(
+            name,
+            {"bb": lambda x, y: _yield_if(_comparable(x, y) and op(x, y))},
+            doc=doc,
+        )
+    )
+
+
+register(
+    Builtin(
+        "eq",
+        {
+            "bb": lambda x, y: _yield_if(_values_equal(x, y)),
+            "bf": lambda x: _one(x),
+            "fb": lambda y: _one(y),
+        },
+        doc="eq(x, y): x = y.",
+    )
+)
+
+
+def _values_equal(x: Any, y: Any) -> bool:
+    if _is_number(x) and _is_number(y):
+        return x == y
+    if type(x) is not type(y):
+        return False
+    return x == y
+
+
+register(
+    Builtin(
+        "neq",
+        {"bb": lambda x, y: _yield_if(not _values_equal(x, y))},
+        doc="neq(x, y): x ≠ y.",
+    )
+)
+
+_cmp("lt", lambda x, y: x < y, "lt(x, y): x < y.")
+_cmp("lt_eq", lambda x, y: x <= y, "lt_eq(x, y): x ≤ y.")
+_cmp("gt", lambda x, y: x > y, "gt(x, y): x > y.")
+_cmp("gt_eq", lambda x, y: x >= y, "gt_eq(x, y): x ≥ y.")
+
+
+# ---------------------------------------------------------------------------
+# Enumerable numeric relations
+# ---------------------------------------------------------------------------
+
+
+def _range_enum(lo: Any, hi: Any, step: Any) -> Iterator[Tuple[Any, ...]]:
+    if not (_is_int(lo) and _is_int(hi) and _is_int(step)) or step == 0:
+        return
+    i = lo
+    if step > 0:
+        while i <= hi:
+            yield (i,)
+            i += step
+    else:
+        while i >= hi:
+            yield (i,)
+            i += step
+
+
+register(
+    Builtin(
+        "range",
+        {
+            "bbbf": _range_enum,
+            "bbbb": lambda lo, hi, step, i: _yield_if(
+                any(v == (i,) for v in _range_enum(lo, hi, step))
+            ),
+        },
+        doc="range(lo, hi, step, i): i ranges over lo, lo+step, …, hi (inclusive).",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Transcendental functions (engine primitives wrapped by the stdlib)
+# ---------------------------------------------------------------------------
+
+
+def _math1(name: str, fn: Callable[[float], float], doc: str) -> None:
+    def solver(x: Any) -> Iterator[Tuple[Any, ...]]:
+        if not _is_number(x):
+            return
+        try:
+            yield (fn(x),)
+        except (ValueError, OverflowError):
+            return
+
+    register(
+        Builtin(
+            name,
+            {
+                "bf": solver,
+                "bb": lambda x, y: _yield_if(
+                    next(iter(solver(x)), (None,))[0] == y
+                ),
+            },
+            doc=doc,
+        )
+    )
+
+
+_math1("rel_primitive_natural_log", math.log, "natural_log(x, y): ln x = y.")
+_math1("rel_primitive_exp", math.exp, "exp(x, y): e^x = y.")
+_math1("rel_primitive_sqrt", math.sqrt, "sqrt(x, y): √x = y.")
+_math1("rel_primitive_sin", math.sin, "sin(x, y).")
+_math1("rel_primitive_cos", math.cos, "cos(x, y).")
+_math1("rel_primitive_tan", math.tan, "tan(x, y).")
+_math1("rel_primitive_floor", lambda x: math.floor(x), "floor(x, y).")
+_math1("rel_primitive_ceil", lambda x: math.ceil(x), "ceil(x, y).")
+
+
+def _log_base(x: Any, y: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(x) and _is_number(y) and x > 0 and x != 1 and y > 0:
+        yield (math.log(y, x),)
+
+
+register(
+    Builtin(
+        "rel_primitive_log",
+        {
+            "bbf": _log_base,
+            "bbb": lambda x, y, z: _yield_if(
+                next(iter(_log_base(x, y)), (None,))[0] == z
+            ),
+        },
+        doc="rel_primitive_log(b, x, y): log_b x = y.",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Strings
+# ---------------------------------------------------------------------------
+
+
+def _concat_bbf(x: Any, y: Any) -> Iterator[Tuple[Any, ...]]:
+    if isinstance(x, str) and isinstance(y, str):
+        yield (x + y,)
+
+
+register(
+    Builtin(
+        "concat",
+        {
+            "bbf": _concat_bbf,
+            "bfb": lambda x, z: _one(z[len(x):])
+            if isinstance(z, str) and z.startswith(x)
+            else _nothing(),
+            "fbb": lambda y, z: _one(z[: len(z) - len(y)])
+            if isinstance(z, str) and z.endswith(y)
+            else _nothing(),
+            "bbb": lambda x, y, z: _yield_if(
+                isinstance(x, str) and isinstance(y, str) and x + y == z
+            ),
+        },
+        doc="concat(x, y, z): string concatenation x ++ y = z.",
+    ),
+    "rel_primitive_concat",
+)
+
+register(
+    Builtin(
+        "string_length",
+        {
+            "bf": lambda s: _one(len(s)) if isinstance(s, str) else _nothing(),
+            "bb": lambda s, n: _yield_if(isinstance(s, str) and len(s) == n),
+        },
+        doc="string_length(s, n).",
+    ),
+    "rel_primitive_string_length",
+)
+
+
+def _substring(s: Any, i: Any, j: Any) -> Iterator[Tuple[Any, ...]]:
+    """1-based inclusive substring, the Rel convention."""
+    if isinstance(s, str) and _is_int(i) and _is_int(j) and 1 <= i <= j <= len(s):
+        yield (s[i - 1 : j],)
+
+
+register(
+    Builtin(
+        "substring",
+        {
+            "bbbf": _substring,
+            "bbbb": lambda s, i, j, out: _yield_if(
+                next(iter(_substring(s, i, j)), (None,))[0] == out
+            ),
+        },
+        doc="substring(s, i, j, out): 1-based inclusive slice.",
+    ),
+    "rel_primitive_substring",
+)
+
+register(
+    Builtin(
+        "uppercase",
+        {"bf": lambda s: _one(s.upper()) if isinstance(s, str) else _nothing(),
+         "bb": lambda s, t: _yield_if(isinstance(s, str) and s.upper() == t)},
+        doc="uppercase(s, t).",
+    ),
+    "rel_primitive_uppercase",
+)
+
+register(
+    Builtin(
+        "lowercase",
+        {"bf": lambda s: _one(s.lower()) if isinstance(s, str) else _nothing(),
+         "bb": lambda s, t: _yield_if(isinstance(s, str) and s.lower() == t)},
+        doc="lowercase(s, t).",
+    ),
+    "rel_primitive_lowercase",
+)
+
+register(
+    Builtin(
+        "regex_match",
+        {
+            "bb": lambda pattern, s: _yield_if(
+                isinstance(pattern, str)
+                and isinstance(s, str)
+                and re.fullmatch(pattern, s) is not None
+            )
+        },
+        doc="regex_match(pattern, s): s matches the regex fully.",
+    ),
+    "rel_primitive_regex_match",
+)
+
+register(
+    Builtin(
+        "contains",
+        {
+            "bb": lambda s, sub: _yield_if(
+                isinstance(s, str) and isinstance(sub, str) and sub in s
+            )
+        },
+        doc="contains(s, sub).",
+    )
+)
+
+register(
+    Builtin(
+        "starts_with",
+        {
+            "bb": lambda s, p: _yield_if(
+                isinstance(s, str) and isinstance(p, str) and s.startswith(p)
+            )
+        },
+        doc="starts_with(s, prefix).",
+    )
+)
+
+register(
+    Builtin(
+        "ends_with",
+        {
+            "bb": lambda s, p: _yield_if(
+                isinstance(s, str) and isinstance(p, str) and s.endswith(p)
+            )
+        },
+        doc="ends_with(s, suffix).",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Conversions
+# ---------------------------------------------------------------------------
+
+
+def _parse_int(s: Any) -> Iterator[Tuple[Any, ...]]:
+    if isinstance(s, str):
+        try:
+            yield (int(s),)
+        except ValueError:
+            return
+
+
+def _parse_float(s: Any) -> Iterator[Tuple[Any, ...]]:
+    if isinstance(s, str):
+        try:
+            yield (float(s),)
+        except ValueError:
+            return
+
+
+register(Builtin("parse_int", {"bf": _parse_int}, doc="parse_int(s, x)."),
+         "rel_primitive_parse_int")
+register(Builtin("parse_float", {"bf": _parse_float}, doc="parse_float(s, x)."),
+         "rel_primitive_parse_float")
+
+
+def _to_string(x: Any) -> Iterator[Tuple[Any, ...]]:
+    if isinstance(x, bool):
+        yield ("true" if x else "false",)
+    elif isinstance(x, (int, float, str)):
+        yield (str(x),)
+    elif isinstance(x, Symbol):
+        yield (x.name,)
+
+
+register(Builtin("string", {"bf": _to_string}, doc="string(x, s): render x as a string."),
+         "rel_primitive_string")
+
+
+def _to_float(x: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(x):
+        yield (float(x),)
+
+
+def _to_int(x: Any) -> Iterator[Tuple[Any, ...]]:
+    if _is_number(x):
+        yield (int(x),)
+
+
+register(Builtin("float", {"bf": _to_float}, doc="float(x, y): y = x as float."))
+register(Builtin("int", {"bf": _to_int}, doc="int(x, y): y = x truncated to int."))
+
+
+#: Names reserved for special engine treatment (not ordinary builtins).
+HIGHER_ORDER_NAMES = frozenset({"reduce"})

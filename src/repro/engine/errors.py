@@ -1,0 +1,61 @@
+"""Error hierarchy of the Rel engine."""
+
+from __future__ import annotations
+
+
+class RelError(Exception):
+    """Base class of all engine errors."""
+
+
+class EvaluationError(RelError):
+    """A well-formed program failed during evaluation."""
+
+
+class SafetyError(RelError):
+    """An expression is potentially unsafe (Section 3.1 "Safety").
+
+    Raised when the subgoal orderer cannot find an evaluation order in which
+    every conjunct is finitely enumerable — i.e. when the conservative
+    safety rules of [28] reject the expression. Such expressions may still
+    be *used* safely in a context that bounds their variables (the paper's
+    ``AdditiveInverse`` example); the error is only raised when an actual
+    evaluation would be infinite.
+    """
+
+
+class UnknownRelationError(EvaluationError):
+    """Reference to a name that is neither bound, defined, nor built in."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation or variable: {name!r}")
+        self.name = name
+
+
+class DispatchError(EvaluationError):
+    """Ambiguous first/second-order application (Addendum A).
+
+    Raised for applications like ``addUp[{11;22}]`` where rules exist for
+    both a first-order and a second-order reading and no ``?``/``&``
+    annotation disambiguates.
+    """
+
+
+class ConvergenceError(EvaluationError):
+    """A fixpoint iteration failed to stabilize within the iteration budget."""
+
+
+class ArityError(EvaluationError):
+    """An application supplied more arguments than the relation can accept."""
+
+
+class ConstraintViolation(RelError):
+    """An integrity constraint failed; the transaction must abort (§3.5)."""
+
+    def __init__(self, name: str, witnesses=None) -> None:
+        detail = ""
+        if witnesses:
+            shown = ", ".join(str(w) for w in list(witnesses)[:5])
+            detail = f" (violating values: {shown})"
+        super().__init__(f"integrity constraint {name!r} violated{detail}")
+        self.constraint = name
+        self.witnesses = witnesses or []

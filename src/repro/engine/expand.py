@@ -1,0 +1,2110 @@
+"""The production evaluator: compositional expansion over binding tables.
+
+Every Rel expression is evaluated by *expanding* it over a :class:`Table` of
+candidate variable bindings: the expansion filters rows (formulas), binds new
+variables (atoms, equalities, aggregations), and appends output values to
+each row's payload (general expressions). This uniform treatment mirrors the
+paper's identification of formulas with Boolean-valued expressions
+(Section 5.3.1, "Expressions vs Formulas").
+
+Safety (Section 3.1) is enforced *operationally*: conjuncts are scheduled
+greedily, each attempted only when a variable-level simulation
+(:func:`simulate`) confirms it is finitely enumerable given the bindings
+available so far. If no conjunct can be scheduled, the expression is
+potentially unsafe and a :class:`SafetyError` is raised — unless an
+enclosing context later supplies the missing bindings, which is how the
+paper's ``AdditiveInverse`` example becomes evaluable when intersected with
+a finite set.
+
+Second-order applications (Section 4.2–4.3) never materialize the infinite
+second-order relation: the relation arguments are frozen into an instance
+key and the instance's *extent* — a finite first-order relation — is
+computed on demand by the program layer (``ctx.closure_extent``), with
+Kleene iteration for self-recursive instances such as ``APSP[V,E]`` and
+``PageRank[G]``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.engine import builtins as bi
+from repro.engine.builtins import FREE, Builtin
+from repro.engine.errors import (
+    ArityError,
+    DispatchError,
+    EvaluationError,
+    SafetyError,
+    UnknownRelationError,
+)
+from repro.engine.runtime import Closure, Env, Rule, literal_closure
+from repro.engine.table import Table, union_tables
+from repro.lang import ast
+from repro.model.relation import EMPTY, Relation
+from repro.model.values import sort_key
+
+
+class NotOrderable(Exception):
+    """Internal: a node cannot be expanded with the current bindings.
+
+    Caught by conjunct schedulers, which defer the node; escapes to the user
+    as :class:`SafetyError` only when no evaluation order exists.
+    """
+
+
+#: Sentinel demand set: "every value position is bound" — used when a bound
+#: tuple splice covers an unknown number of positions.
+ALL_POSITIONS: FrozenSet[int] = frozenset({-1})
+
+_FRESH = itertools.count()
+
+
+def _fresh(prefix: str) -> str:
+    """A globally fresh hidden column name (nested expansions must not
+    collide on stash columns)."""
+    return f"__{prefix}{next(_FRESH)}"
+
+
+class Frame:
+    """Static evaluation frame: captured environment and variable scope."""
+
+    __slots__ = ("env", "scope")
+
+    def __init__(self, env: Env, scope: FrozenSet[str]) -> None:
+        self.env = env
+        self.scope = scope
+
+    def with_scope(self, extra: Iterable[str]) -> "Frame":
+        return Frame(self.env, self.scope | frozenset(extra))
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def expand(node: ast.Node, table: Table, frame: Frame, ctx) -> Table:
+    """Expand ``node`` over ``table``; the result's payload column holds the
+    node's output tuples (empty tuples for formulas)."""
+    handler = _HANDLERS.get(type(node))
+    if handler is None:
+        raise EvaluationError(f"cannot evaluate node of type {type(node).__name__}")
+    return handler(node, table, frame, ctx)
+
+
+def eval_relation(node: ast.Node, frame: Frame, ctx) -> Relation:
+    """Evaluate a closed expression to a finite relation."""
+    table = expand(node, Table.unit(), frame, ctx)
+    return Relation._from_frozen(frozenset(row[-1] for row in table.rows))
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+def _expand_const(node: ast.Const, table: Table, frame: Frame, ctx) -> Table:
+    if isinstance(node.value, bool):
+        # The keywords true/false denote {()} and {} (Section 4.3).
+        if node.value:
+            return Table(table.cols, list(table.rows))
+        return table.clone_cols()
+    value = node.value
+    rows = [row[:-1] + (row[-1] + (value,),) for row in table.rows]
+    return Table(table.cols, rows)
+
+
+def _expand_ref(node: ast.Ref, table: Table, frame: Frame, ctx) -> Table:
+    name = node.name
+    if name in frame.scope:
+        if table.has_col(name):
+            idx = table.col_index(name)
+            rows = [row[:-1] + (row[-1] + (row[idx],),) for row in table.rows]
+            return Table(table.cols, rows)
+        raise NotOrderable(f"variable {name} is not yet bound")
+    found, value = frame.env.get(name)
+    if found:
+        return _payload_from_value(value, table, name, ctx)
+    kind, payload = ctx.resolve(name)
+    if kind == "extent":
+        return _payload_relation(payload, table)
+    if kind == "builtin":
+        raise NotOrderable(f"builtin relation {name} cannot be enumerated")
+    if kind == "closure":
+        extent = ctx.closure_extent(payload, (), (), full_arity=None)
+        return _payload_relation(extent, table)
+    raise UnknownRelationError(name)
+
+
+def _payload_from_value(value: Any, table: Table, name: str, ctx) -> Table:
+    if isinstance(value, Relation):
+        return _payload_relation(value, table)
+    if isinstance(value, Closure):
+        # A closure-valued parameter (e.g. a literal abstraction passed to
+        # reduce) enumerates via its computed extent.
+        extent = ctx.closure_extent(value, (), (), full_arity=None)
+        return _payload_relation(extent, table)
+    if isinstance(value, Builtin):
+        raise NotOrderable(f"second-order value {name} cannot be enumerated")
+    if isinstance(value, tuple):  # captured tuple variable
+        rows = [row[:-1] + (row[-1] + value,) for row in table.rows]
+        return Table(table.cols, rows)
+    rows = [row[:-1] + (row[-1] + (value,),) for row in table.rows]
+    return Table(table.cols, rows)
+
+
+def _payload_relation(rel: Relation, table: Table) -> Table:
+    rows = []
+    for row in table.rows:
+        base, payload = row[:-1], row[-1]
+        for tup in rel:
+            rows.append(base + (payload + tup,))
+    return Table(table.cols, rows)
+
+
+def _expand_tupleref(node: ast.TupleRef, table: Table, frame: Frame, ctx) -> Table:
+    name = node.name
+    if name in frame.scope:
+        if table.has_col(name):
+            idx = table.col_index(name)
+            rows = [row[:-1] + (row[-1] + row[idx],) for row in table.rows]
+            return Table(table.cols, rows)
+        raise NotOrderable(f"tuple variable {name}... is not yet bound")
+    found, value = frame.env.get(name)
+    if found and isinstance(value, tuple):
+        rows = [row[:-1] + (row[-1] + value,) for row in table.rows]
+        return Table(table.cols, rows)
+    raise UnknownRelationError(f"{name}...")
+
+
+def _expand_wildcard(node: ast.Node, table: Table, frame: Frame, ctx) -> Table:
+    raise SafetyError("a bare wildcard ranges over all values and is unsafe")
+
+
+# ---------------------------------------------------------------------------
+# Conjunction scheduling (And / Product / Where)
+# ---------------------------------------------------------------------------
+
+
+def _flatten_conjuncts(node: ast.Node) -> List[Tuple[Optional[int], ast.Node]]:
+    """Flatten nested products/conjunctions/wheres into (payload-slot, node).
+
+    Slots record syntactic payload order; ``where`` conditions and ``and``
+    operands contribute no separate treatment — formulas simply produce
+    empty payloads.
+    """
+    items: List[Tuple[bool, ast.Node]] = []  # (contributes_payload, node)
+
+    def visit(n: ast.Node, payload: bool) -> None:
+        if isinstance(n, ast.And):
+            visit(n.lhs, payload)
+            visit(n.rhs, payload)
+        elif isinstance(n, ast.ProductExpr):
+            for item in n.items:
+                visit(item, payload)
+        elif isinstance(n, ast.WhereExpr):
+            visit(n.expr, payload)
+            visit(n.condition, False)
+        else:
+            items.append((payload, n))
+
+    visit(node, True)
+    out: List[Tuple[Optional[int], ast.Node]] = []
+    slot = 0
+    for payload, n in items:
+        out.append((slot if payload else None, n))
+        if payload:
+            slot += 1
+    return out
+
+
+def _expand_conjunction(node: ast.Node, table: Table, frame: Frame, ctx) -> Table:
+    items = _flatten_conjuncts(node)
+    return _schedule(items, table, frame, ctx)
+
+
+def _schedule(
+    items: List[Tuple[Optional[int], ast.Node]], table: Table, frame: Frame, ctx
+) -> Table:
+    """Greedy safety-driven conjunct scheduling with payload slots."""
+    pending = list(items)
+    slot_cols: Dict[int, str] = {}
+    while pending:
+        scheduled = None
+        bound = set(table.cols)
+        for i, (slot, n) in enumerate(pending):
+            if simulate(n, bound, frame, ctx) is None:
+                continue
+            try:
+                expanded = expand(n, table, frame, ctx)
+            except NotOrderable:
+                continue
+            scheduled = i
+            if slot is not None:
+                col = _fresh("slot")
+                table = expanded.stash_payload(col)
+                slot_cols[slot] = col
+            else:
+                table = expanded.clear_payload()
+            table = table.dedupe()
+            break
+        if scheduled is None:
+            raise NotOrderable(
+                "expression is potentially unsafe: no evaluation order binds "
+                + ", ".join(sorted(_pending_names(pending, frame)))
+            )
+        pending.pop(scheduled)
+    ordered = [slot_cols[s] for s in sorted(slot_cols)]
+    return table.gather_payload(ordered) if ordered else table
+
+
+def _pending_names(pending, frame: Frame) -> Set[str]:
+    names: Set[str] = set()
+    for _, n in pending:
+        names |= ast.free_names(n) & frame.scope
+    return names or {"<expression>"}
+
+
+# ---------------------------------------------------------------------------
+# Union / Or
+# ---------------------------------------------------------------------------
+
+
+def _merge_branch_tables(expanded: List[Table], table: Table) -> Table:
+    common_new = None
+    for t in expanded:
+        new = set(t.cols) - set(table.cols)
+        common_new = new if common_new is None else (common_new & new)
+    cols = table.cols + tuple(sorted(common_new or ()))
+    return union_tables(expanded, cols)
+
+
+def _expand_union(node: ast.Node, table: Table, frame: Frame, ctx) -> Table:
+    branches = node.items if isinstance(node, ast.UnionExpr) else (node.lhs, node.rhs)
+    if not branches:
+        return table.clone_cols()  # {} — the empty relation
+    expanded = [expand(branch, table, frame, ctx) for branch in branches]
+    return _merge_branch_tables(expanded, table)
+
+
+# ---------------------------------------------------------------------------
+# Negation and quantifiers
+# ---------------------------------------------------------------------------
+
+
+def _scope_frees(node: ast.Node, frame: Frame) -> Set[str]:
+    return ast.free_names(node) & frame.scope
+
+
+_NNF_PUSHABLE = (ast.Or, ast.And, ast.Implies, ast.Iff, ast.Xor,
+                 ast.Exists, ast.ForAll, ast.Compare, ast.WhereExpr)
+
+
+def _expand_not(node: ast.Not, table: Table, frame: Frame, ctx) -> Table:
+    inner = node.operand
+    if isinstance(inner, ast.Not):
+        # Double negation: ¬¬φ ≡ φ — keep φ's bindings, drop its payload.
+        return expand(inner.operand, table, frame, ctx).clear_payload()
+    frees = _scope_frees(inner, frame)
+    unbound = frees - set(table.cols)
+    if unbound and isinstance(inner, _NNF_PUSHABLE):
+        # Push the negation inward: the rewritten formula may expose
+        # positive generators for the unbound variables (e.g.
+        # ¬(G → F) ≡ G ∧ ¬F).
+        from repro.lang.nnf import negate
+
+        return expand(negate(inner), table, frame, ctx).clear_payload()
+    if unbound:
+        raise NotOrderable(f"negation over unbound variables {sorted(unbound)}")
+    keep_idx = [table.col_index(c) for c in sorted(frees)]
+    rows: List[Tuple[Any, ...]] = []
+    cache: Dict[Tuple[Any, ...], bool] = {}
+    for row in table.rows:
+        key = tuple(row[i] for i in keep_idx)
+        holds = cache.get(key)
+        if holds is None:
+            single = Table(table.cols, [row[:-1] + ((),)])
+            holds = bool(expand(inner, single, frame, ctx).rows)
+            cache[key] = holds
+        if not holds:
+            rows.append(row)
+    return Table(table.cols, rows)
+
+
+def _binding_guards(
+    bindings: Sequence[ast.Binding],
+) -> Tuple[List[str], List[ast.Node], List[ast.Binding]]:
+    """Split quantifier/abstraction bindings into local names, guard atoms,
+    and the positional binding list with duplicates and wildcards renamed."""
+    locals_: List[str] = []
+    guards: List[ast.Node] = []
+    positional: List[ast.Binding] = []
+    seen: Set[str] = set()
+    for b in bindings:
+        if isinstance(b, ast.VarBinding):
+            name = b.name
+            if name in seen:
+                alias = _fresh("dup") + "_" + name
+                guards.append(ast.Compare("=", ast.Ref(alias), ast.Ref(name)))
+                positional.append(ast.VarBinding(alias))
+                locals_.append(alias)
+                continue
+            seen.add(name)
+            locals_.append(name)
+            positional.append(b)
+        elif isinstance(b, ast.InBinding):
+            seen.add(b.name)
+            locals_.append(b.name)
+            guards.append(ast.Application(b.domain, (ast.Ref(b.name),), partial=False))
+            positional.append(ast.VarBinding(b.name))
+        elif isinstance(b, ast.TupleVarBinding):
+            seen.add(b.name)
+            locals_.append(b.name)
+            positional.append(b)
+        elif isinstance(b, (ast.WildcardBinding, ast.TupleWildcardBinding)):
+            alias = _fresh("anon")
+            locals_.append(alias)
+            if isinstance(b, ast.WildcardBinding):
+                positional.append(ast.VarBinding(alias))
+            else:
+                positional.append(ast.TupleVarBinding(alias))
+        elif isinstance(b, ast.ConstBinding):
+            positional.append(b)
+        else:  # RelVarBinding in a first-order position
+            raise EvaluationError("relation variable binding not allowed here")
+    return locals_, guards, positional
+
+
+def _expand_exists(node: ast.Exists, table: Table, frame: Frame, ctx) -> Table:
+    locals_, guards, _ = _binding_guards(node.bindings)
+    inner_frame = frame.with_scope(locals_)
+    flat = _flatten_conjuncts(node.body)
+    items: List[Tuple[Optional[int], ast.Node]] = [(None, g) for g in guards]
+    items += [(None, n) for _, n in flat]  # quantified body yields no payload
+    result = _schedule(items, table, inner_frame, ctx)
+    unbound = set(locals_) - set(result.cols)
+    if unbound and result.rows:
+        raise SafetyError(
+            f"existential variables {sorted(unbound)} are unconstrained"
+        )
+    # Project away only the quantifier's own locals: outer-scope variables
+    # bound by the body (classic FO semantics) are exported.
+    drop = set(locals_)
+    keep = [c for c in result.cols if c not in drop]
+    return result.project(keep).clear_payload().dedupe()
+
+
+def _expand_forall(node: ast.ForAll, table: Table, frame: Frame, ctx) -> Table:
+    # forall(b | F)  ≡  not exists(b | not F)
+    rewritten = ast.Not(ast.Exists(node.bindings, ast.Not(node.body)))
+    return _expand_not(rewritten, table, frame, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Comparisons and arithmetic
+# ---------------------------------------------------------------------------
+
+_CMP_FUNCS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda x, y: _vals_eq(x, y),
+    "!=": lambda x, y: not _vals_eq(x, y),
+    "<": lambda x, y: _vals_ord(x, y) and x < y,
+    "<=": lambda x, y: _vals_ord(x, y) and x <= y,
+    ">": lambda x, y: _vals_ord(x, y) and x > y,
+    ">=": lambda x, y: _vals_ord(x, y) and x >= y,
+}
+
+
+def _vals_eq(x: Any, y: Any) -> bool:
+    if isinstance(x, (int, float)) and isinstance(y, (int, float)) \
+            and not isinstance(x, bool) and not isinstance(y, bool):
+        return x == y
+    return type(x) is type(y) and x == y
+
+
+def _vals_ord(x: Any, y: Any) -> bool:
+    if isinstance(x, bool) or isinstance(y, bool):
+        return False
+    if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+        return True
+    return type(x) is type(y) and isinstance(x, str)
+
+
+def _is_unbound_var(node: ast.Node, table: Table, frame: Frame) -> Optional[str]:
+    if isinstance(node, ast.Ref) and node.name in frame.scope \
+            and not table.has_col(node.name) and node.name not in frame.env:
+        return node.name
+    return None
+
+
+def _expand_compare(node: ast.Compare, table: Table, frame: Frame, ctx) -> Table:
+    lhs_var = _is_unbound_var(node.lhs, table, frame)
+    rhs_var = _is_unbound_var(node.rhs, table, frame)
+    if node.op == "=" and (lhs_var or rhs_var) and not (lhs_var and rhs_var):
+        var = lhs_var or rhs_var
+        expr = node.rhs if lhs_var else node.lhs
+        expanded = expand(expr, table, frame, ctx)
+        rows = []
+        for row in expanded.rows:
+            payload = row[-1]
+            if len(payload) != 1:
+                raise EvaluationError(
+                    "assignment requires a single value per result tuple"
+                )
+            rows.append(row[:-1] + (payload[0], ()))
+        return Table(expanded.cols + (var,), rows).dedupe()
+    # Filter: expand both sides over the table, compare pointwise.
+    fn = _CMP_FUNCS[node.op]
+    stash = _fresh("cmpl")
+    t1 = expand(node.lhs, table, frame, ctx).stash_payload(stash)
+    t2 = expand(node.rhs, t1, frame, ctx)
+    li = t2.col_index(stash)
+    rows = []
+    for row in t2.rows:
+        left, right = row[li], row[-1]
+        if len(left) != 1 or len(right) != 1:
+            raise EvaluationError("comparison requires scalar operands")
+        if fn(left[0], right[0]):
+            rows.append(row)
+    kept = Table(t2.cols, rows)
+    keep_cols = [c for c in kept.cols if c != stash]
+    projected = kept.project(keep_cols)
+    return Table(projected.cols,
+                 [r[:-1] + ((),) for r in projected.rows]).dedupe()
+
+
+_ARITH_FUNCS: Dict[str, str] = {
+    "+": "add",
+    "-": "subtract",
+    "*": "multiply",
+    "/": "divide",
+    "%": "modulo",
+    "^": "power",
+}
+
+
+def _expand_binop(node: ast.BinOp, table: Table, frame: Frame, ctx) -> Table:
+    builtin = bi.lookup(_ARITH_FUNCS[node.op])
+    stash = _fresh("opl")
+    t1 = expand(node.lhs, table, frame, ctx).stash_payload(stash)
+    t2 = expand(node.rhs, t1, frame, ctx)
+    li = t2.col_index(stash)
+    rows = []
+    for row in t2.rows:
+        left, right = row[li], row[-1]
+        if len(left) != 1 or len(right) != 1:
+            raise EvaluationError(f"operator {node.op} requires scalar operands")
+        for result in builtin.solve((left[0], right[0], FREE)):
+            rows.append(row[:-1] + ((result[2],),))
+    t3 = Table(t2.cols, rows)
+    return t3.project([c for c in t3.cols if c != stash])
+
+
+def _expand_neg(node: ast.Neg, table: Table, frame: Frame, ctx) -> Table:
+    expanded = expand(node.operand, table, frame, ctx)
+    rows = []
+    for row in expanded.rows:
+        payload = row[-1]
+        if len(payload) != 1 or not isinstance(payload[0], (int, float)) \
+                or isinstance(payload[0], bool):
+            raise EvaluationError("unary minus requires a numeric operand")
+        rows.append(row[:-1] + ((-payload[0],),))
+    return Table(expanded.cols, rows)
+
+
+# ---------------------------------------------------------------------------
+# Dot join and left override (infix library operators, Section 5.1)
+# ---------------------------------------------------------------------------
+
+
+def _expand_dotjoin(node: ast.DotJoin, table: Table, frame: Frame, ctx) -> Table:
+    stash = _fresh("dotl")
+    t1 = expand(node.lhs, table, frame, ctx).stash_payload(stash)
+    t2 = expand(node.rhs, t1, frame, ctx)
+    li = t2.col_index(stash)
+    rows = []
+    for row in t2.rows:
+        left, right = row[li], row[-1]
+        if left and right and _vals_eq(left[-1], right[0]):
+            rows.append(row[:-1] + (left[:-1] + right[1:],))
+    t3 = Table(t2.cols, rows)
+    return t3.project([c for c in t3.cols if c != stash]).dedupe()
+
+
+def _expand_left_override(node: ast.LeftOverride, table: Table, frame: Frame,
+                          ctx) -> Table:
+    frees = _scope_frees(node, frame)
+    unbound = frees - set(table.cols)
+    if unbound:
+        raise NotOrderable(
+            f"left override over unbound variables {sorted(unbound)}"
+        )
+    rows: List[Tuple[Any, ...]] = []
+    for row in table.rows:
+        single = Table(table.cols, [row[:-1] + ((),)])
+        left = expand(node.lhs, single, frame, ctx)
+        right = expand(node.rhs, single, frame, ctx)
+        left_payloads = {r[-1] for r in left.rows}
+        keys = {(len(p), p[:-1]) for p in left_payloads if p}
+        for payload in left_payloads:
+            rows.append(row[:-1] + (row[-1] + payload,))
+        for r in right.rows:
+            payload = r[-1]
+            if payload and (len(payload), payload[:-1]) not in keys:
+                rows.append(row[:-1] + (row[-1] + payload,))
+    return Table(table.cols, rows).dedupe()
+
+
+# ---------------------------------------------------------------------------
+# Abstraction as an expression
+# ---------------------------------------------------------------------------
+
+
+def _expand_abstraction(node: ast.Abstraction, table: Table, frame: Frame,
+                        ctx) -> Table:
+    locals_, guards, positional = _binding_guards(node.bindings)
+    inner_frame = frame.with_scope(locals_)
+    items: List[Tuple[Optional[int], ast.Node]] = [(None, g) for g in guards]
+    items.append((0, node.body))
+    result = _schedule(items, table, inner_frame, ctx)
+    unbound = set(locals_) - set(result.cols)
+    if unbound and result.rows:
+        raise SafetyError(
+            f"abstraction variables {sorted(unbound)} are unconstrained"
+        )
+
+    # Evaluate constant bindings per row, then assemble payloads: binding
+    # values first, then the body's payload.
+    work = result
+    const_cols: Dict[int, str] = {}
+    for i, b in enumerate(positional):
+        if isinstance(b, ast.ConstBinding):
+            const_cols[i] = _fresh("const")
+            work = expand(b.expr, work, inner_frame, ctx).stash_payload(const_cols[i])
+
+    cols = work.cols
+    # Keep the original columns plus outer-scope variables bound by the body
+    # (exported, as for quantifiers); drop the abstraction's own locals and
+    # internal stash columns.
+    drop = set(locals_) | set(const_cols.values())
+    keep = [c for c in cols if c not in drop]
+    keep_idx = [cols.index(c) for c in keep]
+    local_idx: Dict[int, int] = {}
+    for i, b in enumerate(positional):
+        if isinstance(b, (ast.VarBinding, ast.TupleVarBinding)):
+            local_idx[i] = cols.index(b.name)
+        elif isinstance(b, ast.ConstBinding):
+            local_idx[i] = cols.index(const_cols[i])
+    rows: List[Tuple[Any, ...]] = []
+    for row in work.rows:
+        prefix: Tuple[Any, ...] = ()
+        ok = True
+        for i, b in enumerate(positional):
+            if isinstance(b, ast.VarBinding):
+                prefix += (row[local_idx[i]],)
+            elif isinstance(b, ast.TupleVarBinding):
+                prefix += row[local_idx[i]]
+            elif isinstance(b, ast.ConstBinding):
+                cval = row[local_idx[i]]
+                if len(cval) != 1:
+                    ok = False
+                    break
+                prefix += (cval[0],)
+        if ok:
+            rows.append(tuple(row[i] for i in keep_idx) + (prefix + row[-1],))
+    return Table(tuple(keep), rows).dedupe()
+
+
+# ---------------------------------------------------------------------------
+# Argument classification
+# ---------------------------------------------------------------------------
+
+
+class ArgClass:
+    VALUE = "value"      # first-order: a value, bind-position, or wildcard
+    REL = "rel"          # second-order: a relation/closure/builtin
+    AMBI = "ambi"        # could be either (braced literals, applications)
+
+
+def _classify_arg(node: ast.Node, frame: Frame, ctx) -> str:
+    if isinstance(node, ast.Annotated):
+        return ArgClass.REL if node.second_order else ArgClass.VALUE
+    if isinstance(node, (ast.Const, ast.Wildcard, ast.TupleWildcard, ast.TupleRef,
+                         ast.BinOp, ast.Neg, ast.Compare)):
+        return ArgClass.VALUE
+    if isinstance(node, ast.Ref):
+        if node.name in frame.scope:
+            return ArgClass.VALUE
+        found, value = frame.env.get(node.name)
+        if found:
+            if isinstance(value, (Relation, Closure, Builtin)):
+                return ArgClass.REL
+            return ArgClass.VALUE
+        ctx.resolve(node.name)  # raises UnknownRelationError if unknown
+        return ArgClass.REL
+    if isinstance(node, ast.Abstraction):
+        return ArgClass.REL
+    return ArgClass.AMBI  # applications, braced literals, products, where…
+
+
+# ---------------------------------------------------------------------------
+# Application
+# ---------------------------------------------------------------------------
+
+
+def _expand_application(node: ast.Application, table: Table, frame: Frame,
+                        ctx) -> Table:
+    callee, pre_args = _resolve_callee(node.target, table, frame, ctx)
+    args = tuple(pre_args) + tuple(node.args)
+    if isinstance(callee, Relation):
+        return _match_relation(callee, args, node.partial, table, frame, ctx)
+    if isinstance(callee, Builtin):
+        return _apply_builtin(callee, args, node.partial, table, frame, ctx)
+    if isinstance(callee, Closure):
+        return _apply_closure(callee, args, node.partial, table, frame, ctx)
+    if callee == "reduce":
+        return _apply_reduce(args, node.partial, table, frame, ctx)
+    raise EvaluationError(f"cannot apply {callee!r}")
+
+
+def _resolve_callee(target: ast.Node, table: Table, frame: Frame, ctx):
+    """Resolve an application target to a callee plus curried arguments."""
+    if isinstance(target, ast.Ref):
+        name = target.name
+        if name == "reduce":
+            return "reduce", ()
+        if name in frame.scope:
+            raise EvaluationError(
+                f"variable {name} is first-order and cannot be applied"
+            )
+        found, value = frame.env.get(name)
+        if found:
+            if isinstance(value, (Relation, Closure, Builtin)):
+                return value, ()
+            raise EvaluationError(f"{name} is not a relation")
+        kind, payload = ctx.resolve(name)
+        if kind in ("extent", "builtin", "closure"):
+            return payload, ()
+        raise UnknownRelationError(name)
+    if isinstance(target, ast.Application):
+        # Curried application, e.g. APSP[V,E](z,y,j-1).
+        callee, pre = _resolve_callee(target.target, table, frame, ctx)
+        return callee, tuple(pre) + tuple(target.args)
+    if isinstance(target, ast.Abstraction):
+        return literal_closure(target, _capture_env(target, table, frame, ctx)), ()
+    if isinstance(target, (ast.UnionExpr, ast.ProductExpr, ast.WhereExpr,
+                           ast.DotJoin, ast.LeftOverride, ast.Annotated,
+                           ast.Const)):
+        if _scope_frees(target, frame):
+            raise NotOrderable("application target depends on unbound variables")
+        return eval_relation(target, frame, ctx), ()
+    raise EvaluationError(
+        f"cannot apply expression of type {type(target).__name__}"
+    )
+
+
+def _capture_env(node: ast.Node, table: Table, frame: Frame, ctx) -> Env:
+    """Build the captured environment for a closure literal, provided the
+    captured variables hold the same value in every row."""
+    frees = _scope_frees(node, frame)
+    if not frees:
+        return frame.env
+    values: Dict[str, Any] = {}
+    for name in frees:
+        if not table.has_col(name):
+            raise NotOrderable(f"captured variable {name} is not yet bound")
+        idx = table.col_index(name)
+        vals = {row[idx] for row in table.rows}
+        if len(vals) != 1:
+            raise EvaluationError(
+                "closure capture requires per-row grouping (internal error)"
+            )
+        values[name] = next(iter(vals))
+    return frame.env.extend(values)
+
+
+# -- matching a finite relation ------------------------------------------------
+
+
+class _Matcher:
+    """Matcher item kinds for argument patterns."""
+
+    VAL = 0         # fixed value (per-row function)
+    VALSET = 1      # set of candidate values (enumerated expression)
+    BIND = 2        # unbound scalar variable
+    BIND_TUPLE = 3  # unbound tuple variable
+    ANY = 4         # wildcard _
+    ANY_SEG = 5     # tuple wildcard _...
+    SPLICE = 6      # bound tuple variable: fixed segment (per-row function)
+    INVERT = 7      # invertible expression of one unbound variable
+    RELVAL = 8      # second-order element equality (per-row function)
+    SAMEVAR = 9     # repeated variable: equals an earlier BIND in this atom
+    SAMETUPLE = 10  # repeated tuple variable within this atom
+
+
+def _invertible(node: ast.Node, table: Table, frame: Frame):
+    """Recognize ``x ± c``, ``c ± x``, ``x * c``, ``x / c`` with ``x``
+    unbound; returns (variable, inverse: matched value → x) or None."""
+    if not isinstance(node, ast.BinOp):
+        return None
+    lhs_var = _is_unbound_var(node.lhs, table, frame)
+    rhs_var = _is_unbound_var(node.rhs, table, frame)
+    var = None
+    const = None
+    var_on_left = True
+    if lhs_var and isinstance(node.rhs, ast.Const):
+        var, const, var_on_left = lhs_var, node.rhs.value, True
+    elif rhs_var and isinstance(node.lhs, ast.Const):
+        var, const, var_on_left = rhs_var, node.lhs.value, False
+    if var is None or not isinstance(const, (int, float)) or isinstance(const, bool):
+        return None
+    op = node.op
+
+    def num(v):
+        return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+    if op == "+":
+        return var, lambda v: v - const if num(v) else None
+    if op == "-" and var_on_left:
+        return var, lambda v: v + const if num(v) else None
+    if op == "-":
+        return var, lambda v: const - v if num(v) else None
+    if op == "*" and const != 0:
+        return var, lambda v: _safe_div(v, const) if num(v) else None
+    if op == "/" and var_on_left and const != 0:
+        return var, lambda v: v * const if num(v) else None
+    return None
+
+
+def _safe_div(v: Any, c: Any) -> Optional[Any]:
+    if isinstance(v, int) and isinstance(c, int):
+        if v % c == 0:
+            return v // c
+        return v / c
+    return v / c
+
+
+def _compile_arg_items(args, table: Table, frame: Frame, ctx):
+    """Compile argument expressions to matcher items.
+
+    Per-row parts are closures over the row bindings. Raises
+    :class:`NotOrderable` when an argument is not yet computable."""
+    items = []
+    bound = set(table.cols)
+    local: Set[str] = set()
+    for arg in args:
+        if isinstance(arg, ast.Wildcard):
+            items.append((_Matcher.ANY, None))
+        elif isinstance(arg, ast.TupleWildcard):
+            items.append((_Matcher.ANY_SEG, None))
+        elif isinstance(arg, ast.Const):
+            # In argument position every literal is a value — including
+            # true/false, which denote the Boolean *values* stored in
+            # relations (not the {()}/{} relations they mean as formulas).
+            items.append((_Matcher.VAL, (lambda v: (lambda row_b: v))(arg.value)))
+        elif isinstance(arg, ast.Ref):
+            items.append(_compile_ref_arg(arg.name, bound, frame, ctx, local))
+            kind = items[-1][0]
+            if kind == _Matcher.BIND:
+                bound.add(items[-1][1])
+                local.add(items[-1][1])
+        elif isinstance(arg, ast.TupleRef):
+            items.append(_compile_tupleref_arg(arg.name, bound, frame, local))
+            if items[-1][0] == _Matcher.BIND_TUPLE:
+                bound.add(items[-1][1])
+                local.add(items[-1][1])
+        elif isinstance(arg, ast.Annotated) and not arg.second_order:
+            items.append((_Matcher.VALSET, _valset_fn(arg.expr, frame, ctx)))
+        elif isinstance(arg, ast.Annotated) and arg.second_order:
+            items.append((_Matcher.RELVAL, _relval_fn(arg.expr, frame, ctx)))
+        else:
+            inv = _invertible(arg, table, frame)
+            if inv is not None:
+                items.append((_Matcher.INVERT, inv))
+                bound.add(inv[0])
+                local.add(inv[0])
+                continue
+            frees = _scope_frees(arg, frame)
+            if frees - bound:
+                raise NotOrderable(
+                    f"argument depends on unbound variables {sorted(frees - bound)}"
+                )
+            items.append((_Matcher.VALSET, _valset_fn(arg, frame, ctx)))
+    return items
+
+
+def _compile_ref_arg(name: str, bound: Set[str], frame: Frame, ctx,
+                     local: Set[str] = frozenset()):
+    if name in frame.scope:
+        if name in local:
+            # Repeated variable within this argument list: an equality
+            # against the value matched earlier in the same tuple.
+            return (_Matcher.SAMEVAR, name)
+        if name in bound:
+            return (_Matcher.VAL, (lambda n: (lambda row_b: row_b[n]))(name))
+        return (_Matcher.BIND, name)
+    found, value = frame.env.get(name)
+    if found:
+        if isinstance(value, tuple):
+            return (_Matcher.SPLICE, (lambda v: (lambda row_b: v))(value))
+        if isinstance(value, Relation):
+            return (_Matcher.RELVAL, (lambda v: (lambda row_b: v))(value))
+        if isinstance(value, (Closure, Builtin)):
+            raise NotOrderable(f"cannot match second-order value {name}")
+        return (_Matcher.VAL, (lambda v: (lambda row_b: v))(value))
+    kind, payload = ctx.resolve(name)
+    if kind == "extent":
+        return (_Matcher.RELVAL, (lambda v: (lambda row_b: v))(payload))
+    if kind == "closure":
+        extent = ctx.closure_extent(payload, (), (), full_arity=None)
+        return (_Matcher.RELVAL, (lambda v: (lambda row_b: v))(extent))
+    raise NotOrderable(f"cannot match builtin {name} as a value")
+
+
+def _compile_tupleref_arg(name: str, bound: Set[str], frame: Frame,
+                          local: Set[str] = frozenset()):
+    if name in frame.scope:
+        if name in local:
+            return (_Matcher.SAMETUPLE, name)
+        if name in bound:
+            return (_Matcher.SPLICE, (lambda n: (lambda row_b: row_b[n]))(name))
+        return (_Matcher.BIND_TUPLE, name)
+    found, value = frame.env.get(name)
+    if not found or not isinstance(value, tuple):
+        raise UnknownRelationError(f"{name}...")
+    return (_Matcher.SPLICE, (lambda v: (lambda row_b: v))(value))
+
+
+def _valset_fn(node: ast.Node, frame: Frame, ctx):
+    """Per-row function yielding the list of first-order values of ``node``."""
+    cache: Dict[Tuple[Any, ...], List[Any]] = {}
+    frees = sorted(_scope_frees(node, frame))
+
+    def fn(row_b: Dict[str, Any]):
+        key = tuple(row_b[n] for n in frees)
+        if key not in cache:
+            sub = Table(tuple(frees), [key + ((),)])
+            expanded = expand(node, sub, frame, ctx)
+            values = []
+            for row in expanded.rows:
+                payload = row[-1]
+                if len(payload) != 1:
+                    raise EvaluationError(
+                        "first-order argument must evaluate to unary tuples"
+                    )
+                values.append(payload[0])
+            cache[key] = values
+        return cache[key]
+
+    return fn
+
+
+def _relval_fn(node: ast.Node, frame: Frame, ctx):
+    """Per-row function yielding the relation value of ``node``."""
+    cache: Dict[Tuple[Any, ...], Relation] = {}
+    frees = sorted(_scope_frees(node, frame))
+
+    def fn(row_b: Dict[str, Any]):
+        key = tuple(row_b[n] for n in frees)
+        if key not in cache:
+            sub = Table(tuple(frees), [key + ((),)])
+            expanded = expand(node, sub, frame, ctx)
+            cache[key] = Relation._from_frozen(
+                frozenset(row[-1] for row in expanded.rows)
+            )
+        return cache[key]
+
+    return fn
+
+
+def _pregenerate_value_args(args, table: Table, frame: Frame, ctx):
+    """Expand self-binding value arguments ahead of matching.
+
+    An argument like ``Vec1[k] - Vec2[k]`` with ``k`` unbound cannot be
+    matched directly, but its own expansion *binds* ``k`` (the applications
+    enumerate the vectors' domains). Such arguments are expanded over the
+    table first; the argument is replaced by a hidden bound column."""
+    new_args: List[ast.Node] = []
+    for arg in args:
+        inner = arg.expr if isinstance(arg, ast.Annotated) else arg
+        if isinstance(arg, ast.Annotated) or isinstance(
+            inner, (ast.Const, ast.Ref, ast.TupleRef, ast.Wildcard,
+                    ast.TupleWildcard, ast.Abstraction)
+        ):
+            new_args.append(arg)
+            continue
+        frees = _scope_frees(inner, frame) - set(table.cols)
+        if not frees or _invertible(inner, table, frame) is not None:
+            new_args.append(arg)
+            continue
+        sim = simulate(inner, set(table.cols), frame, ctx)
+        if sim is None or (frees - sim):
+            new_args.append(arg)
+            continue
+        expanded = expand(inner, table, frame, ctx)
+        col = _fresh("genarg")
+        rows = []
+        for row in expanded.rows:
+            payload = row[-1]
+            if len(payload) != 1:
+                raise EvaluationError(
+                    "first-order argument must evaluate to unary tuples"
+                )
+            rows.append(row[:-1] + (payload[0], ()))
+        table = Table(expanded.cols + (col,), rows).dedupe()
+        frame = frame.with_scope([col])
+        new_args.append(ast.Ref(col))
+    return tuple(new_args), table, frame
+
+
+def _strip_hidden(table: Table) -> Table:
+    if not any(c.startswith("__genarg") for c in table.cols):
+        return table
+    return table.project([c for c in table.cols if not c.startswith("__genarg")])
+
+
+def _match_relation(rel: Relation, args, partial: bool, table: Table,
+                    frame: Frame, ctx) -> Table:
+    args, table, frame = _pregenerate_value_args(args, table, frame, ctx)
+    items = _compile_arg_items(args, table, frame, ctx)
+    return _strip_hidden(_match_with_items(rel, items, partial, table, ctx))
+
+
+def _item_new_vars(items) -> List[str]:
+    new_vars: List[str] = []
+    for kind, data in items:
+        if kind in (_Matcher.BIND, _Matcher.BIND_TUPLE):
+            new_vars.append(data)
+        elif kind == _Matcher.INVERT:
+            new_vars.append(data[0])
+    return new_vars
+
+
+def _match_realized_rows(rel: Relation, realized, partial: bool,
+                         base: Tuple[Any, ...], payload0: Tuple[Any, ...],
+                         new_vars: List[str], ctx):
+    """Yield output rows matching realized items against a relation."""
+    has_segments = any(
+        k in (_Matcher.BIND_TUPLE, _Matcher.ANY_SEG, _Matcher.SPLICE,
+              _Matcher.SAMETUPLE)
+        for k, _ in realized
+    )
+    prefix_len = 0
+    for kind, _ in realized:
+        if kind == _Matcher.VAL:
+            prefix_len += 1
+        else:
+            break
+    if prefix_len and getattr(ctx.options, "use_atom_index", True):
+        index = ctx.state.index(rel, prefix_len)
+        key = tuple(item[1] for item in realized[:prefix_len])
+        candidates = index.get(key, ())
+    else:
+        candidates = rel.tuples
+    for tup in candidates:
+        for binds, suffix in _match_tuple(tup, realized, partial, has_segments):
+            new_vals = tuple(binds[v] for v in new_vars)
+            yield base + new_vals + (payload0 + suffix,)
+
+
+def _match_with_items(rel: Relation, items, partial: bool, table: Table,
+                      ctx) -> Table:
+    new_vars = _item_new_vars(items)
+    rows: List[Tuple[Any, ...]] = []
+    out_cols = table.cols + tuple(new_vars)
+    for row in table.rows:
+        row_b = table.bindings(row)
+        realized = _realize_items(items, row_b)
+        if realized is None:
+            continue
+        rows.extend(
+            _match_realized_rows(rel, realized, partial, row[:-1], row[-1],
+                                 new_vars, ctx)
+        )
+    return Table(out_cols, rows).dedupe()
+
+
+def _realize_items(items, row_b):
+    """Evaluate per-row parts of the matcher items; None on a dead row."""
+    realized = []
+    for kind, data in items:
+        if kind in (_Matcher.VAL, _Matcher.SPLICE, _Matcher.RELVAL):
+            realized.append((kind, data(row_b)))
+        elif kind == _Matcher.VALSET:
+            values = data(row_b)
+            if not values:
+                return None
+            realized.append((kind, values))
+        else:
+            realized.append((kind, data))
+    return realized
+
+
+def _match_tuple(tup, items, partial, has_segments):
+    """Match one stored tuple against realized items → (bindings, suffix)."""
+    if not has_segments:
+        n = len(items)
+        if partial:
+            if len(tup) < n:
+                return
+        elif len(tup) != n:
+            return
+        binds: Dict[str, Any] = {}
+        for i, (kind, data) in enumerate(items):
+            v = tup[i]
+            if kind == _Matcher.VAL:
+                if not _vals_eq(data, v):
+                    return
+            elif kind == _Matcher.VALSET:
+                if not any(_vals_eq(c, v) for c in data):
+                    return
+            elif kind == _Matcher.BIND:
+                binds[data] = v
+            elif kind == _Matcher.ANY:
+                pass
+            elif kind == _Matcher.INVERT:
+                name, fn = data
+                solved = fn(v)
+                if solved is None:
+                    return
+                binds[name] = solved
+            elif kind == _Matcher.RELVAL:
+                if not isinstance(v, Relation) or v != data:
+                    return
+            elif kind == _Matcher.SAMEVAR:
+                if data not in binds or not _vals_eq(binds[data], v):
+                    return
+        yield binds, tup[n:]
+        return
+    yield from _match_segments(tup, 0, items, 0, {}, partial)
+
+
+def _match_segments(tup, pos, items, item_idx, binds, partial):
+    if item_idx == len(items):
+        if partial or pos == len(tup):
+            yield dict(binds), tup[pos:]
+        return
+    kind, data = items[item_idx]
+    if kind == _Matcher.SPLICE:
+        seg = data
+        if tup[pos: pos + len(seg)] == seg:
+            yield from _match_segments(tup, pos + len(seg), items, item_idx + 1,
+                                       binds, partial)
+        return
+    if kind == _Matcher.SAMETUPLE:
+        seg = binds.get(data)
+        if seg is not None and tup[pos: pos + len(seg)] == seg:
+            yield from _match_segments(tup, pos + len(seg), items, item_idx + 1,
+                                       binds, partial)
+        return
+    if kind in (_Matcher.BIND_TUPLE, _Matcher.ANY_SEG):
+        for end in range(pos, len(tup) + 1):
+            if kind == _Matcher.BIND_TUPLE:
+                binds2 = dict(binds)
+                binds2[data] = tup[pos:end]
+            else:
+                binds2 = binds
+            yield from _match_segments(tup, end, items, item_idx + 1, binds2,
+                                       partial)
+        return
+    if pos >= len(tup):
+        return
+    v = tup[pos]
+    if kind == _Matcher.VAL:
+        if _vals_eq(data, v):
+            yield from _match_segments(tup, pos + 1, items, item_idx + 1, binds,
+                                       partial)
+    elif kind == _Matcher.VALSET:
+        if any(_vals_eq(c, v) for c in data):
+            yield from _match_segments(tup, pos + 1, items, item_idx + 1, binds,
+                                       partial)
+    elif kind == _Matcher.BIND:
+        binds2 = dict(binds)
+        binds2[data] = v
+        yield from _match_segments(tup, pos + 1, items, item_idx + 1, binds2,
+                                   partial)
+    elif kind == _Matcher.ANY:
+        yield from _match_segments(tup, pos + 1, items, item_idx + 1, binds,
+                                   partial)
+    elif kind == _Matcher.INVERT:
+        name, fn = data
+        solved = fn(v)
+        if solved is not None:
+            binds2 = dict(binds)
+            binds2[name] = solved
+            yield from _match_segments(tup, pos + 1, items, item_idx + 1, binds2,
+                                       partial)
+    elif kind == _Matcher.RELVAL:
+        if isinstance(v, Relation) and v == data:
+            yield from _match_segments(tup, pos + 1, items, item_idx + 1, binds,
+                                       partial)
+    elif kind == _Matcher.SAMEVAR:
+        if data in binds and _vals_eq(binds[data], v):
+            yield from _match_segments(tup, pos + 1, items, item_idx + 1, binds,
+                                       partial)
+
+
+# -- builtins ---------------------------------------------------------------
+
+
+def _apply_builtin(builtin: Builtin, args, partial: bool, table: Table,
+                   frame: Frame, ctx) -> Table:
+    args, table, frame = _pregenerate_value_args(args, table, frame, ctx)
+    items = _compile_arg_items(args, table, frame, ctx)
+    arities = sorted(builtin.arities())
+    chosen = None
+    for n in arities:
+        if n == len(items) or (partial and n > len(items)):
+            mask = "".join(
+                "b" if kind in (_Matcher.VAL, _Matcher.VALSET) else "f"
+                for kind, _ in items
+            ) + "f" * (n - len(items))
+            if builtin.supports(mask):
+                chosen = (n, mask)
+                break
+    if chosen is None:
+        raise NotOrderable(
+            f"builtin {builtin.name} unsupported for this binding pattern"
+        )
+    n, _ = chosen
+    new_vars = [data for kind, data in items if kind == _Matcher.BIND]
+    invert_vars = [data[0] for kind, data in items if kind == _Matcher.INVERT]
+    out_cols = table.cols + tuple(new_vars) + tuple(invert_vars)
+    rows: List[Tuple[Any, ...]] = []
+    for row in table.rows:
+        row_b = table.bindings(row)
+        realized = _realize_items(items, row_b)
+        if realized is None:
+            continue
+        value_options: List[List[Any]] = []
+        for kind, data in realized:
+            if kind == _Matcher.VAL:
+                value_options.append([data])
+            elif kind == _Matcher.VALSET:
+                value_options.append(list(data))
+            else:
+                value_options.append([FREE])
+        base, payload0 = row[:-1], row[-1]
+        for combo in itertools.product(*value_options):
+            slots = tuple(combo) + (FREE,) * (n - len(items))
+            for solution in builtin.solve(slots):
+                binds: Dict[str, Any] = {}
+                ok = True
+                for i, (kind, data) in enumerate(realized):
+                    if kind == _Matcher.BIND:
+                        binds[data] = solution[i]
+                    elif kind == _Matcher.INVERT:
+                        name, fn = data
+                        solved = fn(solution[i])
+                        if solved is None:
+                            ok = False
+                            break
+                        binds[name] = solved
+                if not ok:
+                    continue
+                suffix = solution[len(items):]
+                new_vals = tuple(binds[v] for v in new_vars) + tuple(
+                    binds[v] for v in invert_vars
+                )
+                rows.append(base + new_vals + (payload0 + suffix,))
+    return _strip_hidden(Table(out_cols, rows).dedupe())
+
+
+# -- reduce -------------------------------------------------------------------
+
+
+def _apply_reduce(args, partial: bool, table: Table, frame: Frame, ctx) -> Table:
+    if len(args) not in (2, 3):
+        raise ArityError("reduce takes two or three arguments")
+    op_node = args[0].expr if isinstance(args[0], ast.Annotated) else args[0]
+    rel_node = args[1].expr if isinstance(args[1], ast.Annotated) else args[1]
+
+    frees = sorted(_scope_frees(rel_node, frame))
+    unbound = set(frees) - set(table.cols)
+    if unbound:
+        raise NotOrderable(f"reduce over unbound variables {sorted(unbound)}")
+
+    op_value = _second_order_value(op_node, table, frame, ctx)
+    rel_fn = _relval_fn(rel_node, frame, ctx)
+
+    rows: List[Tuple[Any, ...]] = []
+    for row in table.rows:
+        row_b = table.bindings(row)
+        rel = rel_fn(row_b)
+        if not rel:
+            continue  # reduce of the empty relation is empty (Section 5.2)
+        folded = _fold(op_value, rel, frame, ctx)
+        if folded is None:
+            continue
+        rows.append(row[:-1] + (row[-1] + (folded,),))
+    result = Table(table.cols, rows)
+    if len(args) == 2:
+        return result
+    # reduce(F, R, v): a formula — check or bind the result value.
+    check = args[2].expr if isinstance(args[2], ast.Annotated) else args[2]
+    var = _is_unbound_var(check, result, frame)
+    if var is not None:
+        rows2 = [row[:-1] + (row[-1][-1], row[-1][:-1]) for row in result.rows]
+        return Table(result.cols + (var,), rows2).dedupe()
+    filtered: List[Tuple[Any, ...]] = []
+    for row in result.rows:
+        sub = Table(result.cols, [row[:-1] + ((),)])
+        vals = expand(check, sub, frame, ctx)
+        target = {r[-1] for r in vals.rows}
+        if (row[-1][-1],) in target:
+            filtered.append(row[:-1] + (row[-1][:-1],))
+    return Table(result.cols, filtered).dedupe()
+
+
+def _second_order_value(node: ast.Node, table: Table, frame: Frame, ctx):
+    """Resolve an operator argument (for reduce) to a second-order value."""
+    if isinstance(node, ast.Ref):
+        name = node.name
+        found, value = frame.env.get(name)
+        if found and isinstance(value, (Relation, Closure, Builtin)):
+            return value
+        if not found and name not in frame.scope:
+            kind, payload = ctx.resolve(name)
+            if kind in ("builtin", "closure", "extent"):
+                return payload
+        raise EvaluationError(f"{name} is not usable as a reduce operator")
+    if isinstance(node, ast.Abstraction):
+        return literal_closure(node, _capture_env(node, table, frame, ctx))
+    raise EvaluationError("unsupported reduce operator expression")
+
+
+def _fold(op, rel: Relation, frame: Frame, ctx) -> Optional[Any]:
+    values = sorted(rel.last_column_values(),
+                    key=lambda v: (0, v) if isinstance(v, (int, float))
+                    and not isinstance(v, bool) else (1, str(v)))
+    acc = values[0]
+    for v in values[1:]:
+        acc = _apply_binary(op, acc, v, frame, ctx)
+        if acc is None:
+            return None
+    return acc
+
+
+def _apply_binary(op, a: Any, b: Any, frame: Frame, ctx) -> Optional[Any]:
+    if isinstance(op, Builtin):
+        for solution in op.solve((a, b, FREE)):
+            return solution[2]
+        return None
+    if isinstance(op, Relation):
+        for tup in op.suffixes_for_prefix((a, b)):
+            if len(tup) == 1:
+                return tup[0]
+        return None
+    if isinstance(op, Closure):
+        app = ast.Application(
+            ast.Ref("__op"), (ast.Const(a), ast.Const(b)), partial=True
+        )
+        env = frame.env.extend({"__op": op})
+        out = expand(app, Table.unit(), Frame(env, frozenset()), ctx)
+        for row in out.rows:
+            if len(row[-1]) == 1:
+                return row[-1][0]
+        return None
+    raise EvaluationError("unsupported reduce operator value")
+
+
+# -- closures ------------------------------------------------------------------
+
+
+def _apply_closure(closure: Closure, args, partial: bool, table: Table,
+                   frame: Frame, ctx) -> Table:
+    """Apply a defined relation.
+
+    Rules are grouped by their number of relation parameters; each group is
+    one dispatch alternative (first- vs second-order readings of leading
+    arguments, Addendum A). Results of applicable groups are unioned.
+    """
+    groups: Dict[int, List[Rule]] = {}
+    for rule in closure.rules:
+        groups.setdefault(len(rule.rel_positions), []).append(rule)
+    _check_ambiguity(closure, args, set(groups), frame, ctx)
+
+    results: List[Table] = []
+    first_error: Optional[Exception] = None
+    for k, rules in sorted(groups.items()):
+        if len(args) < k:
+            continue  # not enough arguments to bind the relation parameters
+        rel_args, value_args = args[:k], args[k:]
+        usable = True
+        for arg in rel_args:
+            if _classify_arg(arg, frame, ctx) == ArgClass.VALUE:
+                usable = False
+                break
+        for i in range(k, len(args)):
+            arg = args[i]
+            # A &{...}-annotated argument cannot occupy a value position.
+            if isinstance(arg, ast.Annotated) and arg.second_order:
+                usable = False
+                break
+            # An unannotated relation-name argument prefers the second-order
+            # reading when some rule group accepts it there ("the engine can
+            # figure out ... by examining the definition", Addendum A).
+            if not isinstance(arg, ast.Annotated) \
+                    and _classify_arg(arg, frame, ctx) == ArgClass.REL \
+                    and any(k2 > i for k2 in groups):
+                usable = False
+                break
+        if not usable:
+            continue
+        try:
+            results.append(
+                _apply_group(closure, k, rel_args, value_args, partial,
+                             table, frame, ctx)
+            )
+        except NotOrderable as exc:
+            if first_error is None:
+                first_error = exc
+    if not results:
+        if first_error is not None:
+            raise NotOrderable(
+                f"no rule of {closure.name} is evaluable here: {first_error}"
+            )
+        return table.clone_cols()
+    return _merge_branch_tables(results, table)
+
+
+def _check_ambiguity(closure: Closure, args, group_ks: Set[int],
+                     frame: Frame, ctx) -> None:
+    """Reject applications where a braced literal would be read first-order
+    by one rule group and second-order by another (the ``addUp`` example)."""
+    if len(group_ks) <= 1:
+        return
+    for i, arg in enumerate(args):
+        if isinstance(arg, ast.Annotated):
+            continue
+        if not isinstance(arg, ast.UnionExpr):
+            continue
+        readings = {"rel" if i < k else "value" for k in group_ks}
+        if len(readings) > 1:
+            raise DispatchError(
+                f"ambiguous application of {closure.name}: argument {i + 1} "
+                f"may be first- or second-order; disambiguate with ?{{...}} "
+                f"or &{{...}}"
+            )
+
+
+def _apply_group(closure: Closure, k: int, rel_args, value_args, partial: bool,
+                 table: Table, frame: Frame, ctx) -> Table:
+    """Apply the rule group with ``k`` relation parameters."""
+    # Correlated relation argument: unbound free variables to be bound by the
+    # argument's own expansion (grouped aggregation).
+    correlated_idx = None
+    for i, arg in enumerate(rel_args):
+        node = arg.expr if isinstance(arg, ast.Annotated) else arg
+        if _scope_frees(node, frame) - set(table.cols):
+            if correlated_idx is not None:
+                raise NotOrderable(
+                    "multiple correlated relation arguments are unsupported"
+                )
+            correlated_idx = i
+    if correlated_idx is not None:
+        return _apply_group_correlated(closure, k, rel_args, value_args, partial,
+                                       correlated_idx, table, frame, ctx)
+
+    value_args, table, frame = _pregenerate_value_args(value_args, table,
+                                                       frame, ctx)
+    rel_fns = []
+    for arg in rel_args:
+        node = arg.expr if isinstance(arg, ast.Annotated) else arg
+        rel_fns.append(_rel_arg_fn(node, table, frame, ctx))
+
+    row_groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    keyvals: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
+    for row in table.rows:
+        row_b = table.bindings(row)
+        values = tuple(fn(row_b) for fn in rel_fns)
+        key = tuple(ctx.cache_key(v) for v in values)
+        row_groups.setdefault(key, []).append(row)
+        keyvals[key] = values
+    out_tables: List[Table] = []
+    for key, rows in row_groups.items():
+        sub = Table(table.cols, rows)
+        out_tables.append(
+            _apply_group_constant(closure, k, keyvals[key], value_args, partial,
+                                  sub, frame, ctx)
+        )
+    if not out_tables:
+        return _strip_hidden(table.clone_cols())
+    return _strip_hidden(_merge_branch_tables(out_tables, table))
+
+
+def _apply_group_constant(closure: Closure, k: int, rel_values, value_args,
+                          partial: bool, table: Table, frame: Frame, ctx) -> Table:
+    """Apply a rule group whose relation parameters are fixed values."""
+    items = _compile_arg_items(value_args, table, frame, ctx)
+    if ctx.group_full_orderable(closure, k, rel_values):
+        extent = ctx.closure_extent(closure, rel_values, (), full_arity=None)
+        return _match_with_items(extent, items, partial, table, ctx)
+    # Demand-driven: per distinct bound-argument values, evaluate the
+    # instance with those head positions pre-bound. Value-set arguments
+    # (computed expressions) are expanded into concrete demands.
+    new_vars = _item_new_vars(items)
+    out_cols = table.cols + tuple(new_vars)
+    out_rows: List[Tuple[Any, ...]] = []
+    for row in table.rows:
+        row_b = table.bindings(row)
+        realized = _realize_items(items, row_b)
+        if realized is None:
+            continue
+        valset_idx = [i for i, (k, _) in enumerate(realized)
+                      if k == _Matcher.VALSET]
+        combos = itertools.product(
+            *[realized[i][1] for i in valset_idx]
+        ) if valset_idx else [()]
+        for combo in combos:
+            concrete = list(realized)
+            for i, value in zip(valset_idx, combo):
+                concrete[i] = (_Matcher.VAL, value)
+            demand = _demand_from_items(concrete)
+            full_arity = None if partial else _realized_arity(concrete)
+            extent = ctx.closure_extent(closure, rel_values, demand,
+                                        full_arity=full_arity)
+            out_rows.extend(
+                _match_realized_rows(extent, concrete, partial, row[:-1],
+                                     row[-1], new_vars, ctx)
+            )
+    return Table(out_cols, out_rows).dedupe()
+
+
+def _realized_arity(realized) -> Optional[int]:
+    """The total number of value positions a full application covers, with
+    bound tuple splices expanded; None when a segment's length is unknown."""
+    arity = 0
+    for kind, data in realized:
+        if kind == _Matcher.SPLICE:
+            arity += len(data)
+        elif kind in (_Matcher.BIND_TUPLE, _Matcher.ANY_SEG):
+            return None
+        else:
+            arity += 1
+    return arity
+
+
+def _demand_from_items(realized) -> Tuple[Tuple[int, Any], ...]:
+    """Extract (position, value) demand pairs from realized matcher items.
+
+    Only fixed values and bound tuple splices produce demand; a splice
+    contributes one pair per element. Positions after the first non-fixed
+    item are still usable (the instance evaluator aligns them per rule)."""
+    demand: List[Tuple[int, Any]] = []
+    pos = 0
+    for kind, data in realized:
+        if kind == _Matcher.VAL:
+            demand.append((pos, data))
+            pos += 1
+        elif kind == _Matcher.SPLICE:
+            for v in data:
+                demand.append((pos, v))
+                pos += 1
+        elif kind in (_Matcher.BIND, _Matcher.ANY, _Matcher.INVERT,
+                      _Matcher.VALSET, _Matcher.RELVAL):
+            pos += 1
+        else:  # BIND_TUPLE / ANY_SEG make later positions unalignable
+            break
+    return tuple(demand)
+
+
+def _rel_arg_fn(node: ast.Node, table: Table, frame: Frame, ctx):
+    """Per-row resolution of a relation argument to a second-order value."""
+    if isinstance(node, ast.Ref):
+        name = node.name
+        found, value = frame.env.get(name)
+        if found:
+            if isinstance(value, (Relation, Closure, Builtin)):
+                return lambda row_b: value
+            raise EvaluationError(f"{name} is not a relation")
+        if name not in frame.scope:
+            kind, payload = ctx.resolve(name)
+            if kind in ("extent", "closure", "builtin"):
+                return lambda row_b: payload
+            raise UnknownRelationError(name)
+    if isinstance(node, ast.Abstraction):
+        frees = sorted(_scope_frees(node, frame))
+        env = frame.env
+
+        def make(row_b):
+            captured = {n: row_b[n] for n in frees}
+            return literal_closure(node, env.extend(captured))
+
+        return make
+    return _relval_fn(node, frame, ctx)
+
+
+def _apply_group_correlated(closure: Closure, k: int, rel_args, value_args,
+                            partial: bool, corr_idx: int, table: Table,
+                            frame: Frame, ctx) -> Table:
+    """Grouped (correlated) application: a relation argument has unbound free
+    variables, which its own expansion binds — the group-by evaluation of
+    aggregates like ``i = min[(j) : φ(x, y, j)]`` in APSP."""
+    node = rel_args[corr_idx]
+    node = node.expr if isinstance(node, ast.Annotated) else node
+    frees = sorted(_scope_frees(node, frame) - set(table.cols))
+
+    rowid_col = _fresh("rowid")
+    rows = [row[:-1] + (i, row[-1]) for i, row in enumerate(table.rows)]
+    work = Table(table.cols + (rowid_col,), rows)
+    expanded = expand(node, work, frame, ctx)
+
+    fi = [expanded.col_index(f) for f in frees]
+    ri = expanded.col_index(rowid_col)
+    group_tuples: Dict[Tuple[Any, ...], Set[Tuple[Any, ...]]] = {}
+    reps: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
+    for row in expanded.rows:
+        key = (row[ri],) + tuple(row[i] for i in fi)
+        group_tuples.setdefault(key, set()).add(row[-1])
+        reps.setdefault(key, row)
+
+    base_cols = table.cols
+    base_idx = [expanded.col_index(c) for c in base_cols]
+    inner_frame = frame.with_scope(frees)
+    out_tables: List[Table] = []
+    for key, tuples in group_tuples.items():
+        group_rel = Relation._from_frozen(frozenset(tuples))
+        rep = reps[key]
+        rep_b = dict(zip(expanded.cols, rep))
+        rel_values = []
+        for i, arg in enumerate(rel_args):
+            if i == corr_idx:
+                rel_values.append(group_rel)
+            else:
+                inner = arg.expr if isinstance(arg, ast.Annotated) else arg
+                rel_values.append(_rel_arg_fn(inner, table, frame, ctx)(rep_b))
+        sub_cols = base_cols + tuple(frees)
+        # key[0] is the originating row id; recover that row's payload.
+        sub_row = tuple(rep[i] for i in base_idx) + key[1:] + \
+            (table.rows[key[0]][-1],)
+        sub = Table(sub_cols, [sub_row])
+        out_tables.append(
+            _apply_group_constant(closure, k, tuple(rel_values), value_args,
+                                  partial, sub, inner_frame, ctx)
+        )
+    if not out_tables:
+        return Table(base_cols + tuple(frees), [])
+    merged = _merge_branch_tables(
+        out_tables, Table(base_cols + tuple(frees), [])
+    )
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Annotated standalone and sugar
+# ---------------------------------------------------------------------------
+
+
+def _expand_annotated(node: ast.Annotated, table: Table, frame: Frame, ctx) -> Table:
+    return expand(node.expr, table, frame, ctx)
+
+
+def _expand_implies(node: ast.Implies, table: Table, frame: Frame, ctx) -> Table:
+    return expand(ast.Or(ast.Not(node.lhs), node.rhs), table, frame, ctx)
+
+
+def _expand_iff(node: ast.Iff, table: Table, frame: Frame, ctx) -> Table:
+    rewritten = ast.And(
+        ast.Or(ast.Not(node.lhs), node.rhs),
+        ast.Or(ast.Not(node.rhs), node.lhs),
+    )
+    return expand(rewritten, table, frame, ctx)
+
+
+def _expand_xor(node: ast.Xor, table: Table, frame: Frame, ctx) -> Table:
+    rewritten = ast.And(
+        ast.Or(node.lhs, node.rhs),
+        ast.Not(ast.And(node.lhs, node.rhs)),
+    )
+    return expand(rewritten, table, frame, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Variable-level simulation (the safety pre-check used by the scheduler)
+# ---------------------------------------------------------------------------
+
+
+def simulate(node: ast.Node, bound: Set[str], frame: Frame, ctx) -> Optional[Set[str]]:
+    """Return the set of variables ``node`` would bind, or None if it cannot
+    be expanded with the given bound variables. Purely structural — no data
+    is touched. Mirrors the cases of :func:`expand`."""
+    if isinstance(node, ast.Const):
+        return set()
+    if isinstance(node, ast.Ref):
+        if node.name in frame.scope:
+            return set() if node.name in bound else None
+        if node.name in frame.env:
+            _, value = frame.env.get(node.name)
+            if isinstance(value, Closure):
+                return set() if ctx.group_orderable_sim(value, 0, frozenset(),
+                                                        None) else None
+            if isinstance(value, Builtin):
+                return None
+            return set()
+        kind, payload = ctx.resolve_kind(node.name)
+        if kind == "extent":
+            return set()
+        if kind == "closure":
+            return set() if ctx.group_orderable_sim(payload, 0, frozenset(), None) \
+                else None
+        if kind == "unknown":
+            raise UnknownRelationError(node.name)
+        return None  # builtins cannot be enumerated bare
+    if isinstance(node, ast.TupleRef):
+        if node.name in frame.scope:
+            return set() if node.name in bound else None
+        return set() if node.name in frame.env else None
+    if isinstance(node, (ast.Wildcard, ast.TupleWildcard)):
+        return None
+    if isinstance(node, (ast.And, ast.ProductExpr, ast.WhereExpr)):
+        items = [n for _, n in _flatten_conjuncts(node)]
+        return _sim_items(items, set(bound), frame, ctx)
+    if isinstance(node, (ast.Or, ast.UnionExpr)):
+        branches = node.items if isinstance(node, ast.UnionExpr) \
+            else (node.lhs, node.rhs)
+        if not branches:
+            return set()
+        common: Optional[Set[str]] = None
+        for b in branches:
+            r = simulate(b, bound, frame, ctx)
+            if r is None:
+                return None
+            common = r if common is None else (common & r)
+        return common if common is not None else set()
+    if isinstance(node, ast.Not):
+        if isinstance(node.operand, ast.Not):  # ¬¬φ ≡ φ, may bind
+            return simulate(node.operand.operand, bound, frame, ctx)
+        frees = _scope_frees(node.operand, frame)
+        if frees - bound and isinstance(node.operand, _NNF_PUSHABLE):
+            from repro.lang.nnf import negate
+
+            return simulate(negate(node.operand), bound, frame, ctx)
+        return set() if frees <= bound else None
+    if isinstance(node, (ast.Exists, ast.Abstraction)):
+        locals_, guards, _ = _binding_guards(node.bindings)
+        inner = frame.with_scope(locals_)
+        got = _sim_items(list(guards) + [node.body], set(bound), inner, ctx)
+        if got is None:
+            return None
+        needed = {l for l in locals_ if not l.startswith("__")}
+        if needed - (bound | got):
+            return None
+        return (got - set(locals_)) & frame.scope
+    if isinstance(node, ast.ForAll):
+        frees = _scope_frees(node, frame)
+        return set() if frees <= bound else None
+    if isinstance(node, ast.Compare):
+        lv = _sim_unbound_var(node.lhs, bound, frame)
+        rv = _sim_unbound_var(node.rhs, bound, frame)
+        if node.op == "=" and (lv or rv) and not (lv and rv):
+            var = lv or rv
+            expr = node.rhs if lv else node.lhs
+            r = simulate(expr, bound, frame, ctx)
+            if r is None:
+                return None
+            return r | {var}
+        rl = simulate(node.lhs, bound, frame, ctx)
+        if rl is None:
+            return None
+        rr = simulate(node.rhs, bound | rl, frame, ctx)
+        if rr is None:
+            return None
+        return rl | rr
+    if isinstance(node, ast.BinOp):
+        rl = simulate(node.lhs, bound, frame, ctx)
+        if rl is None:
+            return None
+        rr = simulate(node.rhs, bound | rl, frame, ctx)
+        if rr is None:
+            return None
+        return rl | rr
+    if isinstance(node, ast.Neg):
+        return simulate(node.operand, bound, frame, ctx)
+    if isinstance(node, ast.DotJoin):
+        rl = simulate(node.lhs, bound, frame, ctx)
+        if rl is None:
+            return None
+        rr = simulate(node.rhs, bound | rl, frame, ctx)
+        if rr is None:
+            return None
+        return rl | rr
+    if isinstance(node, ast.LeftOverride):
+        frees = _scope_frees(node, frame)
+        return set() if frees <= bound else None
+    if isinstance(node, ast.Implies):
+        return simulate(ast.Or(ast.Not(node.lhs), node.rhs), bound, frame, ctx)
+    if isinstance(node, ast.Iff):
+        frees = _scope_frees(node, frame)
+        return set() if frees <= bound else None
+    if isinstance(node, ast.Xor):
+        return simulate(
+            ast.And(ast.Or(node.lhs, node.rhs),
+                    ast.Not(ast.And(node.lhs, node.rhs))),
+            bound, frame, ctx,
+        )
+    if isinstance(node, ast.Annotated):
+        return simulate(node.expr, bound, frame, ctx)
+    if isinstance(node, ast.Application):
+        return _sim_application(node, bound, frame, ctx)
+    return None
+
+
+def _sim_unbound_var(node: ast.Node, bound: Set[str], frame: Frame) -> Optional[str]:
+    if isinstance(node, ast.Ref) and node.name in frame.scope \
+            and node.name not in bound and node.name not in frame.env:
+        return node.name
+    return None
+
+
+def _sim_items(items: List[ast.Node], bound: Set[str], frame: Frame,
+               ctx) -> Optional[Set[str]]:
+    pending = list(items)
+    start = set(bound)
+    while pending:
+        progressed = False
+        for i, n in enumerate(pending):
+            r = simulate(n, bound, frame, ctx)
+            if r is not None:
+                bound |= r
+                pending.pop(i)
+                progressed = True
+                break
+        if not progressed:
+            return None
+    return bound - start
+
+
+def _sim_application(node: ast.Application, bound: Set[str], frame: Frame,
+                     ctx) -> Optional[Set[str]]:
+    target = node.target
+    pre_args: Tuple[ast.Node, ...] = ()
+    while isinstance(target, ast.Application):
+        pre_args = tuple(target.args) + pre_args
+        target = target.target
+    args = pre_args + tuple(node.args)
+
+    if isinstance(target, ast.Abstraction):
+        callee_kind: str = "literal"
+        payload: Any = target
+    elif isinstance(target, ast.Ref):
+        name = target.name
+        if name == "reduce":
+            return _sim_reduce(args, bound, frame, ctx)
+        if name in frame.scope:
+            return None
+        found, value = frame.env.get(name)
+        if found:
+            if isinstance(value, Relation):
+                callee_kind, payload = "extent", value
+            elif isinstance(value, Closure):
+                callee_kind, payload = "closure", value
+            elif isinstance(value, Builtin):
+                callee_kind, payload = "builtin", value
+            else:
+                return None
+        else:
+            callee_kind, payload = ctx.resolve_kind(name)
+            if callee_kind == "unknown":
+                raise UnknownRelationError(name)
+    else:
+        frees = _scope_frees(target, frame)
+        if frees <= bound:
+            callee_kind, payload = "extent", None
+        else:
+            return None
+
+    binds: Set[str] = set()
+    masks: List[str] = []
+    correlated = False
+    has_splice = False
+    for arg in args:
+        inner = arg.expr if isinstance(arg, ast.Annotated) else arg
+        var = _sim_unbound_var(inner, bound, frame)
+        if isinstance(inner, (ast.Wildcard, ast.TupleWildcard)):
+            masks.append("f")
+        elif var is not None:
+            binds.add(var)
+            masks.append("f")
+        elif isinstance(inner, ast.TupleRef) and inner.name in frame.scope \
+                and inner.name not in bound:
+            binds.add(inner.name)
+            masks.append("f")
+        else:
+            if isinstance(inner, ast.TupleRef):
+                has_splice = True  # bound splice: covers several positions
+            inv = None
+            if isinstance(inner, ast.BinOp):
+                lv = _sim_unbound_var(inner.lhs, bound, frame)
+                rv = _sim_unbound_var(inner.rhs, bound, frame)
+                if (lv or rv) and not (lv and rv):
+                    inv = lv or rv
+            if inv is not None:
+                binds.add(inv)
+                masks.append("f")
+                continue
+            frees = _scope_frees(inner, frame) - bound
+            if frees:
+                # Generator argument: its own expansion binds its frees.
+                inner_sim = simulate(inner, bound, frame, ctx)
+                if inner_sim is not None and not (frees - inner_sim):
+                    binds |= frees
+                    masks.append("b")
+                    continue
+                if callee_kind in ("closure", "literal"):
+                    # Potential correlated (grouped) relation argument.
+                    inner_sim = simulate(inner, bound, frame.with_scope(frees), ctx)
+                    if inner_sim is None or frees - inner_sim:
+                        return None
+                    correlated = True
+                    binds |= frees
+                    masks.append("b")
+                    continue
+                return None
+            masks.append("b")
+
+    if callee_kind == "extent":
+        return binds
+    if callee_kind == "builtin":
+        builtin = payload
+        for n in sorted(builtin.arities()):
+            if n == len(args) or (node.partial and n > len(args)):
+                if builtin.supports("".join(masks) + "f" * (n - len(args))):
+                    return binds
+        return None
+    all_bound = all(m == "b" for m in masks)
+    if callee_kind == "literal":
+        rules = (_literal_rule(payload),)
+        demanded = frozenset(i for i, m in enumerate(masks) if m == "b")
+        full_arity = None if node.partial else len(args)
+        if has_splice and all_bound and not node.partial:
+            demanded = ALL_POSITIONS
+            full_arity = None
+        if ctx.rules_orderable_sim(rules, demanded, full_arity,
+                                   base_env=frame.env):
+            return binds
+        return None
+    closure = payload
+    ks = {len(r.rel_positions) for r in closure.rules}
+    for k in sorted(ks):
+        demanded = frozenset(
+            i - k for i, m in enumerate(masks) if m == "b" and i >= k
+        )
+        full_arity = None if node.partial else len(args) - k
+        if has_splice and all_bound and not node.partial:
+            demanded = ALL_POSITIONS
+            full_arity = None
+        if ctx.group_orderable_sim(closure, k, demanded, full_arity):
+            return binds
+    return None
+
+
+def _literal_rule(abstraction: ast.Abstraction) -> Rule:
+    return Rule(
+        name="<abstraction>",
+        head=abstraction.bindings,
+        body=abstraction.body,
+        formula_head=not abstraction.brackets,
+        rel_positions=(),
+        free=frozenset(ast.free_names(abstraction)),
+    )
+
+
+def _sim_reduce(args, bound: Set[str], frame: Frame, ctx) -> Optional[Set[str]]:
+    if len(args) not in (2, 3):
+        return None
+    rel_node = args[1].expr if isinstance(args[1], ast.Annotated) else args[1]
+    if _scope_frees(rel_node, frame) - bound:
+        return None
+    if len(args) == 3:
+        check = args[2].expr if isinstance(args[2], ast.Annotated) else args[2]
+        var = _sim_unbound_var(check, bound, frame)
+        if var is not None:
+            return {var}
+        if _scope_frees(check, frame) - bound:
+            return None
+    return set()
+
+
+# ---------------------------------------------------------------------------
+# Rule evaluation (used by the program layer)
+# ---------------------------------------------------------------------------
+
+
+def align_demand(positional: Sequence[ast.Binding],
+                 demand: Tuple[Tuple[int, Any], ...],
+                 full_arity: Optional[int]):
+    """Align demanded (position, value) pairs with head bindings.
+
+    Returns ``(pre_bound, post_filters)`` where ``pre_bound`` maps variable
+    names (or tuple-variable names, to tuples) to values and
+    ``post_filters`` are residual (position, value) checks applied to the
+    emitted head tuples. Handles at most one tuple-variable binding; with a
+    known full arity the tuple variable's extent is determined and bound."""
+    tv_index = None
+    for i, b in enumerate(positional):
+        if isinstance(b, ast.TupleVarBinding):
+            if tv_index is not None:
+                return {}, tuple(demand)  # multiple segments: filter only
+            tv_index = i
+    pre: Dict[str, Any] = {}
+    post: List[Tuple[int, Any]] = []
+    if tv_index is None:
+        for pos, value in demand:
+            if pos < len(positional) and isinstance(positional[pos], ast.VarBinding):
+                name = positional[pos].name
+                if name in pre and not _vals_eq(pre[name], value):
+                    return None, None  # contradictory demand: no results
+                pre[name] = value
+            else:
+                post.append((pos, value))
+        return pre, tuple(post)
+    # One tuple variable: scalars before it align from the left; with a full
+    # arity, scalars after it align from the right and the segment is fixed.
+    n_before = tv_index
+    n_after = len(positional) - tv_index - 1
+    demand_map = dict(demand)
+    for pos, value in demand:
+        if pos < n_before and isinstance(positional[pos], ast.VarBinding):
+            pre[positional[pos].name] = value
+        elif full_arity is not None and pos >= full_arity - n_after:
+            fpos = len(positional) - (full_arity - pos)
+            if isinstance(positional[fpos], ast.VarBinding):
+                pre[positional[fpos].name] = value
+            else:
+                post.append((pos, value))
+        else:
+            post.append((pos, value))
+    if full_arity is not None:
+        seg_len = full_arity - n_before - n_after
+        if seg_len < 0:
+            return None, None
+        seg = []
+        complete = True
+        for i in range(seg_len):
+            if n_before + i in demand_map:
+                seg.append(demand_map[n_before + i])
+            else:
+                complete = False
+                break
+        if complete:
+            name = positional[tv_index].name
+            pre[name] = tuple(seg)
+            post = [(p, v) for p, v in post if not (n_before <= p < n_before + seg_len)]
+    return pre, tuple(post)
+
+
+def eval_rule(rule: Rule, env: Env, ctx,
+              demand: Tuple[Tuple[int, Any], ...] = (),
+              full_arity: Optional[int] = None) -> Set[Tuple[Any, ...]]:
+    """Evaluate one rule to its set of head tuples.
+
+    ``env`` must bind the rule's relation parameters (and any captured
+    variables for literal closures). ``demand`` optionally pre-binds value
+    head positions as ``(position, value)`` pairs, enabling on-demand
+    evaluation of definitions that are unsafe to materialize fully.
+    """
+    locals_, guards, positional = _binding_guards(rule.value_head)
+    frame = Frame(env, frozenset(locals_))
+    pre, post = align_demand(positional, demand, full_arity)
+    if pre is None:
+        return set()
+    cols = tuple(pre.keys())
+    table = Table(cols, [tuple(pre.values()) + ((),)])
+    items: List[Tuple[Optional[int], ast.Node]] = [(None, g) for g in guards]
+    items.append((0, rule.body))
+    try:
+        result = _schedule(items, table, frame, ctx)
+    except NotOrderable as exc:
+        raise SafetyError(str(exc)) from exc
+    unbound = set(locals_) - set(result.cols)
+    if unbound and result.rows:
+        raise SafetyError(
+            f"rule {rule.name}: head variables {sorted(unbound)} are unconstrained"
+        )
+
+    out: Set[Tuple[Any, ...]] = set()
+    idx: Dict[str, int] = {c: i for i, c in enumerate(result.cols)}
+    for row in result.rows:
+        prefix: Tuple[Any, ...] = ()
+        ok = True
+        for i, binding in enumerate(positional):
+            if isinstance(binding, ast.VarBinding):
+                prefix += (row[idx[binding.name]],)
+            elif isinstance(binding, ast.TupleVarBinding):
+                prefix += row[idx[binding.name]]
+            elif isinstance(binding, ast.ConstBinding):
+                sub = Table(result.cols, [row[:-1] + ((),)])
+                vals_t = expand(binding.expr, sub, frame, ctx)
+                cvals = {r[-1] for r in vals_t.rows}
+                if len(cvals) != 1:
+                    ok = False
+                    break
+                (cval,) = cvals
+                if len(cval) != 1:
+                    ok = False
+                    break
+                prefix += (cval[0],)
+            else:
+                ok = False
+                break
+        if not ok:
+            continue
+        tup = prefix + row[-1]
+        if all(pos < len(tup) and _vals_eq(tup[pos], value)
+               for pos, value in post):
+            out.add(tup)
+    return out
+
+
+def rule_orderable(rule: Rule, bound_names: FrozenSet[str], ctx,
+                   base_env: Optional[Env] = None) -> bool:
+    """Static orderability: can the rule body be scheduled with the given
+    head variables pre-bound? Used to decide full materialization."""
+    locals_, guards, _ = _binding_guards(rule.value_head)
+    frame = Frame(_sim_env_for(rule, base_env), frozenset(locals_))
+    got = _sim_items(list(guards) + [rule.body], set(bound_names), frame, ctx)
+    if got is None:
+        return False
+    needed = {l for l in locals_ if not l.startswith("__")}
+    return not (needed - (set(bound_names) | got))
+
+
+def _sim_env_for(rule: Rule, base_env: Optional[Env]) -> Env:
+    """Environment for simulation: relation parameters are stand-in extents,
+    layered over the closure's captured environment (if any)."""
+    base = base_env if base_env is not None else Env.EMPTY
+    bindings = {name: EMPTY for name in rule.rel_param_names}
+    return base.extend(bindings) if bindings else base
+
+
+# ---------------------------------------------------------------------------
+# Dispatch table
+# ---------------------------------------------------------------------------
+
+_HANDLERS = {
+    ast.Const: _expand_const,
+    ast.Ref: _expand_ref,
+    ast.TupleRef: _expand_tupleref,
+    ast.Wildcard: _expand_wildcard,
+    ast.TupleWildcard: _expand_wildcard,
+    ast.ProductExpr: _expand_conjunction,
+    ast.And: _expand_conjunction,
+    ast.WhereExpr: _expand_conjunction,
+    ast.UnionExpr: _expand_union,
+    ast.Or: _expand_union,
+    ast.Not: _expand_not,
+    ast.Exists: _expand_exists,
+    ast.ForAll: _expand_forall,
+    ast.Compare: _expand_compare,
+    ast.BinOp: _expand_binop,
+    ast.Neg: _expand_neg,
+    ast.DotJoin: _expand_dotjoin,
+    ast.LeftOverride: _expand_left_override,
+    ast.Abstraction: _expand_abstraction,
+    ast.Application: _expand_application,
+    ast.Annotated: _expand_annotated,
+    ast.Implies: _expand_implies,
+    ast.Iff: _expand_iff,
+    ast.Xor: _expand_xor,
+}

@@ -1,0 +1,772 @@
+"""Program-level evaluation: stratification, fixpoints, and instances.
+
+A :class:`RelProgram` holds parsed rules (grouped by relation name into
+closures), base relations, and integrity constraints. Evaluation follows the
+paper's semantics (Section 3.3 and Addendum A):
+
+- the dependency graph of the program is condensed into strongly connected
+  components, evaluated in topological order;
+- recursive components whose rules use the recursive names only positively
+  are evaluated by **semi-naive** iteration (delta rules);
+- other recursive components — including non-stratified programs, which the
+  paper explicitly permits — are evaluated by **Kleene iteration to
+  stability**: all rules are re-evaluated from the previous approximation
+  until the extents stop changing ("information is propagated in an
+  iterative fashion until no new facts can be inferred");
+- definitions with relation parameters (second-order) or whose bodies are
+  unsafe without call-site bindings are never materialized; they are
+  evaluated **on demand** per instance (frozen relation parameters plus
+  demanded argument bindings), memoized, with the same iteration-to-
+  stability treatment for self-recursive instances (APSP, PageRank).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.engine import builtins as bi
+from repro.engine.builtins import Builtin
+from repro.engine.errors import (
+    ConvergenceError,
+    EvaluationError,
+    SafetyError,
+    UnknownRelationError,
+)
+from repro.engine.expand import (
+    Frame,
+    NotOrderable,
+    eval_relation,
+    eval_rule,
+    expand,
+    rule_orderable,
+    simulate,
+)
+from repro.engine.runtime import Closure, Env, Rule, compile_rule
+from repro.engine.table import Table
+from repro.lang import ast, parse_expression, parse_program
+from repro.model.relation import EMPTY, Relation
+
+# Deep demand-driven recursion (e.g. digit sums, BOM explosions) uses many
+# Python frames per Rel-level call; raise the interpreter limit once.
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+
+@dataclasses.dataclass
+class EngineOptions:
+    """Tunable evaluation limits and ablation switches."""
+
+    max_global_iterations: int = 100_000
+    max_instance_iterations: int = 100_000
+    semi_naive: bool = True
+    #: Hash-index atoms on their bound prefix (ablation: benchmarks/bench_ablation.py).
+    use_atom_index: bool = True
+    #: Memoize second-order instance extents (ablation: same bench).
+    memoize_instances: bool = True
+
+
+class EvalState:
+    """Mutable evaluation state: extents, instance memos, and indexes."""
+
+    def __init__(self) -> None:
+        self.extents: Dict[str, Relation] = {}
+        self.generation = 0
+        self.memo: Dict[Tuple[Any, ...], Relation] = {}
+        self.in_progress: Dict[Tuple[Any, ...], Relation] = {}
+        self.touch_stack: List[Set[Tuple[Any, ...]]] = []
+        self._indexes: Dict[Tuple[int, int], Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]] = {}
+        self._index_keep: Dict[int, Relation] = {}
+
+    def bump(self) -> None:
+        self.generation += 1
+
+    def set_extent(self, name: str, rel: Relation) -> None:
+        old = self.extents.get(name)
+        if old is None or old != rel:
+            self.extents[name] = rel
+            self.bump()
+
+    def index(self, rel: Relation, prefix_len: int):
+        """Hash index of ``rel`` on its first ``prefix_len`` positions."""
+        key = (id(rel), prefix_len)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for tup in rel.tuples:
+                if len(tup) >= prefix_len:
+                    index.setdefault(tup[:prefix_len], []).append(tup)
+            self._indexes[key] = index
+            self._index_keep[id(rel)] = rel  # pin: id-keyed cache needs liveness
+        return index
+
+
+class EvalContext:
+    """The ``ctx`` protocol consumed by :mod:`repro.engine.expand`."""
+
+    def __init__(self, program: "RelProgram", state: EvalState,
+                 options: EngineOptions) -> None:
+        self.program = program
+        self.state = state
+        self.options = options
+        self._orderable_cache: Dict[Tuple[Any, ...], bool] = {}
+        self._orderable_stack: Set[Tuple[Any, ...]] = set()
+
+    # -- name resolution -----------------------------------------------------
+
+    def resolve(self, name: str) -> Tuple[str, Any]:
+        """Runtime resolution to ("extent", Relation) | ("closure", Closure) |
+        ("builtin", Builtin); raises UnknownRelationError otherwise.
+
+        Materialized names that have not been evaluated yet are evaluated
+        here (lazily, together with their stratum)."""
+        state = self.state
+        if name in state.extents:
+            return "extent", state.extents[name]
+        program = self.program
+        if name in program.closures:
+            if program.is_materialized(name):
+                return "extent", program._materialize_single(name, self)
+            return "closure", program.closures[name]
+        base = program.base_relation(name)
+        if base is not None:
+            return "extent", base
+        builtin = bi.lookup(name)
+        if builtin is not None:
+            return "builtin", builtin
+        raise UnknownRelationError(name)
+
+    def resolve_kind(self, name: str) -> Tuple[str, Any]:
+        """Simulation-safe resolution: reports the kind without ever
+        triggering materialization (the payload may be None for extents)."""
+        state = self.state
+        if name in state.extents:
+            return "extent", state.extents[name]
+        program = self.program
+        if name in program.closures:
+            closure = program.closures[name]
+            if program.is_materialized(name):
+                return "extent", state.extents.get(name)
+            return "closure", closure
+        base = program.base_relation(name)
+        if base is not None:
+            return "extent", base
+        builtin = bi.lookup(name)
+        if builtin is not None:
+            return "builtin", builtin
+        return "unknown", None
+
+    # -- instance extents -----------------------------------------------------
+
+    def cache_key(self, value: Any) -> Any:
+        if isinstance(value, Relation):
+            return value
+        if isinstance(value, Builtin):
+            return ("builtin", value.name)
+        if isinstance(value, Closure):
+            env_items = tuple(
+                sorted(
+                    (k, self.cache_key(v))
+                    for k, v in value.env.flatten().items()
+                )
+            )
+            return ("closure", value.name, tuple(id(r) for r in value.rules),
+                    env_items)
+        return value
+
+    def closure_extent(self, closure: Closure, rel_values: Tuple[Any, ...],
+                       demand: Tuple[Tuple[int, Any], ...],
+                       full_arity: Optional[int] = None) -> Relation:
+        """Extent of a closure instance (rules with matching parameter count),
+        optionally restricted to demanded head-position bindings."""
+        rules = tuple(
+            r for r in closure.rules if len(r.rel_positions) == len(rel_values)
+        )
+        if not rules:
+            return EMPTY
+        if self.group_full_orderable(closure, len(rel_values), rel_values):
+            demand = ()
+            full_arity = None
+        state = self.state
+        key = (
+            state.generation,
+            tuple(id(r) for r in rules),
+            self.cache_key(closure),
+            tuple(self.cache_key(v) for v in rel_values),
+            demand,
+            full_arity,
+        )
+        if self.options.memoize_instances and key in state.memo:
+            return state.memo[key]
+        if key in state.in_progress:
+            for frame_keys in state.touch_stack:
+                frame_keys.add(key)
+            return state.in_progress[key]
+
+        state.in_progress[key] = EMPTY
+        touched: Set[Tuple[Any, ...]] = set()
+        state.touch_stack.append(touched)
+        try:
+            iterations = 0
+            while True:
+                iterations += 1
+                if iterations > self.options.max_instance_iterations:
+                    raise ConvergenceError(
+                        f"instance of {closure.name} did not stabilize after "
+                        f"{iterations - 1} iterations"
+                    )
+                result = EMPTY
+                for rule in rules:
+                    env = closure.env.extend(
+                        dict(zip(rule.rel_param_names, rel_values))
+                    )
+                    facts = eval_rule(rule, env, self, demand, full_arity)
+                    result = result.union(Relation._from_frozen(frozenset(facts)))
+                if result == state.in_progress[key]:
+                    break
+                state.in_progress[key] = result
+                if key not in touched:
+                    break  # not self-recursive: a single pass suffices
+                touched.discard(key)
+        finally:
+            state.touch_stack.pop()
+            del state.in_progress[key]
+        foreign = touched - {key}
+        if foreign:
+            # Result depends on an enclosing in-progress approximation:
+            # propagate the taint and skip memoization.
+            for frame_keys in state.touch_stack:
+                frame_keys.update(foreign)
+        elif self.options.memoize_instances:
+            state.memo[key] = result
+        return result
+
+    # -- static orderability ----------------------------------------------------
+
+    def group_full_orderable(self, closure: Closure, k: int,
+                             rel_values: Tuple[Any, ...]) -> bool:
+        """Can the instance be fully materialized (no demanded bindings)?"""
+        return self.group_orderable_sim(closure, k, frozenset(), None)
+
+    def group_orderable_sim(self, closure: Closure, k: int,
+                            demanded: FrozenSet[int],
+                            full_arity: Optional[int]) -> bool:
+        rules = tuple(r for r in closure.rules if len(r.rel_positions) == k)
+        if not rules:
+            return False
+        return self.rules_orderable_sim(rules, demanded, full_arity,
+                                        base_env=closure.env)
+
+    def rules_orderable_sim(self, rules: Sequence[Rule],
+                            demanded: FrozenSet[int],
+                            full_arity: Optional[int],
+                            base_env: Optional[Env] = None) -> bool:
+        key = (tuple(id(r) for r in rules), demanded, full_arity,
+               id(base_env) if base_env is not None else 0)
+        # Results are only cached for program closures (no captured env):
+        # id()-keyed caching of transient environments would risk aliasing.
+        cacheable = base_env is None or base_env is Env.EMPTY
+        if cacheable:
+            cached = self._orderable_cache.get(key)
+            if cached is not None:
+                return cached
+        if key in self._orderable_stack:
+            # Recursive query: assume orderable (the in-progress extent is a
+            # finite approximation, enumerable in any pattern).
+            return True
+        self._orderable_stack.add(key)
+        try:
+            ok = all(
+                rule_orderable(rule, _demand_names(rule, demanded, full_arity),
+                               self, base_env)
+                for rule in rules
+            )
+        finally:
+            self._orderable_stack.discard(key)
+        if cacheable:
+            self._orderable_cache[key] = ok
+        return ok
+
+
+def _demand_names(rule: Rule, demanded: FrozenSet[int],
+                  full_arity: Optional[int]) -> FrozenSet[str]:
+    """Static counterpart of ``align_demand``: which head variables would the
+    demanded positions bind?"""
+    from repro.engine.expand import ALL_POSITIONS, _binding_guards
+
+    _, _, positional = _binding_guards(rule.value_head)
+    if demanded == ALL_POSITIONS:
+        names = set()
+        for b in positional:
+            if isinstance(b, (ast.VarBinding, ast.TupleVarBinding)):
+                names.add(b.name)
+        return frozenset(names)
+    tv_index = None
+    for i, b in enumerate(positional):
+        if isinstance(b, ast.TupleVarBinding):
+            tv_index = i
+            break
+    names: Set[str] = set()
+    for pos in demanded:
+        if tv_index is None or pos < tv_index:
+            if pos < len(positional) and isinstance(positional[pos], ast.VarBinding):
+                names.add(positional[pos].name)
+        elif full_arity is not None:
+            n_after = len(positional) - tv_index - 1
+            if pos >= full_arity - n_after:
+                fpos = len(positional) - (full_arity - pos)
+                if 0 <= fpos < len(positional) and \
+                        isinstance(positional[fpos], ast.VarBinding):
+                    names.add(positional[fpos].name)
+    if tv_index is not None and full_arity is not None:
+        n_before = tv_index
+        n_after = len(positional) - tv_index - 1
+        seg_len = full_arity - n_before - n_after
+        if seg_len >= 0 and all(n_before + i in demanded for i in range(seg_len)):
+            names.add(positional[tv_index].name)
+    return frozenset(names)
+
+
+# ---------------------------------------------------------------------------
+# Occurrence analysis for semi-naive eligibility and delta rewriting
+# ---------------------------------------------------------------------------
+
+
+def _collect_occurrences(node: ast.Node, names: Set[str], restricted: bool,
+                         out: List[Tuple[str, bool]]) -> None:
+    """Collect references to ``names`` with a restriction flag.
+
+    Restricted contexts (negation, universal quantification, aggregation
+    arguments, comparisons, overrides) block delta rewriting."""
+    if isinstance(node, ast.Ref):
+        if node.name in names:
+            out.append((node.name, restricted))
+        return
+    if isinstance(node, (ast.Not, ast.ForAll, ast.Implies, ast.Iff, ast.Xor,
+                         ast.LeftOverride, ast.Compare)):
+        for child in node.children():
+            _collect_occurrences(child, names, True, out)
+        return
+    if isinstance(node, ast.Application):
+        _collect_occurrences(node.target, names, restricted, out)
+        target = node.target
+        while isinstance(target, ast.Application):
+            target = target.target
+        args_restricted = restricted
+        if isinstance(target, ast.Ref) and target.name == "reduce":
+            args_restricted = True
+        for arg in node.args:
+            # A recursive name appearing *inside* an argument (as a relation
+            # parameter) is an aggregation-style use: restricted.
+            _collect_occurrences(arg, names, True if _contains_name_as_rel(arg, names)
+                                 else args_restricted, out)
+        return
+    for child in node.children():
+        _collect_occurrences(child, names, restricted, out)
+
+
+def _contains_name_as_rel(node: ast.Node, names: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Ref) and sub.name in names:
+            return True
+    return False
+
+
+def _transform(node: ast.Node, fn) -> ast.Node:
+    """Generic bottom-up AST transformer over frozen dataclass nodes."""
+    replacement = fn(node)
+    if replacement is not None:
+        return replacement
+    changes = {}
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, ast.Node):
+            new = _transform(value, fn)
+            if new is not value:
+                changes[field.name] = new
+        elif isinstance(value, tuple) and value and isinstance(value[0], ast.Node):
+            new_items = tuple(_transform(v, fn) for v in value)
+            if any(a is not b for a, b in zip(new_items, value)):
+                changes[field.name] = new_items
+    if changes:
+        return dataclasses.replace(node, **changes)
+    return node
+
+
+def _delta_variants(rule: Rule, recursive: Set[str]) -> List[ast.Node]:
+    """All delta rewrites of the rule body: one per positive occurrence of a
+    recursive name, with that occurrence redirected to ``__delta__<name>``."""
+    occurrences: List[Tuple[str, bool]] = []
+    _collect_occurrences(rule.body, recursive, False, occurrences)
+    count = len(occurrences)
+    variants: List[ast.Node] = []
+    for target_idx in range(count):
+        counter = {"i": -1}
+
+        def replace(node: ast.Node):
+            if isinstance(node, ast.Ref) and node.name in recursive:
+                counter["i"] += 1
+                if counter["i"] == target_idx:
+                    return ast.Ref("__delta__" + node.name, pos=node.pos)
+            return None
+
+        variants.append(_transform(rule.body, replace))
+    return variants
+
+
+def _sn_eligible(rule: Rule, recursive: Set[str]) -> bool:
+    occurrences: List[Tuple[str, bool]] = []
+    _collect_occurrences(rule.body, recursive, False, occurrences)
+    # InBinding domains and const-binding expressions must not be recursive.
+    for binding in rule.head:
+        if isinstance(binding, ast.InBinding):
+            _collect_occurrences(binding.domain, recursive, True, occurrences)
+        elif isinstance(binding, ast.ConstBinding):
+            _collect_occurrences(binding.expr, recursive, True, occurrences)
+    return occurrences != [] and all(not restricted for _, restricted in occurrences)
+
+
+# ---------------------------------------------------------------------------
+# The program
+# ---------------------------------------------------------------------------
+
+
+class RelProgram:
+    """A Rel program: rules + base relations, with query evaluation.
+
+    >>> program = RelProgram()
+    >>> program.define("E", Relation([(1, 2), (2, 3)]))
+    >>> program.add_source('''
+    ...     def TC(x, y) : E(x, y)
+    ...     def TC(x, y) : exists((z) | E(x, z) and TC(z, y))
+    ... ''')
+    >>> sorted(program.relation("TC").tuples)
+    [(1, 2), (1, 3), (2, 3)]
+    """
+
+    def __init__(self, source: str = "",
+                 database: Optional[Mapping[str, Relation]] = None,
+                 load_stdlib: bool = True,
+                 options: Optional[EngineOptions] = None) -> None:
+        self.options = options or EngineOptions()
+        self._base: Dict[str, Relation] = dict(database or {})
+        self._rules: Dict[str, List[Rule]] = {}
+        self._constraints: List[ast.ICDef] = []
+        self.closures: Dict[str, Closure] = {}
+        self._materialized: Optional[Dict[str, bool]] = None
+        self._recursive: Set[str] = set()
+        self._state: Optional[EvalState] = None
+        self._ctx: Optional[EvalContext] = None
+        self._strata: Optional[List[List[str]]] = None
+        if load_stdlib:
+            from repro.stdlib import standard_library_source
+
+            self._ingest(parse_program(standard_library_source()))
+        if source:
+            self.add_source(source)
+
+    # -- building --------------------------------------------------------------
+
+    def add_source(self, source: str) -> None:
+        """Parse and add declarations; invalidates prior evaluation."""
+        self._ingest(parse_program(source))
+
+    def _ingest(self, program: ast.Program) -> None:
+        for decl in program.declarations:
+            if isinstance(decl, ast.RuleDef):
+                self._rules.setdefault(decl.name, []).append(compile_rule(decl))
+            elif isinstance(decl, ast.ICDef):
+                self._constraints.append(decl)
+        self._invalidate()
+
+    def define(self, name: str, relation: Relation) -> None:
+        """Install or replace a base (EDB) relation."""
+        self._base[name] = relation
+        self._invalidate()
+
+    def merge_rules_from(self, other: "RelProgram") -> None:
+        """Adopt another program's compiled rules (used by the transaction
+        layer to re-check constraints against a post-state)."""
+        for name, rules in other._rules.items():
+            mine = self._rules.setdefault(name, [])
+            for rule in rules:
+                if rule not in mine:
+                    mine.append(rule)
+        self._invalidate()
+
+    def base_relation(self, name: str) -> Optional[Relation]:
+        return self._base.get(name)
+
+    @property
+    def base_relations(self) -> Mapping[str, Relation]:
+        return dict(self._base)
+
+    @property
+    def constraints(self) -> List[ast.ICDef]:
+        return list(self._constraints)
+
+    def rules_of(self, name: str) -> List[Rule]:
+        return list(self._rules.get(name, []))
+
+    def _invalidate(self) -> None:
+        self.closures = {
+            name: Closure(name, tuple(rules), Env.EMPTY)
+            for name, rules in self._rules.items()
+        }
+        self._materialized = None
+        self._state = None
+        self._ctx = None
+        self._strata = None
+
+    # -- analysis ---------------------------------------------------------------
+
+    def dependencies(self, name: str) -> Set[str]:
+        """Defined names referenced (directly) by the rules of ``name``."""
+        deps: Set[str] = set()
+        for rule in self._rules.get(name, []):
+            deps |= {n for n in rule.free if n in self._rules}
+        return deps
+
+    def _compute_strata(self) -> List[List[str]]:
+        """SCC condensation in topological order (Tarjan)."""
+        names = list(self._rules)
+        graph = {n: self.dependencies(n) for n in names}
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        def strongconnect(v: str) -> None:
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in graph[v]:
+                if w not in index:
+                    strongconnect(w)
+                    low[v] = min(low[v], low[w])
+                elif w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if low[v] == index[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                sccs.append(component)
+
+        for name in names:
+            if name not in index:
+                strongconnect(name)
+        # Tarjan emits SCCs in reverse topological order of the condensation
+        # for dependency edges; dependencies-first is exactly this order.
+        self._recursive = set()
+        for component in sccs:
+            if len(component) > 1:
+                self._recursive |= set(component)
+            else:
+                n = component[0]
+                if n in self.dependencies(n):
+                    self._recursive.add(n)
+        return sccs
+
+    def is_recursive(self, name: str) -> bool:
+        if self._strata is None:
+            self._strata = self._compute_strata()
+        return name in self._recursive
+
+    def is_materialized(self, name: str) -> bool:
+        if self._materialized is None:
+            self._classify()
+        return self._materialized.get(name, False)
+
+    def _classify(self) -> None:
+        """Decide which names are materializable (first-order + safe)."""
+        ctx = self._context()
+        self._materialized = {}
+        for name, closure in self.closures.items():
+            if any(r.rel_positions for r in closure.rules):
+                self._materialized[name] = False
+                continue
+            try:
+                ok = ctx.rules_orderable_sim(closure.rules, frozenset(), None)
+            except UnknownRelationError:
+                ok = False
+            self._materialized[name] = ok
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _context(self) -> EvalContext:
+        if self._ctx is None:
+            self._state = EvalState()
+            self._ctx = EvalContext(self, self._state, self.options)
+        return self._ctx
+
+    def evaluate(self) -> Dict[str, Relation]:
+        """Materialize every materializable defined relation."""
+        ctx = self._context()
+        if getattr(self, "_evaluating", False):
+            return dict(ctx.state.extents)
+        self._evaluating = True
+        try:
+            return self._evaluate_all(ctx)
+        finally:
+            self._evaluating = False
+
+    def _evaluate_all(self, ctx: EvalContext) -> Dict[str, Relation]:
+        if self._strata is None:
+            self._strata = self._compute_strata()
+        if self._materialized is None:
+            self._classify()
+        for component in self._strata:
+            materializable = [n for n in component if self.is_materialized(n)]
+            if not materializable:
+                continue
+            if all(n in ctx.state.extents for n in materializable):
+                continue
+            recursive = (
+                len(component) > 1
+                or component[0] in self.dependencies(component[0])
+            )
+            if not recursive:
+                self._materialize_stratum_once(materializable, ctx)
+            elif self.options.semi_naive and self._stratum_sn_eligible(component):
+                self._materialize_semi_naive(materializable, ctx)
+            else:
+                self._materialize_kleene(materializable, ctx)
+        return dict(ctx.state.extents)
+
+    def _materialize_single(self, name: str, ctx: EvalContext) -> Relation:
+        """Materialize one name lazily (with its component if recursive)."""
+        if not getattr(self, "_evaluating", False):
+            self.evaluate()
+        return ctx.state.extents.get(name, self._base.get(name, EMPTY))
+
+    def _eval_name_once(self, name: str, ctx: EvalContext) -> Relation:
+        result = self._base.get(name, EMPTY)
+        for rule in self._rules[name]:
+            facts = eval_rule(rule, Env.EMPTY, ctx)
+            result = result.union(Relation._from_frozen(frozenset(facts)))
+        return result
+
+    def _materialize_stratum_once(self, names: List[str], ctx: EvalContext) -> None:
+        for name in names:
+            ctx.state.set_extent(name, self._eval_name_once(name, ctx))
+
+    def _stratum_sn_eligible(self, component: List[str]) -> bool:
+        recursive = set(component)
+        for name in component:
+            if not self.is_materialized(name):
+                return False
+            for rule in self._rules[name]:
+                occurrences: List[Tuple[str, bool]] = []
+                _collect_occurrences(rule.body, recursive, False, occurrences)
+                if any(restricted for _, restricted in occurrences):
+                    return False
+        return True
+
+    def _materialize_kleene(self, names: List[str], ctx: EvalContext) -> None:
+        """Iterate all rules from the previous approximation until stable."""
+        state = ctx.state
+        for name in names:
+            state.set_extent(name, self._base.get(name, EMPTY))
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self.options.max_global_iterations:
+                raise ConvergenceError(
+                    f"stratum {names} did not stabilize after {iterations - 1} "
+                    f"iterations"
+                )
+            changed = False
+            new_extents = {}
+            for name in names:
+                new_extents[name] = self._eval_name_once(name, ctx)
+            for name in names:
+                if new_extents[name] != state.extents.get(name):
+                    changed = True
+            for name in names:
+                state.set_extent(name, new_extents[name])
+            if not changed:
+                return
+
+    def _materialize_semi_naive(self, names: List[str], ctx: EvalContext) -> None:
+        """Classic semi-naive (delta) evaluation for positive recursion."""
+        state = ctx.state
+        recursive = set(names)
+        # Round 0: evaluate with empty recursive extents.
+        for name in names:
+            state.set_extent(name, EMPTY)
+        total: Dict[str, Relation] = {}
+        delta: Dict[str, Relation] = {}
+        for name in names:
+            total[name] = self._eval_name_once(name, ctx)
+            delta[name] = total[name]
+        for name in names:
+            state.set_extent(name, total[name])
+        # Precompute delta variants per rule.
+        variants: Dict[str, List[Tuple[Rule, ast.Node]]] = {}
+        for name in names:
+            entries = []
+            for rule in self._rules[name]:
+                for body in _delta_variants(rule, recursive):
+                    entries.append((rule, body))
+            variants[name] = entries
+        iterations = 0
+        while any(delta[n] for n in names):
+            iterations += 1
+            if iterations > self.options.max_global_iterations:
+                raise ConvergenceError(
+                    f"stratum {names} did not stabilize after {iterations - 1} "
+                    f"iterations"
+                )
+            for name in names:
+                state.extents["__delta__" + name] = delta[name]
+            state.bump()
+            new_delta: Dict[str, Relation] = {n: EMPTY for n in names}
+            for name in names:
+                derived = EMPTY
+                for rule, body in variants[name]:
+                    variant_rule = dataclasses.replace(rule, body=body)
+                    facts = eval_rule(variant_rule, Env.EMPTY, ctx)
+                    derived = derived.union(Relation._from_frozen(frozenset(facts)))
+                new_delta[name] = derived.difference(total[name])
+            for name in names:
+                total[name] = total[name].union(new_delta[name])
+                delta[name] = new_delta[name]
+                state.set_extent(name, total[name])
+        for name in names:
+            state.extents.pop("__delta__" + name, None)
+
+    # -- querying ---------------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        """The full extent of a defined or base relation."""
+        ctx = self._context()
+        kind, payload = ctx.resolve(name)
+        if kind == "extent":
+            return payload
+        if kind == "closure":
+            return ctx.closure_extent(payload, (), (), full_arity=None)
+        raise EvaluationError(f"{name} is a builtin and cannot be enumerated")
+
+    def query(self, source: str) -> Relation:
+        """Evaluate a Rel expression against the program."""
+        node = parse_expression(source)
+        ctx = self._context()
+        self.evaluate()
+        try:
+            return eval_relation(node, Frame(Env.EMPTY, frozenset()), ctx)
+        except NotOrderable as exc:
+            raise SafetyError(str(exc)) from exc
+
+    def output(self) -> Relation:
+        """The contents of the ``output`` control relation (Section 3.4)."""
+        if "output" not in self._rules:
+            return EMPTY
+        return self.relation("output")

@@ -1,0 +1,331 @@
+"""Reference evaluator: a literal transcription of Figures 3–4.
+
+The paper defines the semantics of Rel expressions compositionally with
+respect to an environment μ. This module implements those equations as
+directly as Python permits, with one necessary finitization: quantification
+over ``Values`` and wildcard enumeration range over the **active domain**
+(every value occurring in the environment's relations, plus the constants
+of the expression). For *safe* expressions this coincides with the paper's
+semantics — a safe expression's result only depends on the active domain —
+and the production evaluator raises :class:`SafetyError` on the rest.
+
+This evaluator is exponential and only suitable for tiny inputs; the test
+suite uses it as an oracle against :mod:`repro.engine.expand`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.engine.builtins import FREE, Builtin
+from repro.engine.builtins import lookup as lookup_builtin
+from repro.engine.errors import EvaluationError
+from repro.lang import ast
+from repro.model.relation import EMPTY, Relation, TRUE
+
+Tup = Tuple[Any, ...]
+
+
+class ReferenceEvaluator:
+    """Evaluate core Rel expressions per the semantic equations.
+
+    ``environment`` maps identifiers to relations (μ); ``max_tuple_width``
+    bounds the tuple-wildcard enumeration (the active domain is finite, but
+    tuples over it are not without a width bound — safe expressions never
+    need more than the widest relation).
+    """
+
+    def __init__(self, environment: Dict[str, Relation],
+                 max_tuple_width: Optional[int] = None) -> None:
+        self.env: Dict[str, Any] = dict(environment)
+        widths = [
+            max((len(t) for t in rel.tuples), default=0)
+            for rel in environment.values()
+            if isinstance(rel, Relation)
+        ]
+        self.max_tuple_width = max_tuple_width if max_tuple_width is not None \
+            else max(widths, default=0)
+
+    # -- the active domain ----------------------------------------------------
+
+    def active_domain(self, node: ast.Node) -> FrozenSet[Any]:
+        values: Set[Any] = set()
+        for rel in self.env.values():
+            if isinstance(rel, Relation):
+                for tup in rel:
+                    for v in tup:
+                        if not isinstance(v, Relation):
+                            values.add(v)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Const) and not isinstance(sub.value, bool):
+                values.add(sub.value)
+        return frozenset(values)
+
+    def tuples_upto(self, domain: FrozenSet[Any], width: int) -> Iterator[Tup]:
+        for n in range(width + 1):
+            yield from itertools.product(sorted(domain, key=repr), repeat=n)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, node: ast.Node) -> Relation:
+        """J node Kμ."""
+        domain = self.active_domain(node)
+        return self._eval(node, dict(self.env), domain)
+
+    def _eval(self, node: ast.Node, mu: Dict[str, Any],
+              domain: FrozenSet[Any]) -> Relation:
+        # J c Kμ = {⟨c⟩}
+        if isinstance(node, ast.Const):
+            if isinstance(node.value, bool):
+                return TRUE if node.value else EMPTY
+            return Relation([(node.value,)])
+        # J x Kμ = μ(x)
+        if isinstance(node, ast.Ref):
+            value = mu.get(node.name)
+            if value is None:
+                raise EvaluationError(f"unbound identifier {node.name}")
+            if isinstance(value, Relation):
+                return value
+            return Relation([(value,)])
+        # J x... Kμ = μ(x...)
+        if isinstance(node, ast.TupleRef):
+            value = mu.get(node.name)
+            if not isinstance(value, tuple):
+                raise EvaluationError(f"unbound tuple variable {node.name}")
+            return Relation([value])
+        # J _ Kμ = {⟨v⟩ | v ∈ Values} — finitized to the active domain
+        if isinstance(node, ast.Wildcard):
+            return Relation([(v,) for v in domain])
+        # J _... Kμ = Tuples1 — finitized
+        if isinstance(node, ast.TupleWildcard):
+            return Relation(self.tuples_upto(domain, self.max_tuple_width))
+        # J {e1; e2} Kμ = Je1K ∪ Je2K
+        if isinstance(node, (ast.UnionExpr, ast.Or)):
+            branches = node.items if isinstance(node, ast.UnionExpr) \
+                else (node.lhs, node.rhs)
+            result = EMPTY
+            for b in branches:
+                result = result.union(self._eval(b, mu, domain))
+            return result
+        # J (e1, e2) Kμ = Je1K × Je2K
+        if isinstance(node, ast.ProductExpr):
+            result = TRUE
+            for item in node.items:
+                result = result.product(self._eval(item, mu, domain))
+            return result
+        if isinstance(node, ast.And):
+            return self._eval(node.lhs, mu, domain).product(
+                self._eval(node.rhs, mu, domain))
+        # J e where F Kμ = JeK × JFK
+        if isinstance(node, ast.WhereExpr):
+            return self._eval(node.expr, mu, domain).product(
+                self._eval(node.condition, mu, domain))
+        # J not F Kμ = {⟨⟩} − JFK
+        if isinstance(node, ast.Not):
+            return TRUE.difference(self._eval(node.operand, mu, domain))
+        if isinstance(node, ast.Exists):
+            return self._eval_quantifier(node, mu, domain, exists=True)
+        if isinstance(node, ast.ForAll):
+            return self._eval_quantifier(node, mu, domain, exists=False)
+        if isinstance(node, ast.Abstraction):
+            return self._eval_abstraction(node, mu, domain)
+        if isinstance(node, ast.Application):
+            return self._eval_application(node, mu, domain)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node, mu, domain)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, mu, domain)
+        if isinstance(node, ast.Neg):
+            inner = self._eval(node.operand, mu, domain)
+            return Relation([(-t[0],) for t in inner if len(t) == 1
+                             and isinstance(t[0], (int, float))
+                             and not isinstance(t[0], bool)])
+        if isinstance(node, ast.Implies):
+            return self._eval(ast.Or(ast.Not(node.lhs), node.rhs), mu, domain)
+        if isinstance(node, ast.Iff):
+            return self._eval(
+                ast.And(ast.Or(ast.Not(node.lhs), node.rhs),
+                        ast.Or(ast.Not(node.rhs), node.lhs)), mu, domain)
+        if isinstance(node, ast.Xor):
+            return self._eval(
+                ast.And(ast.Or(node.lhs, node.rhs),
+                        ast.Not(ast.And(node.lhs, node.rhs))), mu, domain)
+        if isinstance(node, ast.Annotated):
+            return self._eval(node.expr, mu, domain)
+        raise EvaluationError(
+            f"reference evaluator: unsupported node {type(node).__name__}"
+        )
+
+    # -- quantifiers ---------------------------------------------------------
+
+    def _bindings_assignments(self, bindings, mu, domain
+                              ) -> Iterator[Dict[str, Any]]:
+        """All assignments of the bound variables over the active domain."""
+        names: List[Tuple[str, str]] = []
+        domains: List[List[Any]] = []
+        for b in bindings:
+            if isinstance(b, ast.VarBinding):
+                names.append((b.name, "value"))
+                domains.append(sorted(domain, key=repr))
+            elif isinstance(b, ast.InBinding):
+                rel = self._eval(b.domain, mu, domain)
+                names.append((b.name, "value"))
+                domains.append(sorted((t[0] for t in rel if len(t) == 1),
+                                      key=repr))
+            elif isinstance(b, ast.TupleVarBinding):
+                names.append((b.name, "tuple"))
+                domains.append(list(self.tuples_upto(domain,
+                                                     self.max_tuple_width)))
+            elif isinstance(b, (ast.WildcardBinding, ast.TupleWildcardBinding)):
+                names.append((f"__anon_{id(b)}", "value"))
+                domains.append(sorted(domain, key=repr))
+            else:
+                raise EvaluationError("unsupported binding in reference mode")
+        for combo in itertools.product(*domains):
+            yield {name: value for (name, _), value in zip(names, combo)}
+
+    def _eval_quantifier(self, node, mu, domain, exists: bool) -> Relation:
+        for assignment in self._bindings_assignments(node.bindings, mu, domain):
+            extended = dict(mu)
+            extended.update(assignment)
+            holds = bool(self._eval(node.body, extended, domain))
+            if exists and holds:
+                return TRUE
+            if not exists and not holds:
+                return EMPTY
+        return EMPTY if exists else TRUE
+
+    # -- abstraction -------------------------------------------------------------
+
+    def _eval_abstraction(self, node: ast.Abstraction, mu, domain) -> Relation:
+        out: Set[Tup] = set()
+        for assignment in self._bindings_assignments(node.bindings, mu, domain):
+            extended = dict(mu)
+            extended.update(assignment)
+            body = self._eval(node.body, extended, domain)
+            if not body:
+                continue
+            prefix: Tup = ()
+            for b in node.bindings:
+                if isinstance(b, ast.VarBinding):
+                    prefix += (assignment[b.name],)
+                elif isinstance(b, ast.InBinding):
+                    prefix += (assignment[b.name],)
+                elif isinstance(b, ast.TupleVarBinding):
+                    prefix += assignment[b.name]
+                elif isinstance(b, ast.ConstBinding):
+                    const = self._eval(b.expr, extended, domain)
+                    if len(const) != 1:
+                        raise EvaluationError("constant binding not single")
+                    prefix += next(iter(const))
+            for t in body:
+                out.add(prefix + t)
+        return Relation(out)
+
+    # -- application ---------------------------------------------------------------
+
+    def _eval_application(self, node: ast.Application, mu, domain) -> Relation:
+        target = self._target_relation(node.target, mu, domain)
+        if isinstance(target, Builtin):
+            return self._apply_builtin(target, node, mu, domain)
+        result_tuples: Set[Tup] = set(target.tuples)
+        for arg in node.args:
+            next_tuples: Set[Tup] = set()
+            if isinstance(arg, ast.Wildcard):
+                # J{e}[_]K = {t | ⟨v⟩·t ∈ JeK}
+                for t in result_tuples:
+                    if len(t) >= 1 and not isinstance(t[0], Relation):
+                        next_tuples.add(t[1:])
+            elif isinstance(arg, ast.TupleWildcard):
+                for t in result_tuples:
+                    for i in range(len(t) + 1):
+                        next_tuples.add(t[i:])
+            elif isinstance(arg, ast.TupleRef):
+                seg = mu.get(arg.name)
+                if not isinstance(seg, tuple):
+                    raise EvaluationError(f"unbound tuple variable {arg.name}")
+                for t in result_tuples:
+                    if t[: len(seg)] == seg:
+                        next_tuples.add(t[len(seg):])
+            elif isinstance(arg, ast.Annotated) and arg.second_order:
+                value = self._eval(arg.expr, mu, domain)
+                for t in result_tuples:
+                    if len(t) >= 1 and isinstance(t[0], Relation) \
+                            and t[0] == value:
+                        next_tuples.add(t[1:])
+            else:
+                inner = arg.expr if isinstance(arg, ast.Annotated) else arg
+                values = self._eval(inner, mu, domain)
+                scalars = {t[0] for t in values if len(t) == 1}
+                for t in result_tuples:
+                    if len(t) >= 1 and t[0] in scalars:
+                        next_tuples.add(t[1:])
+            result_tuples = next_tuples
+        if not node.partial:
+            # Full application: intersect with {⟨⟩}.
+            return TRUE if () in result_tuples else EMPTY
+        return Relation(result_tuples)
+
+    def _target_relation(self, target: ast.Node, mu, domain):
+        if isinstance(target, ast.Ref):
+            if target.name in mu:
+                value = mu[target.name]
+                if isinstance(value, Relation):
+                    return value
+                raise EvaluationError(f"{target.name} is not a relation")
+            builtin = lookup_builtin(target.name)
+            if builtin is not None:
+                return builtin
+            raise EvaluationError(f"unbound identifier {target.name}")
+        return self._eval(target, mu, domain)
+
+    def _apply_builtin(self, builtin: Builtin, node: ast.Application,
+                       mu, domain) -> Relation:
+        values: List[List[Any]] = []
+        for arg in node.args:
+            inner = arg.expr if isinstance(arg, ast.Annotated) else arg
+            rel = self._eval(inner, mu, domain)
+            values.append([t[0] for t in rel if len(t) == 1])
+        out: Set[Tup] = set()
+        arity = max(builtin.arities())
+        for combo in itertools.product(*values):
+            slots = tuple(combo) + (FREE,) * (arity - len(combo))
+            for solution in builtin.solve(slots):
+                out.add(solution[len(combo):])
+        if not node.partial:
+            return TRUE if () in out else EMPTY
+        return Relation(out)
+
+    # -- comparisons and arithmetic -----------------------------------------------
+
+    def _eval_compare(self, node: ast.Compare, mu, domain) -> Relation:
+        import operator
+
+        ops = {"=": operator.eq, "!=": operator.ne, "<": operator.lt,
+               "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+        lhs = self._eval(node.lhs, mu, domain)
+        rhs = self._eval(node.rhs, mu, domain)
+        for lt in lhs:
+            for rt in rhs:
+                if len(lt) == 1 and len(rt) == 1:
+                    try:
+                        if ops[node.op](lt[0], rt[0]):
+                            return TRUE
+                    except TypeError:
+                        continue
+        return EMPTY
+
+    def _eval_binop(self, node: ast.BinOp, mu, domain) -> Relation:
+        names = {"+": "add", "-": "subtract", "*": "multiply",
+                 "/": "divide", "%": "modulo", "^": "power"}
+        builtin = lookup_builtin(names[node.op])
+        lhs = self._eval(node.lhs, mu, domain)
+        rhs = self._eval(node.rhs, mu, domain)
+        out: Set[Tup] = set()
+        for lt in lhs:
+            for rt in rhs:
+                if len(lt) == 1 and len(rt) == 1:
+                    for solution in builtin.solve((lt[0], rt[0], FREE)):
+                        out.add((solution[2],))
+        return Relation(out)

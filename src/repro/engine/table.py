@@ -1,0 +1,147 @@
+"""Binding tables: the intermediate representation of evaluation.
+
+A :class:`Table` holds the satisfying assignments found so far for a set of
+variables (its *columns*) together with, per row, a *payload*: the tuple of
+output values produced by the expression being evaluated. Formulas are
+expressions with empty payloads — which mirrors the paper's identification
+of formulas with Boolean-valued expressions.
+
+Rows are Python tuples; the payload is always the final element, itself a
+tuple (possibly empty, possibly of varying length across rows — Rel
+relations may hold mixed-arity tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """Satisfying assignments plus per-row output payloads."""
+
+    __slots__ = ("cols", "rows")
+
+    def __init__(self, cols: Tuple[str, ...], rows: List[Row]) -> None:
+        self.cols = cols
+        self.rows = rows
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def unit() -> "Table":
+        """The table with no variables and one row with an empty payload."""
+        return Table((), [((),)])
+
+    @staticmethod
+    def empty(cols: Tuple[str, ...] = ()) -> "Table":
+        return Table(cols, [])
+
+    def clone_cols(self) -> "Table":
+        return Table(self.cols, [])
+
+    # -- basic accessors -----------------------------------------------------
+
+    def col_index(self, name: str) -> int:
+        return self.cols.index(name)
+
+    def has_col(self, name: str) -> bool:
+        return name in self.cols
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def payloads(self) -> Iterable[Tuple[Any, ...]]:
+        for row in self.rows:
+            yield row[-1]
+
+    def bindings(self, row: Row) -> Dict[str, Any]:
+        """The variable assignment of one row, as a dict."""
+        return dict(zip(self.cols, row))
+
+    # -- transformations -------------------------------------------------------
+
+    def clear_payload(self) -> "Table":
+        """Reset every payload to the empty tuple (formula result)."""
+        empty = ()
+        return Table(self.cols, [row[:-1] + (empty,) for row in self.rows])
+
+    def dedupe(self) -> "Table":
+        """Remove duplicate rows (set semantics)."""
+        seen = set()
+        out: List[Row] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return Table(self.cols, out)
+
+    def project(self, keep: Sequence[str]) -> "Table":
+        """Keep only columns in ``keep`` (payload retained), dedupe rows."""
+        indices = [self.cols.index(c) for c in keep]
+        seen = set()
+        out: List[Row] = []
+        for row in self.rows:
+            new = tuple(row[i] for i in indices) + (row[-1],)
+            if new not in seen:
+                seen.add(new)
+                out.append(new)
+        return Table(tuple(keep), out)
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Table":
+        return Table(self.cols, [row for row in self.rows if predicate(row)])
+
+    def stash_payload(self, col: str) -> "Table":
+        """Move the payload into a named (hidden) column, emptying the payload.
+
+        Used by the conjunct scheduler: each product item's payload is
+        stashed under a slot column so items can be evaluated in an order
+        that differs from their syntactic (payload) order.
+        """
+        rows = [row[:-1] + (row[-1], ()) for row in self.rows]
+        return Table(self.cols + (col,), rows)
+
+    def gather_payload(self, slot_cols: Sequence[str]) -> "Table":
+        """Concatenate stashed slot payloads (in the given order) into the
+        payload, dropping the slot columns."""
+        slot_idx = [self.cols.index(c) for c in slot_cols]
+        slot_set = set(slot_idx)
+        keep_idx = [i for i in range(len(self.cols)) if i not in slot_set]
+        new_cols = tuple(self.cols[i] for i in keep_idx)
+        rows: List[Row] = []
+        for row in self.rows:
+            payload = row[-1]
+            for i in slot_idx:
+                payload = payload + row[i]
+            rows.append(tuple(row[i] for i in keep_idx) + (payload,))
+        return Table(new_cols, rows)
+
+    def append_payload_values(self, fn: Callable[[Dict[str, Any]], Tuple[Any, ...]]):
+        """Extend each row's payload by ``fn(bindings)`` (no new rows)."""
+        rows: List[Row] = []
+        for row in self.rows:
+            extra = fn(self.bindings(row))
+            rows.append(row[:-1] + (row[-1] + extra,))
+        return Table(self.cols, rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = ", ".join(self.cols) or "-"
+        return f"Table[{head}]({len(self.rows)} rows)"
+
+
+def union_tables(tables: List[Table], cols: Tuple[str, ...]) -> Table:
+    """Union of tables projected to common columns ``cols``, deduped."""
+    seen = set()
+    rows: List[Row] = []
+    for table in tables:
+        indices = [table.cols.index(c) for c in cols]
+        for row in table.rows:
+            new = tuple(row[i] for i in indices) + (row[-1],)
+            if new not in seen:
+                seen.add(new)
+                rows.append(new)
+    return Table(cols, rows)

@@ -1,0 +1,32 @@
+"""Join algorithms: the performance substrate behind GNF (Section 7).
+
+The paper: "The ORM-inspired approach to data modeling entails splitting
+data into many relations and performing many joins. This can be done without
+sacrificing performance by embracing factorized representations [39] and
+worst-case optimal joins [38, 47]; the existence of this toolbox enabled
+many of Rel's design decisions."
+
+This package provides that toolbox:
+
+- :func:`hash_join` / :func:`sort_merge_join` — classical binary joins;
+- :class:`LeapfrogTriejoin` — the worst-case optimal multiway join of
+  Veldhuizen [47], walking sorted tries variable by variable;
+- :func:`multiway_join` — a generic conjunctive-query evaluator with a
+  selectable strategy (binary plan vs. leapfrog), used by the WCOJ
+  benchmarks (triangle counting and friends).
+"""
+
+from repro.joins.binary import hash_join, nested_loop_join, sort_merge_join
+from repro.joins.leapfrog import LeapfrogTriejoin, leapfrog_triejoin
+from repro.joins.planner import Atom, multiway_join, binary_plan_join
+
+__all__ = [
+    "Atom",
+    "LeapfrogTriejoin",
+    "binary_plan_join",
+    "hash_join",
+    "leapfrog_triejoin",
+    "multiway_join",
+    "nested_loop_join",
+    "sort_merge_join",
+]

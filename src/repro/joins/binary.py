@@ -1,0 +1,120 @@
+"""Classical binary join algorithms over column-named tuple sets.
+
+These operate on plain Python data: a *relation* is an iterable of tuples
+plus a tuple of column names. They form the baseline against which the
+worst-case optimal join is measured (benchmark B2), mirroring the paper's
+claim that WCOJ algorithms are what make many-joins GNF practical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.model.values import sort_key
+
+Row = Tuple[Any, ...]
+
+
+def _common_columns(cols_a: Sequence[str], cols_b: Sequence[str]) -> List[str]:
+    return [c for c in cols_a if c in cols_b]
+
+
+def hash_join(rows_a: Iterable[Row], cols_a: Sequence[str],
+              rows_b: Iterable[Row], cols_b: Sequence[str]
+              ) -> Tuple[List[Row], Tuple[str, ...]]:
+    """Natural hash join on shared column names.
+
+    Builds a hash table on the smaller input side's join key, probes with
+    the other side. Output columns: ``cols_a`` followed by ``cols_b``'s
+    non-shared columns.
+    """
+    rows_a = list(rows_a)
+    rows_b = list(rows_b)
+    shared = _common_columns(cols_a, cols_b)
+    ia = [list(cols_a).index(c) for c in shared]
+    ib = [list(cols_b).index(c) for c in shared]
+    rest_b = [i for i, c in enumerate(cols_b) if c not in shared]
+    out_cols = tuple(cols_a) + tuple(cols_b[i] for i in rest_b)
+
+    if not shared:  # degenerate: Cartesian product
+        out = [a + tuple(b[i] for i in rest_b) for a in rows_a for b in rows_b]
+        return out, out_cols
+
+    build_left = len(rows_a) <= len(rows_b)
+    build_rows, build_idx = (rows_a, ia) if build_left else (rows_b, ib)
+    probe_rows, probe_idx = (rows_b, ib) if build_left else (rows_a, ia)
+
+    table: Dict[Row, List[Row]] = {}
+    for row in build_rows:
+        table.setdefault(tuple(row[i] for i in build_idx), []).append(row)
+
+    out: List[Row] = []
+    for row in probe_rows:
+        key = tuple(row[i] for i in probe_idx)
+        for match in table.get(key, ()):
+            a, b = (match, row) if build_left else (row, match)
+            out.append(a + tuple(b[i] for i in rest_b))
+    return out, out_cols
+
+
+def sort_merge_join(rows_a: Iterable[Row], cols_a: Sequence[str],
+                    rows_b: Iterable[Row], cols_b: Sequence[str]
+                    ) -> Tuple[List[Row], Tuple[str, ...]]:
+    """Natural sort-merge join on shared column names."""
+    rows_a = list(rows_a)
+    rows_b = list(rows_b)
+    shared = _common_columns(cols_a, cols_b)
+    if not shared:
+        return hash_join(rows_a, cols_a, rows_b, cols_b)
+    ia = [list(cols_a).index(c) for c in shared]
+    ib = [list(cols_b).index(c) for c in shared]
+    rest_b = [i for i, c in enumerate(cols_b) if c not in shared]
+    out_cols = tuple(cols_a) + tuple(cols_b[i] for i in rest_b)
+
+    def key_a(row: Row):
+        return tuple(sort_key(row[i]) for i in ia)
+
+    def key_b(row: Row):
+        return tuple(sort_key(row[i]) for i in ib)
+
+    sa = sorted(rows_a, key=key_a)
+    sb = sorted(rows_b, key=key_b)
+    out: List[Row] = []
+    i = j = 0
+    while i < len(sa) and j < len(sb):
+        ka, kb = key_a(sa[i]), key_b(sb[j])
+        if ka < kb:
+            i += 1
+        elif ka > kb:
+            j += 1
+        else:
+            i_end = i
+            while i_end < len(sa) and key_a(sa[i_end]) == ka:
+                i_end += 1
+            j_end = j
+            while j_end < len(sb) and key_b(sb[j_end]) == kb:
+                j_end += 1
+            for a in sa[i:i_end]:
+                for b in sb[j:j_end]:
+                    out.append(a + tuple(b[i2] for i2 in rest_b))
+            i, j = i_end, j_end
+    return out, out_cols
+
+
+def nested_loop_join(rows_a: Iterable[Row], cols_a: Sequence[str],
+                     rows_b: Iterable[Row], cols_b: Sequence[str]
+                     ) -> Tuple[List[Row], Tuple[str, ...]]:
+    """Naive nested-loop natural join (for testing and tiny inputs)."""
+    rows_a = list(rows_a)
+    rows_b = list(rows_b)
+    shared = _common_columns(cols_a, cols_b)
+    ia = [list(cols_a).index(c) for c in shared]
+    ib = [list(cols_b).index(c) for c in shared]
+    rest_b = [i for i, c in enumerate(cols_b) if c not in shared]
+    out_cols = tuple(cols_a) + tuple(cols_b[i] for i in rest_b)
+    out: List[Row] = []
+    for a in rows_a:
+        for b in rows_b:
+            if all(a[x] == b[y] for x, y in zip(ia, ib)):
+                out.append(a + tuple(b[i] for i in rest_b))
+    return out, out_cols

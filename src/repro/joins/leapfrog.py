@@ -1,0 +1,193 @@
+"""Leapfrog Triejoin — a worst-case optimal join algorithm [47].
+
+Veldhuizen's algorithm joins any number of relations simultaneously,
+variable by variable: for each variable in a global order, the *leapfrog
+join* intersects the sorted key streams of every relation containing that
+variable, seeking (galloping) past mismatches. Its running time is within a
+log factor of the AGM bound, which is what makes triangle-style queries on
+skewed data asymptotically faster than any binary-join plan — the property
+the paper credits with making GNF's many-joins style viable (Section 7).
+
+Relations are presented as sorted tries (:class:`repro.model.trie` builds
+unsorted tries; here we keep per-level sorted key arrays for binary-search
+seeks). Each relation's columns must be ordered consistently with the
+global variable order (the caller reorders).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.model.values import sort_key
+
+Row = Tuple[Any, ...]
+
+
+class _TrieLevelNode:
+    """A sorted-trie node: ordered keys plus child nodes."""
+
+    __slots__ = ("keys", "children", "sort_keys")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.sort_keys: List[Any] = []
+        self.children: List[Optional["_TrieLevelNode"]] = []
+
+
+def build_sorted_trie(rows: Sequence[Row]) -> _TrieLevelNode:
+    """Build a sorted trie over fixed-arity rows."""
+    root = _TrieLevelNode()
+    if not rows:
+        return root
+    arity = len(rows[0])
+    ordered = sorted(set(rows), key=lambda r: tuple(sort_key(v) for v in r))
+    for row in ordered:
+        node = root
+        for depth, value in enumerate(row):
+            if node.keys and node.keys[-1] == value:
+                child = node.children[-1]
+            else:
+                child = _TrieLevelNode() if depth + 1 < arity else None
+                node.keys.append(value)
+                node.sort_keys.append(sort_key(value))
+                node.children.append(child)
+            if child is not None:
+                node = child
+    return root
+
+
+class _TrieIterator:
+    """Trie iterator with the leapfrog interface: key/next/seek/open/up."""
+
+    __slots__ = ("path", "positions")
+
+    def __init__(self, root: _TrieLevelNode) -> None:
+        self.path: List[_TrieLevelNode] = [root]
+        self.positions: List[int] = []
+
+    # -- linear iterator at the current depth ---------------------------------
+
+    def _node(self) -> _TrieLevelNode:
+        return self.path[-1]
+
+    def at_end(self) -> bool:
+        return self.positions[-1] >= len(self._node().keys)
+
+    def key(self) -> Any:
+        return self._node().keys[self.positions[-1]]
+
+    def _key_sort(self) -> Any:
+        return self._node().sort_keys[self.positions[-1]]
+
+    def next(self) -> None:
+        self.positions[-1] += 1
+
+    def seek(self, target_sort_key: Any) -> None:
+        """Advance to the first key ≥ target (galloping via bisect)."""
+        node = self._node()
+        pos = self.positions[-1]
+        self.positions[-1] = bisect.bisect_left(node.sort_keys, target_sort_key,
+                                                lo=pos)
+
+    # -- trie navigation -------------------------------------------------------
+
+    def open(self) -> None:
+        """Descend into the children of the current key."""
+        child = self._node().children[self.positions[-1]]
+        self.path.append(child if child is not None else _TrieLevelNode())
+        self.positions.append(0)
+
+    def up(self) -> None:
+        self.path.pop()
+        self.positions.pop()
+
+    def start(self) -> None:
+        self.positions.append(0)
+
+
+class LeapfrogTriejoin:
+    """Worst-case optimal join of atoms over a global variable order.
+
+    ``atoms`` is a list of ``(rows, variables)`` pairs; each atom's variable
+    tuple must be a subsequence of ``variable_order`` (the caller projects /
+    reorders columns accordingly).
+    """
+
+    def __init__(self, atoms: Sequence[Tuple[Sequence[Row], Sequence[str]]],
+                 variable_order: Sequence[str]) -> None:
+        self.variable_order = list(variable_order)
+        self.tries: List[_TrieIterator] = []
+        self.atom_vars: List[List[str]] = []
+        for rows, variables in atoms:
+            variables = list(variables)
+            positions = [self.variable_order.index(v) for v in variables]
+            if positions != sorted(positions):
+                raise ValueError(
+                    f"atom variables {variables} are not aligned with the "
+                    f"global order {self.variable_order}"
+                )
+            self.tries.append(_TrieIterator(build_sorted_trie(list(rows))))
+            self.atom_vars.append(variables)
+
+    def run(self) -> Iterator[Row]:
+        """Yield all result rows (one value per variable, in global order)."""
+        yield from self._recurse(0, [])
+
+    def _iters_for(self, depth: int) -> List[_TrieIterator]:
+        variable = self.variable_order[depth]
+        return [it for it, vs in zip(self.tries, self.atom_vars)
+                if variable in vs]
+
+    def _recurse(self, depth: int, prefix: List[Any]) -> Iterator[Row]:
+        if depth == len(self.variable_order):
+            yield tuple(prefix)
+            return
+        participants = self._iters_for(depth)
+        for it in participants:
+            # First participation of this atom: position a cursor at its
+            # first trie level. (Deeper levels are opened by open().)
+            if len(it.positions) < len(it.path):
+                it.start()
+        for value in self._leapfrog(participants):
+            for it in participants:
+                it.open()
+            prefix.append(value)
+            yield from self._recurse(depth + 1, prefix)
+            prefix.pop()
+            for it in participants:
+                it.up()
+
+    def _leapfrog(self, iters: List[_TrieIterator]) -> Iterator[Any]:
+        """The one-variable leapfrog intersection of sorted key streams."""
+        if not iters:
+            return
+        # Reset each iterator to the start of its current level.
+        for it in iters:
+            it.positions[-1] = 0
+        if any(it.at_end() for it in iters):
+            return
+        order = sorted(range(len(iters)), key=lambda i: iters[i]._key_sort())
+        iters = [iters[i] for i in order]
+        p = 0
+        max_sort = iters[-1]._key_sort()
+        while True:
+            it = iters[p]
+            if it._key_sort() == max_sort:
+                yield it.key()
+                it.next()
+                if it.at_end():
+                    return
+                max_sort = it._key_sort()
+            else:
+                it.seek(max_sort)
+                if it.at_end():
+                    return
+                max_sort = it._key_sort()
+            p = (p + 1) % len(iters)
+
+
+def leapfrog_triejoin(atoms: Sequence[Tuple[Sequence[Row], Sequence[str]]],
+                      variable_order: Sequence[str]) -> List[Row]:
+    """Run a leapfrog triejoin; returns rows over ``variable_order``."""
+    return list(LeapfrogTriejoin(atoms, variable_order).run())

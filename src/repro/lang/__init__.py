@@ -1,0 +1,25 @@
+"""Language frontend for Rel: tokenizer, AST, parser, and desugarer.
+
+The concrete syntax follows Figure 2 of the paper plus the surface forms used
+throughout Sections 3–5: ``def`` rules with parenthesized (formula) or
+bracketed (expression) heads, ``ic … requires`` integrity constraints, infix
+arithmetic and comparison operators, ``where``, ``implies``/``iff``/``xor``
+sugar, union braces ``{e1; e2}``, tuple variables ``x...``, relation-variable
+bindings ``{A}``, the ``?{…}``/``&{…}`` first/second-order argument
+annotations, and ``:Name`` symbols.
+"""
+
+from repro.lang.lexer import Token, TokenKind, tokenize, LexError
+from repro.lang.parser import ParseError, parse_expression, parse_program
+from repro.lang import ast
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "Token",
+    "TokenKind",
+    "ast",
+    "parse_expression",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,527 @@
+"""Abstract syntax for Rel.
+
+The node classes mirror the grammar of Figure 2. Every node records its
+source position for error reporting. Expressions and formulas share a single
+class hierarchy: in Rel, a formula *is* an expression that evaluates to a
+Boolean relation (``{}`` or ``{()}``), cf. Section 5.3.1 "Expressions vs
+Formulas".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Pos:
+    """Source position (1-based line/column)."""
+
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.line}:{self.col}"
+
+
+NOPOS = Pos()
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    pos: Pos
+
+    def children(self) -> Tuple["Node", ...]:
+        """Child nodes, for generic traversals."""
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions (Expr in Figure 2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const(Node):
+    """A literal constant: integer, float, string, boolean, or symbol."""
+
+    value: Any
+    pos: Pos = NOPOS
+
+
+@dataclass(frozen=True)
+class Ref(Node):
+    """An identifier reference — a variable or a relation name.
+
+    Which one it is depends on scope and is resolved at evaluation time:
+    locally-bound names are variables; otherwise the name refers to a
+    defined relation, a base relation, or a standard-library relation.
+    """
+
+    name: str
+    pos: Pos = NOPOS
+
+
+@dataclass(frozen=True)
+class TupleRef(Node):
+    """A tuple-variable reference ``x...`` (Section 4.1)."""
+
+    name: str
+    pos: Pos = NOPOS
+
+
+@dataclass(frozen=True)
+class Wildcard(Node):
+    """The anonymous variable ``_`` — existential immediately outside its atom."""
+
+    pos: Pos = NOPOS
+
+
+@dataclass(frozen=True)
+class TupleWildcard(Node):
+    """The tuple wildcard ``_...`` — matches any tuple, including the empty one."""
+
+    pos: Pos = NOPOS
+
+
+@dataclass(frozen=True)
+class ProductExpr(Node):
+    """Cartesian product ``(e1, ..., en)`` — the infix-comma operator."""
+
+    items: Tuple[Node, ...]
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.items
+
+
+@dataclass(frozen=True)
+class UnionExpr(Node):
+    """Union ``{e1; ...; en}``. ``{}`` (no items) is the empty relation."""
+
+    items: Tuple[Node, ...]
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.items
+
+
+@dataclass(frozen=True)
+class WhereExpr(Node):
+    """``Expr where Formula`` — sugar for ``(Expr, Formula)`` (Section 5.3.1)."""
+
+    expr: Node
+    condition: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.expr, self.condition)
+
+
+# ---------------------------------------------------------------------------
+# Bindings (Binding / FOBinding in Figure 2)
+# ---------------------------------------------------------------------------
+
+
+class Binding(Node):
+    """Base class of binding forms in heads, abstractions, and quantifiers."""
+
+
+@dataclass(frozen=True)
+class VarBinding(Binding):
+    """A plain first-order variable binding ``x``."""
+
+    name: str
+    pos: Pos = NOPOS
+
+
+@dataclass(frozen=True)
+class InBinding(Binding):
+    """A range-restricted binding ``x in Domain`` (Section 3.1)."""
+
+    name: str
+    domain: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.domain,)
+
+
+@dataclass(frozen=True)
+class TupleVarBinding(Binding):
+    """A tuple-variable binding ``x...`` (Section 4.1)."""
+
+    name: str
+    pos: Pos = NOPOS
+
+
+@dataclass(frozen=True)
+class RelVarBinding(Binding):
+    """A relation-variable binding ``{A}`` (Section 4.2)."""
+
+    name: str
+    pos: Pos = NOPOS
+
+
+@dataclass(frozen=True)
+class ConstBinding(Binding):
+    """A constant in a head position, e.g. the ``0`` in ``APSP({V},{E},x,y,0)``.
+
+    Semantically a fresh variable equated to the constant expression.
+    """
+
+    expr: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class WildcardBinding(Binding):
+    """A ``_`` in a binding position: an anonymous, projected-away variable."""
+
+    pos: Pos = NOPOS
+
+
+@dataclass(frozen=True)
+class TupleWildcardBinding(Binding):
+    """A ``_...`` in a binding position."""
+
+    pos: Pos = NOPOS
+
+
+# ---------------------------------------------------------------------------
+# Abstraction and application (Sections 4.3, 4.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Abstraction(Node):
+    """``[bindings] : Expr`` or ``(bindings) : Formula`` (forms 3a/3b).
+
+    ``brackets`` distinguishes the two: the paren form requires the body to
+    be a formula, the bracket form allows a general expression whose result
+    tuples are appended after the binding values.
+    """
+
+    bindings: Tuple[Binding, ...]
+    body: Node
+    brackets: bool
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.bindings + (self.body,)
+
+
+@dataclass(frozen=True)
+class Application(Node):
+    """Relational application: ``T[args]`` (partial) or ``T(args)`` (full).
+
+    ``target`` is an arbitrary expression (usually a :class:`Ref`).
+    Arguments are expressions, possibly wildcards, tuple variables, or
+    annotated first/second-order arguments (:class:`Annotated`).
+    """
+
+    target: Node
+    args: Tuple[Node, ...]
+    partial: bool
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.target,) + self.args
+
+
+@dataclass(frozen=True)
+class Annotated(Node):
+    """An annotated argument ``?{Expr}`` (first-order) or ``&{Expr}`` (second-order).
+
+    See the Addendum's "Disambiguating First- and Second-Order Arguments".
+    """
+
+    expr: Node
+    second_order: bool
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.expr,)
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class And(Node):
+    """Conjunction. On formulas, ``and`` coincides with Cartesian product."""
+
+    lhs: Node
+    rhs: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    """Disjunction. On formulas, ``or`` coincides with union."""
+
+    lhs: Node
+    rhs: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    """Negation: ``{⟨⟩} − F``."""
+
+    operand: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Exists(Node):
+    """``exists((b1, ..., bn) | F)``."""
+
+    bindings: Tuple[Binding, ...]
+    body: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.bindings + (self.body,)
+
+
+@dataclass(frozen=True)
+class ForAll(Node):
+    """``forall((b1, ..., bn) | F)``."""
+
+    bindings: Tuple[Binding, ...]
+    body: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.bindings + (self.body,)
+
+
+@dataclass(frozen=True)
+class Compare(Node):
+    """An infix comparison ``e1 op e2`` with op in ``= != < <= > >=``."""
+
+    op: str
+    lhs: Node
+    rhs: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class BinOp(Node):
+    """Infix arithmetic ``e1 op e2`` with op in ``+ - * / % ^``.
+
+    Denotes the *value* of the operation — shorthand for the library
+    relation's partial application, e.g. ``x + y`` ≡ ``add[x, y]``.
+    """
+
+    op: str
+    lhs: Node
+    rhs: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Neg(Node):
+    """Unary minus."""
+
+    operand: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class DotJoin(Node):
+    """Infix ``A . B`` — the standard library's ``dot_join`` (Section 5.1)."""
+
+    lhs: Node
+    rhs: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class LeftOverride(Node):
+    """Infix ``A <++ B`` — the standard library's ``left_override``."""
+
+    lhs: Node
+    rhs: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Implies(Node):
+    """``F1 implies F2`` — syntactic sugar for ``(not F1) or F2``."""
+
+    lhs: Node
+    rhs: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Iff(Node):
+    """``F1 iff F2`` — sugar for ``(F1 implies F2) and (F2 implies F1)``."""
+
+    lhs: Node
+    rhs: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Xor(Node):
+    """``F1 xor F2`` — sugar for ``(F1 or F2) and not (F1 and F2)``."""
+
+    lhs: Node
+    rhs: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return (self.lhs, self.rhs)
+
+
+# ---------------------------------------------------------------------------
+# Declarations (RelDef / RelProgram in Figure 2, plus ``ic`` from Section 3.5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuleDef(Node):
+    """One ``def`` rule: ``def Name Abstraction``.
+
+    ``head`` holds the abstraction's bindings; ``formula_head`` is True for
+    the paren form (body must be a formula) and False for the bracket form
+    (body is a general expression appended after the head values).
+    Rules with no head bindings at all (``def Name : Expr`` / ``= Expr``)
+    have ``head == ()`` and ``formula_head == False``.
+    """
+
+    name: str
+    head: Tuple[Binding, ...]
+    body: Node
+    formula_head: bool
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.head + (self.body,)
+
+
+@dataclass(frozen=True)
+class ICDef(Node):
+    """An integrity constraint ``ic name(params) requires Formula``.
+
+    With parameters, the constraint relation collects the violating
+    valuations (Section 3.5); without, it is a Boolean check.
+    """
+
+    name: str
+    params: Tuple[Binding, ...]
+    body: Node
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.params + (self.body,)
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    """A parsed Rel program: a sequence of declarations."""
+
+    declarations: Tuple[Node, ...]
+    pos: Pos = NOPOS
+
+    def children(self) -> Tuple[Node, ...]:
+        return self.declarations
+
+    def rules(self) -> Tuple[RuleDef, ...]:
+        return tuple(d for d in self.declarations if isinstance(d, RuleDef))
+
+    def constraints(self) -> Tuple[ICDef, ...]:
+        return tuple(d for d in self.declarations if isinstance(d, ICDef))
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(node: Node):
+    """Yield ``node`` and all descendants, pre-order."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def free_names(node: Node, bound: frozenset[str] = frozenset()) -> set[str]:
+    """Names referenced in ``node`` that are not bound within it.
+
+    Used by the resolver to distinguish local variables from relation
+    references and by the safety analysis to find dependencies.
+    """
+    out: set[str] = set()
+    _free_names(node, bound, out)
+    return out
+
+
+def _binding_names(bindings: Sequence[Binding]) -> set[str]:
+    names: set[str] = set()
+    for b in bindings:
+        if isinstance(b, (VarBinding, TupleVarBinding, RelVarBinding)):
+            names.add(b.name)
+        elif isinstance(b, InBinding):
+            names.add(b.name)
+    return names
+
+
+def _free_names(node: Node, bound: frozenset[str], out: set[str]) -> None:
+    if isinstance(node, Ref):
+        if node.name not in bound:
+            out.add(node.name)
+        return
+    if isinstance(node, TupleRef):
+        if node.name not in bound:
+            out.add(node.name)
+        return
+    if isinstance(node, (Abstraction, Exists, ForAll)):
+        inner = bound | frozenset(_binding_names(node.bindings))
+        for b in node.bindings:
+            if isinstance(b, (InBinding, ConstBinding)):
+                for child in b.children():
+                    _free_names(child, bound, out)
+        _free_names(node.body, inner, out)
+        return
+    for child in node.children():
+        _free_names(child, bound, out)

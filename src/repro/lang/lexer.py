@@ -1,0 +1,279 @@
+"""Tokenizer for Rel surface syntax.
+
+Handles the lexical quirks of the language:
+
+- ``x...`` tuple variables and ``_...`` tuple wildcards (the three dots
+  attach to the preceding identifier with no whitespace);
+- ``:Name`` symbols (colon immediately followed by an identifier), as used
+  for passing relation names to ``insert``/``delete`` — distinguished from
+  the rule-body separator ``:`` which is followed by whitespace or a
+  non-identifier character;
+- ``<++`` (left override), ``!=``, ``<=``, ``>=`` multi-character operators;
+- ``.`` both as the dot-join operator and inside float literals;
+- ``//`` line comments and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator, List
+
+
+class LexError(SyntaxError):
+    """Raised on malformed input with position information."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} (at {line}:{col})")
+        self.line = line
+        self.col = col
+
+
+class TokenKind(enum.Enum):
+    ID = "ID"
+    TUPLEID = "TUPLEID"  # x...
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    SYMBOL = "SYMBOL"  # :Name
+    KEYWORD = "KEYWORD"
+    OP = "OP"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    PIPE = "|"
+    UNDERSCORE = "_"
+    TUPLEWILD = "_..."
+    QMARK_BRACE = "?{"
+    AMP_BRACE = "&{"
+    EOF = "EOF"
+
+
+KEYWORDS = {
+    "def",
+    "ic",
+    "requires",
+    "and",
+    "or",
+    "not",
+    "exists",
+    "forall",
+    "implies",
+    "iff",
+    "xor",
+    "where",
+    "in",
+    "true",
+    "false",
+    "from",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = ["<++", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%", "^", "."]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: Any
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"
+
+
+class _Scanner:
+    """Character-level scanner with position tracking."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def starts_with(self, text: str) -> bool:
+        return self.source.startswith(text, self.pos)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    sc = _Scanner(source)
+    while True:
+        _skip_trivia(sc)
+        if sc.at_end():
+            yield Token(TokenKind.EOF, "", None, sc.line, sc.col)
+            return
+        line, col = sc.line, sc.col
+        ch = sc.peek()
+
+        if ch in _IDENT_START:
+            yield _identifier(sc, line, col)
+            continue
+        if ch.isdigit():
+            yield _number(sc, line, col)
+            continue
+        if ch == '"':
+            yield _string(sc, line, col)
+            continue
+        if ch == "?" and sc.peek(1) == "{":
+            sc.advance(2)
+            yield Token(TokenKind.QMARK_BRACE, "?{", None, line, col)
+            continue
+        if ch == "&" and sc.peek(1) == "{":
+            sc.advance(2)
+            yield Token(TokenKind.AMP_BRACE, "&{", None, line, col)
+            continue
+        if ch == ":":
+            nxt = sc.peek(1)
+            if nxt in _IDENT_START and nxt != "_":
+                sc.advance(1)
+                tok = _identifier(sc, line, col)
+                yield Token(TokenKind.SYMBOL, ":" + tok.text, tok.text, line, col)
+                continue
+            sc.advance(1)
+            yield Token(TokenKind.COLON, ":", None, line, col)
+            continue
+
+        simple = {
+            "(": TokenKind.LPAREN,
+            ")": TokenKind.RPAREN,
+            "[": TokenKind.LBRACKET,
+            "]": TokenKind.RBRACKET,
+            "{": TokenKind.LBRACE,
+            "}": TokenKind.RBRACE,
+            ",": TokenKind.COMMA,
+            ";": TokenKind.SEMI,
+            "|": TokenKind.PIPE,
+        }
+        if ch in simple:
+            sc.advance(1)
+            yield Token(simple[ch], ch, None, line, col)
+            continue
+
+        for op in _OPERATORS:
+            if sc.starts_with(op):
+                sc.advance(len(op))
+                yield Token(TokenKind.OP, op, None, line, col)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+
+
+def _skip_trivia(sc: _Scanner) -> None:
+    while not sc.at_end():
+        ch = sc.peek()
+        if ch in " \t\r\n":
+            sc.advance(1)
+        elif sc.starts_with("//"):
+            while not sc.at_end() and sc.peek() != "\n":
+                sc.advance(1)
+        elif sc.starts_with("/*"):
+            start_line, start_col = sc.line, sc.col
+            sc.advance(2)
+            while not sc.starts_with("*/"):
+                if sc.at_end():
+                    raise LexError("unterminated block comment", start_line, start_col)
+                sc.advance(1)
+            sc.advance(2)
+        else:
+            return
+
+
+def _identifier(sc: _Scanner, line: int, col: int) -> Token:
+    start = sc.pos
+    while not sc.at_end() and sc.peek() in _IDENT_CONT:
+        sc.advance(1)
+    text = sc.source[start : sc.pos]
+    if sc.starts_with("..."):
+        sc.advance(3)
+        if text == "_":
+            return Token(TokenKind.TUPLEWILD, "_...", None, line, col)
+        return Token(TokenKind.TUPLEID, text, text, line, col)
+    if text == "_":
+        return Token(TokenKind.UNDERSCORE, "_", None, line, col)
+    if text in KEYWORDS:
+        return Token(TokenKind.KEYWORD, text, text, line, col)
+    return Token(TokenKind.ID, text, text, line, col)
+
+
+def _number(sc: _Scanner, line: int, col: int) -> Token:
+    start = sc.pos
+    while not sc.at_end() and sc.peek().isdigit():
+        sc.advance(1)
+    is_float = False
+    # A '.' is part of the number only if followed by a digit — this keeps
+    # `R.1`-style dot joins and `x...` unambiguous.
+    if sc.peek() == "." and sc.peek(1).isdigit():
+        is_float = True
+        sc.advance(1)
+        while not sc.at_end() and sc.peek().isdigit():
+            sc.advance(1)
+    if sc.peek() in ("e", "E") and (
+        sc.peek(1).isdigit() or (sc.peek(1) in "+-" and sc.peek(2).isdigit())
+    ):
+        is_float = True
+        sc.advance(1)
+        if sc.peek() in "+-":
+            sc.advance(1)
+        while not sc.at_end() and sc.peek().isdigit():
+            sc.advance(1)
+    text = sc.source[start : sc.pos]
+    if is_float:
+        return Token(TokenKind.FLOAT, text, float(text), line, col)
+    return Token(TokenKind.INT, text, int(text), line, col)
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "0": "\0"}
+
+
+def _string(sc: _Scanner, line: int, col: int) -> Token:
+    sc.advance(1)  # opening quote
+    chars: List[str] = []
+    while True:
+        if sc.at_end():
+            raise LexError("unterminated string literal", line, col)
+        ch = sc.advance(1)
+        if ch == '"':
+            break
+        if ch == "\\":
+            esc = sc.advance(1)
+            if esc not in _ESCAPES:
+                raise LexError(f"invalid escape sequence \\{esc}", sc.line, sc.col)
+            chars.append(_ESCAPES[esc])
+        else:
+            chars.append(ch)
+    text = "".join(chars)
+    return Token(TokenKind.STRING, f'"{text}"', text, line, col)

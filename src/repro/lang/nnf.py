@@ -1,0 +1,52 @@
+"""Negation normal form: pushing negation through formulas.
+
+Used by the integrity-constraint checker (Section 3.5): the violations of
+``ic c(x) requires G(x) implies F(x)`` are the valuations of ``x`` where the
+requirement fails, i.e. ``G(x) and not F(x)``. Computing them safely needs
+the negation pushed inward so the positive guard ``G`` generates candidate
+bindings.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+
+def negate(node: ast.Node) -> ast.Node:
+    """The negation of a formula, pushed inward (NNF).
+
+    De Morgan over ``and``/``or``, duality of quantifiers, implication and
+    equivalence expansion, comparison flipping; anything else is wrapped in
+    ``not``.
+    """
+    if isinstance(node, ast.Not):
+        return node.operand
+    if isinstance(node, ast.And):
+        return ast.Or(negate(node.lhs), negate(node.rhs), pos=node.pos)
+    if isinstance(node, ast.Or):
+        return ast.And(negate(node.lhs), negate(node.rhs), pos=node.pos)
+    if isinstance(node, ast.Implies):
+        return ast.And(node.lhs, negate(node.rhs), pos=node.pos)
+    if isinstance(node, ast.Iff):
+        return ast.Or(
+            ast.And(node.lhs, negate(node.rhs)),
+            ast.And(node.rhs, negate(node.lhs)),
+            pos=node.pos,
+        )
+    if isinstance(node, ast.Xor):
+        return ast.Iff(node.lhs, node.rhs, pos=node.pos)
+    if isinstance(node, ast.Exists):
+        return ast.ForAll(node.bindings, negate(node.body), pos=node.pos)
+    if isinstance(node, ast.ForAll):
+        return ast.Exists(node.bindings, negate(node.body), pos=node.pos)
+    if isinstance(node, ast.Compare):
+        flipped = {"=": "!=", "!=": "=", "<": ">=", "<=": ">",
+                   ">": "<=", ">=": "<"}
+        return ast.Compare(flipped[node.op], node.lhs, node.rhs, pos=node.pos)
+    if isinstance(node, ast.Const) and isinstance(node.value, bool):
+        return ast.Const(not node.value, pos=node.pos)
+    if isinstance(node, ast.WhereExpr):
+        # (e where F) as a formula: holds iff e non-empty and F — negate as
+        # a conjunction.
+        return negate(ast.And(node.expr, node.condition))
+    return ast.Not(node, pos=node.pos)

@@ -1,0 +1,595 @@
+"""Recursive-descent parser for Rel.
+
+Implements the grammar of Figure 2 together with the surface conveniences
+used throughout the paper (see the module docstring of ``repro.lang``).
+
+Operator precedence, loosest to tightest::
+
+    where
+    iff
+    implies            (right-associative)
+    xor
+    or
+    and
+    not                (prefix)
+    = != < <= > >=     (comparisons)
+    <++                (left override)
+    + -
+    * / %
+    ^
+    unary -
+    .                  (dot join)
+    application  e[...] e(...)
+
+Commas build Cartesian products only inside parentheses; semicolons build
+unions only inside braces — exactly how the paper writes them.
+
+Disambiguation of abstractions (``(x, y) : F`` / ``[x] : e``) from products
+and application argument lists is by bounded lookahead: scan to the matching
+closing delimiter and check for a following ``:``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.model.values import Symbol
+
+
+class ParseError(SyntaxError):
+    """Raised on syntactically invalid programs, with source position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} (at {token.line}:{token.col}, near {token.text!r})")
+        self.token = token
+
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_DEFINABLE_OPS = {"+", "-", "*", "/", "%", "^", "<++", "."}
+
+
+class Parser:
+    """A single-pass recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token utilities ---------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.index]
+        if tok.kind is not TokenKind.EOF:
+            self.index += 1
+        return tok
+
+    def check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def check_kw(self, word: str) -> bool:
+        return self.check(TokenKind.KEYWORD, word)
+
+    def match(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        if self.check(kind, text):
+            return self.advance()
+        want = text or kind.value
+        raise ParseError(f"expected {want!r}", self.peek())
+
+    def pos(self) -> ast.Pos:
+        tok = self.peek()
+        return ast.Pos(tok.line, tok.col)
+
+    # -- lookahead helpers ---------------------------------------------------
+
+    def _match_delim(self, open_kind: TokenKind) -> int:
+        """Index just past the delimiter matching the one at ``self.index``.
+
+        Assumes ``self.tokens[self.index]`` is the opening delimiter.
+        """
+        pairs = {
+            TokenKind.LPAREN: TokenKind.RPAREN,
+            TokenKind.LBRACKET: TokenKind.RBRACKET,
+            TokenKind.LBRACE: TokenKind.RBRACE,
+            TokenKind.QMARK_BRACE: TokenKind.RBRACE,
+            TokenKind.AMP_BRACE: TokenKind.RBRACE,
+        }
+        close_kind = pairs[open_kind]
+        depth = 0
+        idx = self.index
+        opens = set(pairs)
+        closes = set(pairs.values())
+        while idx < len(self.tokens):
+            kind = self.tokens[idx].kind
+            if kind in opens:
+                depth += 1
+            elif kind in closes:
+                depth -= 1
+                if depth == 0:
+                    return idx + 1
+            elif kind is TokenKind.EOF:
+                break
+            idx += 1
+        raise ParseError("unbalanced delimiter", self.tokens[self.index])
+
+    def _delimited_abstraction_follows(self) -> bool:
+        """True if the delimiter at the cursor closes and is followed by ``:``.
+
+        Used to recognize ``(bindings) : F`` and ``[bindings] : e``.
+        """
+        end = self._match_delim(self.peek().kind)
+        return end < len(self.tokens) and self.tokens[end].kind is TokenKind.COLON
+
+    # -- programs ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        decls: List[ast.Node] = []
+        while not self.check(TokenKind.EOF):
+            if self.check_kw("def"):
+                decls.append(self.parse_def())
+            elif self.check_kw("ic"):
+                decls.append(self.parse_ic())
+            else:
+                raise ParseError("expected 'def' or 'ic'", self.peek())
+        return ast.Program(tuple(decls))
+
+    def parse_def(self) -> ast.RuleDef:
+        pos = self.pos()
+        self.expect(TokenKind.KEYWORD, "def")
+        name = self._parse_def_name()
+
+        # Head forms: (bindings), [bindings], braced abstraction, or nullary.
+        if self.check(TokenKind.LPAREN):
+            head = self._parse_binding_list(TokenKind.LPAREN, TokenKind.RPAREN)
+            self._expect_rule_separator()
+            body = self.parse_expr()
+            return ast.RuleDef(name, head, body, formula_head=True, pos=pos)
+        if self.check(TokenKind.LBRACKET):
+            head = self._parse_binding_list(TokenKind.LBRACKET, TokenKind.RBRACKET)
+            self._expect_rule_separator()
+            body = self.parse_expr()
+            return ast.RuleDef(name, head, body, formula_head=False, pos=pos)
+        if self.check(TokenKind.LBRACE):
+            body = self.parse_primary()
+            if isinstance(body, ast.Abstraction):
+                return ast.RuleDef(
+                    name,
+                    body.bindings,
+                    body.body,
+                    formula_head=not body.brackets,
+                    pos=pos,
+                )
+            return ast.RuleDef(name, (), body, formula_head=False, pos=pos)
+        # Nullary: def Name : expr   or   def Name = expr
+        self._expect_rule_separator()
+        body = self.parse_expr()
+        if isinstance(body, ast.Abstraction):
+            return ast.RuleDef(
+                name, body.bindings, body.body, formula_head=not body.brackets, pos=pos
+            )
+        return ast.RuleDef(name, (), body, formula_head=False, pos=pos)
+
+    def _parse_def_name(self) -> str:
+        # Operator definition: def (+)(x,y,z) : ...
+        if self.check(TokenKind.LPAREN):
+            after = self.peek(1)
+            if after.kind is TokenKind.OP and self.peek(2).kind is TokenKind.RPAREN:
+                self.advance()
+                op = self.advance().text
+                self.advance()
+                if op not in _DEFINABLE_OPS:
+                    raise ParseError(f"operator {op!r} is not definable", self.peek())
+                return op
+        tok = self.peek()
+        if tok.kind is TokenKind.ID:
+            return self.advance().text
+        # Control relations and library names may shadow keywords in other
+        # systems; here only proper identifiers are rule names.
+        raise ParseError("expected relation name after 'def'", tok)
+
+    def _expect_rule_separator(self) -> None:
+        if self.match(TokenKind.COLON):
+            return
+        if self.match(TokenKind.OP, "="):
+            return
+        raise ParseError("expected ':' or '=' in definition", self.peek())
+
+    def parse_ic(self) -> ast.ICDef:
+        pos = self.pos()
+        self.expect(TokenKind.KEYWORD, "ic")
+        name = self.expect(TokenKind.ID).text
+        params: Tuple[ast.Binding, ...] = ()
+        if self.check(TokenKind.LPAREN):
+            params = self._parse_binding_list(TokenKind.LPAREN, TokenKind.RPAREN)
+        self.expect(TokenKind.KEYWORD, "requires")
+        body = self.parse_expr()
+        return ast.ICDef(name, params, body, pos=pos)
+
+    # -- bindings ------------------------------------------------------------
+
+    def _parse_binding_list(
+        self, open_kind: TokenKind, close_kind: TokenKind
+    ) -> Tuple[ast.Binding, ...]:
+        self.expect(open_kind)
+        bindings: List[ast.Binding] = []
+        if not self.check(close_kind):
+            bindings.append(self.parse_binding())
+            while self.match(TokenKind.COMMA):
+                bindings.append(self.parse_binding())
+        self.expect(close_kind)
+        return tuple(bindings)
+
+    def parse_binding(self) -> ast.Binding:
+        pos = self.pos()
+        tok = self.peek()
+        if tok.kind is TokenKind.LBRACE and self.peek(1).kind is TokenKind.ID and (
+            self.peek(2).kind is TokenKind.RBRACE
+        ):
+            self.advance()
+            name = self.advance().text
+            self.advance()
+            return ast.RelVarBinding(name, pos=pos)
+        if tok.kind is TokenKind.TUPLEID:
+            self.advance()
+            return ast.TupleVarBinding(tok.text, pos=pos)
+        if tok.kind is TokenKind.TUPLEWILD:
+            self.advance()
+            return ast.TupleWildcardBinding(pos=pos)
+        if tok.kind is TokenKind.UNDERSCORE:
+            self.advance()
+            return ast.WildcardBinding(pos=pos)
+        if tok.kind is TokenKind.ID:
+            if self.peek(1).kind is TokenKind.KEYWORD and self.peek(1).text == "in":
+                name = self.advance().text
+                self.advance()  # 'in'
+                domain = self.parse_or()  # avoid consuming '|' of quantifiers
+                return ast.InBinding(name, domain, pos=pos)
+            nxt = self.peek(1).kind
+            if nxt in (
+                TokenKind.COMMA,
+                TokenKind.RPAREN,
+                TokenKind.RBRACKET,
+                TokenKind.PIPE,
+            ):
+                self.advance()
+                return ast.VarBinding(tok.text, pos=pos)
+        # Anything else is a constant/computed binding (e.g. the 0 in
+        # APSP({V},{E},x,y,0), or :Name symbols).
+        expr = self.parse_or()
+        return ast.ConstBinding(expr, pos=pos)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> ast.Node:
+        return self.parse_where()
+
+    def parse_where(self) -> ast.Node:
+        expr = self.parse_iff()
+        while self.check_kw("where"):
+            pos = self.pos()
+            self.advance()
+            cond = self.parse_iff()
+            expr = ast.WhereExpr(expr, cond, pos=pos)
+        return expr
+
+    def parse_iff(self) -> ast.Node:
+        lhs = self.parse_implies()
+        while self.check_kw("iff"):
+            pos = self.pos()
+            self.advance()
+            rhs = self.parse_implies()
+            lhs = ast.Iff(lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_implies(self) -> ast.Node:
+        lhs = self.parse_xor()
+        if self.check_kw("implies"):
+            pos = self.pos()
+            self.advance()
+            rhs = self.parse_implies()  # right-associative
+            return ast.Implies(lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_xor(self) -> ast.Node:
+        lhs = self.parse_or()
+        while self.check_kw("xor"):
+            pos = self.pos()
+            self.advance()
+            rhs = self.parse_or()
+            lhs = ast.Xor(lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_or(self) -> ast.Node:
+        lhs = self.parse_and()
+        while self.check_kw("or"):
+            pos = self.pos()
+            self.advance()
+            rhs = self.parse_and()
+            lhs = ast.Or(lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_and(self) -> ast.Node:
+        lhs = self.parse_not()
+        while self.check_kw("and"):
+            pos = self.pos()
+            self.advance()
+            rhs = self.parse_not()
+            lhs = ast.And(lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_not(self) -> ast.Node:
+        if self.check_kw("not"):
+            pos = self.pos()
+            self.advance()
+            return ast.Not(self.parse_not(), pos=pos)
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Node:
+        lhs = self.parse_override()
+        tok = self.peek()
+        if tok.kind is TokenKind.OP and tok.text in _COMPARISON_OPS:
+            pos = self.pos()
+            op = self.advance().text
+            rhs = self.parse_override()
+            return ast.Compare(op, lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_override(self) -> ast.Node:
+        lhs = self.parse_additive()
+        while self.check(TokenKind.OP, "<++"):
+            pos = self.pos()
+            self.advance()
+            rhs = self.parse_additive()
+            lhs = ast.LeftOverride(lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_additive(self) -> ast.Node:
+        lhs = self.parse_multiplicative()
+        while self.peek().kind is TokenKind.OP and self.peek().text in ("+", "-"):
+            pos = self.pos()
+            op = self.advance().text
+            rhs = self.parse_multiplicative()
+            lhs = ast.BinOp(op, lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_multiplicative(self) -> ast.Node:
+        lhs = self.parse_power()
+        while self.peek().kind is TokenKind.OP and self.peek().text in ("*", "/", "%"):
+            pos = self.pos()
+            op = self.advance().text
+            rhs = self.parse_power()
+            lhs = ast.BinOp(op, lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_power(self) -> ast.Node:
+        lhs = self.parse_unary()
+        if self.check(TokenKind.OP, "^"):
+            pos = self.pos()
+            self.advance()
+            rhs = self.parse_power()  # right-associative
+            return ast.BinOp("^", lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_unary(self) -> ast.Node:
+        if self.check(TokenKind.OP, "-"):
+            pos = self.pos()
+            self.advance()
+            operand = self.parse_unary()
+            if isinstance(operand, ast.Const) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Const(-operand.value, pos=pos)
+            return ast.Neg(operand, pos=pos)
+        return self.parse_dot()
+
+    def parse_dot(self) -> ast.Node:
+        lhs = self.parse_postfix()
+        while self.check(TokenKind.OP, "."):
+            pos = self.pos()
+            self.advance()
+            rhs = self.parse_postfix()
+            lhs = ast.DotJoin(lhs, rhs, pos=pos)
+        return lhs
+
+    def parse_postfix(self) -> ast.Node:
+        expr = self.parse_primary()
+        while True:
+            if self.check(TokenKind.LBRACKET):
+                pos = self.pos()
+                args = self._parse_argument_list(TokenKind.LBRACKET, TokenKind.RBRACKET)
+                expr = ast.Application(expr, args, partial=True, pos=pos)
+            elif self.check(TokenKind.LPAREN) and self._application_follows(expr):
+                pos = self.pos()
+                args = self._parse_argument_list(TokenKind.LPAREN, TokenKind.RPAREN)
+                expr = ast.Application(expr, args, partial=False, pos=pos)
+            else:
+                return expr
+
+    def _application_follows(self, expr: ast.Node) -> bool:
+        """A ``(`` directly after a completed expression is full application.
+
+        The only exception we must avoid is treating an abstraction head
+        ``(x, y) :`` as an argument list of the preceding expression — that
+        cannot occur because abstractions begin primaries, not postfixes.
+        """
+        # Const is included because single-item braces collapse:
+        # {(9)}(x) parses the target to Const(9) before the application.
+        return isinstance(
+            expr,
+            (ast.Ref, ast.Application, ast.Abstraction, ast.UnionExpr,
+             ast.Annotated, ast.ProductExpr, ast.WhereExpr, ast.DotJoin,
+             ast.LeftOverride, ast.Const),
+        )
+
+    def _parse_argument_list(
+        self, open_kind: TokenKind, close_kind: TokenKind
+    ) -> Tuple[ast.Node, ...]:
+        self.expect(open_kind)
+        args: List[ast.Node] = []
+        if not self.check(close_kind):
+            args.append(self.parse_argument())
+            while self.match(TokenKind.COMMA):
+                args.append(self.parse_argument())
+        self.expect(close_kind)
+        return tuple(args)
+
+    def parse_argument(self) -> ast.Node:
+        pos = self.pos()
+        if self.check(TokenKind.UNDERSCORE):
+            self.advance()
+            return ast.Wildcard(pos=pos)
+        if self.check(TokenKind.TUPLEWILD):
+            self.advance()
+            return ast.TupleWildcard(pos=pos)
+        if self.check(TokenKind.QMARK_BRACE):
+            self.advance()
+            inner = self._parse_union_items(pos)
+            return ast.Annotated(inner, second_order=False, pos=pos)
+        if self.check(TokenKind.AMP_BRACE):
+            self.advance()
+            inner = self._parse_union_items(pos)
+            return ast.Annotated(inner, second_order=True, pos=pos)
+        # Abstractions are legal arguments: sum[[k] : ...], min[(j) : ...]
+        return self.parse_expr()
+
+    def _parse_union_items(self, pos: ast.Pos) -> ast.Node:
+        """Parse ``e1; ...; en}`` after an already-consumed ``?{``/``&{``."""
+        if self.match(TokenKind.RBRACE):
+            return ast.UnionExpr((), pos=pos)
+        items = [self.parse_expr()]
+        while self.match(TokenKind.SEMI):
+            items.append(self.parse_expr())
+        self.expect(TokenKind.RBRACE)
+        if len(items) == 1:
+            return items[0]
+        return ast.UnionExpr(tuple(items), pos=pos)
+
+    # -- primaries -----------------------------------------------------------
+
+    def parse_primary(self) -> ast.Node:
+        pos = self.pos()
+        tok = self.peek()
+
+        if tok.kind is TokenKind.INT or tok.kind is TokenKind.FLOAT:
+            self.advance()
+            return ast.Const(tok.value, pos=pos)
+        if tok.kind is TokenKind.STRING:
+            self.advance()
+            return ast.Const(tok.value, pos=pos)
+        if tok.kind is TokenKind.SYMBOL:
+            self.advance()
+            return ast.Const(Symbol(tok.value), pos=pos)
+        if tok.kind is TokenKind.KEYWORD and tok.text in ("true", "false"):
+            self.advance()
+            return ast.Const(tok.text == "true", pos=pos)
+        if tok.kind is TokenKind.ID:
+            self.advance()
+            return ast.Ref(tok.text, pos=pos)
+        if tok.kind is TokenKind.TUPLEID:
+            self.advance()
+            return ast.TupleRef(tok.text, pos=pos)
+        if tok.kind is TokenKind.UNDERSCORE:
+            self.advance()
+            return ast.Wildcard(pos=pos)
+        if tok.kind is TokenKind.TUPLEWILD:
+            self.advance()
+            return ast.TupleWildcard(pos=pos)
+        if tok.kind is TokenKind.KEYWORD and tok.text in ("exists", "forall"):
+            return self.parse_quantifier()
+        if tok.kind is TokenKind.LPAREN:
+            return self.parse_paren()
+        if tok.kind is TokenKind.LBRACKET:
+            return self.parse_bracket_abstraction()
+        if tok.kind is TokenKind.LBRACE:
+            return self.parse_brace()
+        if tok.kind is TokenKind.QMARK_BRACE or tok.kind is TokenKind.AMP_BRACE:
+            # Annotated expressions occasionally appear outside argument
+            # lists (e.g. reduce[&{add}, &{A}] arguments re-parsed standalone).
+            return self.parse_argument()
+        raise ParseError("expected an expression", tok)
+
+    def parse_quantifier(self) -> ast.Node:
+        pos = self.pos()
+        kw = self.advance().text  # 'exists' | 'forall'
+        self.expect(TokenKind.LPAREN)
+        if self.check(TokenKind.LPAREN):
+            bindings = self._parse_binding_list(TokenKind.LPAREN, TokenKind.RPAREN)
+        else:
+            items: List[ast.Binding] = [self.parse_binding()]
+            while self.match(TokenKind.COMMA):
+                items.append(self.parse_binding())
+            bindings = tuple(items)
+        self.expect(TokenKind.PIPE)
+        body = self.parse_expr()
+        self.expect(TokenKind.RPAREN)
+        if kw == "exists":
+            return ast.Exists(bindings, body, pos=pos)
+        return ast.ForAll(bindings, body, pos=pos)
+
+    def parse_paren(self) -> ast.Node:
+        pos = self.pos()
+        if self._delimited_abstraction_follows():
+            bindings = self._parse_binding_list(TokenKind.LPAREN, TokenKind.RPAREN)
+            self.expect(TokenKind.COLON)
+            body = self.parse_expr()
+            return ast.Abstraction(bindings, body, brackets=False, pos=pos)
+        self.expect(TokenKind.LPAREN)
+        if self.check(TokenKind.RPAREN):
+            # '()' — the empty tuple, i.e. the unit relation {()}... but bare
+            # '()' only appears inside braces; treat as unit product.
+            self.advance()
+            return ast.ProductExpr((), pos=pos)
+        items = [self.parse_expr()]
+        while self.match(TokenKind.COMMA):
+            items.append(self.parse_expr())
+        self.expect(TokenKind.RPAREN)
+        if len(items) == 1:
+            return items[0]
+        return ast.ProductExpr(tuple(items), pos=pos)
+
+    def parse_bracket_abstraction(self) -> ast.Node:
+        pos = self.pos()
+        if self._delimited_abstraction_follows():
+            bindings = self._parse_binding_list(TokenKind.LBRACKET, TokenKind.RBRACKET)
+            self.expect(TokenKind.COLON)
+            body = self.parse_expr()
+            return ast.Abstraction(bindings, body, brackets=True, pos=pos)
+        raise ParseError("bracketed expression must be an abstraction", self.peek())
+
+    def parse_brace(self) -> ast.Node:
+        pos = self.pos()
+        self.expect(TokenKind.LBRACE)
+        if self.match(TokenKind.RBRACE):
+            return ast.UnionExpr((), pos=pos)  # {} — the empty relation
+        items = [self.parse_expr()]
+        while self.match(TokenKind.SEMI):
+            items.append(self.parse_expr())
+        self.expect(TokenKind.RBRACE)
+        if len(items) == 1:
+            return items[0]
+        return ast.UnionExpr(tuple(items), pos=pos)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse a full Rel program (sequence of ``def``/``ic`` declarations)."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> ast.Node:
+    """Parse a single Rel expression (for queries and tests)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    if not parser.check(TokenKind.EOF):
+        raise ParseError("unexpected trailing input", parser.peek())
+    return expr

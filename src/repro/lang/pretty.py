@@ -1,0 +1,166 @@
+"""Pretty-printer (unparser) for Rel ASTs.
+
+Produces concrete syntax that re-parses to an equal tree — used by the
+round-trip property tests and for error reporting/debugging. Output style
+follows the paper's: minimal parenthesization driven by the same precedence
+table as the parser.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lang import ast
+from repro.model.values import Symbol
+
+#: Precedence levels, mirroring the parser (higher binds tighter).
+_LEVELS = {
+    ast.WhereExpr: 1,
+    ast.Iff: 2,
+    ast.Implies: 3,
+    ast.Xor: 4,
+    ast.Or: 5,
+    ast.And: 6,
+    ast.Not: 7,
+    ast.Compare: 8,
+    ast.LeftOverride: 9,
+    ast.BinOp: 10,  # adjusted per operator below
+    ast.Neg: 13,
+    ast.DotJoin: 14,
+}
+
+_BINOP_LEVEL = {"+": 10, "-": 10, "*": 11, "/": 11, "%": 11, "^": 12}
+
+
+def _level(node: ast.Node) -> int:
+    if isinstance(node, ast.BinOp):
+        return _BINOP_LEVEL[node.op]
+    return _LEVELS.get(type(node), 15)
+
+
+def _const(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"') \
+            .replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(value, Symbol):
+        return f":{value.name}"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int) and value < 0:
+        return f"({value})"
+    return repr(value)
+
+
+def _binding(b: ast.Binding) -> str:
+    if isinstance(b, ast.VarBinding):
+        return b.name
+    if isinstance(b, ast.TupleVarBinding):
+        return f"{b.name}..."
+    if isinstance(b, ast.RelVarBinding):
+        return "{" + b.name + "}"
+    if isinstance(b, ast.InBinding):
+        return f"{b.name} in {pretty(b.domain)}"
+    if isinstance(b, ast.ConstBinding):
+        return pretty(b.expr)
+    if isinstance(b, ast.WildcardBinding):
+        return "_"
+    if isinstance(b, ast.TupleWildcardBinding):
+        return "_..."
+    raise TypeError(f"unknown binding {type(b).__name__}")
+
+
+def _bindings(bindings) -> str:
+    return ", ".join(_binding(b) for b in bindings)
+
+
+def _wrap(node: ast.Node, parent_level: int) -> str:
+    text = pretty(node)
+    if _level(node) < parent_level:
+        return f"({text})"
+    return text
+
+
+def pretty(node: ast.Node) -> str:
+    """Render a node as concrete Rel syntax."""
+    if isinstance(node, ast.Const):
+        return _const(node.value)
+    if isinstance(node, ast.Ref):
+        return node.name
+    if isinstance(node, ast.TupleRef):
+        return f"{node.name}..."
+    if isinstance(node, ast.Wildcard):
+        return "_"
+    if isinstance(node, ast.TupleWildcard):
+        return "_..."
+    if isinstance(node, ast.ProductExpr):
+        return "(" + ", ".join(pretty(i) for i in node.items) + ")"
+    if isinstance(node, ast.UnionExpr):
+        return "{" + "; ".join(pretty(i) for i in node.items) + "}"
+    if isinstance(node, ast.WhereExpr):
+        level = _level(node)
+        return f"{_wrap(node.expr, level + 1)} where {_wrap(node.condition, level + 1)}"
+    if isinstance(node, ast.Abstraction):
+        open_, close = ("[", "]") if node.brackets else ("(", ")")
+        return f"{open_}{_bindings(node.bindings)}{close} : {pretty(node.body)}"
+    if isinstance(node, ast.Application):
+        target = pretty(node.target)
+        if not isinstance(node.target, (ast.Ref, ast.Application)):
+            target = f"{{{target}}}" if not target.startswith("{") else target
+        args = ", ".join(pretty(a) for a in node.args)
+        return f"{target}[{args}]" if node.partial else f"{target}({args})"
+    if isinstance(node, ast.Annotated):
+        sigil = "&" if node.second_order else "?"
+        return f"{sigil}{{{pretty(node.expr)}}}"
+    if isinstance(node, ast.And):
+        level = _level(node)
+        return f"{_wrap(node.lhs, level)} and {_wrap(node.rhs, level + 1)}"
+    if isinstance(node, ast.Or):
+        level = _level(node)
+        return f"{_wrap(node.lhs, level)} or {_wrap(node.rhs, level + 1)}"
+    if isinstance(node, ast.Not):
+        return f"not {_wrap(node.operand, _level(node))}"
+    if isinstance(node, ast.Exists):
+        return f"exists(({_bindings(node.bindings)}) | {pretty(node.body)})"
+    if isinstance(node, ast.ForAll):
+        return f"forall(({_bindings(node.bindings)}) | {pretty(node.body)})"
+    if isinstance(node, ast.Compare):
+        level = _level(node)
+        return f"{_wrap(node.lhs, level + 1)} {node.op} {_wrap(node.rhs, level + 1)}"
+    if isinstance(node, ast.BinOp):
+        level = _level(node)
+        right_level = level + 1 if node.op != "^" else level
+        return f"{_wrap(node.lhs, level)} {node.op} {_wrap(node.rhs, right_level)}"
+    if isinstance(node, ast.Neg):
+        return f"- {_wrap(node.operand, _level(node))}"
+    if isinstance(node, ast.DotJoin):
+        level = _level(node)
+        return f"{_wrap(node.lhs, level)} . {_wrap(node.rhs, level + 1)}"
+    if isinstance(node, ast.LeftOverride):
+        level = _level(node)
+        return f"{_wrap(node.lhs, level)} <++ {_wrap(node.rhs, level + 1)}"
+    if isinstance(node, ast.Implies):
+        level = _level(node)
+        return f"{_wrap(node.lhs, level + 1)} implies {_wrap(node.rhs, level)}"
+    if isinstance(node, ast.Iff):
+        level = _level(node)
+        return f"{_wrap(node.lhs, level)} iff {_wrap(node.rhs, level + 1)}"
+    if isinstance(node, ast.Xor):
+        level = _level(node)
+        return f"{_wrap(node.lhs, level)} xor {_wrap(node.rhs, level + 1)}"
+    if isinstance(node, ast.RuleDef):
+        head = f"({_bindings(node.head)})" if node.formula_head \
+            else f"[{_bindings(node.head)}]"
+        name = node.name if node.name[0].isalpha() or node.name[0] == "_" \
+            else f"({node.name})"
+        if not node.head:
+            return f"def {name} : {pretty(node.body)}"
+        return f"def {name}{head} : {pretty(node.body)}"
+    if isinstance(node, ast.ICDef):
+        params = f"({_bindings(node.params)})" if node.params else "()"
+        return f"ic {node.name}{params} requires {pretty(node.body)}"
+    if isinstance(node, ast.Program):
+        return "\n".join(pretty(d) for d in node.declarations)
+    raise TypeError(f"cannot pretty-print {type(node).__name__}")

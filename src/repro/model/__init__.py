@@ -1,0 +1,58 @@
+"""Data model for Rel: values, tuples, and first/second-order relations.
+
+This package implements the data model of Addendum A of the paper:
+
+- ``Values``: constants (integers, floats, strings, booleans, entities,
+  symbols) with a total order across heterogeneous sorts.
+- ``Tuples1``: first-order tuples — Python tuples of values.
+- ``Rels1``: first-order relations — sets of first-order tuples, possibly of
+  mixed arity (:class:`Relation`).
+- ``Tuples2`` / ``Rels2``: second-order tuples and relations, whose elements
+  may themselves be first-order relations.
+
+Entities implement the "things, not strings" principle of Section 2: they are
+a distinct value sort with a registry that enforces the unique-identifier
+property of graph normal form.
+"""
+
+from repro.model.values import (
+    Entity,
+    EntityRegistry,
+    Symbol,
+    UnknownValueError,
+    is_value,
+    sort_key,
+    type_rank,
+    value_repr,
+)
+from repro.model.relation import (
+    EMPTY,
+    FALSE,
+    TRUE,
+    UNIT,
+    Relation,
+    RelationError,
+    relation,
+    singleton,
+)
+from repro.model.trie import RelationTrie
+
+__all__ = [
+    "EMPTY",
+    "FALSE",
+    "TRUE",
+    "UNIT",
+    "Entity",
+    "EntityRegistry",
+    "Relation",
+    "RelationError",
+    "RelationTrie",
+    "Symbol",
+    "UnknownValueError",
+    "is_value",
+    "relation",
+    "singleton",
+    "sort_key",
+    "type_rank",
+    "value_repr",
+]

@@ -1,0 +1,322 @@
+"""Finite relations: the central data structure of the Rel data model.
+
+A :class:`Relation` is an immutable set of tuples, possibly of *mixed arity*
+(the paper, Addendum A: "a relation … can contain tuples of different
+arity"). Tuples whose elements are all first-order values form ``Rels1``;
+tuples may also contain :class:`Relation` elements, giving ``Rels2``.
+
+Two relations play the role of the Booleans (Section 4.3):
+
+- ``TRUE``  = ``{⟨⟩}`` — the relation containing only the empty tuple;
+- ``FALSE`` = ``{}``   — the empty relation.
+
+The algebra implemented here (product, union, difference, prefix/suffix
+selection, projection) is exactly what the semantic equations of Figures 3–4
+need, plus the conveniences the standard library builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, Iterable, Iterator, Sequence, Tuple
+
+from repro.model.values import is_value, sort_key, tuple_sort_key, value_repr
+
+Tup = Tuple[Any, ...]
+
+
+class RelationError(ValueError):
+    """Raised on malformed relation construction or misuse."""
+
+
+def _freeze_tuple(tup: Sequence[Any]) -> Tup:
+    """Validate and normalize one tuple: elements must be values or relations."""
+    out = []
+    for elem in tup:
+        if isinstance(elem, Relation):
+            out.append(elem)
+        elif is_value(elem):
+            out.append(elem)
+        elif isinstance(elem, (tuple, list, set, frozenset)):
+            raise RelationError(
+                f"tuple element {elem!r} is a raw collection; wrap relations "
+                f"with relation(...) and keep tuple elements scalar"
+            )
+        else:
+            raise RelationError(f"not a Rel value: {elem!r}")
+    return tuple(out)
+
+
+class Relation:
+    """An immutable set of tuples (mixed arity allowed).
+
+    Construct with :func:`relation` / :func:`singleton` or the classmethods;
+    the constructor accepts any iterable of sequences.
+    """
+
+    __slots__ = ("_tuples", "_hash", "_trie")
+
+    def __init__(self, tuples: Iterable[Sequence[Any]] = ()) -> None:
+        frozen: FrozenSet[Tup] = frozenset(_freeze_tuple(t) for t in tuples)
+        object.__setattr__(self, "_tuples", frozen)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_trie", None)
+
+    # ------------------------------------------------------------------
+    # Fundamental protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def tuples(self) -> FrozenSet[Tup]:
+        """The underlying frozen set of tuples."""
+        return self._tuples
+
+    def __iter__(self) -> Iterator[Tup]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        """A relation is truthy iff non-empty (``{}`` is Rel's false)."""
+        return bool(self._tuples)
+
+    def __contains__(self, tup: Sequence[Any]) -> bool:
+        return tuple(tup) in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(self, "_hash", hash(self._tuples))
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._tuples:
+            return "{}"
+        parts = []
+        for tup in self.sorted_tuples()[:24]:
+            parts.append("(" + ", ".join(value_repr(v) for v in tup) + ")")
+        body = "; ".join(parts)
+        if len(self._tuples) > 24:
+            body += f"; … {len(self._tuples) - 24} more"
+        return "{" + body + "}"
+
+    def sorted_tuples(self) -> list[Tup]:
+        """Deterministic listing: tuples ordered by arity then value order."""
+        return sorted(self._tuples, key=tuple_sort_key)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    def arities(self) -> FrozenSet[int]:
+        """The set of tuple arities present."""
+        return frozenset(len(t) for t in self._tuples)
+
+    @property
+    def arity(self) -> int:
+        """The unique arity, if the relation is arity-homogeneous.
+
+        Raises :class:`RelationError` for mixed-arity or empty relations —
+        callers that tolerate mixed arity should use :meth:`arities`.
+        """
+        arities = self.arities()
+        if len(arities) != 1:
+            raise RelationError(
+                f"relation has no unique arity (arities={sorted(arities)})"
+            )
+        return next(iter(arities))
+
+    def is_boolean(self) -> bool:
+        """True iff this relation is ``{}`` or ``{⟨⟩}``."""
+        return self._tuples in (frozenset(), frozenset({()}))
+
+    def to_bool(self) -> bool:
+        """Interpret as a Boolean per Section 4.3 (non-empty = true)."""
+        return bool(self._tuples)
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union — the semantics of ``{e1; e2}`` and ``or``."""
+        if not self._tuples:
+            return other
+        if not other._tuples:
+            return self
+        return Relation._from_frozen(self._tuples | other._tuples)
+
+    def intersect(self, other: "Relation") -> "Relation":
+        """Set intersection — ``and`` on formulas, and `Select`'s core."""
+        return Relation._from_frozen(self._tuples & other._tuples)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference — `Minus` in the RA library."""
+        return Relation._from_frozen(self._tuples - other._tuples)
+
+    def product(self, other: "Relation") -> "Relation":
+        """Cartesian product by tuple concatenation — ``(e1, e2)``.
+
+        ``TRUE`` is the unit: ``R × {⟨⟩} = R``. ``FALSE`` annihilates.
+        """
+        if not self._tuples or not other._tuples:
+            return EMPTY
+        if self._tuples == _UNIT_TUPLES:
+            return other
+        if other._tuples == _UNIT_TUPLES:
+            return self
+        return Relation._from_frozen(
+            frozenset(a + b for a in self._tuples for b in other._tuples)
+        )
+
+    # ------------------------------------------------------------------
+    # Application support (Sections 4.3, Figure 3)
+    # ------------------------------------------------------------------
+
+    def suffixes_for_prefix_value(self, value: Any) -> "Relation":
+        """``{Expr}[v]``: suffixes of tuples whose first element is ``value``.
+
+        Uses the prefix trie for amortized O(result) lookup.
+        """
+        return Relation._from_frozen(
+            frozenset(self._index().suffixes((value,)))
+        )
+
+    def suffixes_for_prefix(self, prefix: Sequence[Any]) -> "Relation":
+        """Suffixes of tuples starting with the whole ``prefix``."""
+        return Relation._from_frozen(
+            frozenset(self._index().suffixes(tuple(prefix)))
+        )
+
+    def drop_first(self) -> "Relation":
+        """``{Expr}[_]``: suffixes after dropping any first element."""
+        return Relation._from_frozen(
+            frozenset(t[1:] for t in self._tuples if len(t) >= 1)
+        )
+
+    def all_suffixes(self) -> "Relation":
+        """``{Expr}[_...]``: all suffixes of all tuples (every split point)."""
+        out = set()
+        for t in self._tuples:
+            for i in range(len(t) + 1):
+                out.add(t[i:])
+        return Relation._from_frozen(frozenset(out))
+
+    def first_elements(self) -> FrozenSet[Any]:
+        """Distinct first elements of non-empty tuples."""
+        return frozenset(t[0] for t in self._tuples if t)
+
+    def last_elements(self) -> FrozenSet[Any]:
+        """Distinct last elements of non-empty tuples."""
+        return frozenset(t[-1] for t in self._tuples if t)
+
+    # ------------------------------------------------------------------
+    # Relational-algebra conveniences (used by stdlib and the db layer)
+    # ------------------------------------------------------------------
+
+    def project(self, positions: Sequence[int]) -> "Relation":
+        """Project onto 0-based ``positions`` (tuples too short are dropped)."""
+        needed = max(positions) + 1 if positions else 0
+        return Relation._from_frozen(
+            frozenset(
+                tuple(t[i] for i in positions)
+                for t in self._tuples
+                if len(t) >= needed
+            )
+        )
+
+    def select(self, predicate: Callable[[Tup], bool]) -> "Relation":
+        """Keep tuples satisfying a Python predicate."""
+        return Relation._from_frozen(
+            frozenset(t for t in self._tuples if predicate(t))
+        )
+
+    def map_tuples(self, fn: Callable[[Tup], Tup]) -> "Relation":
+        """Apply ``fn`` to every tuple (a relational ``map``)."""
+        return Relation([fn(t) for t in self._tuples])
+
+    def append_column(self, value: Any) -> "Relation":
+        """Append a constant column — e.g. ``(A, 1)`` in `count`'s definition."""
+        return self.product(singleton((value,)))
+
+    def only_arity(self, arity: int) -> "Relation":
+        """Restrict to tuples of exactly ``arity``."""
+        return Relation._from_frozen(
+            frozenset(t for t in self._tuples if len(t) == arity)
+        )
+
+    def column(self, position: int) -> FrozenSet[Any]:
+        """Distinct values in 0-based column ``position``."""
+        return frozenset(t[position] for t in self._tuples if len(t) > position)
+
+    def last_column_values(self) -> list[Any]:
+        """Values of the last column, one per tuple (set semantics on tuples).
+
+        This is the input to ``reduce``: aggregation consumes *whole tuples*
+        and extracts the final position, so two distinct keys with the same
+        value both contribute (Section 5.2's point about set semantics).
+        """
+        return [t[-1] for t in self._tuples if t]
+
+    def is_functional(self) -> bool:
+        """Check the 6NF functional condition: first k-1 columns form a key."""
+        seen: dict[Tup, Any] = {}
+        for t in self._tuples:
+            if not t:
+                continue
+            key, val = t[:-1], t[-1]
+            if key in seen and seen[key] != val:
+                return False
+            seen[key] = val
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _from_frozen(cls, tuples: FrozenSet[Tup]) -> "Relation":
+        rel = cls.__new__(cls)
+        object.__setattr__(rel, "_tuples", tuples)
+        object.__setattr__(rel, "_hash", None)
+        object.__setattr__(rel, "_trie", None)
+        return rel
+
+    def _index(self):
+        """Lazily built prefix trie over the tuples."""
+        if self._trie is None:
+            from repro.model.trie import RelationTrie
+
+            object.__setattr__(self, "_trie", RelationTrie(self._tuples))
+        return self._trie
+
+
+_UNIT_TUPLES: FrozenSet[Tup] = frozenset({()})
+
+#: The empty relation — Rel's ``false`` and the additive identity.
+EMPTY: Relation = Relation()
+FALSE: Relation = EMPTY
+
+#: The relation containing only the empty tuple — Rel's ``true`` and the
+#: multiplicative identity of the Cartesian product.
+UNIT: Relation = Relation([()])
+TRUE: Relation = UNIT
+
+
+def relation(*tuples: Sequence[Any]) -> Relation:
+    """Convenience constructor: ``relation((1, 2), (3, 4))``."""
+    return Relation(tuples)
+
+
+def singleton(tup: Sequence[Any]) -> Relation:
+    """The relation containing exactly one tuple."""
+    return Relation([tup])
+
+
+def from_bool(value: bool) -> Relation:
+    """Encode a Python Boolean as ``{⟨⟩}`` / ``{}``."""
+    return TRUE if value else FALSE

@@ -1,0 +1,97 @@
+"""Prefix-trie storage for relations.
+
+Partial application (Section 4.3) is the workhorse operation of Rel:
+``OrderProductQuantity["O1"]`` returns all suffixes of tuples starting with
+``"O1"``. A prefix trie answers such lookups in time proportional to the
+result, and doubles as the storage layout required by the leapfrog triejoin
+substrate (``repro.joins.leapfrog``), which walks tries attribute by
+attribute in sorted order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.model.values import sort_key
+
+Tup = Tuple[Any, ...]
+
+
+class TrieNode:
+    """One node of the relation trie.
+
+    ``children`` maps the next tuple element to the child node;
+    ``terminal`` marks that a tuple *ends* at this node (needed because
+    relations may hold tuples of mixed arity, so a tuple may be a strict
+    prefix of another).
+    """
+
+    __slots__ = ("children", "terminal")
+
+    def __init__(self) -> None:
+        self.children: Dict[Any, "TrieNode"] = {}
+        self.terminal: bool = False
+
+    def sorted_keys(self) -> List[Any]:
+        """Children keys in the global value order (for leapfrog seeks)."""
+        return sorted(self.children.keys(), key=sort_key)
+
+
+class RelationTrie:
+    """An immutable prefix trie over a set of tuples."""
+
+    __slots__ = ("root", "_count")
+
+    def __init__(self, tuples: Iterable[Tup] = ()) -> None:
+        self.root = TrieNode()
+        self._count = 0
+        for tup in tuples:
+            self._insert(tup)
+
+    def _insert(self, tup: Tup) -> None:
+        node = self.root
+        for elem in tup:
+            child = node.children.get(elem)
+            if child is None:
+                child = TrieNode()
+                node.children[elem] = child
+            node = child
+        if not node.terminal:
+            node.terminal = True
+            self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, tup: Sequence[Any]) -> bool:
+        node = self._descend(tuple(tup))
+        return node is not None and node.terminal
+
+    def _descend(self, prefix: Tup) -> TrieNode | None:
+        node = self.root
+        for elem in prefix:
+            node = node.children.get(elem)
+            if node is None:
+                return None
+        return node
+
+    def suffixes(self, prefix: Tup) -> Iterator[Tup]:
+        """Yield every suffix ``s`` such that ``prefix + s`` is stored."""
+        node = self._descend(prefix)
+        if node is None:
+            return
+        yield from self._walk(node, ())
+
+    def _walk(self, node: TrieNode, acc: Tup) -> Iterator[Tup]:
+        if node.terminal:
+            yield acc
+        for elem, child in node.children.items():
+            yield from self._walk(child, acc + (elem,))
+
+    def tuples(self) -> Iterator[Tup]:
+        """Iterate all stored tuples."""
+        yield from self._walk(self.root, ())
+
+    def first_level(self) -> List[Any]:
+        """Sorted distinct first elements (level-1 keys)."""
+        return self.root.sorted_keys()

@@ -1,0 +1,190 @@
+"""The knowledge-graph API: GNF storage + Rel-defined semantics.
+
+A :class:`KnowledgeGraph` models a domain as *concepts* (entity types) and
+*relationships*, stored in graph normal form:
+
+- each concept ``C`` has a unary relation ``C(entity)``;
+- each attribute ``a`` of ``C`` has a binary relation ``C_a(entity, value)``
+  (names follow the paper's ``ProductPrice`` convention: concept + attribute);
+- each relationship has a relation over participating entities, plus at
+  most one trailing value column.
+
+Derived concepts and relationships are added as Rel source (the semantic
+layer); queries are Rel expressions evaluated over base + derived relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.engine.program import EngineOptions, RelProgram
+from repro.model.relation import EMPTY, Relation
+from repro.model.values import Entity
+
+
+@dataclass(frozen=True)
+class Concept:
+    """An entity type in the knowledge graph."""
+
+    name: str
+    attributes: Tuple[str, ...] = ()
+
+    def attribute_relation(self, attribute: str) -> str:
+        return f"{self.name}{attribute[0].upper()}{attribute[1:]}"
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A relationship among concepts, with an optional value column."""
+
+    name: str
+    participants: Tuple[str, ...]
+    value_column: Optional[str] = None
+
+
+class KnowledgeGraph:
+    """A relational knowledge graph: GNF data + Rel semantics.
+
+    >>> kg = KnowledgeGraph()
+    >>> _ = kg.concept("Person", ["name"])
+    >>> _ = kg.relationship("Knows", ["Person", "Person"])
+    >>> alice = kg.add_entity("Person", "alice", name="Alice")
+    >>> bob = kg.add_entity("Person", "bob", name="Bob")
+    >>> kg.relate("Knows", alice, bob)
+    >>> kg.define("def FriendOfFriend(x, z) : exists((y) | Knows(x,y) and Knows(y,z))")
+    >>> len(kg.query("FriendOfFriend"))
+    0
+    """
+
+    def __init__(self, options: Optional[EngineOptions] = None) -> None:
+        self.database = Database()
+        self.concepts: Dict[str, Concept] = {}
+        self.relationships: Dict[str, Relationship] = {}
+        self._derivations: List[str] = []
+        self.options = options
+        self._program: Optional[RelProgram] = None
+
+    # -- schema ------------------------------------------------------------
+
+    def concept(self, name: str, attributes: Sequence[str] = ()) -> Concept:
+        """Declare a concept (entity type) with attribute names."""
+        concept = Concept(name, tuple(attributes))
+        self.concepts[name] = concept
+        self._program = None
+        return concept
+
+    def relationship(self, name: str, participants: Sequence[str],
+                     value_column: Optional[str] = None) -> Relationship:
+        """Declare a relationship among declared concepts."""
+        for p in participants:
+            if p not in self.concepts:
+                raise ValueError(f"unknown concept {p!r}")
+        rel = Relationship(name, tuple(participants), value_column)
+        self.relationships[name] = rel
+        self._program = None
+        return rel
+
+    # -- data --------------------------------------------------------------
+
+    def add_entity(self, concept: str, key: Any, **attributes: Any) -> Entity:
+        """Mint an entity (unique-identifier property enforced) and store
+        its membership and attribute facts."""
+        if concept not in self.concepts:
+            raise ValueError(f"unknown concept {concept!r}")
+        spec = self.concepts[concept]
+        unknown = set(attributes) - set(spec.attributes)
+        if unknown:
+            raise ValueError(f"unknown attributes {sorted(unknown)}")
+        entity = self.database.entities.mint(concept, key)
+        self.database.insert(concept, [(entity,)])
+        for attr, value in attributes.items():
+            self.database.insert(spec.attribute_relation(attr),
+                                 [(entity, value)])
+        self._program = None
+        return entity
+
+    def set_attribute(self, concept: str, entity: Entity, attribute: str,
+                      value: Any) -> None:
+        """Set (replace) a functional attribute fact."""
+        spec = self.concepts[concept]
+        name = spec.attribute_relation(attribute)
+        old = [(t[0], t[1]) for t in self.database[name] if t[0] == entity]
+        self.database.delete(name, old)
+        self.database.insert(name, [(entity, value)])
+        self._program = None
+
+    def relate(self, relationship: str, *entities: Entity,
+               value: Any = None) -> None:
+        """Add a relationship fact."""
+        spec = self.relationships.get(relationship)
+        if spec is None:
+            raise ValueError(f"unknown relationship {relationship!r}")
+        if len(entities) != len(spec.participants):
+            raise ValueError(
+                f"{relationship} relates {len(spec.participants)} entities"
+            )
+        for entity, concept in zip(entities, spec.participants):
+            if entity.namespace != concept:
+                raise ValueError(
+                    f"{entity!r} is a {entity.namespace}, expected {concept}"
+                )
+        tup = entities + ((value,) if spec.value_column is not None else ())
+        self.database.insert(relationship, [tup])
+        self._program = None
+
+    # -- semantics ---------------------------------------------------------
+
+    def define(self, rel_source: str) -> None:
+        """Add derived concepts/relationships as Rel source."""
+        self._derivations.append(rel_source)
+        self._program = None
+
+    def program(self) -> RelProgram:
+        """The Rel program over this graph (cached until the graph changes)."""
+        if self._program is None:
+            program = RelProgram(database=self.database.as_mapping(),
+                                 options=self.options)
+            for source in self._derivations:
+                program.add_source(source)
+            self._program = program
+        return self._program
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, source: str) -> Relation:
+        """Evaluate a Rel expression or fetch a relation by name."""
+        program = self.program()
+        if source in program.closures or source in self.database:
+            return program.relation(source)
+        return program.query(source)
+
+    def ask(self, source: str) -> bool:
+        """Boolean query: is the result non-empty?"""
+        return bool(self.query(source))
+
+    def entities_of(self, concept: str) -> List[Entity]:
+        """All entities of a concept."""
+        return [t[0] for t in self.database[concept]]
+
+    def attribute(self, concept: str, entity: Entity,
+                  attribute: str) -> Optional[Any]:
+        """The value of a functional attribute, or None if absent.
+
+        GNF needs no nulls: a missing attribute is a missing tuple.
+        """
+        spec = self.concepts[concept]
+        rel = self.database[spec.attribute_relation(attribute)]
+        for tup in rel:
+            if tup[0] == entity:
+                return tup[1]
+        return None
+
+    def neighbours(self, relationship: str, entity: Entity) -> List[Tuple]:
+        """Tuples of a relationship mentioning the entity."""
+        return [t for t in self.database[relationship] if entity in t]
+
+    def statistics(self) -> Dict[str, int]:
+        """Fact counts per stored relation."""
+        return {name: len(rel) for name, rel in self.database.items()}

@@ -1,0 +1,36 @@
+"""Synthetic workload generators.
+
+Substitutes for the paper's proprietary enterprise workloads (Section 7:
+fraud detection, taxation, supply chain management) and for the graph/
+matrix inputs of the library examples. Each generator is deterministic
+under a seed, returns plain data plus ready-made :class:`Relation` objects,
+and is documented with the code path it exercises.
+"""
+
+from repro.workloads.graphs import (
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_graph,
+    scale_free_graph,
+)
+from repro.workloads.orders import order_database, random_order_database
+from repro.workloads.fraud import transaction_graph
+from repro.workloads.supply import bill_of_materials
+from repro.workloads.matrices import random_matrix_relation, random_vector_relation
+
+__all__ = [
+    "bill_of_materials",
+    "chain_graph",
+    "complete_graph",
+    "cycle_graph",
+    "grid_graph",
+    "order_database",
+    "random_graph",
+    "random_matrix_relation",
+    "random_order_database",
+    "random_vector_relation",
+    "scale_free_graph",
+    "transaction_graph",
+]

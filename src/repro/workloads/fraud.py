@@ -1,0 +1,66 @@
+"""Transaction graphs with planted fraud rings.
+
+Substitutes for the fraud-detection workloads of Section 7: accounts
+transfer money; a few *rings* (directed cycles of unusual transfers) and
+*mules* (high fan-in/fan-out hubs) are planted so the example application's
+rules have ground truth to find.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.model.relation import Relation
+
+
+def transaction_graph(n_accounts: int, n_transfers: int,
+                      n_rings: int = 2, ring_size: int = 4,
+                      n_mules: int = 1, seed: int = 0
+                      ) -> Tuple[Dict[str, Relation], Dict[str, Set]]:
+    """Generate accounts, transfers, and planted anomalies.
+
+    Returns ``(relations, ground_truth)``:
+
+    - ``Account(id)``; ``Transfer(src, dst, amount)``;
+      ``AccountCountry(id, country)``
+    - ground truth: ``ring_members`` (accounts in planted cycles) and
+      ``mules`` (planted high-degree hubs).
+    """
+    rng = random.Random(seed)
+    accounts = [f"A{i}" for i in range(1, n_accounts + 1)]
+    countries = ["US", "GB", "DE", "SG", "KY"]
+    account_country = [(a, rng.choice(countries)) for a in accounts]
+
+    transfers: List[Tuple[str, str, int]] = []
+    for _ in range(n_transfers):
+        src, dst = rng.sample(accounts, 2)
+        transfers.append((src, dst, rng.randrange(10, 2000, 10)))
+
+    ring_members: Set[str] = set()
+    for r in range(n_rings):
+        members = rng.sample(accounts, ring_size)
+        ring_members.update(members)
+        amount = rng.randrange(9000, 9900, 100)  # just under a threshold
+        for i, src in enumerate(members):
+            dst = members[(i + 1) % ring_size]
+            transfers.append((src, dst, amount))
+
+    mules: Set[str] = set()
+    for _ in range(n_mules):
+        mule = rng.choice(accounts)
+        mules.add(mule)
+        feeders = rng.sample([a for a in accounts if a != mule],
+                             min(8, n_accounts - 1))
+        for f in feeders:
+            transfers.append((f, mule, rng.randrange(900, 1000)))
+        sinks = rng.sample([a for a in accounts if a != mule], 2)
+        for s in sinks:
+            transfers.append((mule, s, rng.randrange(3000, 4000)))
+
+    relations = {
+        "Account": Relation([(a,) for a in accounts]),
+        "AccountCountry": Relation(account_country),
+        "Transfer": Relation(transfers),
+    }
+    return relations, {"ring_members": ring_members, "mules": mules}

@@ -1,0 +1,101 @@
+"""Graph generators for the recursion and graph-library experiments.
+
+All generators return ``(vertices, edges)`` as Python lists plus helpers to
+convert to :class:`Relation`. Shapes:
+
+- chains and grids stress fixpoint depth (semi-naive vs naive, B1);
+- random (Erdős–Rényi) and scale-free graphs stress join skew (WCOJ, B2);
+- cycles/complete graphs are worst cases for transitive closure size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.model.relation import Relation
+
+Edge = Tuple[int, int]
+
+
+def chain_graph(n: int) -> Tuple[List[int], List[Edge]]:
+    """A path 1 → 2 → … → n (diameter n−1: deepest recursion)."""
+    vertices = list(range(1, n + 1))
+    edges = [(i, i + 1) for i in range(1, n)]
+    return vertices, edges
+
+
+def cycle_graph(n: int) -> Tuple[List[int], List[Edge]]:
+    """A directed cycle over n vertices."""
+    vertices = list(range(1, n + 1))
+    edges = [(i, i % n + 1) for i in range(1, n + 1)]
+    return vertices, edges
+
+
+def complete_graph(n: int) -> Tuple[List[int], List[Edge]]:
+    """All ordered pairs (the densest input: |TC| = n²−n)."""
+    vertices = list(range(1, n + 1))
+    edges = [(i, j) for i in vertices for j in vertices if i != j]
+    return vertices, edges
+
+
+def grid_graph(rows: int, cols: int) -> Tuple[List[int], List[Edge]]:
+    """A rows×cols grid with right/down edges (moderate diameter)."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c + 1
+
+    vertices = [vid(r, c) for r in range(rows) for c in range(cols)]
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return vertices, edges
+
+
+def random_graph(n: int, m: int, seed: int = 0,
+                 self_loops: bool = False) -> Tuple[List[int], List[Edge]]:
+    """Erdős–Rényi-style: m distinct random directed edges over n vertices."""
+    rng = random.Random(seed)
+    vertices = list(range(1, n + 1))
+    edges = set()
+    while len(edges) < m:
+        u = rng.randint(1, n)
+        v = rng.randint(1, n)
+        if u != v or self_loops:
+            edges.add((u, v))
+    return vertices, sorted(edges)
+
+
+def scale_free_graph(n: int, attach: int = 2,
+                     seed: int = 0) -> Tuple[List[int], List[Edge]]:
+    """Barabási–Albert-style preferential attachment (skewed degrees).
+
+    Heavy-hub degree distributions are where worst-case optimal joins beat
+    binary plans on triangle queries (benchmark B2).
+    """
+    rng = random.Random(seed)
+    vertices = list(range(1, n + 1))
+    edges: List[Edge] = []
+    targets: List[int] = [1]
+    for v in range(2, n + 1):
+        chosen = set()
+        for _ in range(min(attach, len(targets))):
+            chosen.add(rng.choice(targets))
+        for u in sorted(chosen):
+            edges.append((v, u))
+            targets.append(u)
+        targets.append(v)
+    return vertices, edges
+
+
+def edges_relation(edges: List[Edge]) -> Relation:
+    """Edges as a binary relation."""
+    return Relation(edges)
+
+
+def vertices_relation(vertices: List[int]) -> Relation:
+    """Vertices as a unary relation."""
+    return Relation([(v,) for v in vertices])

@@ -1,0 +1,58 @@
+"""Matrix and vector relations for the linear-algebra experiments (§5.3.2).
+
+Matrices are ternary relations (row, column, value); vectors binary. Sparse
+generation omits zero entries entirely — the relational encoding's natural
+advantage, which benchmark E11/B-LA measures against dense numpy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.model.relation import Relation
+
+
+def random_matrix_relation(n: int, m: int, density: float = 1.0,
+                           seed: int = 0, integer: bool = False
+                           ) -> Tuple[Relation, List[Tuple[int, int, float]]]:
+    """A random n×m matrix as a relation; returns (relation, triples)."""
+    rng = random.Random(seed)
+    triples: List[Tuple[int, int, float]] = []
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if rng.random() <= density:
+                value = rng.randint(1, 9) if integer else round(rng.uniform(0.1, 9.9), 3)
+                triples.append((i, j, value))
+    return Relation(triples), triples
+
+
+def random_vector_relation(n: int, density: float = 1.0, seed: int = 0,
+                           integer: bool = False
+                           ) -> Tuple[Relation, List[Tuple[int, float]]]:
+    """A random length-n vector as a relation; returns (relation, pairs)."""
+    rng = random.Random(seed)
+    pairs: List[Tuple[int, float]] = []
+    for i in range(1, n + 1):
+        if rng.random() <= density:
+            value = rng.randint(1, 9) if integer else round(rng.uniform(0.1, 9.9), 3)
+            pairs.append((i, value))
+    return Relation(pairs), pairs
+
+
+def column_stochastic_link_matrix(edges: List[Tuple[int, int]],
+                                  n: Optional[int] = None) -> Relation:
+    """The PageRank link matrix G: G[i, j] = 1/outdeg(j) if j → i.
+
+    Columns are normalized so the power iteration of Section 5.4 conserves
+    total rank.
+    """
+    if n is None:
+        n = max((max(u, v) for u, v in edges), default=0)
+    outdeg: dict = {}
+    for u, _ in edges:
+        outdeg[u] = outdeg.get(u, 0) + 1
+    triples = []
+    for u, v in edges:
+        triples.append((v, u, 1.0 / outdeg[u]))
+    return Relation(triples)

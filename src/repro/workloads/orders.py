@@ -1,0 +1,87 @@
+"""Order/payment databases: the paper's running example, at any scale.
+
+``order_database()`` returns exactly Figure 1; ``random_order_database``
+generates arbitrarily large instances with the same GNF schema, used by the
+aggregation and transaction benchmarks (B5) and the code-size comparison
+(B4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.model.relation import Relation
+
+
+def order_database() -> Dict[str, Relation]:
+    """The Figure 1 database, verbatim."""
+    return {
+        "PaymentOrder": Relation(
+            [("Pmt1", "O1"), ("Pmt2", "O2"), ("Pmt3", "O1"), ("Pmt4", "O3")]
+        ),
+        "PaymentAmount": Relation(
+            [("Pmt1", 20), ("Pmt2", 10), ("Pmt3", 10), ("Pmt4", 90)]
+        ),
+        "OrderProductQuantity": Relation(
+            [("O1", "P1", 2), ("O1", "P2", 1), ("O2", "P1", 1), ("O3", "P3", 4)]
+        ),
+        "ProductPrice": Relation(
+            [("P1", 10), ("P2", 20), ("P3", 30), ("P4", 40)]
+        ),
+    }
+
+
+def random_order_database(n_orders: int, n_products: int,
+                          lines_per_order: int = 3,
+                          payments_per_order: int = 2,
+                          seed: int = 0) -> Dict[str, Relation]:
+    """A synthetic instance of the Figure 1 schema.
+
+    Products have prices 5..500; each order has up to ``lines_per_order``
+    distinct product lines and up to ``payments_per_order`` payments whose
+    total may under-, exactly-, or over-pay the order — exercising the
+    OrderPaid/OrderTotal logic of Sections 3.4 and 5.2.
+    """
+    rng = random.Random(seed)
+    products = [f"P{i}" for i in range(1, n_products + 1)]
+    prices = {p: rng.randrange(5, 501, 5) for p in products}
+
+    opq = []
+    payment_order = []
+    payment_amount = []
+    customers = []
+    payment_id = 0
+    for o in range(1, n_orders + 1):
+        order = f"O{o}"
+        customers.append((order, f"C{rng.randint(1, max(2, n_orders // 3))}"))
+        lines = rng.randint(1, lines_per_order)
+        total = 0
+        for p in rng.sample(products, min(lines, len(products))):
+            quantity = rng.randint(1, 9)
+            opq.append((order, p, quantity))
+            total += quantity * prices[p]
+        n_payments = rng.randint(0, payments_per_order)
+        if n_payments:
+            paid = rng.choice([total, total, total // 2, total + 10])
+            split = sorted(rng.sample(range(1, max(paid, 2)), n_payments - 1)) \
+                if n_payments > 1 and paid > 1 else []
+            amounts = []
+            prev = 0
+            for s in split:
+                amounts.append(s - prev)
+                prev = s
+            amounts.append(paid - prev)
+            for amount in amounts:
+                payment_id += 1
+                payment = f"Pmt{payment_id}"
+                payment_order.append((payment, order))
+                payment_amount.append((payment, max(amount, 0)))
+
+    return {
+        "ProductPrice": Relation(prices.items()),
+        "OrderCustomer": Relation(customers),
+        "OrderProductQuantity": Relation(opq),
+        "PaymentOrder": Relation(payment_order),
+        "PaymentAmount": Relation(payment_amount),
+    }

@@ -1,0 +1,66 @@
+"""Bill-of-materials DAGs for the supply-chain example.
+
+Substitutes for the supply-chain workloads of Section 7. A BOM is a layered
+DAG: finished goods at the top, raw materials at the bottom; each edge
+``Component(parent, child, count)`` says one unit of *parent* needs *count*
+units of *child*. Recursion over BOMs (total part requirements, shortage
+propagation) exercises exactly the recursive-aggregation machinery that
+APSP does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.model.relation import Relation
+
+
+def bill_of_materials(levels: int = 4, width: int = 3, fanout: int = 3,
+                      seed: int = 0) -> Tuple[Dict[str, Relation], Dict[str, object]]:
+    """A layered BOM DAG.
+
+    Returns relations:
+
+    - ``Item(id)``; ``FinishedGood(id)``; ``RawMaterial(id)``
+    - ``Component(parent, child, count)``
+    - ``OnHand(item, quantity)`` — current stock
+    - ``Supplier(raw_item, supplier, lead_days)``
+
+    and ground-truth helpers (the layers) for tests.
+    """
+    rng = random.Random(seed)
+    layers: List[List[str]] = []
+    counter = 0
+    for level in range(levels):
+        layer = []
+        for _ in range(width * (level + 1)):
+            counter += 1
+            layer.append(f"I{counter}")
+        layers.append(layer)
+
+    component: List[Tuple[str, str, int]] = []
+    for level in range(levels - 1):
+        for parent in layers[level]:
+            children = rng.sample(
+                layers[level + 1], min(fanout, len(layers[level + 1]))
+            )
+            for child in children:
+                component.append((parent, child, rng.randint(1, 4)))
+
+    items = [i for layer in layers for i in layer]
+    on_hand = [(i, rng.randint(0, 50)) for i in items]
+    suppliers = []
+    for raw in layers[-1]:
+        for s in range(rng.randint(1, 2)):
+            suppliers.append((raw, f"S{rng.randint(1, 5)}", rng.randint(2, 30)))
+
+    relations = {
+        "Item": Relation([(i,) for i in items]),
+        "FinishedGood": Relation([(i,) for i in layers[0]]),
+        "RawMaterial": Relation([(i,) for i in layers[-1]]),
+        "Component": Relation(component),
+        "OnHand": Relation(on_hand),
+        "Supplier": Relation(suppliers),
+    }
+    return relations, {"layers": layers}

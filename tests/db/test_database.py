@@ -1,0 +1,78 @@
+"""The Database: named base relations with updates."""
+
+import pytest
+
+from repro import Relation
+from repro.db import Database
+from repro.model.relation import EMPTY
+
+
+class TestAccess:
+    def test_missing_relation_is_empty(self):
+        assert Database()["Nope"] == EMPTY
+
+    def test_install_and_get(self):
+        db = Database()
+        db.install("P", Relation([(1,)]))
+        assert db["P"] == Relation([(1,)])
+        assert "P" in db
+        assert db.names() == ("P",)
+
+    def test_constructor_mapping(self):
+        db = Database({"A": Relation([(1,)]), "B": Relation([(2,)])})
+        assert len(db) == 2
+
+
+class TestUpdates:
+    def test_insert_creates_on_the_spot(self):
+        """Section 3.4: no need to declare a new base relation."""
+        db = Database()
+        db.insert("ClosedOrders", [("O2",)])
+        assert db["ClosedOrders"] == Relation([("O2",)])
+
+    def test_insert_unions(self):
+        db = Database({"P": Relation([(1,)])})
+        db.insert("P", [(2,)])
+        assert db["P"] == Relation([(1,), (2,)])
+
+    def test_delete(self):
+        db = Database({"P": Relation([(1,), (2,)])})
+        db.delete("P", [(1,)])
+        assert db["P"] == Relation([(2,)])
+
+    def test_delete_missing_is_noop(self):
+        db = Database()
+        db.delete("P", [(1,)])
+        assert db["P"] == EMPTY
+
+    def test_drop(self):
+        db = Database({"P": Relation([(1,)])})
+        db.drop("P")
+        assert "P" not in db
+
+
+class TestCopy:
+    def test_copy_is_shallow_snapshot(self):
+        db = Database({"P": Relation([(1,)])})
+        clone = db.copy()
+        clone.insert("P", [(2,)])
+        assert db["P"] == Relation([(1,)])
+        assert clone["P"] == Relation([(1,), (2,)])
+
+    def test_copy_shares_entity_registry(self):
+        db = Database()
+        db.entities.mint("Product", "P1")
+        clone = db.copy()
+        assert clone.entities.lookup("Product", "P1") is not None
+
+
+class TestGNFEnforcement:
+    def test_mixed_arity_rejected_when_enforced(self):
+        db = Database(enforce_gnf=True)
+        with pytest.raises(Exception, match="mixed arities"):
+            db.install("Bad", Relation([(1,), (1, 2)]))
+
+    def test_uniform_relation_accepted(self):
+        db = Database(enforce_gnf=True)
+        db.install("Good", Relation([(1, "a"), (2, "b")]))
+        assert len(db["Good"]) == 2

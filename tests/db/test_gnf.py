@@ -1,0 +1,78 @@
+"""Graph normal form: 6NF condition, unique identifiers, wide-row splitting."""
+
+import pytest
+
+from repro import Entity, Relation
+from repro.db.gnf import (
+    GNFViolation,
+    check_functional,
+    check_gnf,
+    unique_identifier_violations,
+    wide_row_to_gnf,
+)
+
+
+class TestConditionOne:
+    def test_functional_relation_passes(self):
+        check_functional("ProductPrice", Relation([("P1", 10), ("P2", 20)]))
+
+    def test_key_violation_detected(self):
+        with pytest.raises(GNFViolation):
+            check_functional("ProductPrice", Relation([("P1", 10), ("P1", 20)]))
+
+    def test_all_key_relation_passes(self):
+        check_gnf("PaymentOrder", Relation([("Pmt1", "O1"), ("Pmt3", "O1")]))
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(GNFViolation, match="mixed"):
+            check_gnf("Bad", Relation([(1,), (1, 2)]))
+
+
+class TestUniqueIdentifiers:
+    def test_no_violation_when_disjoint(self):
+        relations = {
+            "P": Relation([(Entity("Product", 1),)]),
+            "O": Relation([(Entity("Order", 2),)]),
+        }
+        assert unique_identifier_violations(relations) == []
+
+    def test_shared_key_across_concepts_detected(self):
+        relations = {
+            "P": Relation([(Entity("Product", 1),)]),
+            "O": Relation([(Entity("Order", 1),)]),
+        }
+        violations = unique_identifier_violations(relations)
+        assert len(violations) == 1
+        assert violations[0][0] == 1
+
+
+class TestWideRowDecomposition:
+    def test_splits_into_binary_relations(self):
+        """Product(product, name, price) is not GNF (Section 2); the split
+        into ProductName and ProductPrice is."""
+        relations = wide_row_to_gnf(
+            entity_column=0,
+            column_names=["product", "Name", "Price"],
+            rows=[("P1", "Widget", 10), ("P2", "Gadget", 20)],
+            relation_prefix="Product",
+        )
+        assert set(relations) == {"ProductName", "ProductPrice"}
+        assert relations["ProductPrice"] == Relation([("P1", 10), ("P2", 20)])
+
+    def test_nulls_become_absent_tuples(self):
+        """GNF needs no nulls: a missing value is a missing fact."""
+        relations = wide_row_to_gnf(
+            entity_column=0,
+            column_names=["id", "Email"],
+            rows=[("U1", "a@x.com"), ("U2", None)],
+        )
+        assert relations["Email"] == Relation([("U1", "a@x.com")])
+
+    def test_every_result_is_functional(self):
+        relations = wide_row_to_gnf(
+            entity_column=0,
+            column_names=["id", "A", "B"],
+            rows=[(1, "x", "y"), (2, "x", None)],
+        )
+        for name, rel in relations.items():
+            check_functional(name, rel)

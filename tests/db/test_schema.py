@@ -1,0 +1,66 @@
+"""ER → GNF schema derivation (the Section 2 example)."""
+
+import pytest
+
+from repro.db.schema import Attribute, ERModel, derive_gnf_schema, paper_er_model
+
+
+class TestPaperModel:
+    def test_derivation_matches_paper(self):
+        """Section 2's derived schema, relation for relation."""
+        schema = derive_gnf_schema(paper_er_model())
+        assert set(schema) == {
+            "ProductPrice", "ProductName", "OrderCustomer",
+            "OrderProductQuantity", "PaymentAmount", "PaymentOrder",
+        }
+
+    def test_attribute_relations_are_functional_shape(self):
+        schema = derive_gnf_schema(paper_er_model())
+        price = schema["ProductPrice"]
+        assert price.key_columns == ("product",)
+        assert price.value_column == "price"
+        assert price.arity == 2
+
+    def test_nn_relationship_keeps_both_keys(self):
+        schema = derive_gnf_schema(paper_er_model())
+        opq = schema["OrderProductQuantity"]
+        assert opq.key_columns == ("order", "product")
+        assert opq.value_column == "quantity"
+
+    def test_n1_relationship_drops_one_side_from_key(self):
+        schema = derive_gnf_schema(paper_er_model())
+        po = schema["PaymentOrder"]
+        assert po.key_columns == ("payment",)
+        assert po.value_column == "order"
+
+
+class TestModelBuilding:
+    def test_unknown_participant_rejected(self):
+        model = ERModel()
+        model.entity("A")
+        with pytest.raises(ValueError, match="unknown participants"):
+            model.relationship("R", ["A", "B"])
+
+    def test_relationship_without_attribute(self):
+        model = ERModel()
+        model.entity("A")
+        model.entity("B")
+        model.relationship("Rel", ["A", "B"])
+        schema = derive_gnf_schema(model)
+        assert schema["Rel"].value_column is None
+        assert schema["Rel"].arity == 2
+
+    def test_ternary_relationship(self):
+        model = ERModel()
+        for name in ("A", "B", "C"):
+            model.entity(name)
+        model.relationship("T", ["A", "B", "C"], attribute="w")
+        schema = derive_gnf_schema(model)
+        assert schema["T"].key_columns == ("a", "b", "c")
+        assert schema["T"].value_column == "w"
+
+    def test_entity_attribute_naming_scheme(self):
+        model = ERModel()
+        model.entity("Customer", "firstName")
+        schema = derive_gnf_schema(model)
+        assert "CustomerFirstName" in schema

@@ -1,0 +1,160 @@
+"""Second-order application: relation parameters, currying, tuple variables."""
+
+import pytest
+
+from repro import DispatchError, RelProgram, Relation
+
+
+@pytest.fixture
+def program():
+    p = RelProgram()
+    p.define("R", Relation([(1, 2), (3, 4)]))
+    p.define("S", Relation([(5, 6)]))
+    p.define("T3", Relation([(1, 2, 3), (4, 5, 6)]))
+    return p
+
+
+def q(program, source):
+    return sorted(program.query(source).tuples, key=repr)
+
+
+class TestRelationParameters:
+    def test_product_arity_generic(self, program):
+        """Product works for any operand arities (Section 4.2)."""
+        assert q(program, "Product[R, S]") == [(1, 2, 5, 6), (3, 4, 5, 6)]
+        assert q(program, "Product[T3, S]") == [(1, 2, 3, 5, 6), (4, 5, 6, 5, 6)]
+
+    def test_product_full_application(self, program):
+        assert q(program, "Product(R, S, 1, 2, 5, 6)") == [()]
+        assert q(program, "Product(R, S, 1, 2, 5, 7)") == []
+
+    def test_comma_is_product(self, program):
+        assert q(program, "(R, S)") == q(program, "Product[R, S]")
+
+    def test_union_minus_intersect(self, program):
+        assert q(program, "Union[R, S]") == [(1, 2), (3, 4), (5, 6)]
+        assert q(program, "Minus[Union[R, S], S]") == [(1, 2), (3, 4)]
+        assert q(program, "Intersect[Union[R, S], S]") == [(5, 6)]
+
+    def test_nested_second_order_composition(self, program):
+        got = q(program, "Union[Product[S, S], R]")
+        assert got == [(1, 2), (3, 4), (5, 6, 5, 6)]
+
+    def test_literal_relation_argument(self, program):
+        assert q(program, "Union[R, {(7, 8)}]") == [(1, 2), (3, 4), (7, 8)]
+
+    def test_defined_relation_with_rel_param_from_user_code(self, program):
+        program.add_source(
+            "def Twice({A}, x..., y...) : A(x...) and A(y...)"
+        )
+        assert len(q(program, "Twice[S]")) == 1
+        assert len(q(program, "Twice[R]")) == 4
+
+
+class TestCurrying:
+    def test_partial_then_full(self, program):
+        program.add_source("def Pair({A}, x, y) : A(x, y)")
+        assert q(program, "Pair[R](1, 2)") == [()]
+        assert q(program, "Pair[R][1]") == [(2,)]
+
+    def test_instance_reuse_across_rows(self, program):
+        program.add_source(
+            """
+            def Members(x) : {(1); (3)}(x)
+            def FirstOf({A}, x) : A(x, _)
+            def Hit(x) : Members(x) and FirstOf(R, x)
+            """
+        )
+        assert sorted(program.relation("Hit").tuples) == [(1,), (3,)]
+
+
+class TestTupleVariables:
+    def test_prefixes(self, program):
+        program.add_source("def Pref(x...) : R(x..., _...)")
+        assert sorted(program.relation("Pref").tuples) == [
+            (), (1,), (1, 2), (3,), (3, 4)
+        ]
+
+    def test_permutations(self, program):
+        program.define("P0", Relation([(1, 2, 3)]))
+        program.add_source(
+            """
+            def Perm(x...) : P0(x...)
+            def Perm(x..., a, y..., b, z...) : Perm(x..., b, y..., a, z...)
+            """
+        )
+        assert len(program.relation("Perm")) == 6  # 3! permutations
+
+    def test_tuple_var_join_position(self, program):
+        program.add_source(
+            "def LastIsFirst(x..., y...) : R(x..., 2) and S(2, y...)"
+        )
+        # no tuple of S starts with 2 -> empty; change to a matching case:
+        program.define("S2", Relation([(2, 9)]))
+        program.add_source(
+            "def Chained(x..., y...) : R(x..., 2) and S2(2, y...)"
+        )
+        assert sorted(program.relation("Chained").tuples) == [(1, 9)]
+
+    def test_empty_segment_allowed(self, program):
+        program.add_source("def AnyPrefix(x...) : S(x..., _...)")
+        assert () in program.relation("AnyPrefix")
+
+
+class TestDispatch:
+    @pytest.fixture
+    def addup(self):
+        p = RelProgram()
+        p.add_source(
+            """
+            def addUp[{A}] : sum[A]
+            def addUp[x in Int] : x where x >= 0 and x < 10
+            def addUp[x in Int] : x%10 + addUp[(x-x%10)/10] where x >= 10
+            """
+        )
+        return p
+
+    def test_first_order_annotation(self, addup):
+        assert q(addup, "addUp[?{11;22}]") == [(2,), (4,)]
+
+    def test_second_order_annotation(self, addup):
+        assert q(addup, "addUp[&{11;22}]") == [(33,)]
+
+    def test_unannotated_scalar_unambiguous(self, addup):
+        assert q(addup, "addUp[1234]") == [(10,)]
+
+    def test_unannotated_relation_reference_unambiguous(self, addup):
+        addup.define("Vals", Relation([(11,), (22,)]))
+        assert q(addup, "addUp[Vals]") == [(33,)]
+
+    def test_ambiguous_braced_literal_rejected(self, addup):
+        with pytest.raises(DispatchError):
+            addup.query("addUp[{11;22}]")
+
+    def test_value_enumeration_through_application_result(self, addup):
+        addup.define("Vals", Relation([(11,), (22,)]))
+        addup.add_source("def Digits(v, d) : Vals(v) and d = addUp[?{v}]")
+        assert sorted(addup.relation("Digits").tuples) == [(11, 2), (22, 4)]
+
+
+class TestBuiltinApplication:
+    def test_partial_builtin_returns_value(self, program):
+        assert q(program, "add[1, 2]") == [(3,)]
+        assert q(program, "minimum[4, 9]") == [(4,)]
+
+    def test_full_builtin_checks(self, program):
+        assert q(program, "add(1, 2, 3)") == [()]
+        assert q(program, "add(1, 2, 4)") == []
+
+    def test_inverse_modes(self, program):
+        assert q(program, "(x) : add(x, 2, 5)") == [(3,)]
+        assert q(program, "(y) : add(1, y, 5)") == [(4,)]
+
+    def test_stdlib_wrappers(self, program):
+        assert q(program, "log[2, 8]") == [(3.0,)]
+        assert q(program, "sqrt[16]") == [(4.0,)]
+
+    def test_range_enumeration(self, program):
+        assert q(program, "(i) : range(1, 4, 1, i)") == [(1,), (2,), (3,), (4,)]
+        got = set(program.query("(i) : range(10, 1, -3, i)").tuples)
+        assert got == {(1,), (4,), (7,), (10,)}

@@ -1,0 +1,165 @@
+"""The builtin registry: binding patterns and solver correctness."""
+
+import math
+
+import pytest
+
+from repro.engine.builtins import FREE, lookup
+
+
+def solve(name, *args):
+    return sorted(lookup(name).solve(tuple(args)))
+
+
+class TestArithmetic:
+    def test_add_patterns(self):
+        assert solve("add", 2, 3, FREE) == [(2, 3, 5)]
+        assert solve("add", 2, FREE, 5) == [(2, 3, 5)]
+        assert solve("add", FREE, 3, 5) == [(2, 3, 5)]
+        assert solve("add", 2, 3, 5) == [(2, 3, 5)]
+        assert solve("add", 2, 3, 6) == []
+
+    def test_add_strings_concatenate(self):
+        assert solve("add", "ab", "cd", FREE) == [("ab", "cd", "abcd")]
+
+    def test_subtract_multiply(self):
+        assert solve("subtract", 7, 3, FREE) == [(7, 3, 4)]
+        assert solve("multiply", 6, 7, FREE) == [(6, 7, 42)]
+        assert solve("multiply", 6, FREE, 42) == [(6, 7, 42)]
+
+    def test_multiply_inverse_by_zero_has_no_solution(self):
+        assert solve("multiply", 0, FREE, 5) == []
+
+    def test_divide_typing(self):
+        assert solve("divide", 6, 3, FREE) == [(6, 3, 2)]
+        assert solve("divide", 7, 2, FREE) == [(7, 2, 3.5)]
+        assert solve("divide", 7, 0, FREE) == []
+
+    def test_modulo(self):
+        assert solve("modulo", 7, 3, FREE) == [(7, 3, 1)]
+        assert solve("modulo", 7, 0, FREE) == []
+
+    def test_power(self):
+        assert solve("power", 2, 10, FREE) == [(2, 10, 1024)]
+
+    def test_minimum_maximum(self):
+        assert solve("minimum", 3, 8, FREE) == [(3, 8, 3)]
+        assert solve("maximum", 3, 8, FREE) == [(3, 8, 8)]
+
+    def test_abs_both_directions(self):
+        assert solve("abs_value", -4, FREE) == [(-4, 4)]
+        assert solve("abs_value", FREE, 4) == [(-4, 4), (4, 4)]
+        assert solve("abs_value", FREE, 0) == [(0, 0)]
+
+    def test_unsupported_pattern_raises(self):
+        with pytest.raises(KeyError):
+            list(lookup("add").solve((FREE, FREE, 5)))
+
+    def test_type_discipline(self):
+        assert solve("add", "a", 1, FREE) == []
+        assert solve("add", True, 1, FREE) == []  # booleans are not numbers
+
+
+class TestTypePredicates:
+    def test_int(self):
+        assert solve("Int", 3) == [(3,)]
+        assert solve("Int", 3.0) == []
+        assert solve("Int", True) == []  # bool is not Int
+
+    def test_float_string_number(self):
+        assert solve("Float", 3.5) == [(3.5,)]
+        assert solve("String", "x") == [("x",)]
+        assert solve("Number", 3) == [(3,)]
+        assert solve("Number", 3.5) == [(3.5,)]
+        assert solve("Number", "x") == []
+
+    def test_any(self):
+        assert solve("Any", "anything") == [("anything",)]
+
+
+class TestComparisons:
+    def test_eq_assigns(self):
+        assert solve("eq", 5, FREE) == [(5, 5)]
+        assert solve("eq", FREE, 5) == [(5, 5)]
+
+    def test_eq_numeric_across_int_float(self):
+        assert solve("eq", 1, 1.0) == [(1, 1.0)]
+
+    def test_neq(self):
+        assert solve("neq", 1, 2) == [(1, 2)]
+        assert solve("neq", 1, 1) == []
+
+    def test_order(self):
+        assert solve("lt", 1, 2) == [(1, 2)]
+        assert solve("gt_eq", 2, 2) == [(2, 2)]
+        assert solve("lt", "a", 2) == []  # no cross-type ordering
+
+
+class TestStrings:
+    def test_concat_all_modes(self):
+        assert solve("concat", "ab", "cd", FREE) == [("ab", "cd", "abcd")]
+        assert solve("concat", "ab", FREE, "abcd") == [("ab", "cd", "abcd")]
+        assert solve("concat", FREE, "cd", "abcd") == [("ab", "cd", "abcd")]
+
+    def test_string_length(self):
+        assert solve("string_length", "hello", FREE) == [("hello", 5)]
+
+    def test_substring_one_based_inclusive(self):
+        assert solve("substring", "hello", 2, 4, FREE) == [("hello", 2, 4, "ell")]
+        assert solve("substring", "hello", 4, 2, FREE) == []
+
+    def test_case(self):
+        assert solve("uppercase", "abc", FREE) == [("abc", "ABC")]
+        assert solve("lowercase", "ABC", FREE) == [("ABC", "abc")]
+
+    def test_regex(self):
+        assert solve("regex_match", "a+b", "aaab") == [("a+b", "aaab")]
+        assert solve("regex_match", "a+b", "xaab") == []
+
+    def test_contains_prefix_suffix(self):
+        assert solve("contains", "hello", "ell") == [("hello", "ell")]
+        assert solve("starts_with", "hello", "he") == [("hello", "he")]
+        assert solve("ends_with", "hello", "lo") == [("hello", "lo")]
+
+
+class TestConversionsAndMath:
+    def test_parse(self):
+        assert solve("parse_int", "42", FREE) == [("42", 42)]
+        assert solve("parse_int", "x", FREE) == []
+        assert solve("parse_float", "2.5", FREE) == [("2.5", 2.5)]
+
+    def test_to_string(self):
+        assert solve("string", 42, FREE) == [(42, "42")]
+        assert solve("string", True, FREE) == [(True, "true")]
+
+    def test_float_int_conversion(self):
+        assert solve("float", 2, FREE) == [(2, 2.0)]
+        assert solve("int", 2.9, FREE) == [(2.9, 2)]
+
+    def test_log_base(self):
+        assert solve("rel_primitive_log", 2, 8, FREE) == [(2, 8, 3.0)]
+        assert solve("rel_primitive_log", 1, 8, FREE) == []
+
+    def test_transcendental(self):
+        ((_, v),) = solve("rel_primitive_sqrt", 2, FREE)
+        assert v == pytest.approx(math.sqrt(2))
+        assert solve("rel_primitive_sqrt", -1, FREE) == []
+
+    def test_floor_ceil(self):
+        assert solve("rel_primitive_floor", 2.7, FREE) == [(2.7, 2)]
+        assert solve("rel_primitive_ceil", 2.1, FREE) == [(2.1, 3)]
+
+
+class TestRange:
+    def test_forward(self):
+        assert solve("range", 1, 3, 1, FREE) == [
+            (1, 3, 1, 1), (1, 3, 1, 2), (1, 3, 1, 3)
+        ]
+
+    def test_empty_and_degenerate(self):
+        assert solve("range", 3, 1, 1, FREE) == []
+        assert solve("range", 1, 3, 0, FREE) == []
+
+    def test_membership_check(self):
+        assert solve("range", 1, 9, 2, 5) == [(1, 9, 2, 5)]
+        assert solve("range", 1, 9, 2, 4) == []

@@ -1,0 +1,188 @@
+"""Evaluator basics: joins, negation, quantifiers, wildcards, unions."""
+
+import pytest
+
+from repro import RelProgram, Relation, SafetyError
+
+
+def q(program, source):
+    return sorted(program.query(source).tuples, key=repr)
+
+
+@pytest.fixture
+def program(fig1):
+    return RelProgram(database=fig1)
+
+
+class TestAtoms:
+    def test_join_on_repeated_variable(self, program):
+        got = q(program, "(x, y) : OrderProductQuantity(_, x, _) and ProductPrice(x, y)")
+        assert got == [("P1", 10), ("P2", 20), ("P3", 30)]
+
+    def test_wildcards_are_independent(self, program):
+        """Different occurrences of _ bind to different values."""
+        got = q(program, "(y) : OrderProductQuantity(_, y, _)")
+        assert got == [("P1",), ("P2",), ("P3",)]
+
+    def test_constant_argument_filters(self, program):
+        got = q(program, '(x, y) : OrderProductQuantity(x, "P1", y)')
+        assert got == [("O1", 2), ("O2", 1)]
+
+    def test_full_application_is_boolean(self, program):
+        assert q(program, 'OrderProductQuantity("O1", "P1", 2)') == [()]
+        assert q(program, 'OrderProductQuantity("O1", "P1", 3)') == []
+
+    def test_partial_application(self, program):
+        assert q(program, 'OrderProductQuantity["O1"]') == [("P1", 2), ("P2", 1)]
+        assert q(program, 'OrderProductQuantity["O1", "P2"]') == [(1,)]
+
+    def test_application_beyond_arity_empty(self, program):
+        assert q(program, 'ProductPrice("P1", 10, 99)') == []
+
+
+class TestConnectives:
+    def test_disjunction_unions(self, program):
+        got = q(program, '(x) : ProductPrice(x, 10) or ProductPrice(x, 40)')
+        assert got == [("P1",), ("P4",)]
+
+    def test_negation_filters(self, program):
+        got = q(program, "(x) : ProductPrice(x, _) and not OrderProductQuantity(_, x, _)")
+        assert got == [("P4",)]
+
+    def test_implies(self, program):
+        # price > 25 implies price > 15 — holds for every product
+        got = q(program, "(x) : ProductPrice(x, _) and "
+                         "forall((p) | ProductPrice(x, p) implies p > 5)")
+        assert len(got) == 4
+
+    def test_iff(self, program):
+        got = q(program, '(x) : ProductPrice(x, _) and '
+                         '(OrderProductQuantity(_, x, _) iff ProductPrice(x, 10))')
+        # P1 ordered&price10 (T iff T); P2,P3 ordered but not 10 (T iff F -> out);
+        # P4 unordered, not 10 (F iff F -> in)
+        assert got == [("P1",), ("P4",)]
+
+    def test_xor(self, program):
+        got = q(program, '(x) : ProductPrice(x, _) and '
+                         '(OrderProductQuantity(_, x, _) xor ProductPrice(x, 40))')
+        assert got == [("P1",), ("P2",), ("P3",), ("P4",)]
+
+
+class TestQuantifiers:
+    def test_exists_projects_locals(self, program):
+        got = q(program, "(y) : exists((x) | PaymentOrder(x, y))")
+        assert got == [("O1",), ("O2",), ("O3",)]
+
+    def test_exists_multiple_bindings(self, program):
+        got = q(program, "(x) : ProductPrice(x, _) and "
+                         "not exists((o, qty) | OrderProductQuantity(o, x, qty))")
+        assert got == [("P4",)]
+
+    def test_forall_with_domain(self, program):
+        program.add_source('def TwoOrders(o) : {("O1");("O2")}(o)')
+        got = q(program, "(x) : ProductPrice(x, _) and "
+                         "forall((o in TwoOrders) | OrderProductQuantity(o, x, _))")
+        assert got == [("P1",)]
+
+    def test_forall_vacuous_truth(self, program):
+        program.add_source("def NoOrders(o) : {}(o)")
+        got = q(program, "(x) : ProductPrice(x, _) and "
+                         "forall((o in NoOrders) | OrderProductQuantity(o, x, _))")
+        assert len(got) == 4
+
+
+class TestComparisons:
+    def test_filter(self, program):
+        got = q(program, "(x) : exists((y) | ProductPrice(x, y) and y > 30)")
+        assert got == [("P4",)]
+
+    def test_assignment_binds(self, program):
+        got = q(program, "(x, y) : ProductPrice(x, _) and y = 1")
+        assert len(got) == 4 and all(t[1] == 1 for t in got)
+
+    def test_arithmetic_in_comparison(self, program):
+        got = q(program, "(x) : exists((y) | ProductPrice(x, y) and y % 20 = 10)")
+        assert got == [("P1",), ("P3",)]
+
+    def test_no_cross_type_ordering(self, program):
+        program.define("Mixed", Relation([(1,), ("a",)]))
+        got = q(program, "(x) : Mixed(x) and x < 5")
+        assert got == [(1,)]
+
+    def test_chained_arithmetic(self, program):
+        assert q(program, "(1 + 2) * 3") == [(9,)]
+        assert q(program, "2 ^ 10") == [(1024,)]
+        assert q(program, "7 % 3") == [(1,)]
+
+    def test_division_typing(self, program):
+        """int/int stays int when exact, else float (Rel-ish typing)."""
+        assert q(program, "6 / 3") == [(2,)]
+        assert q(program, "7 / 2") == [(3.5,)]
+
+
+class TestUnionsAndProducts:
+    def test_literal_union(self, program):
+        assert q(program, "{(1, 2); (3, 4)}") == [(1, 2), (3, 4)]
+
+    def test_mixed_arity_union(self, program):
+        assert q(program, "{(1); (2, 3)}") == [(1,), (2, 3)]
+
+    def test_product_expression(self, program):
+        assert q(program, "({(1); (2)}, (9))") == [(1, 9), (2, 9)]
+
+    def test_true_false(self, program):
+        assert q(program, "true") == [()]
+        assert q(program, "false") == []
+        assert q(program, "(1, 2) where true") == [(1, 2)]
+        assert q(program, "(1, 2) where false") == []
+
+
+class TestSafety:
+    def test_unbound_negation_rejected(self, program):
+        with pytest.raises(SafetyError):
+            program.query('(x) : not ProductPrice("P1", x)')
+
+    def test_infinite_type_relation_rejected(self, program):
+        with pytest.raises(SafetyError):
+            program.query("(x) : Int(x)")
+
+    def test_rescued_by_intersection(self, program):
+        got = q(program, "(x, y) : ProductPrice(_, x) and Int(x) "
+                         "and add(x, y, 0)")
+        assert got == [(10, -10), (20, -20), (30, -30), (40, -40)]
+
+    def test_unknown_relation_reported(self, program):
+        from repro import UnknownRelationError
+
+        with pytest.raises((UnknownRelationError, SafetyError)):
+            program.query("(x) : NoSuchRelation(x)")
+
+
+class TestRepeatedVariablesInAtoms:
+    """Regression: R(x, x) must equate positions within one atom."""
+
+    def test_diagonal(self, program):
+        program.define("Pairs", Relation([(1, 1), (1, 2), (3, 3)]))
+        got = q(program, "(x) : Pairs(x, x)")
+        assert got == [(1,), (3,)]
+
+    def test_self_loop_detection(self, program):
+        program.define("E2", Relation([(1, 2), (2, 1), (3, 4)]))
+        program.add_source(
+            """
+            def Reach2(x, y) : E2(x, y)
+            def Reach2(x, z) : exists((y) | Reach2(x, y) and E2(y, z))
+            def OnCycle(x) : Reach2(x, x)
+            """
+        )
+        assert sorted(program.relation("OnCycle").tuples) == [(1,), (2,)]
+
+    def test_repeated_tuple_variable(self, program):
+        program.define("Rep", Relation([(1, 2, 1, 2), (1, 2, 3, 4)]))
+        got = q(program, "(x...) : Rep(x..., x...)")
+        assert got == [(1, 2)]
+
+    def test_repeated_var_in_head(self, program):
+        program.add_source("def Dup(x, x) : ProductPrice(x, _)")
+        got = sorted(program.relation("Dup").tuples)
+        assert got == [(p, p) for p in ("P1", "P2", "P3", "P4")]

@@ -1,0 +1,131 @@
+"""The RelProgram public API: incremental building, invalidation, errors."""
+
+import pytest
+
+from repro import RelProgram, Relation, UnknownRelationError
+from repro.engine.errors import EvaluationError
+
+
+class TestIncrementalBuilding:
+    def test_define_then_rules(self):
+        program = RelProgram()
+        program.define("P", Relation([(1,)]))
+        program.add_source("def Q(x) : P(x)")
+        assert program.relation("Q") == Relation([(1,)])
+
+    def test_rules_then_define(self):
+        program = RelProgram()
+        program.add_source("def Q(x) : P(x)")
+        program.define("P", Relation([(2,)]))
+        assert program.relation("Q") == Relation([(2,)])
+
+    def test_redefine_base_invalidates(self):
+        program = RelProgram()
+        program.define("P", Relation([(1,)]))
+        program.add_source("def Q(x) : P(x)")
+        assert program.relation("Q") == Relation([(1,)])
+        program.define("P", Relation([(9,)]))
+        assert program.relation("Q") == Relation([(9,)])
+
+    def test_additional_rules_union(self):
+        """Multiple rules for one name union (Section 3.3)."""
+        program = RelProgram()
+        program.add_source("def R(x) : {(1)}(x)")
+        program.add_source("def R(x) : {(2)}(x)")
+        assert sorted(program.relation("R").tuples) == [(1,), (2,)]
+
+    def test_idb_unions_with_edb_of_same_name(self):
+        """Rules *add to* existing relations."""
+        program = RelProgram()
+        program.define("R", Relation([(1,)]))
+        program.add_source("def R(x) : {(2)}(x)")
+        assert sorted(program.relation("R").tuples) == [(1,), (2,)]
+
+
+class TestQueries:
+    def test_query_parses_and_evaluates(self):
+        program = RelProgram()
+        program.define("P", Relation([(1,), (2,)]))
+        assert program.query("count[P]") == Relation([(2,)])
+
+    def test_unknown_name(self):
+        program = RelProgram()
+        with pytest.raises(UnknownRelationError):
+            program.query("Missing(1)")
+
+    def test_relation_of_base(self):
+        program = RelProgram()
+        program.define("P", Relation([(1,)]))
+        assert program.relation("P") == Relation([(1,)])
+
+    def test_relation_of_builtin_rejected(self):
+        program = RelProgram()
+        with pytest.raises(EvaluationError, match="builtin"):
+            program.relation("add")
+
+    def test_output_helper(self):
+        program = RelProgram("def output(x) : {(5)}(x)")
+        assert program.output() == Relation([(5,)])
+        assert not RelProgram().output()
+
+
+class TestStdlibToggle:
+    def test_no_stdlib_mode(self):
+        program = RelProgram(load_stdlib=False)
+        program.define("P", Relation([(1, 2)]))
+        with pytest.raises(UnknownRelationError):
+            program.query("sum[P]")
+
+    def test_builtins_available_without_stdlib(self):
+        program = RelProgram(load_stdlib=False)
+        assert program.query("add[1, 2]") == Relation([(3,)])
+
+    def test_reduce_available_without_stdlib(self):
+        program = RelProgram(load_stdlib=False)
+        program.define("P", Relation([("a", 1), ("b", 2)]))
+        assert program.query("reduce[add, P]") == Relation([(3,)])
+
+
+class TestEvaluationState:
+    def test_evaluate_returns_extents(self):
+        program = RelProgram()
+        program.define("E", Relation([(1, 2)]))
+        program.add_source("def T(x, y) : E(x, y)")
+        extents = program.evaluate()
+        assert extents["T"] == Relation([(1, 2)])
+
+    def test_evaluate_idempotent(self):
+        program = RelProgram()
+        program.define("E", Relation([(1, 2)]))
+        program.add_source("def T(x, y) : E(x, y)")
+        assert program.evaluate() == program.evaluate()
+
+    def test_demand_only_names_not_materialized(self):
+        program = RelProgram()
+        program.add_source("def F(x, y) : Int(x) and y = x + 1")
+        extents = program.evaluate()
+        assert "F" not in extents
+
+    def test_dependencies_helper(self):
+        program = RelProgram()
+        program.add_source(
+            """
+            def A(x) : B(x) and C(x)
+            def B(x) : {(1)}(x)
+            def C(x) : {(1)}(x)
+            """
+        )
+        assert program.dependencies("A") == {"B", "C"}
+
+    def test_recursion_detection(self):
+        program = RelProgram()
+        program.define("E", Relation([(1, 2)]))
+        program.add_source(
+            """
+            def T(x, y) : E(x, y)
+            def T(x, y) : exists((z) | E(x, z) and T(z, y))
+            def Flat(x) : E(x, _)
+            """
+        )
+        assert program.is_recursive("T")
+        assert not program.is_recursive("Flat")

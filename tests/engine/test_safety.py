@@ -1,0 +1,98 @@
+"""Safety: the conservative range-restriction rules of Section 3.1/3.2."""
+
+import pytest
+
+from repro import RelProgram, Relation, SafetyError
+
+
+@pytest.fixture
+def program():
+    p = RelProgram()
+    p.define("P", Relation([(1,), (2,), (3,)]))
+    p.define("E", Relation([(1, 2), (2, 3)]))
+    return p
+
+
+class TestUnsafeExpressions:
+    def test_negation_only(self, program):
+        with pytest.raises(SafetyError):
+            program.query("(x) : not P(x)")
+
+    def test_infinite_builtin_unrestricted(self, program):
+        with pytest.raises(SafetyError):
+            program.query("(x, y) : add(x, y, 0)")
+
+    def test_bare_wildcard(self, program):
+        with pytest.raises(SafetyError):
+            program.query("(x) : x = _")
+
+    def test_disjunct_must_bind_everywhere(self, program):
+        """A variable bound in only one disjunct is unsafe."""
+        with pytest.raises(SafetyError):
+            program.query("(x, y) : (P(x) and P(y)) or P(x)")
+
+    def test_comparison_cannot_generate(self, program):
+        with pytest.raises(SafetyError):
+            program.query("(x) : x > 3")
+
+    def test_unsafe_definition_rejected_at_query(self, program):
+        program.add_source("def Bad(x) : not P(x)")
+        with pytest.raises(SafetyError):
+            program.relation("Bad")
+
+
+class TestSafeDespiteInfiniteParts:
+    def test_infinite_conjunct_bounded_by_finite(self, program):
+        got = program.query("(x, y) : P(x) and add(x, y, 0)")
+        assert sorted(got.tuples) == [(1, -1), (2, -2), (3, -3)]
+
+    def test_type_guard_as_check(self, program):
+        got = program.query("(x) : P(x) and Int(x)")
+        assert len(got) == 3
+
+    def test_unsafe_definition_usable_in_safe_context(self, program):
+        """The paper's AdditiveInverse: unsafe alone, safe intersected."""
+        program.add_source(
+            """
+            def AdditiveInverse(x, y) : Int(x) and Int(y) and add(x, y, 0)
+            def Safe(x, y) : P(x) and AdditiveInverse(x, y)
+            """
+        )
+        assert sorted(program.relation("Safe").tuples) == [
+            (1, -1), (2, -2), (3, -3)
+        ]
+        with pytest.raises(SafetyError):
+            program.relation("AdditiveInverse")
+
+    def test_demand_only_definition_with_bound_argument(self, program):
+        program.add_source("def Inc(x, y) : Int(x) and y = x + 1")
+        assert sorted(program.query("Inc[41]").tuples) == [(42,)]
+        with pytest.raises(SafetyError):
+            program.relation("Inc")
+
+    def test_vector_needs_dimension(self, program):
+        """vector[d, i] is demand-only: d must come from the call site."""
+        got = program.query("vector[4]")
+        assert sorted(got.tuples) == [(1, 0.25), (2, 0.25), (3, 0.25), (4, 0.25)]
+        with pytest.raises(SafetyError):
+            program.relation("vector")
+
+
+class TestOrderingFlexibility:
+    def test_generator_after_filter_in_source_order(self, program):
+        """The scheduler reorders: the filter is written first."""
+        got = program.query("(x) : x > 1 and P(x)")
+        assert sorted(got.tuples) == [(2,), (3,)]
+
+    def test_arithmetic_needs_operands_first(self, program):
+        got = program.query("(x, y) : y = x + 1 and P(x)")
+        assert sorted(got.tuples) == [(1, 2), (2, 3), (3, 4)]
+
+    def test_negation_scheduled_last(self, program):
+        got = program.query("(x) : not E(x, _) and P(x)")
+        assert sorted(got.tuples) == [(3,)]
+
+    def test_inverted_argument_expression(self, program):
+        """j-1 as an argument solves for j (APSP's pattern)."""
+        got = program.query("(j) : E(1, j - 1)")
+        assert sorted(got.tuples) == [(3,)]

@@ -1,0 +1,122 @@
+"""Property-based semantic laws, checked on the production engine.
+
+Classical first-order equivalences must hold for all (finite) databases:
+De Morgan, quantifier duality, double negation, distribution, the
+formula/expression coincidences of Section 5.3.1, and the library
+operators' algebraic laws.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RelProgram, Relation
+
+pairs = st.tuples(st.integers(0, 4), st.integers(0, 4))
+rels = st.builds(Relation, st.lists(pairs, max_size=10))
+
+
+def program_with(r, s):
+    program = RelProgram(database={"R": r, "S": s})
+    return program
+
+
+EQUIVALENCES = [
+    # De Morgan
+    ("(x) : R(x,_) and not (S(x,_) or R(_,x))",
+     "(x) : R(x,_) and not S(x,_) and not R(_,x)"),
+    ("(x) : R(x,_) and not (S(x,_) and R(_,x))",
+     "(x) : R(x,_) and (not S(x,_) or not R(_,x))"),
+    # double negation
+    ("(x) : R(x,_) and not not S(x,_)",
+     "(x) : R(x,_) and S(x,_)"),
+    # quantifier duality
+    ("(x) : R(x,_) and not exists((y) | S(x,y))",
+     "(x) : R(x,_) and forall((y) | not S(x,y))"),
+    # distribution of and over or
+    ("(x) : R(x,_) and (S(x,_) or R(_,x))",
+     "(x) : (R(x,_) and S(x,_)) or (R(x,_) and R(_,x))"),
+    # implication definition
+    ("(x) : R(x,_) and (S(x,_) implies R(_,x))",
+     "(x) : R(x,_) and (not S(x,_) or R(_,x))"),
+    # exists over or splits
+    ("(x) : R(x,_) and exists((y) | S(x,y) or S(y,x))",
+     "(x) : R(x,_) and (exists((y) | S(x,y)) or exists((y) | S(y,x)))"),
+]
+
+
+@pytest.mark.parametrize("lhs,rhs", EQUIVALENCES,
+                         ids=[f"eq{i}" for i in range(len(EQUIVALENCES))])
+@settings(max_examples=15, deadline=None)
+@given(r=rels, s=rels)
+def test_fo_equivalences(lhs, rhs, r, s):
+    program = program_with(r, s)
+    assert program.query(lhs) == program.query(rhs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(r=rels, s=rels)
+def test_union_library_matches_model_union(r, s):
+    program = program_with(r, s)
+    assert program.query("Union[R, S]") == r.union(s)
+
+
+@settings(max_examples=20, deadline=None)
+@given(r=rels, s=rels)
+def test_minus_library_matches_model_difference(r, s):
+    program = program_with(r, s)
+    assert program.query("Minus[R, S]") == r.difference(s)
+
+
+@settings(max_examples=20, deadline=None)
+@given(r=rels, s=rels)
+def test_product_library_matches_model_product(r, s):
+    program = program_with(r, s)
+    assert program.query("Product[R, S]") == r.product(s)
+
+
+@settings(max_examples=15, deadline=None)
+@given(r=rels)
+def test_count_matches_cardinality(r):
+    program = program_with(r, Relation())
+    got = program.query("count[R] <++ 0")
+    assert got == Relation([(len(r),)])
+
+
+@settings(max_examples=15, deadline=None)
+@given(r=rels)
+def test_sum_matches_python(r):
+    program = program_with(r, Relation())
+    got = program.query("sum[R]")
+    if not r:
+        assert not got
+    else:
+        assert got == Relation([(sum(t[-1] for t in r),)])
+
+
+@settings(max_examples=15, deadline=None)
+@given(r=rels, s=rels)
+def test_dot_join_definition(r, s):
+    """A . B ≡ exists t: A(x…, t) and B(t, y…) with t dropped."""
+    program = program_with(r, s)
+    infix = program.query("R . S")
+    expected = Relation([
+        a[:-1] + b[1:]
+        for a in r for b in s
+        if a and b and a[-1] == b[0]
+    ])
+    assert infix == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(r=rels, s=rels)
+def test_left_override_laws(r, s):
+    program = program_with(r, s)
+    override = program.query("R <++ S")
+    # Every tuple of R survives; added tuples' key prefixes are new.
+    for t in r:
+        assert t in override
+    r_keys = {t[:-1] for t in r if t}
+    for t in override.tuples:
+        if t not in r.tuples:
+            assert t in s.tuples and t[:-1] not in r_keys

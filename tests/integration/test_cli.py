@@ -1,0 +1,111 @@
+"""The command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(args, stdin=None):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, input=stdin, timeout=240,
+    )
+    return result
+
+
+class TestInlineSource:
+    def test_output_relation_printed(self, capsys):
+        assert main(["-e", "def output(x) : {(1); (2)}(x)"]) == 0
+        out = capsys.readouterr().out
+        assert "output (2 tuples):" in out
+        assert "(1)" in out and "(2)" in out
+
+    def test_query_flag(self, capsys):
+        assert main(["-e", "def P(x) : {(1); (2); (3)}(x)",
+                     "-q", "count[P]"]) == 0
+        out = capsys.readouterr().out
+        assert "(3)" in out
+
+    def test_relation_flag(self, capsys):
+        assert main(["-e", "def P(x) : {(9)}(x)", "--relation", "P"]) == 0
+        assert "(9)" in capsys.readouterr().out
+
+    def test_error_reported(self, capsys):
+        assert main(["-e", "def Bad(x) : not Bad(x)"]) == 0  # no output rule
+        assert main(["-e", "def output(x) : not output(x)"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error(self, capsys):
+        assert main(["-e", "def ("]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFiles:
+    def test_program_file(self, tmp_path, capsys):
+        source = tmp_path / "p.rel"
+        source.write_text("def output(x, y) : E(x, y)\n")
+        data = tmp_path / "edges.tsv"
+        data.write_text("1\t2\n2\t3\n")
+        assert main([str(source), "--load", f"E={data}"]) == 0
+        out = capsys.readouterr().out
+        assert "output (2 tuples):" in out
+
+    def test_tsv_type_inference(self, tmp_path, capsys):
+        data = tmp_path / "vals.tsv"
+        data.write_text('a\t1\nb\t2.5\nc\ttrue\n')
+        assert main(["--load", f"V={data}", "-q", "V"]) == 0
+        out = capsys.readouterr().out
+        assert '("a", 1)' in out
+        assert '("b", 2.5)' in out
+        assert '("c", true)' in out
+
+    def test_stdin(self):
+        result = run_cli(["-"], stdin="def output(x) : {(42)}(x)\n")
+        assert result.returncode == 0
+        assert "(42)" in result.stdout
+
+
+class TestTransitiveClosureEndToEnd:
+    def test_recursive_program_via_cli(self, tmp_path, capsys):
+        source = tmp_path / "tc.rel"
+        source.write_text(
+            "def TC(x, y) : E(x, y)\n"
+            "def TC(x, y) : exists((z) | E(x, z) and TC(z, y))\n"
+            "def output(x, y) : TC(x, y)\n"
+        )
+        data = tmp_path / "e.tsv"
+        data.write_text("1\t2\n2\t3\n")
+        assert main([str(source), "--load", f"E={data}"]) == 0
+        out = capsys.readouterr().out
+        assert "output (3 tuples):" in out
+
+
+class TestRepl:
+    def test_define_query_and_quit(self):
+        result = run_cli(
+            ["--repl"],
+            stdin="def P(x) : {(1);(2)}(x)\ncount[P]\n:quit\n",
+        )
+        assert result.returncode == 0
+        assert "ok" in result.stdout
+        assert "(2)" in result.stdout
+
+    def test_errors_do_not_kill_session(self):
+        result = run_cli(
+            ["--repl"],
+            stdin="this is not rel\nadd[1, 2]\n:quit\n",
+        )
+        assert result.returncode == 0
+        assert "error:" in result.stdout
+        assert "(3)" in result.stdout
+
+    def test_relations_listing(self):
+        result = run_cli(["--repl"], stdin=":relations\n:quit\n")
+        assert "APSP" in result.stdout
+
+    def test_eof_exits_cleanly(self):
+        result = run_cli(["--repl"], stdin="")
+        assert result.returncode == 0

@@ -1,0 +1,96 @@
+"""E14–E15: Addendum A — dispatch disambiguation and formal-semantics cases.
+
+The paper's addUp has no base case and does not terminate under
+least-fixpoint semantics (addUp[0] = 0 + addUp[0]); we add the standard
+digit base case. The disambiguation behaviour — the addendum's actual
+point — is reproduced exactly: ?{11;22} → {2, 4}, &{11;22} → {33}, and the
+bare braced literal is an error.
+"""
+
+import pytest
+
+from repro import DispatchError, RelProgram, Relation
+
+ADDUP = """
+    def addUp[{A}] : sum[A]
+    def addUp[x in Int] : x where x >= 0 and x < 10
+    def addUp[x in Int] : x%10 + addUp[(x-x%10)/10] where x >= 10
+"""
+
+
+@pytest.fixture
+def program():
+    return RelProgram(ADDUP)
+
+
+class TestAddUpDisambiguation:
+    def test_first_order_reading(self, program):
+        assert sorted(program.query("addUp[?{11;22}]").tuples) == [(2,), (4,)]
+
+    def test_second_order_reading(self, program):
+        assert program.query("addUp[&{11;22}]") == Relation([(33,)])
+
+    def test_ambiguous_application_rejected(self, program):
+        with pytest.raises(DispatchError, match="disambiguate"):
+            program.query("addUp[{11;22}]")
+
+    def test_scalar_argument_needs_no_annotation(self, program):
+        """'We can drop & and ? if the engine can figure out' — a scalar is
+        unambiguously first-order."""
+        assert program.query("addUp[907]") == Relation([(16,)])
+
+    def test_relation_name_needs_no_annotation(self, program):
+        program.define("Vals", Relation([(11,), (22,)]))
+        assert program.query("addUp[Vals]") == Relation([(33,)])
+
+    def test_digit_sum_correct(self, program):
+        for n, digits in [(0, 0), (5, 5), (10, 1), (99, 18), (1234, 10)]:
+            assert program.query(f"addUp[{n}]") == Relation([(digits,)])
+
+    def test_negative_numbers_excluded(self, program):
+        assert not program.query("addUp[?{0 - 5}]")
+
+
+class TestSecondOrderTuples:
+    def test_relations_as_tuple_elements(self):
+        """Tuples2: ⟨{⟨1,2⟩,⟨3,4⟩}, 5⟩ is a valid tuple."""
+        inner = Relation([(1, 2), (3, 4)])
+        outer = Relation([(inner, 5)])
+        assert (inner, 5) in outer
+
+    def test_second_order_element_match(self):
+        program = RelProgram()
+        inner = Relation([(1, 2)])
+        program.define("Tagged", Relation([(inner, "yes")]))
+        got = program.query("Tagged[&{(1, 2)}]")
+        assert got == Relation([("yes",)])
+
+
+class TestFormalSemanticsCorners:
+    """Direct checks of Figure 3/4 equations on the production engine."""
+
+    @pytest.fixture
+    def program(self):
+        return RelProgram(database={"R": Relation([(1, 2), (3, 4), (1, 9)])})
+
+    def test_wildcard_application(self, program):
+        """J{e}[_]K drops the first column."""
+        assert sorted(program.query("R[_]").tuples) == [(2,), (4,), (9,)]
+
+    def test_tuple_wildcard_application(self, program):
+        """J{e}[_...]K yields all suffixes."""
+        got = program.query("R[_...]")
+        assert set(got.tuples) == {(), (2,), (4,), (9,), (1, 2), (3, 4), (1, 9)}
+
+    def test_empty_and_unit_literals(self, program):
+        assert program.query("{}").tuples == frozenset()
+        assert program.query("{()}").tuples == frozenset({()})
+
+    def test_first_order_annotation_filters(self, program):
+        got = program.query("R[?{1; 3}]")
+        assert sorted(got.tuples) == [(2,), (4,), (9,)]
+
+    def test_reduce_formula_form(self, program):
+        program.define("Ns", Relation([("a", 2), ("b", 3)]))
+        assert program.query("reduce(add, Ns, 5)").to_bool()
+        assert not program.query("reduce(add, Ns, 6)").to_bool()

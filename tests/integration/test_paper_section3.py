@@ -1,0 +1,169 @@
+"""E1–E3: every Section 3 example against the Figure 1 database, bit-exact.
+
+The expected results are the ones the paper states in prose.
+"""
+
+import pytest
+
+from repro import RelProgram, Relation, SafetyError
+
+
+@pytest.fixture
+def program(fig1):
+    return RelProgram(database=fig1)
+
+
+def rel(program, source, name):
+    program.add_source(source)
+    return sorted(program.relation(name).tuples)
+
+
+class TestSection31Basics:
+    def test_order_with_payment_exists(self, program):
+        got = rel(program,
+                  "def OrderWithPayment(y) : exists ((x) | PaymentOrder(x,y))",
+                  "OrderWithPayment")
+        assert got == [("O1",), ("O2",), ("O3",)]  # "O1" once: set semantics
+
+    def test_order_with_payment_wildcard(self, program):
+        got = rel(program,
+                  "def OrderWithPayment(y) : PaymentOrder(_,y)",
+                  "OrderWithPayment")
+        assert got == [("O1",), ("O2",), ("O3",)]
+
+    def test_ordered_products(self, program):
+        got = rel(program,
+                  "def OrderedProducts(y) : OrderProductQuantity(_,y,_)",
+                  "OrderedProducts")
+        assert got == [("P1",), ("P2",), ("P3",)]
+
+    def test_ordered_product_price(self, program):
+        got = rel(program,
+                  """def OrderedProductPrice(x,y) :
+                     OrderProductQuantity(_,x,_) and ProductPrice(x,y)""",
+                  "OrderedProductPrice")
+        assert got == [("P1", 10), ("P2", 20), ("P3", 30)]
+
+    @pytest.mark.parametrize("body", [
+        """ProductPrice(x,_) and
+           not exists ((y1,y2) | OrderProductQuantity(y1,x,y2))""",
+        """ProductPrice(x,_) and
+           forall ((y1,y2) | not OrderProductQuantity(y1,x,y2))""",
+        "ProductPrice(x,_) and not OrderProductQuantity(_,x,_)",
+    ])
+    def test_not_ordered_three_formulations(self, program, body):
+        got = rel(program, f"def NotOrdered(x) : {body}", "NotOrdered")
+        assert got == [("P4",)]
+
+    def test_always_ordered_with_restricted_forall(self, program):
+        program.add_source('def Vo(o) : {("O1"); ("O2")}(o)')
+        got = rel(program,
+                  """def AlwaysOrdered(x) : ProductPrice(x,_) and
+                     forall ((o in Vo) | OrderProductQuantity(o,x,_))""",
+                  "AlwaysOrdered")
+        assert got == [("P1",)]
+
+    def test_unsafe_not_p1_price(self, program):
+        program.add_source('def NotP1Price(x) : not ProductPrice("P1",x)')
+        with pytest.raises(SafetyError):
+            program.relation("NotP1Price")
+
+
+class TestSection32InfiniteRelations:
+    def test_discounted_product_price(self, program):
+        got = rel(program,
+                  """def DiscountedproductPrice(x,y) :
+                     exists ((z) | ProductPrice(x,z) and add(y,5,z))""",
+                  "DiscountedproductPrice")
+        assert got == [("P1", 5), ("P2", 15), ("P3", 25), ("P4", 35)]
+
+    def test_additive_inverse_unsafe_alone(self, program):
+        program.add_source(
+            "def AdditiveInverse(x,y) : Int(x) and Int(y) and add(x,y,0)"
+        )
+        with pytest.raises(SafetyError):
+            program.relation("AdditiveInverse")
+
+    def test_additive_inverse_safe_intersected(self, program):
+        program.add_source(
+            """
+            def AdditiveInverse(x,y) : Int(x) and Int(y) and add(x,y,0)
+            def Fin(x) : ProductPrice(_, x)
+            def Safe(x, y) : Fin(x) and AdditiveInverse(x, y)
+            """
+        )
+        assert sorted(program.relation("Safe").tuples) == [
+            (10, -10), (20, -20), (30, -30), (40, -40)
+        ]
+
+    def test_psychologically_priced(self, program):
+        got = rel(program,
+                  """def PsychologicallyPriced(x) :
+                     exists ((y) | ProductPrice(x,y) and y % 100 = 99)""",
+                  "PsychologicallyPriced")
+        assert got == []  # no 99-modulo prices in Figure 1
+
+    def test_psychologically_priced_witness(self, program):
+        program.define("ProductPrice",
+                       Relation([("P1", 199), ("P2", 20)]))
+        got = rel(program,
+                  """def PsychologicallyPriced(x) :
+                     exists ((y) | ProductPrice(x,y) and y % 100 = 99)""",
+                  "PsychologicallyPriced")
+        assert got == [("P1",)]
+
+
+class TestSection33CodeFlow:
+    SOURCE = """
+        def SameOrder(p1, p2) :
+            exists((order) | OrderProductQuantity(order, p1, _)
+            and OrderProductQuantity(order, p2, _))
+        def SameOrderDiffProduct(p1, p2) :
+            SameOrder(p1, p2) and p1 != p2
+        def Expensive(p) :
+            exists ((price) | ProductPrice(p,price) and price > 15)
+        def BoughtWithExpensiveProduct(p) :
+            exists((x in Expensive) | SameOrderDiffProduct(x, p))
+    """
+
+    def test_same_order_diff_product(self, program):
+        program.add_source(self.SOURCE)
+        assert sorted(program.relation("SameOrderDiffProduct").tuples) == [
+            ("P1", "P2"), ("P2", "P1")
+        ]
+
+    def test_expensive(self, program):
+        program.add_source(self.SOURCE)
+        assert sorted(program.relation("Expensive").tuples) == [
+            ("P2",), ("P3",), ("P4",)
+        ]
+
+    def test_bought_with_expensive_product(self, program):
+        program.add_source(self.SOURCE)
+        assert sorted(program.relation("BoughtWithExpensiveProduct").tuples) \
+            == [("P1",)]
+
+    def test_rule_order_irrelevant(self, fig1):
+        """The same program with rules reversed gives identical results."""
+        lines = [l for l in self.SOURCE.strip().split("\n        def ") if l]
+        forward = RelProgram(database=fig1)
+        forward.add_source(self.SOURCE)
+        backward = RelProgram(database=fig1)
+        backward.add_source(
+            "\n".join("def " + l.removeprefix("def ").strip()
+                      for l in reversed(lines))
+        )
+        assert forward.relation("BoughtWithExpensiveProduct") == \
+            backward.relation("BoughtWithExpensiveProduct")
+
+    def test_transitive_closure(self, program):
+        program.define("E", Relation([(1, 2), (2, 3), (2, 4)]))
+        program.add_source(
+            """
+            def TC_E(x,y) : E(x,y)
+            def TC_E(x,y) : exists((z) | E(x,z) and TC_E(z,y))
+            """
+        )
+        assert sorted(program.relation("TC_E").tuples) == [
+            (1, 2), (1, 3), (1, 4), (2, 3), (2, 4)
+        ]

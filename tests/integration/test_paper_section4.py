@@ -1,0 +1,127 @@
+"""E6–E8: Section 4 — tuple variables, relation variables, application,
+abstraction. Expected values are the paper's."""
+
+import pytest
+
+from repro import RelProgram, Relation
+
+
+@pytest.fixture
+def rs_program():
+    """R = {⟨1,2⟩, ⟨3,4⟩}, S = {⟨5,6⟩} (Section 4.1)."""
+    p = RelProgram()
+    p.define("R", Relation([(1, 2), (3, 4)]))
+    p.define("S", Relation([(5, 6)]))
+    return p
+
+
+@pytest.fixture
+def fig1_p(fig1):
+    return RelProgram(database=fig1)
+
+
+class TestSection41TupleVariables:
+    def test_fixed_arity_product(self, rs_program):
+        rs_program.add_source("def ProductRS(a,b,c,d) : R(a,b) and S(c,d)")
+        assert sorted(rs_program.relation("ProductRS").tuples) == [
+            (1, 2, 5, 6), (3, 4, 5, 6)
+        ]
+
+    def test_tuple_variable_product(self, rs_program):
+        rs_program.add_source("def ProductRS(x...,y...) : R(x...) and S(y...)")
+        assert sorted(rs_program.relation("ProductRS").tuples) == [
+            (1, 2, 5, 6), (3, 4, 5, 6)
+        ]
+
+    def test_prefixes(self, rs_program):
+        rs_program.add_source("def Prefix(x...) : R(x...,_...)")
+        assert sorted(rs_program.relation("Prefix").tuples, key=repr) == \
+            sorted([(), (1,), (1, 2), (3,), (3, 4)], key=repr)
+
+    def test_permutations(self, rs_program):
+        rs_program.add_source(
+            """
+            def Perm(x...) : R(x...)
+            def Perm(x...,a,y...,b,z...) : Perm(x...,b,y...,a,z...)
+            """
+        )
+        assert sorted(rs_program.relation("Perm").tuples) == [
+            (1, 2), (2, 1), (3, 4), (4, 3)
+        ]
+
+
+class TestSection42RelationVariables:
+    def test_product_is_arity_generic(self, rs_program):
+        rs_program.define("T", Relation([(1, 2, 3)]))
+        assert len(rs_program.query("Product[R, S]").arities()) == 1
+        assert rs_program.query("Product[T, S]").arity == 5
+
+
+class TestSection43Application:
+    def test_full_application_on_second_order(self, rs_program):
+        assert rs_program.query("Product(R, S, 1, 2, 5, 6)").to_bool()
+        assert not rs_program.query("Product(R, S, 1, 2, 6, 5)").to_bool()
+
+    def test_partial_application_prefix(self, fig1_p):
+        assert sorted(fig1_p.query('OrderProductQuantity["O1"]').tuples) == [
+            ("P1", 2), ("P2", 1)
+        ]
+
+    def test_cartesian_shorthand(self, rs_program):
+        assert rs_program.query("(R,S)") == rs_program.query("Product[R,S]")
+
+    def test_singleton_literal(self, rs_program):
+        assert rs_program.query('("P4",40)') == Relation([("P4", 40)])
+
+    def test_boolean_encoding(self, fig1_p):
+        """Arity-zero results are {⟨⟩} (true) or {} (false)."""
+        yes = fig1_p.query('ProductPrice("P1", 10)')
+        no = fig1_p.query('ProductPrice("P1", 11)')
+        assert yes.tuples == frozenset({()})
+        assert no.tuples == frozenset()
+
+    def test_partial_equals_full_when_saturated(self, fig1_p):
+        assert fig1_p.query('ProductPrice["P1", 10]') == \
+            fig1_p.query('ProductPrice("P1", 10)')
+
+
+class TestSection44Abstraction:
+    def test_set_comprehension(self, fig1_p):
+        got = fig1_p.query('{(x,y) : OrderProductQuantity(x,"P1",y)}')
+        assert sorted(got.tuples) == [("O1", 2), ("O2", 1)]
+
+    def test_expression_4(self, fig1_p):
+        """The worked example (4): orders, payments, and their lines."""
+        got = fig1_p.query(
+            "{[x,y] : (OrderProductQuantity[x], PaymentOrder(y,x))}"
+        )
+        assert sorted(got.tuples) == [
+            ("O1", "Pmt1", "P1", 2), ("O1", "Pmt1", "P2", 1),
+            ("O1", "Pmt3", "P1", 2), ("O1", "Pmt3", "P2", 1),
+            ("O2", "Pmt2", "P1", 1), ("O3", "Pmt4", "P3", 4),
+        ]
+
+    def test_expression_4_range_restricted(self, fig1_p):
+        """Restricting y to V = {Pmt2, Pmt4} (the paper's follow-up)."""
+        fig1_p.add_source('def Vp(v) : {("Pmt2"); ("Pmt4")}(v)')
+        got = fig1_p.query(
+            "{[x, y in Vp] : (OrderProductQuantity[x], PaymentOrder(y,x))}"
+        )
+        assert sorted(got.tuples) == [
+            ("O2", "Pmt2", "P1", 1), ("O3", "Pmt4", "P3", 4),
+        ]
+
+    def test_where_rewrite_equivalent(self, fig1_p):
+        """Expression (4) rewritten with where (Section 5.3.1)."""
+        product_form = fig1_p.query(
+            "{[x,y] : (OrderProductQuantity[x], PaymentOrder(y,x))}"
+        )
+        where_form = fig1_p.query(
+            "{[x,y] : OrderProductQuantity[x] where PaymentOrder(y,x)}"
+        )
+        assert product_form == where_form
+
+    def test_projection_example(self, fig1_p):
+        fig1_p.define("R4", Relation([(1, 2, 3, 4), (5, 6, 7, 8)]))
+        got = fig1_p.query("(x,y) : R4(x,_,y,_...)")
+        assert sorted(got.tuples) == [(1, 3), (5, 7)]

@@ -1,0 +1,127 @@
+"""E9–E11: Section 5 — aggregation, RA and LA libraries, worked examples."""
+
+import pytest
+
+from repro import RelProgram, Relation
+
+
+@pytest.fixture
+def program(fig1):
+    return RelProgram(database=fig1)
+
+
+class TestSection52Aggregation:
+    def test_aggregates_from_reduce(self, program):
+        """sum/count/min/max/avg are library definitions over reduce."""
+        assert program.query("sum[PaymentAmount]") == Relation([(130,)])
+        assert program.query("count[PaymentAmount]") == Relation([(4,)])
+        assert program.query("min[PaymentAmount]") == Relation([(10,)])
+        assert program.query("max[PaymentAmount]") == Relation([(90,)])
+        assert program.query("avg[PaymentAmount]") == Relation([(32.5,)])
+
+    def test_count_is_sum_of_ones(self, program):
+        assert program.query("reduce[add,(PaymentAmount,1)]") == \
+            program.query("count[PaymentAmount]")
+
+    def test_order_paid_grouping(self, program):
+        program.add_source(
+            """
+            def Ord(x) : OrderProductQuantity(x,_,_)
+            def OrderPaymentAmount(x,y,z) :
+                PaymentOrder(y,x) and PaymentAmount(y,z)
+            def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]]
+            """
+        )
+        assert sorted(program.relation("OrderPaid").tuples) == [
+            ("O1", 30), ("O2", 10), ("O3", 90)
+        ]
+
+    def test_orders_without_payments_absent_then_defaulted(self, fig1):
+        """The paper's point: empty groups vanish; <++ 0 restores them."""
+        db = dict(fig1)
+        db["OrderProductQuantity"] = db["OrderProductQuantity"].union(
+            Relation([("O4", "P4", 1)])  # an unpaid order
+        )
+        program = RelProgram(database=db)
+        program.add_source(
+            """
+            def Ord(x) : OrderProductQuantity(x,_,_)
+            def OrderPaymentAmount(x,y,z) :
+                PaymentOrder(y,x) and PaymentAmount(y,z)
+            def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]]
+            def OrderPaidD[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0
+            """
+        )
+        paid = dict(program.relation("OrderPaid").tuples)
+        assert "O4" not in paid
+        defaulted = dict(program.relation("OrderPaidD").tuples)
+        assert defaulted["O4"] == 0
+
+    def test_argmin_definition(self, program):
+        """Argmin[A] = A.(min[A]) — dot join against the minimum."""
+        assert sorted(program.query("Argmin[PaymentAmount]").tuples) == [
+            ("Pmt2",), ("Pmt3",)
+        ]
+
+
+class TestSection531RelationalAlgebra:
+    def test_sigma_product_union(self):
+        program = RelProgram(database={
+            "R": Relation([(1,), (2,)]),
+            "S": Relation([(1,), (3,)]),
+            "B": Relation([(7, 7)]),
+        })
+        program.add_source("def Cond12(x1,x2,x...) : {x1=x2}")
+        got = program.query("Union[Select[Product[R,S],Cond12],B]")
+        assert sorted(got.tuples) == [(1, 1), (7, 7)]
+
+    def test_union_shorthand(self, program):
+        program.define("A1", Relation([(1,)]))
+        program.define("B1", Relation([(2,)]))
+        assert program.query("{A1; B1}") == program.query("Union[A1, B1]")
+
+    def test_constant_relations_from_literals(self, program):
+        got = program.query("{(1,2,3) ; (4,5,6) ; (7,8,9) }")
+        assert sorted(got.tuples) == [(1, 2, 3), (4, 5, 6), (7, 8, 9)]
+
+
+class TestSection532LinearAlgebra:
+    def test_scalar_product_verbatim_24(self):
+        """u=(4,2), v=(3,6) → u·v = 24, including the intermediate set."""
+        program = RelProgram(database={
+            "U": Relation([(1, 4), (2, 2)]),
+            "W": Relation([(1, 3), (2, 6)]),
+        })
+        inner = program.query("[k] : U[k]*W[k]")
+        assert sorted(inner.tuples) == [(1, 12), (2, 12)]
+        assert program.query("ScalarProd[U,W]") == Relation([(24,)])
+
+    def test_sum_consumes_whole_tuples(self):
+        """The paper stresses sum applies to {⟨i, u_i·v_i⟩}, not its last
+        column's projection — both positions contribute 12 here."""
+        program = RelProgram(database={
+            "U": Relation([(1, 4), (2, 2)]),
+            "W": Relation([(1, 3), (2, 6)]),
+        })
+        ((total,),) = program.query("ScalarProd[U,W]").tuples
+        assert total == 24  # 12 + 12, not 12
+
+    def test_matrix_mult_2x2(self):
+        program = RelProgram(database={
+            "M1": Relation([(1, 1, 1), (1, 2, 2), (2, 1, 3), (2, 2, 4)]),
+            "M2": Relation([(1, 1, 5), (1, 2, 6), (2, 1, 7), (2, 2, 8)]),
+        })
+        assert sorted(program.query("MatrixMult[M1,M2]").tuples) == [
+            (1, 1, 19), (1, 2, 22), (2, 1, 43), (2, 2, 50)
+        ]
+
+    def test_point_free_robust_to_dimensions(self):
+        """MatrixMult works for any dimensions without code changes."""
+        program = RelProgram(database={
+            "A2": Relation([(1, 1, 2), (1, 2, 0), (1, 3, 1),
+                            (2, 1, 0), (2, 2, 1), (2, 3, 1)]),
+            "B2": Relation([(1, 1, 1), (2, 1, 2), (3, 1, 3)]),
+        })
+        assert sorted(program.query("MatrixMult[A2,B2]").tuples) == [
+            (1, 1, 5), (2, 1, 5)
+        ]

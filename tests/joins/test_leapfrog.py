@@ -1,0 +1,136 @@
+"""Leapfrog triejoin: correctness against brute force and binary plans."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import Atom, binary_plan_join, leapfrog_triejoin, multiway_join
+from repro.joins.leapfrog import build_sorted_trie, _TrieIterator
+
+
+class TestSortedTrie:
+    def test_keys_sorted_per_level(self):
+        trie = build_sorted_trie([(3, 1), (1, 2), (1, 1), (2, 9)])
+        assert trie.keys == [1, 2, 3]
+        assert trie.children[0].keys == [1, 2]
+
+    def test_duplicates_collapse(self):
+        trie = build_sorted_trie([(1, 2), (1, 2)])
+        assert trie.keys == [1]
+        assert trie.children[0].keys == [2]
+
+
+class TestLeapfrogBasic:
+    def test_single_atom_enumeration(self):
+        rows = [(1, 2), (3, 4)]
+        out = leapfrog_triejoin([(rows, ("a", "b"))], ("a", "b"))
+        assert sorted(out) == rows
+
+    def test_two_way_join(self):
+        r = [(1, 10), (2, 20)]
+        s = [(10, "x"), (20, "y"), (30, "z")]
+        out = leapfrog_triejoin([(r, ("a", "b")), (s, ("b", "c"))],
+                                ("a", "b", "c"))
+        assert sorted(out) == [(1, 10, "x"), (2, 20, "y")]
+
+    def test_intersection_of_unary(self):
+        out = leapfrog_triejoin(
+            [([(1,), (2,), (3,)], ("x",)), ([(2,), (3,), (4,)], ("x",))],
+            ("x",),
+        )
+        assert sorted(out) == [(2,), (3,)]
+
+    def test_empty_input(self):
+        out = leapfrog_triejoin([([], ("a", "b"))], ("a", "b"))
+        assert out == []
+
+    def test_disjoint_intersection(self):
+        out = leapfrog_triejoin(
+            [([(1,)], ("x",)), ([(2,)], ("x",))], ("x",)
+        )
+        assert out == []
+
+    def test_misaligned_atom_rejected(self):
+        with pytest.raises(ValueError, match="not aligned"):
+            leapfrog_triejoin([([(1, 2)], ("b", "a"))], ("a", "b"))
+
+
+class TestTriangles:
+    def brute_triangles(self, edges):
+        es = set(edges)
+        return sorted({
+            (a, b, c) for (a, b) in es for (b2, c) in es if b2 == b
+            for (a2, c2) in es if a2 == a and c2 == c
+        })
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_triangle_query_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        edges = list({(rng.randrange(12), rng.randrange(12))
+                      for _ in range(45)})
+        atoms = [
+            Atom.of(edges, ("a", "b")),
+            Atom.of(edges, ("b", "c")),
+            Atom.of(edges, ("a", "c")),
+        ]
+        lf = sorted(multiway_join(atoms, ("a", "b", "c"), "leapfrog"))
+        assert lf == self.brute_triangles(edges)
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_leapfrog_equals_binary_plan(self, seed):
+        rng = random.Random(seed)
+        edges = list({(rng.randrange(15), rng.randrange(15))
+                      for _ in range(60)})
+        atoms = [
+            Atom.of(edges, ("a", "b")),
+            Atom.of(edges, ("b", "c")),
+            Atom.of(edges, ("a", "c")),
+        ]
+        lf = sorted(multiway_join(atoms, ("a", "b", "c"), "leapfrog"))
+        bp = sorted(multiway_join(atoms, ("a", "b", "c"), "binary"))
+        assert lf == bp
+
+
+class TestFourCliques:
+    def test_four_clique_query(self):
+        """Six atoms over four variables — a deeper multiway join."""
+        vertices = range(7)
+        edges = [(u, v) for u in vertices for v in vertices if u < v]
+        atoms = [
+            Atom.of(edges, (a, b))
+            for a, b in [("a", "b"), ("a", "c"), ("a", "d"),
+                         ("b", "c"), ("b", "d"), ("c", "d")]
+        ]
+        out = multiway_join(atoms, ("a", "b", "c", "d"), "leapfrog")
+        from math import comb
+
+        assert len(out) == comb(7, 4)
+
+
+pair_lists = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=25
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair_lists, pair_lists)
+def test_property_leapfrog_equals_binary_two_way(r, s):
+    atoms = [Atom.of(set(r), ("a", "b")), Atom.of(set(s), ("b", "c"))]
+    lf = sorted(multiway_join(atoms, ("a", "b", "c"), "leapfrog"))
+    bp = sorted(multiway_join(atoms, ("a", "b", "c"), "binary"))
+    assert lf == bp
+
+
+@settings(max_examples=25, deadline=None)
+@given(pair_lists)
+def test_property_triangles_agree(edges):
+    atoms = [
+        Atom.of(set(edges), ("a", "b")),
+        Atom.of(set(edges), ("b", "c")),
+        Atom.of(set(edges), ("a", "c")),
+    ]
+    lf = sorted(multiway_join(atoms, ("a", "b", "c"), "leapfrog"))
+    bp = sorted(multiway_join(atoms, ("a", "b", "c"), "binary"))
+    assert lf == bp

@@ -1,0 +1,128 @@
+"""Tokenizer: the lexical quirks of Rel."""
+
+import pytest
+
+from repro.lang import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestIdentifiers:
+    def test_plain(self):
+        (tok,) = tokenize("OrderWithPayment")[:-1]
+        assert tok.kind is TokenKind.ID
+
+    def test_keywords(self):
+        assert kinds("def ic and or not exists forall where in") == [
+            TokenKind.KEYWORD
+        ] * 9
+
+    def test_tuple_variable(self):
+        toks = tokenize("x...")[:-1]
+        assert [t.kind for t in toks] == [TokenKind.TUPLEID]
+        assert toks[0].text == "x"
+
+    def test_tuple_wildcard(self):
+        assert kinds("_...") == [TokenKind.TUPLEWILD]
+
+    def test_underscore(self):
+        assert kinds("_") == [TokenKind.UNDERSCORE]
+
+    def test_underscore_prefixed_identifier(self):
+        assert kinds("_foo") == [TokenKind.ID]
+
+
+class TestNumbers:
+    def test_int(self):
+        tok = tokenize("42")[0]
+        assert tok.kind is TokenKind.INT and tok.value == 42
+
+    def test_float(self):
+        tok = tokenize("0.005")[0]
+        assert tok.kind is TokenKind.FLOAT and tok.value == 0.005
+
+    def test_scientific(self):
+        tok = tokenize("1e-3")[0]
+        assert tok.kind is TokenKind.FLOAT and tok.value == 1e-3
+
+    def test_dot_join_not_float(self):
+        """R.1 must lex as ID OP(.) INT, not a float."""
+        assert kinds("R.S") == [TokenKind.ID, TokenKind.OP, TokenKind.ID]
+
+    def test_float_division(self):
+        assert kinds("1.0/d") == [TokenKind.FLOAT, TokenKind.OP, TokenKind.ID]
+
+
+class TestStrings:
+    def test_simple(self):
+        tok = tokenize('"O1"')[0]
+        assert tok.kind is TokenKind.STRING and tok.value == "O1"
+
+    def test_escapes(self):
+        tok = tokenize(r'"a\nb\"c"')[0]
+        assert tok.value == 'a\nb"c'
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestSymbols:
+    def test_symbol_literal(self):
+        tok = tokenize(":ClosedOrders")[0]
+        assert tok.kind is TokenKind.SYMBOL and tok.value == "ClosedOrders"
+
+    def test_rule_separator_colon(self):
+        """A colon followed by whitespace is the rule separator."""
+        assert kinds("def F(x) : G(x)")[4] is TokenKind.RPAREN
+        assert kinds("def F(x) : G(x)")[5] is TokenKind.COLON
+
+    def test_symbol_in_arguments(self):
+        ks = kinds("(:Orders,x)")
+        assert ks == [TokenKind.LPAREN, TokenKind.SYMBOL, TokenKind.COMMA,
+                      TokenKind.ID, TokenKind.RPAREN]
+
+
+class TestOperators:
+    def test_left_override(self):
+        assert texts("a <++ b") == ["a", "<++", "b"]
+
+    def test_comparison_maximal_munch(self):
+        assert texts("a <= b != c >= d") == ["a", "<=", "b", "!=", "c", ">=", "d"]
+
+    def test_annotations(self):
+        assert kinds("?{x}")[0] is TokenKind.QMARK_BRACE
+        assert kinds("&{x}")[0] is TokenKind.AMP_BRACE
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [TokenKind.ID, TokenKind.ID]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [TokenKind.ID, TokenKind.ID]
+
+    def test_unterminated_block(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(LexError, match="2:1"):
+            tokenize("ok\n@")

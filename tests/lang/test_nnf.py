@@ -1,0 +1,74 @@
+"""Negation normal form: semantic correctness of the pushed negation."""
+
+import pytest
+
+from repro import RelProgram, Relation
+from repro.engine.expand import Frame, eval_relation
+from repro.engine.runtime import Env
+from repro.lang import ast, parse_expression
+from repro.lang.nnf import negate
+from repro.model.relation import EMPTY, TRUE
+
+
+class TestShapes:
+    def test_double_negation(self):
+        f = parse_expression("not R(1)")
+        assert negate(f) == f.operand
+
+    def test_implies_becomes_guarded_negation(self):
+        f = parse_expression("G(x) implies F(x)")
+        n = negate(f)
+        assert isinstance(n, ast.And)
+        assert n.lhs == f.lhs
+        assert isinstance(n.rhs, ast.Not)
+
+    def test_de_morgan(self):
+        n = negate(parse_expression("A(1) and B(2)"))
+        assert isinstance(n, ast.Or)
+        n = negate(parse_expression("A(1) or B(2)"))
+        assert isinstance(n, ast.And)
+
+    def test_quantifier_duality(self):
+        assert isinstance(negate(parse_expression("exists((x) | R(x))")),
+                          ast.ForAll)
+        assert isinstance(negate(parse_expression("forall((x) | R(x))")),
+                          ast.Exists)
+
+    def test_comparison_flip(self):
+        n = negate(parse_expression("x < y"))
+        assert isinstance(n, ast.Compare) and n.op == ">="
+
+    def test_boolean_constants(self):
+        assert negate(ast.Const(True)).value is False
+
+
+closed_formulas = [
+    "R(1,2)",
+    "not R(1,2)",
+    "R(1,2) and S(3)",
+    "R(1,2) or S(4)",
+    "R(1,2) implies S(3)",
+    "R(9,9) implies S(4)",
+    "R(1,2) iff S(3)",
+    "R(1,2) xor S(3)",
+    "exists((x) | S(x))",
+    "forall((x) | S(x) implies x > 2)",
+    "1 < 2",
+    "2 = 3",
+]
+
+
+@pytest.mark.parametrize("source", closed_formulas)
+def test_negation_complements_truth_value(source):
+    """J not F K must equal {()} − J F K for closed formulas."""
+    program = RelProgram(database={
+        "R": Relation([(1, 2)]),
+        "S": Relation([(3,)]),
+    })
+    ctx = program._context()
+    program.evaluate()
+    frame = Frame(Env.EMPTY, frozenset())
+    direct = eval_relation(parse_expression(source), frame, ctx)
+    negated = eval_relation(negate(parse_expression(source)), frame, ctx)
+    assert (direct == TRUE) != (negated == TRUE)
+    assert direct.union(negated) == TRUE

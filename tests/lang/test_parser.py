@@ -1,0 +1,215 @@
+"""Parser: AST shapes for every construct of Figure 2 and the surface sugar."""
+
+import pytest
+
+from repro.lang import ParseError, ast, parse_expression, parse_program
+from repro.model.values import Symbol
+
+
+def rule(source):
+    (decl,) = parse_program(source).declarations
+    return decl
+
+
+class TestRuleHeads:
+    def test_formula_head(self):
+        r = rule("def F(x, y) : G(x, y)")
+        assert r.formula_head
+        assert [b.name for b in r.head] == ["x", "y"]
+
+    def test_bracket_head(self):
+        r = rule("def F[x] : sum[G[x]]")
+        assert not r.formula_head
+
+    def test_equals_body(self):
+        r = rule("def log[x, y] = rel_primitive_log[x, y]")
+        assert not r.formula_head
+        assert isinstance(r.body, ast.Application)
+
+    def test_relation_variable_binding(self):
+        r = rule("def Product({A},{B},x...,y...) : A(x...) and B(y...)")
+        assert isinstance(r.head[0], ast.RelVarBinding)
+        assert isinstance(r.head[2], ast.TupleVarBinding)
+
+    def test_constant_in_head(self):
+        r = rule("def APSP({V},{E},x,y,0) : V(x) and V(y) and x = y")
+        assert isinstance(r.head[4], ast.ConstBinding)
+
+    def test_in_binding_head(self):
+        r = rule("def OrderPaid[x in Ord] : sum[OPA[x]]")
+        assert isinstance(r.head[0], ast.InBinding)
+
+    def test_operator_definition(self):
+        r = rule("def (+)(x,y,z) : add(x,y,z)")
+        assert r.name == "+"
+
+    def test_nullary_def(self):
+        r = rule("def Three : {(1);(2);(3)}")
+        assert r.head == ()
+
+    def test_braced_abstraction_head(self):
+        r = rule("def F {(x) : G(x)}")
+        assert r.formula_head
+        assert [b.name for b in r.head] == ["x"]
+
+    def test_symbol_head_binding(self):
+        r = rule("def insert(:Closed, x) : G(x)")
+        const = r.head[0]
+        assert isinstance(const, ast.ConstBinding)
+        assert const.expr.value == Symbol("Closed")
+
+
+class TestExpressions:
+    def test_product(self):
+        e = parse_expression("(R, S)")
+        assert isinstance(e, ast.ProductExpr) and len(e.items) == 2
+
+    def test_union(self):
+        e = parse_expression("{R; S; T}")
+        assert isinstance(e, ast.UnionExpr) and len(e.items) == 3
+
+    def test_empty_relation_literal(self):
+        e = parse_expression("{}")
+        assert isinstance(e, ast.UnionExpr) and e.items == ()
+
+    def test_where(self):
+        e = parse_expression("R where S(1)")
+        assert isinstance(e, ast.WhereExpr)
+
+    def test_where_binds_looser_than_and(self):
+        e = parse_expression("R where F(1) and G(2)")
+        assert isinstance(e, ast.WhereExpr)
+        assert isinstance(e.condition, ast.And)
+
+    def test_partial_application(self):
+        e = parse_expression('OrderProductQuantity["O1"]')
+        assert isinstance(e, ast.Application) and e.partial
+
+    def test_full_application(self):
+        e = parse_expression("Product(R, S, 1, 2)")
+        assert isinstance(e, ast.Application) and not e.partial
+
+    def test_curried_application(self):
+        e = parse_expression("APSP[V,E](z,y,j-1)")
+        assert isinstance(e, ast.Application) and not e.partial
+        assert isinstance(e.target, ast.Application) and e.target.partial
+
+    def test_paren_abstraction(self):
+        e = parse_expression("(x, y) : R(x, _, y, _...)")
+        assert isinstance(e, ast.Abstraction) and not e.brackets
+
+    def test_bracket_abstraction(self):
+        e = parse_expression("[k] : A[i,k] * B[k,j]")
+        assert isinstance(e, ast.Abstraction) and e.brackets
+
+    def test_abstraction_as_argument(self):
+        e = parse_expression("sum[[k] : U[k] * V[k]]")
+        assert isinstance(e.args[0], ast.Abstraction)
+
+    def test_annotations(self):
+        q = parse_expression("addUp[?{11;22}]")
+        assert isinstance(q.args[0], ast.Annotated)
+        assert not q.args[0].second_order
+        a = parse_expression("addUp[&{11;22}]")
+        assert a.args[0].second_order
+
+    def test_wildcards_as_arguments(self):
+        e = parse_expression("R(_, x, _...)")
+        assert isinstance(e.args[0], ast.Wildcard)
+        assert isinstance(e.args[2], ast.TupleWildcard)
+
+    def test_dot_join(self):
+        e = parse_expression("A.(min[A])")
+        assert isinstance(e, ast.DotJoin)
+
+    def test_left_override(self):
+        e = parse_expression("sum[X] <++ 0")
+        assert isinstance(e, ast.LeftOverride)
+
+    def test_applied_braces(self):
+        e = parse_expression('{("a","b")}(x, y)')
+        assert isinstance(e, ast.Application)
+
+
+class TestFormulas:
+    def test_precedence_or_and(self):
+        e = parse_expression("A(1) or B(2) and C(3)")
+        assert isinstance(e, ast.Or)
+        assert isinstance(e.rhs, ast.And)
+
+    def test_not_binds_tighter_than_and(self):
+        e = parse_expression("not A(1) and B(2)")
+        assert isinstance(e, ast.And)
+        assert isinstance(e.lhs, ast.Not)
+
+    def test_implies_right_associative(self):
+        e = parse_expression("A(1) implies B(2) implies C(3)")
+        assert isinstance(e, ast.Implies)
+        assert isinstance(e.rhs, ast.Implies)
+
+    def test_iff_xor(self):
+        assert isinstance(parse_expression("A(1) iff B(2)"), ast.Iff)
+        assert isinstance(parse_expression("A(1) xor B(2)"), ast.Xor)
+
+    def test_exists(self):
+        e = parse_expression("exists((x, y) | R(x, y))")
+        assert isinstance(e, ast.Exists) and len(e.bindings) == 2
+
+    def test_forall_with_domain(self):
+        e = parse_expression("forall((o in V) | R(o))")
+        assert isinstance(e, ast.ForAll)
+        assert isinstance(e.bindings[0], ast.InBinding)
+
+    def test_comparison_vs_arithmetic(self):
+        e = parse_expression("y % 100 = 99")
+        assert isinstance(e, ast.Compare) and e.op == "="
+        assert isinstance(e.lhs, ast.BinOp) and e.lhs.op == "%"
+
+    def test_unary_minus_folds_constants(self):
+        e = parse_expression("-5")
+        assert isinstance(e, ast.Const) and e.value == -5
+
+    def test_unary_minus_expression(self):
+        e = parse_expression("-1 * x")
+        assert isinstance(e, ast.BinOp) and e.op == "*"
+        assert e.lhs.value == -1
+
+    def test_true_false_literals(self):
+        assert parse_expression("true").value is True
+        assert parse_expression("false").value is False
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("R(x) )")
+
+    def test_missing_def(self):
+        with pytest.raises(ParseError, match="def"):
+            parse_program("F(x) : G(x)")
+
+    def test_unbalanced(self):
+        with pytest.raises(ParseError):
+            parse_expression("R(x")
+
+    def test_bad_operator_definition(self):
+        with pytest.raises(ParseError):
+            parse_program("def (|)(x) : G(x)")
+
+
+class TestFreeNames:
+    def test_free_names_excludes_bound(self):
+        e = parse_expression("exists((x) | R(x, y))")
+        assert ast.free_names(e) == {"R", "y"}
+
+    def test_abstraction_binds(self):
+        e = parse_expression("(x) : R(x, y)")
+        assert ast.free_names(e) == {"R", "y"}
+
+    def test_in_domain_is_free(self):
+        e = parse_expression("exists((x in V) | R(x))")
+        assert ast.free_names(e) == {"R", "V"}
+
+    def test_tuple_vars(self):
+        e = parse_expression("(x...) : R(x..., z...)")
+        assert ast.free_names(e) == {"R", "z"}

@@ -1,0 +1,160 @@
+"""Every program and expression printed in the paper must parse."""
+
+import pytest
+
+from repro.lang import parse_expression, parse_program
+
+PAPER_PROGRAMS = [
+    # Section 1 teasers
+    "def MatrixMult[{A},{B},i,j] : sum[ [k] : A[i,k]*B[k,j] ]",
+    """def APSP({V},{E},x,y,0) : V(x) and V(y) and x = y
+       def APSP({V},{E},x,y,i) :
+           i = min[ {(j): exists((z) | E(x,z) and APSP(V,E,z,y,j-1))}]""",
+    # Section 3.1
+    "def OrderWithPayment(y) : exists ((x) | PaymentOrder(x,y))",
+    "def OrderWithPayment(y) : PaymentOrder(_,y)",
+    "def OrderedProducts(y) : OrderProductQuantity(_,y,_)",
+    """def OrderedProductPrice(x,y) :
+       OrderProductQuantity(_,x,_) and ProductPrice(x,y)""",
+    """def NotOrdered(x) : ProductPrice(x,_) and
+       not exists ((y1,y2) | OrderProductQuantity(y1,x,y2))""",
+    """def NotOrdered(x) : ProductPrice(x,_) and
+       forall ((y1,y2) | not OrderProductQuantity(y1,x,y2))""",
+    """def NotOrdered(x) :
+       ProductPrice(x,_) and not OrderProductQuantity(_,x,_)""",
+    """def AlwaysOrdered(x) : ProductPrice(x,_) and
+       forall ((o in V) | OrderProductQuantity(o,x,_))""",
+    "def NotP1Price(x) : not ProductPrice(\"P1\",x)",
+    # Section 3.2
+    """def DiscountedproductPrice(x,y) :
+       exists ((z) | ProductPrice(x,z) and add(y,5,z))""",
+    "def AdditiveInverse(x,y) : Int(x) and Int(y) and add(x,y,0)",
+    """def PsychologicallyPriced(x) :
+       exists ((y) | ProductPrice(x,y) and y % 100 = 99)""",
+    # Section 3.3
+    """def SameOrder(p1, p2) :
+       exists((order) | OrderProductQuantity(order, p1, _)
+       and OrderProductQuantity(order, p2, _))
+       def SameOrderDiffProduct(p1, p2) :
+       SameOrder(p1, p2) and p1 != p2
+       def Expensive(p) :
+       exists ((price) | ProductPrice(p,price) and price > 15)
+       def BoughtWithExpensiveProduct(p) :
+       exists((x in Expensive) | SameOrderDiffProduct(x, p))""",
+    """def TC_E(x,y) : E(x,y)
+       def TC_E(x,y) : exists((z) | E(x,z) and TC_E(z,y))""",
+    # Section 3.4
+    "def output (x) : exists( (y) | ProductPrice(x,y) and y > 30)",
+    """def delete (:OrderProductQuantity,x,y,z) :
+       OrderProductQuantity(x,y,z) and
+       exists( (u) | OrderPaid(x,u) and OrderTotal(x,u) )""",
+    """def insert (:ClosedOrders,x) :
+       exists( (u) | OrderPaid(x,u) and OrderTotal(x,u))""",
+    # Section 3.5
+    """ic integer_quantities() requires
+       forall((x) | OrderProductQuantity(_,_,x) implies Int(x))""",
+    """ic integer_quantities(x) requires
+       OrderProductQuantity(_,_,x) implies Int(x)""",
+    """ic valid_products(x) requires
+       OrderProductQuantity(_,x,_) implies ProductPrice(x,_)""",
+    # Section 4.1
+    "def ProductRS(a,b,c,d) : R(a,b) and S(c,d)",
+    "def ProductRS(a,b,c,d,e) : R(a,b,c) and S(d,e)",
+    "def ProductRS(x...,y...) : R(x...) and S(y...)",
+    "def Prefix(x...) : R(x...,_...)",
+    """def Perm(x...) : R(x...)
+       def Perm(x...,a,y...,b,z...) : Perm(x...,b,y...,a,z...)""",
+    # Section 4.2
+    "def Product({A},{B},x...,y...) : A(x...) and B(y...)",
+    # Section 5.1
+    """def dot_join({A},{B},x...,y...) :
+       exists((t) | A(x...,t) and B(t,y...))""",
+    """def left_override({A},{B},x...) : A(x...)
+       def left_override({A},{B},x...,v) :
+       B(x...,v) and not A(x...,_)""",
+    "def log[x, y] = rel_primitive_log[x, y]",
+    "def (+)(x,y,z) : add(x,y,z)",
+    "def (*)(x,y,z) : multiply(x,y,z)",
+    # Section 5.2
+    """def sum[{A}] : reduce[add,A]
+       def count[{A}] : reduce[add,(A,1)]
+       def min[{A}] : reduce[minimum,A]
+       def max[{A}] : reduce[maximum,A]
+       def avg[{A}] : sum[A] / count[A]""",
+    "def Argmin[{A}] : {A.(min[A])}",
+    """def Ord(x) : OrderProductQuantity(x,_,_)
+       def OrderPaymentAmount(x,y,z) :
+       PaymentOrder(y,x) and PaymentAmount(y,z)
+       def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]]""",
+    "def OrderPaid[x in Ord] : sum[OrderPaymentAmount[x]] <++ 0",
+    # Section 5.3.1
+    "def Union({A},{B},x...) : A(x...) or B(x...)",
+    "def Minus({A},{B},x...) : A(x...) and not B(x...)",
+    "def Select({A},{Cond},x...) : A(x...) and Cond(x...)",
+    "def Cond12(x1,x2,x...) : {x1=x2}",
+    # Section 5.3.2
+    "def ScalarProd[{U},{V}] : { sum[[k] : U[k]*V[k]] }",
+    "def MatrixVector[{A},{V},i] : { sum[[k] : A[i,k]*V[k]] }",
+    # Section 5.4 (APSP negation formulation + PageRank, verbatim layout)
+    """def APSP({V},{E},x,y,0) : V(x) and V(y) and x = y
+       def APSP({V},{E},x,y,i) :
+           exists ((z in V) | E(x,z) and APSP[V,E](z,y,i-1)) and
+           not exists ((j in Int) | j < i and APSP[V,E](x,y,j))""",
+    """def dimension[{Matrix}] : max[(k) : Matrix(k,_,_)]
+       def vector[d,i] : 1.0/d where range(1,d,1,i)
+       def abs(x,y) : (x >= 0 and y = x) or (x < 0 and y = -1 * x)
+       def delta[{Vec1},{Vec2}] : max[[k] : abs[Vec1[k] - Vec2[k]]]
+       def next[{G},{P}]: {MatrixVector[G,P]}
+       def stop({G},{P}): {delta[next[G,P],P] > 0.005}
+       def PageRank[{G}] :
+           {vector[dimension[G]] where empty(PageRank[G])}
+       def PageRank[{G}] : {next[G,PageRank[G]]
+           where not empty(PageRank[G]) and stop(G,PageRank[G])}
+       def PageRank[{G}] : {PageRank[G] where
+           not empty(PageRank[G]) and not stop(G,PageRank[G])}""",
+    "def empty(R) : not exists( (x...) | R(x...))",
+    # Addendum A
+    """def addUp[{A}] : sum[A]
+       def addUp[x in Int] : x%10 + addUp[(x-x%10)/10] where x >= 0""",
+]
+
+PAPER_EXPRESSIONS = [
+    "{(1,2,3) ; (4,5,6) ; (7,8,9) }",
+    "Union[Select[Product[R,S],Cond12],B]",
+    "(x,y) : R(x,_,y,_...)",
+    "{(x,y) : OrderProductQuantity(x,\"P1\",y) }",
+    "{[x,y] : (OrderProductQuantity[x], PaymentOrder(y,x)) }",
+    "{[x, y in V] : (OrderProductQuantity[x], PaymentOrder(y,x)) }",
+    "{[x,y] : OrderProductQuantity[x] where PaymentOrder(x,y)}",
+    'OrderProductQuantity["O1"]',
+    "Product(R, S, 1, 2, 5, 6)",
+    "Product[R, S]",
+    "(R,S)",
+    "(PaymentOrder,ProductPrice)",
+    '("P4",40)',
+    "addUp[{11;22}]",
+    "addUp[?{11;22}]",
+    "addUp[&{11;22}]",
+    "APSP[N,NN,u,v]",
+    "MatrixMult[M1,M2]",
+    "reduce[add,(A,1)]",
+    "{A; B}",
+]
+
+
+@pytest.mark.parametrize("source", PAPER_PROGRAMS,
+                         ids=[s.strip().split("\n")[0][:45] for s in PAPER_PROGRAMS])
+def test_paper_program_parses(source):
+    program = parse_program(source)
+    assert program.declarations
+
+
+@pytest.mark.parametrize("source", PAPER_EXPRESSIONS)
+def test_paper_expression_parses(source):
+    assert parse_expression(source) is not None
+
+
+def test_rule_count_in_combined_program():
+    combined = "\n".join(p for p in PAPER_PROGRAMS if p.startswith("def"))
+    program = parse_program(combined)
+    assert len(program.rules()) >= 30

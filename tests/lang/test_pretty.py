@@ -1,0 +1,92 @@
+"""Pretty-printer round-trips: pretty(parse(s)) re-parses to the same AST."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast, parse_expression, parse_program
+from repro.lang.pretty import pretty
+from tests.lang.test_parser_corpus import PAPER_EXPRESSIONS, PAPER_PROGRAMS
+
+
+def strip_positions(node):
+    """Positions differ after round-trip; compare trees modulo Pos."""
+    import dataclasses
+
+    if isinstance(node, ast.Node):
+        values = {}
+        for field in dataclasses.fields(node):
+            if field.name == "pos":
+                values[field.name] = ast.NOPOS
+            else:
+                values[field.name] = strip_positions(getattr(node, field.name))
+        return dataclasses.replace(node, **values)
+    if isinstance(node, tuple):
+        return tuple(strip_positions(v) for v in node)
+    return node
+
+
+@pytest.mark.parametrize("source", PAPER_EXPRESSIONS)
+def test_paper_expressions_round_trip(source):
+    tree = parse_expression(source)
+    rendered = pretty(tree)
+    again = parse_expression(rendered)
+    assert strip_positions(tree) == strip_positions(again), rendered
+
+
+@pytest.mark.parametrize(
+    "source", PAPER_PROGRAMS,
+    ids=[s.strip().split("\n")[0][:40] for s in PAPER_PROGRAMS],
+)
+def test_paper_programs_round_trip(source):
+    tree = parse_program(source)
+    rendered = pretty(tree)
+    again = parse_program(rendered)
+    assert strip_positions(tree) == strip_positions(again), rendered
+
+
+# -- random expression round-trips -------------------------------------------
+
+names = st.sampled_from(["R", "S", "T", "x", "y", "z"])
+consts = st.one_of(
+    st.integers(min_value=0, max_value=99).map(ast.Const),
+    st.sampled_from(["a", "b"]).map(ast.Const),
+)
+leaves = st.one_of(names.map(ast.Ref), consts)
+
+
+def exprs(children):
+    atoms = st.builds(
+        ast.Application,
+        target=st.sampled_from(["R", "S"]).map(ast.Ref),
+        args=st.tuples(children, children),
+        partial=st.booleans(),
+    )
+    return st.one_of(
+        st.builds(ast.And, children, children),
+        st.builds(ast.Or, children, children),
+        st.builds(ast.Not, children),
+        st.builds(ast.Compare, st.sampled_from(["=", "<", ">="]),
+                  children, children),
+        st.builds(ast.BinOp, st.sampled_from(["+", "*", "-"]),
+                  children, children),
+        st.builds(ast.WhereExpr, children, children),
+        st.builds(lambda items: ast.ProductExpr(tuple(items)),
+                  st.lists(children, min_size=2, max_size=3)),
+        # Braces around a single expression are transparent grouping, so
+        # only unions with ≥2 items survive a round-trip structurally.
+        st.builds(lambda items: ast.UnionExpr(tuple(items)),
+                  st.lists(children, min_size=2, max_size=3)),
+        atoms,
+    )
+
+
+expressions = st.recursive(leaves, exprs, max_leaves=12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions)
+def test_random_expressions_round_trip(tree):
+    rendered = pretty(tree)
+    again = parse_expression(rendered)
+    assert strip_positions(tree) == strip_positions(again), rendered

@@ -1,0 +1,107 @@
+"""Property-based tests: the relation algebra satisfies its laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import EMPTY, TRUE, Relation
+
+values = st.one_of(
+    st.integers(min_value=-20, max_value=20),
+    st.text(alphabet="abc", max_size=2),
+)
+tuples = st.tuples(values, values)
+relations = st.builds(
+    Relation, st.lists(tuples, max_size=12)
+)
+mixed_tuples = st.lists(values, max_size=3).map(tuple)
+mixed_relations = st.builds(Relation, st.lists(mixed_tuples, max_size=10))
+
+
+@given(relations, relations)
+def test_union_commutative(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@given(relations, relations, relations)
+def test_union_associative(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(relations)
+def test_union_idempotent(a):
+    assert a.union(a) == a
+
+
+@given(relations, relations)
+def test_intersect_commutative(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(relations, relations, relations)
+def test_product_distributes_over_union(a, b, c):
+    assert a.product(b.union(c)) == a.product(b).union(a.product(c))
+
+
+@given(mixed_relations, mixed_relations, mixed_relations)
+def test_product_associative(a, b, c):
+    assert a.product(b).product(c) == a.product(b.product(c))
+
+
+@given(mixed_relations)
+def test_unit_is_identity(a):
+    assert a.product(TRUE) == a
+    assert TRUE.product(a) == a
+
+
+@given(mixed_relations)
+def test_empty_annihilates(a):
+    assert a.product(EMPTY) == EMPTY
+
+
+@given(relations, relations)
+def test_difference_disjoint_from_subtrahend(a, b):
+    assert not a.difference(b).intersect(b)
+
+
+@given(relations, relations)
+def test_union_difference_partition(a, b):
+    """a ∪ b = (a − b) ∪ b, and the parts are disjoint."""
+    assert a.difference(b).union(b) == a.union(b)
+
+
+@given(mixed_relations)
+def test_all_suffixes_contains_empty_and_self(a):
+    suffixes = a.all_suffixes()
+    if a:
+        assert () in suffixes.tuples
+    for t in a:
+        assert t in suffixes
+
+
+@given(mixed_relations, values)
+def test_prefix_suffixes_consistent(a, v):
+    """t ∈ suffixes(v) iff (v,)+t stored."""
+    suffixes = a.suffixes_for_prefix_value(v)
+    for t in suffixes:
+        assert (v,) + t in a
+    for t in a:
+        if t and t[0] == v:
+            assert t[1:] in suffixes
+
+
+@given(mixed_relations)
+def test_sorted_tuples_is_a_permutation(a):
+    listed = a.sorted_tuples()
+    assert len(listed) == len(a)
+    assert set(listed) == set(a.tuples)
+
+
+@given(relations)
+def test_project_identity(a):
+    assert a.project([0, 1]) == a
+
+
+@given(relations)
+def test_trie_index_agrees_with_tuples(a):
+    trie = a._index()
+    assert set(trie.tuples()) == set(a.tuples)

@@ -1,0 +1,245 @@
+"""The graph library (Section 5.4) against networkx ground truth."""
+
+import networkx as nx
+import pytest
+
+from repro import RelProgram, Relation
+from repro.workloads import chain_graph, cycle_graph, random_graph
+from repro.workloads.graphs import edges_relation, vertices_relation
+from repro.workloads.matrices import column_stochastic_link_matrix
+
+
+def graph_program(vertices, edges):
+    return RelProgram(database={
+        "V": vertices_relation(vertices),
+        "E": edges_relation(edges),
+    })
+
+
+class TestTransitiveClosureLibrary:
+    def test_tc_matches_networkx(self):
+        vertices, edges = random_graph(10, 18, seed=2)
+        program = graph_program(vertices, edges)
+        g = nx.DiGraph(edges)
+        # TC contains (u, u) when u lies on a cycle (a nontrivial path
+        # u -> u exists); nx.descendants always excludes the source.
+        expected = {(u, v) for u in g for v in nx.descendants(g, u)}
+        expected |= {(u, u) for u in g
+                     if any(u in nx.descendants(g, w) for w in g.successors(u))
+                     or g.has_edge(u, u)}
+        assert set(program.query("TC[E]").tuples) == expected
+
+    def test_reachable(self):
+        vertices, edges = chain_graph(5)
+        program = graph_program(vertices, edges)
+        assert sorted(program.query("Reachable[E, 2]").tuples) == [
+            (3,), (4,), (5,)
+        ]
+
+
+class TestAPSP:
+    @pytest.mark.parametrize("maker,size", [
+        (chain_graph, 5), (cycle_graph, 4),
+    ])
+    def test_matches_networkx_shortest_paths(self, maker, size):
+        vertices, edges = maker(size)
+        program = graph_program(vertices, edges)
+        got = set(program.query("APSP[V, E]").tuples)
+        g = nx.DiGraph(edges)
+        g.add_nodes_from(vertices)
+        expected = {
+            (u, v, d)
+            for u, lengths in nx.all_pairs_shortest_path_length(g)
+            for v, d in lengths.items()
+        }
+        assert got == expected
+
+    def test_random_graph(self):
+        vertices, edges = random_graph(8, 14, seed=6)
+        program = graph_program(vertices, edges)
+        got = set(program.query("APSP[V, E]").tuples)
+        g = nx.DiGraph(edges)
+        g.add_nodes_from(vertices)
+        expected = {
+            (u, v, d)
+            for u, lengths in nx.all_pairs_shortest_path_length(g)
+            for v, d in lengths.items()
+        }
+        assert got == expected
+
+    def test_both_formulations_agree(self):
+        """The min-aggregation and negation formulations of Section 5.4."""
+        vertices, edges = random_graph(7, 12, seed=8)
+        program = graph_program(vertices, edges)
+        assert program.query("APSP[V, E]") == program.query("APSPn[V, E]")
+
+    def test_point_lookup(self):
+        vertices, edges = chain_graph(6)
+        program = graph_program(vertices, edges)
+        assert program.query("APSP[V, E, 1, 6]") == Relation([(5,)])
+
+
+class TestSSSP:
+    def test_hop_counts(self):
+        vertices, edges = chain_graph(4)
+        program = graph_program(vertices, edges)
+        assert sorted(program.query("SSSP[E, 1]").tuples) == [
+            (1, 0), (2, 1), (3, 2), (4, 3)
+        ]
+
+
+class TestDegreesAndTriangles:
+    @pytest.fixture
+    def program(self):
+        edges = [(1, 2), (2, 3), (3, 1), (3, 4), (1, 4)]
+        return graph_program([1, 2, 3, 4], edges)
+
+    def test_out_degree(self, program):
+        assert program.query("OutDegree[E, 1]") == Relation([(2,)])
+        assert program.query("OutDegree[E, 3]") == Relation([(2,)])
+
+    def test_in_degree(self, program):
+        assert program.query("InDegree[E, 4]") == Relation([(2,)])
+
+    def test_neighbour_symmetric(self, program):
+        n = set(program.query("(x, y) : Neighbour(E, x, y)").tuples)
+        assert all((y, x) in n for x, y in n)
+
+    def test_triangle_count_matches_networkx(self):
+        vertices, edges = random_graph(9, 20, seed=11)
+        program = graph_program(vertices, edges)
+        ((got,),) = program.query("TriangleCount[E]").tuples
+        g = nx.Graph()
+        g.add_nodes_from(vertices)
+        g.add_edges_from(edges)
+        expected = sum(nx.triangles(g).values()) // 3
+        assert got == expected
+
+
+class TestPageRank:
+    def test_uniform_on_cycle(self):
+        """On a cycle every page has equal rank."""
+        _, edges = cycle_graph(4)
+        matrix = column_stochastic_link_matrix(edges)
+        program = RelProgram(database={"G": matrix})
+        result = dict((i, v) for i, v in program.query("PageRank[G]").tuples)
+        assert len(result) == 4
+        for v in result.values():
+            assert v == pytest.approx(0.25, abs=0.01)
+
+    def test_converges_within_tolerance_of_power_iteration(self):
+        edges = [(1, 2), (2, 3), (3, 1), (3, 2), (2, 1)]
+        matrix = column_stochastic_link_matrix(edges)
+        program = RelProgram(database={"G": matrix})
+        got = dict((i, v) for i, v in program.query("PageRank[G]").tuples)
+
+        # Plain power iteration to the same stopping rule (delta ≤ 0.005).
+        import numpy as np
+
+        n = 3
+        dense = np.zeros((n, n))
+        for i, j, v in matrix.tuples:
+            dense[i - 1, j - 1] = v
+        p = np.full(n, 1.0 / n)
+        while True:
+            nxt = dense @ p
+            if np.abs(nxt - p).max() <= 0.005:
+                break
+            p = nxt
+        for i in range(n):
+            assert got[i + 1] == pytest.approx(p[i], abs=0.02)
+
+    def test_stop_condition_respected(self):
+        """The iteration stops when delta ≤ 0.005 (Section 5.4)."""
+        _, edges = cycle_graph(3)
+        matrix = column_stochastic_link_matrix(edges)
+        program = RelProgram(database={"G": matrix})
+        first = program.query("PageRank[G]")
+        second = program.query("next[G, PageRank[G]]")
+        deltas = {
+            abs(a - b)
+            for (i, a) in first.tuples
+            for (j, b) in second.tuples
+            if i == j
+        }
+        assert max(deltas) <= 0.005
+
+
+class TestVerbatimTeaserDiscrepancy:
+    """A reproduction finding (documented in EXPERIMENTS.md, E12): the
+    paper's verbatim min-formulation additionally derives (x, x, girth) on
+    cyclic graphs, where the negation formulation gives only (x, x, 0)."""
+
+    def test_teaser_derives_cycle_length_at_diagonal(self):
+        vertices, edges = cycle_graph(4)
+        program = graph_program(vertices, edges)
+        teaser = set(program.query("APSPteaser[V, E]").tuples)
+        corrected = set(program.query("APSP[V, E]").tuples)
+        assert (1, 1, 4) in teaser          # the girth shows up
+        assert (1, 1, 0) in teaser          # alongside rule 1's zero
+        assert (1, 1, 4) not in corrected   # guarded version matches APSPn
+        assert teaser - corrected == {(v, v, 4) for v in vertices}
+
+    def test_formulations_coincide_on_dags(self):
+        program = graph_program([1, 2, 3, 4],
+                                [(1, 2), (1, 3), (2, 4), (3, 4)])
+        assert program.query("APSPteaser[V, E]") == program.query("APSP[V, E]")
+
+
+class TestWeightedShortestPaths:
+    def test_cheaper_indirect_route_wins(self):
+        program = RelProgram(database={
+            "W": Relation([(1, 2, 4), (2, 3, 1), (1, 3, 10), (3, 4, 2)]),
+        })
+        got = dict((v, c) for v, c in program.query("WSP[W, 1]").tuples)
+        assert got == {1: 0, 2: 4, 3: 5, 4: 7}  # 1→2→3 (5) beats 1→3 (10)
+
+    def test_matches_networkx_dijkstra(self):
+        import random
+
+        rng = random.Random(4)
+        edges = {(rng.randint(1, 8), rng.randint(1, 8)) for _ in range(18)}
+        weighted = [(u, v, rng.randint(1, 9)) for u, v in edges if u != v]
+        program = RelProgram(database={"W": Relation(weighted)})
+        got = dict((v, c) for v, c in program.query("WSP[W, 1]").tuples)
+        g = nx.DiGraph()
+        for u, v, w in weighted:
+            if g.has_edge(u, v):
+                g[u][v]["weight"] = min(g[u][v]["weight"], w)
+            else:
+                g.add_edge(u, v, weight=w)
+        expected = nx.single_source_dijkstra_path_length(g, 1)
+        assert got == {v: d for v, d in expected.items()}
+
+
+class TestConnectedComponents:
+    def test_weak_components_labelled_by_minimum(self):
+        program = RelProgram(database={
+            "V": Relation([(i,) for i in range(1, 6)]),
+            "E": Relation([(1, 2), (3, 4)]),
+        })
+        got = dict(program.query("CC[V, E]").tuples)
+        assert got == {1: 1, 2: 1, 3: 3, 4: 3, 5: 5}
+
+    def test_direction_ignored(self):
+        program = RelProgram(database={
+            "V": Relation([(1,), (2,), (3,)]),
+            "E": Relation([(3, 2), (2, 1)]),  # edges point "backwards"
+        })
+        got = dict(program.query("CC[V, E]").tuples)
+        assert got == {1: 1, 2: 1, 3: 1}
+
+    def test_matches_networkx(self):
+        vertices, edges = random_graph(10, 9, seed=14)
+        program = RelProgram(database={
+            "V": Relation([(v,) for v in vertices]),
+            "E": Relation(edges),
+        })
+        got = dict(program.query("CC[V, E]").tuples)
+        g = nx.Graph()
+        g.add_nodes_from(vertices)
+        g.add_edges_from(edges)
+        for component in nx.connected_components(g):
+            label = min(component)
+            for node in component:
+                assert got[node] == label

@@ -1,0 +1,95 @@
+"""The relational-algebra library (Section 5.3.1), point-free style."""
+
+import pytest
+
+from repro import RelProgram, Relation
+
+
+@pytest.fixture
+def program():
+    p = RelProgram()
+    p.define("R", Relation([(1,), (2,)]))
+    p.define("S", Relation([(1,), (3,)]))
+    p.define("B", Relation([(7, 7)]))
+    p.define("T", Relation([(1, 2), (3, 4)]))
+    return p
+
+
+def q(program, source):
+    return sorted(program.query(source).tuples, key=repr)
+
+
+class TestOperators:
+    def test_product(self, program):
+        assert q(program, "Product[R, S]") == [(1, 1), (1, 3), (2, 1), (2, 3)]
+
+    def test_union_same_arity(self, program):
+        assert q(program, "Union[R, S]") == [(1,), (2,), (3,)]
+
+    def test_union_mixed_arity(self, program):
+        assert set(program.query("Union[R, T]").tuples) == {
+            (1,), (1, 2), (2,), (3, 4)
+        }
+
+    def test_minus(self, program):
+        assert q(program, "Minus[R, S]") == [(2,)]
+
+    def test_intersect(self, program):
+        assert q(program, "Intersect[R, S]") == [(1,)]
+
+    def test_select_with_infinite_condition(self, program):
+        program.add_source("def Cond12(x1, x2, x...) : {x1 = x2}")
+        assert q(program, "Select[Product[R, S], Cond12]") == [(1, 1)]
+
+    def test_join_first(self, program):
+        program.define("U", Relation([(1, "a"), (3, "b")]))
+        assert q(program, "JoinFirst[T, U]") == [(1, 2, "a"), (3, 4, "b")]
+
+
+class TestPaperExpression:
+    def test_sigma_product_union(self, program):
+        """σ_{A1=A2}(R × S) ∪ B — the Section 5.3.1 worked expression."""
+        program.add_source("def Cond12(x1, x2, x...) : {x1 = x2}")
+        assert q(program, "Union[Select[Product[R, S], Cond12], B]") == [
+            (1, 1), (7, 7)
+        ]
+
+    def test_projection_via_abstraction(self, program):
+        program.define("Wide", Relation([(1, 2, 3, 4), (5, 6, 7, 8)]))
+        assert q(program, "(x, y) : Wide(x, _, y, _...)") == [(1, 3), (5, 7)]
+
+
+class TestAlgebraicLaws:
+    def test_union_commutes(self, program):
+        assert program.query("Union[R, S]") == program.query("Union[S, R]")
+
+    def test_product_with_unit(self, program):
+        assert program.query("Product[R, {()}]") == program.query("R")
+
+    def test_minus_self_is_empty(self, program):
+        assert not program.query("Minus[R, R]")
+
+    def test_select_true_is_identity(self, program):
+        program.add_source("def AnyCond(x...) : true")
+        assert program.query("Select[T, AnyCond]") == program.query("T")
+
+
+class TestArityIndependence:
+    """Point-free code is robust under arity changes (Section 5.3)."""
+
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4])
+    def test_union_works_at_any_arity(self, arity):
+        program = RelProgram()
+        t1 = tuple(range(arity))
+        t2 = tuple(range(10, 10 + arity))
+        program.define("X", Relation([t1]))
+        program.define("Y", Relation([t2]))
+        assert sorted(program.query("Union[X, Y]").tuples) == sorted([t1, t2])
+
+    @pytest.mark.parametrize("a,b", [(1, 1), (1, 3), (2, 2), (3, 1)])
+    def test_product_arity_adds(self, a, b):
+        program = RelProgram()
+        program.define("X", Relation([tuple(range(a))]))
+        program.define("Y", Relation([tuple(range(b))]))
+        (result,) = program.query("Product[X, Y]").tuples
+        assert len(result) == a + b

@@ -1,0 +1,108 @@
+"""Core standard library: dot_join, left_override, empty, helpers, wrappers."""
+
+import pytest
+
+from repro import RelProgram, Relation
+
+
+@pytest.fixture
+def program():
+    p = RelProgram()
+    p.define("A", Relation([(1, 2), (3, 4)]))
+    p.define("B", Relation([(2, "x"), (4, "y"), (5, "z")]))
+    return p
+
+
+def q(program, source):
+    return sorted(program.query(source).tuples, key=repr)
+
+
+class TestDotJoin:
+    def test_joins_last_to_first(self, program):
+        assert q(program, "dot_join[A, B]") == [(1, "x"), (3, "y")]
+
+    def test_infix_form(self, program):
+        assert program.query("A . B") == program.query("dot_join[A, B]")
+
+    def test_chain(self, program):
+        program.define("C", Relation([("x", 100)]))
+        assert q(program, "A . B . C") == [(1, 100)]
+
+    def test_join_position_dropped(self, program):
+        """dot_join drops the join position in the result."""
+        for t in program.query("dot_join[A, B]").tuples:
+            assert len(t) == 2  # 2 + 2 - 2 join positions
+
+    def test_unary_relations(self, program):
+        program.define("K", Relation([(2,), (9,)]))
+        assert q(program, "A . K") == [(1,)]
+
+
+class TestLeftOverride:
+    def test_keeps_left_values(self, program):
+        program.define("L", Relation([(1, "left")]))
+        program.define("R2", Relation([(1, "right"), (2, "only")]))
+        assert q(program, "L <++ R2") == [(1, "left"), (2, "only")]
+
+    def test_named_form_agrees_with_infix(self, program):
+        program.define("L", Relation([(1, "left")]))
+        program.define("R2", Relation([(1, "right"), (2, "only")]))
+        assert program.query("left_override[L, R2]") == program.query("L <++ R2")
+
+    def test_scalar_default_idiom(self, program):
+        assert q(program, "sum[{}] <++ 0") == [(0,)]
+        assert q(program, "sum[A] <++ 0") == [(6,)]
+
+    def test_override_empty_left(self, program):
+        assert q(program, "{} <++ B") == q(program, "B")
+
+
+class TestEmptyAndCardinality:
+    def test_empty(self, program):
+        assert program.query("empty({})").to_bool()
+        assert not program.query("empty(A)").to_bool()
+
+    def test_cardinality(self, program):
+        assert program.query("cardinality[B]") == Relation([(3,)])
+
+    def test_first_last_column(self, program):
+        assert q(program, "(x) : first_column(B, x)") == [(2,), (4,), (5,)]
+        assert q(program, "(v) : last_column(A, v)") == [(2,), (4,)]
+
+    def test_prefixes_helper(self, program):
+        assert q(program, "(x...) : prefixes(A, x...)") == [(1,), (3,)]
+
+
+class TestMathWrappers:
+    def test_log(self, program):
+        ((v,),) = program.query("log[10, 1000]").tuples
+        assert v == pytest.approx(3.0)
+
+    def test_exp_natural_log_roundtrip(self, program):
+        ((v,),) = program.query("natural_log[exp[2]]").tuples
+        assert v == pytest.approx(2.0)
+
+    def test_trig(self, program):
+        ((v,),) = program.query("sin[0]").tuples
+        assert v == pytest.approx(0.0)
+        ((v,),) = program.query("cos[0]").tuples
+        assert v == pytest.approx(1.0)
+
+    def test_floor_ceil(self, program):
+        assert program.query("floor_value[2.9]") == Relation([(2,)])
+        assert program.query("ceil_value[2.1]") == Relation([(3,)])
+
+    def test_abs_relational(self, program):
+        assert program.query("abs[-3]") == Relation([(3,)])
+        assert program.query("abs[3]") == Relation([(3,)])
+        assert program.query("abs[0]") == Relation([(0,)])
+
+
+class TestArgminArgmax:
+    def test_paper_alias(self, program):
+        """Both Argmin (paper) and argmin are available."""
+        assert program.query("Argmin[B]") == program.query("argmin[B]")
+
+    def test_argmin_over_computed(self, program):
+        got = program.query('argmin[(o, v) : {("a", 3); ("b", 1); ("c", 1)}(o, v)]')
+        assert sorted(got.tuples) == [("b",), ("c",)]

@@ -1,0 +1,78 @@
+"""The string library: wrappers, helpers, and recursive string programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RelProgram, Relation
+
+
+@pytest.fixture(scope="module")
+def program():
+    return RelProgram()
+
+
+def q(program, source):
+    return sorted(program.query(source).tuples)
+
+
+class TestWrappers:
+    def test_join(self, program):
+        assert q(program, 'string_join["ab", "cd"]') == [("abcd",)]
+
+    def test_length(self, program):
+        assert q(program, 'length["hello"]') == [(5,)]
+        assert q(program, 'length[""]') == [(0,)]
+
+    def test_case(self, program):
+        assert q(program, 'upper["aBc"]') == [("ABC",)]
+        assert q(program, 'lower["AbC"]') == [("abc",)]
+
+    def test_slice_one_based_inclusive(self, program):
+        assert q(program, 'slice["hello", 2, 4]') == [("ell",)]
+        assert q(program, 'slice["hello", 1, 5]') == [("hello",)]
+        assert q(program, 'slice["hello", 4, 2]') == []
+
+    def test_conversions(self, program):
+        assert q(program, 'to_int["42"]') == [(42,)]
+        assert q(program, 'to_float["2.5"]') == [(2.5,)]
+        assert q(program, 'to_string[42]') == [("42",)]
+        assert q(program, 'to_int["nope"]') == []
+
+    def test_regex(self, program):
+        assert program.query('matches("a+b", "aab")').to_bool()
+        assert not program.query('matches("a+b", "ba")').to_bool()
+
+
+class TestHelpers:
+    def test_head_tail(self, program):
+        assert q(program, 'head_char["xyz"]') == [("x",)]
+        assert q(program, 'tail_str["xyz"]') == [("yz",)]
+        assert q(program, 'tail_str["x"]') == [("",)]
+
+    def test_has_char(self, program):
+        assert program.query('has_char("abc", "b")').to_bool()
+        assert not program.query('has_char("abc", "z")').to_bool()
+
+
+class TestRecursiveStringPrograms:
+    @pytest.mark.parametrize("word,expected", [
+        ("racecar", True), ("aa", True), ("a", True), ("", True),
+        ("ab", False), ("abca", False), ("abba", True),
+    ])
+    def test_palindrome(self, program, word, expected):
+        assert program.query(f'palindrome("{word}")').to_bool() is expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="abc", max_size=6))
+    def test_palindrome_matches_python(self, word):
+        program = RelProgram()
+        escaped = word  # alphabet is quote-free
+        got = program.query(f'palindrome("{escaped}")').to_bool()
+        assert got is (word == word[::-1])
+
+    def test_string_recursion_over_relation(self, program):
+        p2 = RelProgram()
+        p2.define("Words", Relation([("level",), ("rel",), ("noon",)]))
+        p2.add_source("def Pal(w) : Words(w) and palindrome(w)")
+        assert sorted(p2.relation("Pal").tuples) == [("level",), ("noon",)]

@@ -1,0 +1,146 @@
+"""Workload generators: determinism, shape guarantees, GNF conformance."""
+
+import pytest
+
+from repro.db.gnf import check_functional
+from repro.workloads import (
+    bill_of_materials,
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    order_database,
+    random_graph,
+    random_matrix_relation,
+    random_order_database,
+    scale_free_graph,
+    transaction_graph,
+)
+
+
+class TestGraphs:
+    def test_chain_shape(self):
+        vertices, edges = chain_graph(5)
+        assert len(vertices) == 5 and len(edges) == 4
+        assert all(v == u + 1 for u, v in edges)
+
+    def test_cycle_shape(self):
+        _, edges = cycle_graph(5)
+        assert len(edges) == 5
+        outdeg = {}
+        for u, _ in edges:
+            outdeg[u] = outdeg.get(u, 0) + 1
+        assert all(d == 1 for d in outdeg.values())
+
+    def test_complete(self):
+        vertices, edges = complete_graph(4)
+        assert len(edges) == 12
+
+    def test_grid(self):
+        vertices, edges = grid_graph(3, 4)
+        assert len(vertices) == 12
+        assert len(edges) == 3 * 3 + 2 * 4  # right + down edges
+
+    def test_random_deterministic(self):
+        assert random_graph(10, 20, seed=7) == random_graph(10, 20, seed=7)
+        assert random_graph(10, 20, seed=7) != random_graph(10, 20, seed=8)
+
+    def test_random_edge_count(self):
+        _, edges = random_graph(10, 20, seed=1)
+        assert len(edges) == 20
+        assert all(u != v for u, v in edges)
+
+    def test_scale_free_is_skewed(self):
+        _, edges = scale_free_graph(120, attach=2, seed=0)
+        indeg = {}
+        for _, v in edges:
+            indeg[v] = indeg.get(v, 0) + 1
+        degrees = sorted(indeg.values(), reverse=True)
+        assert degrees[0] >= 4 * (sum(degrees) / len(degrees))
+
+
+class TestOrders:
+    def test_fig1_verbatim(self):
+        db = order_database()
+        assert ("O1", "P1", 2) in db["OrderProductQuantity"]
+        assert len(db["PaymentAmount"]) == 4
+
+    def test_random_orders_schema(self):
+        db = random_order_database(20, 10, seed=3)
+        assert set(db) == {"ProductPrice", "OrderCustomer",
+                           "OrderProductQuantity", "PaymentOrder",
+                           "PaymentAmount"}
+
+    def test_random_orders_gnf_functional(self):
+        db = random_order_database(25, 8, seed=5)
+        for name in ("ProductPrice", "OrderCustomer", "PaymentOrder",
+                     "PaymentAmount"):
+            check_functional(name, db[name])
+
+    def test_deterministic(self):
+        a = random_order_database(10, 5, seed=9)
+        b = random_order_database(10, 5, seed=9)
+        assert a == b
+
+
+class TestFraud:
+    def test_ground_truth_planted(self):
+        relations, truth = transaction_graph(40, 120, n_rings=2,
+                                             ring_size=4, seed=1)
+        assert len(truth["ring_members"]) <= 8
+        assert truth["ring_members"]
+        assert truth["mules"]
+
+    def test_ring_edges_present(self):
+        relations, truth = transaction_graph(30, 50, n_rings=1,
+                                             ring_size=3, seed=2)
+        transfers = {(s, d) for s, d, _ in relations["Transfer"].tuples}
+        members = truth["ring_members"]
+        # every ring member sends to some other ring member
+        assert all(any((m, n) in transfers for n in members if n != m)
+                   for m in members)
+
+    def test_account_country_total(self):
+        relations, _ = transaction_graph(25, 10, seed=3)
+        assert len(relations["AccountCountry"]) == 25
+
+
+class TestSupply:
+    def test_layered_dag(self):
+        relations, truth = bill_of_materials(levels=3, width=2, seed=0)
+        layers = truth["layers"]
+        assert len(layers) == 3
+        items = {t[0] for t in relations["Item"].tuples}
+        layer_items = {i for layer in layers for i in layer}
+        assert items == layer_items
+
+    def test_components_go_downward_only(self):
+        relations, truth = bill_of_materials(levels=4, width=2, seed=1)
+        level_of = {}
+        for depth, layer in enumerate(truth["layers"]):
+            for item in layer:
+                level_of[item] = depth
+        for parent, child, count in relations["Component"].tuples:
+            assert level_of[child] == level_of[parent] + 1
+            assert count >= 1
+
+    def test_raw_materials_have_suppliers(self):
+        relations, truth = bill_of_materials(levels=3, width=2, seed=2)
+        supplied = {t[0] for t in relations["Supplier"].tuples}
+        raw = {t[0] for t in relations["RawMaterial"].tuples}
+        assert raw == supplied
+
+
+class TestMatrices:
+    def test_dense_full_size(self):
+        rel, triples = random_matrix_relation(4, 5, density=1.0, seed=0)
+        assert len(triples) == 20
+
+    def test_sparse_smaller(self):
+        _, dense = random_matrix_relation(10, 10, density=1.0, seed=0)
+        _, sparse = random_matrix_relation(10, 10, density=0.2, seed=0)
+        assert len(sparse) < len(dense)
+
+    def test_integer_flag(self):
+        _, triples = random_matrix_relation(3, 3, seed=1, integer=True)
+        assert all(isinstance(v, int) for _, _, v in triples)
