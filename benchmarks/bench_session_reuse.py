@@ -1,0 +1,102 @@
+"""B-session — session-incremental updates vs. cold re-evaluation.
+
+The Session API's claim: a define→query loop over a long-lived session
+reuses every stratum and instance memo that the update cannot observe,
+while the pre-Session pattern (a fresh RelProgram per iteration) re-parses
+the standard library and recomputes every extent from scratch. Expected
+shape: the session wins by ≥5× on the mixed workload (one recursive
+stratum kept warm, one tiny relation updated per iteration), growing with
+the number of retained strata.
+
+Regenerates the series: {cold program, warm session} × update/query loop.
+"""
+
+import pytest
+
+from repro import RelProgram, Relation, connect
+
+RULES = """
+    def Path(x, y) : E(x, y)
+    def Path(x, y) : exists((z) | E(x, z) and Path(z, y))
+    def Hops[s in Src] : count[Path[s]]
+    def Hot(x) : F(x) and x > 0
+"""
+
+EDGES = [(i, i + 1) for i in range(1, 60)]
+SRC = [(1,), (10,), (30,)]
+UPDATES = [Relation([(i,), (i + 1,)]) for i in range(1, 8)]
+
+
+def expected_hot(i):
+    return Relation([(i,), (i + 1,)])
+
+
+def cold_loop():
+    """A fresh program per update: the pre-Session usage pattern."""
+    results = []
+    for update in UPDATES:
+        program = RelProgram()
+        program.define("E", Relation(EDGES))
+        program.define("Src", Relation(SRC))
+        program.define("F", update)
+        program.add_source(RULES)
+        results.append((program.relation("Hot"), program.relation("Hops")))
+    return results
+
+
+def warm_loop(session):
+    """One session: each define only dirties the Hot stratum."""
+    results = []
+    for update in UPDATES:
+        session.define("F", update)
+        results.append((session.relation("Hot"), session.relation("Hops")))
+    return results
+
+
+@pytest.fixture
+def warm_session():
+    session = connect()
+    session.define("E", EDGES)
+    session.define("Src", SRC)
+    session.define("F", UPDATES[0])
+    session.load(RULES)
+    session.execute("Hops")  # prime the expensive stratum once
+    return session
+
+
+def test_cold_program_per_update(benchmark, bench_rounds):
+    results = benchmark.pedantic(cold_loop, **bench_rounds)
+    assert results[-1][0] == expected_hot(7)
+
+
+def test_warm_session_incremental(benchmark, bench_rounds, warm_session):
+    results = benchmark.pedantic(warm_loop, args=(warm_session,),
+                                 **bench_rounds)
+    assert results[-1][0] == expected_hot(7)
+
+
+def test_session_speedup_at_least_5x():
+    """The acceptance shape, asserted directly (not only in timings)."""
+    import time
+
+    start = time.perf_counter()
+    cold_results = cold_loop()
+    cold = time.perf_counter() - start
+
+    session = connect()
+    session.define("E", EDGES)
+    session.define("Src", SRC)
+    session.define("F", UPDATES[0])
+    session.load(RULES)
+    session.execute("Hops")
+
+    start = time.perf_counter()
+    warm_results = warm_loop(session)
+    warm = time.perf_counter() - start
+
+    assert [r[0] for r in warm_results] == [r[0] for r in cold_results]
+    assert [r[1] for r in warm_results] == [r[1] for r in cold_results]
+    assert cold / warm >= 5, (
+        f"session reuse speedup only {cold / warm:.1f}× (cold {cold:.3f}s, "
+        f"warm {warm:.3f}s)"
+    )

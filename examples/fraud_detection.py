@@ -18,7 +18,7 @@ All detection logic is Rel source; Python only loads data and prints.
 Run:  python examples/fraud_detection.py
 """
 
-from repro import RelProgram
+from repro import connect
 from repro.workloads import transaction_graph
 
 RULES = """
@@ -60,8 +60,8 @@ def main() -> None:
         n_accounts=60, n_transfers=260, n_rings=2, ring_size=4, n_mules=2,
         seed=11,
     )
-    program = RelProgram(database=relations)
-    program.add_source(RULES)
+    session = connect(relations)
+    session.load(RULES)
 
     print("== Synthetic ledger ==")
     print(f"  accounts:  {len(relations['Account'])}")
@@ -70,9 +70,9 @@ def main() -> None:
     print(f"  planted mules:        {sorted(truth['mules'])}")
 
     print("\n== Rule-based detection (all logic in Rel) ==")
-    rings = {t[0] for t in program.relation("RingMember")}
+    rings = {t[0] for t in session.relation("RingMember")}
     print(f"  RingMember:  {sorted(rings)}")
-    mules = {t[0] for t in program.relation("Mule")}
+    mules = {t[0] for t in session.relation("Mule")}
     print(f"  Mule:        {sorted(mules)}")
 
     found_rings = rings & truth["ring_members"]
@@ -83,13 +83,13 @@ def main() -> None:
     assert truth["mules"] <= mules, "missed a planted mule"
 
     print("\n== Case bundles ==")
-    flagged = sorted({t[0] for t in program.relation("Flagged")})
+    flagged = sorted({t[0] for t in session.relation("Flagged")})
     for account in flagged[:5]:
-        size = program.query(f'CaseSize["{account}"]')
+        size = session.execute(f'CaseSize["{account}"]')
         ((n,),) = size.tuples
         print(f"  case {account}: {n} counterparties")
 
-    offshore = sorted(t[:2] for t in program.relation("FlaggedOffshore"))
+    offshore = sorted(t[:2] for t in session.relation("FlaggedOffshore"))
     print(f"\n  flagged offshore: {offshore if offshore else 'none'}")
     print("\nDone: every planted anomaly was recovered by Rel rules.")
 

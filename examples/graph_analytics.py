@@ -12,14 +12,14 @@ Run:  python examples/graph_analytics.py
 
 import networkx as nx
 
-from repro import RelProgram
+from repro import connect
 from repro.workloads import cycle_graph, random_graph
 from repro.workloads.graphs import edges_relation, vertices_relation
 
 
 def main() -> None:
     vertices, edges = random_graph(12, 26, seed=42)
-    program = RelProgram(database={
+    session = connect({
         "V": vertices_relation(vertices),
         "E": edges_relation(edges),
     })
@@ -28,7 +28,7 @@ def main() -> None:
     print(f"== Random digraph: {len(vertices)} vertices, {len(edges)} edges ==")
 
     print("\n== Transitive closure ==")
-    tc = set(program.query("TC[E]").tuples)
+    tc = set(session.execute("TC[E]").tuples)
     print(f"  |TC| = {len(tc)}")
     expected = {(u, v) for u in g for v in nx.descendants(g, u)}
     expected |= {(u, u) for u in g
@@ -37,8 +37,8 @@ def main() -> None:
     print("  matches networkx reachability (including cycle self-pairs)")
 
     print("\n== All-pairs shortest paths, two formulations ==")
-    apsp = set(program.query("APSP[V, E]").tuples)
-    apsp_neg = set(program.query("APSPn[V, E]").tuples)
+    apsp = set(session.execute("APSP[V, E]").tuples)
+    apsp_neg = set(session.execute("APSPn[V, E]").tuples)
     assert apsp == apsp_neg
     print(f"  |APSP| = {len(apsp)}; min-aggregation == negation formulation")
     lengths = {
@@ -51,27 +51,27 @@ def main() -> None:
 
     print("\n== The Section 1 teaser discrepancy (cyclic graphs) ==")
     cvs, ces = cycle_graph(4)
-    cyc = RelProgram(database={
+    cyc = connect({
         "V": vertices_relation(cvs), "E": edges_relation(ces),
     })
-    teaser = set(cyc.query("APSPteaser[V, E]").tuples)
-    guarded = set(cyc.query("APSP[V, E]").tuples)
+    teaser = set(cyc.execute("APSPteaser[V, E]").tuples)
+    guarded = set(cyc.execute("APSP[V, E]").tuples)
     print(f"  verbatim teaser extra tuples: {sorted(teaser - guarded)}")
     print("  (the girth appears at the diagonal; the guarded library "
           "version matches the negation formulation)")
 
     print("\n== Single-source distances from node 1 ==")
-    sssp = sorted(program.query("SSSP[E, 1]").tuples)
+    sssp = sorted(session.execute("SSSP[E, 1]").tuples)
     print(f"  {sssp[:8]}{' …' if len(sssp) > 8 else ''}")
     for node, dist in sssp:
         assert lengths.get((1, node)) == dist
 
     print("\n== Degrees and triangles ==")
     for node in vertices[:4]:
-        ((out_d,),) = program.query(f"OutDegree[E, {node}]").tuples
+        ((out_d,),) = session.execute(f"OutDegree[E, {node}]").tuples
         assert out_d == g.out_degree(node)
     print("  out-degrees match networkx")
-    ((triangles,),) = program.query("TriangleCount[E]").tuples
+    ((triangles,),) = session.execute("TriangleCount[E]").tuples
     ug = nx.Graph()
     ug.add_nodes_from(vertices)
     ug.add_edges_from(edges)
@@ -79,7 +79,7 @@ def main() -> None:
     print(f"  triangle count = {triangles} (matches networkx)")
 
     print("\n== Reachability as a one-liner ==")
-    reach = sorted(t[0] for t in program.query("Reachable[E, 1]").tuples)
+    reach = sorted(t[0] for t in session.execute("Reachable[E, 1]").tuples)
     print(f"  Reachable[E, 1] = {reach}")
     assert set(reach) == nx.descendants(g, 1)
     print("\nDone: every algorithm cross-checked against networkx.")

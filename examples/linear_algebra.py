@@ -16,7 +16,7 @@ Run:  python examples/linear_algebra.py
 
 import numpy as np
 
-from repro import RelProgram, Relation
+from repro import Relation, connect
 from repro.workloads import random_matrix_relation
 from repro.workloads.graphs import cycle_graph, random_graph
 from repro.workloads.matrices import column_stochastic_link_matrix
@@ -31,20 +31,20 @@ def dense(rel, n, m):
 
 def main() -> None:
     print("== The paper's scalar product ==")
-    program = RelProgram(database={
+    session = connect({
         "U": Relation([(1, 4), (2, 2)]),
         "V": Relation([(1, 3), (2, 6)]),
     })
-    inner = program.query("[k] : U[k]*V[k]")
+    inner = session.execute("[k] : U[k]*V[k]")
     print(f"  [k] : U[k]*V[k]  =  {sorted(inner.tuples)}")
-    print(f"  ScalarProd[U,V]  =  {program.query('ScalarProd[U,V]')}  (paper: 24)")
+    print(f"  ScalarProd[U,V]  =  {session.execute('ScalarProd[U,V]')}  (paper: 24)")
 
     print("\n== MatrixMult against numpy ==")
     n = 6
     a_rel, _ = random_matrix_relation(n, n, seed=1, integer=True)
     b_rel, _ = random_matrix_relation(n, n, seed=2, integer=True)
-    program = RelProgram(database={"A": a_rel, "B": b_rel})
-    result = program.query("MatrixMult[A, B]")
+    session = connect({"A": a_rel, "B": b_rel})
+    result = session.execute("MatrixMult[A, B]")
     expected = dense(a_rel, n, n) @ dense(b_rel, n, n)
     assert np.allclose(dense(result, n, n), expected)
     print(f"  {n}×{n} dense multiply matches numpy "
@@ -53,8 +53,8 @@ def main() -> None:
     print("\n== Data independence: the same code on a sparse matrix ==")
     sparse, triples = random_matrix_relation(40, 40, density=0.05, seed=3,
                                              integer=True)
-    program = RelProgram(database={"A": sparse, "B": sparse})
-    result = program.query("MatrixMult[A, B]")
+    session = connect({"A": sparse, "B": sparse})
+    result = session.execute("MatrixMult[A, B]")
     expected = dense(sparse, 40, 40) @ dense(sparse, 40, 40)
     got = dense(result, 40, 40)
     nonzero = expected != 0
@@ -66,8 +66,8 @@ def main() -> None:
     _, edges = cycle_graph(5)
     extra = [(1, 3), (3, 5), (2, 5)]
     g = column_stochastic_link_matrix(edges + extra)
-    program = RelProgram(database={"G": g})
-    ranks = dict(program.query("PageRank[G]").tuples)
+    session = connect({"G": g})
+    ranks = dict(session.execute("PageRank[G]").tuples)
 
     n = 5
     m = dense(g, n, n)
@@ -85,13 +85,13 @@ def main() -> None:
         assert abs(ranks[i] - p[i - 1]) < 0.02
 
     print("\n== Vector/matrix combinators ==")
-    program = RelProgram(database={
+    session = connect({
         "M": Relation([(1, 1, 2), (1, 2, 0.5), (2, 1, 1), (2, 2, 3)]),
         "v": Relation([(1, 1.0), (2, 2.0)]),
     })
-    print(f"  MatrixVector[M,v] = {sorted(program.query('MatrixVector[M,v]').tuples)}")
-    print(f"  Transpose[M]      = {sorted(program.query('Transpose[M]').tuples)}")
-    print(f"  VectorScale[v, 3] = {sorted(program.query('VectorScale[v, 3]').tuples)}")
+    print(f"  MatrixVector[M,v] = {sorted(session.execute('MatrixVector[M,v]').tuples)}")
+    print(f"  Transpose[M]      = {sorted(session.execute('Transpose[M]').tuples)}")
+    print(f"  VectorScale[v, 3] = {sorted(session.execute('VectorScale[v, 3]').tuples)}")
     print("\nDone: all results verified against numpy.")
 
 

@@ -9,8 +9,7 @@ constraints (Sections 3.4–3.5).
 Run:  python examples/quickstart.py
 """
 
-from repro import RelProgram, Relation
-from repro.db import Database, Transaction
+from repro import connect
 from repro.workloads import order_database
 
 
@@ -26,39 +25,39 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     print("\n== Section 3.1: basic rules ==")
-    program = RelProgram(database=db)
-    program.add_source("""
+    session = connect(db)
+    session.load("""
         def OrderWithPayment(y) : PaymentOrder(_, y)
         def OrderedProductPrice(x, y) :
             OrderProductQuantity(_, x, _) and ProductPrice(x, y)
         def NotOrdered(x) :
             ProductPrice(x, _) and not OrderProductQuantity(_, x, _)
     """)
-    show("OrderWithPayment", program.relation("OrderWithPayment"))
-    show("OrderedProductPrice", program.relation("OrderedProductPrice"))
-    show("NotOrdered", program.relation("NotOrdered"))
+    show("OrderWithPayment", session.relation("OrderWithPayment"))
+    show("OrderedProductPrice", session.relation("OrderedProductPrice"))
+    show("NotOrdered", session.relation("NotOrdered"))
 
     # ------------------------------------------------------------------
     print("\n== Section 3.2: infinite relations, used safely ==")
-    program.add_source("""
+    session.load("""
         def DiscountedPrice(x, y) :
             exists((z) | ProductPrice(x, z) and add(y, 5, z))
     """)
-    show("DiscountedPrice", program.relation("DiscountedPrice"))
+    show("DiscountedPrice", session.relation("DiscountedPrice"))
 
     # ------------------------------------------------------------------
     print("\n== Section 3.3: recursion (who is bought with what) ==")
-    program.add_source("""
+    session.load("""
         def SameOrder(p1, p2) :
             exists((o) | OrderProductQuantity(o, p1, _)
                      and OrderProductQuantity(o, p2, _))
         def BoughtWith(p, q) : SameOrder(p, q) and p != q
     """)
-    show("BoughtWith", program.relation("BoughtWith"))
+    show("BoughtWith", session.relation("BoughtWith"))
 
     # ------------------------------------------------------------------
     print("\n== Section 5.2: aggregation (sums per order) ==")
-    program.add_source("""
+    session.load("""
         def Ord(x) : OrderProductQuantity(x, _, _)
         def OrderPaymentAmount(x, y, z) :
             PaymentOrder(y, x) and PaymentAmount(y, z)
@@ -68,13 +67,14 @@ def main() -> None:
             and t = q * pr)
         def OrderTotal[o in Ord] : sum[OrderLineTotal[o]]
     """)
-    show("OrderPaid", program.relation("OrderPaid"))
-    show("OrderTotal", program.relation("OrderTotal"))
+    show("OrderPaid", session.relation("OrderPaid"))
+    show("OrderTotal", session.relation("OrderTotal"))
 
     # ------------------------------------------------------------------
     print("\n== Section 3.4: a transaction that closes fully-paid orders ==")
-    database = Database(order_database())
-    result = Transaction(database).execute("""
+    txn_session = connect(order_database())
+    database = txn_session.database
+    result = txn_session.transact("""
         def Ord(x) : OrderProductQuantity(x, _, _)
         def OrderPaymentAmount(x, y, z) :
             PaymentOrder(y, x) and PaymentAmount(y, z)
@@ -101,7 +101,7 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     print("\n== Section 3.5: integrity constraints abort bad transactions ==")
-    bad = Transaction(database).execute("""
+    bad = txn_session.transact("""
         ic integer_quantities() requires
             forall((x) | OrderProductQuantity(_, _, x) implies Int(x))
         def insert(:OrderProductQuantity, o, p, q) :
@@ -112,11 +112,11 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     print("\n== Queries are just expressions ==")
-    program2 = RelProgram(database=order_database())
+    session2 = connect(order_database())
     show('OrderProductQuantity["O1"]',
-         program2.query('OrderProductQuantity["O1"]'))
-    show("argmax[PaymentAmount]", program2.query("argmax[PaymentAmount]"))
-    show("avg of prices", program2.query("avg[ProductPrice]"))
+         session2.execute('OrderProductQuantity["O1"]'))
+    show("argmax[PaymentAmount]", session2.execute("argmax[PaymentAmount]"))
+    show("avg of prices", session2.execute("avg[ProductPrice]"))
     print("\nDone.")
 
 

@@ -17,7 +17,7 @@ computations over a synthetic bill-of-materials DAG
 Run:  python examples/supply_chain.py
 """
 
-from repro import RelProgram
+from repro import connect
 from repro.workloads import bill_of_materials
 
 RULES = """
@@ -56,8 +56,8 @@ RULES = """
 
 def main() -> None:
     relations, truth = bill_of_materials(levels=4, width=2, fanout=2, seed=9)
-    program = RelProgram(database=relations)
-    program.add_source(RULES)
+    session = connect(relations)
+    session.load(RULES)
 
     layers = truth["layers"]
     print("== Bill of materials ==")
@@ -68,20 +68,20 @@ def main() -> None:
 
     print("\n== BOM explosion (total raw-material needs per finished good) ==")
     for good in goods[:2]:
-        needs = sorted(program.query(f'RawNeed["{good}"]').tuples)
+        needs = sorted(session.execute(f'RawNeed["{good}"]').tuples)
         print(f"  {good}: " + ", ".join(f"{n}×{part}" for part, n in needs))
         # Cross-check one explosion against a direct Python walk.
         assert needs == sorted(python_explosion(relations, good).items())
 
     print("\n== Where-used (goods affected by each raw material) ==")
     raw0 = relations["RawMaterial"].sorted_tuples()[0][0]
-    used_in = sorted(t[0] for t in program.query(f'WhereUsed["{raw0}"]').tuples)
+    used_in = sorted(t[0] for t in session.execute(f'WhereUsed["{raw0}"]').tuples)
     print(f"  {raw0} is used in: {used_in}")
 
     print("\n== Shortage propagation ==")
-    out = sorted(t[0] for t in program.relation("OutOfStock"))
-    blocked = sorted(t[0] for t in program.relation("BlockedGood"))
-    healthy = sorted(t[0] for t in program.relation("HealthyGood"))
+    out = sorted(t[0] for t in session.relation("OutOfStock"))
+    blocked = sorted(t[0] for t in session.relation("BlockedGood"))
+    healthy = sorted(t[0] for t in session.relation("HealthyGood"))
     print(f"  out-of-stock items: {out}")
     print(f"  blocked goods:  {blocked}")
     print(f"  healthy goods:  {healthy}")
@@ -90,7 +90,7 @@ def main() -> None:
 
     print("\n== Procurement lead times (critical path, days) ==")
     for good in goods[:3]:
-        result = program.query(f'Lead["{good}"]')
+        result = session.execute(f'Lead["{good}"]')
         ((days,),) = result.tuples
         print(f"  {good}: {days} days")
 

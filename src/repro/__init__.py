@@ -8,17 +8,27 @@ programming-in-the-large features (Section 4), the standard/RA/LA/graph
 libraries written in Rel itself (Section 5), and the relational knowledge
 graph layer (Section 6).
 
-Quickstart::
+Quickstart — the canonical entry point is :func:`repro.connect`, which
+opens a :class:`~repro.api.Session` (one database, one rule catalog, one
+long-lived incremental evaluation state)::
 
-    from repro import RelProgram, Relation
+    import repro
 
-    program = RelProgram()
-    program.define("Edge", Relation([(1, 2), (2, 3)]))
-    program.add_source('''
+    session = repro.connect()
+    session.define("Edge", [(1, 2), (2, 3)])
+    session.load('''
         def Path(x, y) : Edge(x, y)
         def Path(x, y) : exists((z) | Edge(x, z) and Path(z, y))
     ''')
-    print(program.relation("Path"))
+    print(session.execute("Path"))
+
+    paths_from = session.query("Path[1]")   # prepared: parse once
+    print(paths_from.run())                 # execute many
+    session.insert("Edge", [(3, 4)])        # dirties only Path's stratum
+    print(paths_from.run())
+
+The lower-level :class:`RelProgram` remains available for direct engine
+access; see README.md for the migration table.
 """
 
 from repro.engine import (
@@ -30,9 +40,10 @@ from repro.engine import (
     SafetyError,
     UnknownRelationError,
 )
+from repro.api import PreparedQuery, Session, connect
 from repro.model import Entity, EntityRegistry, Relation, Symbol, relation, singleton
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConvergenceError",
@@ -40,13 +51,16 @@ __all__ = [
     "Entity",
     "EntityRegistry",
     "EvaluationError",
+    "PreparedQuery",
     "RelError",
     "RelProgram",
     "Relation",
     "SafetyError",
+    "Session",
     "Symbol",
     "UnknownRelationError",
     "__version__",
+    "connect",
     "relation",
     "singleton",
 ]

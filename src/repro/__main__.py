@@ -1,4 +1,4 @@
-"""Command-line interface: run Rel programs and queries.
+"""Command-line interface: run Rel programs and queries over a Session.
 
 Usage::
 
@@ -10,6 +10,10 @@ Usage::
 
 Base relations can be loaded from simple TSV files with ``--load NAME=file``
 (tab-separated; values parsed as int/float when possible, strings otherwise).
+
+The CLI drives one :class:`repro.Session`; ``--repl`` keeps it open for an
+interactive session with incremental re-evaluation — definitions added at
+the prompt only dirty the strata that depend on them.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro import RelError, RelProgram, Relation
+from repro import RelError, Relation, Session, connect
 from repro.model.values import value_repr
 
 
@@ -75,27 +79,27 @@ def main(argv=None) -> int:
                         help="interactive session after loading the program")
     args = parser.parse_args(argv)
 
-    program = RelProgram(load_stdlib=not args.no_stdlib)
+    session = connect(load_stdlib=not args.no_stdlib)
     try:
         for spec in args.load:
             name, _, path = spec.partition("=")
             if not path:
                 parser.error(f"--load expects NAME=FILE, got {spec!r}")
-            program.define(name, load_tsv(Path(path)))
+            session.define(name, load_tsv(Path(path)))
         if args.program == "-":
-            program.add_source(sys.stdin.read())
+            session.load(sys.stdin.read())
         elif args.program:
-            program.add_source(Path(args.program).read_text())
+            session.load(Path(args.program).read_text())
         for source in args.source:
-            program.add_source(source)
+            session.load(source)
 
-        output = program.output()
-        if output or "output" in program.closures:
+        output = session.output()
+        if output or "output" in session.program.closures:
             print_relation("output", output)
         for name in args.relation:
-            print_relation(name, program.relation(name))
+            print_relation(name, session.relation(name))
         for query in args.query:
-            print_relation(query, program.query(query))
+            print_relation(query, session.execute(query))
     except RelError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -103,16 +107,18 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.repl:
-        repl(program)
+        repl(session)
     return 0
 
 
-def repl(program: RelProgram) -> None:
-    """A line-oriented interactive session.
+def repl(session: Session) -> None:
+    """A line-oriented interactive session over one persistent Session.
 
-    Lines starting with ``def`` or ``ic`` extend the program; anything else
-    is evaluated as a query expression. ``:quit`` exits, ``:relations``
-    lists defined names.
+    Lines starting with ``def`` or ``ic`` extend the session; anything else
+    is evaluated as a query expression. Because the session is long-lived,
+    each definition only invalidates the strata that depend on it — results
+    for unrelated relations are served from the retained extents.
+    ``:quit`` exits, ``:relations`` lists defined names.
     """
     print("Rel repl — def/ic to define, expressions to query, :quit to exit")
     while True:
@@ -126,15 +132,14 @@ def repl(program: RelProgram) -> None:
         if line in (":quit", ":q", ":exit"):
             return
         if line == ":relations":
-            names = sorted(set(program.closures) | set(program.base_relations))
-            print("  " + ", ".join(names))
+            print("  " + ", ".join(session.names()))
             continue
         try:
             if line.startswith(("def ", "ic ")):
-                program.add_source(line)
+                session.load(line)
                 print("  ok")
             else:
-                print_relation(line, program.query(line))
+                print_relation(line, session.execute(line))
         except (RelError, SyntaxError) as exc:
             print(f"  error: {exc}")
 

@@ -1,0 +1,230 @@
+"""The Session API: the canonical way to use the system.
+
+The paper presents Rel as one coherent stack — the language, a GNF
+database with transactional semantics, and libraries layered on top.  A
+:class:`Session` is the corresponding programmatic object: it owns one
+:class:`~repro.db.Database`, one rule catalog, and one long-lived
+evaluation state, and it is the unit that can be pooled, snapshotted, and
+served from.
+
+Separation of *definition* from *execution* is the core design:
+
+- :meth:`Session.query` returns a :class:`PreparedQuery` — parsed and
+  compiled once, executable many times, parameterizable by swapping bound
+  base relations;
+- :meth:`Session.define` / :meth:`insert` / :meth:`delete` update base
+  data with **stratum-level invalidation**: only the SCC strata that
+  (transitively) depend on the touched relation are recomputed on the
+  next execution, everything else keeps its extents and instance memos;
+- :meth:`Session.transact` routes through the control-relation
+  transaction semantics of Section 3.4 (``output`` / ``insert`` /
+  ``delete``, constraint-checked, atomic), with the session's rules and
+  integrity constraints in scope.
+
+Quickstart::
+
+    import repro
+
+    session = repro.connect()
+    session.define("Edge", [(1, 2), (2, 3)])
+    session.load('''
+        def Path(x, y) : Edge(x, y)
+        def Path(x, y) : exists((z) | Edge(x, z) and Path(z, y))
+    ''')
+    reachable = session.query("Path[1]")     # a PreparedQuery
+    print(reachable.run())                   # {(2,), (3,)}
+    session.insert("Edge", [(3, 4)])         # dirties only Path's stratum
+    print(reachable.run())                   # {(2,), (3,), (4,)}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.db.database import Database
+from repro.db.transaction import Transaction, TransactionResult
+from repro.engine.program import EngineOptions, RelProgram
+from repro.lang import ast, parse_expression
+from repro.model.relation import EMPTY, Relation
+
+RelationLike = Union[Relation, Iterable[Tuple[Any, ...]]]
+
+
+def _as_relation(value: RelationLike) -> Relation:
+    if isinstance(value, Relation):
+        return value
+    try:
+        return Relation(value)
+    except TypeError as exc:
+        raise TypeError(
+            f"expected a Relation or an iterable of tuples, got {value!r}"
+        ) from exc
+
+
+class PreparedQuery:
+    """A parsed, compiled Rel expression bound to a session.
+
+    Parsing happens once, at preparation time; every :meth:`run` evaluates
+    the stored AST against the session's current state.  Keyword arguments
+    to :meth:`run` (re)bind base relations before execution, so one
+    prepared query serves a family of inputs::
+
+        tc = session.query("TC[E]")
+        tc.run(E=[(1, 2), (2, 3)])
+        tc.run(E=[(5, 6)])          # same compiled query, new data
+    """
+
+    __slots__ = ("session", "source", "_node")
+
+    def __init__(self, session: "Session", source: str) -> None:
+        self.session = session
+        self.source = source
+        self._node: ast.Node = parse_expression(source)
+
+    def run(self, **relations: RelationLike) -> Relation:
+        """Execute against the session, optionally swapping base relations.
+
+        Bindings persist in the session (they are ordinary base-relation
+        updates and enjoy the same stratum-level invalidation)."""
+        for name, value in relations.items():
+            self.session.define(name, value)
+        return self.session.program.query_node(self._node)
+
+    __call__ = run
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedQuery({self.source!r})"
+
+
+class Session:
+    """One database + one rule catalog + one long-lived evaluation state.
+
+    >>> session = Session()
+    >>> session.define("E", [(1, 2), (2, 3)])
+    >>> sorted(session.execute("TC[E]").tuples)
+    [(1, 2), (1, 3), (2, 3)]
+    """
+
+    def __init__(self, database: Optional[Union[Database, Mapping[str, Relation]]] = None,
+                 schema: Optional[str] = None, *,
+                 source: Optional[str] = None,
+                 load_stdlib: bool = True,
+                 enforce_gnf: bool = False,
+                 options: Optional[EngineOptions] = None) -> None:
+        if isinstance(database, Database):
+            self.database = database
+        else:
+            self.database = Database(database or {}, enforce_gnf=enforce_gnf)
+        self._load_stdlib = load_stdlib
+        self.program = RelProgram(
+            database=self.database.as_mapping(),
+            load_stdlib=load_stdlib,
+            options=options,
+        )
+        if schema:
+            self.load(schema)
+        if source:
+            self.load(source)
+
+    # -- definition --------------------------------------------------------
+
+    def load(self, source: str) -> "Session":
+        """Add Rel declarations (``def`` rules and ``ic`` constraints).
+
+        Only the strata depending on the (re)defined names are dirtied."""
+        self.program.add_source(source)
+        return self
+
+    def define(self, name: str, relation: RelationLike) -> "Session":
+        """Install or replace a base relation (GNF-checked if enforced)."""
+        rel = _as_relation(relation)
+        self.database.install(name, rel)
+        self.program.define(name, rel)
+        return self
+
+    def insert(self, name: str, tuples: RelationLike) -> "Session":
+        """Insert tuples into a base relation (created on the spot)."""
+        self.database.insert(name, _as_relation(tuples))
+        self.program.define(name, self.database[name])
+        return self
+
+    def delete(self, name: str, tuples: RelationLike) -> "Session":
+        """Delete tuples from a base relation."""
+        self.database.delete(name, _as_relation(tuples))
+        self.program.define(name, self.database[name])
+        return self
+
+    # -- execution ---------------------------------------------------------
+
+    def query(self, source: str) -> PreparedQuery:
+        """Prepare a query: parse/compile once, execute many."""
+        return PreparedQuery(self, source)
+
+    def execute(self, source: str) -> Relation:
+        """One-shot: prepare and run."""
+        return self.program.query_node(parse_expression(source))
+
+    def relation(self, name: str) -> Relation:
+        """The full extent of a defined or base relation."""
+        return self.program.relation(name)
+
+    def ask(self, source: str) -> bool:
+        """Boolean query: is the result non-empty?"""
+        return bool(self.execute(source))
+
+    def output(self) -> Relation:
+        """The ``output`` control relation of the session's rules."""
+        return self.program.output()
+
+    # -- transactions ------------------------------------------------------
+
+    def transact(self, source: str) -> TransactionResult:
+        """Run a transaction (Section 3.4) with the session's rules and
+        constraints in scope.
+
+        Control relations drive it: ``output`` is returned, ``insert`` /
+        ``delete`` requests are applied atomically unless an integrity
+        constraint is violated, in which case nothing changes — including
+        the session's computed extents."""
+        txn = Transaction(
+            self.database,
+            options=self.program.options,
+            load_stdlib=self._load_stdlib,
+            extra_rules=self.program,
+        )
+        result = txn.execute(source)
+        if result.committed:
+            for name in set(result.inserted) | set(result.deleted):
+                self.program.define(name, self.database.get(name, EMPTY))
+        return result
+
+    # -- introspection -----------------------------------------------------
+
+    def names(self) -> Tuple[str, ...]:
+        """All defined names: base relations and rule-defined relations."""
+        return tuple(sorted(set(self.program.closures)
+                            | set(self.database.names())))
+
+    def evaluation_counts(self) -> Dict[str, int]:
+        """Per-relation rule-evaluation counters (incremental-reuse hook):
+        an unchanged stratum keeps its count across updates and queries."""
+        return self.program.evaluation_counts()
+
+    def statistics(self) -> Dict[str, int]:
+        """Fact counts per stored base relation."""
+        return {name: len(rel) for name, rel in self.database.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Session({len(self.database)} base relations, "
+                f"{len(self.program.closures)} defined names)")
+
+
+def connect(database: Optional[Union[Database, Mapping[str, Relation]]] = None,
+            schema: Optional[str] = None, **kwargs: Any) -> Session:
+    """Open a :class:`Session` — the front door of the system.
+
+    ``database`` is an existing :class:`~repro.db.Database`, or a mapping
+    of name → :class:`~repro.model.Relation` to start from; ``schema`` is
+    Rel source (rules and integrity constraints) loaded at connect time.
+    Remaining keyword arguments are forwarded to :class:`Session`."""
+    return Session(database, schema, **kwargs)

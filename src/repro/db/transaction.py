@@ -55,10 +55,14 @@ class Transaction:
 
     def __init__(self, database: Database,
                  options: Optional[EngineOptions] = None,
-                 load_stdlib: bool = True) -> None:
+                 load_stdlib: bool = True,
+                 extra_rules: Optional[RelProgram] = None) -> None:
         self.database = database
         self.options = options
         self.load_stdlib = load_stdlib
+        #: A program whose rules and constraints are in scope for every
+        #: transaction (the session layer passes its catalog here).
+        self.extra_rules = extra_rules
 
     def execute(self, source: str) -> TransactionResult:
         """Run a Rel program; commit its effects unless a constraint fails.
@@ -68,11 +72,13 @@ class Transaction:
         checked on the *post-state*, and only then is the database mutated.
         """
         program = RelProgram(
-            source,
             database=self.database.as_mapping(),
             load_stdlib=self.load_stdlib,
             options=self.options,
         )
+        if self.extra_rules is not None:
+            program.merge_rules_from(self.extra_rules)
+        program.add_source(source)
         program.evaluate()
 
         output = (program.relation("output")

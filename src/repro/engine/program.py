@@ -68,38 +68,89 @@ class EngineOptions:
 
 
 class EvalState:
-    """Mutable evaluation state: extents, instance memos, and indexes."""
+    """Mutable evaluation state: extents, instance memos, and indexes.
+
+    Every name (base or derived) carries a *generation* counter, bumped
+    whenever its extent changes. Instance memos are keyed by the generations
+    of the names they (transitively) reference, so an update to one base
+    relation only invalidates the memos that could observe it — the
+    foundation of the session layer's incremental re-evaluation.
+    """
+
+    #: Soft caps for the long-lived session caches (entries, not bytes):
+    #: on overflow the oldest half is evicted (dicts keep insertion order).
+    MEMO_LIMIT = 4096
+    INDEX_LIMIT = 256
 
     def __init__(self) -> None:
         self.extents: Dict[str, Relation] = {}
-        self.generation = 0
+        self.name_gen: Dict[str, int] = {}
+        self.eval_counts: Dict[str, int] = {}
         self.memo: Dict[Tuple[Any, ...], Relation] = {}
         self.in_progress: Dict[Tuple[Any, ...], Relation] = {}
         self.touch_stack: List[Set[Tuple[Any, ...]]] = []
-        self._indexes: Dict[Tuple[int, int], Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]] = {}
-        self._index_keep: Dict[int, Relation] = {}
+        # key -> (pinned relation, prefix index); the pin keeps the
+        # id()-keyed entry alive exactly as long as the entry itself.
+        self._indexes: Dict[Tuple[int, int],
+                            Tuple[Relation, Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]]] = {}
 
-    def bump(self) -> None:
-        self.generation += 1
+    def bump_name(self, name: str) -> None:
+        self.name_gen[name] = self.name_gen.get(name, 0) + 1
+
+    def count_eval(self, name: str) -> None:
+        self.eval_counts[name] = self.eval_counts.get(name, 0) + 1
 
     def set_extent(self, name: str, rel: Relation) -> None:
         old = self.extents.get(name)
         if old is None or old != rel:
             self.extents[name] = rel
-            self.bump()
+            self.bump_name(name)
+
+    def drop_extent(self, name: str) -> None:
+        """Forget a computed extent without bumping its generation: if the
+        recomputation reproduces the same relation, dependent memos stay
+        valid."""
+        self.extents.pop(name, None)
+
+    def prune_memo(self, names: Set[str]) -> None:
+        """Evict memo entries whose reference signature mentions ``names``
+        (their keys are already unreachable; this just frees memory).
+        Entries made stale through Relation-*valued* keys (e.g. ``TC[E]``
+        after E changed) are not identifiable here; the MEMO_LIMIT cap in
+        :meth:`memoize` bounds those."""
+        if not self.memo:
+            return
+        dead = [key for key in self.memo
+                if any(n in names for n, _ in key[0])]
+        for key in dead:
+            del self.memo[key]
+
+    def memoize(self, key: Tuple[Any, ...], rel: Relation) -> None:
+        memo = self.memo
+        memo[key] = rel
+        if len(memo) > self.MEMO_LIMIT:
+            for old_key in list(memo)[: self.MEMO_LIMIT // 2]:
+                del memo[old_key]
+
+    def clear_indexes(self) -> None:
+        """Drop the atom-index cache (and its relation pins); retained
+        extents re-index lazily on next use."""
+        self._indexes.clear()
 
     def index(self, rel: Relation, prefix_len: int):
         """Hash index of ``rel`` on its first ``prefix_len`` positions."""
         key = (id(rel), prefix_len)
-        index = self._indexes.get(key)
-        if index is None:
-            index = {}
+        entry = self._indexes.get(key)
+        if entry is None:
+            index: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
             for tup in rel.tuples:
                 if len(tup) >= prefix_len:
                     index.setdefault(tup[:prefix_len], []).append(tup)
-            self._indexes[key] = index
-            self._index_keep[id(rel)] = rel  # pin: id-keyed cache needs liveness
-        return index
+            if len(self._indexes) >= self.INDEX_LIMIT:
+                for old_key in list(self._indexes)[: self.INDEX_LIMIT // 2]:
+                    del self._indexes[old_key]
+            self._indexes[key] = entry = (rel, index)
+        return entry[1]
 
 
 class EvalContext:
@@ -190,7 +241,7 @@ class EvalContext:
             full_arity = None
         state = self.state
         key = (
-            state.generation,
+            self._refs_signature(rules, closure, rel_values),
             tuple(id(r) for r in rules),
             self.cache_key(closure),
             tuple(self.cache_key(v) for v in rel_values),
@@ -239,8 +290,38 @@ class EvalContext:
             for frame_keys in state.touch_stack:
                 frame_keys.update(foreign)
         elif self.options.memoize_instances:
-            state.memo[key] = result
+            state.memoize(key, result)
         return result
+
+    # -- generation-tagged memo signatures ---------------------------------------
+
+    def _refs_signature(self, rules: Sequence[Rule], closure: Closure,
+                        rel_values: Tuple[Any, ...]) -> Tuple[Tuple[str, int], ...]:
+        """The (name, generation) pairs of every program name the instance
+        can observe: the transitive references of its own rules, of any
+        closure passed as a relation parameter, and of closures captured in
+        environments. A memo entry is reusable exactly when this signature
+        is unchanged — stratum-level instead of global invalidation."""
+        refs: Set[str] = set()
+        program = self.program
+        for rule in rules:
+            for n in rule.free:
+                refs |= program._refs_of(n)
+        self._collect_value_refs(closure, refs)
+        for value in rel_values:
+            self._collect_value_refs(value, refs)
+        gens = self.state.name_gen
+        return tuple(sorted((n, gens[n]) for n in refs if n in gens))
+
+    def _collect_value_refs(self, value: Any, refs: Set[str]) -> None:
+        if isinstance(value, Closure):
+            program = self.program
+            for rule in value.rules:
+                for n in rule.free:
+                    refs |= program._refs_of(n)
+            for captured in value.env.flatten().values():
+                if isinstance(captured, Closure):
+                    self._collect_value_refs(captured, refs)
 
     # -- static orderability ----------------------------------------------------
 
@@ -459,6 +540,7 @@ class RelProgram:
         self._state: Optional[EvalState] = None
         self._ctx: Optional[EvalContext] = None
         self._strata: Optional[List[List[str]]] = None
+        self._refs_cache: Dict[str, FrozenSet[str]] = {}
         if load_stdlib:
             from repro.stdlib import standard_library_source
 
@@ -469,31 +551,59 @@ class RelProgram:
     # -- building --------------------------------------------------------------
 
     def add_source(self, source: str) -> None:
-        """Parse and add declarations; invalidates prior evaluation."""
+        """Parse and add declarations; invalidates dependent evaluation."""
         self._ingest(parse_program(source))
 
     def _ingest(self, program: ast.Program) -> None:
+        changed: Set[str] = set()
         for decl in program.declarations:
             if isinstance(decl, ast.RuleDef):
                 self._rules.setdefault(decl.name, []).append(compile_rule(decl))
+                changed.add(decl.name)
             elif isinstance(decl, ast.ICDef):
                 self._constraints.append(decl)
-        self._invalidate()
+        if changed:
+            self._invalidate_rules(changed)
 
     def define(self, name: str, relation: Relation) -> None:
-        """Install or replace a base (EDB) relation."""
+        """Install or replace a base (EDB) relation.
+
+        Replacing an existing relation only dirties the strata that
+        (transitively) depend on it; everything else keeps its computed
+        extent and instance memos."""
+        old = self._base.get(name)
         self._base[name] = relation
-        self._invalidate()
+        if old is not None and old == relation:
+            return
+        if old is None:
+            # A brand-new name can change name resolution and therefore
+            # safety/orderability classification: start over.
+            self._invalidate()
+            return
+        self._invalidate_data(name)
 
     def merge_rules_from(self, other: "RelProgram") -> None:
-        """Adopt another program's compiled rules (used by the transaction
-        layer to re-check constraints against a post-state)."""
+        """Adopt another program's compiled rules and constraints (used by
+        the transaction layer to re-check constraints against a post-state).
+
+        Deduplication is a seen-set membership test on the compiled rules
+        (hashable frozen dataclasses), not a linear scan per rule."""
+        changed: Set[str] = set()
         for name, rules in other._rules.items():
             mine = self._rules.setdefault(name, [])
+            seen = set(mine)
             for rule in rules:
-                if rule not in mine:
+                if rule not in seen:
                     mine.append(rule)
-        self._invalidate()
+                    seen.add(rule)
+                    changed.add(name)
+        seen_ics = set(self._constraints)
+        for ic in other._constraints:
+            if ic not in seen_ics:
+                self._constraints.append(ic)
+                seen_ics.add(ic)
+        if changed:
+            self._invalidate_rules(changed)
 
     def base_relation(self, name: str) -> Optional[Relation]:
         return self._base.get(name)
@@ -510,6 +620,7 @@ class RelProgram:
         return list(self._rules.get(name, []))
 
     def _invalidate(self) -> None:
+        """Full reset: discard every computed extent, memo, and analysis."""
         self.closures = {
             name: Closure(name, tuple(rules), Env.EMPTY)
             for name, rules in self._rules.items()
@@ -518,6 +629,64 @@ class RelProgram:
         self._state = None
         self._ctx = None
         self._strata = None
+        self._refs_cache = {}
+
+    def _invalidate_rules(self, changed: Set[str]) -> None:
+        """Rules were added for ``changed`` names: rebuild their closures,
+        redo the (cheap) static analyses, and drop only the extents that can
+        observe the change."""
+        for name in changed:
+            self.closures[name] = Closure(name, tuple(self._rules[name]),
+                                          Env.EMPTY)
+        self._materialized = None
+        self._strata = None
+        self._refs_cache = {}
+        if self._state is None:
+            return
+        if self._ctx is not None:
+            # New rules can flip orderability of anything referencing them.
+            self._ctx._orderable_cache.clear()
+        state = self._state
+        for name in changed:
+            state.bump_name(name)
+        self._drop_dependent_extents(changed)
+        state.prune_memo(changed)
+        state.clear_indexes()
+
+    def _invalidate_data(self, name: str) -> None:
+        """A base relation changed in place: dirty only dependent strata."""
+        if self._state is None:
+            return
+        state = self._state
+        state.bump_name(name)
+        self._drop_dependent_extents({name})
+        state.prune_memo({name})
+        state.clear_indexes()
+
+    def _drop_dependent_extents(self, changed: Set[str]) -> None:
+        state = self._state
+        for extent_name in list(state.extents):
+            if extent_name in changed or changed & self._refs_of(extent_name):
+                state.drop_extent(extent_name)
+
+    def _refs_of(self, name: str) -> FrozenSet[str]:
+        """Every name reachable from ``name`` through rule bodies (including
+        ``name`` itself and base/unresolved leaves)."""
+        cached = self._refs_cache.get(name)
+        if cached is not None:
+            return cached
+        seen = {name}
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            for rule in self._rules.get(current, ()):
+                for ref in rule.free:
+                    if ref not in seen:
+                        seen.add(ref)
+                        stack.append(ref)
+        refs = frozenset(seen)
+        self._refs_cache[name] = refs
+        return refs
 
     # -- analysis ---------------------------------------------------------------
 
@@ -648,6 +817,7 @@ class RelProgram:
         return ctx.state.extents.get(name, self._base.get(name, EMPTY))
 
     def _eval_name_once(self, name: str, ctx: EvalContext) -> Relation:
+        ctx.state.count_eval(name)
         result = self._base.get(name, EMPTY)
         for rule in self._rules[name]:
             facts = eval_rule(rule, Env.EMPTY, ctx)
@@ -727,9 +897,9 @@ class RelProgram:
                 )
             for name in names:
                 state.extents["__delta__" + name] = delta[name]
-            state.bump()
             new_delta: Dict[str, Relation] = {n: EMPTY for n in names}
             for name in names:
+                state.count_eval(name)
                 derived = EMPTY
                 for rule, body in variants[name]:
                     variant_rule = dataclasses.replace(rule, body=body)
@@ -757,13 +927,25 @@ class RelProgram:
 
     def query(self, source: str) -> Relation:
         """Evaluate a Rel expression against the program."""
-        node = parse_expression(source)
+        return self.query_node(parse_expression(source))
+
+    def query_node(self, node: ast.Node) -> Relation:
+        """Evaluate an already-parsed Rel expression (the fast path used by
+        prepared queries: parse once, execute many)."""
         ctx = self._context()
         self.evaluate()
         try:
             return eval_relation(node, Frame(Env.EMPTY, frozenset()), ctx)
         except NotOrderable as exc:
             raise SafetyError(str(exc)) from exc
+
+    def evaluation_counts(self) -> Dict[str, int]:
+        """How many times each defined name has had its rules evaluated
+        (fixpoint iterations included). Diagnostics hook for session tests
+        and benchmarks: unchanged strata keep their counts across updates."""
+        if self._state is None:
+            return {}
+        return dict(self._state.eval_counts)
 
     def output(self) -> Relation:
         """The contents of the ``output`` control relation (Section 3.4)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.api import Session
 from repro.db.database import Database
 from repro.engine.program import EngineOptions, RelProgram
 from repro.model.relation import EMPTY, Relation
@@ -59,12 +60,12 @@ class KnowledgeGraph:
     """
 
     def __init__(self, options: Optional[EngineOptions] = None) -> None:
-        self.database = Database()
+        self.session = Session(options=options)
+        self.database = self.session.database
         self.concepts: Dict[str, Concept] = {}
         self.relationships: Dict[str, Relationship] = {}
         self._derivations: List[str] = []
         self.options = options
-        self._program: Optional[RelProgram] = None
 
     # -- schema ------------------------------------------------------------
 
@@ -72,7 +73,6 @@ class KnowledgeGraph:
         """Declare a concept (entity type) with attribute names."""
         concept = Concept(name, tuple(attributes))
         self.concepts[name] = concept
-        self._program = None
         return concept
 
     def relationship(self, name: str, participants: Sequence[str],
@@ -83,7 +83,6 @@ class KnowledgeGraph:
                 raise ValueError(f"unknown concept {p!r}")
         rel = Relationship(name, tuple(participants), value_column)
         self.relationships[name] = rel
-        self._program = None
         return rel
 
     # -- data --------------------------------------------------------------
@@ -98,11 +97,10 @@ class KnowledgeGraph:
         if unknown:
             raise ValueError(f"unknown attributes {sorted(unknown)}")
         entity = self.database.entities.mint(concept, key)
-        self.database.insert(concept, [(entity,)])
+        self.session.insert(concept, [(entity,)])
         for attr, value in attributes.items():
-            self.database.insert(spec.attribute_relation(attr),
-                                 [(entity, value)])
-        self._program = None
+            self.session.insert(spec.attribute_relation(attr),
+                                [(entity, value)])
         return entity
 
     def set_attribute(self, concept: str, entity: Entity, attribute: str,
@@ -111,9 +109,8 @@ class KnowledgeGraph:
         spec = self.concepts[concept]
         name = spec.attribute_relation(attribute)
         old = [(t[0], t[1]) for t in self.database[name] if t[0] == entity]
-        self.database.delete(name, old)
-        self.database.insert(name, [(entity, value)])
-        self._program = None
+        self.session.delete(name, old)
+        self.session.insert(name, [(entity, value)])
 
     def relate(self, relationship: str, *entities: Entity,
                value: Any = None) -> None:
@@ -131,34 +128,32 @@ class KnowledgeGraph:
                     f"{entity!r} is a {entity.namespace}, expected {concept}"
                 )
         tup = entities + ((value,) if spec.value_column is not None else ())
-        self.database.insert(relationship, [tup])
-        self._program = None
+        self.session.insert(relationship, [tup])
 
     # -- semantics ---------------------------------------------------------
 
     def define(self, rel_source: str) -> None:
-        """Add derived concepts/relationships as Rel source."""
+        """Add derived concepts/relationships as Rel source.
+
+        Loaded straight into the session: updates only dirty the strata
+        that depend on the touched relations."""
         self._derivations.append(rel_source)
-        self._program = None
+        self.session.load(rel_source)
 
     def program(self) -> RelProgram:
-        """The Rel program over this graph (cached until the graph changes)."""
-        if self._program is None:
-            program = RelProgram(database=self.database.as_mapping(),
-                                 options=self.options)
-            for source in self._derivations:
-                program.add_source(source)
-            self._program = program
-        return self._program
+        """Deprecated shim: the session's program (kept for callers of the
+        pre-Session API; mutations now apply incrementally, so there is no
+        rebuild-on-change)."""
+        return self.session.program
 
     # -- queries ------------------------------------------------------------
 
     def query(self, source: str) -> Relation:
         """Evaluate a Rel expression or fetch a relation by name."""
-        program = self.program()
+        program = self.session.program
         if source in program.closures or source in self.database:
             return program.relation(source)
-        return program.query(source)
+        return self.session.execute(source)
 
     def ask(self, source: str) -> bool:
         """Boolean query: is the result non-empty?"""

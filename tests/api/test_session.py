@@ -1,0 +1,181 @@
+"""The Session facade: prepared queries, incremental invalidation, transactions."""
+
+import pytest
+
+from repro import PreparedQuery, Relation, Session, connect
+from repro.db import Database
+
+
+@pytest.fixture
+def session():
+    s = connect()
+    s.define("E", [(1, 2), (2, 3), (3, 4)])
+    s.define("F", [(10,)])
+    s.load("""
+        def Path(x, y) : E(x, y)
+        def Path(x, y) : exists((z) | E(x, z) and Path(z, y))
+        def Big(x) : F(x) and x > 5
+    """)
+    return s
+
+
+class TestConnect:
+    def test_connect_returns_session(self):
+        assert isinstance(connect(), Session)
+
+    def test_connect_with_mapping(self):
+        s = connect({"P": Relation([(1,), (2,)])})
+        assert s.execute("count[P]") == Relation([(2,)])
+
+    def test_connect_with_database(self):
+        db = Database({"P": Relation([(1,)])})
+        s = connect(db)
+        assert s.database is db
+        assert s.relation("P") == Relation([(1,)])
+
+    def test_connect_with_schema(self):
+        s = connect({"P": Relation([(1,), (5,)])},
+                    schema="def Small(x) : P(x) and x < 3")
+        assert s.relation("Small") == Relation([(1,)])
+
+    def test_define_accepts_plain_tuples(self):
+        s = connect()
+        s.define("P", [(1,), (2,)])
+        assert s.relation("P") == Relation([(1,), (2,)])
+
+    def test_fluent_chaining(self):
+        s = connect().define("P", [(1,)]).load("def Q(x) : P(x)")
+        assert s.relation("Q") == Relation([(1,)])
+
+
+class TestPreparedQueries:
+    def test_query_returns_prepared(self, session):
+        pq = session.query("Path[1]")
+        assert isinstance(pq, PreparedQuery)
+        assert sorted(pq.run().tuples) == [(2,), (3,), (4,)]
+
+    def test_prepared_is_callable(self, session):
+        pq = session.query("count[E]")
+        assert pq() == Relation([(3,)])
+
+    def test_rerun_with_swapped_base_relation(self, session):
+        """Parse once, execute many — across different bound inputs."""
+        pq = session.query("Path[1]")
+        assert sorted(pq.run().tuples) == [(2,), (3,), (4,)]
+        assert sorted(pq.run(E=[(1, 7), (7, 9)]).tuples) == [(7,), (9,)]
+        assert pq.run(E=[(5, 6)]) == Relation()
+        # The swap is a session-level update: base state reflects it.
+        assert session.relation("E") == Relation([(5, 6)])
+
+    def test_rerun_sees_incremental_inserts(self, session):
+        pq = session.query("Path[1]")
+        before = pq.run()
+        session.insert("E", [(4, 5)])
+        after = pq.run()
+        assert after.tuples - before.tuples == frozenset({(5,)})
+
+
+class TestIncrementalInvalidation:
+    def test_unrelated_define_does_not_recompute_stratum(self, session):
+        """The tentpole property: an update to F must leave Path's stratum
+        untouched — its evaluation counter stays frozen."""
+        session.execute("Path")
+        session.execute("Big")
+        path_evals = session.evaluation_counts()["Path"]
+        session.define("F", [(20,)])
+        assert session.relation("Big") == Relation([(20,)])
+        assert session.relation("Path")  # still served
+        assert session.evaluation_counts()["Path"] == path_evals
+
+    def test_related_define_does_recompute(self, session):
+        session.execute("Path")
+        path_evals = session.evaluation_counts()["Path"]
+        session.define("E", [(1, 9)])
+        assert session.relation("Path") == Relation([(1, 9)])
+        assert session.evaluation_counts()["Path"] > path_evals
+
+    def test_unrelated_rule_load_keeps_strata(self, session):
+        session.execute("Path")
+        path_evals = session.evaluation_counts()["Path"]
+        session.load("def Tiny(x) : F(x) and x < 100")
+        assert session.relation("Tiny") == Relation([(10,)])
+        assert session.evaluation_counts()["Path"] == path_evals
+
+    def test_insert_delete_roundtrip(self, session):
+        session.insert("E", [(4, 5)])
+        assert (1, 5) in session.execute("Path")
+        session.delete("E", [(4, 5)])
+        assert (1, 5) not in session.execute("Path")
+
+    def test_noop_redefine_is_free(self, session):
+        session.execute("Path")
+        counts = session.evaluation_counts()
+        session.define("E", [(1, 2), (2, 3), (3, 4)])  # identical content
+        session.execute("Path")
+        assert session.evaluation_counts() == counts
+
+    def test_instance_memos_survive_unrelated_updates(self, session):
+        """Second-order instances (demand-driven TC[E]) are memoized by the
+        generations of what they reference: touching F must not evict them."""
+        first = session.execute("TC[E]")
+        memo_size = len(session.program._state.memo)
+        assert memo_size > 0
+        session.define("F", [(42,)])
+        assert len(session.program._state.memo) == memo_size
+        assert session.execute("TC[E]") == first
+
+
+class TestTransactions:
+    def test_commit_updates_session(self, session):
+        result = session.transact('def insert(:G, x) : {(1); (2)}(x)')
+        assert result.committed
+        assert session.relation("G") == Relation([(1,), (2,)])
+
+    def test_session_rules_visible_in_transaction(self, session):
+        result = session.transact("def output(x, y) : Path(x, y)")
+        assert result.committed
+        assert (1, 4) in result.output
+
+    def test_abort_leaves_session_extents_untouched(self, session):
+        """An aborted transaction must not perturb the session: neither its
+        base data, nor its computed extents, nor its counters."""
+        before = session.execute("Path")
+        counts = session.evaluation_counts()
+        result = session.transact("""
+            ic never_holds() requires false
+            def insert(:E, x, y) : x = 100 and y = 200
+        """)
+        assert not result.committed
+        assert result.aborted_by == "never_holds"
+        assert session.relation("E") == Relation([(1, 2), (2, 3), (3, 4)])
+        assert session.execute("Path") == before
+        assert session.evaluation_counts() == counts
+
+    def test_session_constraints_enforced_in_transactions(self):
+        s = connect({"P": Relation([(1,)])})
+        s.load("ic small_only(x) requires P(x) implies x < 10")
+        result = s.transact("def insert(:P, x) : x = 50")
+        assert not result.committed
+        assert result.aborted_by == "small_only"
+        assert s.relation("P") == Relation([(1,)])
+
+    def test_transaction_delete_syncs_session(self, session):
+        result = session.transact(
+            "def delete(:E, x, y) : E(x, y) and x = 1")
+        assert result.committed
+        assert session.relation("E") == Relation([(2, 3), (3, 4)])
+        assert (1, 2) not in session.execute("Path")
+
+
+class TestIntrospection:
+    def test_names_mixes_base_and_derived(self, session):
+        names = session.names()
+        assert "E" in names and "Path" in names and "sum" in names
+
+    def test_statistics(self, session):
+        stats = session.statistics()
+        assert stats["E"] == 3 and stats["F"] == 1
+
+    def test_output_relation(self, session):
+        session.load("def output(x) : F(x)")
+        assert session.output() == Relation([(10,)])
