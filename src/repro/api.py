@@ -39,6 +39,7 @@ Quickstart::
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.db.database import Database
@@ -48,6 +49,17 @@ from repro.lang import ast, parse_expression
 from repro.model.relation import EMPTY, Relation
 
 RelationLike = Union[Relation, Iterable[Tuple[Any, ...]]]
+
+_JOIN_STRATEGIES = ("auto", "leapfrog", "binary", "off")
+
+
+def _check_join_strategy(value: str) -> str:
+    if value not in _JOIN_STRATEGIES:
+        raise ValueError(
+            f"unknown join strategy {value!r}; expected one of "
+            + ", ".join(repr(s) for s in _JOIN_STRATEGIES)
+        )
+    return value
 
 
 def _as_relation(value: RelationLike) -> Relation:
@@ -110,12 +122,21 @@ class Session:
                  source: Optional[str] = None,
                  load_stdlib: bool = True,
                  enforce_gnf: bool = False,
-                 options: Optional[EngineOptions] = None) -> None:
+                 options: Optional[EngineOptions] = None,
+                 join_strategy: Optional[str] = None) -> None:
         if isinstance(database, Database):
             self.database = database
         else:
             self.database = Database(database or {}, enforce_gnf=enforce_gnf)
         self._load_stdlib = load_stdlib
+        # The session owns a private copy of its options: a caller-supplied
+        # object may be shared with other sessions/programs and must not be
+        # affected by this session's knobs (join_strategy here or via the
+        # property setter, which mutates in place).
+        options = dataclasses.replace(options) if options is not None \
+            else EngineOptions()
+        if join_strategy is not None:
+            options.join_strategy = _check_join_strategy(join_strategy)
         self.program = RelProgram(
             database=self.database.as_mapping(),
             load_stdlib=load_stdlib,
@@ -209,6 +230,26 @@ class Session:
         """Per-relation rule-evaluation counters (incremental-reuse hook):
         an unchanged stratum keeps its count across updates and queries."""
         return self.program.evaluation_counts()
+
+    @property
+    def join_strategy(self) -> str:
+        """The session's conjunction join routing: "auto" (heuristic pick
+        between leapfrog and a binary plan), "leapfrog", "binary", or
+        "off" (per-conjunct fallback scheduler only)."""
+        return self.program.options.join_strategy
+
+    @join_strategy.setter
+    def join_strategy(self, value: str) -> None:
+        # In-place on the program's options — the live evaluation context
+        # holds the same object, so the switch takes effect immediately;
+        # the constructor copied them, so no other session is affected.
+        self.program.options.join_strategy = _check_join_strategy(value)
+
+    def join_statistics(self) -> Dict[str, int]:
+        """How many conjunctions were evaluated by the multiway-join path,
+        per strategy ("leapfrog" / "binary") — the explain counter for
+        checking that a query hit the worst-case-optimal path."""
+        return self.program.join_statistics()
 
     def statistics(self) -> Dict[str, int]:
         """Fact counts per stored base relation."""

@@ -40,9 +40,10 @@ from repro.engine.errors import (
 )
 from repro.engine.runtime import Closure, Env, Rule, literal_closure
 from repro.engine.table import Table, union_tables
+from repro.joins import planner as joins_planner
 from repro.lang import ast
 from repro.model.relation import EMPTY, Relation
-from repro.model.values import sort_key
+from repro.model.values import UnknownValueError
 
 
 class NotOrderable(Exception):
@@ -227,9 +228,19 @@ def _expand_conjunction(node: ast.Node, table: Table, frame: Frame, ctx) -> Tabl
 def _schedule(
     items: List[Tuple[Optional[int], ast.Node]], table: Table, frame: Frame, ctx
 ) -> Table:
-    """Greedy safety-driven conjunct scheduling with payload slots."""
+    """Greedy safety-driven conjunct scheduling with payload slots.
+
+    Before the per-conjunct loop, conjuncts that are plain positive atoms
+    over fully-materialized relations are extracted and evaluated as ONE
+    multiway join (leapfrog triejoin or a greedy binary plan) — the paper's
+    worst-case-optimal-join substrate for GNF's many-joins style (Section
+    7). Everything else (builtins, negation, comparisons, abstractions,
+    demand-driven closures) takes the fallback scheduler below.
+    """
     pending = list(items)
     slot_cols: Dict[int, str] = {}
+    if len(pending) >= 2 and table.rows:
+        table, pending = _schedule_multiway(pending, table, frame, ctx)
     while pending:
         scheduled = None
         bound = set(table.cols)
@@ -264,6 +275,165 @@ def _pending_names(pending, frame: Frame) -> Set[str]:
     for _, n in pending:
         names |= ast.free_names(n) & frame.scope
     return names or {"<expression>"}
+
+
+# ---------------------------------------------------------------------------
+# Multiway-join routing (worst-case optimal joins, Section 7)
+# ---------------------------------------------------------------------------
+
+
+def _join_atom_spec(node: ast.Node, frame: Frame, ctx):
+    """Recognize a conjunct as a plain positive atom over a materialized
+    relation.
+
+    Eligible: a non-partial application of a name that resolves to a finite
+    extent (base relation, already-materialized derived name, or an
+    environment-bound Relation), whose arguments are scope variables,
+    constants, or scalar wildcards. Returns ``(relation, args)`` with args
+    as ``("var", name) | ("const", value) | ("any", None)``, else None.
+    """
+    if not isinstance(node, ast.Application) or node.partial:
+        return None
+    target = node.target
+    if not isinstance(target, ast.Ref) or target.name in frame.scope:
+        return None
+    name = target.name
+    found, value = frame.env.get(name)
+    if found:
+        if not isinstance(value, Relation):
+            return None
+        rel = value
+    else:
+        kind, payload = ctx.resolve_kind(name)
+        if kind != "extent":
+            return None
+        # A materialized derived name may not have been evaluated yet;
+        # resolve() materializes it (exactly as the fallback path would).
+        rel = payload if payload is not None else ctx.resolve(name)[1]
+    args = []
+    for arg in node.args:
+        if isinstance(arg, ast.Const):
+            args.append(("const", arg.value))
+        elif isinstance(arg, ast.Wildcard):
+            args.append(("any", None))
+        elif isinstance(arg, ast.Ref) and arg.name in frame.scope:
+            args.append(("var", arg.name))
+        else:
+            return None
+    return rel, args
+
+
+def _spec_to_atom(rel: Relation, args) -> joins_planner.Atom:
+    """Lower a recognized atom to a planner Atom: constants become row
+    filters, wildcards drop their column, variables become columns. Atoms
+    that need no rewriting keep the relation as their trie-cache ``source``."""
+    names = tuple(d for k, d in args if k == "var")
+    n = len(args)
+    if all(k == "var" for k, _ in args) and rel.arities() <= frozenset({n}):
+        # Zero-copy: the frozenset itself serves as the row collection (the
+        # planner only sizes and iterates it), so a leapfrog run that hits
+        # the cached trie never touches the rows at all.
+        return joins_planner.Atom(rel.tuples, names, source=rel)
+    keep = [i for i, (k, _) in enumerate(args) if k == "var"]
+    consts = [(i, v) for i, (k, v) in enumerate(args) if k == "const"]
+    rows: List[Tuple[Any, ...]] = []
+    seen: Set[Tuple[Any, ...]] = set()
+    for tup in rel.tuples:
+        if len(tup) != n:
+            continue
+        if any(not _vals_eq(tup[i], v) for i, v in consts):
+            continue
+        proj = tuple(tup[i] for i in keep)
+        key = joins_planner.row_key(proj)
+        if key not in seen:
+            seen.add(key)
+            rows.append(proj)
+    return joins_planner.Atom(tuple(rows), names)
+
+
+def _schedule_multiway(pending, table: Table, frame: Frame, ctx):
+    """Extract eligible atom conjuncts and evaluate them as one multiway
+    join, reattaching the result to the binding table.
+
+    Returns ``(table, remaining_conjuncts)``; on any ineligibility the
+    inputs come back unchanged and the fallback scheduler handles
+    everything. Extracted atoms contribute empty payloads (they are full
+    applications), so their payload slots need no stash columns.
+    """
+    options = getattr(ctx, "options", None)
+    strategy = getattr(options, "join_strategy", "off")
+    if strategy not in ("auto", "leapfrog", "binary"):
+        return table, pending
+    specs = []
+    for i, (_, node) in enumerate(pending):
+        spec = _join_atom_spec(node, frame, ctx)
+        if spec is not None:
+            specs.append((i, spec))
+    if len(specs) < 2:
+        return table, pending
+
+    atoms: List[joins_planner.Atom] = []
+    join_vars: List[str] = []
+    seen_vars: Set[str] = set()
+    for _, (rel, args) in specs:
+        for kind, data in args:
+            if kind == "var" and data not in seen_vars:
+                seen_vars.add(data)
+                join_vars.append(data)
+        atoms.append(_spec_to_atom(rel, args))
+
+    # The current binding table participates as one more atom on its
+    # columns shared with the join (semi-naive deltas, outer bindings).
+    shared = [c for c in table.cols if c in seen_vars]
+    if shared:
+        idx = [table.col_index(c) for c in shared]
+        rows: List[Tuple[Any, ...]] = []
+        seen_rows: Set[Tuple[Any, ...]] = set()
+        try:
+            for row in table.rows:
+                proj = tuple(row[i] for i in idx)
+                key = joins_planner.row_key(proj)
+                if key not in seen_rows:
+                    seen_rows.add(key)
+                    rows.append(proj)
+        except UnknownValueError:
+            # A shared column holds a non-value binding (tuple variable):
+            # the join layer cannot key it — fall back entirely.
+            return table, pending
+        atoms.append(joins_planner.Atom(tuple(rows), tuple(shared)))
+
+    if strategy == "auto":
+        strategy = joins_planner.choose_strategy(
+            atoms, getattr(options, "leapfrog_min_rows", 128)
+        )
+    trie_builder = None
+    state = getattr(ctx, "state", None)
+    if strategy == "leapfrog" and state is not None \
+            and hasattr(state, "sorted_trie"):
+        trie_builder = state.sorted_trie
+
+    new = [v for v in join_vars if v not in table.cols]
+    output = tuple(shared) + tuple(new)
+    result = joins_planner.multiway_join(atoms, output, strategy,
+                                         trie_builder=trie_builder)
+    if state is not None and hasattr(state, "count_join"):
+        state.count_join(strategy)
+
+    ns = len(shared)
+    by_key: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in result:
+        by_key.setdefault(joins_planner.row_key(row[:ns]),
+                          []).append(row[ns:])
+    sidx = [table.col_index(c) for c in shared]
+    out_rows: List[Tuple[Any, ...]] = []
+    for row in table.rows:
+        key = joins_planner.row_key(tuple(row[i] for i in sidx))
+        for suffix in by_key.get(key, ()):
+            out_rows.append(row[:-1] + suffix + (row[-1],))
+    joined = Table(table.cols + tuple(new), out_rows).dedupe()
+    taken = {i for i, _ in specs}
+    remaining = [item for i, item in enumerate(pending) if i not in taken]
+    return joined, remaining
 
 
 # ---------------------------------------------------------------------------

@@ -65,6 +65,22 @@ class EngineOptions:
     use_atom_index: bool = True
     #: Memoize second-order instance extents (ablation: same bench).
     memoize_instances: bool = True
+    #: Multiway-join routing for conjunctions of positive atoms over
+    #: materialized relations: "auto" picks leapfrog vs. a greedy binary
+    #: plan per conjunction (cardinality/cyclicity heuristic), "leapfrog" /
+    #: "binary" force one strategy, "off" keeps the per-conjunct fallback
+    #: scheduler only.
+    join_strategy: str = "auto"
+    #: "auto" only routes to leapfrog when the participating atoms hold at
+    #: least this many rows in total (trie building must amortize).
+    leapfrog_min_rows: int = 128
+
+    def __post_init__(self) -> None:
+        if self.join_strategy not in ("auto", "leapfrog", "binary", "off"):
+            raise ValueError(
+                f"unknown join strategy {self.join_strategy!r}; expected "
+                f"'auto', 'leapfrog', 'binary', or 'off'"
+            )
 
 
 class EvalState:
@@ -81,11 +97,13 @@ class EvalState:
     #: on overflow the oldest half is evicted (dicts keep insertion order).
     MEMO_LIMIT = 4096
     INDEX_LIMIT = 256
+    TRIE_LIMIT = 256
 
     def __init__(self) -> None:
         self.extents: Dict[str, Relation] = {}
         self.name_gen: Dict[str, int] = {}
         self.eval_counts: Dict[str, int] = {}
+        self.join_stats: Dict[str, int] = {}
         self.memo: Dict[Tuple[Any, ...], Relation] = {}
         self.in_progress: Dict[Tuple[Any, ...], Relation] = {}
         self.touch_stack: List[Set[Tuple[Any, ...]]] = []
@@ -93,6 +111,12 @@ class EvalState:
         # id()-keyed entry alive exactly as long as the entry itself.
         self._indexes: Dict[Tuple[int, int],
                             Tuple[Relation, Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]]] = {}
+        # (id(relation), column permutation) -> (pinned relation, sorted
+        # trie); same pinning discipline as the atom indexes. Because a base
+        # update installs a *new* Relation object (generation bump), stale
+        # tries can never be observed — prepared queries re-running against
+        # unchanged relations hit the cache.
+        self._tries: Dict[Tuple[int, Tuple[int, ...]], Tuple[Relation, Any]] = {}
 
     def bump_name(self, name: str) -> None:
         self.name_gen[name] = self.name_gen.get(name, 0) + 1
@@ -132,10 +156,15 @@ class EvalState:
             for old_key in list(memo)[: self.MEMO_LIMIT // 2]:
                 del memo[old_key]
 
+    def count_join(self, strategy: str) -> None:
+        """Record one conjunction routed through the multiway-join path."""
+        self.join_stats[strategy] = self.join_stats.get(strategy, 0) + 1
+
     def clear_indexes(self) -> None:
-        """Drop the atom-index cache (and its relation pins); retained
-        extents re-index lazily on next use."""
+        """Drop the atom-index and sorted-trie caches (and their relation
+        pins); retained extents re-index lazily on next use."""
         self._indexes.clear()
+        self._tries.clear()
 
     def index(self, rel: Relation, prefix_len: int):
         """Hash index of ``rel`` on its first ``prefix_len`` positions."""
@@ -151,6 +180,30 @@ class EvalState:
                     del self._indexes[old_key]
             self._indexes[key] = entry = (rel, index)
         return entry[1]
+
+    def sorted_trie(self, atom, perm: Tuple[int, ...]):
+        """Cached sorted trie for a leapfrog join atom.
+
+        ``atom`` is a :class:`repro.joins.planner.Atom` whose ``source`` is
+        the backing :class:`Relation`; ``perm`` the column permutation the
+        global variable order imposes. The pinned relation keeps the id()
+        key stable for exactly as long as the entry lives, so one trie
+        build serves every evaluation until the relation's generation
+        changes (updates install new Relation objects)."""
+        from repro.joins.leapfrog import build_sorted_trie
+        from repro.joins.planner import permuted_rows
+
+        source = atom.source
+        key = (id(source), tuple(perm))
+        entry = self._tries.get(key)
+        if entry is not None and entry[0] is source:
+            return entry[1]
+        trie = build_sorted_trie(permuted_rows(atom, perm))
+        if len(self._tries) >= self.TRIE_LIMIT:
+            for old_key in list(self._tries)[: self.TRIE_LIMIT // 2]:
+                del self._tries[old_key]
+        self._tries[key] = (source, trie)
+        return trie
 
 
 class EvalContext:
@@ -946,6 +999,14 @@ class RelProgram:
         if self._state is None:
             return {}
         return dict(self._state.eval_counts)
+
+    def join_statistics(self) -> Dict[str, int]:
+        """How many conjunctions were routed through the multiway-join path,
+        per strategy ("leapfrog" / "binary"). The explain hook: a query that
+        should hit the WCOJ path can assert its counter moved."""
+        if self._state is None:
+            return {}
+        return dict(self._state.join_stats)
 
     def output(self) -> Relation:
         """The contents of the ``output`` control relation (Section 3.4)."""

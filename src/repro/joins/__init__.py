@@ -17,16 +17,29 @@ This package provides that toolbox:
 """
 
 from repro.joins.binary import hash_join, nested_loop_join, sort_merge_join
-from repro.joins.leapfrog import LeapfrogTriejoin, leapfrog_triejoin
-from repro.joins.planner import Atom, multiway_join, binary_plan_join
+from repro.joins.leapfrog import LeapfrogTriejoin, build_sorted_trie, leapfrog_triejoin
+from repro.joins.planner import (
+    Atom,
+    binary_plan_join,
+    canonicalize_atom,
+    choose_strategy,
+    is_cyclic,
+    multiway_join,
+    nested_loop_plan_join,
+)
 
 __all__ = [
     "Atom",
     "LeapfrogTriejoin",
     "binary_plan_join",
+    "build_sorted_trie",
+    "canonicalize_atom",
+    "choose_strategy",
     "hash_join",
+    "is_cyclic",
     "leapfrog_triejoin",
     "multiway_join",
     "nested_loop_join",
+    "nested_loop_plan_join",
     "sort_merge_join",
 ]

@@ -4,6 +4,12 @@ These operate on plain Python data: a *relation* is an iterable of tuples
 plus a tuple of column names. They form the baseline against which the
 worst-case optimal join is measured (benchmark B2), mirroring the paper's
 claim that WCOJ algorithms are what make many-joins GNF practical.
+
+All three algorithms key their joins on :func:`repro.model.values.sort_key`,
+the engine's value semantics: ``1`` and ``1.0`` join (numeric equality),
+``True`` and ``1`` do not (booleans are a distinct sort). This keeps
+``hash_join``, ``sort_merge_join`` and ``nested_loop_join`` in exact
+agreement with each other and with the leapfrog triejoin.
 """
 
 from __future__ import annotations
@@ -17,6 +23,11 @@ Row = Tuple[Any, ...]
 
 def _common_columns(cols_a: Sequence[str], cols_b: Sequence[str]) -> List[str]:
     return [c for c in cols_a if c in cols_b]
+
+
+def _key_at(row: Row, indices: Sequence[int]) -> Tuple[Any, ...]:
+    """Value-semantics join key for the given positions of one row."""
+    return tuple(sort_key(row[i]) for i in indices)
 
 
 def hash_join(rows_a: Iterable[Row], cols_a: Sequence[str],
@@ -44,13 +55,13 @@ def hash_join(rows_a: Iterable[Row], cols_a: Sequence[str],
     build_rows, build_idx = (rows_a, ia) if build_left else (rows_b, ib)
     probe_rows, probe_idx = (rows_b, ib) if build_left else (rows_a, ia)
 
-    table: Dict[Row, List[Row]] = {}
+    table: Dict[Tuple[Any, ...], List[Row]] = {}
     for row in build_rows:
-        table.setdefault(tuple(row[i] for i in build_idx), []).append(row)
+        table.setdefault(_key_at(row, build_idx), []).append(row)
 
     out: List[Row] = []
     for row in probe_rows:
-        key = tuple(row[i] for i in probe_idx)
+        key = _key_at(row, probe_idx)
         for match in table.get(key, ()):
             a, b = (match, row) if build_left else (row, match)
             out.append(a + tuple(b[i] for i in rest_b))
@@ -72,10 +83,10 @@ def sort_merge_join(rows_a: Iterable[Row], cols_a: Sequence[str],
     out_cols = tuple(cols_a) + tuple(cols_b[i] for i in rest_b)
 
     def key_a(row: Row):
-        return tuple(sort_key(row[i]) for i in ia)
+        return _key_at(row, ia)
 
     def key_b(row: Row):
-        return tuple(sort_key(row[i]) for i in ib)
+        return _key_at(row, ib)
 
     sa = sorted(rows_a, key=key_a)
     sb = sorted(rows_b, key=key_b)
@@ -115,6 +126,6 @@ def nested_loop_join(rows_a: Iterable[Row], cols_a: Sequence[str],
     out: List[Row] = []
     for a in rows_a:
         for b in rows_b:
-            if all(a[x] == b[y] for x, y in zip(ia, ib)):
+            if all(sort_key(a[x]) == sort_key(b[y]) for x, y in zip(ia, ib)):
                 out.append(a + tuple(b[i] for i in rest_b))
     return out, out_cols

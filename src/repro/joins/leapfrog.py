@@ -36,21 +36,27 @@ class _TrieLevelNode:
 
 
 def build_sorted_trie(rows: Sequence[Row]) -> _TrieLevelNode:
-    """Build a sorted trie over fixed-arity rows."""
+    """Build a sorted trie over fixed-arity rows.
+
+    Keys collapse under *value semantics* (:func:`sort_key`): ``1`` and
+    ``1.0`` share a trie key, ``True`` and ``1`` do not — matching the
+    engine's equality and the binary join algorithms.
+    """
     root = _TrieLevelNode()
     if not rows:
         return root
     arity = len(rows[0])
-    ordered = sorted(set(rows), key=lambda r: tuple(sort_key(v) for v in r))
+    ordered = sorted(rows, key=lambda r: tuple(sort_key(v) for v in r))
     for row in ordered:
         node = root
         for depth, value in enumerate(row):
-            if node.keys and node.keys[-1] == value:
+            sk = sort_key(value)
+            if node.sort_keys and node.sort_keys[-1] == sk:
                 child = node.children[-1]
             else:
                 child = _TrieLevelNode() if depth + 1 < arity else None
                 node.keys.append(value)
-                node.sort_keys.append(sort_key(value))
+                node.sort_keys.append(sk)
                 node.children.append(child)
             if child is not None:
                 node = child
@@ -111,10 +117,12 @@ class LeapfrogTriejoin:
 
     ``atoms`` is a list of ``(rows, variables)`` pairs; each atom's variable
     tuple must be a subsequence of ``variable_order`` (the caller projects /
-    reorders columns accordingly).
+    reorders columns accordingly). In place of ``rows`` an atom may carry a
+    prebuilt sorted trie (from :func:`build_sorted_trie`) — the hook through
+    which the engine reuses cached tries across evaluations.
     """
 
-    def __init__(self, atoms: Sequence[Tuple[Sequence[Row], Sequence[str]]],
+    def __init__(self, atoms: Sequence[Tuple[Any, Sequence[str]]],
                  variable_order: Sequence[str]) -> None:
         self.variable_order = list(variable_order)
         self.tries: List[_TrieIterator] = []
@@ -127,7 +135,11 @@ class LeapfrogTriejoin:
                     f"atom variables {variables} are not aligned with the "
                     f"global order {self.variable_order}"
                 )
-            self.tries.append(_TrieIterator(build_sorted_trie(list(rows))))
+            if isinstance(rows, _TrieLevelNode):
+                trie = rows
+            else:
+                trie = build_sorted_trie(list(rows))
+            self.tries.append(_TrieIterator(trie))
             self.atom_vars.append(variables)
 
     def run(self) -> Iterator[Row]:

@@ -1,32 +1,144 @@
 """Conjunctive-query evaluation: binary plans vs. worst-case optimal joins.
 
-The planner evaluates a conjunctive query (a list of :class:`Atom`) either
-with a greedy left-deep binary hash-join plan (smallest-relation-first,
-shared-variables-next — the classical strategy) or with the leapfrog
-triejoin. Benchmark B2 compares the two on triangle queries.
+The planner evaluates a conjunctive query (a list of :class:`Atom`) with one
+of three strategies:
+
+- ``"binary"`` — a greedy left-deep binary hash-join plan
+  (smallest-relation-first, shared-variables-next — the classical strategy);
+- ``"leapfrog"`` — Veldhuizen's worst-case optimal triejoin;
+- ``"nested"`` — a naive enumerate-all-assignments reference evaluator, the
+  ground truth of the agreement test suite;
+- ``"auto"`` — :func:`choose_strategy` picks leapfrog vs. binary by a
+  cardinality/cyclicity heuristic.
+
+Atoms are *canonicalized* before planning: repeated variables within one
+atom become an intra-atom equality filter plus a column drop, and column
+orders that disagree with the global variable order are permuted, so any
+atom shape is accepted. All value comparisons use
+:func:`repro.model.values.sort_key` (the engine's value semantics: ``1``
+joins ``1.0``, ``True`` does not join ``1``).
+
+This is the engine's conjunction substrate (see
+``repro.engine.expand._schedule_multiway``) as well as the benchmark-B2
+workhorse.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.joins.binary import hash_join
-from repro.joins.leapfrog import leapfrog_triejoin
+from repro.joins.leapfrog import build_sorted_trie, leapfrog_triejoin
+from repro.model.values import sort_key
 
 Row = Tuple[Any, ...]
+
+#: Strategies accepted by :func:`multiway_join` (besides "auto").
+STRATEGIES = ("leapfrog", "binary", "nested")
 
 
 @dataclass(frozen=True)
 class Atom:
-    """One conjunct: a set of rows with named variables."""
+    """One conjunct: a set of rows with named variables.
 
-    rows: Tuple[Row, ...]
+    ``rows`` may be any sized, iterable collection of tuples (the planner
+    only sizes and iterates it — the engine passes relation frozensets
+    zero-copy). ``source`` optionally records the identity of the relation
+    the rows came from; callers that cache derived structures (the engine's
+    sorted-trie cache) key on it. It never affects join results, and
+    canonicalization clears it whenever the rows are rewritten.
+    """
+
+    rows: Any
     variables: Tuple[str, ...]
+    source: Any = None
 
     @staticmethod
-    def of(rows, variables) -> "Atom":
-        return Atom(tuple(rows), tuple(variables))
+    def of(rows, variables, source: Any = None) -> "Atom":
+        return Atom(tuple(rows), tuple(variables), source)
+
+
+def row_key(row: Row) -> Tuple[Any, ...]:
+    """The value-semantics identity of a row: the single definition of
+    tuple equality shared by every strategy (and the engine's extraction
+    path) — ``(1,)`` and ``(1.0,)`` collapse, ``(True,)`` does not."""
+    return tuple(sort_key(v) for v in row)
+
+
+_row_key = row_key
+
+
+def canonicalize_atom(atom: Atom) -> Atom:
+    """Normalize repeated variables: filter rows on intra-atom equalities
+    (value semantics) and drop the duplicate columns. Atoms without repeats
+    are returned unchanged (keeping their ``source``)."""
+    variables = atom.variables
+    first: Dict[str, int] = {}
+    keep: List[int] = []
+    eqs: List[Tuple[int, int]] = []
+    for i, v in enumerate(variables):
+        if v in first:
+            eqs.append((first[v], i))
+        else:
+            first[v] = i
+            keep.append(i)
+    if not eqs:
+        return atom
+    seen: Set[Tuple[Any, ...]] = set()
+    rows: List[Row] = []
+    for row in atom.rows:
+        if any(sort_key(row[a]) != sort_key(row[b]) for a, b in eqs):
+            continue
+        proj = tuple(row[i] for i in keep)
+        key = _row_key(proj)
+        if key not in seen:
+            seen.add(key)
+            rows.append(proj)
+    return Atom(tuple(rows), tuple(variables[i] for i in keep))
+
+
+def _prepare(atoms: Sequence[Atom],
+             output: Sequence[str]) -> Tuple[List[Atom], bool]:
+    """Canonicalize atoms and strip zero-variable (pure filter) atoms.
+
+    Returns ``(atoms, empty)`` where ``empty`` means the query is
+    unsatisfiable (a filter atom with no rows). Raises :class:`ValueError`
+    naming any ``output`` variable bound by no atom."""
+    kept: List[Atom] = []
+    empty = False
+    for atom in atoms:
+        canon = canonicalize_atom(atom)
+        if canon.variables:
+            kept.append(canon)
+        elif not canon.rows:
+            empty = True
+    covered: Set[str] = set()
+    for atom in kept:
+        covered.update(atom.variables)
+    missing = [v for v in output if v not in covered]
+    if missing:
+        raise ValueError(
+            "output variable(s) "
+            + ", ".join(repr(v) for v in missing)
+            + " are not bound by any atom"
+        )
+    return kept, empty
+
+
+def _project(rows: Sequence[Row], cols: Sequence[str],
+             output: Sequence[str]) -> List[Row]:
+    """Project onto ``output`` with value-semantics deduplication."""
+    idx = [list(cols).index(v) for v in output]
+    seen: Set[Tuple[Any, ...]] = set()
+    out: List[Row] = []
+    for row in rows:
+        projected = tuple(row[i] for i in idx)
+        key = _row_key(projected)
+        if key not in seen:
+            seen.add(key)
+            out.append(projected)
+    return out
 
 
 def binary_plan_join(atoms: Sequence[Atom],
@@ -35,8 +147,14 @@ def binary_plan_join(atoms: Sequence[Atom],
 
     Starts from the smallest atom, repeatedly joins the atom sharing the
     most variables with the partial result (ties: smaller first), and
-    projects onto ``output``.
+    projects onto ``output``. The empty conjunction yields the unit
+    relation ``[()]``.
     """
+    atoms, empty = _prepare(atoms, output)
+    if empty:
+        return []
+    if not atoms:
+        return [()]
     remaining = sorted(atoms, key=lambda a: len(a.rows))
     current_rows: List[Row] = list(remaining[0].rows)
     current_cols: Tuple[str, ...] = remaining[0].variables
@@ -54,22 +172,52 @@ def binary_plan_join(atoms: Sequence[Atom],
         current_rows, current_cols = hash_join(
             current_rows, current_cols, list(atom.rows), atom.variables
         )
-    idx = [current_cols.index(v) for v in output]
-    seen: Set[Row] = set()
+    return _project(current_rows, current_cols, output)
+
+
+def nested_loop_plan_join(atoms: Sequence[Atom],
+                          output: Sequence[str]) -> List[Row]:
+    """Reference evaluator: enumerate variable assignments atom by atom with
+    no ordering tricks and no indexes. Exponential; the agreement suite's
+    ground truth."""
+    atoms, empty = _prepare(atoms, output)
+    if empty:
+        return []
+    partial: List[Dict[str, Any]] = [{}]
+    for atom in atoms:
+        extended: List[Dict[str, Any]] = []
+        for binding in partial:
+            for row in atom.rows:
+                merged = dict(binding)
+                ok = True
+                for var, value in zip(atom.variables, row):
+                    if var in merged:
+                        if sort_key(merged[var]) != sort_key(value):
+                            ok = False
+                            break
+                    else:
+                        merged[var] = value
+                if ok:
+                    extended.append(merged)
+        partial = extended
+    seen: Set[Tuple[Any, ...]] = set()
     out: List[Row] = []
-    for row in current_rows:
-        projected = tuple(row[i] for i in idx)
-        if projected not in seen:
-            seen.add(projected)
+    for binding in partial:
+        projected = tuple(binding[v] for v in output)
+        key = _row_key(projected)
+        if key not in seen:
+            seen.add(key)
             out.append(projected)
     return out
 
 
 def _global_variable_order(atoms: Sequence[Atom]) -> List[str]:
-    """A variable order compatible with every atom's column order.
+    """A good global variable order for the leapfrog triejoin.
 
-    Topological sort of the precedence constraints implied by each atom's
-    variable sequence; falls back to frequency order when unconstrained.
+    Tries the topological order implied by the atoms' column sequences
+    (when one exists, every permutation below is the identity — tries built
+    straight from the stored rows); on conflicting column orders it falls
+    back to frequency order and the atoms are permuted to fit.
     """
     succ: Dict[str, Set[str]] = {}
     indeg: Dict[str, int] = {}
@@ -94,31 +242,101 @@ def _global_variable_order(atoms: Sequence[Atom]) -> List[str]:
             if indeg[w] == 0:
                 ready.append(w)
     if len(order) != len(indeg):
-        raise ValueError("atom variable orders are cyclic; reorder columns")
+        # Cyclic column-order constraints (e.g. R(x,y) ⋈ S(y,x)): no shared
+        # subsequence order exists, so pick frequency-first and permute.
+        order = sorted(indeg, key=lambda v: (-freq[v], v))
     return order
 
 
+def atom_permutation(atom: Atom, order: Sequence[str]) -> Tuple[int, ...]:
+    """Column permutation aligning ``atom`` with the global ``order``."""
+    pos = {v: i for i, v in enumerate(order)}
+    return tuple(sorted(range(len(atom.variables)),
+                        key=lambda i: pos[atom.variables[i]]))
+
+
+def permuted_rows(atom: Atom, perm: Sequence[int]) -> List[Row]:
+    """The atom's rows with columns reordered by ``perm``."""
+    if tuple(perm) == tuple(range(len(perm))):
+        return list(atom.rows)
+    return [tuple(row[i] for i in perm) for row in atom.rows]
+
+
+def is_cyclic(atoms: Sequence[Atom]) -> bool:
+    """α-cyclicity of the query hypergraph via GYO ear removal.
+
+    An atom is an *ear* when its non-exclusive variables are covered by a
+    single other atom; a hypergraph that does not reduce to nothing is
+    cyclic — the shapes (triangles, cliques) where binary plans must
+    materialize an intermediate the output does not bound."""
+    edges = [set(a.variables) for a in atoms if a.variables]
+    changed = True
+    while changed and edges:
+        changed = False
+        for i, edge in enumerate(edges):
+            others = edges[:i] + edges[i + 1:]
+            if not others:
+                edges.pop(i)
+                changed = True
+                break
+            rest: Set[str] = set().union(*others)
+            witness = edge & rest
+            if any(witness <= other for other in others):
+                edges.pop(i)
+                changed = True
+                break
+    return bool(edges)
+
+
+def choose_strategy(atoms: Sequence[Atom],
+                    leapfrog_min_rows: int = 128) -> str:
+    """Cardinality heuristic for ``strategy="auto"``.
+
+    Leapfrog pays off when the query hypergraph is cyclic (a binary plan's
+    intermediate can exceed the AGM bound) and the inputs are large enough
+    to amortize trie building; otherwise the greedy binary plan wins."""
+    sized = [a for a in atoms if a.variables]
+    total = sum(len(a.rows) for a in sized)
+    if total < leapfrog_min_rows:
+        return "binary"
+    return "leapfrog" if is_cyclic(sized) else "binary"
+
+
+#: Signature of the engine's trie-cache hook: (atom, permutation) → trie.
+TrieBuilder = Callable[[Atom, Tuple[int, ...]], Any]
+
+
 def multiway_join(atoms: Sequence[Atom], output: Sequence[str],
-                  strategy: str = "leapfrog") -> List[Row]:
+                  strategy: str = "leapfrog",
+                  trie_builder: Optional[TrieBuilder] = None) -> List[Row]:
     """Evaluate a conjunctive query with the chosen strategy.
 
-    ``strategy``: ``"leapfrog"`` (worst-case optimal) or ``"binary"``
-    (greedy hash-join plan).
+    ``strategy``: ``"leapfrog"`` (worst-case optimal), ``"binary"`` (greedy
+    hash-join plan), ``"nested"`` (naive reference), or ``"auto"``
+    (heuristic pick between the first two). ``trie_builder`` optionally
+    supplies (cached) sorted tries for atoms that carry a ``source``.
     """
+    if strategy == "auto":
+        strategy = choose_strategy(atoms)
     if strategy == "binary":
         return binary_plan_join(atoms, output)
+    if strategy == "nested":
+        return nested_loop_plan_join(atoms, output)
     if strategy != "leapfrog":
         raise ValueError(f"unknown strategy {strategy!r}")
+    atoms, empty = _prepare(atoms, output)
+    if empty:
+        return []
+    if not atoms:
+        return [()]
     order = _global_variable_order(atoms)
-    rows = leapfrog_triejoin(
-        [(list(a.rows), list(a.variables)) for a in atoms], order
-    )
-    idx = [order.index(v) for v in output]
-    seen: Set[Row] = set()
-    out: List[Row] = []
-    for row in rows:
-        projected = tuple(row[i] for i in idx)
-        if projected not in seen:
-            seen.add(projected)
-            out.append(projected)
-    return out
+    entries: List[Tuple[Any, Tuple[str, ...]]] = []
+    for atom in atoms:
+        perm = atom_permutation(atom, order)
+        variables = tuple(atom.variables[i] for i in perm)
+        if trie_builder is not None and atom.source is not None:
+            entries.append((trie_builder(atom, perm), variables))
+        else:
+            entries.append((permuted_rows(atom, perm), variables))
+    rows = leapfrog_triejoin(entries, order)
+    return _project(rows, order, output)

@@ -53,13 +53,14 @@ class Relation:
     the constructor accepts any iterable of sequences.
     """
 
-    __slots__ = ("_tuples", "_hash", "_trie")
+    __slots__ = ("_tuples", "_hash", "_trie", "_arities")
 
     def __init__(self, tuples: Iterable[Sequence[Any]] = ()) -> None:
         frozen: FrozenSet[Tup] = frozenset(_freeze_tuple(t) for t in tuples)
         object.__setattr__(self, "_tuples", frozen)
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_trie", None)
+        object.__setattr__(self, "_arities", None)
 
     # ------------------------------------------------------------------
     # Fundamental protocol
@@ -113,8 +114,12 @@ class Relation:
     # ------------------------------------------------------------------
 
     def arities(self) -> FrozenSet[int]:
-        """The set of tuple arities present."""
-        return frozenset(len(t) for t in self._tuples)
+        """The set of tuple arities present (memoized: relations are
+        immutable, and the join extraction path asks per evaluation)."""
+        if self._arities is None:
+            object.__setattr__(self, "_arities",
+                               frozenset(len(t) for t in self._tuples))
+        return self._arities
 
     @property
     def arity(self) -> int:
@@ -284,6 +289,7 @@ class Relation:
         object.__setattr__(rel, "_tuples", tuples)
         object.__setattr__(rel, "_hash", None)
         object.__setattr__(rel, "_trie", None)
+        object.__setattr__(rel, "_arities", None)
         return rel
 
     def _index(self):
