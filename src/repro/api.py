@@ -46,11 +46,12 @@ from repro.db.database import Database
 from repro.db.transaction import Transaction, TransactionResult
 from repro.engine.program import EngineOptions, RelProgram
 from repro.lang import ast, parse_expression
-from repro.model.relation import EMPTY, Relation
+from repro.model.relation import Relation
 
 RelationLike = Union[Relation, Iterable[Tuple[Any, ...]]]
 
 _JOIN_STRATEGIES = ("auto", "leapfrog", "binary", "off")
+_MAINTENANCE_MODES = ("auto", "delta", "recompute")
 
 
 def _check_join_strategy(value: str) -> str:
@@ -58,6 +59,15 @@ def _check_join_strategy(value: str) -> str:
         raise ValueError(
             f"unknown join strategy {value!r}; expected one of "
             + ", ".join(repr(s) for s in _JOIN_STRATEGIES)
+        )
+    return value
+
+
+def _check_maintenance(value: str) -> str:
+    if value not in _MAINTENANCE_MODES:
+        raise ValueError(
+            f"unknown maintenance mode {value!r}; expected one of "
+            + ", ".join(repr(s) for s in _MAINTENANCE_MODES)
         )
     return value
 
@@ -123,7 +133,8 @@ class Session:
                  load_stdlib: bool = True,
                  enforce_gnf: bool = False,
                  options: Optional[EngineOptions] = None,
-                 join_strategy: Optional[str] = None) -> None:
+                 join_strategy: Optional[str] = None,
+                 maintenance: Optional[str] = None) -> None:
         if isinstance(database, Database):
             self.database = database
         else:
@@ -137,6 +148,8 @@ class Session:
             else EngineOptions()
         if join_strategy is not None:
             options.join_strategy = _check_join_strategy(join_strategy)
+        if maintenance is not None:
+            options.maintenance = _check_maintenance(maintenance)
         self.program = RelProgram(
             database=self.database.as_mapping(),
             load_stdlib=load_stdlib,
@@ -164,15 +177,38 @@ class Session:
         return self
 
     def insert(self, name: str, tuples: RelationLike) -> "Session":
-        """Insert tuples into a base relation (created on the spot)."""
-        self.database.insert(name, _as_relation(tuples))
-        self.program.define(name, self.database[name])
+        """Insert tuples into a base relation (created on the spot).
+
+        Dependent materialized extents are maintained incrementally (delta
+        propagation through the stratified fixpoint) when the session's
+        maintenance mode and the occurrence analysis allow it. An empty or
+        fully-duplicate delta is a true no-op: nothing is re-evaluated."""
+        delta = _as_relation(tuples)
+        if name not in self.database:
+            self.database.install(name, delta)
+            self.program.define(name, delta)
+            return self
+        old = self.database[name]
+        new = old.union(delta)
+        if new is old:
+            return self
+        self.database.install(name, new)
+        self.program.define(name, new)
         return self
 
     def delete(self, name: str, tuples: RelationLike) -> "Session":
-        """Delete tuples from a base relation."""
-        self.database.delete(name, _as_relation(tuples))
-        self.program.define(name, self.database[name])
+        """Delete tuples from a base relation (DRed delete-rederive on
+        dependent materialized extents where eligible). Deleting from a
+        missing relation, or a delta that hits nothing, is a true no-op."""
+        delta = _as_relation(tuples)
+        if name not in self.database:
+            return self
+        old = self.database[name]
+        new = old.difference(delta)
+        if new is old:
+            return self
+        self.database.install(name, new)
+        self.program.define(name, new)
         return self
 
     # -- execution ---------------------------------------------------------
@@ -214,9 +250,10 @@ class Session:
             extra_rules=self.program,
         )
         result = txn.execute(source)
-        if result.committed:
-            for name in set(result.inserted) | set(result.deleted):
-                self.program.define(name, self.database.get(name, EMPTY))
+        if result.committed and result.changed:
+            # One batched maintenance pass over the committed deltas: the
+            # same incremental path as Session.insert/delete.
+            self.program.apply_updates(result.changed)
         return result
 
     # -- introspection -----------------------------------------------------
@@ -250,6 +287,25 @@ class Session:
         per strategy ("leapfrog" / "binary") — the explain counter for
         checking that a query hit the worst-case-optimal path."""
         return self.program.join_statistics()
+
+    @property
+    def maintenance(self) -> str:
+        """How updates reach materialized derived extents: "auto" (delta
+        propagation with a size heuristic), "delta" (always propagate
+        deltas, per-stratum recompute only where the occurrence analysis
+        requires it), or "recompute" (legacy drop-and-recompute)."""
+        return self.program.options.maintenance
+
+    @maintenance.setter
+    def maintenance(self, value: str) -> None:
+        self.program.options.maintenance = _check_maintenance(value)
+
+    def maintenance_statistics(self) -> Dict[str, int]:
+        """Per-event maintenance counters ("maintained_strata",
+        "recomputed_strata", "overdeleted_tuples", "rederived_tuples",
+        "noop_updates", …) — the explain hook for checking that an update
+        took the incremental path, mirroring :meth:`join_statistics`."""
+        return self.program.maintenance_statistics()
 
     def statistics(self) -> Dict[str, int]:
         """Fact counts per stored base relation."""

@@ -33,7 +33,12 @@ CONTROL_RELATIONS = frozenset({"output", "insert", "delete"})
 
 @dataclass
 class TransactionResult:
-    """Outcome of one transaction."""
+    """Outcome of one transaction.
+
+    ``changed`` records, per base relation the commit actually touched, the
+    ``(old, new)`` pair (``old`` is ``None`` for relations created by the
+    transaction) — the session layer feeds it to the engine's incremental
+    maintenance in one batch instead of re-deriving per-name deltas."""
 
     committed: bool
     output: Relation
@@ -41,6 +46,8 @@ class TransactionResult:
     deleted: Dict[str, Relation] = field(default_factory=dict)
     violations: Dict[str, Relation] = field(default_factory=dict)
     aborted_by: Optional[str] = None
+    changed: Dict[str, Tuple[Optional[Relation], Relation]] = \
+        field(default_factory=dict)
 
 
 class Transaction:
@@ -112,7 +119,15 @@ class Transaction:
                 aborted_by=name,
             )
 
-        # Commit.
+        # Commit. The touched relations' (old, new) pairs are recorded so
+        # the session layer can maintain its materialized extents
+        # incrementally from the exact committed deltas.
+        changed: Dict[str, Tuple[Optional[Relation], Relation]] = {}
+        for name in set(inserted) | set(deleted):
+            old = self.database.get(name) if name in self.database else None
+            new = post.get(name, EMPTY)
+            if old is None or old != new:
+                changed[name] = (old, new)
         for name, rel in post.as_mapping().items():
             self.database.install(name, rel)
         for name in self.database.names():
@@ -123,6 +138,7 @@ class Transaction:
             output=output,
             inserted=inserted,
             deleted=deleted,
+            changed=changed,
         )
 
 

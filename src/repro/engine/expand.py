@@ -27,7 +27,8 @@ Kleene iteration for self-recursive instances such as ``APSP[V,E]`` and
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (Any, Callable, Collection, Dict, FrozenSet, Iterable,
+                    Iterator, List, Optional, Sequence, Set, Tuple)
 
 from repro.engine import builtins as bi
 from repro.engine.builtins import FREE, Builtin
@@ -43,6 +44,7 @@ from repro.engine.table import Table, union_tables
 from repro.joins import planner as joins_planner
 from repro.lang import ast
 from repro.model.relation import EMPTY, Relation
+from repro.model.relation import row_key as model_row_key
 from repro.model.values import UnknownValueError
 
 
@@ -97,7 +99,7 @@ def expand(node: ast.Node, table: Table, frame: Frame, ctx) -> Table:
 def eval_relation(node: ast.Node, frame: Frame, ctx) -> Relation:
     """Evaluate a closed expression to a finite relation."""
     table = expand(node, Table.unit(), frame, ctx)
-    return Relation._from_frozen(frozenset(row[-1] for row in table.rows))
+    return Relation._from_rows(row[-1] for row in table.rows)
 
 
 # ---------------------------------------------------------------------------
@@ -330,15 +332,15 @@ def _spec_to_atom(rel: Relation, args) -> joins_planner.Atom:
     names = tuple(d for k, d in args if k == "var")
     n = len(args)
     if all(k == "var" for k, _ in args) and rel.arities() <= frozenset({n}):
-        # Zero-copy: the frozenset itself serves as the row collection (the
+        # Zero-copy: the stored row view serves as the row collection (the
         # planner only sizes and iterates it), so a leapfrog run that hits
         # the cached trie never touches the rows at all.
-        return joins_planner.Atom(rel.tuples, names, source=rel)
+        return joins_planner.Atom(rel.rows(), names, source=rel)
     keep = [i for i, (k, _) in enumerate(args) if k == "var"]
     consts = [(i, v) for i, (k, v) in enumerate(args) if k == "const"]
     rows: List[Tuple[Any, ...]] = []
     seen: Set[Tuple[Any, ...]] = set()
-    for tup in rel.tuples:
+    for tup in rel.rows():
         if len(tup) != n:
             continue
         if any(not _vals_eq(tup[i], v) for i, v in consts):
@@ -1079,8 +1081,8 @@ def _relval_fn(node: ast.Node, frame: Frame, ctx):
         if key not in cache:
             sub = Table(tuple(frees), [key + ((),)])
             expanded = expand(node, sub, frame, ctx)
-            cache[key] = Relation._from_frozen(
-                frozenset(row[-1] for row in expanded.rows)
+            cache[key] = Relation._from_rows(
+                row[-1] for row in expanded.rows
             )
         return cache[key]
 
@@ -1170,7 +1172,7 @@ def _match_realized_rows(rel: Relation, realized, partial: bool,
         key = tuple(item[1] for item in realized[:prefix_len])
         candidates = index.get(key, ())
     else:
-        candidates = rel.tuples
+        candidates = rel.rows()
     for tup in candidates:
         for binds, suffix in _match_tuple(tup, realized, partial, has_segments):
             new_vals = tuple(binds[v] for v in new_vars)
@@ -1734,7 +1736,7 @@ def _apply_group_correlated(closure: Closure, k: int, rel_args, value_args,
     inner_frame = frame.with_scope(frees)
     out_tables: List[Table] = []
     for key, tuples in group_tuples.items():
-        group_rel = Relation._from_frozen(frozenset(tuples))
+        group_rel = Relation._from_rows(tuples)
         rep = reps[key]
         rep_b = dict(zip(expanded.cols, rep))
         rel_values = []
@@ -2166,8 +2168,9 @@ def align_demand(positional: Sequence[ast.Binding],
 
 def eval_rule(rule: Rule, env: Env, ctx,
               demand: Tuple[Tuple[int, Any], ...] = (),
-              full_arity: Optional[int] = None) -> Set[Tuple[Any, ...]]:
-    """Evaluate one rule to its set of head tuples.
+              full_arity: Optional[int] = None) -> Collection[Tuple[Any, ...]]:
+    """Evaluate one rule to its collection of head tuples (deduplicated
+    under the engine's value semantics: ``True`` and ``1`` stay distinct).
 
     ``env`` must bind the rule's relation parameters (and any captured
     variables for literal closures). ``demand`` optionally pre-binds value
@@ -2193,7 +2196,7 @@ def eval_rule(rule: Rule, env: Env, ctx,
             f"rule {rule.name}: head variables {sorted(unbound)} are unconstrained"
         )
 
-    out: Set[Tuple[Any, ...]] = set()
+    out: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
     idx: Dict[str, int] = {c: i for i, c in enumerate(result.cols)}
     for row in result.rows:
         prefix: Tuple[Any, ...] = ()
@@ -2223,8 +2226,8 @@ def eval_rule(rule: Rule, env: Env, ctx,
         tup = prefix + row[-1]
         if all(pos < len(tup) and _vals_eq(tup[pos], value)
                for pos, value in post):
-            out.add(tup)
-    return out
+            out.setdefault(model_row_key(tup), tup)
+    return out.values()
 
 
 def rule_orderable(rule: Rule, bound_names: FrozenSet[str], ctx,

@@ -47,6 +47,7 @@ from repro.engine.runtime import Closure, Env, Rule, compile_rule
 from repro.engine.table import Table
 from repro.lang import ast, parse_expression, parse_program
 from repro.model.relation import EMPTY, Relation
+from repro.model.relation import row_key as model_row_key
 
 # Deep demand-driven recursion (e.g. digit sums, BOM explosions) uses many
 # Python frames per Rel-level call; raise the interpreter limit once.
@@ -74,12 +75,32 @@ class EngineOptions:
     #: "auto" only routes to leapfrog when the participating atoms hold at
     #: least this many rows in total (trie building must amortize).
     leapfrog_min_rows: int = 128
+    #: How base-relation updates reach materialized derived extents:
+    #: "delta" propagates insert/delete deltas through the stratified
+    #: fixpoint (semi-naive for inserts, DRed delete-rederive for deletes),
+    #: recomputing only the strata the occurrence analysis marks ineligible
+    #: (negation, aggregation, non-monotone contexts over the changed
+    #: names); "recompute" keeps the legacy drop-dependent-extents
+    #: behavior; "auto" is "delta" for small deltas and falls back to
+    #: "recompute" when the delta is a large fraction of the relation.
+    maintenance: str = "auto"
+    #: Delete-rederive checks candidates tuple-by-tuple (demanded head
+    #: bindings) up to this many candidates; beyond it, one full rule
+    #: evaluation intersected with the candidate set is cheaper. Point
+    #: lookups stay cheaper than a full recursive join well into the
+    #: hundreds of candidates.
+    rederive_demand_limit: int = 512
 
     def __post_init__(self) -> None:
         if self.join_strategy not in ("auto", "leapfrog", "binary", "off"):
             raise ValueError(
                 f"unknown join strategy {self.join_strategy!r}; expected "
                 f"'auto', 'leapfrog', 'binary', or 'off'"
+            )
+        if self.maintenance not in ("auto", "delta", "recompute"):
+            raise ValueError(
+                f"unknown maintenance mode {self.maintenance!r}; expected "
+                f"'auto', 'delta', or 'recompute'"
             )
 
 
@@ -104,6 +125,7 @@ class EvalState:
         self.name_gen: Dict[str, int] = {}
         self.eval_counts: Dict[str, int] = {}
         self.join_stats: Dict[str, int] = {}
+        self.maint_stats: Dict[str, int] = {}
         self.memo: Dict[Tuple[Any, ...], Relation] = {}
         self.in_progress: Dict[Tuple[Any, ...], Relation] = {}
         self.touch_stack: List[Set[Tuple[Any, ...]]] = []
@@ -160,11 +182,30 @@ class EvalState:
         """Record one conjunction routed through the multiway-join path."""
         self.join_stats[strategy] = self.join_stats.get(strategy, 0) + 1
 
+    def count_maintenance(self, event: str, n: int = 1) -> None:
+        """Record a maintenance event (the explain counters behind
+        ``Session.maintenance_statistics()``)."""
+        self.maint_stats[event] = self.maint_stats.get(event, 0) + n
+
     def clear_indexes(self) -> None:
         """Drop the atom-index and sorted-trie caches (and their relation
         pins); retained extents re-index lazily on next use."""
         self._indexes.clear()
         self._tries.clear()
+
+    def drop_indexes_for(self, rels: Iterable[Relation]) -> None:
+        """Drop atom-index and sorted-trie entries pinned to exactly the
+        given relation objects (the replaced extents of an update). The
+        id()-pinning already makes stale hits impossible; this frees the
+        dead entries without nuking caches for unaffected relations — the
+        point of stratum-level invalidation for prepared-query reuse."""
+        ids = {id(r) for r in rels if r is not None}
+        if not ids:
+            return
+        for key in [k for k in self._indexes if k[0] in ids]:
+            del self._indexes[key]
+        for key in [k for k in self._tries if k[0] in ids]:
+            del self._tries[key]
 
     def index(self, rel: Relation, prefix_len: int):
         """Hash index of ``rel`` on its first ``prefix_len`` positions."""
@@ -172,7 +213,7 @@ class EvalState:
         entry = self._indexes.get(key)
         if entry is None:
             index: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
-            for tup in rel.tuples:
+            for tup in rel.rows():
                 if len(tup) >= prefix_len:
                     index.setdefault(tup[:prefix_len], []).append(tup)
             if len(self._indexes) >= self.INDEX_LIMIT:
@@ -326,7 +367,7 @@ class EvalContext:
                         dict(zip(rule.rel_param_names, rel_values))
                     )
                     facts = eval_rule(rule, env, self, demand, full_arity)
-                    result = result.union(Relation._from_frozen(frozenset(facts)))
+                    result = result.union(Relation._from_rows(facts))
                 if result == state.in_progress[key]:
                     break
                 state.in_progress[key] = result
@@ -528,25 +569,46 @@ def _transform(node: ast.Node, fn) -> ast.Node:
     return node
 
 
-def _delta_variants(rule: Rule, recursive: Set[str]) -> List[ast.Node]:
+def _delta_variants_with_targets(
+        rule: Rule, names: Set[str]) -> List[Tuple[str, ast.Node]]:
     """All delta rewrites of the rule body: one per positive occurrence of a
-    recursive name, with that occurrence redirected to ``__delta__<name>``."""
+    name in ``names``, with that occurrence redirected to
+    ``__delta__<name>``. Returns ``(target name, rewritten body)`` pairs so
+    drivers can skip variants whose target delta is currently empty."""
     occurrences: List[Tuple[str, bool]] = []
-    _collect_occurrences(rule.body, recursive, False, occurrences)
-    count = len(occurrences)
-    variants: List[ast.Node] = []
-    for target_idx in range(count):
+    _collect_occurrences(rule.body, names, False, occurrences)
+    variants: List[Tuple[str, ast.Node]] = []
+    for target_idx, (target_name, _) in enumerate(occurrences):
         counter = {"i": -1}
 
         def replace(node: ast.Node):
-            if isinstance(node, ast.Ref) and node.name in recursive:
+            if isinstance(node, ast.Ref) and node.name in names:
                 counter["i"] += 1
                 if counter["i"] == target_idx:
                     return ast.Ref("__delta__" + node.name, pos=node.pos)
             return None
 
-        variants.append(_transform(rule.body, replace))
+        variants.append((target_name, _transform(rule.body, replace)))
     return variants
+
+
+def _delta_variants(rule: Rule, recursive: Set[str]) -> List[ast.Node]:
+    """The delta-rewritten bodies alone (see
+    :func:`_delta_variants_with_targets`)."""
+    return [body for _, body in _delta_variants_with_targets(rule, recursive)]
+
+
+def _shadows_any(node: ast.Node, names: Set[str]) -> bool:
+    """Does any abstraction/quantifier binder rebind one of ``names``?
+    Delta rewriting is purely name-based, so a shadowed occurrence would be
+    redirected incorrectly — such rules are maintenance-ineligible."""
+    for sub in ast.walk(node):
+        bindings = getattr(sub, "bindings", None)
+        if bindings:
+            for binding in bindings:
+                if getattr(binding, "name", None) in names:
+                    return True
+    return False
 
 
 def _sn_eligible(rule: Rule, recursive: Set[str]) -> bool:
@@ -594,6 +656,7 @@ class RelProgram:
         self._ctx: Optional[EvalContext] = None
         self._strata: Optional[List[List[str]]] = None
         self._refs_cache: Dict[str, FrozenSet[str]] = {}
+        self._all_refs: Optional[FrozenSet[str]] = None
         if load_stdlib:
             from repro.stdlib import standard_library_source
 
@@ -621,19 +684,33 @@ class RelProgram:
     def define(self, name: str, relation: Relation) -> None:
         """Install or replace a base (EDB) relation.
 
-        Replacing an existing relation only dirties the strata that
-        (transitively) depend on it; everything else keeps its computed
-        extent and instance memos."""
+        Replacing an existing relation computes the insert/delete deltas and
+        maintains dependent materialized extents incrementally when the
+        maintenance mode and occurrence analysis allow it; otherwise only
+        the strata that (transitively) depend on it are dirtied. Everything
+        else keeps its computed extent and instance memos."""
         old = self._base.get(name)
         self._base[name] = relation
-        if old is not None and old == relation:
+        if old is not None and (old is relation or old == relation):
             return
         if old is None:
-            # A brand-new name can change name resolution and therefore
-            # safety/orderability classification: start over.
-            self._invalidate()
+            self._define_new_base(name)
             return
-        self._invalidate_data(name)
+        if not self._try_maintain({name: (old, relation)}):
+            self._invalidate_data(name, old)
+
+    def _define_new_base(self, name: str) -> None:
+        """First touch of a brand-new base name.
+
+        Installing a name that nothing refers to cannot change name
+        resolution, safety, or orderability of anything already analyzed —
+        no extent or memo can observe it, so nothing is invalidated (the
+        targeted first-touch path). Only when the name is also rule-defined,
+        shadows a builtin, or is referenced by existing rules (it may have
+        been classified as unknown/unsafe) does the analysis start over."""
+        if name in self._rules or bi.lookup(name) is not None \
+                or name in self._all_rule_refs():
+            self._invalidate()
 
     def merge_rules_from(self, other: "RelProgram") -> None:
         """Adopt another program's compiled rules and constraints (used by
@@ -683,6 +760,7 @@ class RelProgram:
         self._ctx = None
         self._strata = None
         self._refs_cache = {}
+        self._all_refs = None
 
     def _invalidate_rules(self, changed: Set[str]) -> None:
         """Rules were added for ``changed`` names: rebuild their closures,
@@ -694,6 +772,7 @@ class RelProgram:
         self._materialized = None
         self._strata = None
         self._refs_cache = {}
+        self._all_refs = None
         if self._state is None:
             return
         if self._ctx is not None:
@@ -702,25 +781,50 @@ class RelProgram:
         state = self._state
         for name in changed:
             state.bump_name(name)
-        self._drop_dependent_extents(changed)
+        dropped = self._drop_dependent_extents(changed)
         state.prune_memo(changed)
-        state.clear_indexes()
+        state.drop_indexes_for(dropped)
 
-    def _invalidate_data(self, name: str) -> None:
-        """A base relation changed in place: dirty only dependent strata."""
+    def _invalidate_data(self, name: str,
+                         old: Optional[Relation] = None) -> None:
+        """A base relation changed in place: dirty only dependent strata.
+        Index/trie cache entries are dropped only for the relations actually
+        replaced (``old``) or discarded — unaffected relations keep their
+        prepared-query tries warm."""
         if self._state is None:
             return
         state = self._state
         state.bump_name(name)
-        self._drop_dependent_extents({name})
+        dropped = self._drop_dependent_extents({name})
+        if old is not None:
+            dropped.append(old)
         state.prune_memo({name})
-        state.clear_indexes()
+        state.drop_indexes_for(dropped)
+        state.count_maintenance("full_invalidations")
 
-    def _drop_dependent_extents(self, changed: Set[str]) -> None:
+    def _drop_dependent_extents(self, changed: Set[str]) -> List[Relation]:
+        """Drop every extent that can observe ``changed``; returns the
+        dropped relation objects (for targeted index-cache eviction)."""
         state = self._state
+        dropped: List[Relation] = []
         for extent_name in list(state.extents):
             if extent_name in changed or changed & self._refs_of(extent_name):
+                rel = state.extents.get(extent_name)
+                if rel is not None:
+                    dropped.append(rel)
                 state.drop_extent(extent_name)
+        return dropped
+
+    def _all_rule_refs(self) -> FrozenSet[str]:
+        """The union of every rule body's free names (cached): the set of
+        names whose first definition could change existing analysis."""
+        if self._all_refs is None:
+            refs: Set[str] = set()
+            for rules in self._rules.values():
+                for rule in rules:
+                    refs |= rule.free
+            self._all_refs = frozenset(refs)
+        return self._all_refs
 
     def _refs_of(self, name: str) -> FrozenSet[str]:
         """Every name reachable from ``name`` through rule bodies (including
@@ -851,17 +955,24 @@ class RelProgram:
                 continue
             if all(n in ctx.state.extents for n in materializable):
                 continue
-            recursive = (
-                len(component) > 1
-                or component[0] in self.dependencies(component[0])
-            )
-            if not recursive:
-                self._materialize_stratum_once(materializable, ctx)
-            elif self.options.semi_naive and self._stratum_sn_eligible(component):
-                self._materialize_semi_naive(materializable, ctx)
-            else:
-                self._materialize_kleene(materializable, ctx)
+            self._materialize_component(component, materializable, ctx)
         return dict(ctx.state.extents)
+
+    def _is_recursive_component(self, component: List[str]) -> bool:
+        return (len(component) > 1
+                or component[0] in self.dependencies(component[0]))
+
+    def _materialize_component(self, component: List[str],
+                               materializable: List[str],
+                               ctx: EvalContext) -> None:
+        """From-scratch evaluation of one SCC (shared by the global
+        evaluation walk and the maintenance driver's recompute fallback)."""
+        if not self._is_recursive_component(component):
+            self._materialize_stratum_once(materializable, ctx)
+        elif self.options.semi_naive and self._stratum_sn_eligible(component):
+            self._materialize_semi_naive(materializable, ctx)
+        else:
+            self._materialize_kleene(materializable, ctx)
 
     def _materialize_single(self, name: str, ctx: EvalContext) -> Relation:
         """Materialize one name lazily (with its component if recursive)."""
@@ -874,7 +985,7 @@ class RelProgram:
         result = self._base.get(name, EMPTY)
         for rule in self._rules[name]:
             facts = eval_rule(rule, Env.EMPTY, ctx)
-            result = result.union(Relation._from_frozen(frozenset(facts)))
+            result = result.union(Relation._from_rows(facts))
         return result
 
     def _materialize_stratum_once(self, names: List[str], ctx: EvalContext) -> None:
@@ -957,7 +1068,7 @@ class RelProgram:
                 for rule, body in variants[name]:
                     variant_rule = dataclasses.replace(rule, body=body)
                     facts = eval_rule(variant_rule, Env.EMPTY, ctx)
-                    derived = derived.union(Relation._from_frozen(frozenset(facts)))
+                    derived = derived.union(Relation._from_rows(facts))
                 new_delta[name] = derived.difference(total[name])
             for name in names:
                 total[name] = total[name].union(new_delta[name])
@@ -965,6 +1076,488 @@ class RelProgram:
                 state.set_extent(name, total[name])
         for name in names:
             state.extents.pop("__delta__" + name, None)
+
+    # -- incremental maintenance (materialized views under updates) -------------
+    #
+    # The paper's engine (Section 5) keeps derived relations consistent
+    # under base-relation updates. Instead of dropping every dependent
+    # extent and recomputing (the `maintenance="recompute"` legacy path),
+    # the driver below walks the affected SCC strata in topological order
+    # and, per stratum:
+    #
+    # - **inserts** run the semi-naive delta rules (the same
+    #   ``__delta__<name>`` rewrites recursion uses) seeded with the base
+    #   delta — one rewritten body per positive occurrence of a changed
+    #   name, evaluated through the ordinary scheduler, so the WCOJ
+    #   multiway-join path serves the delta joins;
+    # - **deletes** run DRed: over-delete every tuple with a derivation
+    #   through a deleted tuple (delta rules against the pre-update state),
+    #   then re-derive the candidates that still have support;
+    # - strata whose rules use a changed name in a restricted context
+    #   (negation, aggregation, comparisons, overrides) are recomputed from
+    #   scratch and diffed, so their *net* delta keeps propagating
+    #   incrementally downstream.
+
+    def maintenance_statistics(self) -> Dict[str, int]:
+        """Per-event maintenance counters ("maintained_strata",
+        "recomputed_strata", "overdeleted_tuples", …) — the explain hook
+        mirroring :meth:`join_statistics`."""
+        if self._state is None:
+            return {}
+        return dict(self._state.maint_stats)
+
+    def apply_updates(
+        self,
+        updates: Mapping[str, Tuple[Optional[Relation], Relation]],
+    ) -> None:
+        """Apply a batch of base-relation changes (``name → (old, new)``,
+        ``old=None`` for a brand-new name) through one maintenance pass —
+        the entry point for committed transaction insert/delete requests."""
+        fresh: List[str] = []
+        changed: Dict[str, Tuple[Relation, Relation]] = {}
+        for name, (old, new) in updates.items():
+            self._base[name] = new
+            if old is None:
+                fresh.append(name)
+            elif not (old is new or old == new):
+                changed[name] = (old, new)
+        for name in fresh:
+            self._define_new_base(name)
+            if self._state is None:
+                # The new name forced a full reset; nothing left to maintain.
+                return
+        if changed and not self._try_maintain(changed):
+            for name, (old, _) in changed.items():
+                self._invalidate_data(name, old)
+
+    def _try_maintain(
+            self, updates: Dict[str, Tuple[Relation, Relation]]) -> bool:
+        """Incrementally maintain materialized extents after base updates.
+
+        ``updates`` maps names to ``(old, new)`` relations (``new`` already
+        installed in ``_base``). Returns True when the evaluation state has
+        been brought up to date (possibly via per-stratum recompute
+        fallbacks); False means the caller should fall back to
+        drop-and-recompute invalidation."""
+        mode = self.options.maintenance
+        if mode == "recompute":
+            return False
+        state = self._state
+        if state is None:
+            return False
+        ctx = self._ctx
+        # Net per-name deltas under value semantics (the satellite fix on
+        # Relation.difference is what makes these trustworthy).
+        deltas: Dict[str, Tuple[Relation, Relation]] = {}
+        pre: Dict[str, Relation] = {}
+        replaced: List[Relation] = []
+        for name, (old, new) in updates.items():
+            plus = new.difference(old)
+            minus = old.difference(new)
+            if not plus and not minus:
+                continue
+            if mode == "auto" and \
+                    len(plus) + len(minus) > max(8, (len(old) + len(new)) // 2):
+                # The update replaces most of the relation: recomputing the
+                # dependent strata is at least as cheap as delta propagation.
+                return False
+            deltas[name] = (plus, minus)
+            pre[name] = old
+            replaced.append(old)
+        if not deltas:
+            state.count_maintenance("noop_updates")
+            return True
+        for name in deltas:
+            state.bump_name(name)
+        state.prune_memo(set(deltas))
+        state.drop_indexes_for(replaced)
+        if not state.extents:
+            # Nothing materialized yet: generation bumps above are all the
+            # invalidation needed.
+            return True
+        if self._strata is None:
+            self._strata = self._compute_strata()
+        if self._materialized is None:
+            self._classify()
+
+        changed: Dict[str, Tuple[Relation, Relation]] = dict(deltas)
+        # Affected names without a computable delta. ``unknown`` names lost
+        # their extents (dependents must be dropped too); ``opaque`` names
+        # are affected non-materialized closures — they have no extent to
+        # diff (instances re-evaluate freshly via generation-keyed memos),
+        # so materialized dependents are recomputed-and-diffed instead of
+        # delta-maintained.
+        unknown: Set[str] = set()
+        opaque: Set[str] = set()
+        try:
+            for component in self._strata:
+                comp_refs = set(component)
+                for n in component:
+                    for rule in self._rules[n]:
+                        comp_refs |= rule.free
+                if not (comp_refs & (set(changed) | unknown | opaque)):
+                    continue
+                materializable = [n for n in component
+                                  if self.is_materialized(n)]
+                if not materializable:
+                    # On-demand only: generation bumps refresh its instance
+                    # memos, but its delta is unobservable — dependents must
+                    # not assume "no delta recorded" means "unchanged".
+                    opaque |= set(component)
+                    continue
+                if comp_refs & unknown or \
+                        not all(n in state.extents for n in materializable):
+                    # No delta available (or nothing to maintain): drop and
+                    # let the next evaluation recompute lazily.
+                    dropped = []
+                    for n in materializable:
+                        rel = state.extents.get(n)
+                        if rel is not None:
+                            dropped.append(rel)
+                        state.drop_extent(n)
+                    state.drop_indexes_for(dropped)
+                    unknown |= set(component)
+                    state.count_maintenance("dropped_strata")
+                    continue
+                trigger = {n: changed[n] for n in comp_refs if n in changed}
+                if not (comp_refs & opaque) and \
+                        self._maintenance_eligible(component, set(trigger)):
+                    net = self._maintain_component_delta(
+                        component, materializable, trigger, pre, ctx)
+                    state.count_maintenance("maintained_strata")
+                else:
+                    net = self._recompute_component_diff(
+                        component, materializable, pre, ctx)
+                    state.count_maintenance("recomputed_strata")
+                changed.update(net)
+                if len(materializable) < len(component):
+                    # Mixed component: the non-materialized members remain
+                    # delta-opaque even though the extents were diffed.
+                    opaque |= set(component) - set(materializable)
+        finally:
+            for key in [k for k in state.extents
+                        if k.startswith("__delta__")]:
+                del state.extents[key]
+        return True
+
+    def _maintenance_eligible(self, component: List[str],
+                              changed: Set[str]) -> bool:
+        """Can the stratum be maintained by delta rules? Every occurrence of
+        a changed name (and, for recursive strata, of the member names) must
+        be positive and unrestricted — negation, aggregation, comparisons,
+        and overrides force the recompute-and-diff fallback — and no binder
+        may shadow a watched name."""
+        recursive = self._is_recursive_component(component)
+        watch = set(changed)
+        if recursive:
+            watch |= set(component)
+        for name in component:
+            if recursive and not self.is_materialized(name):
+                return False
+            for rule in self._rules[name]:
+                if rule.rel_positions:
+                    return False
+                head_names = {getattr(b, "name", None) for b in rule.head}
+                if head_names & watch:
+                    return False
+                occurrences: List[Tuple[str, bool]] = []
+                _collect_occurrences(rule.body, watch, False, occurrences)
+                for binding in rule.head:
+                    if isinstance(binding, ast.InBinding):
+                        _collect_occurrences(binding.domain, watch, True,
+                                             occurrences)
+                    elif isinstance(binding, ast.ConstBinding):
+                        _collect_occurrences(binding.expr, watch, True,
+                                             occurrences)
+                if any(restricted for _, restricted in occurrences):
+                    return False
+                if _shadows_any(rule.body, watch):
+                    return False
+        return True
+
+    def _maintain_component_delta(
+        self,
+        component: List[str],
+        members: List[str],
+        trigger: Dict[str, Tuple[Relation, Relation]],
+        pre: Dict[str, Relation],
+        ctx: EvalContext,
+    ) -> Dict[str, Tuple[Relation, Relation]]:
+        """Delta-maintain one eligible stratum; returns the members' net
+        ``(inserted, deleted)`` deltas and registers their pre-states in
+        ``pre`` for downstream over-deletion."""
+        state = ctx.state
+        recursive = self._is_recursive_component(component)
+        watch = set(trigger) | (set(component) if recursive else set())
+        old_ext = {m: state.extents[m] for m in members}
+        variants: Dict[str, List[Tuple[str, Rule, ast.Node]]] = {}
+        for m in members:
+            entries = []
+            for rule in self._rules[m]:
+                for target, body in _delta_variants_with_targets(rule, watch):
+                    entries.append((target, rule, body))
+            variants[m] = entries
+
+        minus_frontier = {n: mi for n, (_, mi) in trigger.items() if mi}
+        if minus_frontier:
+            self._overdelete_and_rederive(
+                members, watch, variants, minus_frontier, old_ext,
+                trigger, pre, recursive, ctx)
+
+        plus_frontier = {n: pl for n, (pl, _) in trigger.items()
+                         if pl and n not in members}
+        for m in members:
+            if m in trigger and trigger[m][0]:
+                # The member's own base grew: new base tuples join the
+                # extent directly and seed the member's delta.
+                fresh = trigger[m][0].difference(state.extents[m])
+                if fresh:
+                    state.extents[m] = state.extents[m].union(fresh)
+                    plus_frontier[m] = fresh
+        if plus_frontier:
+            self._propagate_inserts(members, watch, variants, plus_frontier,
+                                    recursive, ctx)
+
+        net: Dict[str, Tuple[Relation, Relation]] = {}
+        for m in members:
+            final = state.extents[m]
+            old = old_ext[m]
+            if final is old:
+                continue
+            plus = final.difference(old)
+            minus = old.difference(final)
+            if plus or minus:
+                net[m] = (plus, minus)
+                pre[m] = old
+                state.bump_name(m)
+                state.drop_indexes_for([old])
+            else:
+                # Value-unchanged: restore the old object so id()-pinned
+                # trie/index cache entries stay warm.
+                state.extents[m] = old
+        return net
+
+    def _overdelete_and_rederive(
+        self,
+        members: List[str],
+        watch: Set[str],
+        variants: Dict[str, List[Tuple[str, Rule, ast.Node]]],
+        minus_frontier: Dict[str, Relation],
+        old_ext: Dict[str, Relation],
+        trigger: Dict[str, Tuple[Relation, Relation]],
+        pre: Dict[str, Relation],
+        recursive: bool,
+        ctx: EvalContext,
+    ) -> None:
+        """DRed within one stratum: over-delete candidates whose derivations
+        pass through deleted tuples (evaluated against the pre-update
+        state), remove them, then re-derive the survivors that still have
+        support in the post-update state."""
+        state = ctx.state
+        # Over-deletion must see the *pre-update* contents of the changed
+        # upstream names (a derivation may combine several deleted tuples):
+        # overlay them with old ∪ current for the candidate search. Members
+        # still hold their old extents here, so they need no overlay.
+        overlays: Dict[str, Tuple[bool, Optional[Relation]]] = {}
+        for n in set(trigger) - set(members):
+            current = state.extents.get(n)
+            if current is None:
+                current = self._base.get(n, EMPTY)
+            overlays[n] = (n in state.extents, state.extents.get(n))
+            state.extents[n] = pre[n].union(current)
+        cand: Dict[str, Relation] = {m: EMPTY for m in members}
+        for m in members:
+            if m in trigger and trigger[m][1]:
+                cand[m] = trigger[m][1].intersect(old_ext[m])
+        frontier = dict(minus_frontier)
+        try:
+            iterations = 0
+            while frontier and any(frontier.values()):
+                iterations += 1
+                if iterations > self.options.max_global_iterations:
+                    raise ConvergenceError(
+                        f"over-deletion of {members} did not stabilize after "
+                        f"{iterations - 1} iterations"
+                    )
+                for x in watch:
+                    state.extents["__delta__" + x] = frontier.get(x, EMPTY)
+                new_frontier: Dict[str, Relation] = {}
+                for m in members:
+                    derived = EMPTY
+                    evaluated = False
+                    for target, rule, body in variants[m]:
+                        if not frontier.get(target):
+                            continue
+                        evaluated = True
+                        variant_rule = dataclasses.replace(rule, body=body)
+                        facts = eval_rule(variant_rule, Env.EMPTY, ctx)
+                        derived = derived.union(Relation._from_rows(facts))
+                    if evaluated:
+                        state.count_eval(m)
+                    fresh = derived.intersect(old_ext[m]).difference(cand[m])
+                    if fresh:
+                        cand[m] = cand[m].union(fresh)
+                        if recursive:
+                            new_frontier[m] = fresh
+                frontier = new_frontier
+                if not recursive:
+                    break
+        finally:
+            for n, (present, value) in overlays.items():
+                if present:
+                    state.extents[n] = value
+                else:
+                    state.extents.pop(n, None)
+
+        removed = {m: c for m, c in cand.items() if c}
+        if not removed:
+            return
+        state.count_maintenance("overdeleted_tuples",
+                                sum(len(c) for c in removed.values()))
+        for m, c in removed.items():
+            state.extents[m] = old_ext[m].difference(c)
+        remaining = dict(removed)
+        while True:
+            added = False
+            for m in members:
+                c = remaining.get(m)
+                if not c:
+                    continue
+                survivors = self._rederive_candidates(m, c, ctx)
+                if survivors:
+                    state.extents[m] = state.extents[m].union(survivors)
+                    remaining[m] = c.difference(survivors)
+                    added = True
+                    state.count_maintenance("rederived_tuples",
+                                            len(survivors))
+            if not added or not recursive:
+                break
+
+    def _rederive_candidates(self, name: str, candidates: Relation,
+                             ctx: EvalContext) -> Relation:
+        """Which over-deleted ``candidates`` are still derivable from the
+        current state? Small candidate sets are checked tuple-by-tuple with
+        demanded head bindings (point lookups); large ones by one full rule
+        evaluation intersected with the candidate set."""
+        state = ctx.state
+        state.count_eval(name)
+        base = self._base.get(name, EMPTY)
+        survivors = candidates.intersect(base)
+        rest = candidates.difference(survivors)
+        if not rest:
+            return survivors
+        rules = self._rules[name]
+        if len(rest) <= self.options.rederive_demand_limit:
+            try:
+                derived: List[Tuple[Any, ...]] = []
+                for tup in rest.rows():
+                    demand = tuple(enumerate(tup))
+                    key = model_row_key(tup)
+                    for rule in rules:
+                        facts = eval_rule(rule, Env.EMPTY, ctx,
+                                          demand=demand,
+                                          full_arity=len(tup))
+                        if any(model_row_key(f) == key for f in facts):
+                            derived.append(tup)
+                            break
+                return survivors.union(Relation._from_rows(derived))
+            except (SafetyError, EvaluationError, NotOrderable):
+                pass  # fall through to the full evaluation
+        derived_rel = EMPTY
+        for rule in rules:
+            facts = eval_rule(rule, Env.EMPTY, ctx)
+            derived_rel = derived_rel.union(Relation._from_rows(facts))
+        return survivors.union(derived_rel.intersect(rest))
+
+    def _propagate_inserts(
+        self,
+        members: List[str],
+        watch: Set[str],
+        variants: Dict[str, List[Tuple[str, Rule, ast.Node]]],
+        plus_frontier: Dict[str, Relation],
+        recursive: bool,
+        ctx: EvalContext,
+    ) -> None:
+        """Semi-naive insert propagation: evaluate the delta-rewritten rule
+        variants seeded with the insert frontier against the current (new)
+        totals; newly derived tuples become the next frontier."""
+        state = ctx.state
+        iterations = 0
+        frontier = dict(plus_frontier)
+        while frontier and any(frontier.values()):
+            iterations += 1
+            if iterations > self.options.max_global_iterations:
+                raise ConvergenceError(
+                    f"insert maintenance of {members} did not stabilize "
+                    f"after {iterations - 1} iterations"
+                )
+            for x in watch:
+                state.extents["__delta__" + x] = frontier.get(x, EMPTY)
+            new_frontier: Dict[str, Relation] = {}
+            for m in members:
+                derived = EMPTY
+                evaluated = False
+                for target, rule, body in variants[m]:
+                    if not frontier.get(target):
+                        continue
+                    evaluated = True
+                    variant_rule = dataclasses.replace(rule, body=body)
+                    facts = eval_rule(variant_rule, Env.EMPTY, ctx)
+                    derived = derived.union(Relation._from_rows(facts))
+                if evaluated:
+                    state.count_eval(m)
+                fresh = derived.difference(state.extents[m])
+                if fresh:
+                    state.extents[m] = state.extents[m].union(fresh)
+                    if recursive:
+                        new_frontier[m] = fresh
+            frontier = new_frontier
+            if not recursive:
+                break
+
+    def _recompute_component_diff(
+        self,
+        component: List[str],
+        materializable: List[str],
+        pre: Dict[str, Relation],
+        ctx: EvalContext,
+    ) -> Dict[str, Tuple[Relation, Relation]]:
+        """Maintenance fallback for ineligible strata: recompute the SCC
+        from scratch against the already-maintained upstream state, then
+        diff old vs. new so the *net* delta keeps propagating."""
+        state = ctx.state
+        old_ext = {m: state.extents[m] for m in materializable}
+        old_gen = {m: state.name_gen.get(m, 0) for m in materializable}
+        for m in materializable:
+            state.drop_extent(m)
+        self._materialize_component(component, materializable, ctx)
+        net: Dict[str, Tuple[Relation, Relation]] = {}
+        for m in materializable:
+            final = state.extents.get(m, EMPTY)
+            old = old_ext[m]
+            plus = final.difference(old)
+            minus = old.difference(final)
+            if plus or minus:
+                net[m] = (plus, minus)
+                pre[m] = old
+            else:
+                # Unchanged: restore the old object (keeping id()-pinned
+                # cache entries warm) and the old generation, so memos
+                # keyed on it stay valid — set_extent bumped it during the
+                # recompute regardless of the value. Memos minted against
+                # the transient generations sit above the restored value
+                # and must be evicted, or a future bump could alias them.
+                state.extents[m] = old
+                restored = old_gen[m]
+                if state.name_gen.get(m, 0) != restored:
+                    state.name_gen[m] = restored
+                    stale = [k for k in state.memo
+                             if any(n == m and g > restored
+                                    for n, g in k[0])]
+                    for k in stale:
+                        del state.memo[k]
+        state.drop_indexes_for([old_ext[m] for m in net])
+        return net
 
     # -- querying ---------------------------------------------------------------
 

@@ -23,8 +23,34 @@ from repro.engine.builtins import lookup as lookup_builtin
 from repro.engine.errors import EvaluationError
 from repro.lang import ast
 from repro.model.relation import EMPTY, Relation, TRUE
+from repro.model.values import row_key, value_key
 
 Tup = Tuple[Any, ...]
+
+
+class _TupleSet:
+    """A set of tuples under the engine's value identity (True ≠ 1,
+    1 == 1.0) — the reference evaluator's accumulator, so it distinguishes
+    exactly what the production engine distinguishes."""
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, tuples: Iterable[Tup] = ()) -> None:
+        self._rows: Dict[Tup, Tup] = {}
+        for t in tuples:
+            self._rows.setdefault(row_key(t), t)
+
+    def add(self, tup: Tup) -> None:
+        self._rows.setdefault(row_key(tup), tup)
+
+    def __contains__(self, tup: Tup) -> bool:
+        return row_key(tup) in self._rows
+
+    def __iter__(self) -> Iterator[Tup]:
+        return iter(self._rows.values())
+
+    def __len__(self) -> int:
+        return len(self._rows)
 
 
 class ReferenceEvaluator:
@@ -40,7 +66,7 @@ class ReferenceEvaluator:
                  max_tuple_width: Optional[int] = None) -> None:
         self.env: Dict[str, Any] = dict(environment)
         widths = [
-            max((len(t) for t in rel.tuples), default=0)
+            max((len(t) for t in rel.rows()), default=0)
             for rel in environment.values()
             if isinstance(rel, Relation)
         ]
@@ -49,20 +75,20 @@ class ReferenceEvaluator:
 
     # -- the active domain ----------------------------------------------------
 
-    def active_domain(self, node: ast.Node) -> FrozenSet[Any]:
-        values: Set[Any] = set()
+    def active_domain(self, node: ast.Node) -> Tuple[Any, ...]:
+        values: Dict[Any, Any] = {}
         for rel in self.env.values():
             if isinstance(rel, Relation):
                 for tup in rel:
                     for v in tup:
                         if not isinstance(v, Relation):
-                            values.add(v)
+                            values.setdefault(value_key(v), v)
         for sub in ast.walk(node):
             if isinstance(sub, ast.Const) and not isinstance(sub.value, bool):
-                values.add(sub.value)
-        return frozenset(values)
+                values.setdefault(value_key(sub.value), sub.value)
+        return tuple(values.values())
 
-    def tuples_upto(self, domain: FrozenSet[Any], width: int) -> Iterator[Tup]:
+    def tuples_upto(self, domain: Tuple[Any, ...], width: int) -> Iterator[Tup]:
         for n in range(width + 1):
             yield from itertools.product(sorted(domain, key=repr), repeat=n)
 
@@ -74,7 +100,7 @@ class ReferenceEvaluator:
         return self._eval(node, dict(self.env), domain)
 
     def _eval(self, node: ast.Node, mu: Dict[str, Any],
-              domain: FrozenSet[Any]) -> Relation:
+              domain: Tuple[Any, ...]) -> Relation:
         # J c Kμ = {⟨c⟩}
         if isinstance(node, ast.Const):
             if isinstance(node.value, bool):
@@ -199,7 +225,7 @@ class ReferenceEvaluator:
     # -- abstraction -------------------------------------------------------------
 
     def _eval_abstraction(self, node: ast.Abstraction, mu, domain) -> Relation:
-        out: Set[Tup] = set()
+        out = _TupleSet()
         for assignment in self._bindings_assignments(node.bindings, mu, domain):
             extended = dict(mu)
             extended.update(assignment)
@@ -229,9 +255,9 @@ class ReferenceEvaluator:
         target = self._target_relation(node.target, mu, domain)
         if isinstance(target, Builtin):
             return self._apply_builtin(target, node, mu, domain)
-        result_tuples: Set[Tup] = set(target.tuples)
+        result_tuples = _TupleSet(target.rows())
         for arg in node.args:
-            next_tuples: Set[Tup] = set()
+            next_tuples = _TupleSet()
             if isinstance(arg, ast.Wildcard):
                 # J{e}[_]K = {t | ⟨v⟩·t ∈ JeK}
                 for t in result_tuples:
@@ -257,9 +283,9 @@ class ReferenceEvaluator:
             else:
                 inner = arg.expr if isinstance(arg, ast.Annotated) else arg
                 values = self._eval(inner, mu, domain)
-                scalars = {t[0] for t in values if len(t) == 1}
+                scalars = {value_key(t[0]) for t in values if len(t) == 1}
                 for t in result_tuples:
-                    if len(t) >= 1 and t[0] in scalars:
+                    if len(t) >= 1 and value_key(t[0]) in scalars:
                         next_tuples.add(t[1:])
             result_tuples = next_tuples
         if not node.partial:
@@ -287,7 +313,7 @@ class ReferenceEvaluator:
             inner = arg.expr if isinstance(arg, ast.Annotated) else arg
             rel = self._eval(inner, mu, domain)
             values.append([t[0] for t in rel if len(t) == 1])
-        out: Set[Tup] = set()
+        out = _TupleSet()
         arity = max(builtin.arities())
         for combo in itertools.product(*values):
             slots = tuple(combo) + (FREE,) * (arity - len(combo))
@@ -322,7 +348,7 @@ class ReferenceEvaluator:
         builtin = lookup_builtin(names[node.op])
         lhs = self._eval(node.lhs, mu, domain)
         rhs = self._eval(node.rhs, mu, domain)
-        out: Set[Tup] = set()
+        out = _TupleSet()
         for lt in lhs:
             for rt in rhs:
                 if len(lt) == 1 and len(rt) == 1:

@@ -15,7 +15,30 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
+from repro.model.values import BOOL_FALSE_KEY, BOOL_TRUE_KEY
+
 Row = Tuple[Any, ...]
+
+
+def row_ident(row: Row) -> Row:
+    """Set-semantics identity of a table row: Booleans are tagged (also
+    inside nested tuples — payloads and tuple-variable bindings) so that
+    ``True``/``1`` rows stay distinct, matching the Relation container and
+    the join layer. Rows without Booleans key as themselves."""
+    marked = None
+    for i, v in enumerate(row):
+        t = type(v)
+        if t is bool:
+            if marked is None:
+                marked = list(row)
+            marked[i] = BOOL_TRUE_KEY if v else BOOL_FALSE_KEY
+        elif t is tuple and v:
+            key = row_ident(v)
+            if key is not v:
+                if marked is None:
+                    marked = list(row)
+                marked[i] = key
+    return row if marked is None else tuple(marked)
 
 
 class Table:
@@ -71,12 +94,13 @@ class Table:
         return Table(self.cols, [row[:-1] + (empty,) for row in self.rows])
 
     def dedupe(self) -> "Table":
-        """Remove duplicate rows (set semantics)."""
+        """Remove duplicate rows (set semantics, value identity)."""
         seen = set()
         out: List[Row] = []
         for row in self.rows:
-            if row not in seen:
-                seen.add(row)
+            key = row_ident(row)
+            if key not in seen:
+                seen.add(key)
                 out.append(row)
         return Table(self.cols, out)
 
@@ -87,8 +111,9 @@ class Table:
         out: List[Row] = []
         for row in self.rows:
             new = tuple(row[i] for i in indices) + (row[-1],)
-            if new not in seen:
-                seen.add(new)
+            key = row_ident(new)
+            if key not in seen:
+                seen.add(key)
                 out.append(new)
         return Table(tuple(keep), out)
 
@@ -141,7 +166,8 @@ def union_tables(tables: List[Table], cols: Tuple[str, ...]) -> Table:
         indices = [table.cols.index(c) for c in cols]
         for row in table.rows:
             new = tuple(row[i] for i in indices) + (row[-1],)
-            if new not in seen:
-                seen.add(new)
+            key = row_ident(new)
+            if key not in seen:
+                seen.add(key)
                 rows.append(new)
     return Table(cols, rows)

@@ -30,7 +30,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.joins.binary import hash_join
 from repro.joins.leapfrog import build_sorted_trie, leapfrog_triejoin
-from repro.model.values import sort_key
+from repro.model.relation import Relation
+from repro.model.relation import row_key as _value_row_key
+from repro.model.values import UnknownValueError, is_value, sort_key
 
 Row = Tuple[Any, ...]
 
@@ -62,8 +64,19 @@ class Atom:
 def row_key(row: Row) -> Tuple[Any, ...]:
     """The value-semantics identity of a row: the single definition of
     tuple equality shared by every strategy (and the engine's extraction
-    path) — ``(1,)`` and ``(1.0,)`` collapse, ``(True,)`` does not."""
-    return tuple(sort_key(v) for v in row)
+    path) — ``(1,)`` and ``(1.0,)`` collapse, ``(True,)`` does not.
+
+    Keys are produced by :func:`repro.model.relation.row_key` (the same key
+    space the :class:`Relation` container stores under), after validating
+    that every element is a Rel value — non-values (e.g. raw Python tuples
+    from tuple-variable bindings) raise :class:`UnknownValueError`, which
+    the engine's extraction path catches to fall back."""
+    for v in row:
+        if not is_value(v) and not isinstance(v, Relation):
+            raise UnknownValueError(
+                f"not a Rel value: {v!r} ({type(v).__name__})"
+            )
+    return _value_row_key(row)
 
 
 _row_key = row_key

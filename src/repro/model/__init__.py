@@ -33,6 +33,7 @@ from repro.model.relation import (
     Relation,
     RelationError,
     relation,
+    row_key,
     singleton,
 )
 from repro.model.trie import RelationTrie
@@ -51,6 +52,7 @@ __all__ = [
     "UnknownValueError",
     "is_value",
     "relation",
+    "row_key",
     "singleton",
     "sort_key",
     "type_rank",

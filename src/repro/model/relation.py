@@ -13,13 +13,23 @@ Two relations play the role of the Booleans (Section 4.3):
 The algebra implemented here (product, union, difference, prefix/suffix
 selection, projection) is exactly what the semantic equations of Figures 3–4
 need, plus the conveniences the standard library builds on.
+
+Tuple identity is the engine's *value semantics* (:func:`row_key`): ``1``
+and ``1.0`` are the same value, ``True`` and ``1`` are not — Rel's Boolean
+sort is disjoint from the numbers, even though Python's ``==`` (and hence
+``set``/``frozenset``) identifies them. Storage and every set operation key
+on :func:`row_key`, so ``Relation([(1,), (True,)])`` holds two rows and
+``Relation([(1,)]) != Relation([(True,)])``; this is also what makes deltas
+computed by :meth:`difference` trustworthy for incremental maintenance.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, FrozenSet, Iterable, Iterator, Sequence, Tuple
+from typing import (Any, Callable, Dict, FrozenSet, Iterable, Iterator,
+                    Sequence, Tuple, ValuesView)
 
-from repro.model.values import is_value, sort_key, tuple_sort_key, value_repr
+from repro.model.values import (is_value, row_key, sort_key, tuple_sort_key,
+                                value_key, value_repr)
 
 Tup = Tuple[Any, ...]
 
@@ -50,17 +60,24 @@ class Relation:
     """An immutable set of tuples (mixed arity allowed).
 
     Construct with :func:`relation` / :func:`singleton` or the classmethods;
-    the constructor accepts any iterable of sequences.
+    the constructor accepts any iterable of sequences. Rows are stored
+    keyed by :func:`row_key`, so membership, equality, and the set algebra
+    all follow the engine's value semantics.
     """
 
-    __slots__ = ("_tuples", "_hash", "_trie", "_arities")
+    __slots__ = ("_rows", "_tupleset", "_hash", "_trie", "_arities", "_skey")
 
     def __init__(self, tuples: Iterable[Sequence[Any]] = ()) -> None:
-        frozen: FrozenSet[Tup] = frozenset(_freeze_tuple(t) for t in tuples)
-        object.__setattr__(self, "_tuples", frozen)
+        rows: Dict[Tup, Tup] = {}
+        for t in tuples:
+            frozen = _freeze_tuple(t)
+            rows.setdefault(row_key(frozen), frozen)
+        object.__setattr__(self, "_rows", rows)
+        object.__setattr__(self, "_tupleset", None)
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_trie", None)
         object.__setattr__(self, "_arities", None)
+        object.__setattr__(self, "_skey", None)
 
     # ------------------------------------------------------------------
     # Fundamental protocol
@@ -68,46 +85,68 @@ class Relation:
 
     @property
     def tuples(self) -> FrozenSet[Tup]:
-        """The underlying frozen set of tuples."""
-        return self._tuples
+        """The tuples as a frozenset — a compatibility *view* with Python
+        set semantics (a relation holding both ``True`` and ``1`` collapses
+        under it). Exact consumers should iterate the relation or use
+        :meth:`rows`."""
+        if self._tupleset is None:
+            object.__setattr__(self, "_tupleset",
+                               frozenset(self._rows.values()))
+        return self._tupleset
+
+    def rows(self) -> ValuesView[Tup]:
+        """The exact stored rows (sized, re-iterable, no merging)."""
+        return self._rows.values()
 
     def __iter__(self) -> Iterator[Tup]:
-        return iter(self._tuples)
+        return iter(self._rows.values())
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._rows)
 
     def __bool__(self) -> bool:
         """A relation is truthy iff non-empty (``{}`` is Rel's false)."""
-        return bool(self._tuples)
+        return bool(self._rows)
 
     def __contains__(self, tup: Sequence[Any]) -> bool:
-        return tuple(tup) in self._tuples
+        return row_key(tuple(tup)) in self._rows
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return self._tuples == other._tuples
+        return self._rows.keys() == other._rows.keys()
 
     def __hash__(self) -> int:
         if self._hash is None:
-            object.__setattr__(self, "_hash", hash(self._tuples))
+            object.__setattr__(self, "_hash", hash(frozenset(self._rows)))
         return self._hash
 
     def __repr__(self) -> str:
-        if not self._tuples:
+        if not self._rows:
             return "{}"
         parts = []
         for tup in self.sorted_tuples()[:24]:
             parts.append("(" + ", ".join(value_repr(v) for v in tup) + ")")
         body = "; ".join(parts)
-        if len(self._tuples) > 24:
-            body += f"; … {len(self._tuples) - 24} more"
+        if len(self._rows) > 24:
+            body += f"; … {len(self._rows) - 24} more"
         return "{" + body + "}"
 
     def sorted_tuples(self) -> list[Tup]:
         """Deterministic listing: tuples ordered by arity then value order."""
-        return sorted(self._tuples, key=tuple_sort_key)
+        return sorted(self._rows.values(), key=tuple_sort_key)
+
+    def _canonical_sort_key(self) -> Tuple[Any, ...]:
+        """Memoized :func:`repro.model.values.sort_key` payload: relations
+        nested as tuple elements are ordered by their canonical listing,
+        computed once per object."""
+        if self._skey is None:
+            object.__setattr__(
+                self, "_skey",
+                (9, tuple(tuple(sort_key(v) for v in t)
+                          for t in self.sorted_tuples())),
+            )
+        return self._skey
 
     # ------------------------------------------------------------------
     # Shape
@@ -118,7 +157,7 @@ class Relation:
         immutable, and the join extraction path asks per evaluation)."""
         if self._arities is None:
             object.__setattr__(self, "_arities",
-                               frozenset(len(t) for t in self._tuples))
+                               frozenset(len(t) for t in self._rows.values()))
         return self._arities
 
     @property
@@ -137,46 +176,68 @@ class Relation:
 
     def is_boolean(self) -> bool:
         """True iff this relation is ``{}`` or ``{⟨⟩}``."""
-        return self._tuples in (frozenset(), frozenset({()}))
+        rows = self._rows
+        return not rows or (len(rows) == 1 and () in rows)
 
     def to_bool(self) -> bool:
         """Interpret as a Boolean per Section 4.3 (non-empty = true)."""
-        return bool(self._tuples)
+        return bool(self._rows)
 
     # ------------------------------------------------------------------
-    # Set algebra
+    # Set algebra (keyed on row_key value semantics throughout)
     # ------------------------------------------------------------------
 
     def union(self, other: "Relation") -> "Relation":
         """Set union — the semantics of ``{e1; e2}`` and ``or``."""
-        if not self._tuples:
+        if not self._rows:
             return other
-        if not other._tuples:
+        if not other._rows:
             return self
-        return Relation._from_frozen(self._tuples | other._tuples)
+        merged = {**self._rows, **other._rows}
+        if len(merged) == len(self._rows):
+            return self
+        return Relation._from_keyed(merged)
 
     def intersect(self, other: "Relation") -> "Relation":
         """Set intersection — ``and`` on formulas, and `Select`'s core."""
-        return Relation._from_frozen(self._tuples & other._tuples)
+        mine, theirs = self._rows, other._rows
+        if len(theirs) < len(mine):
+            kept = {k: mine[k] for k in theirs if k in mine}
+        else:
+            kept = {k: t for k, t in mine.items() if k in theirs}
+        if len(kept) == len(mine):
+            return self
+        return Relation._from_keyed(kept)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference — `Minus` in the RA library."""
-        return Relation._from_frozen(self._tuples - other._tuples)
+        if not self._rows or not other._rows:
+            return self
+        kept = {k: t for k, t in self._rows.items() if k not in other._rows}
+        if len(kept) == len(self._rows):
+            return self
+        return Relation._from_keyed(kept)
 
     def product(self, other: "Relation") -> "Relation":
         """Cartesian product by tuple concatenation — ``(e1, e2)``.
 
         ``TRUE`` is the unit: ``R × {⟨⟩} = R``. ``FALSE`` annihilates.
         """
-        if not self._tuples or not other._tuples:
+        if not self._rows or not other._rows:
             return EMPTY
-        if self._tuples == _UNIT_TUPLES:
+        if self._is_unit():
             return other
-        if other._tuples == _UNIT_TUPLES:
+        if other._is_unit():
             return self
-        return Relation._from_frozen(
-            frozenset(a + b for a in self._tuples for b in other._tuples)
-        )
+        # row_key distributes over concatenation, so stored keys are reused.
+        return Relation._from_keyed({
+            ka + kb: ta + tb
+            for ka, ta in self._rows.items()
+            for kb, tb in other._rows.items()
+        })
+
+    def _is_unit(self) -> bool:
+        return len(self._rows) == 1 and () in self._rows
 
     # ------------------------------------------------------------------
     # Application support (Sections 4.3, Figure 3)
@@ -187,37 +248,34 @@ class Relation:
 
         Uses the prefix trie for amortized O(result) lookup.
         """
-        return Relation._from_frozen(
-            frozenset(self._index().suffixes((value,)))
-        )
+        return Relation._from_rows(self._index().suffixes((value,)))
 
     def suffixes_for_prefix(self, prefix: Sequence[Any]) -> "Relation":
         """Suffixes of tuples starting with the whole ``prefix``."""
-        return Relation._from_frozen(
-            frozenset(self._index().suffixes(tuple(prefix)))
-        )
+        return Relation._from_rows(self._index().suffixes(tuple(prefix)))
 
     def drop_first(self) -> "Relation":
         """``{Expr}[_]``: suffixes after dropping any first element."""
-        return Relation._from_frozen(
-            frozenset(t[1:] for t in self._tuples if len(t) >= 1)
+        return Relation._from_rows(
+            t[1:] for t in self._rows.values() if len(t) >= 1
         )
 
     def all_suffixes(self) -> "Relation":
         """``{Expr}[_...]``: all suffixes of all tuples (every split point)."""
-        out = set()
-        for t in self._tuples:
+        out: Dict[Tup, Tup] = {}
+        for t in self._rows.values():
             for i in range(len(t) + 1):
-                out.add(t[i:])
-        return Relation._from_frozen(frozenset(out))
+                suffix = t[i:]
+                out.setdefault(row_key(suffix), suffix)
+        return Relation._from_keyed(out)
 
     def first_elements(self) -> FrozenSet[Any]:
         """Distinct first elements of non-empty tuples."""
-        return frozenset(t[0] for t in self._tuples if t)
+        return frozenset(t[0] for t in self._rows.values() if t)
 
     def last_elements(self) -> FrozenSet[Any]:
         """Distinct last elements of non-empty tuples."""
-        return frozenset(t[-1] for t in self._tuples if t)
+        return frozenset(t[-1] for t in self._rows.values() if t)
 
     # ------------------------------------------------------------------
     # Relational-algebra conveniences (used by stdlib and the db layer)
@@ -226,23 +284,22 @@ class Relation:
     def project(self, positions: Sequence[int]) -> "Relation":
         """Project onto 0-based ``positions`` (tuples too short are dropped)."""
         needed = max(positions) + 1 if positions else 0
-        return Relation._from_frozen(
-            frozenset(
-                tuple(t[i] for i in positions)
-                for t in self._tuples
-                if len(t) >= needed
-            )
+        return Relation._from_rows(
+            tuple(t[i] for i in positions)
+            for t in self._rows.values()
+            if len(t) >= needed
         )
 
     def select(self, predicate: Callable[[Tup], bool]) -> "Relation":
         """Keep tuples satisfying a Python predicate."""
-        return Relation._from_frozen(
-            frozenset(t for t in self._tuples if predicate(t))
-        )
+        kept = {k: t for k, t in self._rows.items() if predicate(t)}
+        if len(kept) == len(self._rows):
+            return self
+        return Relation._from_keyed(kept)
 
     def map_tuples(self, fn: Callable[[Tup], Tup]) -> "Relation":
         """Apply ``fn`` to every tuple (a relational ``map``)."""
-        return Relation([fn(t) for t in self._tuples])
+        return Relation([fn(t) for t in self._rows.values()])
 
     def append_column(self, value: Any) -> "Relation":
         """Append a constant column — e.g. ``(A, 1)`` in `count`'s definition."""
@@ -250,13 +307,15 @@ class Relation:
 
     def only_arity(self, arity: int) -> "Relation":
         """Restrict to tuples of exactly ``arity``."""
-        return Relation._from_frozen(
-            frozenset(t for t in self._tuples if len(t) == arity)
-        )
+        kept = {k: t for k, t in self._rows.items() if len(t) == arity}
+        if len(kept) == len(self._rows):
+            return self
+        return Relation._from_keyed(kept)
 
     def column(self, position: int) -> FrozenSet[Any]:
         """Distinct values in 0-based column ``position``."""
-        return frozenset(t[position] for t in self._tuples if len(t) > position)
+        return frozenset(t[position] for t in self._rows.values()
+                         if len(t) > position)
 
     def last_column_values(self) -> list[Any]:
         """Values of the last column, one per tuple (set semantics on tuples).
@@ -265,15 +324,19 @@ class Relation:
         and extracts the final position, so two distinct keys with the same
         value both contribute (Section 5.2's point about set semantics).
         """
-        return [t[-1] for t in self._tuples if t]
+        return [t[-1] for t in self._rows.values() if t]
 
     def is_functional(self) -> bool:
-        """Check the 6NF functional condition: first k-1 columns form a key."""
-        seen: dict[Tup, Any] = {}
-        for t in self._tuples:
+        """Check the 6NF functional condition: first k-1 columns form a key.
+
+        Both the key columns and the value compare under value semantics
+        (``True ≠ 1``): two rows holding distinct Rel values for one key
+        violate the condition even if Python's ``==`` merges them."""
+        seen: Dict[Tup, Any] = {}
+        for t in self._rows.values():
             if not t:
                 continue
-            key, val = t[:-1], t[-1]
+            key, val = row_key(t[:-1]), value_key(t[-1])
             if key in seen and seen[key] != val:
                 return False
             seen[key] = val
@@ -284,24 +347,34 @@ class Relation:
     # ------------------------------------------------------------------
 
     @classmethod
-    def _from_frozen(cls, tuples: FrozenSet[Tup]) -> "Relation":
+    def _from_keyed(cls, rows: Dict[Tup, Tup]) -> "Relation":
+        """Adopt a prebuilt ``row_key → tuple`` mapping (no copy, trusted)."""
         rel = cls.__new__(cls)
-        object.__setattr__(rel, "_tuples", tuples)
+        object.__setattr__(rel, "_rows", rows)
+        object.__setattr__(rel, "_tupleset", None)
         object.__setattr__(rel, "_hash", None)
         object.__setattr__(rel, "_trie", None)
         object.__setattr__(rel, "_arities", None)
+        object.__setattr__(rel, "_skey", None)
         return rel
+
+    @classmethod
+    def _from_rows(cls, tuples: Iterable[Tup]) -> "Relation":
+        """Build from already-frozen tuples (engine facts): dedup by
+        :func:`row_key`, no element validation."""
+        rows: Dict[Tup, Tup] = {}
+        for t in tuples:
+            rows.setdefault(row_key(t), t)
+        return cls._from_keyed(rows)
 
     def _index(self):
         """Lazily built prefix trie over the tuples."""
         if self._trie is None:
             from repro.model.trie import RelationTrie
 
-            object.__setattr__(self, "_trie", RelationTrie(self._tuples))
+            object.__setattr__(self, "_trie", RelationTrie(self._rows.values()))
         return self._trie
 
-
-_UNIT_TUPLES: FrozenSet[Tup] = frozenset({()})
 
 #: The empty relation — Rel's ``false`` and the additive identity.
 EMPTY: Relation = Relation()

@@ -6,13 +6,19 @@ Partial application (Section 4.3) is the workhorse operation of Rel:
 result, and doubles as the storage layout required by the leapfrog triejoin
 substrate (``repro.joins.leapfrog``), which walks tries attribute by
 attribute in sorted order.
+
+Children are keyed by :func:`repro.model.values.value_key` — the engine's
+value semantics — so a relation holding both ``True`` and ``1`` in a column
+keeps two branches, and descending with ``1`` never lands on the Boolean's
+branch. Each node remembers the actual element that labels its incoming
+edge for suffix reconstruction.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
 
-from repro.model.values import sort_key
+from repro.model.values import sort_key, value_key
 
 Tup = Tuple[Any, ...]
 
@@ -20,21 +26,24 @@ Tup = Tuple[Any, ...]
 class TrieNode:
     """One node of the relation trie.
 
-    ``children`` maps the next tuple element to the child node;
-    ``terminal`` marks that a tuple *ends* at this node (needed because
-    relations may hold tuples of mixed arity, so a tuple may be a strict
-    prefix of another).
+    ``children`` maps the *value key* of the next tuple element to the
+    child node; ``elem`` is the actual element labelling the edge into the
+    node (``None`` only at the root); ``terminal`` marks that a tuple
+    *ends* at this node (needed because relations may hold tuples of mixed
+    arity, so a tuple may be a strict prefix of another).
     """
 
-    __slots__ = ("children", "terminal")
+    __slots__ = ("children", "elem", "terminal")
 
-    def __init__(self) -> None:
+    def __init__(self, elem: Any = None) -> None:
         self.children: Dict[Any, "TrieNode"] = {}
+        self.elem = elem
         self.terminal: bool = False
 
     def sorted_keys(self) -> List[Any]:
-        """Children keys in the global value order (for leapfrog seeks)."""
-        return sorted(self.children.keys(), key=sort_key)
+        """Children elements in the global value order (for leapfrog seeks)."""
+        return sorted((child.elem for child in self.children.values()),
+                      key=sort_key)
 
 
 class RelationTrie:
@@ -51,10 +60,11 @@ class RelationTrie:
     def _insert(self, tup: Tup) -> None:
         node = self.root
         for elem in tup:
-            child = node.children.get(elem)
+            key = value_key(elem)
+            child = node.children.get(key)
             if child is None:
-                child = TrieNode()
-                node.children[elem] = child
+                child = TrieNode(elem)
+                node.children[key] = child
             node = child
         if not node.terminal:
             node.terminal = True
@@ -70,7 +80,7 @@ class RelationTrie:
     def _descend(self, prefix: Tup) -> TrieNode | None:
         node = self.root
         for elem in prefix:
-            node = node.children.get(elem)
+            node = node.children.get(value_key(elem))
             if node is None:
                 return None
         return node
@@ -85,8 +95,8 @@ class RelationTrie:
     def _walk(self, node: TrieNode, acc: Tup) -> Iterator[Tup]:
         if node.terminal:
             yield acc
-        for elem, child in node.children.items():
-            yield from self._walk(child, acc + (elem,))
+        for child in node.children.values():
+            yield from self._walk(child, acc + (child.elem,))
 
     def tuples(self) -> Iterator[Tup]:
         """Iterate all stored tuples."""

@@ -162,13 +162,47 @@ def sort_key(value: Any) -> Tuple[Any, ...]:
         return (3, value.name)
     if isinstance(value, Entity):
         return (4, value.namespace, repr(value.key))
-    # Relation (second-order element): order by its canonical listing.
-    return (9, tuple(tuple(sort_key(v) for v in t) for t in value.sorted_tuples()))
+    # Relation (second-order element): order by its canonical listing
+    # (memoized on the relation object — they are immutable).
+    return value._canonical_sort_key()
 
 
 def tuple_sort_key(tup: Tuple[Any, ...]) -> Tuple[Any, ...]:
     """Total-order key for tuples: by arity, then pointwise value order."""
     return (len(tup),) + tuple(sort_key(v) for v in tup)
+
+
+#: Stand-ins for the Booleans inside value/row keys. They are tuples (no
+#: raw tuple can be a scalar value, so they collide with nothing), compare
+#: by value, and keep ``True``/``1`` — merged by Python's ``==`` — distinct
+#: in keyed storage.
+BOOL_TRUE_KEY = ("\x00bool", True)
+BOOL_FALSE_KEY = ("\x00bool", False)
+
+
+def value_key(value: Any) -> Any:
+    """The value-semantics identity of one value: itself, except Booleans,
+    which are tagged so ``True ≠ 1`` while ``1 == 1.0`` (Python's numeric
+    equality matches Rel's everywhere but the Boolean sort)."""
+    if type(value) is bool:
+        return BOOL_TRUE_KEY if value else BOOL_FALSE_KEY
+    return value
+
+
+def row_key(tup: Any) -> Tuple[Any, ...]:
+    """The value-semantics identity of a tuple (pointwise :func:`value_key`;
+    the tuple itself when no Boolean is present). Two tuples are the same
+    Rel row iff their keys are ``==``; the keys hash consistently and are
+    usable in any dict/set. Relation elements key by their own (already
+    value-semantic) equality."""
+    for v in tup:
+        if type(v) is bool:
+            return tuple(
+                (BOOL_TRUE_KEY if x else BOOL_FALSE_KEY)
+                if type(x) is bool else x
+                for x in tup
+            )
+    return tup if type(tup) is tuple else tuple(tup)
 
 
 def value_repr(value: Any) -> str:
