@@ -1,0 +1,135 @@
+"""Record the gated benchmark timings to BENCH_pr4.json.
+
+The perf trajectory: each PR that claims a gated speedup appends a
+machine-readable snapshot (this file starts it at PR 4) so future PRs can
+regress-check against recorded ratios instead of re-deriving them from
+prose. Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py
+
+CI runs this on every push and uploads the JSON as an artifact; the
+committed copy is the reference snapshot from the PR that introduced each
+gate. Gates recorded:
+
+- ``plan_reuse_fixpoint``   — PR 4: compiled plans vs. interpretation on a
+  deep reachability fixpoint (floor 2x);
+- ``wcoj_hub_engine``       — PR 2: WCOJ conjunction routing vs. the
+  per-conjunct fallback on the hub graph (floor 2x);
+- ``incremental_insert``    — PR 3: delta maintenance vs. recompute for
+  point inserts (floor 10x);
+- ``incremental_delete``    — PR 3: DRed vs. recompute for point deletes
+  (floor 3x);
+- ``session_reuse``         — PR 1: warm session vs. cold program per
+  update (floor 5x).
+"""
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def gate(name, baseline_s, optimized_s, floor, extra=None):
+    entry = {
+        "name": name,
+        "baseline_s": round(baseline_s, 4),
+        "optimized_s": round(optimized_s, 4),
+        "speedup": round(baseline_s / optimized_s, 2),
+        "floor": floor,
+        "passed": baseline_s / optimized_s >= floor,
+    }
+    if extra:
+        entry.update(extra)
+    return entry
+
+
+def plan_reuse_gate():
+    from bench_plan_cache import reach
+
+    t_interp, (r_interp, _) = timed(lambda: reach(False))
+    t_plans, (r_plans, program) = timed(lambda: reach(True))
+    assert r_plans == r_interp
+    stats = program.plan_statistics()
+    return gate("plan_reuse_fixpoint", t_interp, t_plans, 2.0,
+                {"plan_statistics": stats})
+
+
+def wcoj_gate():
+    from bench_wcoj import HUB, _session
+
+    routed = _session("auto", HUB)
+    fallback = _session("off", HUB)
+    t_routed, r1 = timed(lambda: routed.relation("Triangle"))
+    t_fallback, r2 = timed(lambda: fallback.relation("Triangle"))
+    assert r1 == r2
+    return gate("wcoj_hub_engine", t_fallback, t_routed, 2.0)
+
+
+def incremental_gates():
+    from bench_incremental import (delete_loop, insert_loop, leaf_edges,
+                                   warm_session)
+
+    # Sessions are warmed (stdlib parse + first fixpoint) outside the
+    # timers — the gates measure the update loops, as in bench_incremental.
+    delta_ins = warm_session("delta")
+    rec_ins = warm_session("recompute")
+    t_delta_ins, sizes_a = timed(lambda: insert_loop(delta_ins))
+    t_rec_ins, sizes_b = timed(lambda: insert_loop(rec_ins))
+    assert sizes_a == sizes_b
+    delta_del = warm_session("delta", extra=leaf_edges())
+    rec_del = warm_session("recompute", extra=leaf_edges())
+    t_delta_del, sizes_c = timed(lambda: delete_loop(delta_del))
+    t_rec_del, sizes_d = timed(lambda: delete_loop(rec_del))
+    assert sizes_c == sizes_d
+    return [gate("incremental_insert", t_rec_ins, t_delta_ins, 10.0),
+            gate("incremental_delete", t_rec_del, t_delta_del, 3.0)]
+
+
+def session_gate():
+    from bench_session_reuse import (EDGES, RULES, SRC, UPDATES, cold_loop,
+                                     warm_loop)
+    from repro import connect
+
+    t_cold, cold_results = timed(cold_loop)
+    session = connect()
+    session.define("E", EDGES)
+    session.define("Src", SRC)
+    session.define("F", UPDATES[0])
+    session.load(RULES)
+    session.execute("Hops")
+    t_warm, warm_results = timed(lambda: warm_loop(session))
+    assert cold_results == warm_results
+    return gate("session_reuse", t_cold, t_warm, 5.0)
+
+
+def main() -> int:
+    sys.path.insert(0, str(Path(__file__).parent))
+    gates = [plan_reuse_gate(), wcoj_gate()]
+    gates.extend(incremental_gates())
+    gates.append(session_gate())
+    snapshot = {
+        "pr": 4,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "gates": gates,
+    }
+    out = Path(__file__).parent.parent / "BENCH_pr4.json"
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    failed = [g["name"] for g in gates if not g["passed"]]
+    print(json.dumps(snapshot, indent=2))
+    if failed:
+        print(f"FAILED gates: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"all {len(gates)} gates passed; wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -300,6 +300,16 @@ class Session:
     def maintenance(self, value: str) -> None:
         self.program.options.maintenance = _check_maintenance(value)
 
+    def plan_statistics(self) -> Dict[str, int]:
+        """Plan-cache explain counters ("compiled", "hits", "fallbacks",
+        "invalidated"): rule bodies and query conjunctions are compiled
+        once into executable plans and replayed across fixpoint
+        iterations, incremental maintenance, and prepared-query re-runs —
+        a warm session shows "hits" far above "compiled". Rule changes
+        drop exactly the dependent plans (stratum-level invalidation);
+        data updates leave plans warm."""
+        return self.program.plan_statistics()
+
     def maintenance_statistics(self) -> Dict[str, int]:
         """Per-event maintenance counters ("maintained_strata",
         "recomputed_strata", "overdeleted_tuples", "rederived_tuples",

@@ -39,8 +39,9 @@ from repro.engine.errors import (
     SafetyError,
     UnknownRelationError,
 )
+from repro.engine.plan import AtomPlan, ConjunctionPlan, MultiwayPlan, plan_refs
 from repro.engine.runtime import Closure, Env, Rule, literal_closure
-from repro.engine.table import Table, union_tables
+from repro.engine.table import Table, row_ident, union_tables
 from repro.joins import planner as joins_planner
 from repro.lang import ast
 from repro.model.relation import EMPTY, Relation
@@ -224,13 +225,46 @@ def _flatten_conjuncts(node: ast.Node) -> List[Tuple[Optional[int], ast.Node]]:
 
 def _expand_conjunction(node: ast.Node, table: Table, frame: Frame, ctx) -> Table:
     items = _flatten_conjuncts(node)
-    return _schedule(items, table, frame, ctx)
+    return _schedule(items, table, frame, ctx, anchor=node)
+
+
+def _plan_state(ctx, table: Table, frame: Frame, anchor):
+    """The (state, plan key) pair for plan caching — (None, None) when the
+    plan cache is off or unavailable for this call.
+
+    The key is the anchor's identity (a stable AST node or compiled rule),
+    the *bound-variable pattern* (which scope variables the incoming table
+    already binds — delta variants share anchors with nothing, and
+    demanded-head lookups get their own patterns), and the join-strategy
+    knob (routing decisions are recorded in the plan)."""
+    if anchor is None or not table.rows:
+        return None, None
+    options = getattr(ctx, "options", None)
+    if options is None or not getattr(options, "plan_cache", False):
+        return None, None
+    state = getattr(ctx, "state", None)
+    if state is None or not hasattr(state, "plan_lookup"):
+        return None, None
+    key = (
+        id(anchor),
+        frozenset(c for c in table.cols if c in frame.scope),
+        getattr(options, "join_strategy", "off"),
+    )
+    return state, key
 
 
 def _schedule(
-    items: List[Tuple[Optional[int], ast.Node]], table: Table, frame: Frame, ctx
+    items: List[Tuple[Optional[int], ast.Node]], table: Table, frame: Frame,
+    ctx, anchor=None,
 ) -> Table:
     """Greedy safety-driven conjunct scheduling with payload slots.
+
+    With a plan-cache anchor, the scheduling decisions of a successful pass
+    (conjunct order, multiway-join extraction) are recorded as a
+    :class:`repro.engine.plan.ConjunctionPlan` and replayed on subsequent
+    evaluations under the same bound-variable pattern —
+    :func:`_execute_plan` skips every ``simulate`` call and speculative
+    ``expand`` attempt, falling back here whenever the plan no longer fits.
 
     Before the per-conjunct loop, conjuncts that are plain positive atoms
     over fully-materialized relations are extracted and evaluated as ONE
@@ -239,14 +273,26 @@ def _schedule(
     7). Everything else (builtins, negation, comparisons, abstractions,
     demand-driven closures) takes the fallback scheduler below.
     """
-    pending = list(items)
+    state, plan_key = _plan_state(ctx, table, frame, anchor)
+    if plan_key is not None:
+        plan = state.plan_lookup(plan_key)
+        if plan is not None:
+            result = _execute_plan(plan, items, table, frame, ctx)
+            if result is not None:
+                state.count_plan("hits")
+                return result
+            state.count_plan("fallbacks")
+    pending = [(i, slot, n) for i, (slot, n) in enumerate(items)]
     slot_cols: Dict[int, str] = {}
+    multiway_rec = None
+    order_rec: List[int] = []
     if len(pending) >= 2 and table.rows:
-        table, pending = _schedule_multiway(pending, table, frame, ctx)
+        table, pending, multiway_rec = _schedule_multiway(pending, table,
+                                                          frame, ctx)
     while pending:
         scheduled = None
         bound = set(table.cols)
-        for i, (slot, n) in enumerate(pending):
+        for i, (orig, slot, n) in enumerate(pending):
             if simulate(n, bound, frame, ctx) is None:
                 continue
             try:
@@ -254,6 +300,7 @@ def _schedule(
             except NotOrderable:
                 continue
             scheduled = i
+            order_rec.append(orig)
             if slot is not None:
                 col = _fresh("slot")
                 table = expanded.stash_payload(col)
@@ -268,13 +315,65 @@ def _schedule(
                 + ", ".join(sorted(_pending_names(pending, frame)))
             )
         pending.pop(scheduled)
+    if plan_key is not None:
+        _record_plan(state, plan_key, anchor, items, order_rec, multiway_rec,
+                     frame, ctx)
+    ordered = [slot_cols[s] for s in sorted(slot_cols)]
+    return table.gather_payload(ordered) if ordered else table
+
+
+def _record_plan(state, key, anchor, items, order, multiway, frame: Frame,
+                 ctx) -> None:
+    """Freeze one successful scheduling pass into the plan cache."""
+    names: Set[str] = set()
+    for _, n in items:
+        names |= ast.free_names(n)
+    # Scope variables are not program names: keeping them out of the refs
+    # avoids polluting _refs_cache and spurious invalidation when a local
+    # variable shadows a relation name.
+    names -= frame.scope
+    refs = plan_refs(names, ctx)
+    state.install_plan(
+        key, anchor,
+        ConjunctionPlan(tuple(order), multiway, refs, state.plan_sig(refs)),
+    )
+
+
+def _execute_plan(plan, items, table: Table, frame: Frame, ctx) -> Optional[Table]:
+    """Replay a compiled plan: the recorded multiway join (re-resolving
+    relations by name), then the recorded conjunct order — no simulation,
+    no speculative attempts. Returns None (caller falls back to the
+    interpreted scheduler) whenever the plan no longer fits."""
+    consumed = plan.multiway.consumed if plan.multiway is not None \
+        else frozenset()
+    if len(plan.order) + len(consumed) != len(items):
+        return None
+    try:
+        if plan.multiway is not None:
+            attached = _replay_multiway(plan.multiway, table, frame, ctx)
+            if attached is None:
+                return None
+            table = attached
+        slot_cols: Dict[int, str] = {}
+        for orig in plan.order:
+            slot, n = items[orig]
+            expanded = expand(n, table, frame, ctx)
+            if slot is not None:
+                col = _fresh("slot")
+                table = expanded.stash_payload(col)
+                slot_cols[slot] = col
+            else:
+                table = expanded.clear_payload()
+            table = table.dedupe()
+    except NotOrderable:
+        return None
     ordered = [slot_cols[s] for s in sorted(slot_cols)]
     return table.gather_payload(ordered) if ordered else table
 
 
 def _pending_names(pending, frame: Frame) -> Set[str]:
     names: Set[str] = set()
-    for _, n in pending:
+    for _, _, n in pending:
         names |= ast.free_names(n) & frame.scope
     return names or {"<expression>"}
 
@@ -291,8 +390,10 @@ def _join_atom_spec(node: ast.Node, frame: Frame, ctx):
     Eligible: a non-partial application of a name that resolves to a finite
     extent (base relation, already-materialized derived name, or an
     environment-bound Relation), whose arguments are scope variables,
-    constants, or scalar wildcards. Returns ``(relation, args)`` with args
-    as ``("var", name) | ("const", value) | ("any", None)``, else None.
+    constants, or scalar wildcards. Returns ``(name, relation, args)`` with
+    args as ``("var", name) | ("const", value) | ("any", None)``, else
+    None. The name is what compiled plans store: the relation is
+    re-resolved on every replay, so data updates never stale a plan.
     """
     if not isinstance(node, ast.Application) or node.partial:
         return None
@@ -300,18 +401,9 @@ def _join_atom_spec(node: ast.Node, frame: Frame, ctx):
     if not isinstance(target, ast.Ref) or target.name in frame.scope:
         return None
     name = target.name
-    found, value = frame.env.get(name)
-    if found:
-        if not isinstance(value, Relation):
-            return None
-        rel = value
-    else:
-        kind, payload = ctx.resolve_kind(name)
-        if kind != "extent":
-            return None
-        # A materialized derived name may not have been evaluated yet;
-        # resolve() materializes it (exactly as the fallback path would).
-        rel = payload if payload is not None else ctx.resolve(name)[1]
+    rel = _resolve_atom_relation(name, frame, ctx)
+    if rel is None:
+        return None
     args = []
     for arg in node.args:
         if isinstance(arg, ast.Const):
@@ -322,7 +414,22 @@ def _join_atom_spec(node: ast.Node, frame: Frame, ctx):
             args.append(("var", arg.name))
         else:
             return None
-    return rel, args
+    return name, rel, args
+
+
+def _resolve_atom_relation(name: str, frame: Frame, ctx) -> Optional[Relation]:
+    """Resolve a join-atom name to its current finite extent (environment
+    first, then the context), or None when it is not (or no longer) an
+    eligible materialized relation."""
+    found, value = frame.env.get(name)
+    if found:
+        return value if isinstance(value, Relation) else None
+    kind, payload = ctx.resolve_kind(name)
+    if kind != "extent":
+        return None
+    # A materialized derived name may not have been evaluated yet;
+    # resolve() materializes it (exactly as the fallback path would).
+    return payload if payload is not None else ctx.resolve(name)[1]
 
 
 def _spec_to_atom(rel: Relation, args) -> joins_planner.Atom:
@@ -357,36 +464,76 @@ def _schedule_multiway(pending, table: Table, frame: Frame, ctx):
     """Extract eligible atom conjuncts and evaluate them as one multiway
     join, reattaching the result to the binding table.
 
-    Returns ``(table, remaining_conjuncts)``; on any ineligibility the
-    inputs come back unchanged and the fallback scheduler handles
-    everything. Extracted atoms contribute empty payloads (they are full
-    applications), so their payload slots need no stash columns.
+    ``pending`` holds ``(original index, slot, node)`` triples. Returns
+    ``(table, remaining_conjuncts, record)`` where ``record`` is the
+    :class:`MultiwayPlan` for the plan cache (None when nothing was
+    extracted); on any ineligibility the inputs come back unchanged and
+    the fallback scheduler handles everything. Extracted atoms contribute
+    empty payloads (they are full applications), so their payload slots
+    need no stash columns.
     """
     options = getattr(ctx, "options", None)
     strategy = getattr(options, "join_strategy", "off")
     if strategy not in ("auto", "leapfrog", "binary"):
-        return table, pending
+        return table, pending, None
     specs = []
-    for i, (_, node) in enumerate(pending):
+    for i, (orig, _, node) in enumerate(pending):
         spec = _join_atom_spec(node, frame, ctx)
         if spec is not None:
-            specs.append((i, spec))
+            specs.append((i, orig, spec))
     if len(specs) < 2:
-        return table, pending
+        return table, pending, None
 
     atoms: List[joins_planner.Atom] = []
     join_vars: List[str] = []
     seen_vars: Set[str] = set()
-    for _, (rel, args) in specs:
+    for _, _, (_, rel, args) in specs:
         for kind, data in args:
             if kind == "var" and data not in seen_vars:
                 seen_vars.add(data)
                 join_vars.append(data)
         atoms.append(_spec_to_atom(rel, args))
 
-    # The current binding table participates as one more atom on its
-    # columns shared with the join (semi-naive deltas, outer bindings).
+    joined = _attach_multiway(atoms, tuple(join_vars), table, ctx)
+    if joined is None:
+        return table, pending, None
+    taken = {i for i, _, _ in specs}
+    remaining = [item for i, item in enumerate(pending) if i not in taken]
+    record = MultiwayPlan(
+        frozenset(orig for _, orig, _ in specs),
+        tuple(AtomPlan(name, tuple(args))
+              for _, _, (name, _, args) in specs),
+        tuple(join_vars),
+    )
+    return joined, remaining, record
+
+
+def _replay_multiway(mw, table: Table, frame: Frame, ctx) -> Optional[Table]:
+    """Execute a recorded multiway extraction: re-resolve each atom's
+    relation by name (so the current extents — deltas included — are
+    joined) and reattach. None when an atom is no longer eligible."""
+    atoms: List[joins_planner.Atom] = []
+    for ap in mw.atoms:
+        rel = _resolve_atom_relation(ap.name, frame, ctx)
+        if rel is None:
+            return None
+        atoms.append(_spec_to_atom(rel, ap.args))
+    return _attach_multiway(atoms, mw.join_vars, table, ctx)
+
+
+def _attach_multiway(atoms: List[joins_planner.Atom],
+                     join_vars: Tuple[str, ...], table: Table,
+                     ctx) -> Optional[Table]:
+    """Run one multiway join over ``atoms`` and reattach the result to the
+    binding table (shared by the interpreted scheduler and plan replay).
+
+    The current binding table participates as one more atom on its columns
+    shared with the join (semi-naive deltas, outer bindings). Returns None
+    when a shared column holds a non-value binding (tuple variable) — the
+    join layer cannot key it and the caller falls back entirely."""
+    seen_vars = set(join_vars)
     shared = [c for c in table.cols if c in seen_vars]
+    atoms = list(atoms)
     if shared:
         idx = [table.col_index(c) for c in shared]
         rows: List[Tuple[Any, ...]] = []
@@ -399,28 +546,44 @@ def _schedule_multiway(pending, table: Table, frame: Frame, ctx):
                     seen_rows.add(key)
                     rows.append(proj)
         except UnknownValueError:
-            # A shared column holds a non-value binding (tuple variable):
-            # the join layer cannot key it — fall back entirely.
-            return table, pending
+            return None
         atoms.append(joins_planner.Atom(tuple(rows), tuple(shared)))
 
+    options = getattr(ctx, "options", None)
+    strategy = getattr(options, "join_strategy", "off")
     if strategy == "auto":
         strategy = joins_planner.choose_strategy(
             atoms, getattr(options, "leapfrog_min_rows", 128)
         )
-    trie_builder = None
     state = getattr(ctx, "state", None)
-    if strategy == "leapfrog" and state is not None \
-            and hasattr(state, "sorted_trie"):
-        trie_builder = state.sorted_trie
+    trie_builder = None
+    index_builder = None
+    if state is not None:
+        if strategy == "leapfrog" and hasattr(state, "sorted_trie"):
+            trie_builder = state.sorted_trie
+        if strategy == "binary" and hasattr(state, "atom_index") \
+                and getattr(options, "plan_cache", False):
+            index_builder = state.atom_index
 
     new = [v for v in join_vars if v not in table.cols]
     output = tuple(shared) + tuple(new)
+    # Every atom handed over is row_key-distinct (relation-backed rows,
+    # deduplicated spec projections, deduplicated binding-table atom), so
+    # the join layer may skip its output dedup when no columns collapse.
     result = joins_planner.multiway_join(atoms, output, strategy,
-                                         trie_builder=trie_builder)
+                                         trie_builder=trie_builder,
+                                         index_builder=index_builder,
+                                         distinct_inputs=True)
     if state is not None and hasattr(state, "count_join"):
         state.count_join(strategy)
 
+    if not shared and len(table.rows) == 1:
+        # One-row binding table (a rule's unit seed is the fixpoint hot
+        # case): the join result is already value-distinct and attaches to
+        # the single row directly — skip the bucket-and-dedupe pass.
+        row = table.rows[0]
+        out_rows = [row[:-1] + suffix + (row[-1],) for suffix in result]
+        return Table(table.cols + tuple(new), out_rows, distinct=True)
     ns = len(shared)
     by_key: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
     for row in result:
@@ -432,10 +595,7 @@ def _schedule_multiway(pending, table: Table, frame: Frame, ctx):
         key = joins_planner.row_key(tuple(row[i] for i in sidx))
         for suffix in by_key.get(key, ()):
             out_rows.append(row[:-1] + suffix + (row[-1],))
-    joined = Table(table.cols + tuple(new), out_rows).dedupe()
-    taken = {i for i, _ in specs}
-    remaining = [item for i, item in enumerate(pending) if i not in taken]
-    return joined, remaining
+    return Table(table.cols + tuple(new), out_rows).dedupe()
 
 
 # ---------------------------------------------------------------------------
@@ -548,13 +708,42 @@ def _binding_guards(
     return locals_, guards, positional
 
 
+def _skeleton_builder(bindings):
+    locals_, guards, positional = _binding_guards(bindings)
+    return tuple(locals_), tuple(guards), tuple(positional)
+
+
+def _rule_skeleton_builder(rule: Rule):
+    locals_, guards, positional = _binding_guards(rule.value_head)
+    return tuple(locals_), tuple(guards), tuple(positional)
+
+
+def _cached_binding_guards(bindings, ctx):
+    """Memoized :func:`_binding_guards` for a stable AST bindings tuple
+    (quantifiers/abstractions re-split their binders on every expansion
+    otherwise). The generated guard nodes are identity-stable, which also
+    keeps plan anchors and orderability caches warm."""
+    state = getattr(ctx, "state", None)
+    if state is None or not hasattr(state, "skeleton"):
+        return _binding_guards(bindings)
+    return state.skeleton(bindings, _skeleton_builder)
+
+
+def _rule_skeleton(rule: Rule, ctx):
+    """Memoized head split (locals, guards, positional) of one rule."""
+    state = getattr(ctx, "state", None)
+    if state is None or not hasattr(state, "skeleton"):
+        return _binding_guards(rule.value_head)
+    return state.skeleton(rule, _rule_skeleton_builder)
+
+
 def _expand_exists(node: ast.Exists, table: Table, frame: Frame, ctx) -> Table:
-    locals_, guards, _ = _binding_guards(node.bindings)
+    locals_, guards, _ = _cached_binding_guards(node.bindings, ctx)
     inner_frame = frame.with_scope(locals_)
     flat = _flatten_conjuncts(node.body)
     items: List[Tuple[Optional[int], ast.Node]] = [(None, g) for g in guards]
     items += [(None, n) for _, n in flat]  # quantified body yields no payload
-    result = _schedule(items, table, inner_frame, ctx)
+    result = _schedule(items, table, inner_frame, ctx, anchor=node)
     unbound = set(locals_) - set(result.cols)
     if unbound and result.rows:
         raise SafetyError(
@@ -564,7 +753,13 @@ def _expand_exists(node: ast.Exists, table: Table, frame: Frame, ctx) -> Table:
     # bound by the body (classic FO semantics) are exported.
     drop = set(locals_)
     keep = [c for c in result.cols if c not in drop]
-    return result.project(keep).clear_payload().dedupe()
+    projected = result.project(keep)
+    if not any(row[-1] for row in projected.rows):
+        # Payloads are already empty (the usual case: the body is a pure
+        # formula), so clearing cannot introduce duplicates — the
+        # projection's dedupe stands.
+        return projected
+    return projected.clear_payload().dedupe()
 
 
 def _expand_forall(node: ast.ForAll, table: Table, frame: Frame, ctx) -> Table:
@@ -734,11 +929,11 @@ def _expand_left_override(node: ast.LeftOverride, table: Table, frame: Frame,
 
 def _expand_abstraction(node: ast.Abstraction, table: Table, frame: Frame,
                         ctx) -> Table:
-    locals_, guards, positional = _binding_guards(node.bindings)
+    locals_, guards, positional = _cached_binding_guards(node.bindings, ctx)
     inner_frame = frame.with_scope(locals_)
     items: List[Tuple[Optional[int], ast.Node]] = [(None, g) for g in guards]
     items.append((0, node.body))
-    result = _schedule(items, table, inner_frame, ctx)
+    result = _schedule(items, table, inner_frame, ctx, anchor=node)
     unbound = set(locals_) - set(result.cols)
     if unbound and result.rows:
         raise SafetyError(
@@ -959,8 +1154,10 @@ def _safe_div(v: Any, c: Any) -> Optional[Any]:
 def _compile_arg_items(args, table: Table, frame: Frame, ctx):
     """Compile argument expressions to matcher items.
 
-    Per-row parts are closures over the row bindings. Raises
-    :class:`NotOrderable` when an argument is not yet computable."""
+    Per-row parts are positional closures over the raw row tuple: column
+    positions are resolved once here (against ``table``'s schema), never
+    per row. Raises :class:`NotOrderable` when an argument is not yet
+    computable."""
     items = []
     bound = set(table.cols)
     local: Set[str] = set()
@@ -973,22 +1170,24 @@ def _compile_arg_items(args, table: Table, frame: Frame, ctx):
             # In argument position every literal is a value — including
             # true/false, which denote the Boolean *values* stored in
             # relations (not the {()}/{} relations they mean as formulas).
-            items.append((_Matcher.VAL, (lambda v: (lambda row_b: v))(arg.value)))
+            items.append((_Matcher.VAL, _const_fn(arg.value)))
         elif isinstance(arg, ast.Ref):
-            items.append(_compile_ref_arg(arg.name, bound, frame, ctx, local))
+            items.append(_compile_ref_arg(arg.name, bound, table, frame, ctx,
+                                          local))
             kind = items[-1][0]
             if kind == _Matcher.BIND:
                 bound.add(items[-1][1])
                 local.add(items[-1][1])
         elif isinstance(arg, ast.TupleRef):
-            items.append(_compile_tupleref_arg(arg.name, bound, frame, local))
+            items.append(_compile_tupleref_arg(arg.name, bound, table, frame,
+                                               local))
             if items[-1][0] == _Matcher.BIND_TUPLE:
                 bound.add(items[-1][1])
                 local.add(items[-1][1])
         elif isinstance(arg, ast.Annotated) and not arg.second_order:
-            items.append((_Matcher.VALSET, _valset_fn(arg.expr, frame, ctx)))
+            items.append((_Matcher.VALSET, _valset_fn(arg.expr, table, frame, ctx)))
         elif isinstance(arg, ast.Annotated) and arg.second_order:
-            items.append((_Matcher.RELVAL, _relval_fn(arg.expr, frame, ctx)))
+            items.append((_Matcher.RELVAL, _relval_fn(arg.expr, table, frame, ctx)))
         else:
             inv = _invertible(arg, table, frame)
             if inv is not None:
@@ -1001,90 +1200,109 @@ def _compile_arg_items(args, table: Table, frame: Frame, ctx):
                 raise NotOrderable(
                     f"argument depends on unbound variables {sorted(frees - bound)}"
                 )
-            items.append((_Matcher.VALSET, _valset_fn(arg, frame, ctx)))
+            items.append((_Matcher.VALSET, _valset_fn(arg, table, frame, ctx)))
     return items
 
 
-def _compile_ref_arg(name: str, bound: Set[str], frame: Frame, ctx,
-                     local: Set[str] = frozenset()):
+def _const_fn(value: Any):
+    """Per-row function returning a fixed value regardless of the row."""
+    return lambda row: value
+
+
+def _col_fn(table: Table, name: str):
+    """Per-row accessor for one named column, index resolved once."""
+    idx = table.col_index(name)
+    return lambda row: row[idx]
+
+
+def _compile_ref_arg(name: str, bound: Set[str], table: Table, frame: Frame,
+                     ctx, local: Set[str] = frozenset()):
     if name in frame.scope:
         if name in local:
             # Repeated variable within this argument list: an equality
             # against the value matched earlier in the same tuple.
             return (_Matcher.SAMEVAR, name)
         if name in bound:
-            return (_Matcher.VAL, (lambda n: (lambda row_b: row_b[n]))(name))
+            return (_Matcher.VAL, _col_fn(table, name))
         return (_Matcher.BIND, name)
     found, value = frame.env.get(name)
     if found:
         if isinstance(value, tuple):
-            return (_Matcher.SPLICE, (lambda v: (lambda row_b: v))(value))
+            return (_Matcher.SPLICE, _const_fn(value))
         if isinstance(value, Relation):
-            return (_Matcher.RELVAL, (lambda v: (lambda row_b: v))(value))
+            return (_Matcher.RELVAL, _const_fn(value))
         if isinstance(value, (Closure, Builtin)):
             raise NotOrderable(f"cannot match second-order value {name}")
-        return (_Matcher.VAL, (lambda v: (lambda row_b: v))(value))
+        return (_Matcher.VAL, _const_fn(value))
     kind, payload = ctx.resolve(name)
     if kind == "extent":
-        return (_Matcher.RELVAL, (lambda v: (lambda row_b: v))(payload))
+        return (_Matcher.RELVAL, _const_fn(payload))
     if kind == "closure":
         extent = ctx.closure_extent(payload, (), (), full_arity=None)
-        return (_Matcher.RELVAL, (lambda v: (lambda row_b: v))(extent))
+        return (_Matcher.RELVAL, _const_fn(extent))
     raise NotOrderable(f"cannot match builtin {name} as a value")
 
 
-def _compile_tupleref_arg(name: str, bound: Set[str], frame: Frame,
-                          local: Set[str] = frozenset()):
+def _compile_tupleref_arg(name: str, bound: Set[str], table: Table,
+                          frame: Frame, local: Set[str] = frozenset()):
     if name in frame.scope:
         if name in local:
             return (_Matcher.SAMETUPLE, name)
         if name in bound:
-            return (_Matcher.SPLICE, (lambda n: (lambda row_b: row_b[n]))(name))
+            return (_Matcher.SPLICE, _col_fn(table, name))
         return (_Matcher.BIND_TUPLE, name)
     found, value = frame.env.get(name)
     if not found or not isinstance(value, tuple):
         raise UnknownRelationError(f"{name}...")
-    return (_Matcher.SPLICE, (lambda v: (lambda row_b: v))(value))
+    return (_Matcher.SPLICE, _const_fn(value))
 
 
-def _valset_fn(node: ast.Node, frame: Frame, ctx):
-    """Per-row function yielding the list of first-order values of ``node``."""
+def _valset_fn(node: ast.Node, table: Table, frame: Frame, ctx):
+    """Per-row function yielding the list of first-order values of ``node``.
+
+    Free-variable positions are resolved against ``table`` once; results
+    are cached per distinct free-variable valuation (value semantics:
+    ``True`` and ``1`` key separately)."""
     cache: Dict[Tuple[Any, ...], List[Any]] = {}
     frees = sorted(_scope_frees(node, frame))
+    fidx = [table.col_index(n) for n in frees]
 
-    def fn(row_b: Dict[str, Any]):
-        key = tuple(row_b[n] for n in frees)
-        if key not in cache:
+    def fn(row: Tuple[Any, ...]):
+        key = tuple(row[i] for i in fidx)
+        ckey = row_ident(key)
+        if ckey not in cache:
             sub = Table(tuple(frees), [key + ((),)])
             expanded = expand(node, sub, frame, ctx)
             values = []
-            for row in expanded.rows:
-                payload = row[-1]
+            for r in expanded.rows:
+                payload = r[-1]
                 if len(payload) != 1:
                     raise EvaluationError(
                         "first-order argument must evaluate to unary tuples"
                     )
                 values.append(payload[0])
-            cache[key] = values
-        return cache[key]
+            cache[ckey] = values
+        return cache[ckey]
 
     return fn
 
 
-def _relval_fn(node: ast.Node, frame: Frame, ctx):
+def _relval_fn(node: ast.Node, table: Table, frame: Frame, ctx):
     """Per-row function yielding the relation value of ``node``."""
     cache: Dict[Tuple[Any, ...], Relation] = {}
     frees = sorted(_scope_frees(node, frame))
+    fidx = [table.col_index(n) for n in frees]
 
-    def fn(row_b: Dict[str, Any]):
-        key = tuple(row_b[n] for n in frees)
-        if key not in cache:
+    def fn(row: Tuple[Any, ...]):
+        key = tuple(row[i] for i in fidx)
+        ckey = row_ident(key)
+        if ckey not in cache:
             sub = Table(tuple(frees), [key + ((),)])
             expanded = expand(node, sub, frame, ctx)
-            cache[key] = Relation._from_rows(
-                row[-1] for row in expanded.rows
+            cache[ckey] = Relation._from_rows(
+                r[-1] for r in expanded.rows
             )
-        return cache[key]
+        return cache[ckey]
 
     return fn
 
@@ -1185,8 +1403,7 @@ def _match_with_items(rel: Relation, items, partial: bool, table: Table,
     rows: List[Tuple[Any, ...]] = []
     out_cols = table.cols + tuple(new_vars)
     for row in table.rows:
-        row_b = table.bindings(row)
-        realized = _realize_items(items, row_b)
+        realized = _realize_items(items, row)
         if realized is None:
             continue
         rows.extend(
@@ -1196,14 +1413,15 @@ def _match_with_items(rel: Relation, items, partial: bool, table: Table,
     return Table(out_cols, rows).dedupe()
 
 
-def _realize_items(items, row_b):
-    """Evaluate per-row parts of the matcher items; None on a dead row."""
+def _realize_items(items, row):
+    """Evaluate per-row parts of the matcher items (positional closures
+    over the raw row tuple); None on a dead row."""
     realized = []
     for kind, data in items:
         if kind in (_Matcher.VAL, _Matcher.SPLICE, _Matcher.RELVAL):
-            realized.append((kind, data(row_b)))
+            realized.append((kind, data(row)))
         elif kind == _Matcher.VALSET:
-            values = data(row_b)
+            values = data(row)
             if not values:
                 return None
             realized.append((kind, values))
@@ -1344,8 +1562,7 @@ def _apply_builtin(builtin: Builtin, args, partial: bool, table: Table,
     out_cols = table.cols + tuple(new_vars) + tuple(invert_vars)
     rows: List[Tuple[Any, ...]] = []
     for row in table.rows:
-        row_b = table.bindings(row)
-        realized = _realize_items(items, row_b)
+        realized = _realize_items(items, row)
         if realized is None:
             continue
         value_options: List[List[Any]] = []
@@ -1397,12 +1614,11 @@ def _apply_reduce(args, partial: bool, table: Table, frame: Frame, ctx) -> Table
         raise NotOrderable(f"reduce over unbound variables {sorted(unbound)}")
 
     op_value = _second_order_value(op_node, table, frame, ctx)
-    rel_fn = _relval_fn(rel_node, frame, ctx)
+    rel_fn = _relval_fn(rel_node, table, frame, ctx)
 
     rows: List[Tuple[Any, ...]] = []
     for row in table.rows:
-        row_b = table.bindings(row)
-        rel = rel_fn(row_b)
+        rel = rel_fn(row)
         if not rel:
             continue  # reduce of the empty relation is empty (Section 5.2)
         folded = _fold(op_value, rel, frame, ctx)
@@ -1588,8 +1804,7 @@ def _apply_group(closure: Closure, k: int, rel_args, value_args, partial: bool,
     row_groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
     keyvals: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
     for row in table.rows:
-        row_b = table.bindings(row)
-        values = tuple(fn(row_b) for fn in rel_fns)
+        values = tuple(fn(row) for fn in rel_fns)
         key = tuple(ctx.cache_key(v) for v in values)
         row_groups.setdefault(key, []).append(row)
         keyvals[key] = values
@@ -1619,8 +1834,7 @@ def _apply_group_constant(closure: Closure, k: int, rel_values, value_args,
     out_cols = table.cols + tuple(new_vars)
     out_rows: List[Tuple[Any, ...]] = []
     for row in table.rows:
-        row_b = table.bindings(row)
-        realized = _realize_items(items, row_b)
+        realized = _realize_items(items, row)
         if realized is None:
             continue
         valset_idx = [i for i, (k, _) in enumerate(realized)
@@ -1682,29 +1896,33 @@ def _demand_from_items(realized) -> Tuple[Tuple[int, Any], ...]:
 
 
 def _rel_arg_fn(node: ast.Node, table: Table, frame: Frame, ctx):
-    """Per-row resolution of a relation argument to a second-order value."""
+    """Per-row resolution of a relation argument to a second-order value.
+
+    The returned function takes the raw row tuple; column positions of any
+    captured variables are resolved against ``table`` once."""
     if isinstance(node, ast.Ref):
         name = node.name
         found, value = frame.env.get(name)
         if found:
             if isinstance(value, (Relation, Closure, Builtin)):
-                return lambda row_b: value
+                return _const_fn(value)
             raise EvaluationError(f"{name} is not a relation")
         if name not in frame.scope:
             kind, payload = ctx.resolve(name)
             if kind in ("extent", "closure", "builtin"):
-                return lambda row_b: payload
+                return _const_fn(payload)
             raise UnknownRelationError(name)
     if isinstance(node, ast.Abstraction):
         frees = sorted(_scope_frees(node, frame))
+        fidx = [(n, table.col_index(n)) for n in frees]
         env = frame.env
 
-        def make(row_b):
-            captured = {n: row_b[n] for n in frees}
+        def make(row):
+            captured = {n: row[i] for n, i in fidx}
             return literal_closure(node, env.extend(captured))
 
         return make
-    return _relval_fn(node, frame, ctx)
+    return _relval_fn(node, table, frame, ctx)
 
 
 def _apply_group_correlated(closure: Closure, k: int, rel_args, value_args,
@@ -1738,14 +1956,15 @@ def _apply_group_correlated(closure: Closure, k: int, rel_args, value_args,
     for key, tuples in group_tuples.items():
         group_rel = Relation._from_rows(tuples)
         rep = reps[key]
-        rep_b = dict(zip(expanded.cols, rep))
         rel_values = []
         for i, arg in enumerate(rel_args):
             if i == corr_idx:
                 rel_values.append(group_rel)
             else:
                 inner = arg.expr if isinstance(arg, ast.Annotated) else arg
-                rel_values.append(_rel_arg_fn(inner, table, frame, ctx)(rep_b))
+                # Positions resolve against the *expanded* table: the
+                # representative row carries its columns.
+                rel_values.append(_rel_arg_fn(inner, expanded, frame, ctx)(rep))
         sub_cols = base_cols + tuple(frees)
         # key[0] is the originating row id; recover that row's payload.
         sub_row = tuple(rep[i] for i in base_idx) + key[1:] + \
@@ -1854,7 +2073,7 @@ def simulate(node: ast.Node, bound: Set[str], frame: Frame, ctx) -> Optional[Set
             return simulate(negate(node.operand), bound, frame, ctx)
         return set() if frees <= bound else None
     if isinstance(node, (ast.Exists, ast.Abstraction)):
-        locals_, guards, _ = _binding_guards(node.bindings)
+        locals_, guards, _ = _cached_binding_guards(node.bindings, ctx)
         inner = frame.with_scope(locals_)
         got = _sim_items(list(guards) + [node.body], set(bound), inner, ctx)
         if got is None:
@@ -2072,6 +2291,9 @@ def _sim_application(node: ast.Application, bound: Set[str], frame: Frame,
 
 
 def _literal_rule(abstraction: ast.Abstraction) -> Rule:
+    # NOTE: unlike the runtime's literal_rule this deliberately keeps
+    # rel_positions=() — the simulation treats every binder of an
+    # abstraction literal as a value position.
     return Rule(
         name="<abstraction>",
         head=abstraction.bindings,
@@ -2177,17 +2399,36 @@ def eval_rule(rule: Rule, env: Env, ctx,
     head positions as ``(position, value)`` pairs, enabling on-demand
     evaluation of definitions that are unsafe to materialize fully.
     """
-    locals_, guards, positional = _binding_guards(rule.value_head)
+    return _eval_rule_keyed(rule, env, ctx, demand, full_arity).values()
+
+
+def eval_rule_relation(rule: Rule, env: Env, ctx,
+                       demand: Tuple[Tuple[int, Any], ...] = (),
+                       full_arity: Optional[int] = None) -> Relation:
+    """Like :func:`eval_rule` but packaged as a :class:`Relation` directly:
+    the head tuples are already keyed in the relation's key space, so the
+    fixpoint drivers skip one full re-keying pass per rule evaluation."""
+    keyed = _eval_rule_keyed(rule, env, ctx, demand, full_arity)
+    if not keyed:
+        return EMPTY
+    return Relation._from_keyed(keyed)
+
+
+def _eval_rule_keyed(rule: Rule, env: Env, ctx,
+                     demand: Tuple[Tuple[int, Any], ...] = (),
+                     full_arity: Optional[int] = None) -> Dict[Tuple[Any, ...],
+                                                               Tuple[Any, ...]]:
+    locals_, guards, positional = _rule_skeleton(rule, ctx)
     frame = Frame(env, frozenset(locals_))
     pre, post = align_demand(positional, demand, full_arity)
     if pre is None:
-        return set()
+        return {}
     cols = tuple(pre.keys())
     table = Table(cols, [tuple(pre.values()) + ((),)])
     items: List[Tuple[Optional[int], ast.Node]] = [(None, g) for g in guards]
     items.append((0, rule.body))
     try:
-        result = _schedule(items, table, frame, ctx)
+        result = _schedule(items, table, frame, ctx, anchor=rule)
     except NotOrderable as exc:
         raise SafetyError(str(exc)) from exc
     unbound = set(locals_) - set(result.cols)
@@ -2197,18 +2438,31 @@ def eval_rule(rule: Rule, env: Env, ctx,
         )
 
     out: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
-    idx: Dict[str, int] = {c: i for i, c in enumerate(result.cols)}
+    if not result.rows:
+        return out
+    # Head emission: binding kinds never vary per row, so compile the
+    # per-position operations once and run a flat loop over the rows.
+    emit: List[Tuple[int, Any]] = []
+    for binding in positional:
+        if isinstance(binding, ast.VarBinding):
+            emit.append((0, result.col_index(binding.name)))
+        elif isinstance(binding, ast.TupleVarBinding):
+            emit.append((1, result.col_index(binding.name)))
+        elif isinstance(binding, ast.ConstBinding):
+            emit.append((2, binding.expr))
+        else:
+            return out  # unsupported head binding: no tuples
     for row in result.rows:
         prefix: Tuple[Any, ...] = ()
         ok = True
-        for i, binding in enumerate(positional):
-            if isinstance(binding, ast.VarBinding):
-                prefix += (row[idx[binding.name]],)
-            elif isinstance(binding, ast.TupleVarBinding):
-                prefix += row[idx[binding.name]]
-            elif isinstance(binding, ast.ConstBinding):
+        for kind, data in emit:
+            if kind == 0:
+                prefix += (row[data],)
+            elif kind == 1:
+                prefix += row[data]
+            else:
                 sub = Table(result.cols, [row[:-1] + ((),)])
-                vals_t = expand(binding.expr, sub, frame, ctx)
+                vals_t = expand(data, sub, frame, ctx)
                 cvals = {r[-1] for r in vals_t.rows}
                 if len(cvals) != 1:
                     ok = False
@@ -2218,23 +2472,20 @@ def eval_rule(rule: Rule, env: Env, ctx,
                     ok = False
                     break
                 prefix += (cval[0],)
-            else:
-                ok = False
-                break
         if not ok:
             continue
         tup = prefix + row[-1]
         if all(pos < len(tup) and _vals_eq(tup[pos], value)
                for pos, value in post):
             out.setdefault(model_row_key(tup), tup)
-    return out.values()
+    return out
 
 
 def rule_orderable(rule: Rule, bound_names: FrozenSet[str], ctx,
                    base_env: Optional[Env] = None) -> bool:
     """Static orderability: can the rule body be scheduled with the given
     head variables pre-bound? Used to decide full materialization."""
-    locals_, guards, _ = _binding_guards(rule.value_head)
+    locals_, guards, _ = _rule_skeleton(rule, ctx)
     frame = Frame(_sim_env_for(rule, base_env), frozenset(locals_))
     got = _sim_items(list(guards) + [rule.body], set(bound_names), frame, ctx)
     if got is None:

@@ -39,6 +39,7 @@ from repro.engine.expand import (
     NotOrderable,
     eval_relation,
     eval_rule,
+    eval_rule_relation,
     expand,
     rule_orderable,
     simulate,
@@ -90,6 +91,14 @@ class EngineOptions:
     #: lookups stay cheaper than a full recursive join well into the
     #: hundreds of candidates.
     rederive_demand_limit: int = 512
+    #: Compile rule bodies and query conjunctions to cached executable
+    #: plans (conjunct order + multiway-join extraction + hash-join
+    #: indexes), replayed across fixpoint iterations, maintenance passes,
+    #: and prepared-query re-runs. Plans are invalidated stratum-level on
+    #: rule changes and fall back to fresh interpretation whenever they no
+    #: longer fit. "False" re-interprets every evaluation from the AST
+    #: (ablation: benchmarks/bench_plan_cache.py).
+    plan_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.join_strategy not in ("auto", "leapfrog", "binary", "off"):
@@ -119,6 +128,8 @@ class EvalState:
     MEMO_LIMIT = 4096
     INDEX_LIMIT = 256
     TRIE_LIMIT = 256
+    PLAN_LIMIT = 4096
+    SKELETON_LIMIT = 2048
 
     def __init__(self) -> None:
         self.extents: Dict[str, Relation] = {}
@@ -139,9 +150,91 @@ class EvalState:
         # tries can never be observed — prepared queries re-running against
         # unchanged relations hit the cache.
         self._tries: Dict[Tuple[int, Tuple[int, ...]], Tuple[Relation, Any]] = {}
+        # (id(relation), key positions) -> (pinned relation, hash index in
+        # sort_key space): the binary-join analog of the sorted-trie cache,
+        # so fixpoint iterations stop re-hashing unchanged relations.
+        self._atom_indexes: Dict[Tuple[int, Tuple[int, ...]],
+                                 Tuple[Relation, Dict[Tuple[Any, ...],
+                                                      List[Tuple[Any, ...]]]]] = {}
+        # Compiled executable plans (repro.engine.plan): plan key ->
+        # (pinned anchor object, ConjunctionPlan). The pin keeps the
+        # id()-based key stable for exactly as long as the entry lives.
+        self.plans: Dict[Tuple[Any, ...], Tuple[Any, Any]] = {}
+        self.plan_stats: Dict[str, int] = {}
+        # Rules-generation counters: bumped only when a name's *rules*
+        # change (not on data updates), so plan signatures survive
+        # fixpoint iterations and incremental maintenance.
+        self.rule_gen: Dict[str, int] = {}
+        # id(bindings-or-rule) -> (pinned key object, skeleton): memoized
+        # _binding_guards results for stable AST binding tuples and rules.
+        self._skeletons: Dict[int, Tuple[Any, Any]] = {}
 
     def bump_name(self, name: str) -> None:
         self.name_gen[name] = self.name_gen.get(name, 0) + 1
+
+    def bump_rule_gen(self, name: str) -> None:
+        self.rule_gen[name] = self.rule_gen.get(name, 0) + 1
+
+    # -- compiled plans ------------------------------------------------------
+
+    def count_plan(self, event: str, n: int = 1) -> None:
+        self.plan_stats[event] = self.plan_stats.get(event, 0) + n
+
+    def plan_sig(self, refs) -> Tuple[Tuple[str, int], ...]:
+        """The rules-generation signature of a refs set, as stored in a
+        plan at compile time."""
+        gens = self.rule_gen
+        return tuple(sorted((n, gens.get(n, 0)) for n in refs))
+
+    def plan_lookup(self, key):
+        """The cached plan for ``key``, if present and still valid under
+        the current rules generations (stale entries are dropped here)."""
+        entry = self.plans.get(key)
+        if entry is None:
+            return None
+        plan = entry[1]
+        gens = self.rule_gen
+        for name, gen in plan.sig:
+            if gens.get(name, 0) != gen:
+                del self.plans[key]
+                self.count_plan("invalidated")
+                return None
+        return plan
+
+    def install_plan(self, key, anchor, plan) -> None:
+        plans = self.plans
+        plans[key] = (anchor, plan)
+        self.count_plan("compiled")
+        if len(plans) > self.PLAN_LIMIT:
+            for old_key in list(plans)[: self.PLAN_LIMIT // 2]:
+                del plans[old_key]
+
+    def drop_plans_for(self, names: Set[str]) -> None:
+        """Drop every plan whose transitive refs meet ``names`` (rule
+        changes); plans over untouched strata stay warm."""
+        if not self.plans:
+            return
+        dead = [key for key, (_, plan) in self.plans.items()
+                if plan.refs & names]
+        for key in dead:
+            del self.plans[key]
+        if dead:
+            self.count_plan("invalidated", len(dead))
+
+    def skeleton(self, key_obj, builder):
+        """Memoized ``builder(key_obj)`` keyed on the identity of a stable
+        object (an AST bindings tuple or a compiled rule), which is pinned
+        by the entry."""
+        key = id(key_obj)
+        entry = self._skeletons.get(key)
+        if entry is not None and entry[0] is key_obj:
+            return entry[1]
+        value = builder(key_obj)
+        if len(self._skeletons) >= self.SKELETON_LIMIT:
+            for old_key in list(self._skeletons)[: self.SKELETON_LIMIT // 2]:
+                del self._skeletons[old_key]
+        self._skeletons[key] = (key_obj, value)
+        return value
 
     def count_eval(self, name: str) -> None:
         self.eval_counts[name] = self.eval_counts.get(name, 0) + 1
@@ -188,10 +281,12 @@ class EvalState:
         self.maint_stats[event] = self.maint_stats.get(event, 0) + n
 
     def clear_indexes(self) -> None:
-        """Drop the atom-index and sorted-trie caches (and their relation
-        pins); retained extents re-index lazily on next use."""
+        """Drop the atom-index, join-index, and sorted-trie caches (and
+        their relation pins); retained extents re-index lazily on next
+        use."""
         self._indexes.clear()
         self._tries.clear()
+        self._atom_indexes.clear()
 
     def drop_indexes_for(self, rels: Iterable[Relation]) -> None:
         """Drop atom-index and sorted-trie entries pinned to exactly the
@@ -206,6 +301,8 @@ class EvalState:
             del self._indexes[key]
         for key in [k for k in self._tries if k[0] in ids]:
             del self._tries[key]
+        for key in [k for k in self._atom_indexes if k[0] in ids]:
+            del self._atom_indexes[key]
 
     def index(self, rel: Relation, prefix_len: int):
         """Hash index of ``rel`` on its first ``prefix_len`` positions."""
@@ -245,6 +342,32 @@ class EvalState:
                 del self._tries[old_key]
         self._tries[key] = (source, trie)
         return trie
+
+    def atom_index(self, atom, positions: Tuple[int, ...]):
+        """Cached hash index of a join atom on the given column positions
+        (``sort_key`` space — the binary join's key semantics).
+
+        ``atom`` is a :class:`repro.joins.planner.Atom` whose ``source`` is
+        the backing :class:`Relation`; the pin keeps the id() key stable
+        for as long as the entry lives, so fixpoint iterations and
+        prepared-query re-runs probe a prebuilt index instead of re-hashing
+        the (unchanged) relation every call."""
+        from repro.model.values import sort_key
+
+        source = atom.source
+        key = (id(source), tuple(positions))
+        entry = self._atom_indexes.get(key)
+        if entry is not None and entry[0] is source:
+            return entry[1]
+        index: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        for row in atom.rows:
+            index.setdefault(tuple(sort_key(row[i]) for i in positions),
+                             []).append(row)
+        if len(self._atom_indexes) >= self.INDEX_LIMIT:
+            for old_key in list(self._atom_indexes)[: self.INDEX_LIMIT // 2]:
+                del self._atom_indexes[old_key]
+        self._atom_indexes[key] = (source, index)
+        return index
 
 
 class EvalContext:
@@ -366,8 +489,9 @@ class EvalContext:
                     env = closure.env.extend(
                         dict(zip(rule.rel_param_names, rel_values))
                     )
-                    facts = eval_rule(rule, env, self, demand, full_arity)
-                    result = result.union(Relation._from_rows(facts))
+                    result = result.union(
+                        eval_rule_relation(rule, env, self, demand, full_arity)
+                    )
                 if result == state.in_progress[key]:
                     break
                 state.in_progress[key] = result
@@ -592,12 +716,6 @@ def _delta_variants_with_targets(
     return variants
 
 
-def _delta_variants(rule: Rule, recursive: Set[str]) -> List[ast.Node]:
-    """The delta-rewritten bodies alone (see
-    :func:`_delta_variants_with_targets`)."""
-    return [body for _, body in _delta_variants_with_targets(rule, recursive)]
-
-
 def _shadows_any(node: ast.Node, names: Set[str]) -> bool:
     """Does any abstraction/quantifier binder rebind one of ``names``?
     Delta rewriting is purely name-based, so a shadowed occurrence would be
@@ -641,6 +759,11 @@ class RelProgram:
     [(1, 2), (1, 3), (2, 3)]
     """
 
+    #: Cap for the identity-pinned delta-variant cache (entries evict
+    #: oldest-half on overflow, like the EvalState caches): replaced rules
+    #: must not stay pinned forever in long-lived sessions.
+    VARIANT_LIMIT = 2048
+
     def __init__(self, source: str = "",
                  database: Optional[Mapping[str, Relation]] = None,
                  load_stdlib: bool = True,
@@ -657,6 +780,13 @@ class RelProgram:
         self._strata: Optional[List[List[str]]] = None
         self._refs_cache: Dict[str, FrozenSet[str]] = {}
         self._all_refs: Optional[FrozenSet[str]] = None
+        # (id(rule), watch set) -> (pinned rule, [(target, variant rule)]):
+        # delta rewrites are pure functions of the rule body, so the
+        # rewritten Rule objects are built once and stay identity-stable —
+        # which is what lets compiled plans for delta bodies survive across
+        # fixpoints and maintenance passes.
+        self._variant_cache: Dict[Tuple[int, FrozenSet[str]],
+                                  Tuple[Rule, List[Tuple[str, Rule]]]] = {}
         if load_stdlib:
             from repro.stdlib import standard_library_source
 
@@ -761,6 +891,7 @@ class RelProgram:
         self._strata = None
         self._refs_cache = {}
         self._all_refs = None
+        self._variant_cache = {}
 
     def _invalidate_rules(self, changed: Set[str]) -> None:
         """Rules were added for ``changed`` names: rebuild their closures,
@@ -781,6 +912,11 @@ class RelProgram:
         state = self._state
         for name in changed:
             state.bump_name(name)
+            # Rule changes (unlike data updates) can flip scheduling and
+            # atom-eligibility decisions: stale compiled plans are dropped
+            # stratum-level via their refs/generation signatures.
+            state.bump_rule_gen(name)
+        state.drop_plans_for(changed)
         dropped = self._drop_dependent_extents(changed)
         state.prune_memo(changed)
         state.drop_indexes_for(dropped)
@@ -814,6 +950,27 @@ class RelProgram:
                     dropped.append(rel)
                 state.drop_extent(extent_name)
         return dropped
+
+    def delta_variants_of(self, rule: Rule,
+                          watch: FrozenSet[str]) -> List[Tuple[str, Rule]]:
+        """Cached ``(target name, delta-variant rule)`` pairs for one rule
+        under one watch set (see :func:`_delta_variants_with_targets`).
+
+        The variant Rule objects are identity-stable across calls, so the
+        plan cache and the orderability caches key on them reliably."""
+        key = (id(rule), watch)
+        cached = self._variant_cache.get(key)
+        if cached is not None and cached[0] is rule:
+            return cached[1]
+        entries = [
+            (target, dataclasses.replace(rule, body=body))
+            for target, body in _delta_variants_with_targets(rule, set(watch))
+        ]
+        if len(self._variant_cache) >= self.VARIANT_LIMIT:
+            for old_key in list(self._variant_cache)[: self.VARIANT_LIMIT // 2]:
+                del self._variant_cache[old_key]
+        self._variant_cache[key] = (rule, entries)
+        return entries
 
     def _all_rule_refs(self) -> FrozenSet[str]:
         """The union of every rule body's free names (cached): the set of
@@ -984,8 +1141,7 @@ class RelProgram:
         ctx.state.count_eval(name)
         result = self._base.get(name, EMPTY)
         for rule in self._rules[name]:
-            facts = eval_rule(rule, Env.EMPTY, ctx)
-            result = result.union(Relation._from_rows(facts))
+            result = result.union(eval_rule_relation(rule, Env.EMPTY, ctx))
         return result
 
     def _materialize_stratum_once(self, names: List[str], ctx: EvalContext) -> None:
@@ -1043,13 +1199,15 @@ class RelProgram:
             delta[name] = total[name]
         for name in names:
             state.set_extent(name, total[name])
-        # Precompute delta variants per rule.
-        variants: Dict[str, List[Tuple[Rule, ast.Node]]] = {}
+        # Precompute delta variants per rule (identity-stable via the
+        # program-level cache, so compiled plans persist across fixpoints).
+        watch = frozenset(recursive)
+        variants: Dict[str, List[Rule]] = {}
         for name in names:
             entries = []
             for rule in self._rules[name]:
-                for body in _delta_variants(rule, recursive):
-                    entries.append((rule, body))
+                for _, variant_rule in self.delta_variants_of(rule, watch):
+                    entries.append(variant_rule)
             variants[name] = entries
         iterations = 0
         while any(delta[n] for n in names):
@@ -1065,10 +1223,9 @@ class RelProgram:
             for name in names:
                 state.count_eval(name)
                 derived = EMPTY
-                for rule, body in variants[name]:
-                    variant_rule = dataclasses.replace(rule, body=body)
-                    facts = eval_rule(variant_rule, Env.EMPTY, ctx)
-                    derived = derived.union(Relation._from_rows(facts))
+                for variant_rule in variants[name]:
+                    derived = derived.union(
+                        eval_rule_relation(variant_rule, Env.EMPTY, ctx))
                 new_delta[name] = derived.difference(total[name])
             for name in names:
                 total[name] = total[name].union(new_delta[name])
@@ -1290,12 +1447,12 @@ class RelProgram:
         recursive = self._is_recursive_component(component)
         watch = set(trigger) | (set(component) if recursive else set())
         old_ext = {m: state.extents[m] for m in members}
-        variants: Dict[str, List[Tuple[str, Rule, ast.Node]]] = {}
+        frozen_watch = frozenset(watch)
+        variants: Dict[str, List[Tuple[str, Rule]]] = {}
         for m in members:
             entries = []
             for rule in self._rules[m]:
-                for target, body in _delta_variants_with_targets(rule, watch):
-                    entries.append((target, rule, body))
+                entries.extend(self.delta_variants_of(rule, frozen_watch))
             variants[m] = entries
 
         minus_frontier = {n: mi for n, (_, mi) in trigger.items() if mi}
@@ -1341,7 +1498,7 @@ class RelProgram:
         self,
         members: List[str],
         watch: Set[str],
-        variants: Dict[str, List[Tuple[str, Rule, ast.Node]]],
+        variants: Dict[str, List[Tuple[str, Rule]]],
         minus_frontier: Dict[str, Relation],
         old_ext: Dict[str, Relation],
         trigger: Dict[str, Tuple[Relation, Relation]],
@@ -1385,13 +1542,12 @@ class RelProgram:
                 for m in members:
                     derived = EMPTY
                     evaluated = False
-                    for target, rule, body in variants[m]:
+                    for target, variant_rule in variants[m]:
                         if not frontier.get(target):
                             continue
                         evaluated = True
-                        variant_rule = dataclasses.replace(rule, body=body)
-                        facts = eval_rule(variant_rule, Env.EMPTY, ctx)
-                        derived = derived.union(Relation._from_rows(facts))
+                        derived = derived.union(
+                            eval_rule_relation(variant_rule, Env.EMPTY, ctx))
                     if evaluated:
                         state.count_eval(m)
                     fresh = derived.intersect(old_ext[m]).difference(cand[m])
@@ -1465,15 +1621,15 @@ class RelProgram:
                 pass  # fall through to the full evaluation
         derived_rel = EMPTY
         for rule in rules:
-            facts = eval_rule(rule, Env.EMPTY, ctx)
-            derived_rel = derived_rel.union(Relation._from_rows(facts))
+            derived_rel = derived_rel.union(
+                eval_rule_relation(rule, Env.EMPTY, ctx))
         return survivors.union(derived_rel.intersect(rest))
 
     def _propagate_inserts(
         self,
         members: List[str],
         watch: Set[str],
-        variants: Dict[str, List[Tuple[str, Rule, ast.Node]]],
+        variants: Dict[str, List[Tuple[str, Rule]]],
         plus_frontier: Dict[str, Relation],
         recursive: bool,
         ctx: EvalContext,
@@ -1497,13 +1653,12 @@ class RelProgram:
             for m in members:
                 derived = EMPTY
                 evaluated = False
-                for target, rule, body in variants[m]:
+                for target, variant_rule in variants[m]:
                     if not frontier.get(target):
                         continue
                     evaluated = True
-                    variant_rule = dataclasses.replace(rule, body=body)
-                    facts = eval_rule(variant_rule, Env.EMPTY, ctx)
-                    derived = derived.union(Relation._from_rows(facts))
+                    derived = derived.union(
+                        eval_rule_relation(variant_rule, Env.EMPTY, ctx))
                 if evaluated:
                     state.count_eval(m)
                 fresh = derived.difference(state.extents[m])
@@ -1600,6 +1755,15 @@ class RelProgram:
         if self._state is None:
             return {}
         return dict(self._state.join_stats)
+
+    def plan_statistics(self) -> Dict[str, int]:
+        """Plan-cache explain counters: "compiled" (fresh interpreted
+        passes that recorded a plan), "hits" (evaluations served by a
+        cached plan), "fallbacks" (stale plans re-interpreted), and
+        "invalidated" (plans dropped by rule changes)."""
+        if self._state is None:
+            return {}
+        return dict(self._state.plan_stats)
 
     def output(self) -> Relation:
         """The contents of the ``output`` control relation (Section 3.4)."""

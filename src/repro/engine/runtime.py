@@ -180,8 +180,21 @@ class Closure:
         return f"<closure {self.name}/{len(self.rules)} rules>"
 
 
-def literal_closure(node: ast.Abstraction, env: Env) -> Closure:
-    """Wrap an abstraction literal (e.g. ``(j) : φ``) as an anonymous closure."""
+#: id(abstraction node) -> (pinned node, compiled rule): abstraction
+#: literals are applied per row / per instance, and a fresh Rule per call
+#: would defeat every id()-keyed cache downstream (compiled plans,
+#: orderability results, instance memos). The node pin keeps the key valid
+#: for exactly as long as the entry lives.
+_LITERAL_RULES: Dict[int, Tuple[ast.Abstraction, Rule]] = {}
+_LITERAL_RULE_LIMIT = 4096
+
+
+def literal_rule(node: ast.Abstraction) -> Rule:
+    """The compiled rule of an abstraction literal, identity-stable per
+    AST node."""
+    entry = _LITERAL_RULES.get(id(node))
+    if entry is not None and entry[0] is node:
+        return entry[1]
     defn = ast.RuleDef(
         name="<abstraction>",
         head=node.bindings,
@@ -189,4 +202,14 @@ def literal_closure(node: ast.Abstraction, env: Env) -> Closure:
         formula_head=not node.brackets,
         pos=node.pos,
     )
-    return Closure("<abstraction>", (compile_rule(defn),), env)
+    rule = compile_rule(defn)
+    if len(_LITERAL_RULES) >= _LITERAL_RULE_LIMIT:
+        for old_key in list(_LITERAL_RULES)[: _LITERAL_RULE_LIMIT // 2]:
+            del _LITERAL_RULES[old_key]
+    _LITERAL_RULES[id(node)] = (node, rule)
+    return rule
+
+
+def literal_closure(node: ast.Abstraction, env: Env) -> Closure:
+    """Wrap an abstraction literal (e.g. ``(j) : φ``) as an anonymous closure."""
+    return Closure("<abstraction>", (literal_rule(node),), env)

@@ -13,7 +13,7 @@ relations may hold mixed-arity tuples).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.model.values import BOOL_FALSE_KEY, BOOL_TRUE_KEY
 
@@ -42,20 +42,30 @@ def row_ident(row: Row) -> Row:
 
 
 class Table:
-    """Satisfying assignments plus per-row output payloads."""
+    """Satisfying assignments plus per-row output payloads.
 
-    __slots__ = ("cols", "rows")
+    ``distinct`` tracks whether the rows are known to be duplicate-free
+    under :func:`row_ident` — set by the deduplicating constructors and
+    preserved by row-bijective transforms — so the scheduler's defensive
+    :meth:`dedupe` calls skip the re-keying pass on already-distinct
+    tables (the fixpoint hot loop re-keys every row several times per
+    iteration otherwise)."""
 
-    def __init__(self, cols: Tuple[str, ...], rows: List[Row]) -> None:
+    __slots__ = ("cols", "rows", "_colmap", "distinct")
+
+    def __init__(self, cols: Tuple[str, ...], rows: List[Row],
+                 distinct: bool = False) -> None:
         self.cols = cols
         self.rows = rows
+        self._colmap: Optional[Dict[str, int]] = None
+        self.distinct = distinct
 
     # -- construction --------------------------------------------------------
 
     @staticmethod
     def unit() -> "Table":
         """The table with no variables and one row with an empty payload."""
-        return Table((), [((),)])
+        return Table((), [((),)], distinct=True)
 
     @staticmethod
     def empty(cols: Tuple[str, ...] = ()) -> "Table":
@@ -67,7 +77,16 @@ class Table:
     # -- basic accessors -----------------------------------------------------
 
     def col_index(self, name: str) -> int:
-        return self.cols.index(name)
+        """Column position of ``name``; the name → index map is built once
+        per table and shared by every lookup (hot paths index by name per
+        column, not per row)."""
+        colmap = self._colmap
+        if colmap is None:
+            self._colmap = colmap = {c: i for i, c in enumerate(self.cols)}
+        try:
+            return colmap[name]
+        except KeyError:
+            raise ValueError(f"{name!r} is not a column of {self.cols}") from None
 
     def has_col(self, name: str) -> bool:
         return name in self.cols
@@ -95,6 +114,8 @@ class Table:
 
     def dedupe(self) -> "Table":
         """Remove duplicate rows (set semantics, value identity)."""
+        if self.distinct:
+            return self
         seen = set()
         out: List[Row] = []
         for row in self.rows:
@@ -102,11 +123,11 @@ class Table:
             if key not in seen:
                 seen.add(key)
                 out.append(row)
-        return Table(self.cols, out)
+        return Table(self.cols, out, distinct=True)
 
     def project(self, keep: Sequence[str]) -> "Table":
         """Keep only columns in ``keep`` (payload retained), dedupe rows."""
-        indices = [self.cols.index(c) for c in keep]
+        indices = [self.col_index(c) for c in keep]
         seen = set()
         out: List[Row] = []
         for row in self.rows:
@@ -115,25 +136,27 @@ class Table:
             if key not in seen:
                 seen.add(key)
                 out.append(new)
-        return Table(tuple(keep), out)
+        return Table(tuple(keep), out, distinct=True)
 
     def filter(self, predicate: Callable[[Row], bool]) -> "Table":
-        return Table(self.cols, [row for row in self.rows if predicate(row)])
+        return Table(self.cols, [row for row in self.rows if predicate(row)],
+                     distinct=self.distinct)
 
     def stash_payload(self, col: str) -> "Table":
         """Move the payload into a named (hidden) column, emptying the payload.
 
         Used by the conjunct scheduler: each product item's payload is
         stashed under a slot column so items can be evaluated in an order
-        that differs from their syntactic (payload) order.
+        that differs from their syntactic (payload) order. Row-bijective:
+        distinctness is preserved.
         """
         rows = [row[:-1] + (row[-1], ()) for row in self.rows]
-        return Table(self.cols + (col,), rows)
+        return Table(self.cols + (col,), rows, distinct=self.distinct)
 
     def gather_payload(self, slot_cols: Sequence[str]) -> "Table":
         """Concatenate stashed slot payloads (in the given order) into the
         payload, dropping the slot columns."""
-        slot_idx = [self.cols.index(c) for c in slot_cols]
+        slot_idx = [self.col_index(c) for c in slot_cols]
         slot_set = set(slot_idx)
         keep_idx = [i for i in range(len(self.cols)) if i not in slot_set]
         new_cols = tuple(self.cols[i] for i in keep_idx)
@@ -145,11 +168,15 @@ class Table:
             rows.append(tuple(row[i] for i in keep_idx) + (payload,))
         return Table(new_cols, rows)
 
-    def append_payload_values(self, fn: Callable[[Dict[str, Any]], Tuple[Any, ...]]):
-        """Extend each row's payload by ``fn(bindings)`` (no new rows)."""
+    def append_payload_values(self, fn: Callable[[Row], Tuple[Any, ...]]):
+        """Extend each row's payload by ``fn(row)`` (no new rows).
+
+        ``fn`` receives the raw row tuple; resolve column positions once via
+        :meth:`col_index` before the loop instead of materializing a
+        bindings dict per row."""
         rows: List[Row] = []
         for row in self.rows:
-            extra = fn(self.bindings(row))
+            extra = fn(row)
             rows.append(row[:-1] + (row[-1] + extra,))
         return Table(self.cols, rows)
 
@@ -163,11 +190,11 @@ def union_tables(tables: List[Table], cols: Tuple[str, ...]) -> Table:
     seen = set()
     rows: List[Row] = []
     for table in tables:
-        indices = [table.cols.index(c) for c in cols]
+        indices = [table.col_index(c) for c in cols]
         for row in table.rows:
             new = tuple(row[i] for i in indices) + (row[-1],)
             key = row_ident(new)
             if key not in seen:
                 seen.add(key)
                 rows.append(new)
-    return Table(cols, rows)
+    return Table(cols, rows, distinct=True)

@@ -140,9 +140,15 @@ def _prepare(atoms: Sequence[Atom],
 
 
 def _project(rows: Sequence[Row], cols: Sequence[str],
-             output: Sequence[str]) -> List[Row]:
-    """Project onto ``output`` with value-semantics deduplication."""
+             output: Sequence[str], distinct: bool = False) -> List[Row]:
+    """Project onto ``output`` with value-semantics deduplication.
+
+    ``distinct`` asserts the input rows are already ``row_key``-distinct
+    AND that ``output`` covers every column (a pure permutation) — then
+    the dedup pass is skipped. Callers must guarantee both."""
     idx = [list(cols).index(v) for v in output]
+    if distinct and set(output) == set(cols):
+        return [tuple(row[i] for i in idx) for row in rows]
     seen: Set[Tuple[Any, ...]] = set()
     out: List[Row] = []
     for row in rows:
@@ -155,13 +161,23 @@ def _project(rows: Sequence[Row], cols: Sequence[str],
 
 
 def binary_plan_join(atoms: Sequence[Atom],
-                     output: Sequence[str]) -> List[Row]:
+                     output: Sequence[str],
+                     index_builder: Optional["IndexBuilder"] = None,
+                     distinct_inputs: bool = False) -> List[Row]:
     """Greedy left-deep hash-join plan.
 
     Starts from the smallest atom, repeatedly joins the atom sharing the
     most variables with the partial result (ties: smaller first), and
     projects onto ``output``. The empty conjunction yields the unit
     relation ``[()]``.
+
+    ``index_builder`` optionally supplies (cached) hash indexes for atoms
+    that carry a ``source``: ``index_builder(atom, key_positions)`` must
+    return a dict mapping the ``sort_key`` tuple of those positions to the
+    atom's matching rows — exactly the build side :func:`hash_join` would
+    construct. With a builder, unchanged relations are probed through a
+    prebuilt index instead of being re-hashed on every evaluation (the
+    binary-join analog of the leapfrog trie cache).
     """
     atoms, empty = _prepare(atoms, output)
     if empty:
@@ -182,10 +198,37 @@ def binary_plan_join(atoms: Sequence[Atom],
                 best_score = score
                 best_idx = i
         atom = remaining.pop(best_idx)
-        current_rows, current_cols = hash_join(
-            current_rows, current_cols, list(atom.rows), atom.variables
-        )
-    return _project(current_rows, current_cols, output)
+        shared_cols = [c for c in current_cols if c in atom.variables]
+        if index_builder is not None and atom.source is not None \
+                and shared_cols:
+            current_rows, current_cols = _probe_indexed(
+                current_rows, current_cols, atom, shared_cols, index_builder
+            )
+        else:
+            current_rows, current_cols = hash_join(
+                current_rows, current_cols, list(atom.rows), atom.variables
+            )
+    return _project(current_rows, current_cols, output,
+                    distinct=distinct_inputs)
+
+
+def _probe_indexed(current_rows: List[Row], current_cols: Tuple[str, ...],
+                   atom: Atom, shared_cols: Sequence[str],
+                   index_builder: "IndexBuilder") -> Tuple[List[Row], Tuple[str, ...]]:
+    """Join the running result with ``atom`` by probing a prebuilt hash
+    index on the shared variables. Output shape matches :func:`hash_join`:
+    current columns first, then the atom's non-shared columns."""
+    apos = tuple(atom.variables.index(c) for c in shared_cols)
+    index = index_builder(atom, apos)
+    cpos = [list(current_cols).index(c) for c in shared_cols]
+    rest = [i for i, c in enumerate(atom.variables) if c not in shared_cols]
+    out_cols = tuple(current_cols) + tuple(atom.variables[i] for i in rest)
+    out: List[Row] = []
+    for row in current_rows:
+        key = tuple(sort_key(row[i]) for i in cpos)
+        for match in index.get(key, ()):
+            out.append(row + tuple(match[i] for i in rest))
+    return out, out_cols
 
 
 def nested_loop_plan_join(atoms: Sequence[Atom],
@@ -318,21 +361,29 @@ def choose_strategy(atoms: Sequence[Atom],
 #: Signature of the engine's trie-cache hook: (atom, permutation) → trie.
 TrieBuilder = Callable[[Atom, Tuple[int, ...]], Any]
 
+#: Signature of the engine's hash-index cache hook:
+#: (atom, key positions) → {sort_key tuple: [rows]}.
+IndexBuilder = Callable[[Atom, Tuple[int, ...]], Dict[Tuple[Any, ...], List[Row]]]
+
 
 def multiway_join(atoms: Sequence[Atom], output: Sequence[str],
                   strategy: str = "leapfrog",
-                  trie_builder: Optional[TrieBuilder] = None) -> List[Row]:
+                  trie_builder: Optional[TrieBuilder] = None,
+                  index_builder: Optional[IndexBuilder] = None,
+                  distinct_inputs: bool = False) -> List[Row]:
     """Evaluate a conjunctive query with the chosen strategy.
 
     ``strategy``: ``"leapfrog"`` (worst-case optimal), ``"binary"`` (greedy
     hash-join plan), ``"nested"`` (naive reference), or ``"auto"``
-    (heuristic pick between the first two). ``trie_builder`` optionally
-    supplies (cached) sorted tries for atoms that carry a ``source``.
+    (heuristic pick between the first two). ``trie_builder`` /
+    ``index_builder`` optionally supply cached sorted tries (leapfrog) or
+    hash indexes (binary) for atoms that carry a ``source``.
     """
     if strategy == "auto":
         strategy = choose_strategy(atoms)
     if strategy == "binary":
-        return binary_plan_join(atoms, output)
+        return binary_plan_join(atoms, output, index_builder=index_builder,
+                                distinct_inputs=distinct_inputs)
     if strategy == "nested":
         return nested_loop_plan_join(atoms, output)
     if strategy != "leapfrog":
@@ -352,4 +403,4 @@ def multiway_join(atoms: Sequence[Atom], output: Sequence[str],
         else:
             entries.append((permuted_rows(atom, perm), variables))
     rows = leapfrog_triejoin(entries, order)
-    return _project(rows, order, output)
+    return _project(rows, order, output, distinct=distinct_inputs)
