@@ -1,9 +1,9 @@
-"""Record the gated benchmark timings to BENCH_pr4.json.
+"""Record the gated benchmark timings to BENCH_pr5.json.
 
 The perf trajectory: each PR that claims a gated speedup appends a
-machine-readable snapshot (this file starts it at PR 4) so future PRs can
-regress-check against recorded ratios instead of re-deriving them from
-prose. Run from the repo root:
+machine-readable snapshot (started at PR 4, extended per PR since) so
+future PRs can regress-check against recorded ratios instead of
+re-deriving them from prose. Run from the repo root:
 
     PYTHONPATH=src python benchmarks/record_trajectory.py
 
@@ -11,16 +11,21 @@ CI runs this on every push and uploads the JSON as an artifact; the
 committed copy is the reference snapshot from the PR that introduced each
 gate. Gates recorded:
 
-- ``plan_reuse_fixpoint``   — PR 4: compiled plans vs. interpretation on a
-  deep reachability fixpoint (floor 2x);
-- ``wcoj_hub_engine``       — PR 2: WCOJ conjunction routing vs. the
+- ``plan_reuse_fixpoint``       — PR 4: compiled plans vs. interpretation
+  on a deep reachability fixpoint (floor 2x);
+- ``wcoj_hub_engine``           — PR 2: WCOJ conjunction routing vs. the
   per-conjunct fallback on the hub graph (floor 2x);
-- ``incremental_insert``    — PR 3: delta maintenance vs. recompute for
-  point inserts (floor 10x);
-- ``incremental_delete``    — PR 3: DRed vs. recompute for point deletes
-  (floor 3x);
-- ``session_reuse``         — PR 1: warm session vs. cold program per
-  update (floor 5x).
+- ``incremental_insert``        — PR 3: delta maintenance vs. recompute
+  for point inserts (floor 10x);
+- ``incremental_delete``        — PR 3: DRed vs. recompute for point
+  deletes (floor 3x);
+- ``session_reuse``             — PR 1: warm session vs. cold program per
+  update (floor 5x);
+- ``concurrency_read_scaling``  — PR 5: 4 snapshot-reader threads vs. 1 on
+  a prepared-query serving workload with per-request response latency
+  (floor 2x; the ungated pure-CPU ratio rides along as ``extra`` — see
+  benchmarks/bench_concurrency.py for what the gate does and does not
+  claim on a single-CPU GIL box).
 """
 
 import json
@@ -109,18 +114,38 @@ def session_gate():
     return gate("session_reuse", t_cold, t_warm, 5.0)
 
 
+def concurrency_gate():
+    from bench_concurrency import IO_DELAY_S, read_throughput, serving_session
+
+    session = serving_session()
+    read_throughput(session, 1, n_requests=20)  # warm both code paths
+    rps_1, results_1 = read_throughput(session, 1)
+    rps_4, results_4 = read_throughput(session, 4)
+    assert results_1 == results_4
+    cpu_1, _ = read_throughput(session, 1, io_delay=0.0)
+    cpu_4, _ = read_throughput(session, 4, io_delay=0.0)
+    # gate() compares seconds, so feed it seconds-per-request.
+    return gate("concurrency_read_scaling", 1.0 / rps_1, 1.0 / rps_4, 2.0,
+                {"threads": 4,
+                 "io_delay_ms": IO_DELAY_S * 1000,
+                 "rps_1_thread": round(rps_1, 1),
+                 "rps_4_threads": round(rps_4, 1),
+                 "pure_cpu_ratio": round(cpu_4 / cpu_1, 2)})
+
+
 def main() -> int:
     sys.path.insert(0, str(Path(__file__).parent))
     gates = [plan_reuse_gate(), wcoj_gate()]
     gates.extend(incremental_gates())
     gates.append(session_gate())
+    gates.append(concurrency_gate())
     snapshot = {
-        "pr": 4,
+        "pr": 5,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "gates": gates,
     }
-    out = Path(__file__).parent.parent / "BENCH_pr4.json"
+    out = Path(__file__).parent.parent / "BENCH_pr5.json"
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     failed = [g["name"] for g in gates if not g["passed"]]
     print(json.dumps(snapshot, indent=2))

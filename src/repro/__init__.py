@@ -40,7 +40,9 @@ from repro.engine import (
     SafetyError,
     UnknownRelationError,
 )
-from repro.api import PreparedQuery, Session, connect
+from repro.api import (PreparedQuery, Session, Snapshot, SnapshotQuery,
+                       connect)
+from repro.server import QueryServer
 from repro.model import Entity, EntityRegistry, Relation, Symbol, relation, singleton
 
 __version__ = "1.1.0"
@@ -52,11 +54,14 @@ __all__ = [
     "EntityRegistry",
     "EvaluationError",
     "PreparedQuery",
+    "QueryServer",
     "RelError",
     "RelProgram",
     "Relation",
     "SafetyError",
     "Session",
+    "Snapshot",
+    "SnapshotQuery",
     "Symbol",
     "UnknownRelationError",
     "__version__",

@@ -57,6 +57,14 @@ def print_relation(name: str, relation: Relation) -> None:
         print("  (" + ", ".join(value_repr(v) for v in tup) + ")")
 
 
+def _thread_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"thread count must be >= 0, got {value}")
+    return value
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -77,9 +85,13 @@ def main(argv=None) -> int:
                         help="do not load the standard library")
     parser.add_argument("--repl", action="store_true",
                         help="interactive session after loading the program")
+    parser.add_argument("--threads", type=_thread_count, default=0,
+                        metavar="N",
+                        help="evaluate -q queries concurrently through a "
+                             "QueryServer with N snapshot-reader threads")
     args = parser.parse_args(argv)
 
-    session = connect(load_stdlib=not args.no_stdlib)
+    session = connect(load_stdlib=not args.no_stdlib, threads=args.threads)
     try:
         for spec in args.load:
             name, _, path = spec.partition("=")
@@ -98,8 +110,17 @@ def main(argv=None) -> int:
             print_relation("output", output)
         for name in args.relation:
             print_relation(name, session.relation(name))
-        for query in args.query:
-            print_relation(query, session.execute(query))
+        if args.threads and args.query:
+            # Serve the queries through the thread-pool front end: each
+            # runs against one consistent snapshot of the loaded program.
+            with session:
+                server = session.server
+                futures = [(q, server.submit(q)) for q in args.query]
+                for query, future in futures:
+                    print_relation(query, future.result())
+        else:
+            for query in args.query:
+                print_relation(query, session.execute(query))
     except RelError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -40,6 +40,7 @@ Quickstart::
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.db.database import Database
@@ -49,6 +50,9 @@ from repro.lang import ast, parse_expression
 from repro.model.relation import Relation
 
 RelationLike = Union[Relation, Iterable[Tuple[Any, ...]]]
+
+#: Scalar parameter types accepted by snapshot query bindings.
+_SCALARS = (bool, int, float, str)
 
 _JOIN_STRATEGIES = ("auto", "leapfrog", "binary", "off")
 _MAINTENANCE_MODES = ("auto", "delta", "recompute")
@@ -107,15 +111,148 @@ class PreparedQuery:
         """Execute against the session, optionally swapping base relations.
 
         Bindings persist in the session (they are ordinary base-relation
-        updates and enjoy the same stratum-level invalidation)."""
-        for name, value in relations.items():
-            self.session.define(name, value)
-        return self.session.program.query_node(self._node)
+        updates, applied as one batch: one maintenance pass, one snapshot
+        publish, the same stratum-level invalidation)."""
+        session = self.session
+        with session._lock:
+            if relations:
+                session.apply_batch(relations)
+            return session.program.query_node(self._node)
 
     __call__ = run
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PreparedQuery({self.source!r})"
+
+
+def _as_binding(name: str, value: Any) -> Any:
+    """Convert one snapshot-query parameter: Relations pass through,
+    scalars bind as values, anything iterable becomes a Relation."""
+    if isinstance(value, Relation) or isinstance(value, _SCALARS):
+        return value
+    try:
+        return Relation(value)
+    except TypeError as exc:
+        raise TypeError(
+            f"parameter {name!r} must be a Relation, a scalar, or an "
+            f"iterable of tuples, got {value!r}"
+        ) from exc
+
+
+class SnapshotQuery:
+    """A parsed query bound to one :class:`Snapshot` — parse once, run
+    many times, each run against the same frozen state.
+
+    Unlike :meth:`PreparedQuery.run`, keyword parameters do **not**
+    persist anywhere: they are environment bindings for that run only, so
+    concurrent runs with different parameters never interfere. Parameters
+    bind names the query expression references directly — the idiomatic
+    parameterization is second-order application (``TC[P]``,
+    ``count[P]``), exactly the paper's style."""
+
+    __slots__ = ("snapshot", "source", "_node")
+
+    def __init__(self, snapshot: "Snapshot", source: str) -> None:
+        self.snapshot = snapshot
+        self.source = source
+        self._node: ast.Node = parse_expression(source)
+
+    def run(self, **params: Any) -> Relation:
+        return self.snapshot.execute_node(self._node, params)
+
+    __call__ = run
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SnapshotQuery({self.source!r})"
+
+
+class Snapshot:
+    """A read-only, snapshot-isolated view of a :class:`Session`.
+
+    Obtained from :meth:`Session.snapshot`. The snapshot captures the
+    session's base relations, rules, and per-name generation vector at one
+    instant (cheap: relations are immutable values and the engine's state
+    containers are copy-on-write) and keeps serving exactly that state no
+    matter what writers do afterwards — readers never block on writers and
+    never observe a half-applied transaction. The warm plan, trie, and
+    hash-index caches of the parent session are shared read-only, so a
+    snapshot query is as fast as a warm session query.
+
+    Any number of threads may query one snapshot concurrently; all
+    mutators are absent from this surface (and raise on the underlying
+    program). Statistics reported here are snapshot-local: reading them
+    never creates or bumps counters in the parent session.
+    """
+
+    __slots__ = ("program", "version")
+
+    def __init__(self, program: RelProgram, version: int) -> None:
+        self.program = program  # a repro.engine.snapshot.ProgramSnapshot
+        self.version = version  #: the session write-version captured
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, source: str, **params: Any) -> Relation:
+        """Evaluate a Rel expression against the frozen state. Keyword
+        parameters are per-call environment bindings (see
+        :class:`SnapshotQuery`)."""
+        return self.execute_node(parse_expression(source), params)
+
+    def execute_node(self, node: ast.Node,
+                     params: Optional[Mapping[str, Any]] = None) -> Relation:
+        """Evaluate an already-parsed expression (the server fast path)."""
+        bindings = {name: _as_binding(name, value)
+                    for name, value in (params or {}).items()}
+        return self.program.query_node(node, bindings or None)
+
+    def query(self, source: str) -> SnapshotQuery:
+        """Prepare a query against this snapshot (parse once, run many)."""
+        return SnapshotQuery(self, source)
+
+    def relation(self, name: str) -> Relation:
+        """The full extent of a defined or base relation, as of capture."""
+        return self.program.relation(name)
+
+    def ask(self, source: str) -> bool:
+        return bool(self.execute(source))
+
+    def output(self) -> Relation:
+        return self.program.output()
+
+    # -- introspection -----------------------------------------------------
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.program.closures)
+                            | set(self.program.base_relations)))
+
+    @property
+    def generations(self) -> Dict[str, int]:
+        """The captured per-name generation vector: the identity of this
+        snapshot's state. Two snapshots with equal vectors observe
+        identical extents for every name."""
+        return dict(self.program._state.name_gen)
+
+    def statistics(self) -> Dict[str, int]:
+        """Fact counts per base relation, as of capture."""
+        return {name: len(rel)
+                for name, rel in self.program.base_relations.items()}
+
+    def evaluation_counts(self) -> Dict[str, int]:
+        """Snapshot-local rule-evaluation counters (start at zero)."""
+        return self.program.evaluation_counts()
+
+    def join_statistics(self) -> Dict[str, int]:
+        return self.program.join_statistics()
+
+    def plan_statistics(self) -> Dict[str, int]:
+        return self.program.plan_statistics()
+
+    def maintenance_statistics(self) -> Dict[str, int]:
+        return self.program.maintenance_statistics()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Snapshot(version={self.version}, "
+                f"{len(self.program.base_relations)} base relations)")
 
 
 class Session:
@@ -134,7 +271,19 @@ class Session:
                  enforce_gnf: bool = False,
                  options: Optional[EngineOptions] = None,
                  join_strategy: Optional[str] = None,
-                 maintenance: Optional[str] = None) -> None:
+                 maintenance: Optional[str] = None,
+                 threads: Optional[int] = None) -> None:
+        # Concurrency model: one re-entrant lock serializes every state
+        # mutation (and direct session reads, which share the live
+        # evaluation state); concurrent readers go through snapshot(),
+        # which is lock-free once a snapshot has been published. The lock
+        # is created first so __init__'s own load() calls go through it.
+        self._lock = threading.RLock()
+        self._version = 0
+        self._published: Optional[Snapshot] = None
+        self._eager_publish = False
+        self._server = None
+        self._server_threads = int(threads) if threads else 0
         if isinstance(database, Database):
             self.database = database
         else:
@@ -166,14 +315,22 @@ class Session:
         """Add Rel declarations (``def`` rules and ``ic`` constraints).
 
         Only the strata depending on the (re)defined names are dirtied."""
-        self.program.add_source(source)
+        with self._lock:
+            self.program.add_source(source)
+            self._mutated()
         return self
 
     def define(self, name: str, relation: RelationLike) -> "Session":
         """Install or replace a base relation (GNF-checked if enforced)."""
         rel = _as_relation(relation)
-        self.database.install(name, rel)
-        self.program.define(name, rel)
+        with self._lock:
+            old = self.database[name] if name in self.database else None
+            self.database.install(name, rel)
+            self.program.define(name, rel)
+            # A value-unchanged define is a no-op like insert/delete: no
+            # version bump, no snapshot republish.
+            if old is None or not (old is rel or old == rel):
+                self._mutated()
         return self
 
     def insert(self, name: str, tuples: RelationLike) -> "Session":
@@ -184,16 +341,19 @@ class Session:
         maintenance mode and the occurrence analysis allow it. An empty or
         fully-duplicate delta is a true no-op: nothing is re-evaluated."""
         delta = _as_relation(tuples)
-        if name not in self.database:
-            self.database.install(name, delta)
-            self.program.define(name, delta)
-            return self
-        old = self.database[name]
-        new = old.union(delta)
-        if new is old:
-            return self
-        self.database.install(name, new)
-        self.program.define(name, new)
+        with self._lock:
+            if name not in self.database:
+                self.database.install(name, delta)
+                self.program.define(name, delta)
+                self._mutated()
+                return self
+            old = self.database[name]
+            new = old.union(delta)
+            if new is old:
+                return self
+            self.database.install(name, new)
+            self.program.define(name, new)
+            self._mutated()
         return self
 
     def delete(self, name: str, tuples: RelationLike) -> "Session":
@@ -201,15 +361,52 @@ class Session:
         dependent materialized extents where eligible). Deleting from a
         missing relation, or a delta that hits nothing, is a true no-op."""
         delta = _as_relation(tuples)
-        if name not in self.database:
-            return self
-        old = self.database[name]
-        new = old.difference(delta)
-        if new is old:
-            return self
-        self.database.install(name, new)
-        self.program.define(name, new)
+        with self._lock:
+            if name not in self.database:
+                return self
+            old = self.database[name]
+            new = old.difference(delta)
+            if new is old:
+                return self
+            self.database.install(name, new)
+            self.program.define(name, new)
+            self._mutated()
         return self
+
+    def apply_batch(
+        self, updates: Mapping[str, RelationLike],
+    ) -> Dict[str, Tuple[Optional[Relation], Relation]]:
+        """Replace several base relations in one atomic batch.
+
+        ``updates`` maps names to their complete new contents. The batch
+        is applied under the write lock through one incremental-maintenance
+        pass (the PR-3 delta path) and published as one snapshot step —
+        readers observe either none or all of it. Returns the applied
+        ``name → (old, new)`` deltas (value-unchanged names are skipped).
+        This is the coalescing entry point of the query server's write
+        queue."""
+        # Convert and GNF-validate everything before touching any state: a
+        # bad value must fail the whole batch, not leave a prefix
+        # installed (install() itself is the GNF gate, so pre-check here).
+        converted = {name: _as_relation(value)
+                     for name, value in updates.items()}
+        if self.database.enforce_gnf:
+            from repro.db.gnf import check_gnf
+
+            for name, new in converted.items():
+                check_gnf(name, new)
+        with self._lock:
+            changed: Dict[str, Tuple[Optional[Relation], Relation]] = {}
+            for name, new in converted.items():
+                old = self.database[name] if name in self.database else None
+                if old is not None and (old is new or old == new):
+                    continue
+                self.database.install(name, new)
+                changed[name] = (old, new)
+            if changed:
+                self.program.apply_updates(changed)
+                self._mutated()
+            return changed
 
     # -- execution ---------------------------------------------------------
 
@@ -219,11 +416,13 @@ class Session:
 
     def execute(self, source: str) -> Relation:
         """One-shot: prepare and run."""
-        return self.program.query_node(parse_expression(source))
+        with self._lock:
+            return self.program.query_node(parse_expression(source))
 
     def relation(self, name: str) -> Relation:
         """The full extent of a defined or base relation."""
-        return self.program.relation(name)
+        with self._lock:
+            return self.program.relation(name)
 
     def ask(self, source: str) -> bool:
         """Boolean query: is the result non-empty?"""
@@ -231,7 +430,99 @@ class Session:
 
     def output(self) -> Relation:
         """The ``output`` control relation of the session's rules."""
-        return self.program.output()
+        with self._lock:
+            return self.program.output()
+
+    # -- snapshots and serving ---------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone write-version: bumped once per completed mutation."""
+        return self._version
+
+    def _mutated(self) -> None:
+        """Record a completed write (caller holds the lock): bump the
+        version and atomically publish a fresh snapshot (or invalidate the
+        stale one when nobody has asked for snapshots yet).
+
+        Publication is deliberately *eager* once snapshots are in use:
+        the capture cost (shallow dict copies) is paid by the writer so
+        that ``snapshot()`` stays a lock-free attribute read — rebuilding
+        lazily would be cheaper for write-only bursts but would make the
+        first reader after a write block behind any in-flight writer,
+        breaking the readers-never-block-on-writers guarantee."""
+        self._version += 1
+        if self._eager_publish:
+            self._published = Snapshot(self.program.snapshot(), self._version)
+        else:
+            self._published = None
+
+    def snapshot(self) -> Snapshot:
+        """The current :class:`Snapshot`: an immutable view of all writes
+        completed so far.
+
+        After the first call, every completed write republishes eagerly,
+        so this read is a single lock-free attribute load — readers never
+        block on writers (a writer that is mid-transaction is simply not
+        yet visible). Successive calls between writes return the *same*
+        snapshot object, so its warm extents and caches are shared."""
+        snap = self._published
+        if snap is None:
+            with self._lock:
+                if self._published is None:
+                    self._eager_publish = True
+                    self._published = Snapshot(self.program.snapshot(),
+                                               self._version)
+                snap = self._published
+        return snap
+
+    def serve(self, threads: Optional[int] = None):
+        """The session's :class:`~repro.server.QueryServer` (started on
+        first use): a thread pool evaluating prepared queries against
+        snapshots, plus a serialized, coalescing write queue.
+
+        With no argument, returns whatever server is attached (creating
+        one sized by ``connect(threads=N)``, else 4). With an explicit
+        ``threads``, asking for a *different* count than the running
+        server's raises (close() it first) rather than silently handing
+        back a pool of the wrong size. A server that was closed directly
+        (e.g. by its context manager) is discarded and replaced."""
+        from repro.server import QueryServer
+
+        with self._lock:
+            if self._server is not None and self._server.closed:
+                self._server = None
+            if self._server is None:
+                self._server = QueryServer(
+                    self,
+                    threads=(threads if threads is not None
+                             else self._server_threads or 4))
+            elif threads is not None and self._server.threads != threads:
+                raise ValueError(
+                    f"session already serves with "
+                    f"{self._server.threads} threads; close() it before "
+                    f"requesting {threads}"
+                )
+            return self._server
+
+    @property
+    def server(self):
+        """The attached :class:`~repro.server.QueryServer` (created on
+        first access): shorthand for :meth:`serve` with no argument."""
+        return self.serve()
+
+    def close(self) -> None:
+        """Shut down the attached query server, if one was started."""
+        with self._lock:
+            server, self._server = self._server, None
+        if server is not None:
+            server.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- transactions ------------------------------------------------------
 
@@ -243,18 +534,23 @@ class Session:
         ``delete`` requests are applied atomically unless an integrity
         constraint is violated, in which case nothing changes — including
         the session's computed extents."""
-        txn = Transaction(
-            self.database,
-            options=self.program.options,
-            load_stdlib=self._load_stdlib,
-            extra_rules=self.program,
-        )
-        result = txn.execute(source)
-        if result.committed and result.changed:
-            # One batched maintenance pass over the committed deltas: the
-            # same incremental path as Session.insert/delete.
-            self.program.apply_updates(result.changed)
-        return result
+        with self._lock:
+            txn = Transaction(
+                self.database,
+                options=self.program.options,
+                load_stdlib=self._load_stdlib,
+                extra_rules=self.program,
+            )
+            result = txn.execute(source)
+            if result.committed and result.changed:
+                # One batched maintenance pass over the committed deltas:
+                # the same incremental path as Session.insert/delete. The
+                # snapshot republish happens only here, after the batch —
+                # concurrent readers see the pre- or post-transaction
+                # state, never a half-applied one.
+                self.program.apply_updates(result.changed)
+                self._mutated()
+            return result
 
     # -- introspection -----------------------------------------------------
 
@@ -279,8 +575,13 @@ class Session:
     def join_strategy(self, value: str) -> None:
         # In-place on the program's options — the live evaluation context
         # holds the same object, so the switch takes effect immediately;
-        # the constructor copied them, so no other session is affected.
-        self.program.options.join_strategy = _check_join_strategy(value)
+        # the constructor copied them, so no other session is affected
+        # (snapshots copied them too: an already-published snapshot keeps
+        # its routing, the republished one picks the new value up).
+        value = _check_join_strategy(value)
+        with self._lock:
+            self.program.options.join_strategy = value
+            self._mutated()
 
     def join_statistics(self) -> Dict[str, int]:
         """How many conjunctions were evaluated by the multiway-join path,
@@ -298,7 +599,9 @@ class Session:
 
     @maintenance.setter
     def maintenance(self, value: str) -> None:
-        self.program.options.maintenance = _check_maintenance(value)
+        value = _check_maintenance(value)
+        with self._lock:
+            self.program.options.maintenance = value
 
     def plan_statistics(self) -> Dict[str, int]:
         """Plan-cache explain counters ("compiled", "hits", "fallbacks",
@@ -319,7 +622,8 @@ class Session:
 
     def statistics(self) -> Dict[str, int]:
         """Fact counts per stored base relation."""
-        return {name: len(rel) for name, rel in self.database.items()}
+        with self._lock:
+            return {name: len(rel) for name, rel in self.database.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Session({len(self.database)} base relations, "
@@ -333,5 +637,7 @@ def connect(database: Optional[Union[Database, Mapping[str, Relation]]] = None,
     ``database`` is an existing :class:`~repro.db.Database`, or a mapping
     of name → :class:`~repro.model.Relation` to start from; ``schema`` is
     Rel source (rules and integrity constraints) loaded at connect time.
-    Remaining keyword arguments are forwarded to :class:`Session`."""
+    ``threads=N`` sizes the session's :attr:`Session.server` thread pool
+    for concurrent serving (see :mod:`repro.server`). Remaining keyword
+    arguments are forwarded to :class:`Session`."""
     return Session(database, schema, **kwargs)

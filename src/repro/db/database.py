@@ -42,6 +42,8 @@ class Database:
         return tuple(sorted(self._relations))
 
     def items(self) -> Iterator[Tuple[str, Relation]]:
+        # sorted() materializes the listing before the first yield, so the
+        # generator is safe to hold outside the session lock.
         yield from sorted(self._relations.items())
 
     def as_mapping(self) -> Dict[str, Relation]:

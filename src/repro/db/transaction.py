@@ -10,6 +10,13 @@ Section 3.5).
 ``insert`` and ``delete`` address target base relations by :class:`Symbol`
 (``:Name``) in their first column; targets need not exist beforehand —
 "if ClosedOrders does not exist, it will be created on the spot".
+
+Concurrency: a transaction evaluates in its own throwaway
+:class:`RelProgram` (thread-confined) and mutates the shared database only
+at commit. The session layer runs the whole execute-check-commit sequence
+under its write lock and publishes the post-state as one snapshot, so
+concurrent snapshot readers see a committed transaction's effects all at
+once or not at all (atomicity, Section 3.4/3.5).
 """
 
 from __future__ import annotations

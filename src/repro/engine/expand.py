@@ -22,6 +22,17 @@ key and the instance's *extent* — a finite first-order relation — is
 computed on demand by the program layer (``ctx.closure_extent``), with
 Kleene iteration for self-recursive instances such as ``APSP[V,E]`` and
 ``PageRank[G]``.
+
+Thread-safety contract (the PR-5 snapshot audit): the expansion read path
+touches shared state *only* through ``ctx`` — ``ctx.resolve`` /
+``ctx.closure_extent`` and the :class:`EvalState` cache methods
+(``plan_lookup`` / ``install_plan`` / ``index`` / ``sorted_trie`` /
+``atom_index`` / ``skeleton`` / the counters). Tables and per-call
+intermediates are thread-confined; module-level state is limited to the
+``_FRESH`` column counter (an atomic ``itertools.count``) and immutable
+handler/constant tables. Concurrent snapshot readers therefore isolate by
+swapping in an overlay state (:mod:`repro.engine.snapshot`) — nothing in
+this module may cache into globals or mutate a Relation/AST in place.
 """
 
 from __future__ import annotations

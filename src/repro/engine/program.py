@@ -196,7 +196,7 @@ class EvalState:
         gens = self.rule_gen
         for name, gen in plan.sig:
             if gens.get(name, 0) != gen:
-                del self.plans[key]
+                self.plans.pop(key, None)
                 self.count_plan("invalidated")
                 return None
         return plan
@@ -207,7 +207,7 @@ class EvalState:
         self.count_plan("compiled")
         if len(plans) > self.PLAN_LIMIT:
             for old_key in list(plans)[: self.PLAN_LIMIT // 2]:
-                del plans[old_key]
+                plans.pop(old_key, None)
 
     def drop_plans_for(self, names: Set[str]) -> None:
         """Drop every plan whose transitive refs meet ``names`` (rule
@@ -217,7 +217,7 @@ class EvalState:
         dead = [key for key, (_, plan) in self.plans.items()
                 if plan.refs & names]
         for key in dead:
-            del self.plans[key]
+            self.plans.pop(key, None)
         if dead:
             self.count_plan("invalidated", len(dead))
 
@@ -232,9 +232,15 @@ class EvalState:
         value = builder(key_obj)
         if len(self._skeletons) >= self.SKELETON_LIMIT:
             for old_key in list(self._skeletons)[: self.SKELETON_LIMIT // 2]:
-                del self._skeletons[old_key]
+                self._skeletons.pop(old_key, None)
         self._skeletons[key] = (key_obj, value)
         return value
+
+    def memo_get(self, key: Tuple[Any, ...]) -> Optional[Relation]:
+        """Instance-memo lookup (single atomic ``get``, so concurrent
+        readers sharing a state can never observe a half-deleted entry;
+        snapshots also chain to their parent's warm memo here)."""
+        return self.memo.get(key)
 
     def count_eval(self, name: str) -> None:
         self.eval_counts[name] = self.eval_counts.get(name, 0) + 1
@@ -262,14 +268,14 @@ class EvalState:
         dead = [key for key in self.memo
                 if any(n in names for n, _ in key[0])]
         for key in dead:
-            del self.memo[key]
+            self.memo.pop(key, None)
 
     def memoize(self, key: Tuple[Any, ...], rel: Relation) -> None:
         memo = self.memo
         memo[key] = rel
         if len(memo) > self.MEMO_LIMIT:
             for old_key in list(memo)[: self.MEMO_LIMIT // 2]:
-                del memo[old_key]
+                memo.pop(old_key, None)
 
     def count_join(self, strategy: str) -> None:
         """Record one conjunction routed through the multiway-join path."""
@@ -298,11 +304,11 @@ class EvalState:
         if not ids:
             return
         for key in [k for k in self._indexes if k[0] in ids]:
-            del self._indexes[key]
+            self._indexes.pop(key, None)
         for key in [k for k in self._tries if k[0] in ids]:
-            del self._tries[key]
+            self._tries.pop(key, None)
         for key in [k for k in self._atom_indexes if k[0] in ids]:
-            del self._atom_indexes[key]
+            self._atom_indexes.pop(key, None)
 
     def index(self, rel: Relation, prefix_len: int):
         """Hash index of ``rel`` on its first ``prefix_len`` positions."""
@@ -315,7 +321,7 @@ class EvalState:
                     index.setdefault(tup[:prefix_len], []).append(tup)
             if len(self._indexes) >= self.INDEX_LIMIT:
                 for old_key in list(self._indexes)[: self.INDEX_LIMIT // 2]:
-                    del self._indexes[old_key]
+                    self._indexes.pop(old_key, None)
             self._indexes[key] = entry = (rel, index)
         return entry[1]
 
@@ -339,7 +345,7 @@ class EvalState:
         trie = build_sorted_trie(permuted_rows(atom, perm))
         if len(self._tries) >= self.TRIE_LIMIT:
             for old_key in list(self._tries)[: self.TRIE_LIMIT // 2]:
-                del self._tries[old_key]
+                self._tries.pop(old_key, None)
         self._tries[key] = (source, trie)
         return trie
 
@@ -365,7 +371,7 @@ class EvalState:
                              []).append(row)
         if len(self._atom_indexes) >= self.INDEX_LIMIT:
             for old_key in list(self._atom_indexes)[: self.INDEX_LIMIT // 2]:
-                del self._atom_indexes[old_key]
+                self._atom_indexes.pop(old_key, None)
         self._atom_indexes[key] = (source, index)
         return index
 
@@ -465,8 +471,10 @@ class EvalContext:
             demand,
             full_arity,
         )
-        if self.options.memoize_instances and key in state.memo:
-            return state.memo[key]
+        if self.options.memoize_instances:
+            memoized = state.memo_get(key)
+            if memoized is not None:
+                return memoized
         if key in state.in_progress:
             for frame_keys in state.touch_stack:
                 frame_keys.add(key)
@@ -801,15 +809,24 @@ class RelProgram:
         self._ingest(parse_program(source))
 
     def _ingest(self, program: ast.Program) -> None:
-        changed: Set[str] = set()
+        # Copy-on-write: the rule catalog and constraint list are *replaced*,
+        # never mutated in place, so snapshots (which share the previous
+        # containers) keep observing exactly the catalog they captured.
+        added: Dict[str, List[Rule]] = {}
+        new_ics: List[ast.ICDef] = []
         for decl in program.declarations:
             if isinstance(decl, ast.RuleDef):
-                self._rules.setdefault(decl.name, []).append(compile_rule(decl))
-                changed.add(decl.name)
+                added.setdefault(decl.name, []).append(compile_rule(decl))
             elif isinstance(decl, ast.ICDef):
-                self._constraints.append(decl)
-        if changed:
-            self._invalidate_rules(changed)
+                new_ics.append(decl)
+        if new_ics:
+            self._constraints = self._constraints + new_ics
+        if added:
+            rules = dict(self._rules)
+            for name, fresh in added.items():
+                rules[name] = list(rules.get(name, ())) + fresh
+            self._rules = rules
+            self._invalidate_rules(set(added))
 
     def define(self, name: str, relation: Relation) -> None:
         """Install or replace a base (EDB) relation.
@@ -820,7 +837,11 @@ class RelProgram:
         the strata that (transitively) depend on it are dirtied. Everything
         else keeps its computed extent and instance memos."""
         old = self._base.get(name)
-        self._base[name] = relation
+        # Copy-on-write: the base mapping is replaced, never mutated in
+        # place, so snapshots sharing the previous mapping stay frozen.
+        base = dict(self._base)
+        base[name] = relation
+        self._base = base
         if old is not None and (old is relation or old == relation):
             return
         if old is None:
@@ -847,22 +868,31 @@ class RelProgram:
         the transaction layer to re-check constraints against a post-state).
 
         Deduplication is a seen-set membership test on the compiled rules
-        (hashable frozen dataclasses), not a linear scan per rule."""
+        (hashable frozen dataclasses), not a linear scan per rule.
+        Containers are replaced copy-on-write (see :meth:`_ingest`)."""
         changed: Set[str] = set()
+        merged = dict(self._rules)
         for name, rules in other._rules.items():
-            mine = self._rules.setdefault(name, [])
+            mine = merged.get(name, ())
             seen = set(mine)
+            fresh = []
             for rule in rules:
                 if rule not in seen:
-                    mine.append(rule)
+                    fresh.append(rule)
                     seen.add(rule)
-                    changed.add(name)
+            if fresh:
+                merged[name] = list(mine) + fresh
+                changed.add(name)
         seen_ics = set(self._constraints)
+        new_ics = []
         for ic in other._constraints:
             if ic not in seen_ics:
-                self._constraints.append(ic)
+                new_ics.append(ic)
                 seen_ics.add(ic)
+        if new_ics:
+            self._constraints = self._constraints + new_ics
         if changed:
+            self._rules = merged
             self._invalidate_rules(changed)
 
     def base_relation(self, name: str) -> Optional[Relation]:
@@ -897,13 +927,21 @@ class RelProgram:
         """Rules were added for ``changed`` names: rebuild their closures,
         redo the (cheap) static analyses, and drop only the extents that can
         observe the change."""
+        closures = dict(self.closures)
         for name in changed:
-            self.closures[name] = Closure(name, tuple(self._rules[name]),
-                                          Env.EMPTY)
+            closures[name] = Closure(name, tuple(self._rules[name]),
+                                     Env.EMPTY)
+        self.closures = closures
         self._materialized = None
         self._strata = None
         self._refs_cache = {}
         self._all_refs = None
+        # Rebind to a *copy* (never mutate in place): published snapshots
+        # share the old dict and must stop observing our writes, while the
+        # parent keeps its warm entries — they stay valid under rule
+        # changes because each is a pure function of its identity-pinned
+        # Rule object (replaced rules age out via the LIMIT eviction).
+        self._variant_cache = dict(self._variant_cache)
         if self._state is None:
             return
         if self._ctx is not None:
@@ -968,7 +1006,7 @@ class RelProgram:
         ]
         if len(self._variant_cache) >= self.VARIANT_LIMIT:
             for old_key in list(self._variant_cache)[: self.VARIANT_LIMIT // 2]:
-                del self._variant_cache[old_key]
+                self._variant_cache.pop(old_key, None)
         self._variant_cache[key] = (rule, entries)
         return entries
 
@@ -1272,12 +1310,14 @@ class RelProgram:
         the entry point for committed transaction insert/delete requests."""
         fresh: List[str] = []
         changed: Dict[str, Tuple[Relation, Relation]] = {}
+        base = dict(self._base)
         for name, (old, new) in updates.items():
-            self._base[name] = new
+            base[name] = new
             if old is None:
                 fresh.append(name)
             elif not (old is new or old == new):
                 changed[name] = (old, new)
+        self._base = base
         for name in fresh:
             self._define_new_base(name)
             if self._state is None:
@@ -1713,6 +1753,31 @@ class RelProgram:
                         del state.memo[k]
         state.drop_indexes_for([old_ext[m] for m in net])
         return net
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> "RelProgram":
+        """An immutable, copy-on-write snapshot of the program's current
+        state (see :mod:`repro.engine.snapshot`).
+
+        The snapshot captures the base mapping, rule catalog, and
+        generation vectors by reference/shallow copy (every mutator on this
+        class rebinds fresh containers instead of mutating, exactly so
+        these captures stay frozen), and evaluates against its own
+        :class:`SnapshotState` that shares this program's warm plan, trie,
+        and hash-index caches read-only. The caller must ensure no writer
+        is mid-flight — the Session layer serializes writers and publishes
+        snapshots atomically between transactions."""
+        from repro.engine.snapshot import ProgramSnapshot
+
+        # Force the cheap static analyses now, so readers share completed
+        # results instead of racing to rebuild them per snapshot.
+        self._context()
+        if self._strata is None:
+            self._strata = self._compute_strata()
+        if self._materialized is None:
+            self._classify()
+        return ProgramSnapshot(self)
 
     # -- querying ---------------------------------------------------------------
 

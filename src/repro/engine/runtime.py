@@ -185,6 +185,12 @@ class Closure:
 #: would defeat every id()-keyed cache downstream (compiled plans,
 #: orderability results, instance memos). The node pin keeps the key valid
 #: for exactly as long as the entry lives.
+#:
+#: Thread-safety: this cache is process-global and shared by concurrent
+#: snapshot readers. Single get/set operations are atomic under the GIL;
+#: a double compile under a race is benign (both rules are valid, last
+#: write wins), and eviction uses pop-with-default so two threads
+#: evicting the same keys never raise.
 _LITERAL_RULES: Dict[int, Tuple[ast.Abstraction, Rule]] = {}
 _LITERAL_RULE_LIMIT = 4096
 
@@ -205,7 +211,7 @@ def literal_rule(node: ast.Abstraction) -> Rule:
     rule = compile_rule(defn)
     if len(_LITERAL_RULES) >= _LITERAL_RULE_LIMIT:
         for old_key in list(_LITERAL_RULES)[: _LITERAL_RULE_LIMIT // 2]:
-            del _LITERAL_RULES[old_key]
+            _LITERAL_RULES.pop(old_key, None)
     _LITERAL_RULES[id(node)] = (node, rule)
     return rule
 

@@ -1,0 +1,279 @@
+"""Copy-on-write program snapshots: frozen read views for concurrent sessions.
+
+The paper positions Rel as the language of a relational knowledge-graph
+*system* serving many users; this module supplies the engine half of that
+story. A :class:`ProgramSnapshot` is an immutable view of a
+:class:`~repro.engine.program.RelProgram` at one generation vector:
+
+- **what is captured** — the base-relation mapping, the rule catalog and
+  its static analyses (strata, materializability, transitive refs), and
+  the per-name generation counters. All of these are cheap shallow
+  captures because every :class:`RelProgram` mutator rebinds fresh
+  containers instead of mutating in place (copy-on-write), and
+  :class:`~repro.model.relation.Relation` values are immutable;
+- **what is shared** — the parent's warm evaluation caches: compiled
+  plans, sorted tries, hash-join indexes, prefix indexes, binding-guard
+  skeletons, and instance memos. :class:`SnapshotState` reads them
+  through single atomic ``dict.get`` calls (safe against a concurrent
+  writer under the GIL) and validates every hit against the snapshot's
+  *captured* generations and identity pins, so a reader can never observe
+  a cache entry from a future program state. Everything the snapshot
+  computes itself lands in private overlay dicts — snapshots never write
+  to (or invalidate) the parent's caches;
+- **what is isolated per reader thread** — the in-progress instance
+  approximations and touch stacks of demand-driven evaluation, and the
+  orderability recursion stack. These are genuinely per-*evaluation*
+  state, so :class:`SnapshotState`/:class:`SnapshotContext` keep them in
+  ``threading.local`` storage, letting any number of threads evaluate
+  against one snapshot concurrently.
+
+Materialization of the snapshot's strata ("warming") happens once, under
+the snapshot's private lock; after that the read path takes no locks at
+all. Writers never take a snapshot lock, so readers never block writers
+and writers never block readers — the serialization point is only between
+writers, in the session layer (:class:`repro.api.Session`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.engine.errors import EvaluationError, SafetyError
+from repro.engine.expand import Frame, NotOrderable, eval_relation
+from repro.engine.program import EvalContext, EvalState, RelProgram
+from repro.engine.runtime import Env
+from repro.lang import ast
+from repro.model.relation import Relation
+
+
+class SnapshotWriteError(EvaluationError):
+    """Raised when a mutating operation is attempted on a snapshot."""
+
+
+class SnapshotState(EvalState):
+    """An :class:`EvalState` overlay: private extents and generation
+    vectors captured from the parent, parent caches shared read-only,
+    per-thread demand-evaluation state."""
+
+    def __init__(self, parent: EvalState) -> None:
+        # Captured, snapshot-private copies (the frozen generation vector).
+        self.extents: Dict[str, Relation] = dict(parent.extents)
+        self.name_gen: Dict[str, int] = dict(parent.name_gen)
+        self.rule_gen: Dict[str, int] = dict(parent.rule_gen)
+        # Snapshot-local counters: read-only views must never create or
+        # bump counters in the parent state.
+        self.eval_counts: Dict[str, int] = {}
+        self.join_stats: Dict[str, int] = {}
+        self.maint_stats: Dict[str, int] = {}
+        self.plan_stats: Dict[str, int] = {}
+        # Private overlays over the parent's warm caches: lookups read
+        # through to the parent (atomic gets, identity/generation
+        # validated), inserts and evictions stay local.
+        self.memo: Dict[Tuple[Any, ...], Relation] = {}
+        self.plans: Dict[Tuple[Any, ...], Tuple[Any, Any]] = {}
+        self._indexes: Dict[Tuple[int, int], Tuple[Relation, Any]] = {}
+        self._tries: Dict[Tuple[int, Tuple[int, ...]], Tuple[Relation, Any]] = {}
+        self._atom_indexes: Dict[Tuple[int, Tuple[int, ...]],
+                                 Tuple[Relation, Any]] = {}
+        self._skeletons: Dict[int, Tuple[Any, Any]] = {}
+        self._parent = parent
+        self._local = threading.local()
+
+    # -- per-thread demand-evaluation state --------------------------------
+
+    @property
+    def in_progress(self) -> Dict[Tuple[Any, ...], Relation]:
+        store = self._local
+        value = getattr(store, "in_progress", None)
+        if value is None:
+            value = store.in_progress = {}
+        return value
+
+    @property
+    def touch_stack(self) -> List[Set[Tuple[Any, ...]]]:
+        store = self._local
+        value = getattr(store, "touch_stack", None)
+        if value is None:
+            value = store.touch_stack = []
+        return value
+
+    # -- read-through cache sharing ----------------------------------------
+
+    def memo_get(self, key: Tuple[Any, ...]) -> Optional[Relation]:
+        hit = self.memo.get(key)
+        if hit is not None:
+            return hit
+        # Parent memo keys embed the (name, generation) refs signature, and
+        # ours are computed against the captured generations — a hit is by
+        # construction an extent this snapshot could have computed itself.
+        return self._parent.memo.get(key)
+
+    def plan_lookup(self, key):
+        plan = EvalState.plan_lookup(self, key)
+        if plan is not None:
+            return plan
+        entry = self._parent.plans.get(key)
+        if entry is None:
+            return None
+        plan = entry[1]
+        gens = self.rule_gen
+        for name, gen in plan.sig:
+            if gens.get(name, 0) != gen:
+                # Stale *for this snapshot* (the parent's rules moved on, or
+                # the plan predates our capture) — never touch the parent's
+                # entry, it may be perfectly valid over there.
+                return None
+        return plan
+
+    def index(self, rel: Relation, prefix_len: int):
+        entry = self._parent._indexes.get((id(rel), prefix_len))
+        if entry is not None and entry[0] is rel:
+            return entry[1]
+        return EvalState.index(self, rel, prefix_len)
+
+    def sorted_trie(self, atom, perm: Tuple[int, ...]):
+        source = atom.source
+        entry = self._parent._tries.get((id(source), tuple(perm)))
+        if entry is not None and entry[0] is source:
+            return entry[1]
+        return EvalState.sorted_trie(self, atom, perm)
+
+    def atom_index(self, atom, positions: Tuple[int, ...]):
+        source = atom.source
+        entry = self._parent._atom_indexes.get((id(source), tuple(positions)))
+        if entry is not None and entry[0] is source:
+            return entry[1]
+        return EvalState.atom_index(self, atom, positions)
+
+    def skeleton(self, key_obj, builder):
+        entry = self._parent._skeletons.get(id(key_obj))
+        if entry is not None and entry[0] is key_obj:
+            return entry[1]
+        return EvalState.skeleton(self, key_obj, builder)
+
+
+class SnapshotContext(EvalContext):
+    """An :class:`EvalContext` whose orderability recursion stack is
+    per-thread (the result cache is snapshot-private and shared across the
+    snapshot's readers — all of them see the same frozen rules)."""
+
+    def __init__(self, program: "ProgramSnapshot", state: SnapshotState,
+                 options, orderable_cache: Dict[Tuple[Any, ...], bool]) -> None:
+        self.program = program
+        self.state = state
+        self.options = options
+        # Seeded from the parent context: every entry there was computed
+        # under exactly the rule catalog this snapshot captured.
+        self._orderable_cache = dict(orderable_cache)
+        self._local = threading.local()
+
+    @property
+    def _orderable_stack(self) -> Set[Tuple[Any, ...]]:
+        store = self._local
+        value = getattr(store, "stack", None)
+        if value is None:
+            value = store.stack = set()
+        return value
+
+
+class ProgramSnapshot(RelProgram):
+    """A frozen :class:`RelProgram` view: evaluates, never mutates.
+
+    Built by :meth:`RelProgram.snapshot`. Queries, relation lookups, and
+    statistics work exactly as on a live program — against the captured
+    state — and any number of threads may use one snapshot concurrently.
+    All mutators raise :class:`SnapshotWriteError`.
+    """
+
+    def __init__(self, parent: RelProgram) -> None:
+        # Deliberately no super().__init__: a snapshot adopts the parent's
+        # containers. Every RelProgram mutator rebinds fresh containers
+        # (copy-on-write), so these references stay frozen even while the
+        # parent keeps evolving.
+        self.options = dataclasses.replace(parent.options)
+        self._base = parent._base
+        self._rules = parent._rules
+        self._constraints = parent._constraints
+        self.closures = parent.closures
+        self._materialized = parent._materialized
+        self._recursive = parent._recursive
+        self._strata = parent._strata
+        # Lazily-filled analysis caches are *copied*, not shared: inherited
+        # RelProgram code fills them during evaluation (_refs_of,
+        # delta_variants_of), and a reader thread writing into the
+        # parent's live dicts would violate the snapshots-never-write-to-
+        # the-parent contract the cache sharing above depends on. Entries
+        # themselves are pure functions of the captured rule catalog.
+        self._refs_cache = dict(parent._refs_cache)
+        self._all_refs = parent._all_refs
+        self._variant_cache = dict(parent._variant_cache)
+        self._state = SnapshotState(parent._state)
+        self._ctx = SnapshotContext(self, self._state, self.options,
+                                    parent._ctx._orderable_cache)
+        self._evaluating = False
+        self._warm = False
+        self._warm_lock = threading.RLock()
+
+    # -- thread-safe read path ---------------------------------------------
+
+    def _ensure_warm(self) -> None:
+        """Materialize the snapshot's strata exactly once. Only the first
+        reader pays (and only for strata the parent had not materialized);
+        afterwards the read path takes no locks."""
+        if self._warm:
+            return
+        with self._warm_lock:
+            if not self._warm:
+                RelProgram.evaluate(self)
+                self._warm = True
+
+    def evaluate(self) -> Dict[str, Relation]:
+        self._ensure_warm()
+        return dict(self._state.extents)
+
+    def relation(self, name: str) -> Relation:
+        self._ensure_warm()
+        return RelProgram.relation(self, name)
+
+    def query_node(self, node: ast.Node,
+                   bindings: Optional[Dict[str, Any]] = None) -> Relation:
+        """Evaluate a parsed expression against the snapshot.
+
+        ``bindings`` (name → :class:`Relation` or scalar) are overlaid as
+        environment bindings for this evaluation only — the parameter
+        mechanism of server-side prepared queries: unlike
+        :meth:`Session.define`, they persist nowhere and shadow program
+        relations of the same name just for this call."""
+        self._ensure_warm()
+        env = Env(dict(bindings)) if bindings else Env.EMPTY
+        try:
+            return eval_relation(node, Frame(env, frozenset()), self._ctx)
+        except NotOrderable as exc:
+            raise SafetyError(str(exc)) from exc
+
+    # -- frozen surface ----------------------------------------------------
+
+    def _frozen(self, operation: str) -> SnapshotWriteError:
+        return SnapshotWriteError(
+            f"cannot {operation} on a snapshot: snapshots are immutable "
+            f"read views — apply writes to the live Session/RelProgram and "
+            f"take a new snapshot"
+        )
+
+    def add_source(self, source: str) -> None:
+        raise self._frozen("add rules")
+
+    def define(self, name: str, relation: Relation) -> None:
+        raise self._frozen("define a base relation")
+
+    def apply_updates(self, updates) -> None:
+        raise self._frozen("apply updates")
+
+    def merge_rules_from(self, other: RelProgram) -> None:
+        raise self._frozen("merge rules")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProgramSnapshot({len(self._base)} base relations, "
+                f"{len(self.closures)} defined names)")

@@ -1,0 +1,323 @@
+"""A threaded query server over one Session: snapshot reads, queued writes.
+
+The paper's system serves a relational knowledge graph to many concurrent
+users; :class:`QueryServer` is the in-process shape of that front end:
+
+- **reads** — :meth:`submit` parses each query once (per source text),
+  hands it to a thread pool, and evaluates it against the session's
+  current :class:`~repro.api.Snapshot`. Readers share the warm plan, trie,
+  and hash-index caches read-only and never block on writers: a write in
+  flight is simply not yet visible.
+- **writes** — :meth:`insert` / :meth:`delete` / :meth:`define` /
+  :meth:`load` / :meth:`transact` enqueue onto a single writer thread.
+  Consecutive insert/delete requests are **coalesced**: the writer drains
+  the queue, folds them into per-relation net contents, and applies the
+  whole batch through :meth:`Session.apply_batch` — one incremental-
+  maintenance pass (the PR-3 delta path) and one atomic snapshot publish
+  for the entire burst. Every enqueued operation gets a
+  :class:`~concurrent.futures.Future` resolved when its batch commits.
+
+Consistency model: writes are serialized and applied in submission order;
+a read observes the latest snapshot *published when the read executes*.
+For read-your-writes, wait on the write's future (or :meth:`flush`) before
+submitting the read.
+
+Quickstart::
+
+    import repro
+
+    session = repro.connect(threads=4)
+    session.load("def Path(x, y) : E(x, y)")
+    server = session.server
+    server.insert("E", [(1, 2)]).result()     # write barrier
+    future = server.submit("Path[1]")         # concurrent snapshot read
+    print(future.result())                    # {(2,)}
+    session.close()
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.lang import ast, parse_expression
+from repro.model.relation import Relation
+
+
+class ServerClosedError(RuntimeError):
+    """Raised when submitting to a server that has been shut down."""
+
+
+class _WriteOp:
+    """One queued write: an op kind, its arguments, and the caller's future."""
+
+    __slots__ = ("kind", "name", "payload", "future")
+
+    def __init__(self, kind: str, name: Optional[str], payload: Any) -> None:
+        self.kind = kind
+        self.name = name
+        self.payload = payload
+        self.future: Future = Future()
+
+
+_CLOSE = object()
+
+
+class QueryServer:
+    """A thread-pool front end over one :class:`~repro.api.Session`."""
+
+    def __init__(self, session, threads: int = 4,
+                 name: str = "repro-server") -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.session = session
+        self.threads = threads
+        self._closed = False
+        self._readers = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix=f"{name}-read")
+        self._writes: "queue.SimpleQueue[Any]" = queue.SimpleQueue()
+        # Guards the closed-flag/enqueue pair: once close() has queued the
+        # _CLOSE sentinel, no write op can slip in behind it (an op that
+        # lost that race would never resolve its future).
+        self._write_gate = threading.Lock()
+        self._prepared: Dict[str, ast.Node] = {}
+        self._prepared_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats = {"queries": 0, "write_ops": 0, "write_batches": 0,
+                       "coalesced_ops": 0}
+        self._writer = threading.Thread(
+            target=self._write_loop, name=f"{name}-write", daemon=True)
+        self._writer.start()
+
+    # -- reads -------------------------------------------------------------
+
+    #: Cap for the per-source parse cache (evicts oldest half on overflow,
+    #: like every other long-lived cache in the engine).
+    PREPARED_LIMIT = 1024
+
+    def _node(self, source: str) -> ast.Node:
+        node = self._prepared.get(source)
+        if node is None:
+            parsed = parse_expression(source)
+            with self._prepared_lock:
+                if len(self._prepared) >= self.PREPARED_LIMIT:
+                    for old_key in list(self._prepared)[
+                            : self.PREPARED_LIMIT // 2]:
+                        self._prepared.pop(old_key, None)
+                node = self._prepared.setdefault(source, parsed)
+        return node
+
+    def submit(self, query: str,
+               params: Optional[Mapping[str, Any]] = None,
+               on_result: Optional[Callable[[Relation], Any]] = None
+               ) -> Future:
+        """Evaluate ``query`` on the pool against the current snapshot.
+
+        ``params`` are per-call environment bindings (Relations, scalars,
+        or iterables of tuples) — they persist nowhere, so one prepared
+        query serves many concurrent parameterizations. ``on_result``, if
+        given, runs in the worker thread with the result before the future
+        resolves (the hook for response serialization / streaming the
+        result back to a client)."""
+        if self._closed:
+            raise ServerClosedError("submit on a closed QueryServer")
+        node = self._node(query)
+        frozen = dict(params) if params else None
+        try:
+            return self._readers.submit(self._read, node, frozen, on_result)
+        except RuntimeError as exc:
+            # Lost the race against close(): the pool refused the task.
+            raise ServerClosedError("submit on a closed QueryServer") from exc
+
+    def _read(self, node: ast.Node, params, on_result) -> Relation:
+        snapshot = self.session.snapshot()
+        result = snapshot.execute_node(node, params)
+        with self._stats_lock:
+            self._stats["queries"] += 1
+        if on_result is not None:
+            on_result(result)
+        return result
+
+    def execute(self, query: str,
+                params: Optional[Mapping[str, Any]] = None) -> Relation:
+        """Synchronous :meth:`submit`."""
+        return self.submit(query, params).result()
+
+    # -- writes ------------------------------------------------------------
+
+    def _enqueue(self, op: _WriteOp) -> Future:
+        with self._write_gate:
+            if self._closed:
+                raise ServerClosedError("write on a closed QueryServer")
+            self._writes.put(op)
+        return op.future
+
+    def insert(self, name: str, tuples) -> Future:
+        """Queue an insert; resolves (with the session) after its batch
+        commits. Consecutive inserts/deletes coalesce into one
+        maintenance pass."""
+        return self._enqueue(_WriteOp("insert", name, Relation(tuples)))
+
+    def delete(self, name: str, tuples) -> Future:
+        """Queue a delete (same batching as :meth:`insert`)."""
+        return self._enqueue(_WriteOp("delete", name, Relation(tuples)))
+
+    def define(self, name: str, relation) -> Future:
+        """Queue a full base-relation replacement."""
+        return self._enqueue(_WriteOp("define", name, relation))
+
+    def load(self, source: str) -> Future:
+        """Queue Rel declarations (rules / integrity constraints)."""
+        return self._enqueue(_WriteOp("load", None, source))
+
+    def transact(self, source: str) -> Future:
+        """Queue a control-relation transaction; the future resolves with
+        its :class:`~repro.db.transaction.TransactionResult`."""
+        return self._enqueue(_WriteOp("transact", None, source))
+
+    def flush(self) -> None:
+        """Barrier: block until every write queued so far has committed."""
+        self._enqueue(_WriteOp("barrier", None, None)).result()
+
+    # -- the writer thread -------------------------------------------------
+
+    def _write_loop(self) -> None:
+        while True:
+            op = self._writes.get()
+            if op is _CLOSE:
+                return
+            batch = [op]
+            while True:
+                try:
+                    nxt = self._writes.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _CLOSE:
+                    self._apply(batch)
+                    return
+                batch.append(nxt)
+            self._apply(batch)
+
+    def _apply(self, batch) -> None:
+        """Apply one drained batch in submission order, coalescing runs of
+        insert/delete into single atomic :meth:`Session.apply_batch`
+        calls."""
+        with self._stats_lock:
+            self._stats["write_ops"] += len(batch)
+            self._stats["write_batches"] += 1
+        i = 0
+        while i < len(batch):
+            if batch[i].kind in ("insert", "delete"):
+                j = i
+                while j < len(batch) and batch[j].kind in ("insert", "delete"):
+                    j += 1
+                self._apply_deltas(batch[i:j])
+                i = j
+            else:
+                self._apply_one(batch[i])
+                i += 1
+
+    def _apply_deltas(self, group) -> None:
+        """Coalesce one run of insert/delete ops into per-name net contents
+        and commit them as a single batch (one maintenance pass, one
+        snapshot publish)."""
+        # Claim every future first: a cancelled op (pending Future) must be
+        # skipped — not applied — and completing it later would raise
+        # InvalidStateError out of the writer thread, killing the queue.
+        group = [op for op in group
+                 if op.future.set_running_or_notify_cancel()]
+        if not group:
+            return
+        session = self.session
+        with session._lock:
+            try:
+                # name → net contents; None = "still absent" (a delete on a
+                # missing relation must not create it, matching
+                # Session.delete's no-op semantics).
+                updates: Dict[str, Optional[Relation]] = {}
+                for op in group:
+                    if op.name in updates:
+                        current = updates[op.name]
+                    else:
+                        current = session.database[op.name] \
+                            if op.name in session.database else None
+                    if op.kind == "insert":
+                        updates[op.name] = (op.payload if current is None
+                                            else current.union(op.payload))
+                    elif current is not None:
+                        updates[op.name] = current.difference(op.payload)
+                    else:
+                        updates[op.name] = None
+                session.apply_batch({name: rel for name, rel in
+                                     updates.items() if rel is not None})
+            except BaseException as exc:
+                for op in group:
+                    op.future.set_exception(exc)
+                return
+        if len(group) > 1:
+            with self._stats_lock:
+                self._stats["coalesced_ops"] += len(group) - 1
+        for op in group:
+            op.future.set_result(None)
+
+    def _apply_one(self, op: _WriteOp) -> None:
+        if not op.future.set_running_or_notify_cancel():
+            return  # cancelled while queued: skip, don't apply
+        try:
+            if op.kind == "define":
+                result = None
+                self.session.define(op.name, op.payload)
+            elif op.kind == "load":
+                result = None
+                self.session.load(op.payload)
+            elif op.kind == "transact":
+                result = self.session.transact(op.payload)
+            elif op.kind == "barrier":
+                result = None
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown write op {op.kind!r}")
+        except BaseException as exc:
+            op.future.set_exception(exc)
+        else:
+            op.future.set_result(result)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; the session discards closed
+        servers and builds a fresh one on the next :meth:`Session.serve`."""
+        return self._closed
+
+    def statistics(self) -> Dict[str, int]:
+        """Server counters: queries served, write ops/batches, and how many
+        write ops were absorbed into an earlier batch ("coalesced_ops")."""
+        with self._stats_lock:
+            return dict(self._stats)
+
+    def close(self, wait: bool = True) -> None:
+        """Drain the write queue, stop the writer, shut the pool down.
+
+        Ordering is guaranteed by the write gate: every accepted write
+        precedes the close sentinel in the queue, so its future resolves
+        before the writer exits — no accepted op is ever dropped."""
+        with self._write_gate:
+            if self._closed:
+                return
+            self._closed = True
+            self._writes.put(_CLOSE)
+        if wait:
+            self._writer.join()
+        self._readers.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"QueryServer({self.threads} threads, {state})"

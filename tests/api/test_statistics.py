@@ -1,0 +1,127 @@
+"""Statistics API error paths: fresh sessions, invalidation, snapshots.
+
+The explain counters (``plan_statistics`` / ``maintenance_statistics`` /
+``join_statistics`` / ``evaluation_counts``) must be safe to poll at any
+lifecycle point: before anything has been evaluated (no evaluation state
+exists — and polling must not create one), right after a full
+invalidation (the state was discarded), and from a snapshot (a read-only
+view gets its own zeroed counters and never creates or bumps counters in
+the parent session).
+"""
+
+import pytest
+
+from repro import Relation, connect
+
+
+def _all_stats(obj):
+    return (obj.plan_statistics(), obj.join_statistics(),
+            obj.maintenance_statistics(), obj.evaluation_counts())
+
+
+class TestFreshSession:
+    def test_all_statistics_empty_before_any_evaluation(self):
+        session = connect()
+        assert _all_stats(session) == ({}, {}, {}, {})
+
+    def test_polling_statistics_does_not_create_state(self):
+        """The counters are observability hooks: reading them must not
+        allocate an evaluation state (or anything else)."""
+        session = connect()
+        _all_stats(session)
+        assert session.program._state is None
+        assert session.program._ctx is None
+
+    def test_statistics_is_base_relation_counts_only(self):
+        session = connect()
+        assert session.statistics() == {}
+        session.define("E", [(1, 2)])
+        assert session.statistics() == {"E": 1}
+        assert session.program._state is None
+
+
+class TestAfterInvalidation:
+    def _invalidated_session(self):
+        """Evaluate, then force the full-reset path: first definition of a
+        name that existing rules already reference discards the state."""
+        session = connect()
+        session.define("P", [(1,), (2,)])
+        session.load("def Q(x) : P(x) and Ghost(x)\n"
+                     "def R(x) : P(x)")
+        session.execute("R")
+        assert session.evaluation_counts()  # state exists and counted
+        session.insert("Ghost", [(1,)])     # full invalidation
+        return session
+
+    def test_counters_reset_to_empty_after_full_invalidation(self):
+        session = self._invalidated_session()
+        assert session.program._state is None
+        assert _all_stats(session) == ({}, {}, {}, {})
+
+    def test_counters_repopulate_after_reevaluation(self):
+        session = self._invalidated_session()
+        assert session.execute("Q") == Relation([(1,)])
+        assert session.evaluation_counts().get("Q", 0) >= 1
+
+
+class TestFromSnapshot:
+    RULES = """
+        def Path(x, y) : E(x, y)
+        def Path(x, y) : exists((z) | E(x, z) and Path(z, y))
+    """
+
+    def _session(self):
+        session = connect(load_stdlib=False)
+        session.define("E", [(1, 2), (2, 3)])
+        session.load(self.RULES)
+        return session
+
+    def test_snapshot_statistics_start_at_zero(self):
+        session = self._session()
+        session.relation("Path")  # parent counters move
+        snapshot = session.snapshot()
+        assert snapshot.plan_statistics() == {}
+        assert snapshot.join_statistics() == {}
+        assert snapshot.maintenance_statistics() == {}
+        assert snapshot.evaluation_counts() == {}
+
+    def test_snapshot_reads_never_touch_parent_counters(self):
+        session = self._session()
+        session.relation("Path")
+        before = _all_stats(session)
+        snapshot = session.snapshot()
+        snapshot.execute("Path[1]")
+        snapshot.execute("Path")
+        snapshot.relation("E")
+        _all_stats(snapshot)
+        assert _all_stats(session) == before
+
+    def test_snapshot_counts_its_own_evaluations(self):
+        session = self._session()
+        snapshot = session.snapshot()  # cold: nothing materialized yet
+        snapshot.execute("Path[1]")
+        assert snapshot.evaluation_counts().get("Path", 0) >= 1
+
+    def test_warm_snapshot_evaluates_nothing(self):
+        """A snapshot published after the parent materialized captures the
+        warm extents: its queries are pure lookups, zero rule
+        evaluations."""
+        session = self._session()
+        session.relation("Path")       # warm the parent
+        session.insert("E", [(3, 4)])  # publish a post-warm snapshot
+        warm = session.snapshot()
+        assert warm.execute("Path[1]") == Relation([(2,), (3,), (4,)])
+        assert warm.evaluation_counts() == {}
+
+    def test_snapshot_statistics_reflect_capture_not_live_state(self):
+        session = self._session()
+        snapshot = session.snapshot()
+        session.insert("E", [(3, 4)])
+        assert snapshot.statistics() == {"E": 2}
+        assert session.statistics() == {"E": 3}
+
+    def test_invalid_modes_still_rejected_on_connect(self):
+        with pytest.raises(ValueError):
+            connect(join_strategy="bogus")
+        with pytest.raises(ValueError):
+            connect(maintenance="bogus")

@@ -1,6 +1,14 @@
 """Shared fixtures: the paper's Figure 1 database and small graphs."""
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Make the shared test-support package (tests/support) importable from every
+# test module regardless of pytest's rootdir/import mode:
+#     from support.generators import random_program
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro import RelProgram, Relation
 from repro.db import Database

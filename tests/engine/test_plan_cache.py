@@ -15,37 +15,19 @@ import random
 
 import pytest
 
+from support.generators import (SCRIPT_BASE, SCRIPT_DERIVED, SCRIPT_QUERIES,
+                                SCRIPT_RULES, random_update_op)
+
 from repro import RelProgram, Relation, connect
 from repro.engine.program import EngineOptions
 
-RULES = """
-    def Path(x, y) : E(x, y)
-    def Path(x, y) : exists((z) | E(x, z) and Path(z, y))
-    def Reach(x) : S(x)
-    def Reach(y) : exists((x) | Reach(x) and E(x, y))
-    def Lonely(x) : V(x) and not Path(x, x)
-    def NEdges(n) : n = count[E]
-    def Big(x) : V(x) and x > 5
-    def Both(x, y) : E(x, y) and Path(y, x)
-    def Tri(x, y, z) : E(x, y) and E(y, z) and E(x, z)
-"""
-
-DERIVED = ["Path", "Reach", "Lonely", "NEdges", "Big", "Both", "Tri"]
-
-BASE = {
-    "E": [(1, 2), (2, 3), (3, 1), (3, 4)],
-    "S": [(1,)],
-    "V": [(i,) for i in range(1, 8)],
-}
-
-QUERIES = [
-    "Path[1]",
-    "Reach",
-    "count[Path]",
-    "TC[E]",
-    "Tri",
-    "exists((x) | Lonely(x))",
-]
+# The rule catalog, base data, update distribution, and query pool are the
+# shared generators of tests/support/generators.py — the same ones driving
+# the maintenance agreement scripts and the concurrency stress harness.
+RULES = SCRIPT_RULES
+DERIVED = SCRIPT_DERIVED
+BASE = SCRIPT_BASE
+QUERIES = SCRIPT_QUERIES
 
 
 def make_session(plan_cache, maintenance="auto"):
@@ -73,20 +55,10 @@ class TestRandomizedAgreement:
         interpreted = make_session(False)
         assert extents(compiled) == extents(interpreted)
         for _ in range(10):
-            op = rng.random()
-            if op < 0.35:
-                name = rng.choice(["E", "S", "V"])
-                arity = 2 if name == "E" else 1
-                tuples = [tuple(rng.randint(1, 9) for _ in range(arity))
-                          for _ in range(rng.randint(1, 3))]
-                compiled.insert(name, tuples)
-                interpreted.insert(name, tuples)
-            elif op < 0.55:
-                name = rng.choice(["E", "V"])
-                arity = 2 if name == "E" else 1
-                tuples = [tuple(rng.randint(1, 9) for _ in range(arity))]
-                compiled.delete(name, tuples)
-                interpreted.delete(name, tuples)
+            if rng.random() < 0.55:
+                kind, name, tuples = random_update_op(rng)
+                getattr(compiled, kind)(name, tuples)
+                getattr(interpreted, kind)(name, tuples)
             else:
                 query = rng.choice(QUERIES)
                 assert compiled.execute(query) == interpreted.execute(query), \

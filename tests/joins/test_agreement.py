@@ -1,10 +1,12 @@
 """Randomized agreement suite: leapfrog ≡ binary ≡ nested-loop.
 
-Generates conjunctive queries with every shape the planner must accept —
+The shared generator (``tests/support/generators.random_join_query``)
+produces conjunctive queries with every shape the planner must accept —
 repeated variables within an atom, permuted column orders, empty atoms,
-mixed bool/int/float/str keys, zero-variable filter atoms — and asserts all
-three strategies return identical results (up to value-semantics equality:
-``1`` and ``1.0`` are the same value, ``True`` is not).
+mixed bool/int/float/str keys, zero-variable filter atoms — and this suite
+asserts all three strategies return identical results (up to
+value-semantics equality: ``1`` and ``1.0`` are the same value, ``True``
+is not).
 
 Engine-level agreement (WCOJ-routed conjunctions vs. the per-conjunct
 fallback scheduler) lives in ``tests/engine/test_wcoj_integration.py``.
@@ -14,50 +16,15 @@ import random
 
 import pytest
 
+from support.generators import JOIN_VALUES, canon, random_join_query
+
 from repro.joins import Atom, multiway_join
-from repro.model.values import sort_key
-
-#: Value pool mixing sorts that collide under raw Python equality.
-VALUES = [0, 1, 2, 3, True, False, 1.0, 2.0, 2.5, "a", "b", 0.0]
-
-VAR_NAMES = "wxyz"
-
-
-def random_query(rng: random.Random):
-    """One random conjunctive query: (atoms, output)."""
-    n_vars = rng.randint(1, 4)
-    variables = list(VAR_NAMES[:n_vars])
-    n_atoms = rng.randint(1, 4)
-    atoms = []
-    used = set()
-    for _ in range(n_atoms):
-        arity = rng.randint(1, 3)
-        # Sampling with replacement yields repeated variables; random
-        # choice order yields permuted column orders across atoms.
-        cols = tuple(rng.choice(variables) for _ in range(arity))
-        used.update(cols)
-        n_rows = rng.choice([0, 1, rng.randint(2, 12), rng.randint(2, 12)])
-        rows = [tuple(rng.choice(VALUES) for _ in range(arity))
-                for _ in range(n_rows)]
-        atoms.append(Atom.of(rows, cols))
-    if rng.random() < 0.2:
-        atoms.append(Atom.of([()] if rng.random() < 0.7 else [], ()))
-    output_pool = sorted(used)
-    rng.shuffle(output_pool)
-    output = tuple(output_pool[: rng.randint(0, len(output_pool))]) \
-        if output_pool else ()
-    return atoms, output
-
-
-def canon(rows):
-    """Canonical form for comparison: sets of sort_key tuples."""
-    return {tuple(sort_key(v) for v in row) for row in rows}
 
 
 @pytest.mark.parametrize("seed", range(60))
 def test_strategies_agree_on_random_queries(seed):
     rng = random.Random(seed)
-    atoms, output = random_query(rng)
+    atoms, output = random_join_query(rng)
     results = {
         strategy: multiway_join(atoms, output, strategy)
         for strategy in ("leapfrog", "binary", "nested")
@@ -75,7 +42,7 @@ def test_strategies_agree_on_random_queries(seed):
 @pytest.mark.parametrize("seed", range(20))
 def test_auto_agrees_with_reference(seed):
     rng = random.Random(1000 + seed)
-    atoms, output = random_query(rng)
+    atoms, output = random_join_query(rng)
     assert canon(multiway_join(atoms, output, "auto")) == \
         canon(multiway_join(atoms, output, "nested"))
 
@@ -83,7 +50,8 @@ def test_auto_agrees_with_reference(seed):
 @pytest.mark.parametrize("seed", range(10))
 def test_triangle_agreement_with_mixed_values(seed):
     rng = random.Random(seed)
-    edges = [(rng.choice(VALUES), rng.choice(VALUES)) for _ in range(30)]
+    edges = [(rng.choice(JOIN_VALUES), rng.choice(JOIN_VALUES))
+             for _ in range(30)]
     atoms = [Atom.of(edges, ("a", "b")), Atom.of(edges, ("b", "c")),
              Atom.of(edges, ("a", "c"))]
     out = ("a", "b", "c")

@@ -1,0 +1,5 @@
+"""Shared test-support code: seeded random generators and oracles.
+
+Imported by test modules as ``from support.generators import ...`` — the
+root ``tests/conftest.py`` puts this directory on ``sys.path``.
+"""

@@ -1,0 +1,278 @@
+"""Seeded random generators shared across the agreement/fuzz suites.
+
+Three generator families live here, so every suite draws from the same
+distributions instead of maintaining ad-hoc copies:
+
+- :func:`random_join_query` — planner-level conjunctive queries (repeated
+  variables, permuted column orders, empty atoms, mixed value sorts), the
+  generator behind ``tests/joins/test_agreement.py``;
+- :func:`random_update_op` — insert/delete script steps over a fixed rule
+  catalog (:data:`SCRIPT_RULES`), driving the maintenance and plan-cache
+  agreement scripts and the concurrency stress harness;
+- :func:`random_program` — whole random Rel programs (conjunction,
+  projection, filters, negation, union, recursion, aggregation over small
+  domains) with a matching :func:`reference_extents` oracle: a naive
+  stratified fixpoint over :class:`repro.engine.reference.ReferenceEvaluator`,
+  the literal Figure 3–4 semantics.
+
+Every function takes an explicit ``random.Random`` so callers control the
+seed and the suites stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.joins import Atom
+from repro.model.relation import EMPTY, Relation
+from repro.model.values import sort_key
+
+# ---------------------------------------------------------------------------
+# Planner-level conjunctive queries (joins agreement suite)
+# ---------------------------------------------------------------------------
+
+#: Value pool mixing sorts that collide under raw Python equality.
+JOIN_VALUES = [0, 1, 2, 3, True, False, 1.0, 2.0, 2.5, "a", "b", 0.0]
+
+_VAR_NAMES = "wxyz"
+
+
+def random_join_query(rng: random.Random):
+    """One random conjunctive query: ``(atoms, output)``."""
+    n_vars = rng.randint(1, 4)
+    variables = list(_VAR_NAMES[:n_vars])
+    n_atoms = rng.randint(1, 4)
+    atoms = []
+    used = set()
+    for _ in range(n_atoms):
+        arity = rng.randint(1, 3)
+        # Sampling with replacement yields repeated variables; random
+        # choice order yields permuted column orders across atoms.
+        cols = tuple(rng.choice(variables) for _ in range(arity))
+        used.update(cols)
+        n_rows = rng.choice([0, 1, rng.randint(2, 12), rng.randint(2, 12)])
+        rows = [tuple(rng.choice(JOIN_VALUES) for _ in range(arity))
+                for _ in range(n_rows)]
+        atoms.append(Atom.of(rows, cols))
+    if rng.random() < 0.2:
+        atoms.append(Atom.of([()] if rng.random() < 0.7 else [], ()))
+    output_pool = sorted(used)
+    rng.shuffle(output_pool)
+    output = tuple(output_pool[: rng.randint(0, len(output_pool))]) \
+        if output_pool else ()
+    return atoms, output
+
+
+def canon(rows):
+    """Canonical form for comparison: sets of sort_key tuples."""
+    return {tuple(sort_key(v) for v in row) for row in rows}
+
+
+# ---------------------------------------------------------------------------
+# Update scripts over a fixed rule catalog (maintenance / plan cache / stress)
+# ---------------------------------------------------------------------------
+
+#: The shared script catalog: recursion, negation (direct and through a
+#: second-order stdlib call), aggregation, comparisons, and a mixed join.
+SCRIPT_RULES = """
+    def Path(x, y) : E(x, y)
+    def Path(x, y) : exists((z) | E(x, z) and Path(z, y))
+    def Reach(x) : S(x)
+    def Reach(y) : exists((x) | Reach(x) and E(x, y))
+    def Lonely(x) : V(x) and not Path(x, x)
+    def NEdges(n) : n = count[E]
+    def Big(x) : V(x) and x > 5
+    def Both(x, y) : E(x, y) and Path(y, x)
+    def Tri(x, y, z) : E(x, y) and E(y, z) and E(x, z)
+"""
+
+SCRIPT_DERIVED = ["Path", "Reach", "Lonely", "NEdges", "Big", "Both", "Tri"]
+
+SCRIPT_BASE = {
+    "E": [(1, 2), (2, 3), (3, 1), (3, 4)],
+    "S": [(1,)],
+    "V": [(i,) for i in range(1, 8)],
+}
+
+#: Arity per script base relation (what update generators need to know).
+SCRIPT_ARITIES = {"E": 2, "S": 1, "V": 1}
+
+SCRIPT_QUERIES = [
+    "Path[1]",
+    "Reach",
+    "count[Path]",
+    "TC[E]",
+    "Tri",
+    "exists((x) | Lonely(x))",
+]
+
+
+def random_update_op(rng: random.Random,
+                     arities: Mapping[str, int] = SCRIPT_ARITIES,
+                     max_tuples: int = 3,
+                     domain: Tuple[int, int] = (1, 9)):
+    """One random script step: ``("insert" | "delete", name, tuples)``."""
+    name = rng.choice(sorted(arities))
+    arity = arities[name]
+    tuples = [tuple(rng.randint(*domain) for _ in range(arity))
+              for _ in range(rng.randint(1, max_tuples))]
+    kind = "insert" if rng.random() < 0.5 else "delete"
+    return kind, name, tuples
+
+
+# ---------------------------------------------------------------------------
+# Whole random programs + the reference-semantics oracle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GeneratedProgram:
+    """A random Rel program with everything the differential suites need."""
+
+    #: Base relations (name → Relation over a small integer domain).
+    base: Dict[str, Relation]
+    #: ``(name, head variables, body source)`` triples, in definition order.
+    rules: List[Tuple[str, Tuple[str, ...], str]]
+    #: Derived names in definition order (each refers only to base names,
+    #: earlier derived names, and — positively — itself).
+    derived: List[str]
+    #: Queries to compare across engines (full extents and point lookups).
+    queries: List[str] = field(default_factory=list)
+    #: True when the program needs the stdlib (aggregation, TC[...]).
+    uses_stdlib: bool = False
+    #: True when every construct is expressible in engine/reference.py.
+    reference_ok: bool = True
+
+    @property
+    def source(self) -> str:
+        return "\n".join(
+            f"def {name}({', '.join(head)}) : {body}"
+            for name, head, body in self.rules
+        )
+
+
+def _random_base(rng: random.Random, domain: List[int]) -> Dict[str, Relation]:
+    def unary():
+        return Relation([(rng.choice(domain),)
+                         for _ in range(rng.randint(0, 4))])
+
+    def binary():
+        return Relation([(rng.choice(domain), rng.choice(domain))
+                         for _ in range(rng.randint(0, 8))])
+
+    return {"U": unary(), "V": unary(), "E": binary(), "F": binary()}
+
+
+def random_program(rng: random.Random, *,
+                   allow_stdlib: bool = True) -> GeneratedProgram:
+    """One random program: 2–4 derived names over 4 small base relations.
+
+    Construction is stratified by design: each rule references base names,
+    previously defined derived names, and (for the recursion template) the
+    name being defined — only in positive, unrestricted positions. That
+    makes the naive reference fixpoint of :func:`reference_extents`
+    well-defined and equal to the engine's stratified semantics.
+    """
+    domain = list(range(4))
+    base = _random_base(rng, domain)
+    unary_pool = ["U", "V"]
+    binary_pool = ["E", "F"]
+    rules: List[Tuple[str, Tuple[str, ...], str]] = []
+    derived: List[str] = []
+    uses_stdlib = False
+
+    for i in range(rng.randint(2, 4)):
+        name = f"D{i}"
+        roll = rng.random()
+        if allow_stdlib and roll < 0.12:
+            # Aggregation over any prior relation (stdlib count).
+            rel = rng.choice(unary_pool + binary_pool)
+            rules.append((name, ("n",), f"n = count[{rel}]"))
+            uses_stdlib = True
+            arity = 1
+        elif roll < 0.32:
+            # Join with projection through an explicit exists.
+            r, s = rng.choice(binary_pool), rng.choice(binary_pool)
+            rules.append((name, ("x", "y"),
+                          f"exists((z) | {r}(x, z) and {s}(z, y))"))
+            arity = 2
+        elif roll < 0.47:
+            # Existential projection of a binary relation.
+            r = rng.choice(binary_pool)
+            side = "x, y" if rng.random() < 0.5 else "y, x"
+            rules.append((name, ("x",), f"exists((y) | {r}({side}))"))
+            arity = 1
+        elif roll < 0.60:
+            # Comparison filter over a unary relation.
+            u = rng.choice(unary_pool)
+            op = rng.choice([">", "<", ">=", "<=", "!=", "="])
+            rules.append((name, ("x",), f"{u}(x) and x {op} {rng.choice(domain)}"))
+            arity = 1
+        elif roll < 0.75:
+            # Stratified negation between unary relations.
+            u, v = rng.choice(unary_pool), rng.choice(unary_pool)
+            rules.append((name, ("x",), f"{u}(x) and not {v}(x)"))
+            arity = 1
+        elif roll < 0.90:
+            # Positive recursion: transitive closure of a binary relation.
+            r = rng.choice(binary_pool)
+            rules.append((name, ("x", "y"), f"{r}(x, y)"))
+            rules.append((name, ("x", "y"),
+                          f"exists((z) | {r}(x, z) and {name}(z, y))"))
+            arity = 2
+        else:
+            # Union of two independent derivations.
+            r, s = rng.choice(binary_pool), rng.choice(binary_pool)
+            rules.append((name, ("x", "y"), f"{r}(x, y)"))
+            rules.append((name, ("x", "y"), f"{s}(y, x)"))
+            arity = 2
+        derived.append(name)
+        (unary_pool if arity == 1 else binary_pool).append(name)
+
+    queries = list(derived)
+    for name in derived:
+        if rng.random() < 0.5:
+            queries.append(f"{name}[{rng.choice(domain)}]")
+    if allow_stdlib and rng.random() < 0.25:
+        queries.append(f"TC[{rng.choice(['E', 'F'])}]")
+        uses_stdlib = True
+    return GeneratedProgram(
+        base=base,
+        rules=rules,
+        derived=derived,
+        queries=queries,
+        uses_stdlib=uses_stdlib,
+        reference_ok=not uses_stdlib,
+    )
+
+
+def reference_extents(program: GeneratedProgram) -> Dict[str, Relation]:
+    """Evaluate a generated program with the reference evaluator: each
+    derived name, in definition order, as a naive fixpoint of the union of
+    its rules' abstraction literals (the Figure 3–4 equations applied
+    verbatim). Exponential — only for the tiny generated domains."""
+    from repro.engine.reference import ReferenceEvaluator
+    from repro.lang import parse_expression
+
+    if not program.reference_ok:
+        raise ValueError("program uses stdlib features the reference "
+                         "evaluator does not model")
+    env: Dict[str, Relation] = dict(program.base)
+    for name in program.derived:
+        own = [(head, body) for n, head, body in program.rules if n == name]
+        extent = EMPTY
+        while True:
+            scoped = dict(env)
+            scoped[name] = extent
+            evaluator = ReferenceEvaluator(scoped)
+            new = EMPTY
+            for head, body in own:
+                expr = "{(" + ", ".join(head) + ") : " + body + "}"
+                new = new.union(evaluator.evaluate(parse_expression(expr)))
+            if new == extent:
+                break
+            extent = new
+        env[name] = extent
+    return {name: env[name] for name in program.derived}
