@@ -1,4 +1,4 @@
-"""Record the gated benchmark timings to BENCH_pr5.json.
+"""Record the gated benchmark timings to BENCH_pr6.json.
 
 The perf trajectory: each PR that claims a gated speedup appends a
 machine-readable snapshot (started at PR 4, extended per PR since) so
@@ -25,7 +25,11 @@ gate. Gates recorded:
   a prepared-query serving workload with per-request response latency
   (floor 2x; the ungated pure-CPU ratio rides along as ``extra`` — see
   benchmarks/bench_concurrency.py for what the gate does and does not
-  claim on a single-CPU GIL box).
+  claim on a single-CPU GIL box);
+- ``bulk_ingest``               — PR 6: one-record bulk load vs. per-op
+  inserts for the same rows (floor 5x);
+- ``checkpoint_reopen``         — PR 6: recovery from a snapshot
+  checkpoint vs. replaying the equivalent WAL tail (floor 10x).
 """
 
 import json
@@ -133,19 +137,55 @@ def concurrency_gate():
                  "pure_cpu_ratio": round(cpu_4 / cpu_1, 2)})
 
 
+def storage_gates():
+    import tempfile
+
+    from bench_storage import (N_ROWS, REPLAY_RECORDS, build_checkpointed_dir,
+                               build_wal_only_dir, bulk_session,
+                               per_op_session, timed as best_of)
+    from repro.storage.recovery import recover_state
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        t_slow, slow = timed(lambda: per_op_session(root / "perop"))
+        t_fast, fast = timed(lambda: bulk_session(root / "bulk"))
+        assert slow.relation("E") == fast.relation("E")
+        ingest = gate("bulk_ingest", t_slow, t_fast, 5.0,
+                      {"rows": N_ROWS,
+                       "wal_appends_per_op":
+                           slow.storage_statistics()["wal_appends"],
+                       "wal_appends_bulk":
+                           fast.storage_statistics()["wal_appends"]})
+        slow.close()
+        fast.close()
+
+        build_wal_only_dir(root / "walonly")
+        build_checkpointed_dir(root / "ckpt")
+        recover_state(root / "ckpt")  # warm imports/caches off the clock
+        t_replay, a = best_of(recover_state, root / "walonly", repeat=3)
+        t_ckpt, b = best_of(recover_state, root / "ckpt", repeat=3)
+        assert a.base == b.base
+        reopen = gate("checkpoint_reopen", t_replay, t_ckpt, 10.0,
+                      {"replayed_records": a.replayed_records,
+                       "wal_records_after_checkpoint": b.replayed_records,
+                       "records": REPLAY_RECORDS})
+    return [ingest, reopen]
+
+
 def main() -> int:
     sys.path.insert(0, str(Path(__file__).parent))
     gates = [plan_reuse_gate(), wcoj_gate()]
     gates.extend(incremental_gates())
     gates.append(session_gate())
     gates.append(concurrency_gate())
+    gates.extend(storage_gates())
     snapshot = {
-        "pr": 5,
+        "pr": 6,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "gates": gates,
     }
-    out = Path(__file__).parent.parent / "BENCH_pr5.json"
+    out = Path(__file__).parent.parent / "BENCH_pr6.json"
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     failed = [g["name"] for g in gates if not g["passed"]]
     print(json.dumps(snapshot, indent=2))

@@ -41,13 +41,15 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+from pathlib import Path
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Tuple,
+                    Union)
 
 from repro.db.database import Database
 from repro.db.transaction import Transaction, TransactionResult
 from repro.engine.program import EngineOptions, RelProgram
 from repro.lang import ast, parse_expression
-from repro.model.relation import Relation
+from repro.model.relation import EMPTY, Relation
 
 RelationLike = Union[Relation, Iterable[Tuple[Any, ...]]]
 
@@ -272,7 +274,10 @@ class Session:
                  options: Optional[EngineOptions] = None,
                  join_strategy: Optional[str] = None,
                  maintenance: Optional[str] = None,
-                 threads: Optional[int] = None) -> None:
+                 threads: Optional[int] = None,
+                 path: Optional[Union[str, Path]] = None,
+                 fsync: str = "batch",
+                 checkpoint_every: Optional[int] = 256) -> None:
         # Concurrency model: one re-entrant lock serializes every state
         # mutation (and direct session reads, which share the live
         # evaluation state); concurrent readers go through snapshot(),
@@ -284,10 +289,34 @@ class Session:
         self._eager_publish = False
         self._server = None
         self._server_threads = int(threads) if threads else 0
+        # Source texts in load order: with storage attached this is the
+        # checkpointable half of the logical state (the other half is the
+        # base extents) and the dedup key that makes
+        # connect(path=..., schema=...) idempotent across reopens.
+        self._sources: List[str] = []
+        self._storage = None
+        recovered = None
+        if path is not None:
+            from repro.storage import StorageManager
+
+            # Recovery happens here: latest valid checkpoint + WAL-tail
+            # replay, torn final record repaired. Raises WALCorruptionError
+            # on mid-log damage rather than open a state that silently
+            # lost committed writes.
+            self._storage = StorageManager(path, fsync=fsync,
+                                           checkpoint_every=checkpoint_every)
+            recovered = self._storage.recovered
         if isinstance(database, Database):
             self.database = database
         else:
             self.database = Database(database or {}, enforce_gnf=enforce_gnf)
+        if recovered is not None:
+            # Install the recovered base *before* the program exists: a
+            # bulk install at construction time costs nothing, while
+            # define() per name on a live program would pay one dependency
+            # invalidation each.
+            for name, rel in recovered.base.items():
+                self.database.install(name, rel)
         self._load_stdlib = load_stdlib
         # The session owns a private copy of its options: a caller-supplied
         # object may be shared with other sessions/programs and must not be
@@ -304,6 +333,14 @@ class Session:
             load_stdlib=load_stdlib,
             options=options,
         )
+        if recovered is not None:
+            # Replay recovered sources directly: they are already durable
+            # (in the checkpoint or the WAL), so no logging and no version
+            # bumps — a reopened session starts at version 0 like a fresh
+            # one, with its committed state as the baseline.
+            for src in recovered.sources:
+                self.program.add_source(src)
+                self._sources.append(src)
         if schema:
             self.load(schema)
         if source:
@@ -314,23 +351,37 @@ class Session:
     def load(self, source: str) -> "Session":
         """Add Rel declarations (``def`` rules and ``ic`` constraints).
 
-        Only the strata depending on the (re)defined names are dirtied."""
+        Only the strata depending on the (re)defined names are dirtied.
+        On a durable session, a source text already loaded (this session
+        or a recovered one) is skipped — that is what lets callers pass
+        the same ``schema=`` to every ``connect(path=...)`` without
+        duplicating rules on each reopen."""
         with self._lock:
+            self._check_storage()
+            if self._storage is not None and source in self._sources:
+                return self
             self.program.add_source(source)
+            self._sources.append(source)
+            if self._storage is not None:
+                self._storage.log_load(source)
             self._mutated()
+            self._maybe_checkpoint()
         return self
 
     def define(self, name: str, relation: RelationLike) -> "Session":
         """Install or replace a base relation (GNF-checked if enforced)."""
         rel = _as_relation(relation)
         with self._lock:
+            self._check_storage()
             old = self.database[name] if name in self.database else None
             self.database.install(name, rel)
             self.program.define(name, rel)
             # A value-unchanged define is a no-op like insert/delete: no
-            # version bump, no snapshot republish.
+            # version bump, no snapshot republish, no WAL record.
             if old is None or not (old is rel or old == rel):
+                self._log_changed({name: (old, rel)})
                 self._mutated()
+                self._maybe_checkpoint()
         return self
 
     def insert(self, name: str, tuples: RelationLike) -> "Session":
@@ -342,10 +393,13 @@ class Session:
         fully-duplicate delta is a true no-op: nothing is re-evaluated."""
         delta = _as_relation(tuples)
         with self._lock:
+            self._check_storage()
             if name not in self.database:
                 self.database.install(name, delta)
                 self.program.define(name, delta)
+                self._log_changed({name: (None, delta)})
                 self._mutated()
+                self._maybe_checkpoint()
                 return self
             old = self.database[name]
             new = old.union(delta)
@@ -353,7 +407,9 @@ class Session:
                 return self
             self.database.install(name, new)
             self.program.define(name, new)
+            self._log_changed({name: (old, new)})
             self._mutated()
+            self._maybe_checkpoint()
         return self
 
     def delete(self, name: str, tuples: RelationLike) -> "Session":
@@ -362,6 +418,7 @@ class Session:
         missing relation, or a delta that hits nothing, is a true no-op."""
         delta = _as_relation(tuples)
         with self._lock:
+            self._check_storage()
             if name not in self.database:
                 return self
             old = self.database[name]
@@ -370,7 +427,9 @@ class Session:
                 return self
             self.database.install(name, new)
             self.program.define(name, new)
+            self._log_changed({name: (old, new)})
             self._mutated()
+            self._maybe_checkpoint()
         return self
 
     def apply_batch(
@@ -396,6 +455,7 @@ class Session:
             for name, new in converted.items():
                 check_gnf(name, new)
         with self._lock:
+            self._check_storage()
             changed: Dict[str, Tuple[Optional[Relation], Relation]] = {}
             for name, new in converted.items():
                 old = self.database[name] if name in self.database else None
@@ -405,7 +465,12 @@ class Session:
                 changed[name] = (old, new)
             if changed:
                 self.program.apply_updates(changed)
+                # One WAL record per committed batch: a server write burst
+                # that coalesced into this call is one log append, exactly
+                # mirroring the one maintenance pass and one publish.
+                self._log_changed(changed)
                 self._mutated()
+                self._maybe_checkpoint()
             return changed
 
     # -- execution ---------------------------------------------------------
@@ -512,17 +577,143 @@ class Session:
         return self.serve()
 
     def close(self) -> None:
-        """Shut down the attached query server, if one was started."""
+        """Shut down the attached query server (draining its write queue —
+        pending batches still reach the WAL), then seal durable storage.
+        After close, reads keep working; mutations on a durable session
+        raise :class:`~repro.storage.StorageClosedError`."""
         with self._lock:
             server, self._server = self._server, None
         if server is not None:
             server.close()
+        with self._lock:
+            if self._storage is not None:
+                self._storage.close()
 
     def __enter__(self) -> "Session":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- durable storage ---------------------------------------------------
+
+    def _check_storage(self) -> None:
+        """Refuse mutations once durable storage is sealed — called before
+        any state is touched, so a closed session never diverges from its
+        log."""
+        if self._storage is not None and self._storage.closed:
+            from repro.storage import StorageClosedError
+
+            raise StorageClosedError(
+                "session storage is closed; reopen with connect(path=...)"
+            )
+
+    def _log_changed(
+        self, changed: Mapping[str, Tuple[Optional[Relation], Relation]],
+    ) -> None:
+        """Append one WAL batch record for applied ``name → (old, new)``
+        deltas (caller holds the lock; called after the GNF gate and
+        before the snapshot publish)."""
+        if self._storage is None or not changed:
+            return
+        updates = {}
+        for name, (old, new) in changed.items():
+            prev = old if old is not None else EMPTY
+            updates[name] = (new.difference(prev), prev.difference(new))
+        self._storage.log_batch(updates)
+
+    def _maybe_checkpoint(self) -> None:
+        """Kick off a background checkpoint when the WAL has grown past
+        the ``checkpoint_every`` record threshold (caller holds the lock;
+        at most one checkpoint is in flight)."""
+        if self._storage is not None and self._storage.checkpoint_due:
+            self._storage.begin_checkpoint(self._sources,
+                                           self.program.durable_state())
+
+    def checkpoint(self) -> "Session":
+        """Write a snapshot checkpoint *now* and wait for it.
+
+        Afterwards the WAL tail is empty: reopening replays zero records
+        (the fast path :mod:`benchmarks.bench_storage` measures). No-op
+        guard: raises on a session without storage."""
+        with self._lock:
+            if self._storage is None:
+                raise ValueError(
+                    "checkpoint() requires a durable session — open one "
+                    "with connect(path=...)"
+                )
+            self._check_storage()
+            self._storage.begin_checkpoint(self._sources,
+                                           self.program.durable_state(),
+                                           wait=True)
+        return self
+
+    def sync(self) -> "Session":
+        """Durability barrier: every committed write is fsync'd (under the
+        ``"always"``/``"batch"`` policies) when this returns. A no-op on
+        non-durable sessions, so callers can sprinkle it unconditionally."""
+        with self._lock:
+            if self._storage is not None and not self._storage.closed:
+                self._storage.sync()
+        return self
+
+    def bulk_load(self, name: str, rows: Iterable, *,
+                  table_format: str = "log") -> int:
+        """Stream many rows into a base relation as *one* committed batch.
+
+        This is the high-throughput ingest path: however many rows arrive,
+        the cost is one relation union, one incremental-maintenance pass,
+        one snapshot publish, and (durable sessions) one WAL record —
+        versus one of each *per call* on the :meth:`insert` path.
+
+        ``table_format`` chooses where a durable session puts the rows:
+        ``"log"`` inlines them into the WAL record; ``"sqlite"`` stores
+        them as an immutable batch in ``tables.sqlite`` and logs only the
+        batch id (better for very large loads — recovery scans stay small).
+        Returns the number of rows that were actually new."""
+        if table_format not in ("log", "sqlite"):
+            raise ValueError(
+                f"unknown table_format {table_format!r}; "
+                "expected 'log' or 'sqlite'"
+            )
+        from repro.storage.bulkload import coerce_rows
+
+        coerced = coerce_rows(rows)
+        with self._lock:
+            self._check_storage()
+            if table_format == "sqlite" and self._storage is None:
+                raise ValueError(
+                    "table_format='sqlite' requires a durable session — "
+                    "open one with connect(path=...)"
+                )
+            old = self.database[name] if name in self.database else None
+            base = old if old is not None else EMPTY
+            new = base.union(Relation(coerced))
+            if new is base or len(new) == len(base):
+                return 0
+            if self.database.enforce_gnf:
+                # The GNF gate must precede the log append: a rejected
+                # load must leave no record for recovery to replay.
+                from repro.db.gnf import check_gnf
+
+                check_gnf(name, new)
+            if self._storage is not None:
+                self._storage.log_bulk(
+                    name, coerced, use_store=(table_format == "sqlite"))
+            self.database.install(name, new)
+            self.program.apply_updates({name: (old, new)})
+            self._mutated()
+            self._maybe_checkpoint()
+            return len(new) - len(base)
+
+    def storage_statistics(self) -> Dict[str, int]:
+        """Durability counters (``wal_appends``, ``wal_bytes``,
+        ``checkpoints``, ``recoveries``, ``replayed_records``,
+        ``bulk_rows``); ``{}`` on a session without storage. Reading this
+        never creates state."""
+        if self._storage is None:
+            return {}
+        return self._storage.statistics()
 
     # -- transactions ------------------------------------------------------
 
@@ -535,6 +726,7 @@ class Session:
         constraint is violated, in which case nothing changes — including
         the session's computed extents."""
         with self._lock:
+            self._check_storage()
             txn = Transaction(
                 self.database,
                 options=self.program.options,
@@ -547,9 +739,12 @@ class Session:
                 # the same incremental path as Session.insert/delete. The
                 # snapshot republish happens only here, after the batch —
                 # concurrent readers see the pre- or post-transaction
-                # state, never a half-applied one.
+                # state, never a half-applied one. Aborted transactions
+                # (constraint violations) log nothing.
                 self.program.apply_updates(result.changed)
+                self._log_changed(result.changed)
                 self._mutated()
+                self._maybe_checkpoint()
             return result
 
     # -- introspection -----------------------------------------------------
@@ -635,9 +830,24 @@ def connect(database: Optional[Union[Database, Mapping[str, Relation]]] = None,
     """Open a :class:`Session` — the front door of the system.
 
     ``database`` is an existing :class:`~repro.db.Database`, or a mapping
-    of name → :class:`~repro.model.Relation` to start from; ``schema`` is
-    Rel source (rules and integrity constraints) loaded at connect time.
-    ``threads=N`` sizes the session's :attr:`Session.server` thread pool
-    for concurrent serving (see :mod:`repro.server`). Remaining keyword
-    arguments are forwarded to :class:`Session`."""
+    of name → :class:`~repro.model.Relation` to start from (copied on
+    ingest — later mutation of the caller's mapping never leaks into the
+    session); ``schema`` is Rel source (rules and integrity constraints)
+    loaded at connect time. ``threads=N`` sizes the session's
+    :attr:`Session.server` thread pool for concurrent serving (see
+    :mod:`repro.server`).
+
+    ``path=<dir>`` makes the session *durable*: every committed batch is
+    appended to a write-ahead log under that directory, snapshot
+    checkpoints fold the log into :mod:`repro.storage.checkpoint` files in
+    the background, and reopening the same path crash-recovers the
+    committed state (latest valid checkpoint + WAL-tail replay, torn final
+    records tolerated). ``fsync`` tunes the durability/latency trade
+    (``"always"`` / ``"batch"`` / ``"never"``, see
+    :class:`repro.storage.wal.WALWriter`) and ``checkpoint_every=N``
+    checkpoints after every N log records (``None`` = only explicit
+    :meth:`Session.checkpoint` calls). On a durable session, ``schema=``
+    is idempotent across reopens and :meth:`Session.bulk_load` offers the
+    high-throughput ingest path. Remaining keyword arguments are forwarded
+    to :class:`Session`."""
     return Session(database, schema, **kwargs)

@@ -59,7 +59,16 @@ class Database:
 
         There is no need to declare relations beforehand — installing a new
         name creates it on the spot (Section 3.4).
+
+        A non-:class:`Relation` value (a list of tuples, a generator) is
+        materialized into a fresh Relation *here*, at the ingest boundary:
+        storing the caller's object as-is would alias their mutable data
+        into the database, so a later ``rows.append(...)`` on their side
+        silently changed what queries saw — and broke the immutability
+        every snapshot, delta, and checkpoint capture depends on.
         """
+        if not isinstance(relation, Relation):
+            relation = Relation(relation)
         if self.enforce_gnf:
             check_gnf(name, relation)
         self._relations[name] = relation

@@ -902,6 +902,19 @@ class RelProgram:
     def base_relations(self) -> Mapping[str, Relation]:
         return dict(self._base)
 
+    def durable_state(self) -> Mapping[str, Relation]:
+        """The base mapping as a frozen capture for checkpoint serialization.
+
+        Unlike :attr:`base_relations` this does *not* copy: every mutator
+        on this class rebinds ``_base`` to a fresh dict rather than
+        mutating in place (the same copy-on-write discipline snapshots
+        rely on), so the returned mapping is immutable from the moment it
+        is captured and can be serialized from a background thread while
+        writers continue. Derived relations are deliberately absent — they
+        are reconstructible from sources + base, which is the storage
+        layer's whole contract."""
+        return self._base
+
     @property
     def constraints(self) -> List[ast.ICDef]:
         return list(self._constraints)

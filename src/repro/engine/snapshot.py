@@ -229,6 +229,16 @@ class ProgramSnapshot(RelProgram):
                 RelProgram.evaluate(self)
                 self._warm = True
 
+    def durable_state(self) -> "Mapping[str, Relation]":
+        """The snapshot's captured base mapping, verbatim.
+
+        Inherited behavior, restated as a contract: a snapshot's ``_base``
+        was already frozen at capture time, so the storage layer may hand
+        this mapping to a background checkpoint writer without holding any
+        lock — no writer will ever mutate it (writers rebind the *parent*'s
+        ``_base``; this object keeps the old one alive)."""
+        return self._base
+
     def evaluate(self) -> Dict[str, Relation]:
         self._ensure_warm()
         return dict(self._state.extents)

@@ -178,7 +178,9 @@ class QueryServer:
         return self._enqueue(_WriteOp("transact", None, source))
 
     def flush(self) -> None:
-        """Barrier: block until every write queued so far has committed."""
+        """Barrier: block until every write queued so far has committed —
+        and, on a durable session, been fsync'd to the write-ahead log
+        (under the ``"always"``/``"batch"`` policies)."""
         self._enqueue(_WriteOp("barrier", None, None)).result()
 
     # -- the writer thread -------------------------------------------------
@@ -275,6 +277,11 @@ class QueryServer:
             elif op.kind == "transact":
                 result = self.session.transact(op.payload)
             elif op.kind == "barrier":
+                # flush() doubles as the durability barrier: on a durable
+                # session, every write committed before the barrier is
+                # fsync'd (policy permitting) by the time the caller's
+                # future resolves. Non-durable sessions: sync() is a no-op.
+                self.session.sync()
                 result = None
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown write op {op.kind!r}")
@@ -293,9 +300,16 @@ class QueryServer:
 
     def statistics(self) -> Dict[str, int]:
         """Server counters: queries served, write ops/batches, and how many
-        write ops were absorbed into an earlier batch ("coalesced_ops")."""
+        write ops were absorbed into an earlier batch ("coalesced_ops").
+
+        On a durable session the storage counters ride along under a
+        ``storage_`` prefix (``storage_wal_appends``, …), so one poll of
+        the serving surface answers both "how busy" and "how durable"."""
         with self._stats_lock:
-            return dict(self._stats)
+            stats = dict(self._stats)
+        for key, value in self.session.storage_statistics().items():
+            stats[f"storage_{key}"] = value
+        return stats
 
     def close(self, wait: bool = True) -> None:
         """Drain the write queue, stop the writer, shut the pool down.

@@ -1,0 +1,137 @@
+"""SQLite-backed side table for high-volume bulk ingest.
+
+A bulk load commits as *one* WAL record and *one* engine batch no matter
+how many rows it carries (that is the whole point — no per-op incremental
+maintenance, no per-op log append). For very large loads, inlining the
+rows into that record would make the WAL segment — and every future
+recovery scan — carry the full payload twice over. The optional SQLite
+format moves the rows into ``tables.sqlite`` instead: rows land in an
+immutable, autoincrement-keyed *batch*, and the WAL record references the
+batch id.
+
+Immutability is what keeps replay honest: a batch id written once is never
+updated or reused, so a WAL record referencing it means the same rows at
+recovery time as at commit time, regardless of what later loads did to the
+same relation name.
+
+Uses only the stdlib :mod:`sqlite3`; the connection is created with
+``check_same_thread=False`` because the session lock — not SQLite — is the
+concurrency discipline (the server's writer thread and foreground callers
+already serialize through it).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.model.relation import Relation
+from repro.storage import codec
+from repro.storage.errors import StorageError
+
+DB_NAME = "tables.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS batches (
+    id    INTEGER PRIMARY KEY AUTOINCREMENT,
+    name  TEXT NOT NULL,
+    nrows INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS rows (
+    batch   INTEGER NOT NULL REFERENCES batches(id),
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS rows_by_batch ON rows(batch);
+"""
+
+
+class SQLiteStore:
+    """Row batches in ``tables.sqlite``; one id per committed batch."""
+
+    def __init__(self, connection: sqlite3.Connection, *,
+                 writable: bool) -> None:
+        self._conn = connection
+        self._writable = writable
+        self._closed = False
+
+    @classmethod
+    def open(cls, directory: Path) -> "SQLiteStore":
+        conn = sqlite3.connect(directory / DB_NAME,
+                               check_same_thread=False)
+        # WAL journal keeps committed batches readable mid-transaction and
+        # survives process crashes; NORMAL sync matches the "batch" fsync
+        # posture of the record log.
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.executescript(_SCHEMA)
+        conn.commit()
+        return cls(conn, writable=True)
+
+    @classmethod
+    def open_readonly(cls, directory: Path) -> "SQLiteStore":
+        db = directory / DB_NAME
+        if not db.exists():
+            raise StorageError(f"{DB_NAME} missing under {directory}")
+        conn = sqlite3.connect(f"file:{db}?mode=ro", uri=True,
+                               check_same_thread=False)
+        return cls(conn, writable=False)
+
+    def append_batch(self, name: str, rows: Sequence[tuple]) -> int:
+        """Store one immutable batch; returns its id for the WAL record."""
+        if self._closed or not self._writable:
+            raise StorageError("append_batch on a closed/read-only store")
+        cursor = self._conn.execute(
+            "INSERT INTO batches (name, nrows) VALUES (?, ?)",
+            (name, len(rows)),
+        )
+        batch_id = cursor.lastrowid
+        self._conn.executemany(
+            "INSERT INTO rows (batch, payload) VALUES (?, ?)",
+            ((batch_id,
+              codec.dump_payload(codec.encode_row(row)).decode("utf-8"))
+             for row in rows),
+        )
+        self._conn.commit()
+        return batch_id
+
+    def read_batch(self, batch_id: int) -> Relation:
+        if self._closed:
+            raise StorageError("read_batch on a closed store")
+        meta = self._conn.execute(
+            "SELECT nrows FROM batches WHERE id = ?", (batch_id,)
+        ).fetchone()
+        if meta is None:
+            raise StorageError(f"no bulk batch with id {batch_id}")
+        payloads = self._conn.execute(
+            "SELECT payload FROM rows WHERE batch = ?", (batch_id,)
+        ).fetchall()
+        if len(payloads) != meta[0]:
+            raise StorageError(
+                f"bulk batch {batch_id}: expected {meta[0]} rows, "
+                f"found {len(payloads)}"
+            )
+        return Relation(
+            codec.decode_row(codec.load_payload(p.encode("utf-8")))
+            for (p,) in payloads
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._conn.close()
+
+
+def coerce_rows(rows: Iterable) -> list:
+    """Normalize a caller's row stream to a list of tuples (a bare scalar
+    row becomes a 1-tuple, matching ``Relation``'s constructor)."""
+    out = []
+    for row in rows:
+        if isinstance(row, tuple):
+            out.append(row)
+        elif isinstance(row, (list,)):
+            out.append(tuple(row))
+        else:
+            out.append((row,))
+    return out

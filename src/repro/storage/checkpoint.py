@@ -1,0 +1,148 @@
+"""Snapshot checkpoints: the full (sources, base extents) state, atomically.
+
+A checkpoint file is the durable twin of
+:meth:`repro.engine.program.RelProgram.durable_state`: the rule sources a
+session has loaded (in load order — stratification and name resolution are
+re-derived, not stored) and every base relation's extent, serialized with
+the stable codec so equal states produce identical bytes.
+
+File format::
+
+    8-byte header  b"RCKP" + version byte + 3 reserved bytes
+    4 bytes        little-endian payload length
+    4 bytes        little-endian CRC-32 of the payload
+    N bytes        payload (canonical JSON)
+
+with payload keys ``through_segment`` (every WAL segment with an index ≤
+this is covered and deletable), ``sources``, and ``base``.
+
+Atomicity protocol (crash-safe at every step):
+
+1. write ``checkpoint-<n>.ckpt.tmp``, flush, fsync;
+2. rename to ``checkpoint-<n>.ckpt`` (atomic on POSIX), fsync the
+   directory;
+3. rewrite ``CURRENT`` via the same tmp+rename dance;
+4. only then delete covered WAL segments and older checkpoints.
+
+A crash before (2) leaves the previous checkpoint + full WAL; between (2)
+and (4) leaves two valid checkpoints and an over-long WAL — recovery takes
+the newest *valid* one (``CURRENT`` first, then a directory scan), so
+every interleaving recovers the same committed state.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.model.relation import Relation
+from repro.storage import codec
+from repro.storage.errors import CheckpointError, CodecError
+
+CKPT_MAGIC = b"RCKP\x01\x00\x00\x00"
+_FRAME = struct.Struct("<II")
+
+CKPT_PATTERN = "checkpoint-{:08d}.ckpt"
+CURRENT_NAME = "CURRENT"
+
+
+def checkpoint_path(directory: Path, index: int) -> Path:
+    return directory / CKPT_PATTERN.format(index)
+
+
+def checkpoint_index(path: Path) -> int:
+    return int(path.name[len("checkpoint-"):-len(".ckpt")])
+
+
+def list_checkpoints(directory: Path) -> List[Path]:
+    """Checkpoint files in the directory, oldest first."""
+    return sorted(directory.glob("checkpoint-*.ckpt"), key=checkpoint_index)
+
+
+def _fsync_dir(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, data: bytes, *, do_fsync: bool = True) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        if do_fsync:
+            os.fsync(f.fileno())
+    os.replace(tmp, path)
+    if do_fsync:
+        _fsync_dir(path.parent)
+
+
+def write_checkpoint(directory: Path, index: int, *, through_segment: int,
+                     sources: Iterable[str],
+                     base: Iterable[Tuple[str, Relation]],
+                     do_fsync: bool = True) -> Path:
+    """Serialize one checkpoint atomically; returns its final path.
+
+    ``base`` is iterated here (possibly in a background thread): the
+    relations are immutable and the mapping was captured copy-on-write, so
+    this never races with writers."""
+    payload = codec.dump_payload({
+        "through_segment": through_segment,
+        "sources": list(sources),
+        "base": {name: codec.encode_relation(rel)
+                 for name, rel in sorted(base)},
+    })
+    data = CKPT_MAGIC + _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+    path = checkpoint_path(directory, index)
+    _atomic_write(path, data, do_fsync=do_fsync)
+    return path
+
+
+def read_checkpoint(path: Path) -> Dict[str, Any]:
+    """Load and validate one checkpoint; raises :class:`CheckpointError`
+    on any structural damage (the caller falls back to an older one)."""
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"{path.name}: unreadable ({exc})") from exc
+    header = len(CKPT_MAGIC)
+    if len(data) < header + _FRAME.size or data[:header] != CKPT_MAGIC:
+        raise CheckpointError(f"{path.name}: bad header")
+    length, crc = _FRAME.unpack_from(data, header)
+    payload = data[header + _FRAME.size:]
+    if len(payload) != length or zlib.crc32(payload) != crc:
+        raise CheckpointError(f"{path.name}: torn or corrupt payload")
+    try:
+        state = codec.load_payload(payload)
+    except CodecError as exc:
+        raise CheckpointError(f"{path.name}: {exc}") from exc
+    if not isinstance(state, dict) or \
+            not {"through_segment", "sources", "base"} <= set(state):
+        raise CheckpointError(f"{path.name}: missing checkpoint keys")
+    return state
+
+
+def decode_base(state: Dict[str, Any]) -> Dict[str, Relation]:
+    return {name: codec.decode_relation(rows)
+            for name, rows in state["base"].items()}
+
+
+def set_current(directory: Path, checkpoint_name: str, *,
+                do_fsync: bool = True) -> None:
+    """Point ``CURRENT`` at a checkpoint file (atomic replace)."""
+    _atomic_write(directory / CURRENT_NAME,
+                  (checkpoint_name + "\n").encode("utf-8"),
+                  do_fsync=do_fsync)
+
+
+def read_current(directory: Path) -> Optional[str]:
+    try:
+        name = (directory / CURRENT_NAME).read_text().strip()
+    except OSError:
+        return None
+    return name or None

@@ -1,0 +1,109 @@
+"""Stable serialization of Rel values, rows, and relations.
+
+The wire format is JSON with one-key tag objects for the sorts JSON cannot
+represent natively — chosen over a binary format because WAL records and
+checkpoints become debuggable with ``strings``/``jq``, and the hot path
+(bulk load) writes *one* record per batch, so encode throughput is not the
+bottleneck the per-op path would make it.
+
+Sort fidelity matters more than compactness here: the engine's value
+semantics keep ``True`` distinct from ``1`` while merging ``1`` and
+``1.0`` (:func:`repro.model.values.row_key`), and JSON happens to agree —
+``true`` and ``1`` are different tokens, ``1.0`` round-trips as a float.
+Symbols, entities, and second-order relation elements get tag objects:
+
+========================  =======================================
+value                     encoding
+========================  =======================================
+``bool/int/float/str``    the JSON scalar itself
+``Symbol("Name")``        ``{"s": "Name"}``
+``Entity("Ns", key)``     ``{"e": ["Ns", <encoded key>]}``
+``Relation([...])``       ``{"r": [<encoded rows, sorted>]}``
+========================  =======================================
+
+Rows are JSON arrays; relations serialize their rows in
+:func:`~repro.model.values.tuple_sort_key` order (via
+``Relation.sorted_tuples``), so equal relations always produce identical
+bytes — the "stable serialization" checkpoints and tests depend on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, List, Sequence
+
+from repro.model.relation import Relation
+from repro.model.values import Entity, Symbol
+from repro.storage.errors import CodecError
+
+_SCALARS = (bool, int, float, str)
+
+
+def encode_value(value: Any) -> Any:
+    """One Rel value → its JSON-able form (see the module table)."""
+    if type(value) in (bool, int, float, str):
+        return value
+    if isinstance(value, Relation):
+        return {"r": [encode_row(row) for row in value.sorted_tuples()]}
+    if isinstance(value, Symbol):
+        return {"s": value.name}
+    if isinstance(value, Entity):
+        return {"e": [value.namespace, encode_value(value.key)]}
+    if isinstance(value, _SCALARS):  # bool/int/float/str subclasses
+        raise CodecError(
+            f"refusing to serialize scalar subclass {type(value).__name__}: "
+            f"it would decode as a plain {type(value).__mro__[1].__name__}"
+        )
+    raise CodecError(f"not a serializable Rel value: {value!r}")
+
+
+def decode_value(obj: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(obj, dict):
+        if len(obj) != 1:
+            raise CodecError(f"malformed value tag: {obj!r}")
+        tag, payload = next(iter(obj.items()))
+        if tag == "r":
+            return Relation(decode_row(row) for row in payload)
+        if tag == "s":
+            return Symbol(payload)
+        if tag == "e":
+            namespace, key = payload
+            return Entity(namespace, decode_value(key))
+        raise CodecError(f"unknown value tag {tag!r}")
+    if isinstance(obj, list):
+        raise CodecError(f"bare list is not a value: {obj!r}")
+    return obj
+
+
+def encode_row(row: Sequence[Any]) -> List[Any]:
+    return [encode_value(v) for v in row]
+
+
+def decode_row(obj: Sequence[Any]) -> tuple:
+    return tuple([decode_value(v) for v in obj])
+
+
+def encode_relation(rel: Relation) -> List[List[Any]]:
+    """A relation as a sorted list of encoded rows (deterministic bytes)."""
+    return [encode_row(row) for row in rel.sorted_tuples()]
+
+
+def decode_relation(rows: Iterable[Sequence[Any]]) -> Relation:
+    # Decoded rows contain only values this codec itself produced, so the
+    # trusted constructor applies: dedup by row_key without re-validating
+    # every element. Checkpoint decode is the reopen hot path.
+    return Relation._from_rows(map(decode_row, rows))
+
+
+def dump_payload(obj: Any) -> bytes:
+    """A record payload (a JSON-able dict) → canonical UTF-8 bytes."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True,
+                      ensure_ascii=False).encode("utf-8")
+
+
+def load_payload(data: bytes) -> Any:
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"undecodable record payload: {exc}") from exc

@@ -1,0 +1,33 @@
+"""Storage-layer error types."""
+
+from __future__ import annotations
+
+
+class StorageError(RuntimeError):
+    """Base class for durable-storage failures."""
+
+
+class StorageClosedError(StorageError):
+    """Raised when a mutation reaches a closed storage manager — a durable
+    session that has been :meth:`~repro.api.Session.close`\\ d refuses
+    further writes instead of silently diverging from its log."""
+
+
+class WALCorruptionError(StorageError):
+    """Raised when a WAL segment is damaged somewhere other than its torn
+    tail. A torn *final* record (partial header, short payload, bad CRC at
+    the very end of the last segment) is the expected signature of a crash
+    mid-append and is recovered around; a bad frame *followed by* more
+    segments means the log was tampered with or the disk lost committed
+    writes, and recovery refuses to guess."""
+
+
+class CheckpointError(StorageError):
+    """Raised when a checkpoint file is structurally invalid. Recovery
+    falls back to the next-older checkpoint (plus a longer WAL replay)
+    before surfacing this."""
+
+
+class CodecError(StorageError):
+    """Raised when a value outside the Rel data model reaches the
+    serializer, or a stored payload does not decode to one."""

@@ -1,0 +1,245 @@
+""":class:`StorageManager` — the durable session's one storage handle.
+
+Owns the live WAL segment, the background checkpoint thread, the lazy
+SQLite bulk store, and every counter ``Session.storage_statistics()``
+reports. The session calls in under its own write lock, so nothing here
+needs locking against *callers*; the only internal concurrency is the
+checkpoint writer thread, which works exclusively on data captured at
+rotation time (immutable relations + a copied source list).
+
+Checkpoint rotation protocol (caller holds the session lock):
+
+1. close the live segment (fsync per policy) — it is now frozen;
+2. open the next segment; subsequent appends land there;
+3. capture the COW state (every program mutator rebinds its base mapping,
+   so the captured items never mutate under us);
+4. hand (state, through_segment=frozen index) to a daemon thread that
+   writes the checkpoint, swaps ``CURRENT``, and deletes covered segments
+   and older checkpoints.
+
+A crash at any step loses no committed record: until ``CURRENT`` swaps,
+recovery uses the previous checkpoint plus all segments after it — the
+frozen segment included.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.model.relation import Relation
+from repro.storage import bulkload, checkpoint as ckpt, codec, wal
+from repro.storage.errors import CheckpointError, StorageClosedError
+from repro.storage.recovery import RecoveredState, recover_state
+
+
+class StorageManager:
+    """Durability engine behind ``connect(path=...)``."""
+
+    def __init__(self, path, *, fsync: str = "batch",
+                 checkpoint_every: Optional[int] = 256) -> None:
+        self.directory = Path(path)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        #: Auto-checkpoint after this many WAL records (None/0 = manual).
+        self.checkpoint_every = checkpoint_every or 0
+
+        self.recovered: RecoveredState = recover_state(self.directory)
+        self._repair_torn_tail()
+
+        if self.recovered.tail_segment is not None:
+            live_index = self.recovered.tail_segment
+        else:
+            live_index = self.recovered.through_segment + 1
+        self._live_index = live_index
+        self._writer = wal.WALWriter(
+            wal.segment_path(self.directory, live_index), fsync=fsync)
+
+        self._next_ckpt_index = (self.recovered.checkpoint_index or 0) + 1
+        # A reopen that replayed a long tail is checkpoint-hungry: count the
+        # replayed records toward the threshold so the tail gets folded in.
+        self._records_since_ckpt = self.recovered.replayed_records
+        self._ckpt_thread: Optional[threading.Thread] = None
+        self._ckpt_error: Optional[BaseException] = None
+
+        self._store: Optional[bulkload.SQLiteStore] = None
+        self._closed = False
+
+        self._stats = {
+            "wal_appends": 0,
+            "wal_bytes": 0,
+            "checkpoints": 0,
+            "recoveries": 1 if self.recovered.found_existing else 0,
+            "replayed_records": self.recovered.replayed_records,
+            "bulk_rows": 0,
+        }
+
+    # -- recovery repair ---------------------------------------------------
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate the final segment's torn bytes so new appends follow
+        the last committed record instead of burying it behind garbage."""
+        rec = self.recovered
+        if rec.tail_segment is None or rec.torn_bytes == 0:
+            return
+        path = wal.segment_path(self.directory, rec.tail_segment)
+        with open(path, "r+b") as f:
+            f.truncate(rec.tail_good_bytes)
+            f.flush()
+            os.fsync(f.fileno())
+
+    # -- logging -----------------------------------------------------------
+
+    def log_load(self, source: str) -> None:
+        self._append({"op": "load", "source": source})
+
+    def log_batch(
+        self, updates: Mapping[str, Tuple[Relation, Relation]]
+    ) -> None:
+        """One record per committed batch: ``{name: (plus, minus)}``."""
+        if not updates:
+            return
+        self._append({
+            "op": "batch",
+            "updates": {
+                name: [codec.encode_relation(plus),
+                       codec.encode_relation(minus)]
+                for name, (plus, minus) in updates.items()
+            },
+        })
+
+    def log_bulk(self, name: str, rows: List[tuple], *,
+                 use_store: bool = False) -> None:
+        """One record per bulk load; rows inline or via a SQLite batch."""
+        if use_store:
+            batch_id = self.store.append_batch(name, rows)
+            self._append({"op": "bulk", "name": name, "batch": batch_id})
+        else:
+            self._append({"op": "bulk", "name": name,
+                          "rows": [codec.encode_row(r) for r in rows]})
+        self._stats["bulk_rows"] += len(rows)
+
+    def _append(self, payload: Dict[str, Any]) -> None:
+        if self._closed:
+            raise StorageClosedError(
+                "write on a closed durable session — reopen with "
+                "connect(path=...)"
+            )
+        self._stats["wal_bytes"] += self._writer.append(payload)
+        self._stats["wal_appends"] += 1
+        self._records_since_ckpt += 1
+
+    # -- checkpoints -------------------------------------------------------
+
+    @property
+    def checkpoint_due(self) -> bool:
+        return (self.checkpoint_every > 0
+                and self._records_since_ckpt >= self.checkpoint_every
+                and not self._checkpoint_in_flight())
+
+    def _checkpoint_in_flight(self) -> bool:
+        return self._ckpt_thread is not None and self._ckpt_thread.is_alive()
+
+    def begin_checkpoint(self, sources: Iterable[str],
+                         base: Mapping[str, Relation], *,
+                         wait: bool = False) -> bool:
+        """Rotate the WAL and snapshot (sources, base) in the background.
+
+        Caller holds the session lock; returns False when a checkpoint is
+        already in flight (and ``wait`` is False)."""
+        if self._closed:
+            raise StorageClosedError("checkpoint on a closed session")
+        if self._checkpoint_in_flight():
+            if not wait:
+                return False
+            self.wait_for_checkpoint()
+        self._raise_pending_checkpoint_error()
+
+        self._writer.close()
+        through = self._live_index
+        self._live_index += 1
+        self._writer = wal.WALWriter(
+            wal.segment_path(self.directory, self._live_index),
+            fsync=self.fsync)
+        self._records_since_ckpt = 0
+
+        index = self._next_ckpt_index
+        self._next_ckpt_index += 1
+        captured_sources = list(sources)
+        captured_base = list(base.items())
+        self._ckpt_thread = threading.Thread(
+            target=self._write_checkpoint,
+            args=(index, through, captured_sources, captured_base),
+            name=f"repro-checkpoint-{index}",
+            daemon=True,
+        )
+        self._ckpt_thread.start()
+        if wait:
+            self.wait_for_checkpoint()
+        return True
+
+    def _write_checkpoint(self, index: int, through: int,
+                          sources: List[str],
+                          base: List[Tuple[str, Relation]]) -> None:
+        try:
+            do_fsync = self.fsync != "never"
+            path = ckpt.write_checkpoint(
+                self.directory, index, through_segment=through,
+                sources=sources, base=base, do_fsync=do_fsync)
+            ckpt.set_current(self.directory, path.name, do_fsync=do_fsync)
+            for segment in wal.list_segments(self.directory):
+                if wal.segment_index(segment) <= through:
+                    segment.unlink(missing_ok=True)
+            for old in ckpt.list_checkpoints(self.directory):
+                if ckpt.checkpoint_index(old) < index:
+                    old.unlink(missing_ok=True)
+            self._stats["checkpoints"] += 1
+        except BaseException as exc:  # surfaced at the next storage call
+            self._ckpt_error = exc
+
+    def wait_for_checkpoint(self) -> None:
+        if self._ckpt_thread is not None:
+            self._ckpt_thread.join()
+            self._ckpt_thread = None
+        self._raise_pending_checkpoint_error()
+
+    def _raise_pending_checkpoint_error(self) -> None:
+        if self._ckpt_error is not None:
+            exc, self._ckpt_error = self._ckpt_error, None
+            raise CheckpointError(
+                f"background checkpoint failed: {exc}") from exc
+
+    # -- bulk store --------------------------------------------------------
+
+    @property
+    def store(self) -> bulkload.SQLiteStore:
+        if self._store is None:
+            self._store = bulkload.SQLiteStore.open(self.directory)
+        return self._store
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def sync(self) -> None:
+        """Durability barrier: every logged record is fsync'd (policy
+        permitting) when this returns."""
+        if not self._closed:
+            self._writer.sync()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._checkpoint_in_flight():
+            self._ckpt_thread.join()
+        self._writer.close()
+        if self._store is not None:
+            self._store.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def statistics(self) -> Dict[str, int]:
+        return dict(self._stats)

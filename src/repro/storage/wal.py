@@ -1,0 +1,179 @@
+"""The write-ahead log: append-only segments of length+CRC-framed records.
+
+File format (one segment)::
+
+    offset 0   8-byte header: b"RWAL" + version byte + 3 reserved bytes
+    then, repeated:
+        4 bytes  little-endian payload length
+        4 bytes  little-endian CRC-32 of the payload
+        N bytes  payload (canonical JSON, repro.storage.codec)
+
+The frame is what makes crash recovery honest: a record is *committed*
+exactly when all of header+payload reached the file, and any torn suffix
+(short header, short payload, CRC mismatch, undecodable JSON) is
+detectable without trusting the data. :func:`scan_segment` stops at the
+first bad frame and reports how many good bytes precede it; the recovery
+layer decides whether that tail is a tolerable crash artifact (final
+segment) or real corruption (anything earlier).
+
+Writers append under the session's write lock — one :class:`WALWriter` per
+live segment, fsync'd per the session's policy knob. A record is a plain
+dict; see :mod:`repro.storage.manager` for the record vocabulary
+(``load`` / ``batch`` / ``bulk``).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.storage.codec import dump_payload, load_payload
+from repro.storage.errors import CodecError, StorageClosedError, StorageError
+
+WAL_MAGIC = b"RWAL\x01\x00\x00\x00"
+HEADER_LEN = len(WAL_MAGIC)
+
+_FRAME = struct.Struct("<II")  # payload length, CRC-32
+
+#: Hard sanity cap on a single record (a length field beyond this is
+#: treated as garbage, not as an instruction to allocate gigabytes).
+MAX_RECORD_BYTES = 1 << 30
+
+SEGMENT_PATTERN = "wal-{:08d}.log"
+
+
+def segment_path(directory: Path, index: int) -> Path:
+    return directory / SEGMENT_PATTERN.format(index)
+
+
+def segment_index(path: Path) -> int:
+    return int(path.name[len("wal-"):-len(".log")])
+
+
+def list_segments(directory: Path) -> List[Path]:
+    """All WAL segment files in the directory, in index order."""
+    return sorted(directory.glob("wal-*.log"), key=segment_index)
+
+
+def frame_record(payload: bytes) -> bytes:
+    """One framed record: header + payload, ready to append."""
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class SegmentScan:
+    """The readable prefix of one segment."""
+
+    #: Decoded record payloads, in append order.
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Offset one past the last fully-valid record (file-truncation target
+    #: when repairing a torn tail).
+    good_bytes: int = HEADER_LEN
+    #: True when trailing bytes past ``good_bytes`` had to be dropped.
+    torn: bool = False
+    #: How many bytes the torn tail holds (0 when not torn).
+    torn_bytes: int = 0
+
+
+def scan_segment(path: Path) -> SegmentScan:
+    """Read every committed record of one segment, stopping at the first
+    torn or corrupt frame.
+
+    A file too short to hold the 8-byte segment header is treated as a
+    torn creation (zero records); a *wrong* header on a full-length file
+    is a format error — that file was never a WAL segment."""
+    data = path.read_bytes()
+    scan = SegmentScan()
+    if len(data) < HEADER_LEN:
+        scan.good_bytes = 0
+        scan.torn = bool(data)
+        scan.torn_bytes = len(data)
+        return scan
+    if data[:HEADER_LEN] != WAL_MAGIC:
+        raise StorageError(f"{path.name}: not a WAL segment (bad magic)")
+    offset = HEADER_LEN
+    total = len(data)
+    while offset < total:
+        if offset + _FRAME.size > total:
+            break  # torn header
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        if length > MAX_RECORD_BYTES or start + length > total:
+            break  # garbage length or torn payload
+        payload = data[start:start + length]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt payload
+        try:
+            record = load_payload(payload)
+        except CodecError:
+            break  # CRC of garbage that happened to match? still torn
+        scan.records.append(record)
+        offset = start + length
+        scan.good_bytes = offset
+    if offset != total or scan.good_bytes != total:
+        scan.torn = True
+        scan.torn_bytes = total - scan.good_bytes
+    return scan
+
+
+class WALWriter:
+    """Appender for one live segment.
+
+    ``fsync`` policy: ``"always"`` fsyncs after every append (maximum
+    durability, one disk flush per committed batch), ``"batch"`` flushes
+    to the OS per append and fsyncs only at explicit :meth:`sync` barriers
+    (checkpoints, ``QueryServer.flush()``, close — survives process death,
+    not power loss), ``"never"`` leaves even the barrier fsyncs out (fastest;
+    for bulk jobs that checkpoint at the end)."""
+
+    FSYNC_POLICIES = ("always", "batch", "never")
+
+    def __init__(self, path: Path, fsync: str = "batch") -> None:
+        if fsync not in self.FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                + ", ".join(repr(p) for p in self.FSYNC_POLICIES)
+            )
+        self.path = path
+        self.fsync = fsync
+        self._closed = False
+        fresh = not path.exists() or path.stat().st_size == 0
+        self._file = open(path, "ab")
+        if fresh:
+            self._file.write(WAL_MAGIC)
+            self._file.flush()
+        self.bytes_written = self._file.tell()
+
+    def append(self, payload_obj: Dict[str, Any]) -> int:
+        """Frame and append one record; returns the bytes written."""
+        if self._closed:
+            raise StorageClosedError("append on a closed WAL segment")
+        record = frame_record(dump_payload(payload_obj))
+        self._file.write(record)
+        # Flush to the OS unconditionally: a committed record must survive
+        # *process* death under every policy; only the disk-cache flush
+        # (power-loss durability) is policy-gated.
+        self._file.flush()
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+        self.bytes_written += len(record)
+        return len(record)
+
+    def sync(self) -> None:
+        """Durability barrier: flush and (policy permitting) fsync."""
+        if self._closed:
+            return
+        self._file.flush()
+        if self.fsync != "never":
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.sync()
+        self._closed = True
+        self._file.close()

@@ -125,3 +125,48 @@ class TestFromSnapshot:
             connect(join_strategy="bogus")
         with pytest.raises(ValueError):
             connect(maintenance="bogus")
+
+
+class TestStorageStatistics:
+    """storage_statistics(): the durability counter surface."""
+
+    def test_empty_without_storage_and_creates_no_state(self):
+        session = connect()
+        assert session.storage_statistics() == {}
+        assert session.program._state is None
+
+    def test_counter_vocabulary_is_stable(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False)
+        assert sorted(session.storage_statistics()) == [
+            "bulk_rows", "checkpoints", "recoveries", "replayed_records",
+            "wal_appends", "wal_bytes"]
+        session.close()
+
+    def test_counters_track_the_write_kinds(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False)
+        session.load("def P(x) : E(x, x)")
+        session.insert("E", [(1, 1)])
+        session.bulk_load("N", [(1,), (2,)])
+        stats = session.storage_statistics()
+        assert stats["wal_appends"] == 3  # load + insert + bulk
+        assert stats["bulk_rows"] == 2
+        assert stats["wal_bytes"] > 0
+        session.close()
+
+    def test_returned_dict_is_a_copy(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False)
+        copy = session.storage_statistics()
+        copy["wal_appends"] = 999
+        copy.clear()
+        assert session.storage_statistics()["wal_appends"] == 0
+        session.close()
+
+    def test_reads_never_bump_storage_counters(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False)
+        session.insert("E", [(1, 2)])
+        before = session.storage_statistics()
+        session.relation("E")
+        session.execute("E")
+        session.snapshot().execute("E")
+        assert session.storage_statistics() == before
+        session.close()

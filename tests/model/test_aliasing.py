@@ -135,3 +135,43 @@ class TestSessionAccessorAliasing:
         gens = snapshot.generations
         gens.clear()
         assert snapshot.generations != {}
+
+
+class TestConnectIngestAliasing:
+    """connect(database=<mapping>) copies on ingest: the session must not
+    hold a live reference into the caller's containers."""
+
+    def test_mutating_caller_mapping_values_after_connect(self):
+        data = {"E": [(1, 2), (2, 3)]}
+        session = connect(database=data, load_stdlib=False)
+        data["E"].append((9, 9))
+        data["E"][0] = (7, 7)
+        assert session.relation("E") == Relation([(1, 2), (2, 3)])
+        # And re-query after an unrelated write (forces republish paths).
+        session.define("F", [(1,)])
+        assert session.relation("E") == Relation([(1, 2), (2, 3)])
+
+    def test_mutating_caller_mapping_itself_after_connect(self):
+        data = {"E": [(1, 2)]}
+        session = connect(database=data, load_stdlib=False)
+        data["F"] = [(5, 6)]
+        del data["E"]
+        assert "F" not in session.database
+        assert session.relation("E") == Relation([(1, 2)])
+
+    def test_ingested_values_are_real_relations(self):
+        session = connect(database={"E": [(1, 2)]}, load_stdlib=False)
+        assert isinstance(session.database["E"], Relation)
+        # Set algebra (the first thing insert/delete does) works at once.
+        session.insert("E", [(3, 4)])
+        assert session.relation("E") == Relation([(1, 2), (3, 4)])
+
+    def test_database_install_coerces_iterables(self):
+        from repro.db.database import Database
+
+        rows = [(1, 2)]
+        db = Database()
+        db.install("E", rows)
+        rows.append((3, 4))
+        assert db["E"] == Relation([(1, 2)])
+        assert isinstance(db["E"], Relation)

@@ -1,0 +1,150 @@
+"""Checkpoint files: atomicity, fallback, and the rotation protocol."""
+
+import pytest
+
+from repro.model.relation import Relation
+from repro.storage import checkpoint as ckpt
+from repro.storage import wal
+from repro.storage.errors import CheckpointError
+from repro.storage.manager import StorageManager
+from repro.storage.recovery import recover_state
+
+
+def _base():
+    return {"E": Relation([(1, 2), (2, 3)]),
+            "V": Relation([(True,), (1,), (1.5,), ("x",)])}
+
+
+class TestCheckpointFiles:
+    def test_roundtrip(self, tmp_path):
+        path = ckpt.write_checkpoint(
+            tmp_path, 1, through_segment=4,
+            sources=["def f = 1"], base=_base().items())
+        state = ckpt.read_checkpoint(path)
+        assert state["through_segment"] == 4
+        assert state["sources"] == ["def f = 1"]
+        assert ckpt.decode_base(state) == _base()
+
+    def test_equal_states_produce_identical_bytes(self, tmp_path):
+        # Stable serialization: insertion order of the base mapping and of
+        # each relation's rows must not leak into the file.
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = ckpt.write_checkpoint(
+            tmp_path / "a", 1, through_segment=1,
+            sources=["s"], base=list(_base().items()))
+        shuffled = {"V": Relation([("x",), (1.5,), (1,), (True,)]),
+                    "E": Relation([(2, 3), (1, 2)])}
+        b = ckpt.write_checkpoint(
+            tmp_path / "b", 1, through_segment=1,
+            sources=["s"], base=list(shuffled.items()))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        path = ckpt.write_checkpoint(
+            tmp_path, 1, through_segment=0, sources=[], base=[])
+        data = bytearray(path.read_bytes())
+        data[-2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            ckpt.read_checkpoint(path)
+
+    def test_truncated_checkpoint_raises(self, tmp_path):
+        path = ckpt.write_checkpoint(
+            tmp_path, 1, through_segment=0, sources=["s"], base=[])
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(CheckpointError):
+            ckpt.read_checkpoint(path)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        ckpt.write_checkpoint(
+            tmp_path, 1, through_segment=0, sources=[], base=[])
+        ckpt.set_current(tmp_path, "checkpoint-00000001.ckpt")
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestRecoveryFallback:
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        ckpt.write_checkpoint(tmp_path, 1, through_segment=0,
+                              sources=["old"], base=[])
+        newest = ckpt.write_checkpoint(
+            tmp_path, 2, through_segment=0, sources=["new"], base=[])
+        ckpt.set_current(tmp_path, newest.name)
+        newest.write_bytes(newest.read_bytes()[:10])
+        state = recover_state(tmp_path)
+        assert state.sources == ["old"]
+        assert state.checkpoint_index == 1
+
+    def test_stale_current_pointer_is_only_a_hint(self, tmp_path):
+        # CURRENT pointing at a deleted file must not defeat recovery.
+        ckpt.write_checkpoint(tmp_path, 3, through_segment=0,
+                              sources=["kept"], base=[])
+        ckpt.set_current(tmp_path, "checkpoint-00000009.ckpt")
+        state = recover_state(tmp_path)
+        assert state.sources == ["kept"]
+
+    def test_all_checkpoints_corrupt_raises(self, tmp_path):
+        path = ckpt.write_checkpoint(
+            tmp_path, 1, through_segment=0, sources=[], base=[])
+        path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError):
+            recover_state(tmp_path)
+
+
+class TestRotationProtocol:
+    def test_checkpoint_truncates_the_wal(self, tmp_path):
+        m = StorageManager(tmp_path, checkpoint_every=0)
+        m.log_load("def f = 1")
+        m.log_batch({"E": (Relation([(1, 2)]), Relation())})
+        m.begin_checkpoint(["def f = 1"], {"E": Relation([(1, 2)])},
+                           wait=True)
+        # Covered segment deleted; one fresh (empty) live segment remains.
+        segments = wal.list_segments(tmp_path)
+        assert len(segments) == 1
+        assert wal.scan_segment(segments[0]).records == []
+        state = recover_state(tmp_path)
+        assert state.replayed_records == 0
+        assert state.base == {"E": Relation([(1, 2)])}
+        m.close()
+
+    def test_records_after_checkpoint_replay_on_top(self, tmp_path):
+        m = StorageManager(tmp_path, checkpoint_every=0)
+        m.log_batch({"E": (Relation([(1, 2)]), Relation())})
+        m.begin_checkpoint([], {"E": Relation([(1, 2)])}, wait=True)
+        m.log_batch({"E": (Relation([(3, 4)]), Relation())})
+        m.close()
+        state = recover_state(tmp_path)
+        assert state.replayed_records == 1
+        assert state.base["E"] == Relation([(1, 2), (3, 4)])
+
+    def test_older_checkpoints_cleaned_up(self, tmp_path):
+        m = StorageManager(tmp_path, checkpoint_every=0)
+        for i in range(3):
+            m.log_batch({"E": (Relation([(i, i)]), Relation())})
+            m.begin_checkpoint([], {"E": Relation([(i, i)])}, wait=True)
+        assert len(ckpt.list_checkpoints(tmp_path)) == 1
+        m.close()
+
+    def test_auto_checkpoint_fires_on_threshold(self, tmp_path):
+        m = StorageManager(tmp_path, checkpoint_every=3)
+        base = {}
+        for i in range(3):
+            assert not m.checkpoint_due or i == 2
+            m.log_batch({"E": (Relation([(i, i)]), Relation())})
+        assert m.checkpoint_due
+        m.begin_checkpoint([], {"E": Relation([(0, 0), (1, 1), (2, 2)])},
+                           wait=True)
+        assert not m.checkpoint_due
+        m.close()
+        assert len(ckpt.list_checkpoints(tmp_path)) == 1
+
+    def test_replayed_tail_counts_toward_next_checkpoint(self, tmp_path):
+        m = StorageManager(tmp_path, checkpoint_every=5)
+        for i in range(4):
+            m.log_batch({"E": (Relation([(i, i)]), Relation())})
+        m.close()
+        reopened = StorageManager(tmp_path, checkpoint_every=5)
+        # 4 replayed + 1 fresh ≥ 5: the long tail makes it checkpoint-due.
+        reopened.log_batch({"E": (Relation([(9, 9)]), Relation())})
+        assert reopened.checkpoint_due
+        reopened.close()

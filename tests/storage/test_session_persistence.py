@@ -1,0 +1,213 @@
+"""Durable sessions end to end: reopen cycles, checkpoints, the server."""
+
+import pytest
+
+from repro import Relation, connect
+from repro.storage import StorageClosedError
+from repro.storage import checkpoint as ckpt
+
+RULES = """
+    def Path(x, y) : E(x, y)
+    def Path(x, y) : exists((z) | E(x, z) and Path(z, y))
+"""
+
+
+class TestReopenCycles:
+    def test_full_state_survives_close_and_reopen(self, tmp_path):
+        session = connect(path=tmp_path / "db", schema=RULES,
+                          load_stdlib=False)
+        session.define("E", [(1, 2), (2, 3)])
+        session.insert("E", [(3, 4)])
+        session.delete("E", [(1, 2)])
+        expected = session.relation("Path")
+        session.close()
+
+        reopened = connect(path=tmp_path / "db", load_stdlib=False)
+        assert reopened.relation("E") == Relation([(2, 3), (3, 4)])
+        assert reopened.relation("Path") == expected
+        reopened.close()
+
+    def test_schema_is_idempotent_across_reopens(self, tmp_path):
+        for i in range(3):
+            session = connect(path=tmp_path / "db", schema=RULES,
+                              load_stdlib=False)
+            session.insert("E", [(i, i + 1)])
+            session.close()
+        final = connect(path=tmp_path / "db", schema=RULES,
+                        load_stdlib=False)
+        # One copy of each rule, not three: re-running a duplicated
+        # recursive rule would still be correct but the rule catalog (and
+        # the WAL) would grow per reopen.
+        assert len(final.program.rules_of("Path")) == 2
+        assert final.relation("E") == Relation([(0, 1), (1, 2), (2, 3)])
+        final.close()
+
+    def test_transactions_persist(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False)
+        session.define("Acct", [("a", 10), ("b", 5)])
+        session.transact("""
+            def delete(:Acct, t, n) : Acct(t, n) and t = "a"
+            def insert(:Acct, t, n) : t = "a" and n = 7
+        """)
+        expected = session.relation("Acct")
+        session.close()
+        reopened = connect(path=tmp_path / "db", load_stdlib=False)
+        assert reopened.relation("Acct") == expected
+        reopened.close()
+
+    def test_reopen_is_version_zero_with_no_wal_growth(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False)
+        session.insert("E", [(1, 2)])
+        session.close()
+        reopened = connect(path=tmp_path / "db", load_stdlib=False)
+        assert reopened.version == 0
+        assert reopened.storage_statistics()["wal_appends"] == 0
+        reopened.close()
+
+    def test_fresh_directory_reports_no_recovery(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False)
+        stats = session.storage_statistics()
+        assert stats["recoveries"] == 0
+        assert stats["replayed_records"] == 0
+        session.close()
+
+
+class TestCheckpointLifecycle:
+    def test_explicit_checkpoint_empties_the_replay_tail(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False,
+                          checkpoint_every=0)
+        for i in range(10):
+            session.insert("E", [(i, i + 1)])
+        session.checkpoint()
+        session.close()
+        reopened = connect(path=tmp_path / "db", load_stdlib=False)
+        stats = reopened.storage_statistics()
+        assert stats["replayed_records"] == 0
+        assert reopened.relation("E") == Relation(
+            [(i, i + 1) for i in range(10)])
+        reopened.close()
+
+    def test_auto_checkpoint_bounds_the_wal(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False,
+                          checkpoint_every=4)
+        for i in range(20):
+            session.insert("E", [(i, i + 1)])
+        session.close()
+        # Checkpoints are best-effort background work (at most one in
+        # flight, never blocking writers), so a tight write loop may
+        # outrun them — but at least one lands, and close() joins it.
+        assert session.storage_statistics()["checkpoints"] >= 1
+        reopened = connect(path=tmp_path / "db", load_stdlib=False)
+        # Only the records since the last completed checkpoint replay.
+        assert reopened.storage_statistics()["replayed_records"] < 20
+        assert len(reopened.relation("E")) == 20
+        reopened.close()
+
+    def test_checkpoint_preserves_rules_and_value_sorts(self, tmp_path):
+        session = connect(path=tmp_path / "db", schema=RULES,
+                          load_stdlib=False, checkpoint_every=0)
+        tricky = [(True, 1), (1, 1), (1.5, "x")]
+        session.define("V", tricky)
+        session.define("E", [(1, 2)])
+        session.checkpoint()
+        session.close()
+        reopened = connect(path=tmp_path / "db", load_stdlib=False)
+        assert reopened.relation("V") == Relation(tricky)
+        assert len(reopened.relation("V")) == 3  # True ≠ 1 survived disk
+        assert reopened.relation("Path") == Relation([(1, 2)])
+        reopened.close()
+
+    def test_checkpoint_requires_durable_session(self):
+        with pytest.raises(ValueError, match="durable session"):
+            connect(load_stdlib=False).checkpoint()
+
+
+class TestClosedSessions:
+    def test_mutations_after_close_raise(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False)
+        session.insert("E", [(1, 2)])
+        session.close()
+        for mutate in (lambda: session.insert("E", [(9, 9)]),
+                       lambda: session.delete("E", [(1, 2)]),
+                       lambda: session.define("F", [(1,)]),
+                       lambda: session.load("def G(x) : E(x, x)"),
+                       lambda: session.apply_batch({"E": [(5, 5)]}),
+                       lambda: session.transact(
+                           "def insert(:E, x, y) : x = 7 and y = 7"),
+                       lambda: session.bulk_load("E", [(8, 8)])):
+            with pytest.raises(StorageClosedError):
+                mutate()
+        # Reads keep working on the in-memory state.
+        assert session.relation("E") == Relation([(1, 2)])
+
+    def test_close_is_idempotent_and_sync_tolerates_it(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False)
+        session.close()
+        session.close()
+        session.sync()  # no-op, no raise
+
+
+class TestServedDurability:
+    def test_server_writes_reach_the_wal_once_per_batch(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False,
+                          threads=2)
+        server = session.server
+        futures = [server.insert("E", [(i, i + 1)]) for i in range(8)]
+        for f in futures:
+            f.result()
+        server.flush()
+        stats = server.statistics()
+        # Coalescing carries to the log: one record per applied batch, so
+        # appends ≤ ops, bounded by the server's own batch counter.
+        assert 1 <= stats["storage_wal_appends"] <= 8
+        assert stats["storage_wal_appends"] <= stats["write_batches"]
+        session.close()
+        reopened = connect(path=tmp_path / "db", load_stdlib=False)
+        assert len(reopened.relation("E")) == 8
+        reopened.close()
+
+    def test_flush_is_a_durability_barrier(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False,
+                          threads=1, fsync="batch")
+        server = session.server
+        server.insert("E", [(1, 2)])
+        server.flush()
+        # After the barrier the record is on disk: a recovery scan of the
+        # live directory (no close!) already sees it.
+        from repro.storage.recovery import recover_state
+        state = recover_state(tmp_path / "db")
+        assert state.base["E"] == Relation([(1, 2)])
+        session.close()
+
+    def test_storage_counters_absent_without_storage(self):
+        session = connect(load_stdlib=False, threads=1)
+        stats = session.server.statistics()
+        assert not any(k.startswith("storage_") for k in stats)
+        assert session.storage_statistics() == {}
+        session.close()
+
+
+class TestDurabilityKnobs:
+    @pytest.mark.parametrize("fsync", ["always", "batch", "never"])
+    def test_every_policy_recovers_after_clean_close(self, tmp_path, fsync):
+        session = connect(path=tmp_path / fsync, load_stdlib=False,
+                          fsync=fsync)
+        session.insert("E", [(1, 2)])
+        session.close()
+        reopened = connect(path=tmp_path / fsync, load_stdlib=False)
+        assert reopened.relation("E") == Relation([(1, 2)])
+        reopened.close()
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            connect(path=tmp_path / "db", fsync="sometimes")
+
+    def test_checkpoint_files_use_current_pointer(self, tmp_path):
+        session = connect(path=tmp_path / "db", load_stdlib=False,
+                          checkpoint_every=0)
+        session.insert("E", [(1, 2)])
+        session.checkpoint()
+        session.close()
+        current = ckpt.read_current(tmp_path / "db")
+        assert current is not None
+        assert (tmp_path / "db" / current).exists()

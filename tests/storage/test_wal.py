@@ -1,0 +1,146 @@
+"""WAL framing and scanning: every way a segment can end, classified."""
+
+import os
+
+import pytest
+
+from repro.storage import wal
+from repro.storage.codec import dump_payload
+from repro.storage.errors import StorageError
+
+
+def _write(tmp_path, records):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    writer = wal.WALWriter(tmp_path / "wal-00000001.log")
+    for rec in records:
+        writer.append(rec)
+    writer.close()
+    return tmp_path / "wal-00000001.log"
+
+
+class TestFraming:
+    def test_roundtrip_preserves_records_in_order(self, tmp_path):
+        records = [{"op": "load", "source": "def f = 1"},
+                   {"op": "batch", "updates": {"E": [[[1, 2]], []]}},
+                   {"op": "bulk", "name": "N", "rows": [[1], [2]]}]
+        scan = wal.scan_segment(_write(tmp_path, records))
+        assert scan.records == records
+        assert not scan.torn
+        assert scan.torn_bytes == 0
+
+    def test_empty_segment_has_header_only(self, tmp_path):
+        path = _write(tmp_path, [])
+        assert path.read_bytes() == wal.WAL_MAGIC
+        scan = wal.scan_segment(path)
+        assert scan.records == []
+        assert scan.good_bytes == wal.HEADER_LEN
+
+    def test_value_sorts_survive_the_trip(self, tmp_path):
+        # True vs 1 and 1 vs 1.0 are the engine's hard cases; the codec
+        # must not let JSON collapse them.
+        rows = [[True], [1], [2.5], ["x"]]
+        path = _write(tmp_path, [{"op": "bulk", "name": "B", "rows": rows}])
+        (rec,) = wal.scan_segment(path).records
+        assert rec["rows"] == rows
+        assert [type(v[0]) for v in rec["rows"]] == [bool, int, float, str]
+
+    def test_append_returns_framed_length(self, tmp_path):
+        writer = wal.WALWriter(tmp_path / "wal-00000001.log")
+        payload = {"op": "load", "source": "x"}
+        n = writer.append(payload)
+        writer.close()
+        assert n == len(wal.frame_record(dump_payload(payload)))
+        assert (tmp_path / "wal-00000001.log").stat().st_size \
+            == wal.HEADER_LEN + n
+
+
+class TestTornTails:
+    def _two_record_segment(self, tmp_path):
+        path = _write(tmp_path, [{"op": "load", "source": "def a = 1"},
+                                 {"op": "load", "source": "def b = 2"}])
+        return path, path.read_bytes()
+
+    def test_every_truncation_of_final_record_keeps_prefix(self, tmp_path):
+        path, data = self._two_record_segment(tmp_path)
+        first = wal.scan_segment(path)
+        # Find where record 2 starts: rescan a 1-record file of the same
+        # first payload.
+        one = _write(tmp_path / "one", [{"op": "load", "source": "def a = 1"}])
+        second_start = wal.scan_segment(one).good_bytes
+        for cut in range(second_start, len(data)):
+            path.write_bytes(data[:cut])
+            scan = wal.scan_segment(path)
+            assert len(scan.records) == 1, f"cut at {cut}"
+            assert scan.records[0] == first.records[0]
+            # A cut exactly on the boundary is a clean one-record file;
+            # every byte past it is a torn tail.
+            assert scan.torn == (cut > second_start)
+            assert scan.good_bytes == second_start
+            assert scan.torn_bytes == cut - second_start
+
+    def test_corrupt_final_payload_detected_by_crc(self, tmp_path):
+        path, data = self._two_record_segment(tmp_path)
+        flipped = bytearray(data)
+        flipped[-1] ^= 0xFF
+        path.write_bytes(bytes(flipped))
+        scan = wal.scan_segment(path)
+        assert len(scan.records) == 1
+        assert scan.torn
+
+    def test_truncated_below_header_is_torn_creation(self, tmp_path):
+        path = tmp_path / "wal-00000001.log"
+        path.write_bytes(wal.WAL_MAGIC[:5])
+        scan = wal.scan_segment(path)
+        assert scan.records == []
+        assert scan.good_bytes == 0
+        assert scan.torn
+
+    def test_wrong_magic_is_a_format_error_not_a_torn_tail(self, tmp_path):
+        path = tmp_path / "wal-00000001.log"
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 64)
+        with pytest.raises(StorageError):
+            wal.scan_segment(path)
+
+    def test_garbage_length_field_does_not_allocate(self, tmp_path):
+        path = _write(tmp_path, [{"op": "load", "source": "x"}])
+        import struct
+        with open(path, "ab") as f:
+            f.write(struct.pack("<II", wal.MAX_RECORD_BYTES + 1, 0))
+            f.write(b"junk")
+        scan = wal.scan_segment(path)
+        assert len(scan.records) == 1
+        assert scan.torn
+
+
+class TestWriterLifecycle:
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        path = tmp_path / "wal-00000001.log"
+        w1 = wal.WALWriter(path)
+        w1.append({"op": "load", "source": "a"})
+        w1.close()
+        w2 = wal.WALWriter(path)
+        w2.append({"op": "load", "source": "b"})
+        w2.close()
+        assert [r["source"] for r in wal.scan_segment(path).records] \
+            == ["a", "b"]
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            wal.WALWriter(tmp_path / "wal-00000001.log", fsync="sometimes")
+
+    @pytest.mark.parametrize("policy", wal.WALWriter.FSYNC_POLICIES)
+    def test_all_policies_produce_identical_bytes(self, tmp_path, policy):
+        d = tmp_path / policy
+        d.mkdir()
+        w = wal.WALWriter(d / "wal-00000001.log", fsync=policy)
+        w.append({"op": "load", "source": "same"})
+        w.sync()
+        w.close()
+        assert wal.scan_segment(d / "wal-00000001.log").records \
+            == [{"op": "load", "source": "same"}]
+
+    def test_segment_listing_sorts_by_index(self, tmp_path):
+        for i in (3, 1, 10, 2):
+            wal.WALWriter(wal.segment_path(tmp_path, i)).close()
+        assert [wal.segment_index(p) for p in wal.list_segments(tmp_path)] \
+            == [1, 2, 3, 10]
