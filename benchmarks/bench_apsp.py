@@ -63,6 +63,25 @@ def test_apsp_networkx_baseline(benchmark, name):
     assert result
 
 
+# Scaled series (PR 7): 4x the E12 sizes for the repeated benchmark (the
+# min-aggregation fixpoint is super-linear in diameter, so 10x chains are
+# minutes, not seconds); record_trajectory.py records a one-shot ungated
+# 10x timing (random120) in BENCH_pr7.json.
+
+GRAPHS_SCALED = {
+    "chain64": chain_graph(64),
+    "random48": random_graph(48, 96, seed=5),
+}
+
+
+@pytest.mark.parametrize("name", list(GRAPHS_SCALED), ids=list(GRAPHS_SCALED))
+def test_apsp_min_formulation_scaled(benchmark, name):
+    vertices, edges = GRAPHS_SCALED[name]
+    result = benchmark.pedantic(rel_apsp, args=(vertices, edges, "APSP[V, E]"),
+                                rounds=1, warmup_rounds=0)
+    assert set(result.tuples) == networkx_apsp(vertices, edges)
+
+
 def test_shape_formulations_agree():
     vertices, edges = GRAPHS["random12"]
     program = program_for(vertices, edges)

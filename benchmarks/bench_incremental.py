@@ -40,7 +40,12 @@ def hub_chain_edges():
 
 
 def warm_session(maintenance, extra=()):
-    session = connect(maintenance=maintenance)
+    # columnar="off": this bench gates *maintenance strategy* (delta vs
+    # recompute), so both sides run on the row plane PR 3 measured. The
+    # PR-7 columnar plane accelerates only the full-fixpoint recompute
+    # side (point deltas are below the kernel row threshold), which
+    # would fold the data-plane speedup into a maintenance-strategy gate.
+    session = connect(maintenance=maintenance, columnar="off")
     session.define("E", hub_chain_edges() + list(extra))
     session.load(RULES)
     session.relation("Path")  # materialize the closure once

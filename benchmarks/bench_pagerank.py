@@ -59,6 +59,23 @@ def test_numpy_pagerank(benchmark, n):
     assert result.sum() == pytest.approx(1.0, abs=0.01)
 
 
+# Scaled series (PR 7): 10x the E13 sizes, same convergence check. The
+# timings are recorded ungated in BENCH_pr7.json by record_trajectory.py.
+
+SIZES_SCALED = [50, 80]
+MATRICES_SCALED = {n: make_matrix(n, extra_seed=n)[0] for n in SIZES_SCALED}
+
+
+@pytest.mark.parametrize("n", SIZES_SCALED, ids=[f"n{n}" for n in SIZES_SCALED])
+def test_rel_pagerank_scaled(benchmark, n):
+    matrix = MATRICES_SCALED[n]
+    ranks = benchmark.pedantic(rel_pagerank, args=(matrix,),
+                               rounds=3, warmup_rounds=0)
+    reference = numpy_pagerank(matrix, n)
+    for i in range(1, n + 1):
+        assert abs(ranks[i] - reference[i - 1]) < 0.02
+
+
 def test_shape_rank_conservation():
     """Column-stochastic iteration conserves total rank ≈ 1."""
     ranks = rel_pagerank(MATRICES[5])

@@ -43,7 +43,13 @@ GRID = grid_graph(10, 10)[1]
 
 
 def run_fixpoint(source, relations, target, plan_cache):
-    program = RelProgram(options=EngineOptions(plan_cache=plan_cache),
+    # columnar="off": this bench gates *plan compilation* vs. per-call
+    # interpretation, so both sides run on the row plane PR 4 measured.
+    # The PR-7 columnar kernels absorb exactly the per-iteration planning
+    # and index-building overheads the plan cache amortizes, which would
+    # fold the data-plane speedup into a plan-reuse gate.
+    program = RelProgram(options=EngineOptions(plan_cache=plan_cache,
+                                               columnar="off"),
                          load_stdlib=False)
     for name, tuples in relations.items():
         program.define(name, Relation(tuples))
@@ -68,7 +74,8 @@ PR_MATRIX = pagerank_matrix(10)
 
 def pagerank(plan_cache):
     program = RelProgram(database={"G": PR_MATRIX},
-                         options=EngineOptions(plan_cache=plan_cache))
+                         options=EngineOptions(plan_cache=plan_cache,
+                                               columnar="off"))
     return program.query("PageRank[G]")
 
 

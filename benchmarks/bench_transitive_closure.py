@@ -70,6 +70,24 @@ def test_datalog_naive(benchmark, edges):
     assert len(result) == 48 * 47 // 2
 
 
+# Scaled series (PR 7): 10x the B1 sizes. Semi-naive only — naive TC at
+# these depths is quadratically worse and adds nothing to the shape. The
+# timings are recorded ungated in BENCH_pr7.json by record_trajectory.py;
+# the gates above stay at the CI-affordable sizes.
+
+CHAIN480 = chain_graph(480)[1]
+RANDOM300 = random_graph(300, 600, seed=13)[1]
+
+
+@pytest.mark.parametrize("edges,label", [
+    (CHAIN480, "chain480"), (RANDOM300, "random300"),
+], ids=["chain480", "random300"])
+def test_rel_semi_naive_scaled(benchmark, edges, label):
+    result = benchmark.pedantic(rel_tc, args=(edges, True),
+                                rounds=3, warmup_rounds=0)
+    assert len(result) > 0
+
+
 def test_shape_semi_naive_beats_naive():
     """The headline shape: semi-naive strictly faster on deep fixpoints,
     with identical results."""

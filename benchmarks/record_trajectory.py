@@ -1,4 +1,4 @@
-"""Record the gated benchmark timings to BENCH_pr6.json.
+"""Record the gated benchmark timings to BENCH_pr7.json.
 
 The perf trajectory: each PR that claims a gated speedup appends a
 machine-readable snapshot (started at PR 4, extended per PR since) so
@@ -29,7 +29,18 @@ gate. Gates recorded:
 - ``bulk_ingest``               — PR 6: one-record bulk load vs. per-op
   inserts for the same rows (floor 5x);
 - ``checkpoint_reopen``         — PR 6: recovery from a snapshot
-  checkpoint vs. replaying the equivalent WAL tail (floor 10x).
+  checkpoint vs. replaying the equivalent WAL tail (floor 10x);
+- ``columnar_hub_tc``           — PR 7: columnar data plane vs. the
+  interpreted row plane on hub-graph transitive closure at 10x the B1
+  sizes (floor 3x);
+- ``columnar_checkpoint``       — PR 7: per-column checkpoint blocks vs.
+  the PR-6 row codec, write + reopen of a 100k-row typed relation
+  (floor 2x).
+
+The snapshot also carries an ungated ``scaled`` section: one-shot
+timings of the B1/E12/E13 workloads at 10x their benchmark sizes
+(chain/random TC, PageRank, APSP), recorded for trajectory tracking
+only — no floors, no pass/fail.
 """
 
 import json
@@ -172,6 +183,68 @@ def storage_gates():
     return [ingest, reopen]
 
 
+def columnar_gates():
+    import tempfile
+
+    from bench_columnar import HUB300, best_of, checkpoint_cycle, tc_closure
+    from repro.model import columns
+
+    if not columns.KERNELS_AVAILABLE:
+        return []
+    t_on, (session_on, r_on) = best_of(lambda: tc_closure(HUB300, "auto"))
+    t_off, (_, r_off) = best_of(lambda: tc_closure(HUB300, "off"))
+    assert r_on == r_off
+    tc = gate("columnar_hub_tc", t_off, t_on, 3.0,
+              {"closure_rows": len(r_on),
+               "columnar_statistics": session_on.columnar_statistics()})
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        w_row, o_row = checkpoint_cycle(root / "row", columnar=False)
+        w_col, o_col = checkpoint_cycle(root / "col", columnar=True)
+    ckpt = gate("columnar_checkpoint", w_row + o_row, w_col + o_col, 2.0,
+                {"rows": 100_000,
+                 "row_write_s": round(w_row, 4),
+                 "columnar_write_s": round(w_col, 4)})
+    return [tc, ckpt]
+
+
+def scaled_timings():
+    """Ungated one-shot timings at 10x the benchmark sizes (PR 7)."""
+    from bench_apsp import networkx_apsp, rel_apsp
+    from bench_pagerank import make_matrix, numpy_pagerank, rel_pagerank
+    from bench_transitive_closure import rel_tc
+    from repro.workloads import chain_graph, random_graph
+
+    entries = []
+
+    def record(name, fn, detail=None):
+        seconds, result = timed(fn)
+        entry = {"name": name, "seconds": round(seconds, 4)}
+        if detail:
+            entry.update(detail(result))
+        entries.append(entry)
+        return result
+
+    record("tc_chain480_semi_naive",
+           lambda: rel_tc(chain_graph(480)[1], True),
+           lambda r: {"rows": len(r)})
+    record("tc_random300_semi_naive",
+           lambda: rel_tc(random_graph(300, 600, seed=13)[1], True),
+           lambda r: {"rows": len(r)})
+
+    matrix, _ = make_matrix(80, extra_seed=80)
+    ranks = record("pagerank_n80", lambda: rel_pagerank(matrix),
+                   lambda r: {"vertices": len(r)})
+    reference = numpy_pagerank(matrix, 80)
+    assert all(abs(ranks[i] - reference[i - 1]) < 0.02 for i in range(1, 81))
+
+    vertices, edges = random_graph(120, 240, seed=5)
+    result = record("apsp_random120_min", lambda: rel_apsp(
+        vertices, edges, "APSP[V, E]"), lambda r: {"rows": len(r.tuples)})
+    assert set(result.tuples) == networkx_apsp(vertices, edges)
+    return entries
+
+
 def main() -> int:
     sys.path.insert(0, str(Path(__file__).parent))
     gates = [plan_reuse_gate(), wcoj_gate()]
@@ -179,13 +252,15 @@ def main() -> int:
     gates.append(session_gate())
     gates.append(concurrency_gate())
     gates.extend(storage_gates())
+    gates.extend(columnar_gates())
     snapshot = {
-        "pr": 6,
+        "pr": 7,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "gates": gates,
+        "scaled": scaled_timings(),
     }
-    out = Path(__file__).parent.parent / "BENCH_pr6.json"
+    out = Path(__file__).parent.parent / "BENCH_pr7.json"
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     failed = [g["name"] for g in gates if not g["passed"]]
     print(json.dumps(snapshot, indent=2))

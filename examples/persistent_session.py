@@ -16,6 +16,13 @@ This example plays three sessions against one directory:
 3. *crash*  — we bit-tear the live WAL segment by hand and show recovery
    keeps the committed prefix and drops only the torn tail.
 
+Checkpoint format note (PR 7): with numpy present, relations whose
+columns type cleanly are checkpointed as contiguous per-column blocks
+instead of row lists. The two formats are mutually compatible forever —
+a checkpoint written by the row codec (pre-PR-7, ``REPRO_COLUMNAR=off``,
+or a no-numpy install) reopens under the columnar codec and vice versa —
+so this example prints the same output whichever plane is active.
+
 All state lives under a temporary directory; Python only loads and prints.
 
 Run:  python examples/persistent_session.py

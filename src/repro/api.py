@@ -58,6 +58,7 @@ _SCALARS = (bool, int, float, str)
 
 _JOIN_STRATEGIES = ("auto", "leapfrog", "binary", "off")
 _MAINTENANCE_MODES = ("auto", "delta", "recompute")
+_COLUMNAR_MODES = ("auto", "on", "off")
 
 
 def _check_join_strategy(value: str) -> str:
@@ -76,6 +77,27 @@ def _check_maintenance(value: str) -> str:
             + ", ".join(repr(s) for s in _MAINTENANCE_MODES)
         )
     return value
+
+
+def _check_columnar(value: str) -> str:
+    if value not in _COLUMNAR_MODES:
+        raise ValueError(
+            f"unknown columnar mode {value!r}; expected one of "
+            + ", ".join(repr(s) for s in _COLUMNAR_MODES)
+        )
+    return value
+
+
+def _relation_statistics(name: str, rel: Relation) -> Dict[str, int]:
+    """Per-relation size statistics: row count, approximate resident
+    bytes, and how many columns the typed columnar plane covers (0 when
+    the relation falls back to dict-of-tuples storage)."""
+    cols = rel.columns()
+    return {
+        "rows": len(rel),
+        "approx_bytes": rel.approx_bytes(),
+        "columnar_columns": cols.arity if cols is not None else 0,
+    }
 
 
 def _as_relation(value: RelationLike) -> Relation:
@@ -234,9 +256,10 @@ class Snapshot:
         identical extents for every name."""
         return dict(self.program._state.name_gen)
 
-    def statistics(self) -> Dict[str, int]:
-        """Fact counts per base relation, as of capture."""
-        return {name: len(rel)
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        """Per-base-relation size statistics as of capture (same shape as
+        :meth:`Session.statistics`)."""
+        return {name: _relation_statistics(name, rel)
                 for name, rel in self.program.base_relations.items()}
 
     def evaluation_counts(self) -> Dict[str, int]:
@@ -251,6 +274,9 @@ class Snapshot:
 
     def maintenance_statistics(self) -> Dict[str, int]:
         return self.program.maintenance_statistics()
+
+    def columnar_statistics(self) -> Dict[str, int]:
+        return self.program.columnar_statistics()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Snapshot(version={self.version}, "
@@ -274,6 +300,7 @@ class Session:
                  options: Optional[EngineOptions] = None,
                  join_strategy: Optional[str] = None,
                  maintenance: Optional[str] = None,
+                 columnar: Optional[str] = None,
                  threads: Optional[int] = None,
                  path: Optional[Union[str, Path]] = None,
                  fsync: str = "batch",
@@ -328,6 +355,8 @@ class Session:
             options.join_strategy = _check_join_strategy(join_strategy)
         if maintenance is not None:
             options.maintenance = _check_maintenance(maintenance)
+        if columnar is not None:
+            options.columnar = _check_columnar(columnar)
         self.program = RelProgram(
             database=self.database.as_mapping(),
             load_stdlib=load_stdlib,
@@ -808,6 +837,32 @@ class Session:
         data updates leave plans warm."""
         return self.program.plan_statistics()
 
+    @property
+    def columnar(self) -> str:
+        """The session's columnar data plane knob: "auto" (vectorized
+        kernels when every participating column is typed and the input is
+        large enough to amortize), "on" (kernels whenever the columns are
+        typeable, any size), or "off" (row-at-a-time interpretation
+        only). Results are identical in all three modes."""
+        return self.program.options.columnar
+
+    @columnar.setter
+    def columnar(self, value: str) -> None:
+        # In-place on the program's options, like join_strategy: kernels
+        # consult the knob at evaluation time, so the switch takes effect
+        # immediately; results never change, only the execution path.
+        value = _check_columnar(value)
+        with self._lock:
+            self.program.options.columnar = value
+
+    def columnar_statistics(self) -> Dict[str, int]:
+        """Columnar-kernel explain counters: per-kernel hit counts
+        ("join", "dedupe", "project", "union", "filter", "fold") and the
+        matching "*_fallback" counts for inputs the typed plane declined —
+        the observability hook for checking that a workload actually runs
+        vectorized."""
+        return self.program.columnar_statistics()
+
     def maintenance_statistics(self) -> Dict[str, int]:
         """Per-event maintenance counters ("maintained_strata",
         "recomputed_strata", "overdeleted_tuples", "rederived_tuples",
@@ -815,10 +870,15 @@ class Session:
         took the incremental path, mirroring :meth:`join_statistics`."""
         return self.program.maintenance_statistics()
 
-    def statistics(self) -> Dict[str, int]:
-        """Fact counts per stored base relation."""
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        """Per-base-relation size statistics: ``rows`` (fact count),
+        ``approx_bytes`` (resident size estimate — exact vector bytes for
+        typed relations, a per-tuple heuristic for dict fallback), and
+        ``columnar_columns`` (how many columns the typed plane covers; 0
+        means the relation is on the dict-of-tuples path)."""
         with self._lock:
-            return {name: len(rel) for name, rel in self.database.items()}
+            return {name: _relation_statistics(name, rel)
+                    for name, rel in self.database.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Session({len(self.database)} base relations, "

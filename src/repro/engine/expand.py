@@ -52,9 +52,11 @@ from repro.engine.errors import (
 )
 from repro.engine.plan import AtomPlan, ConjunctionPlan, MultiwayPlan, plan_refs
 from repro.engine.runtime import Closure, Env, Rule, literal_closure
-from repro.engine.table import Table, row_ident, union_tables
+from repro.engine.table import (Table, dedupe_table, project_table, row_ident,
+                                union_tables, union_tables_typed)
 from repro.joins import planner as joins_planner
 from repro.lang import ast
+from repro.model import columns as _columns
 from repro.model.relation import EMPTY, Relation
 from repro.model.relation import row_key as model_row_key
 from repro.model.values import UnknownValueError
@@ -79,6 +81,78 @@ def _fresh(prefix: str) -> str:
     """A globally fresh hidden column name (nested expansions must not
     collide on stash columns)."""
     return f"__{prefix}{next(_FRESH)}"
+
+
+# ---------------------------------------------------------------------------
+# Columnar kernel routing (repro.model.columns)
+# ---------------------------------------------------------------------------
+
+#: Under ``columnar="auto"`` the vectorized kernels only engage above this
+#: input size — below it the Python→numpy round-trip costs more than it
+#: saves. ``"on"`` ignores the threshold, so the differential suite can
+#: exercise the kernels on arbitrarily small tables.
+_COLUMNAR_MIN_ROWS = 64
+
+
+def _columnar_mode(ctx) -> str:
+    """The effective columnar knob: "off" whenever the session disables it
+    or the typed plane is unavailable (no numpy / REPRO_COLUMNAR=off)."""
+    options = getattr(ctx, "options", None)
+    mode = getattr(options, "columnar", "off") if options is not None else "off"
+    if mode == "off" or not _columns.available():
+        return "off"
+    return mode
+
+
+def _kernel_wanted(mode: str, n: int) -> bool:
+    return mode == "on" or (mode == "auto" and n >= _COLUMNAR_MIN_ROWS)
+
+
+def _count_columnar(ctx, event: str) -> None:
+    state = getattr(ctx, "state", None)
+    if state is not None and hasattr(state, "count_columnar"):
+        state.count_columnar(event)
+
+
+def _dedupe(table: Table, ctx) -> Table:
+    """:meth:`Table.dedupe` routed through the columnar kernel when the
+    knob and input size allow — the result is identical either way."""
+    if table.distinct:
+        return table
+    if len(table) and _kernel_wanted(_columnar_mode(ctx), len(table)):
+        result = dedupe_table(table)
+        if result is not None:
+            _count_columnar(ctx, "dedupe")
+            return result
+        _count_columnar(ctx, "dedupe_fallback")
+    return table.dedupe()
+
+
+def _project(table: Table, keep: Sequence[str], ctx) -> Table:
+    """:meth:`Table.project` routed through the columnar kernel.
+
+    Sized checks only (``len``, never ``.rows``): a columnar-backed table
+    must reach :func:`project_table` unmaterialized for the vectorized
+    fast path to pay off."""
+    if len(table) and _kernel_wanted(_columnar_mode(ctx), len(table)):
+        result = project_table(table, keep)
+        if result is not None:
+            _count_columnar(ctx, "project")
+            return result
+        _count_columnar(ctx, "project_fallback")
+    return table.project(keep)
+
+
+def _union(tables: List[Table], cols: Tuple[str, ...], ctx) -> Table:
+    """:func:`union_tables` routed through the columnar kernel."""
+    total = sum(len(t) for t in tables)
+    if total and _kernel_wanted(_columnar_mode(ctx), total):
+        result = union_tables_typed(tables, cols)
+        if result is not None:
+            _count_columnar(ctx, "union")
+            return result
+        _count_columnar(ctx, "union_fallback")
+    return union_tables(tables, cols)
 
 
 class Frame:
@@ -123,11 +197,13 @@ def _expand_const(node: ast.Const, table: Table, frame: Frame, ctx) -> Table:
     if isinstance(node.value, bool):
         # The keywords true/false denote {()} and {} (Section 4.3).
         if node.value:
-            return Table(table.cols, list(table.rows))
+            return Table(table.cols, list(table.rows),
+                         distinct=table.distinct)
         return table.clone_cols()
     value = node.value
+    # Appending the same constant to every payload is row-bijective.
     rows = [row[:-1] + (row[-1] + (value,),) for row in table.rows]
-    return Table(table.cols, rows)
+    return Table(table.cols, rows, distinct=table.distinct)
 
 
 def _expand_ref(node: ast.Ref, table: Table, frame: Frame, ctx) -> Table:
@@ -135,8 +211,9 @@ def _expand_ref(node: ast.Ref, table: Table, frame: Frame, ctx) -> Table:
     if name in frame.scope:
         if table.has_col(name):
             idx = table.col_index(name)
+            # Row-bijective: the appended value comes from the row itself.
             rows = [row[:-1] + (row[-1] + (row[idx],),) for row in table.rows]
-            return Table(table.cols, rows)
+            return Table(table.cols, rows, distinct=table.distinct)
         raise NotOrderable(f"variable {name} is not yet bound")
     found, value = frame.env.get(name)
     if found:
@@ -164,9 +241,9 @@ def _payload_from_value(value: Any, table: Table, name: str, ctx) -> Table:
         raise NotOrderable(f"second-order value {name} cannot be enumerated")
     if isinstance(value, tuple):  # captured tuple variable
         rows = [row[:-1] + (row[-1] + value,) for row in table.rows]
-        return Table(table.cols, rows)
+        return Table(table.cols, rows, distinct=table.distinct)
     rows = [row[:-1] + (row[-1] + (value,),) for row in table.rows]
-    return Table(table.cols, rows)
+    return Table(table.cols, rows, distinct=table.distinct)
 
 
 def _payload_relation(rel: Relation, table: Table) -> Table:
@@ -175,7 +252,12 @@ def _payload_relation(rel: Relation, table: Table) -> Table:
         base, payload = row[:-1], row[-1]
         for tup in rel:
             rows.append(base + (payload + tup,))
-    return Table(table.cols, rows)
+    # Relation tuples are row_key-distinct by storage; with a uniform
+    # arity, base + (payload + tup) splits back unambiguously, so distinct
+    # table rows × distinct tuples stay distinct (the satellite fix: base
+    # extents reach binding tables without a redundant re-keying pass).
+    distinct = table.distinct and len(rel.arities()) <= 1
+    return Table(table.cols, rows, distinct=distinct)
 
 
 def _expand_tupleref(node: ast.TupleRef, table: Table, frame: Frame, ctx) -> Table:
@@ -184,12 +266,12 @@ def _expand_tupleref(node: ast.TupleRef, table: Table, frame: Frame, ctx) -> Tab
         if table.has_col(name):
             idx = table.col_index(name)
             rows = [row[:-1] + (row[-1] + row[idx],) for row in table.rows]
-            return Table(table.cols, rows)
+            return Table(table.cols, rows, distinct=table.distinct)
         raise NotOrderable(f"tuple variable {name}... is not yet bound")
     found, value = frame.env.get(name)
     if found and isinstance(value, tuple):
         rows = [row[:-1] + (row[-1] + value,) for row in table.rows]
-        return Table(table.cols, rows)
+        return Table(table.cols, rows, distinct=table.distinct)
     raise UnknownRelationError(f"{name}...")
 
 
@@ -318,7 +400,7 @@ def _schedule(
                 slot_cols[slot] = col
             else:
                 table = expanded.clear_payload()
-            table = table.dedupe()
+            table = _dedupe(table, ctx)
             break
         if scheduled is None:
             raise NotOrderable(
@@ -375,7 +457,7 @@ def _execute_plan(plan, items, table: Table, frame: Frame, ctx) -> Optional[Tabl
                 slot_cols[slot] = col
             else:
                 table = expanded.clear_payload()
-            table = table.dedupe()
+            table = _dedupe(table, ctx)
     except NotOrderable:
         return None
     ordered = [slot_cols[s] for s in sorted(slot_cols)]
@@ -561,40 +643,71 @@ def _attach_multiway(atoms: List[joins_planner.Atom],
         atoms.append(joins_planner.Atom(tuple(rows), tuple(shared)))
 
     options = getattr(ctx, "options", None)
-    strategy = getattr(options, "join_strategy", "off")
-    if strategy == "auto":
-        strategy = joins_planner.choose_strategy(
-            atoms, getattr(options, "leapfrog_min_rows", 128)
-        )
     state = getattr(ctx, "state", None)
-    trie_builder = None
-    index_builder = None
-    if state is not None:
-        if strategy == "leapfrog" and hasattr(state, "sorted_trie"):
-            trie_builder = state.sorted_trie
-        if strategy == "binary" and hasattr(state, "atom_index") \
-                and getattr(options, "plan_cache", False):
-            index_builder = state.atom_index
-
     new = [v for v in join_vars if v not in table.cols]
     output = tuple(shared) + tuple(new)
-    # Every atom handed over is row_key-distinct (relation-backed rows,
-    # deduplicated spec projections, deduplicated binding-table atom), so
-    # the join layer may skip its output dedup when no columns collapse.
-    result = joins_planner.multiway_join(atoms, output, strategy,
-                                         trie_builder=trie_builder,
-                                         index_builder=index_builder,
-                                         distinct_inputs=True)
-    if state is not None and hasattr(state, "count_join"):
-        state.count_join(strategy)
+
+    result = None
+    result_cols = None
+    mode = _columnar_mode(ctx)
+    if _kernel_wanted(mode, sum(len(a.rows) for a in atoms)):
+        # Vectorized probe first: every participating column typed means
+        # the whole join runs as numpy kernels; any untypeable atom makes
+        # it decline and the interpreted strategies below take over. The
+        # result stays columnar (a ColumnSet) so the reattach below can
+        # hand downstream projection the vectors instead of tuples.
+        out = joins_planner.columnar_plan_join(atoms, output,
+                                               as_columns=True)
+        if out is not None:
+            _count_columnar(ctx, "join")
+            if state is not None and hasattr(state, "count_join"):
+                state.count_join("columnar")
+            if isinstance(out, list):
+                result = out
+            else:
+                result_cols = out
+        else:
+            _count_columnar(ctx, "join_fallback")
+
+    if result is None and result_cols is None:
+        strategy = getattr(options, "join_strategy", "off")
+        if strategy == "auto":
+            strategy = joins_planner.choose_strategy(
+                atoms, getattr(options, "leapfrog_min_rows", 128)
+            )
+        trie_builder = None
+        index_builder = None
+        if state is not None:
+            if strategy == "leapfrog" and hasattr(state, "sorted_trie"):
+                trie_builder = state.sorted_trie
+            if strategy == "binary" and hasattr(state, "atom_index") \
+                    and getattr(options, "plan_cache", False):
+                index_builder = state.atom_index
+        # Every atom handed over is row_key-distinct (relation-backed rows,
+        # deduplicated spec projections, deduplicated binding-table atom), so
+        # the join layer may skip its output dedup when no columns collapse.
+        result = joins_planner.multiway_join(atoms, output, strategy,
+                                             trie_builder=trie_builder,
+                                             index_builder=index_builder,
+                                             distinct_inputs=True)
+        if state is not None and hasattr(state, "count_join"):
+            state.count_join(strategy)
 
     if not shared and len(table.rows) == 1:
         # One-row binding table (a rule's unit seed is the fixpoint hot
         # case): the join result is already value-distinct and attaches to
-        # the single row directly — skip the bucket-and-dedupe pass.
+        # the single row directly — skip the bucket-and-dedupe pass. A
+        # columnar result attaches lazily: the prefix and payload are
+        # constants, so the rows need never exist as Python tuples unless
+        # something downstream asks for them.
         row = table.rows[0]
+        if result_cols is not None:
+            return Table.from_columns(table.cols + tuple(new), row[:-1],
+                                      result_cols, row[-1])
         out_rows = [row[:-1] + suffix + (row[-1],) for suffix in result]
         return Table(table.cols + tuple(new), out_rows, distinct=True)
+    if result_cols is not None:
+        result = result_cols.to_rows()
     ns = len(shared)
     by_key: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
     for row in result:
@@ -606,7 +719,12 @@ def _attach_multiway(atoms: List[joins_planner.Atom],
         key = joins_planner.row_key(tuple(row[i] for i in sidx))
         for suffix in by_key.get(key, ()):
             out_rows.append(row[:-1] + suffix + (row[-1],))
-    return Table(table.cols + tuple(new), out_rows).dedupe()
+    if table.distinct:
+        # Join results are row_key-distinct and bucketed by shared-prefix
+        # key, so per table row the suffixes are distinct; with the table
+        # rows themselves distinct no output row can repeat.
+        return Table(table.cols + tuple(new), out_rows, distinct=True)
+    return _dedupe(Table(table.cols + tuple(new), out_rows), ctx)
 
 
 # ---------------------------------------------------------------------------
@@ -614,13 +732,13 @@ def _attach_multiway(atoms: List[joins_planner.Atom],
 # ---------------------------------------------------------------------------
 
 
-def _merge_branch_tables(expanded: List[Table], table: Table) -> Table:
+def _merge_branch_tables(expanded: List[Table], table: Table, ctx) -> Table:
     common_new = None
     for t in expanded:
         new = set(t.cols) - set(table.cols)
         common_new = new if common_new is None else (common_new & new)
     cols = table.cols + tuple(sorted(common_new or ()))
-    return union_tables(expanded, cols)
+    return _union(expanded, cols, ctx)
 
 
 def _expand_union(node: ast.Node, table: Table, frame: Frame, ctx) -> Table:
@@ -628,7 +746,7 @@ def _expand_union(node: ast.Node, table: Table, frame: Frame, ctx) -> Table:
     if not branches:
         return table.clone_cols()  # {} — the empty relation
     expanded = [expand(branch, table, frame, ctx) for branch in branches]
-    return _merge_branch_tables(expanded, table)
+    return _merge_branch_tables(expanded, table, ctx)
 
 
 # ---------------------------------------------------------------------------
@@ -756,7 +874,7 @@ def _expand_exists(node: ast.Exists, table: Table, frame: Frame, ctx) -> Table:
     items += [(None, n) for _, n in flat]  # quantified body yields no payload
     result = _schedule(items, table, inner_frame, ctx, anchor=node)
     unbound = set(locals_) - set(result.cols)
-    if unbound and result.rows:
+    if unbound and len(result):
         raise SafetyError(
             f"existential variables {sorted(unbound)} are unconstrained"
         )
@@ -764,13 +882,13 @@ def _expand_exists(node: ast.Exists, table: Table, frame: Frame, ctx) -> Table:
     # bound by the body (classic FO semantics) are exported.
     drop = set(locals_)
     keep = [c for c in result.cols if c not in drop]
-    projected = result.project(keep)
+    projected = _project(result, keep, ctx)
     if not any(row[-1] for row in projected.rows):
         # Payloads are already empty (the usual case: the body is a pure
         # formula), so clearing cannot introduce duplicates — the
         # projection's dedupe stands.
         return projected
-    return projected.clear_payload().dedupe()
+    return _dedupe(projected.clear_payload(), ctx)
 
 
 def _expand_forall(node: ast.ForAll, table: Table, frame: Frame, ctx) -> Table:
@@ -830,25 +948,57 @@ def _expand_compare(node: ast.Compare, table: Table, frame: Frame, ctx) -> Table
                     "assignment requires a single value per result tuple"
                 )
             rows.append(row[:-1] + (payload[0], ()))
-        return Table(expanded.cols + (var,), rows).dedupe()
+        return _dedupe(Table(expanded.cols + (var,), rows), ctx)
     # Filter: expand both sides over the table, compare pointwise.
-    fn = _CMP_FUNCS[node.op]
     stash = _fresh("cmpl")
     t1 = expand(node.lhs, table, frame, ctx).stash_payload(stash)
     t2 = expand(node.rhs, t1, frame, ctx)
     li = t2.col_index(stash)
-    rows = []
-    for row in t2.rows:
+    rows = _compare_filter_kernel(t2, li, node.op, ctx)
+    if rows is None:
+        fn = _CMP_FUNCS[node.op]
+        rows = []
+        for row in t2.rows:
+            left, right = row[li], row[-1]
+            if len(left) != 1 or len(right) != 1:
+                raise EvaluationError("comparison requires scalar operands")
+            if fn(left[0], right[0]):
+                rows.append(row)
+    kept = Table(t2.cols, rows, distinct=t2.distinct)
+    keep_cols = [c for c in kept.cols if c != stash]
+    projected = _project(kept, keep_cols, ctx)
+    return _dedupe(Table(projected.cols,
+                         [r[:-1] + ((),) for r in projected.rows]), ctx)
+
+
+def _compare_filter_kernel(t2: Table, li: int, op: str,
+                           ctx) -> Optional[List[Tuple[Any, ...]]]:
+    """Vectorized comparison filter over the paired operand columns, or
+    ``None`` to fall back (untypeable operands, string orderings — whose
+    interning codes are not lexicographic — or a non-scalar operand, whose
+    user-facing error the interpreted loop raises)."""
+    rows = t2.rows
+    if not rows or not _kernel_wanted(_columnar_mode(ctx), len(rows)):
+        return None
+    lvals: List[Any] = []
+    rvals: List[Any] = []
+    for row in rows:
         left, right = row[li], row[-1]
         if len(left) != 1 or len(right) != 1:
-            raise EvaluationError("comparison requires scalar operands")
-        if fn(left[0], right[0]):
-            rows.append(row)
-    kept = Table(t2.cols, rows)
-    keep_cols = [c for c in kept.cols if c != stash]
-    projected = kept.project(keep_cols)
-    return Table(projected.cols,
-                 [r[:-1] + ((),) for r in projected.rows]).dedupe()
+            return None
+        lvals.append(left[0])
+        rvals.append(right[0])
+    left_col = _columns.type_column(lvals)
+    right_col = _columns.type_column(rvals)
+    mask = None
+    if left_col is not None and right_col is not None:
+        mask = _columns.compare_mask(left_col[0], left_col[1], op,
+                                     right_col[0], right_col[1])
+    if mask is None:
+        _count_columnar(ctx, "filter_fallback")
+        return None
+    _count_columnar(ctx, "filter")
+    return [row for row, keep in zip(rows, mask.tolist()) if keep]
 
 
 _ARITH_FUNCS: Dict[str, str] = {
@@ -875,7 +1025,7 @@ def _expand_binop(node: ast.BinOp, table: Table, frame: Frame, ctx) -> Table:
         for result in builtin.solve((left[0], right[0], FREE)):
             rows.append(row[:-1] + ((result[2],),))
     t3 = Table(t2.cols, rows)
-    return t3.project([c for c in t3.cols if c != stash])
+    return _project(t3, [c for c in t3.cols if c != stash], ctx)
 
 
 def _expand_neg(node: ast.Neg, table: Table, frame: Frame, ctx) -> Table:
@@ -906,7 +1056,7 @@ def _expand_dotjoin(node: ast.DotJoin, table: Table, frame: Frame, ctx) -> Table
         if left and right and _vals_eq(left[-1], right[0]):
             rows.append(row[:-1] + (left[:-1] + right[1:],))
     t3 = Table(t2.cols, rows)
-    return t3.project([c for c in t3.cols if c != stash]).dedupe()
+    return _dedupe(_project(t3, [c for c in t3.cols if c != stash], ctx), ctx)
 
 
 def _expand_left_override(node: ast.LeftOverride, table: Table, frame: Frame,
@@ -930,7 +1080,7 @@ def _expand_left_override(node: ast.LeftOverride, table: Table, frame: Frame,
             payload = r[-1]
             if payload and (len(payload), payload[:-1]) not in keys:
                 rows.append(row[:-1] + (row[-1] + payload,))
-    return Table(table.cols, rows).dedupe()
+    return _dedupe(Table(table.cols, rows), ctx)
 
 
 # ---------------------------------------------------------------------------
@@ -946,7 +1096,7 @@ def _expand_abstraction(node: ast.Abstraction, table: Table, frame: Frame,
     items.append((0, node.body))
     result = _schedule(items, table, inner_frame, ctx, anchor=node)
     unbound = set(locals_) - set(result.cols)
-    if unbound and result.rows:
+    if unbound and len(result):
         raise SafetyError(
             f"abstraction variables {sorted(unbound)} are unconstrained"
         )
@@ -990,7 +1140,7 @@ def _expand_abstraction(node: ast.Abstraction, table: Table, frame: Frame,
                 prefix += (cval[0],)
         if ok:
             rows.append(tuple(row[i] for i in keep_idx) + (prefix + row[-1],))
-    return Table(tuple(keep), rows).dedupe()
+    return _dedupe(Table(tuple(keep), rows), ctx)
 
 
 # ---------------------------------------------------------------------------
@@ -1352,7 +1502,7 @@ def _pregenerate_value_args(args, table: Table, frame: Frame, ctx):
                     "first-order argument must evaluate to unary tuples"
                 )
             rows.append(row[:-1] + (payload[0], ()))
-        table = Table(expanded.cols + (col,), rows).dedupe()
+        table = _dedupe(Table(expanded.cols + (col,), rows), ctx)
         frame = frame.with_scope([col])
         new_args.append(ast.Ref(col))
     return tuple(new_args), table, frame
@@ -1408,6 +1558,14 @@ def _match_realized_rows(rel: Relation, realized, partial: bool,
             yield base + new_vals + (payload0 + suffix,)
 
 
+#: Matcher kinds for which one stored tuple yields at most one match that
+#: is fully determined by the tuple: fixed-value checks and scalar binds.
+#: Segment kinds (tuple binds, splices) and VALSET/ANY/INVERT can map
+#: distinct tuples to one output and are excluded.
+_INJECTIVE_KINDS = frozenset(
+    {_Matcher.VAL, _Matcher.BIND, _Matcher.SAMEVAR, _Matcher.RELVAL})
+
+
 def _match_with_items(rel: Relation, items, partial: bool, table: Table,
                       ctx) -> Table:
     new_vars = _item_new_vars(items)
@@ -1421,7 +1579,14 @@ def _match_with_items(rel: Relation, items, partial: bool, table: Table,
             _match_realized_rows(rel, realized, partial, row[:-1], row[-1],
                                  new_vars, ctx)
         )
-    return Table(out_cols, rows).dedupe()
+    # Satellite fix: a full-arity match whose items are all fixed checks or
+    # scalar binds consumes each row_key-distinct stored tuple at most once
+    # and determines the output from it, so a distinct incoming table makes
+    # the output distinct without re-keying.
+    if not partial and table.distinct \
+            and all(k in _INJECTIVE_KINDS for k, _ in items):
+        return Table(out_cols, rows, distinct=True)
+    return _dedupe(Table(out_cols, rows), ctx)
 
 
 def _realize_items(items, row):
@@ -1607,7 +1772,7 @@ def _apply_builtin(builtin: Builtin, args, partial: bool, table: Table,
                     binds[v] for v in invert_vars
                 )
                 rows.append(base + new_vals + (payload0 + suffix,))
-    return _strip_hidden(Table(out_cols, rows).dedupe())
+    return _strip_hidden(_dedupe(Table(out_cols, rows), ctx))
 
 
 # -- reduce -------------------------------------------------------------------
@@ -1644,7 +1809,7 @@ def _apply_reduce(args, partial: bool, table: Table, frame: Frame, ctx) -> Table
     var = _is_unbound_var(check, result, frame)
     if var is not None:
         rows2 = [row[:-1] + (row[-1][-1], row[-1][:-1]) for row in result.rows]
-        return Table(result.cols + (var,), rows2).dedupe()
+        return _dedupe(Table(result.cols + (var,), rows2), ctx)
     filtered: List[Tuple[Any, ...]] = []
     for row in result.rows:
         sub = Table(result.cols, [row[:-1] + ((),)])
@@ -1652,7 +1817,7 @@ def _apply_reduce(args, partial: bool, table: Table, frame: Frame, ctx) -> Table
         target = {r[-1] for r in vals.rows}
         if (row[-1][-1],) in target:
             filtered.append(row[:-1] + (row[-1][:-1],))
-    return Table(result.cols, filtered).dedupe()
+    return _dedupe(Table(result.cols, filtered), ctx)
 
 
 def _second_order_value(node: ast.Node, table: Table, frame: Frame, ctx):
@@ -1676,6 +1841,15 @@ def _fold(op, rel: Relation, frame: Frame, ctx) -> Optional[Any]:
     values = sorted(rel.last_column_values(),
                     key=lambda v: (0, v) if isinstance(v, (int, float))
                     and not isinstance(v, bool) else (1, str(v)))
+    if isinstance(op, Builtin) \
+            and _kernel_wanted(_columnar_mode(ctx), len(values)):
+        # C-level fold for the numeric aggregates; identical left-to-right
+        # fold, so bit-identical to chaining the binary builtin below.
+        fast = _columns.fold_values(op.name, values)
+        if fast is not None:
+            _count_columnar(ctx, "fold")
+            return fast
+        _count_columnar(ctx, "fold_fallback")
     acc = values[0]
     for v in values[1:]:
         acc = _apply_binary(op, acc, v, frame, ctx)
@@ -1764,7 +1938,7 @@ def _apply_closure(closure: Closure, args, partial: bool, table: Table,
                 f"no rule of {closure.name} is evaluable here: {first_error}"
             )
         return table.clone_cols()
-    return _merge_branch_tables(results, table)
+    return _merge_branch_tables(results, table, ctx)
 
 
 def _check_ambiguity(closure: Closure, args, group_ks: Set[int],
@@ -1828,7 +2002,7 @@ def _apply_group(closure: Closure, k: int, rel_args, value_args, partial: bool,
         )
     if not out_tables:
         return _strip_hidden(table.clone_cols())
-    return _strip_hidden(_merge_branch_tables(out_tables, table))
+    return _strip_hidden(_merge_branch_tables(out_tables, table, ctx))
 
 
 def _apply_group_constant(closure: Closure, k: int, rel_values, value_args,
@@ -1865,7 +2039,7 @@ def _apply_group_constant(closure: Closure, k: int, rel_values, value_args,
                 _match_realized_rows(extent, concrete, partial, row[:-1],
                                      row[-1], new_vars, ctx)
             )
-    return Table(out_cols, out_rows).dedupe()
+    return _dedupe(Table(out_cols, out_rows), ctx)
 
 
 def _realized_arity(realized) -> Optional[int]:
@@ -1988,7 +2162,7 @@ def _apply_group_correlated(closure: Closure, k: int, rel_args, value_args,
     if not out_tables:
         return Table(base_cols + tuple(frees), [])
     merged = _merge_branch_tables(
-        out_tables, Table(base_cols + tuple(frees), [])
+        out_tables, Table(base_cols + tuple(frees), []), ctx
     )
     return merged
 
@@ -2443,7 +2617,7 @@ def _eval_rule_keyed(rule: Rule, env: Env, ctx,
     except NotOrderable as exc:
         raise SafetyError(str(exc)) from exc
     unbound = set(locals_) - set(result.cols)
-    if unbound and result.rows:
+    if unbound and len(result):
         raise SafetyError(
             f"rule {rule.name}: head variables {sorted(unbound)} are unconstrained"
         )

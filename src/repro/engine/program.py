@@ -23,6 +23,7 @@ paper's semantics (Section 3.3 and Addendum A):
 from __future__ import annotations
 
 import dataclasses
+import os
 import sys
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -99,6 +100,16 @@ class EngineOptions:
     #: longer fit. "False" re-interprets every evaluation from the AST
     #: (ablation: benchmarks/bench_plan_cache.py).
     plan_cache: bool = True
+    #: Columnar data plane (repro.model.columns): vectorized join probe,
+    #: dedupe/project, filter and aggregate kernels over typed column
+    #: vectors. "auto" routes through the kernels when every participating
+    #: column is typed and the input is large enough to amortize the
+    #: numpy round-trip; "on" forces the kernels whenever the columns are
+    #: typeable (any size — used by the differential tests); "off"
+    #: interprets everything row-at-a-time. The environment variable
+    #: ``REPRO_COLUMNAR`` overrides the default (CI ablation).
+    columnar: str = dataclasses.field(
+        default_factory=lambda: os.environ.get("REPRO_COLUMNAR", "auto").lower() or "auto")
 
     def __post_init__(self) -> None:
         if self.join_strategy not in ("auto", "leapfrog", "binary", "off"):
@@ -110,6 +121,11 @@ class EngineOptions:
             raise ValueError(
                 f"unknown maintenance mode {self.maintenance!r}; expected "
                 f"'auto', 'delta', or 'recompute'"
+            )
+        if self.columnar not in ("auto", "on", "off"):
+            raise ValueError(
+                f"unknown columnar mode {self.columnar!r}; expected "
+                f"'auto', 'on', or 'off'"
             )
 
 
@@ -137,6 +153,7 @@ class EvalState:
         self.eval_counts: Dict[str, int] = {}
         self.join_stats: Dict[str, int] = {}
         self.maint_stats: Dict[str, int] = {}
+        self.columnar_stats: Dict[str, int] = {}
         self.memo: Dict[Tuple[Any, ...], Relation] = {}
         self.in_progress: Dict[Tuple[Any, ...], Relation] = {}
         self.touch_stack: List[Set[Tuple[Any, ...]]] = []
@@ -285,6 +302,11 @@ class EvalState:
         """Record a maintenance event (the explain counters behind
         ``Session.maintenance_statistics()``)."""
         self.maint_stats[event] = self.maint_stats.get(event, 0) + n
+
+    def count_columnar(self, event: str, n: int = 1) -> None:
+        """Record a columnar-kernel hit or fallback (the counters behind
+        ``Session.columnar_statistics()``)."""
+        self.columnar_stats[event] = self.columnar_stats.get(event, 0) + n
 
     def clear_indexes(self) -> None:
         """Drop the atom-index, join-index, and sorted-trie caches (and
@@ -1842,6 +1864,15 @@ class RelProgram:
         if self._state is None:
             return {}
         return dict(self._state.plan_stats)
+
+    def columnar_statistics(self) -> Dict[str, int]:
+        """Columnar-kernel explain counters: per-kernel hit counts
+        ("join", "dedupe", "project", "union", "filter", "fold") and the
+        matching "*_fallback" counts for inputs the typed plane declined
+        (mixed arity, untypeable values, numpy unavailable)."""
+        if self._state is None:
+            return {}
+        return dict(self._state.columnar_stats)
 
     def output(self) -> Relation:
         """The contents of the ``output`` control relation (Section 3.4)."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.model import columns as _columns
 from repro.model.values import BOOL_FALSE_KEY, BOOL_TRUE_KEY
 
 Row = Tuple[Any, ...]
@@ -51,14 +52,27 @@ class Table:
     tables (the fixpoint hot loop re-keys every row several times per
     iteration otherwise)."""
 
-    __slots__ = ("cols", "rows", "_colmap", "distinct")
+    __slots__ = ("cols", "_rows", "_colmap", "distinct", "colsrc")
 
     def __init__(self, cols: Tuple[str, ...], rows: List[Row],
                  distinct: bool = False) -> None:
         self.cols = cols
-        self.rows = rows
+        self._rows = rows
         self._colmap: Optional[Dict[str, int]] = None
         self.distinct = distinct
+        self.colsrc: Optional[Tuple[Row, Any, Tuple[Any, ...]]] = None
+
+    @property
+    def rows(self) -> List[Row]:
+        """The row list; tables built from a columnar join result
+        (:meth:`from_columns`) materialize it lazily so downstream
+        vectorized projection can skip the Python tuples entirely."""
+        rows = self._rows
+        if rows is None:
+            prefix, colset, payload = self.colsrc
+            rows = [prefix + body + (payload,) for body in colset.to_rows()]
+            self._rows = rows
+        return rows
 
     # -- construction --------------------------------------------------------
 
@@ -66,6 +80,22 @@ class Table:
     def unit() -> "Table":
         """The table with no variables and one row with an empty payload."""
         return Table((), [((),)], distinct=True)
+
+    @staticmethod
+    def from_columns(cols: Tuple[str, ...], prefix: Row, colset: Any,
+                     payload: Tuple[Any, ...]) -> "Table":
+        """A table whose logical rows are ``prefix + colset row + (payload,)``
+        with ``prefix`` and ``payload`` constant across rows.
+
+        The backing :class:`~repro.model.columns.ColumnSet` stays attached
+        (``colsrc``) and rows materialize only on first ``.rows`` access;
+        :func:`project_table` projects straight off the vectors when asked
+        first. Distinct by construction: the colset rows are value-distinct
+        (a deduplicated join output) and the constant prefix/payload cannot
+        split equal rows apart."""
+        table = Table(cols, None, distinct=True)  # type: ignore[arg-type]
+        table.colsrc = (prefix, colset, payload)
+        return table
 
     @staticmethod
     def empty(cols: Tuple[str, ...] = ()) -> "Table":
@@ -92,10 +122,12 @@ class Table:
         return name in self.cols
 
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is None:
+            return len(self.colsrc[1])
+        return len(self._rows)
 
     def __bool__(self) -> bool:
-        return bool(self.rows)
+        return len(self) > 0
 
     def payloads(self) -> Iterable[Tuple[Any, ...]]:
         for row in self.rows:
@@ -198,3 +230,102 @@ def union_tables(tables: List[Table], cols: Tuple[str, ...]) -> Table:
                 seen.add(key)
                 rows.append(new)
     return Table(cols, rows, distinct=True)
+
+
+# -- vectorized kernels ------------------------------------------------------
+#
+# Each helper returns ``None`` to decline — mixed payload arity, untypeable
+# values (Symbols, entities, nested Relations/tuples, huge ints, NaN), or an
+# unavailable numpy — in which case the caller falls back to the interpreted
+# path above. On success the result is bit-identical to the interpreted
+# version: ``_flatten`` splices the payload into the row so Boolean tagging
+# and numeric cross-type equality are handled by the column type tags
+# (see ``repro.model.columns``), exactly mirroring :func:`row_ident`.
+
+
+def _flatten(rows: Sequence[Row]) -> Optional[List[Row]]:
+    """Rows with the payload spliced in, or ``None`` on mixed payload arity."""
+    plen = len(rows[0][-1])
+    flat: List[Row] = []
+    for row in rows:
+        payload = row[-1]
+        if len(payload) != plen:
+            return None
+        flat.append(row[:-1] + payload)
+    return flat
+
+
+def dedupe_table(table: Table) -> Optional[Table]:
+    """Vectorized :meth:`Table.dedupe`, or ``None`` to decline."""
+    if table.distinct or not table:  # columnar-backed tables are distinct
+        return table
+    rows = table.rows
+    flat = _flatten(rows)
+    if flat is None:
+        return None
+    keep = _columns.dedupe_indices(flat)
+    if keep is None:
+        return None
+    if len(keep) == len(rows):
+        return Table(table.cols, rows, distinct=True)
+    return Table(table.cols, [rows[i] for i in keep], distinct=True)
+
+
+def project_table(table: Table, keep: Sequence[str]) -> Optional[Table]:
+    """Vectorized :meth:`Table.project`, or ``None`` to decline."""
+    if not table:
+        return Table(tuple(keep), [], distinct=True)
+    if table.colsrc is not None:
+        projected = _project_columns(table, keep)
+        if projected is not None:
+            return projected
+    indices = [table.col_index(c) for c in keep]
+    rows = [tuple(row[i] for i in indices) + (row[-1],) for row in table.rows]
+    projected = Table(tuple(keep), rows)
+    return dedupe_table(projected)
+
+
+def _project_columns(table: Table, keep: Sequence[str]) -> Optional[Table]:
+    """Project a columnar-backed table straight off its vectors.
+
+    The projection's dedupe key is ``(kept values..., payload)``; the
+    payload (and any kept prefix column) is one shared constant, so the
+    key collapses to the kept vector columns and ``distinct_indices``
+    decides it without ever materializing the pre-projection rows."""
+    prefix, colset, payload = table.colsrc
+    npre = len(prefix)
+    placing = []        # (output position, constant | None, column index)
+    vector_cols = []    # (tag, array) pairs feeding the distinct kernel
+    for pos, name in enumerate(keep):
+        i = table.col_index(name)
+        if i < npre:
+            placing.append((pos, prefix[i], None))
+        else:
+            placing.append((pos, None, len(vector_cols)))
+            vector_cols.append((colset.tags[i - npre],
+                                colset.arrays[i - npre]))
+    if not vector_cols:
+        # All kept columns are prefix constants: one row survives.
+        row = tuple(const for _, const, _ in placing) + (payload,)
+        return Table(tuple(keep), [row] if len(table) else [], distinct=True)
+    keep_idx = _columns.distinct_indices(vector_cols, len(colset))
+    decoded = [_columns.decode_column(tag, arr[keep_idx])
+               for tag, arr in vector_cols]
+    rows: List[Row] = []
+    for j in range(len(keep_idx)):
+        rows.append(tuple(const if vec is None else decoded[vec][j]
+                          for _, const, vec in placing) + (payload,))
+    return Table(tuple(keep), rows, distinct=True)
+
+
+def union_tables_typed(tables: List[Table],
+                       cols: Tuple[str, ...]) -> Optional[Table]:
+    """Vectorized :func:`union_tables`, or ``None`` to decline."""
+    rows: List[Row] = []
+    for table in tables:
+        indices = [table.col_index(c) for c in cols]
+        rows.extend(tuple(row[i] for i in indices) + (row[-1],)
+                    for row in table.rows)
+    if not rows:
+        return Table(cols, [], distinct=True)
+    return dedupe_table(Table(cols, rows))

@@ -231,6 +231,61 @@ def _probe_indexed(current_rows: List[Row], current_cols: Tuple[str, ...],
     return out, out_cols
 
 
+#: Signature of the engine's columnar hook: atom → ColumnSet | None.
+ColumnsBuilder = Callable[[Atom], Any]
+
+
+def columnar_plan_join(atoms: Sequence[Atom], output: Sequence[str],
+                       columns_builder: Optional[ColumnsBuilder] = None,
+                       as_columns: bool = False) -> Any:
+    """Vectorized hash-join probe over typed column vectors.
+
+    The columnar analog of :func:`binary_plan_join`: the same greedy
+    pairwise order, but key matching, probe expansion, projection, and
+    output dedup all run as whole-column numpy kernels
+    (:func:`repro.model.columns.join_columnsets`). Returns ``None`` to
+    decline — any participating atom not typeable, or a comparison the
+    typed plane cannot do exactly — in which case the caller falls back to
+    an interpreted strategy with identical semantics. ``columns_builder``
+    maps an atom to its (cached) :class:`~repro.model.columns.ColumnSet`;
+    by default atoms with a ``Relation`` source use the relation's memoized
+    columns and sourceless atoms are sniffed fresh.
+    """
+    from repro.model import columns as _columns
+
+    if not _columns.available():
+        return None
+    atoms, empty = _prepare(atoms, output)
+    if empty:
+        return []
+    if not atoms:
+        return [()]
+    if any(not len(a.rows) for a in atoms):
+        return []
+    if columns_builder is None:
+        columns_builder = default_columns_builder
+    typed = []
+    for atom in atoms:
+        cs = columns_builder(atom)
+        if cs is None:
+            return None
+        typed.append((cs, atom.variables))
+    return _columns.join_columnsets(typed, tuple(output),
+                                    as_columns=as_columns)
+
+
+def default_columns_builder(atom: Atom) -> Any:
+    """ColumnSet for an atom: via the source relation's memoized columns
+    when the rows are the relation's own (zero-copy atoms), else a fresh
+    sniffing pass over the atom's rows."""
+    from repro.model.columns import ColumnSet
+
+    if isinstance(atom.source, Relation):
+        return atom.source.columns()
+    return ColumnSet.from_rows(atom.rows if isinstance(atom.rows, (list, tuple))
+                               else list(atom.rows))
+
+
 def nested_loop_plan_join(atoms: Sequence[Atom],
                           output: Sequence[str]) -> List[Row]:
     """Reference evaluator: enumerate variable assignments atom by atom with

@@ -1,0 +1,514 @@
+"""Typed columnar vectors behind the ``Relation``/``Table`` interfaces.
+
+The row-keyed dict storage of :class:`repro.model.relation.Relation` pays
+per-row Python interpretation on every join, filter, dedupe, and serialize;
+at the data sizes the paper targets that overhead dominates (BENCH_pr5's
+``pure_cpu_ratio`` is ~0.94). This module is the typed fast path under it:
+a :class:`ColumnSet` stores one numpy vector per column, tagged with the
+column's value sort, and the kernels below (join, dedupe, filter, fold)
+operate on whole columns at C speed.
+
+Value semantics are preserved *exactly* by construction, not by per-value
+checks:
+
+- a column is tagged ``"bool"`` only when **every** value is a Python
+  ``bool``, and ``"int"`` only when every value is a non-bool ``int`` —
+  a column mixing the two is not typeable and the whole relation falls back
+  to dict interpretation. Within a typed relation the ``True != 1`` split
+  is therefore free: a bool column can never meet an int column's values.
+- ``1 == 1.0`` holds in numpy exactly as in :func:`repro.model.values.row_key`
+  space: an int column joins a float column through a float64 cast, guarded
+  by the 2**53 exact-integer range (larger magnitudes fall back).
+- anything the typed plane cannot represent faithfully — mixed arity,
+  ``Symbol``/``Entity``/``Relation`` elements, int64 overflow, ``NaN``
+  floats (whose dict behavior is identity-dependent) — makes
+  :meth:`ColumnSet.from_rows` return ``None`` and the caller stays on the
+  interpreted path. Falling back is always correct; the kernels are pure
+  acceleration.
+
+String columns are dictionary-encoded against one process-wide append-only
+interning table, so any two string columns share a code space and join on
+int64 codes by plain equality.
+
+numpy is optional: without it every constructor returns ``None`` and every
+kernel declines, which degrades the engine to exactly its interpreted
+behavior (the ``REPRO_COLUMNAR=off`` ablation exercises the same paths).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every test run
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
+
+Tup = Tuple[Any, ...]
+
+#: Column type tags. ``"bool"`` and ``"int"`` are disjoint by construction
+#: (see module docstring); ``"str"`` columns hold interning codes.
+TAGS = ("bool", "int", "float", "str")
+
+#: Largest magnitude an int column may hold when cast to float64 for an
+#: int×float join without losing exactness.
+_EXACT_FLOAT_INT = 2 ** 53
+
+#: ``REPRO_COLUMNAR=off`` disables every kernel process-wide (the CI
+#: ablation job); any other value leaves them available and the per-session
+#: ``EngineOptions.columnar`` knob in charge.
+KERNELS_AVAILABLE = (_np is not None
+                     and os.environ.get("REPRO_COLUMNAR", "").lower() != "off")
+
+
+def available() -> bool:
+    """True when the typed plane can be used at all in this process."""
+    return KERNELS_AVAILABLE
+
+
+# ---------------------------------------------------------------------------
+# Global string interning (dictionary encoding)
+# ---------------------------------------------------------------------------
+
+_intern_lock = threading.Lock()
+_intern_codes: Dict[str, int] = {}
+_intern_strings: List[str] = []
+
+
+def _encode_strings(values: Sequence[str]) -> List[int]:
+    """Codes for ``values`` in the shared dictionary (appending as needed)."""
+    codes = _intern_codes
+    out: List[int] = []
+    missing = False
+    for v in values:
+        c = codes.get(v)
+        if c is None:
+            missing = True
+            break
+        out.append(c)
+    if not missing:
+        return out
+    with _intern_lock:
+        strings = _intern_strings
+        out = []
+        for v in values:
+            c = codes.get(v)
+            if c is None:
+                c = len(strings)
+                strings.append(v)
+                codes[v] = c
+            out.append(c)
+        return out
+
+
+def decode_string(code: int) -> str:
+    return _intern_strings[code]
+
+
+# ---------------------------------------------------------------------------
+# ColumnSet
+# ---------------------------------------------------------------------------
+
+
+class ColumnSet:
+    """Typed columnar image of a set of same-arity tuples.
+
+    ``tags[i]`` names column ``i``'s sort; ``arrays[i]`` holds its values
+    (int64 for ``int`` and ``str`` codes, float64 for ``float``, uint8 for
+    ``bool``). Instances are immutable and always built through
+    :meth:`from_rows`, which returns ``None`` whenever the rows cannot be
+    represented without changing value semantics.
+    """
+
+    __slots__ = ("tags", "arrays", "length")
+
+    def __init__(self, tags: Tuple[str, ...], arrays: Tuple[Any, ...],
+                 length: int) -> None:
+        self.tags = tags
+        self.arrays = arrays
+        self.length = length
+
+    @property
+    def arity(self) -> int:
+        return len(self.tags)
+
+    def __len__(self) -> int:
+        return self.length
+
+    @staticmethod
+    def from_rows(rows: Iterable[Tup]) -> Optional["ColumnSet"]:
+        """Build from tuples, or ``None`` when not typeable.
+
+        Typeable means: numpy available, at least one row, homogeneous
+        arity ≥ 1, and every column all-bool, all-int, all-str, or numeric
+        (int/float mix becomes float64 when every int fits 2**53 exactly
+        and no float is NaN).
+        """
+        if not KERNELS_AVAILABLE:
+            return None
+        rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+        if not rows:
+            return None
+        arity = len(rows[0])
+        if arity == 0:
+            return None
+        if any(len(r) != arity for r in rows):  # mixed arity: fall back
+            return None
+        columns = list(zip(*rows))
+        tags: List[str] = []
+        arrays: List[Any] = []
+        for col in columns:
+            tagged = _type_column(col)
+            if tagged is None:
+                return None
+            tags.append(tagged[0])
+            arrays.append(tagged[1])
+        return ColumnSet(tuple(tags), tuple(arrays), len(rows))
+
+    # -- back to rows -------------------------------------------------------
+
+    def column_values(self, i: int) -> List[Any]:
+        """Column ``i`` as Python values (bools/ints/floats/strs)."""
+        return decode_column(self.tags[i], self.arrays[i])
+
+    def to_rows(self) -> List[Tup]:
+        """The stored tuples (same multiset as the construction input)."""
+        return list(zip(*[self.column_values(i) for i in range(self.arity)]))
+
+    def nbytes(self) -> int:
+        return sum(int(a.nbytes) for a in self.arrays)
+
+    def row_order(self) -> Any:
+        """A deterministic total order over the rows (lexicographic by
+        column) as an index array — rows are distinct in ``row_key`` space,
+        so the order is unique given the stored representatives."""
+        return _np.lexsort(tuple(reversed(self.arrays)))
+
+
+def _type_column(col: Sequence[Any]) -> Optional[Tuple[str, Any]]:
+    """Tag and vectorize one column, or ``None`` when not typeable."""
+    kinds = set(map(type, col))
+    if kinds == {bool}:
+        return "bool", _np.fromiter(col, dtype=_np.uint8, count=len(col))
+    if kinds == {int}:
+        try:
+            return "int", _np.fromiter(col, dtype=_np.int64, count=len(col))
+        except OverflowError:
+            return None
+    if kinds <= {int, float} and float in kinds:
+        try:
+            arr = _np.fromiter(col, dtype=_np.float64, count=len(col))
+        except OverflowError:
+            return None
+        if _np.isnan(arr).any():
+            return None
+        if int in kinds and \
+                any(abs(v) > _EXACT_FLOAT_INT for v in col if type(v) is int):
+            return None
+        return "float", arr
+    if kinds == {str}:
+        codes = _encode_strings(col)
+        return "str", _np.asarray(codes, dtype=_np.int64)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Key factorization (the shared machinery of join and dedupe)
+# ---------------------------------------------------------------------------
+
+
+def _common_cast(tag_a: str, arr_a: Any, tag_b: str, arr_b: Any):
+    """Cast two columns into one comparable dtype, or ``None`` when the
+    tags can never hold equal values (``bool`` vs ``int`` — Rel's Boolean
+    sort is disjoint — or ``str`` vs anything numeric)."""
+    if tag_a == tag_b:
+        return arr_a, arr_b
+    pair = {tag_a, tag_b}
+    if pair == {"int", "float"}:
+        ints = arr_a if tag_a == "int" else arr_b
+        if len(ints) and _np.abs(ints).max() > _EXACT_FLOAT_INT:
+            raise _Unjoinable()
+        return arr_a.astype(_np.float64), arr_b.astype(_np.float64)
+    return None
+
+
+class _Unjoinable(Exception):
+    """An int column too large for exact float64 comparison: the kernel
+    cannot answer and the caller must fall back to interpretation."""
+
+
+def _factorize_pair(cols_a: Sequence[Tuple[str, Any]],
+                    cols_b: Sequence[Tuple[str, Any]]):
+    """Dense ids for the key columns of two sides in one shared code space.
+
+    Returns ``(ids_a, ids_b)`` (int64 arrays) where equal ids mean equal
+    keys under Rel value semantics, or ``None`` when some column pair is
+    sort-disjoint (no key can ever match). Raises :class:`_Unjoinable` on
+    a cast the kernel cannot do exactly.
+    """
+    n_a = len(cols_a[0][1]) if cols_a else 0
+    n_b = len(cols_b[0][1]) if cols_b else 0
+    ids = _np.zeros(n_a + n_b, dtype=_np.int64)
+    for (tag_a, arr_a), (tag_b, arr_b) in zip(cols_a, cols_b):
+        cast = _common_cast(tag_a, arr_a, tag_b, arr_b)
+        if cast is None:
+            return None
+        both = _np.concatenate((cast[0], cast[1]))
+        _, codes = _np.unique(both, return_inverse=True)
+        ids = ids * (int(codes.max()) + 1 if len(codes) else 1) + codes
+        # Compact after every column so the mixed-radix product stays far
+        # below int64 (ids < n after this, codes < n before).
+        _, ids = _np.unique(ids, return_inverse=True)
+        ids = ids.astype(_np.int64, copy=False)
+    return ids[:n_a], ids[n_a:]
+
+
+def factorize_rows(columns: Sequence[Tuple[str, Any]]) -> Any:
+    """Dense int64 ids over one side's rows: equal ids ⇔ equal rows."""
+    n = len(columns[0][1]) if columns else 0
+    ids = _np.zeros(n, dtype=_np.int64)
+    for _, arr in columns:
+        _, codes = _np.unique(arr, return_inverse=True)
+        ids = ids * (int(codes.max()) + 1 if len(codes) else 1) + codes
+        _, ids = _np.unique(ids, return_inverse=True)
+        ids = ids.astype(_np.int64, copy=False)
+    return ids
+
+
+# ---------------------------------------------------------------------------
+# Vectorized kernels
+# ---------------------------------------------------------------------------
+
+
+def match_pairs(left_keys: Sequence[Tuple[str, Any]],
+                right_keys: Sequence[Tuple[str, Any]]):
+    """The vectorized hash-join probe: row-index pairs of all key matches.
+
+    Returns ``(l_idx, r_idx)`` index arrays (every matching combination,
+    like the build-and-probe loop of :func:`repro.joins.binary.hash_join`),
+    ``None`` when the key sorts are disjoint (empty result), and raises
+    :class:`_Unjoinable` when exact comparison is impossible.
+    """
+    pair = _factorize_pair(left_keys, right_keys)
+    if pair is None:
+        return None
+    l_ids, r_ids = pair
+    order = _np.argsort(r_ids, kind="stable")
+    r_sorted = r_ids[order]
+    lo = _np.searchsorted(r_sorted, l_ids, side="left")
+    hi = _np.searchsorted(r_sorted, l_ids, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    l_idx = _np.repeat(_np.arange(len(l_ids)), counts)
+    if total == 0:
+        return l_idx, l_idx
+    starts = _np.repeat(lo, counts)
+    offsets = _np.arange(total) - _np.repeat(_np.cumsum(counts) - counts,
+                                             counts)
+    r_idx = order[starts + offsets]
+    return l_idx, r_idx
+
+
+def distinct_indices(columns: Sequence[Tuple[str, Any]], length: int) -> Any:
+    """Row indices of the first occurrence of each distinct row (sorted by
+    position, so relative input order is preserved like the dict pass)."""
+    if not columns:
+        return _np.zeros(min(length, 1), dtype=_np.int64)
+    ids = factorize_rows(columns)
+    _, first = _np.unique(ids, return_index=True)
+    first.sort()
+    return first
+
+
+def dedupe_indices(rows: Sequence[Tup]) -> Optional[List[int]]:
+    """Indices of the first occurrence of each ``row_key``-distinct row,
+    in input order — or ``None`` when the rows are not typeable. A result
+    covering every index means the rows were already distinct."""
+    cs = ColumnSet.from_rows(rows)
+    if cs is None:
+        return None
+    keep = distinct_indices(list(zip(cs.tags, cs.arrays)), cs.length)
+    return keep.tolist()
+
+
+def dedupe_rows(rows: Sequence[Tup]) -> Optional[List[Tup]]:
+    """Row-key-distinct subsequence of ``rows`` (first occurrence wins),
+    or ``None`` when the rows are not typeable."""
+    keep = dedupe_indices(rows)
+    if keep is None:
+        return None
+    if len(keep) == len(rows):
+        return list(rows)
+    return [rows[i] for i in keep]
+
+
+def type_column(values: Sequence[Any]) -> Optional[Tuple[str, Any]]:
+    """Public face of the column sniffer: ``(tag, vector)`` or ``None``."""
+    if not KERNELS_AVAILABLE or not values:
+        return None
+    return _type_column(values)
+
+
+def decode_column(tag: str, arr: Any) -> List[Any]:
+    """One typed vector back to Python values (inverse of the sniffer)."""
+    if tag == "bool":
+        return [v == 1 for v in arr.tolist()]
+    if tag == "str":
+        strings = _intern_strings
+        return [strings[c] for c in arr.tolist()]
+    return arr.tolist()
+
+
+def compare_mask(tag_l: str, arr_l: Any, op: str,
+                 tag_r: str, arr_r: Any) -> Optional[Any]:
+    """Vectorized comparison filter: a boolean mask over paired values,
+    mirroring ``_vals_eq`` / ``_vals_ord`` in ``repro.engine.expand``.
+
+    ``None`` when the kernel cannot reproduce the interpreted semantics
+    (orderings only exist within numbers or within strings; booleans are
+    unordered and only equal their own sort).
+    """
+    numeric = {"int", "float"}
+    if op in ("=", "!="):
+        if tag_l == tag_r or {tag_l, tag_r} <= numeric:
+            try:
+                cast = _common_cast(tag_l, arr_l, tag_r, arr_r)
+            except _Unjoinable:
+                return None
+            if cast is None:
+                eq = _np.zeros(len(arr_l), dtype=bool)
+            else:
+                eq = cast[0] == cast[1]
+        else:
+            # Cross-sort: never equal under value semantics.
+            eq = _np.zeros(len(arr_l), dtype=bool)
+        return eq if op == "=" else ~eq
+    # Orderings: defined within numbers and within strings only. String
+    # codes are interning order, not lexicographic — decline those.
+    if not ({tag_l, tag_r} <= numeric):
+        return None
+    try:
+        cast = _common_cast(tag_l, arr_l, tag_r, arr_r)
+    except _Unjoinable:
+        return None
+    a, b = cast
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    return None
+
+
+#: Builtin names (including their ``rel_primitive_*`` aliases) with a
+#: C-level equivalent of chaining the binary solver left-to-right.
+_FOLD_FUNCS = {
+    "add": sum,
+    "rel_primitive_add": sum,
+    "minimum": min,
+    "rel_primitive_minimum": min,
+    "maximum": max,
+    "rel_primitive_maximum": max,
+    "multiply": math.prod,
+    "rel_primitive_multiply": math.prod,
+}
+
+
+def fold_values(op_name: str, values: List[Any]) -> Optional[Any]:
+    """C-level fold for the reduce aggregates over numeric values.
+
+    Exactness: ``sum``/``min``/``max``/``math.prod`` perform the same
+    left-to-right fold as the interpreted loop (ties in min/max keep the
+    leftmost element in both), so results equal chaining the binary
+    builtin. ``None`` declines (non-numeric values, unsupported operator).
+    """
+    fn = _FOLD_FUNCS.get(op_name)
+    if fn is None or not values or \
+            any(not isinstance(v, (int, float)) or isinstance(v, bool)
+                for v in values):
+        return None
+    return fn(values)
+
+
+# ---------------------------------------------------------------------------
+# The columnar multiway join
+# ---------------------------------------------------------------------------
+
+
+def join_columnsets(atoms: Sequence[Tuple["ColumnSet", Tuple[str, ...]]],
+                    output: Sequence[str],
+                    as_columns: bool = False) -> Any:
+    """Greedy pairwise join of typed atoms, projected and deduped.
+
+    ``atoms`` pairs each :class:`ColumnSet` with its variable names (same
+    shape as the planner's :class:`~repro.joins.planner.Atom`); the greedy
+    order mirrors :func:`repro.joins.planner.binary_plan_join`
+    (smallest-first, then most shared variables). Returns output rows as
+    Python tuples, or ``None`` when exact vectorized evaluation is
+    impossible (the caller falls back to the interpreted join).
+
+    With ``as_columns=True`` a non-empty result with at least one output
+    column comes back as a :class:`ColumnSet` instead — no Python-tuple
+    materialization, so the caller can keep projecting on the vectors.
+    (``None``, ``[]`` and ``[()]`` are returned as usual.)
+    """
+    if not KERNELS_AVAILABLE or not atoms:
+        return None
+    try:
+        remaining = sorted(atoms, key=lambda a: len(a[0]))
+        first_cs, first_vars = remaining[0]
+        current: Dict[str, Tuple[str, Any]] = {
+            v: (first_cs.tags[i], first_cs.arrays[i])
+            for i, v in enumerate(first_vars)
+        }
+        n_rows = len(first_cs)
+        remaining = remaining[1:]
+        while remaining:
+            best = None
+            best_score = None
+            for i, (cs, vars_) in enumerate(remaining):
+                shared = len(set(vars_) & current.keys())
+                score = (-shared, len(cs))
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best = i
+            cs, vars_ = remaining.pop(best)
+            shared = [v for v in vars_ if v in current]
+            if not shared:
+                # Cartesian product: expand both sides.
+                l_idx = _np.repeat(_np.arange(n_rows), len(cs))
+                r_idx = _np.tile(_np.arange(len(cs)), n_rows)
+            else:
+                left_keys = [current[v] for v in shared]
+                right_keys = [(cs.tags[vars_.index(v)],
+                               cs.arrays[vars_.index(v)]) for v in shared]
+                pair = match_pairs(left_keys, right_keys)
+                if pair is None:  # sort-disjoint keys: provably empty
+                    return []
+                l_idx, r_idx = pair
+            new_current: Dict[str, Tuple[str, Any]] = {
+                v: (tag, arr[l_idx]) for v, (tag, arr) in current.items()
+            }
+            for i, v in enumerate(vars_):
+                if v not in new_current:
+                    new_current[v] = (cs.tags[i], cs.arrays[i][r_idx])
+            current = new_current
+            n_rows = len(l_idx)
+    except _Unjoinable:
+        return None
+    out_cols = [current[v] for v in output]
+    if not out_cols:
+        return [()] if n_rows else []
+    keep = distinct_indices(out_cols, n_rows)
+    if as_columns:
+        return ColumnSet(tuple(tag for tag, _ in out_cols),
+                         tuple(arr[keep] for _, arr in out_cols),
+                         len(keep))
+    lists = [decode_column(tag, arr[keep]) for tag, arr in out_cols]
+    return list(zip(*lists))

@@ -65,7 +65,8 @@ class Relation:
     all follow the engine's value semantics.
     """
 
-    __slots__ = ("_rows", "_tupleset", "_hash", "_trie", "_arities", "_skey")
+    __slots__ = ("_rows", "_tupleset", "_hash", "_trie", "_arities", "_skey",
+                 "_cols")
 
     def __init__(self, tuples: Iterable[Sequence[Any]] = ()) -> None:
         rows: Dict[Tup, Tup] = {}
@@ -78,6 +79,7 @@ class Relation:
         object.__setattr__(self, "_trie", None)
         object.__setattr__(self, "_arities", None)
         object.__setattr__(self, "_skey", None)
+        object.__setattr__(self, "_cols", None)
 
     # ------------------------------------------------------------------
     # Fundamental protocol
@@ -356,6 +358,7 @@ class Relation:
         object.__setattr__(rel, "_trie", None)
         object.__setattr__(rel, "_arities", None)
         object.__setattr__(rel, "_skey", None)
+        object.__setattr__(rel, "_cols", None)
         return rel
 
     @classmethod
@@ -372,8 +375,42 @@ class Relation:
         if self._trie is None:
             from repro.model.trie import RelationTrie
 
-            object.__setattr__(self, "_trie", RelationTrie(self._rows.values()))
+            cols = self.columns()
+            if cols is not None:
+                # Typed relations build the trie from lexsorted rows: the
+                # sort comes from numpy and consecutive rows share prefixes,
+                # so the bulk inserter skips most per-element dict probes.
+                order = cols.row_order().tolist()
+                rows = list(self._rows.values())
+                trie = RelationTrie.from_sorted(rows[i] for i in order)
+            else:
+                trie = RelationTrie(self._rows.values())
+            object.__setattr__(self, "_trie", trie)
         return self._trie
+
+    def columns(self) -> "Any":
+        """The typed columnar image (:class:`repro.model.columns.ColumnSet`)
+        of this relation, or ``None`` when its rows are not typeable —
+        mixed arity, mixed ``bool``/``int`` columns, nested relations,
+        symbols/entities, out-of-range ints. Memoized either way: relations
+        are immutable, so one sniffing pass settles it."""
+        cols = self._cols
+        if cols is None:
+            from repro.model import columns as _columns
+
+            cols = _columns.ColumnSet.from_rows(list(self._rows.values()))
+            object.__setattr__(self, "_cols", cols if cols is not None
+                               else False)
+        return cols or None
+
+    def approx_bytes(self) -> int:
+        """Approximate resident size of the stored rows (the statistics
+        hook): exact vector bytes for typed relations, a per-tuple estimate
+        (dict slot + tuple header + one pointer per element) otherwise."""
+        cols = self.columns()
+        if cols is not None:
+            return cols.nbytes()
+        return sum(120 + 8 * len(t) for t in self._rows.values())
 
 
 #: The empty relation — Rel's ``false`` and the additive identity.

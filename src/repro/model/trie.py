@@ -70,6 +70,48 @@ class RelationTrie:
             node.terminal = True
             self._count += 1
 
+    @classmethod
+    def from_sorted(cls, tuples: Iterable[Tup]) -> "RelationTrie":
+        """Bulk build from tuples in (any) sorted order.
+
+        Consecutive sorted tuples share long prefixes; this inserter keeps
+        the previous tuple's node path and only descends below the first
+        position where the new tuple diverges — per element, the common
+        case is one equality check instead of a ``value_key`` call plus a
+        dict probe. The columnar plane feeds this from a numpy lexsort
+        (``Relation._index``); the result is identical to inserting one by
+        one in any order."""
+        trie = cls()
+        root = trie.root
+        prev: Tup = ()
+        path: List[TrieNode] = []  # path[i] holds prev[:i+1]'s node
+        count = 0
+        for tup in tuples:
+            shared = 0
+            limit = min(len(prev), len(tup))
+            # Identity short-circuits the common case; equal-but-distinct
+            # objects fall through to the value_key comparison.
+            while shared < limit and (
+                    prev[shared] is tup[shared]
+                    or value_key(prev[shared]) == value_key(tup[shared])):
+                shared += 1
+            del path[shared:]
+            node = path[-1] if path else root
+            for elem in tup[shared:]:
+                key = value_key(elem)
+                child = node.children.get(key)
+                if child is None:
+                    child = TrieNode(elem)
+                    node.children[key] = child
+                node = child
+                path.append(node)
+            if not node.terminal:
+                node.terminal = True
+                count += 1
+            prev = tup
+        trie._count = count
+        return trie
+
     def __len__(self) -> int:
         return self._count
 

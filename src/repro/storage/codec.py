@@ -25,18 +25,44 @@ Rows are JSON arrays; relations serialize their rows in
 :func:`~repro.model.values.tuple_sort_key` order (via
 ``Relation.sorted_tuples``), so equal relations always produce identical
 bytes — the "stable serialization" checkpoints and tests depend on.
+
+**Columnar blocks (PR 7).** Relations whose rows live on the typed
+columnar plane (:meth:`repro.model.relation.Relation.columns`) serialize
+as one contiguous block per column instead of a row list::
+
+    {"c": {"tags": ["int", "str"], "cols": [[1, 2, ...], ["a", "b", ...]]}}
+
+The block skips the per-value ``encode_value`` dispatch entirely (a
+column's tag certifies every element is a plain JSON scalar) and sorts
+rows with one vectorized lexsort instead of 100k ``tuple_sort_key``
+calls; decode rebuilds tuples with a single ``zip`` and — when no
+``bool`` column is present, so ``row_key`` is the identity — adopts them
+via the trusted keyed constructor without re-keying each row.
+:func:`decode_relation` accepts both formats forever, so checkpoints and
+WALs written by the row codec (PR 6) reopen unchanged; writers fall back
+to the row format whenever a relation is not typeable (mixed arity,
+nested relations, symbols/entities, …) or the columnar plane is
+unavailable (no numpy, ``REPRO_COLUMNAR=off``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable, List, Sequence
+from typing import Any, Iterable, List, Optional, Sequence, Union
 
+from repro.model import columns as _columns
 from repro.model.relation import Relation
 from repro.model.values import Entity, Symbol
 from repro.storage.errors import CodecError
 
 _SCALARS = (bool, int, float, str)
+
+#: Tri-state switch for columnar relation blocks: ``None`` follows the
+#: columnar plane's availability (numpy present and not ablated via
+#: ``REPRO_COLUMNAR=off``); ``False``/``True`` force the row/columnar
+#: format. Consulted at every :func:`encode_relation` call so benchmarks
+#: can A/B the codecs in-process; decode needs no switch (self-tagging).
+COLUMNAR_BLOCKS: Optional[bool] = None
 
 
 def encode_value(value: Any) -> Any:
@@ -84,16 +110,57 @@ def decode_row(obj: Sequence[Any]) -> tuple:
     return tuple([decode_value(v) for v in obj])
 
 
-def encode_relation(rel: Relation) -> List[List[Any]]:
-    """A relation as a sorted list of encoded rows (deterministic bytes)."""
+def encode_relation(rel: Relation,
+                    *, columnar: Optional[bool] = None
+                    ) -> Union[List[List[Any]], dict]:
+    """A relation as either a columnar block (typed relations) or a sorted
+    list of encoded rows — deterministic bytes either way: the block's row
+    order is a pure function of the stored rows (lexicographic over the
+    typed columns), the row list is ``tuple_sort_key`` order."""
+    if columnar is None:
+        columnar = COLUMNAR_BLOCKS
+    if columnar or (columnar is None and _columns.available()):
+        cols = rel.columns()
+        if cols is not None:
+            order = cols.row_order()
+            return {"c": {
+                "tags": list(cols.tags),
+                "cols": [_encode_column(cols.tags[i], cols.arrays[i][order])
+                         for i in range(cols.arity)],
+            }}
     return [encode_row(row) for row in rel.sorted_tuples()]
 
 
-def decode_relation(rows: Iterable[Sequence[Any]]) -> Relation:
+def _encode_column(tag: str, arr: Any) -> List[Any]:
+    """One sorted column vector → a list of plain JSON scalars."""
+    if tag == "bool":
+        return [v == 1 for v in arr.tolist()]
+    if tag == "str":
+        return [_columns.decode_string(c) for c in arr.tolist()]
+    return arr.tolist()  # int64 / float64 → exact Python ints / floats
+
+
+def decode_relation(obj: Union[Iterable[Sequence[Any]], dict]) -> Relation:
     # Decoded rows contain only values this codec itself produced, so the
-    # trusted constructor applies: dedup by row_key without re-validating
-    # every element. Checkpoint decode is the reopen hot path.
-    return Relation._from_rows(map(decode_row, rows))
+    # trusted constructors apply: no element re-validation. Checkpoint
+    # decode is the reopen hot path.
+    if isinstance(obj, dict):
+        try:
+            block = obj["c"]
+            tags, cols = block["tags"], block["cols"]
+        except (KeyError, TypeError) as exc:
+            raise CodecError(f"malformed relation block: {obj!r}") from exc
+        if len(tags) != len(cols) or not cols:
+            raise CodecError(f"malformed relation block: {obj!r}")
+        rows = list(zip(*cols))
+        if "bool" in tags:
+            # row_key tags booleans; re-key through the generic path.
+            return Relation._from_rows(rows)
+        # Bool-free rows are their own row_keys, and a block's rows are
+        # distinct by construction (they came out of a Relation): adopt
+        # the mapping without hashing every row twice.
+        return Relation._from_keyed(dict(zip(rows, rows)))
+    return Relation._from_rows(map(decode_row, obj))
 
 
 def dump_payload(obj: Any) -> bytes:

@@ -174,7 +174,9 @@ class TestIntrospection:
 
     def test_statistics(self, session):
         stats = session.statistics()
-        assert stats["E"] == 3 and stats["F"] == 1
+        assert stats["E"]["rows"] == 3 and stats["F"]["rows"] == 1
+        assert stats["E"]["approx_bytes"] > 0
+        assert set(stats["E"]) == {"rows", "approx_bytes", "columnar_columns"}
 
     def test_output_relation(self, session):
         session.load("def output(x) : F(x)")

@@ -1,0 +1,212 @@
+"""Columnar data plane ≡ dict-of-tuples plane (PR 7 differential suite).
+
+The typed columnar kernels are an *implementation* of the same semantics
+as the interpreted row loops — every result, on every program, after
+every update, must be bit-for-bit the same relation. These tests run the
+shared random-program and random-update generators twice, with
+``columnar="on"`` (kernels forced at any size) and ``columnar="off"``
+(kernels disabled), and demand identical answers; counter tests pin that
+the "on" session actually exercised the kernels, so agreement is not
+vacuous. Value-semantics pins (``True != 1``, ``1 == 1.0``, mixed-arity
+fallback) guard the exact cases a naive numpy port would get wrong.
+"""
+
+import os
+import random
+
+import pytest
+
+from support.generators import (SCRIPT_ARITIES, SCRIPT_BASE, SCRIPT_QUERIES,
+                                SCRIPT_RULES, random_program,
+                                random_update_op)
+
+from repro import Relation, connect
+from repro.model import columns
+
+kernels = pytest.mark.skipif(
+    not columns.KERNELS_AVAILABLE,
+    reason="columnar kernels unavailable (no numpy or REPRO_COLUMNAR=off)")
+
+N_PROGRAMS = 40
+N_SCRIPTS = 12
+
+
+def _pair(program):
+    sessions = []
+    for mode in ("on", "off"):
+        session = connect(load_stdlib=program.uses_stdlib, columnar=mode)
+        for name, rel in program.base.items():
+            session.define(name, rel)
+        session.load(program.source)
+        sessions.append(session)
+    return sessions
+
+
+class TestKnob:
+    def test_connect_validates_mode(self):
+        with pytest.raises(ValueError, match="columnar"):
+            connect(columnar="sideways")
+        assert connect(columnar="on").columnar == "on"
+
+    def test_default_is_auto_and_settable(self):
+        # REPRO_COLUMNAR overrides the default (the CI ablation job runs
+        # the whole suite with it set to "off").
+        expected = os.environ.get("REPRO_COLUMNAR", "").lower() or "auto"
+        session = connect()
+        assert session.columnar == expected
+        session.columnar = "off"
+        assert session.columnar == "off"
+        with pytest.raises(ValueError, match="columnar"):
+            session.columnar = "sideways"
+
+    def test_statistics_shape(self):
+        session = connect(load_stdlib=False)
+        session.define("E", [(1, 2), (2, 3)])
+        session.define("M", [(1,), (1, 2)])  # mixed arity: dict plane
+        stats = session.statistics()
+        assert stats["E"]["rows"] == 2
+        assert stats["M"]["columnar_columns"] == 0
+        if columns.KERNELS_AVAILABLE:
+            assert stats["E"]["columnar_columns"] == 2
+
+
+@kernels
+class TestCounters:
+    def test_forced_on_counts_kernel_events(self):
+        session = connect(columnar="on")
+        session.define("E", [(i, i + 1) for i in range(8)] + [(3, 1)])
+        session.load("def P(x, z) : exists((y) | E(x, y) and E(y, z))")
+        session.relation("P")
+        stats = session.columnar_statistics()
+        assert stats.get("join", 0) >= 1
+        assert session.join_statistics().get("columnar", 0) >= 1
+
+    def test_off_counts_nothing(self):
+        session = connect(columnar="off")
+        session.define("E", [(i, i + 1) for i in range(8)])
+        session.load("def P(x, z) : exists((y) | E(x, y) and E(y, z))")
+        session.relation("P")
+        assert session.columnar_statistics() == {}
+        assert "columnar" not in session.join_statistics()
+
+    def test_auto_engages_only_past_the_size_floor(self):
+        small = connect(columnar="auto")
+        small.define("E", [(1, 2), (2, 3)])
+        small.load("def P(x, z) : exists((y) | E(x, y) and E(y, z))")
+        small.relation("P")
+        assert small.columnar_statistics().get("join", 0) == 0
+
+        big = connect(columnar="auto")
+        big.define("E", [(i, (i * 7 + 1) % 90) for i in range(150)])
+        big.load("def P(x, z) : exists((y) | E(x, y) and E(y, z))")
+        big.relation("P")
+        assert big.columnar_statistics().get("join", 0) >= 1
+
+    def test_fallback_events_are_counted_not_fatal(self):
+        session = connect(columnar="on")
+        session.define("E", [(1, Relation([(2,)]))])  # untypeable column
+        session.load("def P(x, r) : E(x, r)")
+        session.load("def Q(x, z) : exists((r) | P(x, r) and E(x, r) "
+                     "and E(z, r))")
+        assert len(session.relation("Q")) == 1
+        assert session.columnar_statistics().get("join_fallback", 0) >= 1
+
+    def test_snapshot_counters_are_private(self):
+        session = connect(columnar="on")
+        session.define("E", [(i, i + 1) for i in range(6)])
+        session.load("def P(x, z) : exists((y) | E(x, y) and E(y, z))")
+        session.relation("P")
+        before = session.columnar_statistics()
+        snapshot = session.snapshot()
+        assert snapshot.columnar_statistics() == {}
+        snapshot.execute("P")
+        assert session.columnar_statistics() == before
+
+
+@kernels
+class TestValueSemanticsPins:
+    def test_true_and_one_stay_distinct(self):
+        for mode in ("on", "off"):
+            session = connect(columnar=mode)
+            session.define("B", [(True,), (1,)])
+            session.load("def D(x) : B(x) and B(x)")
+            rows = list(session.relation("D").rows())
+            assert len(rows) == 2, mode
+            assert {type(r[0]) for r in rows} == {bool, int}, mode
+
+    def test_one_and_one_point_zero_merge(self):
+        for mode in ("on", "off"):
+            session = connect(columnar=mode)
+            session.define("N", [(1,), (2.5,)])
+            session.define("M", [(1.0,), (2.5,)])
+            session.load("def J(x) : N(x) and M(x)")
+            assert len(session.relation("J")) == 2, mode
+
+    def test_mixed_arity_relation_falls_back_correctly(self):
+        results = []
+        for mode in ("on", "off"):
+            session = connect(columnar=mode)
+            session.define("R", [(1, 2), (2, 3), (1, 2, 3)])
+            session.load("def M(x, z) : exists((y) | R(x, y) and R(y, z))")
+            results.append(session.relation("M"))
+        assert results[0] == results[1]
+        assert results[0] == Relation([(1, 3)])
+
+    def test_bool_filter_agrees(self):
+        for mode in ("on", "off"):
+            session = connect(columnar=mode)
+            session.define("U", [(True,), (False,), (1,), (0,), (2,)])
+            session.load("def Eq(x) : U(x) and x = 1\n"
+                         "def Ne(x) : U(x) and x != 1")
+            assert sorted(session.relation("Eq").tuples) == [(1,)], mode
+            assert len(session.relation("Ne")) == 4, mode
+
+
+@kernels
+class TestDifferentialPrograms:
+    @pytest.mark.parametrize("seed", range(N_PROGRAMS))
+    def test_random_programs_agree(self, seed):
+        program = random_program(random.Random(20_000 + seed))
+        columnar, plain = _pair(program)
+        for query in program.queries:
+            got = columnar.execute(query)
+            want = plain.execute(query)
+            assert got == want, (
+                f"seed {seed}: columnar divergence on {query!r}: "
+                f"{sorted(got.sorted_tuples())} != "
+                f"{sorted(want.sorted_tuples())}\nprogram:\n{program.source}"
+            )
+
+
+@kernels
+class TestDifferentialUpdateScripts:
+    @pytest.mark.parametrize("seed", range(N_SCRIPTS))
+    def test_maintenance_deltas_agree(self, seed):
+        """Random insert/delete scripts over the shared catalog: after
+        every step, every probe query and every derived extent must
+        match between the columnar and dict planes (the incremental
+        deltas flow through the kernels under ``columnar="on"``)."""
+        rng = random.Random(30_000 + seed)
+        sessions = []
+        for mode in ("on", "off"):
+            session = connect(columnar=mode)
+            for name, rows in SCRIPT_BASE.items():
+                session.define(name, rows)
+            session.load(SCRIPT_RULES)
+            sessions.append(session)
+        columnar, plain = sessions
+
+        for step in range(8):
+            kind, name, tuples = random_update_op(rng, SCRIPT_ARITIES)
+            for session in sessions:
+                getattr(session, kind)(name, tuples)
+            for query in SCRIPT_QUERIES:
+                got = columnar.execute(query)
+                want = plain.execute(query)
+                assert got == want, (
+                    f"seed {seed} step {step} ({kind} {name} {tuples}): "
+                    f"{query!r} diverged"
+                )
+        # The agreement is not vacuous: the forced-on session really
+        # routed work through the kernels.
+        assert columnar.columnar_statistics()

@@ -16,7 +16,11 @@ from repro.engine.program import EngineOptions
 
 
 def fresh_session(strategy, **relations):
-    session = repro.connect(join_strategy=strategy)
+    # columnar="off": this file pins the *interpreted* strategy routing
+    # (leapfrog/binary counters); the columnar plane would otherwise
+    # intercept large typed joins first (tests/engine/test_columnar.py
+    # covers that path).
+    session = repro.connect(join_strategy=strategy, columnar="off")
     for name, rows in relations.items():
         session.define(name, rows)
     return session

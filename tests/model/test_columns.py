@@ -1,0 +1,230 @@
+"""Unit tests for the typed columnar plane (PR 7 tentpole).
+
+Everything here exercises ``repro.model.columns`` directly: the column
+sniffer and its fallback conditions, the value-semantics pins the typed
+representation must preserve exactly (``True != 1``, ``1 == 1.0``), and
+each vectorized kernel (join probe, distinct, comparison masks, folds,
+the multiway columnar join) against a hand-interpreted oracle.
+
+The whole module is skipped when the kernels are unavailable (no numpy,
+or the ``REPRO_COLUMNAR=off`` ablation run) — in that configuration the
+engine never reaches this code, which the ablation CI job verifies at
+the integration level.
+"""
+
+import math
+
+import pytest
+
+from repro.model import columns
+from repro.model.relation import Relation
+from repro.model.values import Entity, Symbol
+
+pytestmark = pytest.mark.skipif(
+    not columns.KERNELS_AVAILABLE,
+    reason="columnar kernels unavailable (no numpy or REPRO_COLUMNAR=off)")
+
+
+def colset(*rows):
+    return columns.ColumnSet.from_rows(list(rows))
+
+
+class TestTyping:
+    def test_tags_per_sort(self):
+        cs = colset((True, 1, 1.5, "a"), (False, 2, 2.5, "b"))
+        assert cs.tags == ("bool", "int", "float", "str")
+        assert len(cs) == 2 and cs.arity == 4
+
+    def test_round_trip_preserves_values_exactly(self):
+        rows = [(True, 7, 0.5, "x"), (False, -3, 2.0, "y")]
+        cs = colset(*rows)
+        back = cs.to_rows()
+        assert back == rows
+        assert [type(v) for v in back[0]] == [bool, int, float, str]
+
+    def test_int_float_mix_promotes_to_float(self):
+        cs = colset((1,), (2.5,))
+        assert cs.tags == ("float",)
+        assert cs.column_values(0) == [1.0, 2.5]
+
+    def test_bool_int_mix_falls_back(self):
+        # Rel's Boolean sort is disjoint from the numbers: a uint8 (or
+        # any numeric) vector cannot keep True and 1 distinct.
+        assert colset((True,), (1,)) is None
+
+    def test_mixed_arity_falls_back(self):
+        assert colset((1, 2), (1, 2, 3)) is None
+
+    def test_arity_zero_and_empty_fall_back(self):
+        assert colset() is None
+        assert colset(()) is None
+
+    def test_symbols_entities_nested_relations_fall_back(self):
+        assert colset((Symbol("a"),)) is None
+        assert colset((Entity("Ns", 1),)) is None
+        assert colset((Relation([(1,)]),)) is None
+
+    def test_int64_overflow_falls_back(self):
+        assert colset((2 ** 64,), (1,)) is None
+
+    def test_nan_falls_back(self):
+        assert colset((float("nan"),), (1.0,)) is None
+
+    def test_large_int_in_float_mix_falls_back(self):
+        # 2**53 + 1 is not exactly representable in float64.
+        assert colset((2 ** 53 + 1,), (0.5,)) is None
+
+    def test_relation_columns_memoizes(self):
+        rel = Relation([(1, "a"), (2, "b")])
+        cs = rel.columns()
+        assert cs is not None and rel.columns() is cs
+        assert Relation([(1, Symbol("s"))]).columns() is None
+
+    def test_nbytes_counts_vectors(self):
+        cs = colset((1, 2.0), (3, 4.0))
+        assert cs.nbytes() == 2 * 8 + 2 * 8
+
+
+class TestInterning:
+    def test_codes_round_trip(self):
+        cs = colset(("alpha",), ("beta",), ("alpha",))
+        assert cs.column_values(0) == ["alpha", "beta", "alpha"]
+        code = cs.arrays[0][0]
+        assert columns.decode_string(int(code)) == "alpha"
+
+    def test_same_string_same_code_across_columnsets(self):
+        a = colset(("shared-intern-probe",))
+        b = colset(("shared-intern-probe",))
+        assert a.arrays[0][0] == b.arrays[0][0]
+
+
+class TestMatchPairs:
+    def keys(self, *values):
+        tag, arr = columns.type_column(list(values))
+        return [(tag, arr)]
+
+    def test_all_matching_combinations(self):
+        pairs = columns.match_pairs(self.keys(1, 2, 1), self.keys(1, 3, 1))
+        got = sorted(zip(pairs[0].tolist(), pairs[1].tolist()))
+        assert got == [(0, 0), (0, 2), (2, 0), (2, 2)]
+
+    def test_int_float_keys_match_numerically(self):
+        pairs = columns.match_pairs(self.keys(1, 2), self.keys(2.0, 9.5))
+        assert list(zip(pairs[0].tolist(), pairs[1].tolist())) == [(1, 0)]
+
+    def test_disjoint_sorts_return_none(self):
+        assert columns.match_pairs(self.keys("a"), self.keys(1)) is None
+        assert columns.match_pairs(self.keys(True), self.keys(1)) is None
+
+    def test_inexact_cast_raises_unjoinable(self):
+        with pytest.raises(columns._Unjoinable):
+            columns.match_pairs(self.keys(2 ** 53 + 2), self.keys(0.5))
+
+    def test_no_matches_yields_empty_arrays(self):
+        l_idx, r_idx = columns.match_pairs(self.keys(1), self.keys(2))
+        assert len(l_idx) == 0 and len(r_idx) == 0
+
+
+class TestDistinct:
+    def test_dedupe_keeps_first_occurrence_in_order(self):
+        rows = [(2, "b"), (1, "a"), (2, "b"), (1, "a"), (3, "c")]
+        assert columns.dedupe_rows(rows) == [(2, "b"), (1, "a"), (3, "c")]
+
+    def test_one_equals_one_point_zero_collapses(self):
+        assert columns.dedupe_rows([(1,), (1.0,)]) == [(1,)]
+
+    def test_true_vs_one_declines_to_interpreter(self):
+        # Mixed bool/int columns are untypeable, so the kernel must
+        # decline rather than let numpy's ``True == 1`` merge the rows.
+        assert columns.dedupe_rows([(True,), (1,)]) is None
+
+    def test_already_distinct_reports_every_index(self):
+        rows = [(1,), (2,), (3,)]
+        assert columns.dedupe_indices(rows) == [0, 1, 2]
+
+
+class TestCompareMask:
+    def mask(self, left, op, right):
+        tl, al = columns.type_column(list(left))
+        tr, ar = columns.type_column(list(right))
+        out = columns.compare_mask(tl, al, op, tr, ar)
+        return None if out is None else out.tolist()
+
+    def test_numeric_orderings(self):
+        assert self.mask([1, 2, 3], "<", [2.0, 2.0, 2.0]) == [True, False, False]
+        assert self.mask([1, 2, 3], ">=", [2, 2, 2]) == [False, True, True]
+
+    def test_equality_across_int_and_float(self):
+        assert self.mask([1, 2], "=", [1.0, 2.5]) == [True, False]
+        assert self.mask([1, 2], "!=", [1.0, 2.5]) == [False, True]
+
+    def test_cross_sort_equality_is_all_false(self):
+        assert self.mask(["a", "b"], "=", [1, 2]) == [False, False]
+        assert self.mask(["a", "b"], "!=", [1, 2]) == [True, True]
+
+    def test_string_ordering_declines(self):
+        # Interning codes are append order, not lexicographic.
+        assert self.mask(["a", "b"], "<", ["b", "a"]) is None
+
+    def test_same_sort_string_equality_works(self):
+        assert self.mask(["a", "b"], "=", ["a", "x"]) == [True, False]
+
+    def test_inexact_cast_declines(self):
+        assert self.mask([2 ** 53 + 2], "<", [0.5]) is None
+
+
+class TestFoldValues:
+    def test_matches_interpreted_left_fold(self):
+        values = [3, 1.5, 2, 8]
+        assert columns.fold_values("add", values) == 3 + 1.5 + 2 + 8
+        assert columns.fold_values("minimum", values) == 1.5
+        assert columns.fold_values("maximum", values) == 8
+        assert columns.fold_values("multiply", values) == math.prod(values)
+        assert columns.fold_values("rel_primitive_add", values) == 14.5
+
+    def test_declines_on_non_numerics_and_unknown_ops(self):
+        assert columns.fold_values("add", [1, "a"]) is None
+        assert columns.fold_values("add", [True, 1]) is None
+        assert columns.fold_values("concat", [1, 2]) is None
+        assert columns.fold_values("add", []) is None
+
+
+class TestJoinColumnsets:
+    def atoms(self, *specs):
+        out = []
+        for rows, vars_ in specs:
+            cs = columns.ColumnSet.from_rows(rows)
+            assert cs is not None
+            out.append((cs, tuple(vars_)))
+        return out
+
+    def test_triangle_matches_oracle(self):
+        edges = [(1, 2), (2, 3), (1, 3), (3, 1), (2, 1)]
+        atoms = self.atoms((edges, "ab"), (edges, "bc"), (edges, "ac"))
+        got = columns.join_columnsets(atoms, ("a", "b", "c"))
+        oracle = sorted({(a, b, c) for a, b in edges for b2, c in edges
+                         if b2 == b for a2, c2 in edges
+                         if (a2, c2) == (a, c)})
+        assert sorted(got) == oracle
+
+    def test_cartesian_when_no_shared_vars(self):
+        atoms = self.atoms(([(1,), (2,)], "x"), ([("a",), ("b",)], "y"))
+        got = columns.join_columnsets(atoms, ("x", "y"))
+        assert sorted(got) == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_disjoint_sorts_prove_empty(self):
+        atoms = self.atoms(([(1,)], "x"), ([("s",)], "x"))
+        assert columns.join_columnsets(atoms, ("x",)) == []
+
+    def test_projection_dedupes(self):
+        rows = [(1, 10), (1, 20), (2, 30)]
+        atoms = self.atoms((rows, "xy"))
+        assert sorted(columns.join_columnsets(atoms, ("x",))) == [(1,), (2,)]
+
+    def test_empty_output_tuple_counts_rows(self):
+        atoms = self.atoms(([(1,)], "x"))
+        assert columns.join_columnsets(atoms, ()) == [()]
+
+    def test_unjoinable_cast_declines(self):
+        atoms = self.atoms(([(2 ** 53 + 2,)], "x"), ([(0.5,)], "x"))
+        assert columns.join_columnsets(atoms, ("x",)) is None

@@ -1,0 +1,114 @@
+"""Columnar checkpoint blocks (PR 7): format, determinism, compatibility.
+
+``encode_relation`` writes typed relations as contiguous per-column
+blocks and everything else as the PR-6 row lists; ``decode_relation``
+accepts both forever. These tests pin the format choice per relation
+shape, byte determinism, exact value round-trips, and — the part users
+depend on — that checkpoints written by either codec reopen under the
+other.
+"""
+
+import json
+
+import pytest
+
+from repro import Relation, connect
+from repro.model import columns
+from repro.model.values import Symbol
+from repro.storage import codec
+
+kernels = pytest.mark.skipif(
+    not columns.KERNELS_AVAILABLE,
+    reason="columnar kernels unavailable (no numpy or REPRO_COLUMNAR=off)")
+
+
+@kernels
+class TestFormatSelection:
+    def test_typed_relations_become_blocks(self):
+        enc = codec.encode_relation(Relation([(1, "a"), (2, "b")]))
+        assert enc["c"]["tags"] == ["int", "str"]
+        assert enc["c"]["cols"][0] == [1, 2]
+
+    def test_untypeable_relations_stay_row_lists(self):
+        for rel in (Relation([(1, 2), (1, 2, 3)]),     # mixed arity
+                    Relation([(True,), (1,)]),          # bool/int column
+                    Relation([(Symbol("s"),)]),         # tagged sort
+                    Relation(),                         # empty
+                    Relation([()])):                    # arity 0
+            assert isinstance(codec.encode_relation(rel), list)
+
+    def test_columnar_flag_forces_row_format(self):
+        rel = Relation([(1,), (2,)])
+        assert isinstance(codec.encode_relation(rel, columnar=False), list)
+        codec.COLUMNAR_BLOCKS = False
+        try:
+            assert isinstance(codec.encode_relation(rel), list)
+        finally:
+            codec.COLUMNAR_BLOCKS = None
+
+
+@kernels
+class TestRoundTrip:
+    CASES = [
+        Relation([(1, "a"), (2, "b"), (1, "c")]),
+        Relation([(True,), (False,)]),
+        Relation([(1.5, -7), (2.0, 9)]),
+        Relation([(i, float(i) / 2, f"s{i % 5}") for i in range(200)]),
+    ]
+
+    @pytest.mark.parametrize("rel", CASES)
+    def test_block_round_trips_through_json(self, rel):
+        payload = codec.dump_payload(codec.encode_relation(rel))
+        assert codec.decode_relation(json.loads(payload)) == rel
+
+    def test_bytes_deterministic_across_insertion_order(self):
+        rows = [(3, "c"), (1, "a"), (2, "b")]
+        a = codec.dump_payload(codec.encode_relation(Relation(rows)))
+        b = codec.dump_payload(codec.encode_relation(Relation(rows[::-1])))
+        assert a == b
+
+    def test_value_types_survive(self):
+        rel = Relation([(True, 7, 0.5, "x")])
+        back = codec.decode_relation(codec.encode_relation(rel))
+        row = next(iter(back.rows()))
+        assert [type(v) for v in row] == [bool, int, float, str]
+
+    def test_malformed_blocks_raise(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode_relation({"c": {"tags": ["int"], "cols": []}})
+        with pytest.raises(codec.CodecError):
+            codec.decode_relation({"x": 1})
+
+
+class TestCheckpointCompatibility:
+    def _write(self, path, columnar):
+        codec.COLUMNAR_BLOCKS = columnar
+        try:
+            session = connect(path=path, load_stdlib=False)
+            session.define("E", [(i, i + 1) for i in range(50)])
+            session.insert("E", [(99, 0)])
+            session.load("def P(x) : exists((y) | E(x, y))")
+            session.checkpoint()
+            session.close()
+        finally:
+            codec.COLUMNAR_BLOCKS = None
+
+    def _reopen_and_check(self, path, columnar):
+        codec.COLUMNAR_BLOCKS = columnar
+        try:
+            session = connect(path=path, load_stdlib=False)
+            assert len(session.relation("E")) == 51
+            assert (99, 0) in session.relation("E")
+            assert len(session.relation("P")) == 51
+            session.close()
+        finally:
+            codec.COLUMNAR_BLOCKS = None
+
+    def test_row_checkpoint_reopens_under_columnar(self, tmp_path):
+        self._write(tmp_path / "db", columnar=False)
+        self._reopen_and_check(tmp_path / "db", columnar=None)
+
+    @kernels
+    def test_columnar_checkpoint_reopens_under_row_codec(self, tmp_path):
+        self._write(tmp_path / "db", columnar=True)
+        self._reopen_and_check(tmp_path / "db", columnar=False)
