@@ -1,4 +1,4 @@
-"""B7 — columnar data plane vs. the interpreted row plane (PR 7).
+"""B7/B8 — columnar data plane vs. the interpreted row plane.
 
 The columnar plane types each relation column into a contiguous vector
 (``repro.model.columns``) and routes joins, dedupe, and projection
@@ -14,6 +14,19 @@ constant-factor regression still fails.
 The second gate is the storage plane: checkpointing a 100k-row typed
 relation as contiguous per-column blocks must beat the PR-6 row codec
 by ≥2x for write + reopen combined.
+
+PR 8 adds two more gates on the same workloads:
+
+- the *columnar fixpoint* (rules emit columnar-native relations, the
+  semi-naive driver runs union/difference/trie builds on vectors, row
+  dicts build only on demand) must beat the PR-7 shape — same kernels,
+  but every derived extent round-tripping through a Python row dict —
+  by ≥1.5x on the hub TC (A/B via ``expand.COLUMNAR_FIXPOINT``);
+- checkpoint *write* of a string-heavy 100k-row relation must gain
+  ≥1.3x from the shared-interner string tables (A/B via
+  ``codec.INTERN_TABLES``): the block stores each distinct string once
+  and the columns as small integer codes read straight out of the
+  interned vectors.
 """
 
 import shutil
@@ -24,7 +37,9 @@ from pathlib import Path
 import pytest
 
 import repro
+from repro.engine import expand
 from repro.model import columns
+from repro.model.relation import Relation
 from repro.storage import codec
 from repro.workloads import chain_graph
 
@@ -114,6 +129,34 @@ def test_shape_columnar_breaks_even_on_chain_tc():
     )
 
 
+@kernels
+def test_shape_columnar_fixpoint_speedup():
+    """PR-8 acceptance gate: the end-to-end columnar fixpoint (derived
+    extents stay vectorized through emit → frontier difference → union →
+    trie build; row dicts only on demand) beats the PR-7 shape — the
+    same kernels with every derived extent keyed through a Python row
+    dict — by ≥1.5x on the hub TC. The counters prove both halves: rules
+    actually emitted columnar-native relations, and the fixpoint never
+    forced their dicts."""
+    t_native, (session_native, r_native) = best_of(
+        lambda: tc_closure(HUB300, "auto"))
+    expand.COLUMNAR_FIXPOINT = False
+    try:
+        t_dict, (_, r_dict) = best_of(lambda: tc_closure(HUB300, "auto"))
+    finally:
+        expand.COLUMNAR_FIXPOINT = True
+    assert r_native == r_dict
+    stats = session_native.columnar_statistics()
+    assert stats.get("emit", 0) >= 1, f"no columnar rule emission: {stats}"
+    assert stats.get("relation_native", 0) >= 1, (
+        f"no columnar-native relation constructed: {stats}")
+    assert t_dict > 1.5 * t_native, (
+        f"expected columnar fixpoint ≥1.5x over the row-dict shape, got "
+        f"dict={t_dict:.3f}s native={t_native:.3f}s "
+        f"({t_dict / t_native:.2f}x)"
+    )
+
+
 CHECKPOINT_ROWS = [(i, float(i) * 0.5, f"s{i % 1000}") for i in range(100_000)]
 
 
@@ -151,6 +194,52 @@ def test_shape_columnar_checkpoint_speedup(tmp_path):
         f"expected columnar checkpoint ≥2x, got row={t_row:.3f}s "
         f"(write {w_row:.3f} + reopen {o_row:.3f}) vs "
         f"columnar={t_col:.3f}s (write {w_col:.3f} + reopen {o_col:.3f})"
+    )
+
+
+STRING_HEAVY_ROWS = [
+    (i,
+     f"https://example.com/api/v2/orgs/{i % 800:04d}/projects/main/artifacts",
+     f"deploy/region-us-east-1/cluster-{i % 300:03d}/service-frontend",
+     f"checksum-sha256:{'ab' * 16}{i % 100:02d}")
+    for i in range(100_000)
+]
+
+
+def interned_checkpoint_write(root, intern):
+    """Checkpoint a string-heavy 100k-row relation with the string-table
+    format forced on/off; returns just the ``checkpoint()`` seconds (the
+    gate is about the write, so define-time relation construction stays
+    outside the clock)."""
+    codec.INTERN_TABLES = intern
+    try:
+        session = repro.connect(path=root, load_stdlib=False)
+        session.define("S", STRING_HEAVY_ROWS)
+        t0 = time.perf_counter()
+        session.checkpoint()
+        elapsed = time.perf_counter() - t0
+        session.close()
+        return elapsed
+    finally:
+        codec.INTERN_TABLES = None
+
+
+@kernels
+def test_shape_interned_checkpoint_write(tmp_path):
+    """PR-8 acceptance gate: per-block string tables sharing the
+    process-wide interner gain ≥1.3x on checkpoint write of a
+    string-heavy 100k-row relation (and the reopened relation matches)."""
+    t_inline = min(interned_checkpoint_write(tmp_path / f"inline{i}", False)
+                   for i in range(2))
+    t_interned = min(interned_checkpoint_write(tmp_path / f"interned{i}", True)
+                     for i in range(2))
+    session = repro.connect(path=tmp_path / "interned0", load_stdlib=False)
+    assert session.relation("S") == Relation(STRING_HEAVY_ROWS)
+    session.close()
+    assert t_inline > 1.3 * t_interned, (
+        f"expected interned string tables ≥1.3x on checkpoint write, got "
+        f"inline={t_inline:.3f}s interned={t_interned:.3f}s "
+        f"({t_inline / t_interned:.2f}x)"
     )
 
 

@@ -1,4 +1,4 @@
-"""Record the gated benchmark timings to BENCH_pr7.json.
+"""Record the gated benchmark timings to BENCH_pr8.json.
 
 The perf trajectory: each PR that claims a gated speedup appends a
 machine-readable snapshot (started at PR 4, extended per PR since) so
@@ -35,7 +35,14 @@ gate. Gates recorded:
   sizes (floor 3x);
 - ``columnar_checkpoint``       — PR 7: per-column checkpoint blocks vs.
   the PR-6 row codec, write + reopen of a 100k-row typed relation
-  (floor 2x).
+  (floor 2x);
+- ``columnar_fixpoint``         — PR 8: the end-to-end columnar fixpoint
+  (rules emit columnar-native relations; frontier difference, union, and
+  trie builds run on vectors) vs. the PR-7 shape where every derived
+  extent re-keys through a Python row dict, on the hub TC (floor 1.5x);
+- ``interned_checkpoint``       — PR 8: per-block string tables sharing
+  the process-wide interner vs. inline strings, checkpoint write of a
+  string-heavy 100k-row relation (floor 1.3x).
 
 The snapshot also carries an ungated ``scaled`` section: one-shot
 timings of the B1/E12/E13 workloads at 10x their benchmark sizes
@@ -186,7 +193,9 @@ def storage_gates():
 def columnar_gates():
     import tempfile
 
-    from bench_columnar import HUB300, best_of, checkpoint_cycle, tc_closure
+    from bench_columnar import (HUB300, best_of, checkpoint_cycle,
+                                interned_checkpoint_write, tc_closure)
+    from repro.engine import expand
     from repro.model import columns
 
     if not columns.KERNELS_AVAILABLE:
@@ -197,15 +206,27 @@ def columnar_gates():
     tc = gate("columnar_hub_tc", t_off, t_on, 3.0,
               {"closure_rows": len(r_on),
                "columnar_statistics": session_on.columnar_statistics()})
+    expand.COLUMNAR_FIXPOINT = False
+    try:
+        t_dict, (_, r_dict) = best_of(lambda: tc_closure(HUB300, "auto"))
+    finally:
+        expand.COLUMNAR_FIXPOINT = True
+    assert r_dict == r_on
+    fixpoint = gate("columnar_fixpoint", t_dict, t_on, 1.5)
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
         w_row, o_row = checkpoint_cycle(root / "row", columnar=False)
         w_col, o_col = checkpoint_cycle(root / "col", columnar=True)
+        t_inline = interned_checkpoint_write(root / "inline", False)
+        t_interned = interned_checkpoint_write(root / "interned", True)
     ckpt = gate("columnar_checkpoint", w_row + o_row, w_col + o_col, 2.0,
                 {"rows": 100_000,
                  "row_write_s": round(w_row, 4),
                  "columnar_write_s": round(w_col, 4)})
-    return [tc, ckpt]
+    interned = gate("interned_checkpoint", t_inline, t_interned, 1.3,
+                    {"rows": 100_000,
+                     "interner": columns.interner_statistics()})
+    return [tc, fixpoint, ckpt, interned]
 
 
 def scaled_timings():
@@ -254,13 +275,13 @@ def main() -> int:
     gates.extend(storage_gates())
     gates.extend(columnar_gates())
     snapshot = {
-        "pr": 7,
+        "pr": 8,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "gates": gates,
         "scaled": scaled_timings(),
     }
-    out = Path(__file__).parent.parent / "BENCH_pr7.json"
+    out = Path(__file__).parent.parent / "BENCH_pr8.json"
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     failed = [g["name"] for g in gates if not g["passed"]]
     print(json.dumps(snapshot, indent=2))

@@ -49,6 +49,7 @@ from repro.db.database import Database
 from repro.db.transaction import Transaction, TransactionResult
 from repro.engine.program import EngineOptions, RelProgram
 from repro.lang import ast, parse_expression
+from repro.model import columns as _columns
 from repro.model.relation import EMPTY, Relation
 
 RelationLike = Union[Relation, Iterable[Tuple[Any, ...]]]
@@ -258,9 +259,13 @@ class Snapshot:
 
     def statistics(self) -> Dict[str, Dict[str, int]]:
         """Per-base-relation size statistics as of capture (same shape as
-        :meth:`Session.statistics`)."""
-        return {name: _relation_statistics(name, rel)
-                for name, rel in self.program.base_relations.items()}
+        :meth:`Session.statistics`, including the ``"interner"`` key —
+        the interning table is process-wide and append-only, so the live
+        reading is the honest one even for a frozen view)."""
+        stats = {name: _relation_statistics(name, rel)
+                 for name, rel in self.program.base_relations.items()}
+        stats["interner"] = _columns.interner_statistics()
+        return stats
 
     def evaluation_counts(self) -> Dict[str, int]:
         """Snapshot-local rule-evaluation counters (start at zero)."""
@@ -875,10 +880,18 @@ class Session:
         ``approx_bytes`` (resident size estimate — exact vector bytes for
         typed relations, a per-tuple heuristic for dict fallback), and
         ``columnar_columns`` (how many columns the typed plane covers; 0
-        means the relation is on the dict-of-tuples path)."""
+        means the relation is on the dict-of-tuples path). One extra key,
+        ``"interner"``, reports the process-wide string interning table
+        (``strings`` registered, ``approx_bytes`` retained) — process-wide
+        because the table is shared by every session, checkpoint codec
+        block, and snapshot in the process; its growth is the cost of
+        string-typed columns staying vectorized."""
         with self._lock:
-            return {name: _relation_statistics(name, rel)
-                    for name, rel in self.database.items()}
+            stats: Dict[str, Dict[str, int]] = {
+                name: _relation_statistics(name, rel)
+                for name, rel in self.database.items()}
+        stats["interner"] = _columns.interner_statistics()
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Session({len(self.database)} base relations, "

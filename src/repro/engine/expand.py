@@ -90,8 +90,16 @@ def _fresh(prefix: str) -> str:
 #: Under ``columnar="auto"`` the vectorized kernels only engage above this
 #: input size — below it the Python→numpy round-trip costs more than it
 #: saves. ``"on"`` ignores the threshold, so the differential suite can
-#: exercise the kernels on arbitrarily small tables.
+#: exercise the kernels on arbitrarily small tables. This is the *default*
+#: for :class:`~repro.engine.program.EngineOptions.columnar_min_rows`
+#: (env override ``REPRO_COLUMNAR_MIN_ROWS``); sessions read the option.
 _COLUMNAR_MIN_ROWS = 64
+
+#: Bench/ablation switch: when False, rule evaluation decodes columnar
+#: results into keyed dicts exactly as PR 7 did (the pre-fixpoint-refactor
+#: baseline), instead of emitting columnar-native Relations. Not a user
+#: knob — ``columnar=off`` is the supported way to disable the plane.
+COLUMNAR_FIXPOINT = True
 
 
 def _columnar_mode(ctx) -> str:
@@ -104,8 +112,17 @@ def _columnar_mode(ctx) -> str:
     return mode
 
 
-def _kernel_wanted(mode: str, n: int) -> bool:
-    return mode == "on" or (mode == "auto" and n >= _COLUMNAR_MIN_ROWS)
+def _kernel_wanted(mode: str, n: int, ctx=None) -> bool:
+    if mode == "on":
+        return True
+    if mode != "auto":
+        return False
+    floor = _COLUMNAR_MIN_ROWS
+    if ctx is not None:
+        options = getattr(ctx, "options", None)
+        floor = getattr(options, "columnar_min_rows", floor) \
+            if options is not None else floor
+    return n >= floor
 
 
 def _count_columnar(ctx, event: str) -> None:
@@ -119,7 +136,7 @@ def _dedupe(table: Table, ctx) -> Table:
     knob and input size allow — the result is identical either way."""
     if table.distinct:
         return table
-    if len(table) and _kernel_wanted(_columnar_mode(ctx), len(table)):
+    if len(table) and _kernel_wanted(_columnar_mode(ctx), len(table), ctx):
         result = dedupe_table(table)
         if result is not None:
             _count_columnar(ctx, "dedupe")
@@ -134,7 +151,7 @@ def _project(table: Table, keep: Sequence[str], ctx) -> Table:
     Sized checks only (``len``, never ``.rows``): a columnar-backed table
     must reach :func:`project_table` unmaterialized for the vectorized
     fast path to pay off."""
-    if len(table) and _kernel_wanted(_columnar_mode(ctx), len(table)):
+    if len(table) and _kernel_wanted(_columnar_mode(ctx), len(table), ctx):
         result = project_table(table, keep)
         if result is not None:
             _count_columnar(ctx, "project")
@@ -146,7 +163,7 @@ def _project(table: Table, keep: Sequence[str], ctx) -> Table:
 def _union(tables: List[Table], cols: Tuple[str, ...], ctx) -> Table:
     """:func:`union_tables` routed through the columnar kernel."""
     total = sum(len(t) for t in tables)
-    if total and _kernel_wanted(_columnar_mode(ctx), total):
+    if total and _kernel_wanted(_columnar_mode(ctx), total, ctx):
         result = union_tables_typed(tables, cols)
         if result is not None:
             _count_columnar(ctx, "union")
@@ -330,7 +347,7 @@ def _plan_state(ctx, table: Table, frame: Frame, anchor):
     already binds — delta variants share anchors with nothing, and
     demanded-head lookups get their own patterns), and the join-strategy
     knob (routing decisions are recorded in the plan)."""
-    if anchor is None or not table.rows:
+    if anchor is None or not len(table):
         return None, None
     options = getattr(ctx, "options", None)
     if options is None or not getattr(options, "plan_cache", False):
@@ -344,6 +361,26 @@ def _plan_state(ctx, table: Table, frame: Frame, anchor):
         getattr(options, "join_strategy", "off"),
     )
     return state, key
+
+
+def _absorb_conjunct(expanded: Table, slot: Optional[int],
+                     slot_cols: Dict[int, str], ctx) -> Table:
+    """Fold one expanded conjunct back into the running binding table.
+
+    Normally the payload is stashed under a fresh slot column (payload
+    order differs from evaluation order) or cleared. A columnar-backed
+    table whose payload is the empty-tuple constant skips both: stash and
+    clear would only append/reset ``()`` per row — forcing the vectors
+    into Python tuples for nothing — and an unrecorded slot contributes
+    exactly ``()`` at gather time. This is what lets a rule body that is
+    one big multiway join stay columnar end-to-end through scheduling."""
+    if expanded.colsrc is not None and expanded.colsrc[2] == ():
+        return expanded
+    if slot is not None:
+        col = _fresh("slot")
+        slot_cols[slot] = col
+        return expanded.stash_payload(col)
+    return expanded.clear_payload()
 
 
 def _schedule(
@@ -379,7 +416,7 @@ def _schedule(
     slot_cols: Dict[int, str] = {}
     multiway_rec = None
     order_rec: List[int] = []
-    if len(pending) >= 2 and table.rows:
+    if len(pending) >= 2 and len(table):
         table, pending, multiway_rec = _schedule_multiway(pending, table,
                                                           frame, ctx)
     while pending:
@@ -394,13 +431,8 @@ def _schedule(
                 continue
             scheduled = i
             order_rec.append(orig)
-            if slot is not None:
-                col = _fresh("slot")
-                table = expanded.stash_payload(col)
-                slot_cols[slot] = col
-            else:
-                table = expanded.clear_payload()
-            table = _dedupe(table, ctx)
+            table = _dedupe(_absorb_conjunct(expanded, slot, slot_cols, ctx),
+                            ctx)
             break
         if scheduled is None:
             raise NotOrderable(
@@ -451,13 +483,8 @@ def _execute_plan(plan, items, table: Table, frame: Frame, ctx) -> Optional[Tabl
         for orig in plan.order:
             slot, n = items[orig]
             expanded = expand(n, table, frame, ctx)
-            if slot is not None:
-                col = _fresh("slot")
-                table = expanded.stash_payload(col)
-                slot_cols[slot] = col
-            else:
-                table = expanded.clear_payload()
-            table = _dedupe(table, ctx)
+            table = _dedupe(_absorb_conjunct(expanded, slot, slot_cols, ctx),
+                            ctx)
     except NotOrderable:
         return None
     ordered = [slot_cols[s] for s in sorted(slot_cols)]
@@ -532,10 +559,12 @@ def _spec_to_atom(rel: Relation, args) -> joins_planner.Atom:
     names = tuple(d for k, d in args if k == "var")
     n = len(args)
     if all(k == "var" for k, _ in args) and rel.arities() <= frozenset({n}):
-        # Zero-copy: the stored row view serves as the row collection (the
+        # Zero-copy: the relation itself serves as the row collection (the
         # planner only sizes and iterates it), so a leapfrog run that hits
-        # the cached trie never touches the rows at all.
-        return joins_planner.Atom(rel.rows(), names, source=rel)
+        # the cached trie never touches the rows at all — and a
+        # columnar-native relation feeding the vectorized join hands over
+        # its ColumnSet without ever decoding a tuple.
+        return joins_planner.Atom(rel, names, source=rel)
     keep = [i for i, (k, _) in enumerate(args) if k == "var"]
     consts = [(i, v) for i, (k, v) in enumerate(args) if k == "const"]
     rows: List[Tuple[Any, ...]] = []
@@ -650,7 +679,7 @@ def _attach_multiway(atoms: List[joins_planner.Atom],
     result = None
     result_cols = None
     mode = _columnar_mode(ctx)
-    if _kernel_wanted(mode, sum(len(a.rows) for a in atoms)):
+    if _kernel_wanted(mode, sum(len(a.rows) for a in atoms), ctx):
         # Vectorized probe first: every participating column typed means
         # the whole join runs as numpy kernels; any untypeable atom makes
         # it decline and the interpreted strategies below take over. The
@@ -693,7 +722,7 @@ def _attach_multiway(atoms: List[joins_planner.Atom],
         if state is not None and hasattr(state, "count_join"):
             state.count_join(strategy)
 
-    if not shared and len(table.rows) == 1:
+    if not shared and len(table) == 1:
         # One-row binding table (a rule's unit seed is the fixpoint hot
         # case): the join result is already value-distinct and attaches to
         # the single row directly — skip the bucket-and-dedupe pass. A
@@ -883,6 +912,13 @@ def _expand_exists(node: ast.Exists, table: Table, frame: Frame, ctx) -> Table:
     drop = set(locals_)
     keep = [c for c in result.cols if c not in drop]
     projected = _project(result, keep, ctx)
+    if projected.colsrc is not None:
+        if projected.colsrc[2] == ():
+            return projected
+        # The payload is one shared constant: clearing it cannot split or
+        # merge rows, so distinctness survives and the vectors stay put.
+        prefix, colset, _ = projected.colsrc
+        return Table.from_columns(projected.cols, prefix, colset, ())
     if not any(row[-1] for row in projected.rows):
         # Payloads are already empty (the usual case: the body is a pure
         # formula), so clearing cannot introduce duplicates — the
@@ -2584,16 +2620,31 @@ def eval_rule(rule: Rule, env: Env, ctx,
     head positions as ``(position, value)`` pairs, enabling on-demand
     evaluation of definitions that are unsafe to materialize fully.
     """
-    return _eval_rule_keyed(rule, env, ctx, demand, full_arity).values()
+    got = _eval_rule_result(rule, env, ctx, demand, full_arity)
+    if got is None:
+        return ()
+    return _emit_keyed(*got, ctx).values()
 
 
 def eval_rule_relation(rule: Rule, env: Env, ctx,
                        demand: Tuple[Tuple[int, Any], ...] = (),
                        full_arity: Optional[int] = None) -> Relation:
-    """Like :func:`eval_rule` but packaged as a :class:`Relation` directly:
-    the head tuples are already keyed in the relation's key space, so the
-    fixpoint drivers skip one full re-keying pass per rule evaluation."""
-    keyed = _eval_rule_keyed(rule, env, ctx, demand, full_arity)
+    """Like :func:`eval_rule` but packaged as a :class:`Relation` directly.
+
+    A columnar body result whose head is a straight tuple of value
+    variables is emitted as a columnar-*native* relation — the fixpoint
+    drivers then difference/union/compare it against the running totals
+    entirely in vector space, never touching Python row tuples. Otherwise
+    the head tuples are emitted pre-keyed in the relation's key space, so
+    the drivers still skip one full re-keying pass per rule evaluation."""
+    got = _eval_rule_result(rule, env, ctx, demand, full_arity)
+    if got is None:
+        return EMPTY
+    if COLUMNAR_FIXPOINT:
+        rel = _emit_columnar(*got, ctx)
+        if rel is not None:
+            return rel
+    keyed = _emit_keyed(*got, ctx)
     if not keyed:
         return EMPTY
     return Relation._from_keyed(keyed)
@@ -2603,11 +2654,25 @@ def _eval_rule_keyed(rule: Rule, env: Env, ctx,
                      demand: Tuple[Tuple[int, Any], ...] = (),
                      full_arity: Optional[int] = None) -> Dict[Tuple[Any, ...],
                                                                Tuple[Any, ...]]:
+    got = _eval_rule_result(rule, env, ctx, demand, full_arity)
+    if got is None:
+        return {}
+    return _emit_keyed(*got, ctx)
+
+
+def _eval_rule_result(rule: Rule, env: Env, ctx,
+                      demand: Tuple[Tuple[int, Any], ...] = (),
+                      full_arity: Optional[int] = None):
+    """Schedule one rule body and return ``(result table, positional head
+    bindings, post filters, frame)``, or None when the demand pattern is
+    unsatisfiable. Head emission is the caller's choice:
+    :func:`_emit_keyed` (row tuples keyed for the dict plane) or
+    :func:`_emit_columnar` (a native columnar relation)."""
     locals_, guards, positional = _rule_skeleton(rule, ctx)
     frame = Frame(env, frozenset(locals_))
     pre, post = align_demand(positional, demand, full_arity)
     if pre is None:
-        return {}
+        return None
     cols = tuple(pre.keys())
     table = Table(cols, [tuple(pre.values()) + ((),)])
     items: List[Tuple[Optional[int], ast.Node]] = [(None, g) for g in guards]
@@ -2621,9 +2686,56 @@ def _eval_rule_keyed(rule: Rule, env: Env, ctx,
         raise SafetyError(
             f"rule {rule.name}: head variables {sorted(unbound)} are unconstrained"
         )
+    return result, positional, post, frame
 
+
+def _emit_columnar(result: Table, positional, post, frame: Frame,
+                   ctx) -> Optional[Relation]:
+    """Emit a rule's head tuples as a columnar-native Relation, or None to
+    decline (the keyed emitter is always correct).
+
+    Eligible exactly when the head is a plain tuple of value variables
+    over a columnar body result with nothing row-wise left to do: no
+    demand prefix, no residual payload, no post-filters, every head
+    position a :class:`ast.VarBinding` backed by one of the vectors. The
+    head projection (column select + dedupe) then runs as kernels and the
+    ColumnSet is adopted by the relation unchanged — zero Python rows."""
+    colsrc = result.colsrc
+    if colsrc is None or result._rows is not None:
+        return None
+    prefix, colset, payload = colsrc
+    if prefix != () or payload != () or post or not positional:
+        return None
+    if not colset.length:
+        return EMPTY
+    idx: List[int] = []
+    for binding in positional:
+        if not isinstance(binding, ast.VarBinding):
+            return None
+        try:
+            idx.append(result.col_index(binding.name))
+        except ValueError:
+            return None
+    if len(set(idx)) == len(colset.tags) == len(idx):
+        # The head is a permutation of the body columns: rows are already
+        # distinct (deduplicated join output), just reorder the vectors.
+        out = _columns.ColumnSet(tuple(colset.tags[i] for i in idx),
+                                 tuple(colset.arrays[i] for i in idx),
+                                 colset.length)
+    else:
+        cols = [(colset.tags[i], colset.arrays[i]) for i in idx]
+        keep = _columns.distinct_indices(cols, colset.length)
+        out = _columns.ColumnSet(tuple(t for t, _ in cols),
+                                 tuple(a[keep] for _, a in cols),
+                                 len(keep))
+    _count_columnar(ctx, "emit")
+    return Relation.from_columns(out)
+
+
+def _emit_keyed(result: Table, positional, post, frame: Frame,
+                ctx) -> Dict[Tuple[Any, ...], Tuple[Any, ...]]:
     out: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
-    if not result.rows:
+    if not len(result):
         return out
     # Head emission: binding kinds never vary per row, so compile the
     # per-position operations once and run a flat loop over the rows.

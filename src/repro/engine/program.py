@@ -22,6 +22,7 @@ paper's semantics (Section 3.3 and Addendum A):
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
 import sys
@@ -45,9 +46,11 @@ from repro.engine.expand import (
     rule_orderable,
     simulate,
 )
+from repro.engine import expand as _expand
 from repro.engine.runtime import Closure, Env, Rule, compile_rule
 from repro.engine.table import Table
 from repro.lang import ast, parse_expression, parse_program
+from repro.model import columns as _columns
 from repro.model.relation import EMPTY, Relation
 from repro.model.relation import row_key as model_row_key
 
@@ -110,6 +113,13 @@ class EngineOptions:
     #: ``REPRO_COLUMNAR`` overrides the default (CI ablation).
     columnar: str = dataclasses.field(
         default_factory=lambda: os.environ.get("REPRO_COLUMNAR", "auto").lower() or "auto")
+    #: The ``columnar="auto"`` engagement floor: vectorized kernels only
+    #: run on inputs of at least this many rows (below it the
+    #: Python→numpy round-trip costs more than it saves; ``"on"`` ignores
+    #: the floor). The environment variable ``REPRO_COLUMNAR_MIN_ROWS``
+    #: overrides the default of 64.
+    columnar_min_rows: int = dataclasses.field(
+        default_factory=lambda: _columnar_min_rows_default())
 
     def __post_init__(self) -> None:
         if self.join_strategy not in ("auto", "leapfrog", "binary", "off"):
@@ -127,6 +137,45 @@ class EngineOptions:
                 f"unknown columnar mode {self.columnar!r}; expected "
                 f"'auto', 'on', or 'off'"
             )
+        if type(self.columnar_min_rows) is not int \
+                or self.columnar_min_rows < 0:
+            raise ValueError(
+                f"columnar_min_rows must be a non-negative integer, "
+                f"got {self.columnar_min_rows!r}"
+            )
+
+
+@contextlib.contextmanager
+def _plane_stats(state):
+    """Route Relation-layer storage-plane events (columnar-native
+    constructions, lazy keyed-dict materializations) into this
+    evaluation's counter dict for the duration of the block.
+
+    The Relation layer has no evaluation context, so it reports through a
+    thread-local sink (:func:`repro.model.columns.count_plane`); installing
+    the *state's* dict here — at every evaluation entry point — attributes
+    each event to the state doing the work. Snapshot reads therefore count
+    into their own :class:`SnapshotState` (read-only views must never bump
+    parent counters), and concurrent readers on different threads never
+    cross-attribute."""
+    prev = _columns.swap_stats_sink(
+        state.columnar_stats if state is not None else None)
+    try:
+        yield
+    finally:
+        _columns.swap_stats_sink(prev)
+
+
+def _columnar_min_rows_default() -> int:
+    raw = os.environ.get("REPRO_COLUMNAR_MIN_ROWS", "").strip()
+    if not raw:
+        return _expand._COLUMNAR_MIN_ROWS
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_COLUMNAR_MIN_ROWS must be an integer, got {raw!r}"
+        ) from None
 
 
 class EvalState:
@@ -1170,7 +1219,8 @@ class RelProgram:
             return dict(ctx.state.extents)
         self._evaluating = True
         try:
-            return self._evaluate_all(ctx)
+            with _plane_stats(ctx.state):
+                return self._evaluate_all(ctx)
         finally:
             self._evaluating = False
 
@@ -1343,6 +1393,15 @@ class RelProgram:
         """Apply a batch of base-relation changes (``name → (old, new)``,
         ``old=None`` for a brand-new name) through one maintenance pass —
         the entry point for committed transaction insert/delete requests."""
+        with contextlib.ExitStack() as stack:
+            if self._state is not None:
+                stack.enter_context(_plane_stats(self._state))
+            self._apply_updates_inner(updates)
+
+    def _apply_updates_inner(
+        self,
+        updates: Mapping[str, Tuple[Optional[Relation], Relation]],
+    ) -> None:
         fresh: List[str] = []
         changed: Dict[str, Tuple[Relation, Relation]] = {}
         base = dict(self._base)
@@ -1819,11 +1878,12 @@ class RelProgram:
     def relation(self, name: str) -> Relation:
         """The full extent of a defined or base relation."""
         ctx = self._context()
-        kind, payload = ctx.resolve(name)
-        if kind == "extent":
-            return payload
-        if kind == "closure":
-            return ctx.closure_extent(payload, (), (), full_arity=None)
+        with _plane_stats(ctx.state):
+            kind, payload = ctx.resolve(name)
+            if kind == "extent":
+                return payload
+            if kind == "closure":
+                return ctx.closure_extent(payload, (), (), full_arity=None)
         raise EvaluationError(f"{name} is a builtin and cannot be enumerated")
 
     def query(self, source: str) -> Relation:
@@ -1835,10 +1895,11 @@ class RelProgram:
         prepared queries: parse once, execute many)."""
         ctx = self._context()
         self.evaluate()
-        try:
-            return eval_relation(node, Frame(Env.EMPTY, frozenset()), ctx)
-        except NotOrderable as exc:
-            raise SafetyError(str(exc)) from exc
+        with _plane_stats(ctx.state):
+            try:
+                return eval_relation(node, Frame(Env.EMPTY, frozenset()), ctx)
+            except NotOrderable as exc:
+                raise SafetyError(str(exc)) from exc
 
     def evaluation_counts(self) -> Dict[str, int]:
         """How many times each defined name has had its rules evaluated

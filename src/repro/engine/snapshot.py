@@ -42,7 +42,8 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.engine.errors import EvaluationError, SafetyError
 from repro.engine.expand import Frame, NotOrderable, eval_relation
-from repro.engine.program import EvalContext, EvalState, RelProgram
+from repro.engine.program import (EvalContext, EvalState, RelProgram,
+                                  _plane_stats)
 from repro.engine.runtime import Env
 from repro.lang import ast
 from repro.model.relation import Relation
@@ -259,10 +260,13 @@ class ProgramSnapshot(RelProgram):
         relations of the same name just for this call."""
         self._ensure_warm()
         env = Env(dict(bindings)) if bindings else Env.EMPTY
-        try:
-            return eval_relation(node, Frame(env, frozenset()), self._ctx)
-        except NotOrderable as exc:
-            raise SafetyError(str(exc)) from exc
+        # Plane events (lazy dict builds on shared columnar-native extents
+        # included) land in the snapshot's own counters, never the parent's.
+        with _plane_stats(self._state):
+            try:
+                return eval_relation(node, Frame(env, frozenset()), self._ctx)
+            except NotOrderable as exc:
+                raise SafetyError(str(exc)) from exc
 
     # -- frozen surface ----------------------------------------------------
 

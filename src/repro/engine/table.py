@@ -309,6 +309,15 @@ def _project_columns(table: Table, keep: Sequence[str]) -> Optional[Table]:
         row = tuple(const for _, const, _ in placing) + (payload,)
         return Table(tuple(keep), [row] if len(table) else [], distinct=True)
     keep_idx = _columns.distinct_indices(vector_cols, len(colset))
+    if all(const is None for _, const, _ in placing):
+        # Pure vector projection: stay columnar. The result feeds either
+        # the next conjunct's probe build or the final relation emission,
+        # both of which consume vectors directly.
+        out = _columns.ColumnSet(
+            tuple(tag for tag, _ in vector_cols),
+            tuple(arr[keep_idx] for _, arr in vector_cols),
+            len(keep_idx))
+        return Table.from_columns(tuple(keep), (), out, payload)
     decoded = [_columns.decode_column(tag, arr[keep_idx])
                for tag, arr in vector_cols]
     rows: List[Row] = []

@@ -45,11 +45,15 @@ class Atom:
     """One conjunct: a set of rows with named variables.
 
     ``rows`` may be any sized, iterable collection of tuples (the planner
-    only sizes and iterates it — the engine passes relation frozensets
-    zero-copy). ``source`` optionally records the identity of the relation
-    the rows came from; callers that cache derived structures (the engine's
-    sorted-trie cache) key on it. It never affects join results, and
-    canonicalization clears it whenever the rows are rewritten.
+    only sizes and iterates it — the engine passes relation frozensets,
+    or whole column-backed :class:`~repro.model.relation.Relation`
+    objects, zero-copy: a columnar-native relation sizes without building
+    its row dict, and the columnar planner reads its typed vectors
+    straight off ``source.columns()``). ``source`` optionally records the
+    identity of the relation the rows came from; callers that cache
+    derived structures (the engine's sorted-trie cache) key on it. It
+    never affects join results, and canonicalization clears it whenever
+    the rows are rewritten.
     """
 
     rows: Any

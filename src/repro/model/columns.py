@@ -76,10 +76,23 @@ def available() -> bool:
 _intern_lock = threading.Lock()
 _intern_codes: Dict[str, int] = {}
 _intern_strings: List[str] = []
+_intern_bytes = 0
+
+#: Per-interned-string overhead estimate (CPython ASCII str header plus a
+#: dict entry and a list slot) added to the character count for
+#: :func:`interner_statistics`'s ``approx_bytes``.
+_STR_OVERHEAD = 64
 
 
 def _encode_strings(values: Sequence[str]) -> List[int]:
-    """Codes for ``values`` in the shared dictionary (appending as needed)."""
+    """Codes for ``values`` in the shared dictionary (appending as needed).
+
+    Snapshot safety: the table is append-only, and a new string is
+    appended to ``_intern_strings`` *before* its code is published in
+    ``_intern_codes`` — any thread that observes a code (in a vector, a
+    snapshot's extent, or a checkpoint block) can therefore always decode
+    it lock-free, even mid-append from another thread.
+    """
     codes = _intern_codes
     out: List[int] = []
     missing = False
@@ -91,21 +104,64 @@ def _encode_strings(values: Sequence[str]) -> List[int]:
         out.append(c)
     if not missing:
         return out
+    global _intern_bytes
     with _intern_lock:
         strings = _intern_strings
+        added = 0
         out = []
         for v in values:
             c = codes.get(v)
             if c is None:
                 c = len(strings)
                 strings.append(v)
+                added += _STR_OVERHEAD + len(v)
                 codes[v] = c
             out.append(c)
+        _intern_bytes += added
         return out
 
 
 def decode_string(code: int) -> str:
     return _intern_strings[code]
+
+
+def interner_statistics() -> Dict[str, int]:
+    """Observability for the process-wide string dictionary: how many
+    distinct strings are interned and an estimate of their resident bytes.
+    Growth is monotone (the table is append-only); a workload that interns
+    unboundedly many distinct strings shows up here long before memory
+    pressure does."""
+    return {"strings": len(_intern_strings), "approx_bytes": _intern_bytes}
+
+
+# ---------------------------------------------------------------------------
+# Per-evaluation plane counters
+# ---------------------------------------------------------------------------
+#
+# The engine installs the active EvalState's ``columnar_stats`` dict here
+# (thread-local, save/restore) around every evaluation entry point, so the
+# Relation layer — which has no evaluation context — can still attribute
+# "columnar-native relation constructed" / "lazy dict materialized" events
+# to the state that caused them. Snapshot reads install the snapshot's own
+# dict, keeping parent counters untouched; events outside any evaluation
+# (user code iterating a returned relation) are deliberately not counted.
+
+_plane_sink = threading.local()
+
+
+def swap_stats_sink(sink: Optional[Dict[str, int]]) -> Optional[Dict[str, int]]:
+    """Install ``sink`` as this thread's plane-counter target, returning
+    the previous one (callers restore it in a ``finally``)."""
+    prev = getattr(_plane_sink, "sink", None)
+    _plane_sink.sink = sink
+    return prev
+
+
+def count_plane(event: str, n: int = 1) -> None:
+    """Bump ``event`` on the installed sink, if any."""
+    sink = getattr(_plane_sink, "sink", None)
+    if sink is not None:
+        sink[event] = sink.get(event, 0) + n
 
 
 # ---------------------------------------------------------------------------
@@ -240,41 +296,82 @@ class _Unjoinable(Exception):
     cannot answer and the caller must fall back to interpretation."""
 
 
+#: Running row-id bound: the mixed-radix fold compacts (sort + dense
+#: re-code) only when the next column would push ids past this, keeping
+#: the common case — a few integer-like columns of sane range — entirely
+#: sort-free.
+_ID_LIMIT = 1 << 62
+
+
+def _column_codes(arr):
+    """``(codes, radix)``: non-negative int64 codes with ``codes < radix``
+    and equal codes ⇔ equal values.
+
+    Integer-like arrays (ints, interned-string codes, bool bytes) are
+    range-offset in one vectorized pass — no sort; float arrays take the
+    sort-based ``np.unique`` compaction (ranges do not discretize)."""
+    n = len(arr)
+    if not n:
+        return _np.zeros(0, dtype=_np.int64), 1
+    if arr.dtype.kind in "iub":
+        arr64 = arr.astype(_np.int64, copy=False)
+        lo = int(arr64.min())
+        return arr64 - lo, int(arr64.max()) - lo + 1
+    _, codes = _np.unique(arr, return_inverse=True)
+    return codes.astype(_np.int64, copy=False), int(codes.max()) + 1
+
+
+def _mix_column(ids, bound, codes, radix, n):
+    """Fold one column's codes into the running row ids (mixed radix).
+
+    ``bound`` is the exclusive upper bound on the current ids; when the
+    next product would overflow int64, ids (and, pathologically, the
+    codes) are compacted to dense first. Returns ``(ids, bound)``."""
+    if bound * radix >= _ID_LIMIT:
+        _, ids = _np.unique(ids, return_inverse=True)
+        ids = ids.astype(_np.int64, copy=False)
+        bound = max(n, 1)
+        if bound * radix >= _ID_LIMIT:
+            _, codes = _np.unique(codes, return_inverse=True)
+            codes = codes.astype(_np.int64, copy=False)
+            radix = max(n, 1)
+    return ids * radix + codes, bound * radix
+
+
 def _factorize_pair(cols_a: Sequence[Tuple[str, Any]],
                     cols_b: Sequence[Tuple[str, Any]]):
-    """Dense ids for the key columns of two sides in one shared code space.
+    """Row ids for the key columns of two sides in one shared code space.
 
     Returns ``(ids_a, ids_b)`` (int64 arrays) where equal ids mean equal
-    keys under Rel value semantics, or ``None`` when some column pair is
-    sort-disjoint (no key can ever match). Raises :class:`_Unjoinable` on
-    a cast the kernel cannot do exactly.
+    keys under Rel value semantics (ids are *not* dense — consumers only
+    compare, sort, and test membership), or ``None`` when some column pair
+    is sort-disjoint (no key can ever match). Raises :class:`_Unjoinable`
+    on a cast the kernel cannot do exactly.
     """
     n_a = len(cols_a[0][1]) if cols_a else 0
     n_b = len(cols_b[0][1]) if cols_b else 0
-    ids = _np.zeros(n_a + n_b, dtype=_np.int64)
+    n = n_a + n_b
+    ids = _np.zeros(n, dtype=_np.int64)
+    bound = 1
     for (tag_a, arr_a), (tag_b, arr_b) in zip(cols_a, cols_b):
         cast = _common_cast(tag_a, arr_a, tag_b, arr_b)
         if cast is None:
             return None
         both = _np.concatenate((cast[0], cast[1]))
-        _, codes = _np.unique(both, return_inverse=True)
-        ids = ids * (int(codes.max()) + 1 if len(codes) else 1) + codes
-        # Compact after every column so the mixed-radix product stays far
-        # below int64 (ids < n after this, codes < n before).
-        _, ids = _np.unique(ids, return_inverse=True)
-        ids = ids.astype(_np.int64, copy=False)
+        codes, radix = _column_codes(both)
+        ids, bound = _mix_column(ids, bound, codes, radix, n)
     return ids[:n_a], ids[n_a:]
 
 
 def factorize_rows(columns: Sequence[Tuple[str, Any]]) -> Any:
-    """Dense int64 ids over one side's rows: equal ids ⇔ equal rows."""
+    """Int64 row ids over one side's rows: equal ids ⇔ equal rows (not
+    dense — see :func:`_factorize_pair`)."""
     n = len(columns[0][1]) if columns else 0
     ids = _np.zeros(n, dtype=_np.int64)
+    bound = 1
     for _, arr in columns:
-        _, codes = _np.unique(arr, return_inverse=True)
-        ids = ids * (int(codes.max()) + 1 if len(codes) else 1) + codes
-        _, ids = _np.unique(ids, return_inverse=True)
-        ids = ids.astype(_np.int64, copy=False)
+        codes, radix = _column_codes(arr)
+        ids, bound = _mix_column(ids, bound, codes, radix, n)
     return ids
 
 
@@ -434,6 +531,117 @@ def fold_values(op_name: str, values: List[Any]) -> Optional[Any]:
                 for v in values):
         return None
     return fn(values)
+
+
+# ---------------------------------------------------------------------------
+# Set algebra over whole ColumnSets (the Relation fast path)
+# ---------------------------------------------------------------------------
+#
+# These kernels back ``Relation.union/difference/intersect/__eq__`` when
+# both sides are column-backed, so the semi-naive frontier difference and
+# DRed's over-delete/re-derive set algebra never materialize row dicts.
+# Conventions shared by all four:
+#
+# - ``None`` declines (arity mismatch aside, an exact vectorized answer is
+#   impossible — e.g. ints beyond 2**53 against floats); the caller falls
+#   back to the row_key dict path, which is always correct.
+# - returning ``a`` itself means "the result is the left side, unchanged" —
+#   Relation's return-self-when-unchanged contract (id()-pinned caches and
+#   the maintenance driver's ``final is old`` checks depend on it).
+# - value semantics are the dict plane's exactly: bool vs int columns are
+#   sort-disjoint (never equal), int vs float compares through the guarded
+#   float64 cast, and both sides' rows are row_key-distinct by construction
+#   (they come out of Relations), so id-space distinctness is row_key
+#   distinctness.
+
+
+def set_union(a: "ColumnSet", b: "ColumnSet") -> Optional["ColumnSet"]:
+    """Rows of ``a`` plus the rows of ``b`` not already in ``a``.
+
+    Declines (``None``) unless the two sides carry identical column tags:
+    a mixed int/float union would have to cast ``a``'s stored
+    representatives, and the dict plane never rewrites stored rows."""
+    if not KERNELS_AVAILABLE or a.tags != b.tags:
+        return None
+    cols = [(t, _np.concatenate((a.arrays[i], b.arrays[i])))
+            for i, t in enumerate(a.tags)]
+    ids = factorize_rows(cols)
+    fresh = ~_np.isin(ids[len(a):], ids[:len(a)])
+    n_fresh = int(fresh.sum())
+    if n_fresh == 0:
+        return a
+    return ColumnSet(
+        a.tags,
+        tuple(_np.concatenate((a.arrays[i], b.arrays[i][fresh]))
+              for i in range(a.arity)),
+        a.length + n_fresh,
+    )
+
+
+def _membership_mask(a: "ColumnSet", b: "ColumnSet"):
+    """Boolean mask over ``a``'s rows: present in ``b``? ``"disjoint"``
+    when no row can ever match (sort-disjoint columns or arity mismatch),
+    ``None`` when the kernel cannot answer exactly."""
+    if not KERNELS_AVAILABLE:
+        return None
+    if a.arity != b.arity:
+        return "disjoint"
+    try:
+        pair = _factorize_pair(list(zip(a.tags, a.arrays)),
+                               list(zip(b.tags, b.arrays)))
+    except _Unjoinable:
+        return None
+    if pair is None:
+        return "disjoint"
+    ids_a, ids_b = pair
+    return _np.isin(ids_a, ids_b)
+
+
+def set_difference(a: "ColumnSet", b: "ColumnSet") -> Optional["ColumnSet"]:
+    """Rows of ``a`` not in ``b`` — selected from ``a``'s own arrays, so
+    stored representatives survive exactly as on the dict path."""
+    mask = _membership_mask(a, b)
+    if mask is None:
+        return None
+    if isinstance(mask, str):  # disjoint: nothing removed
+        return a
+    keep = ~mask
+    n = int(keep.sum())
+    if n == a.length:
+        return a
+    return ColumnSet(a.tags, tuple(arr[keep] for arr in a.arrays), n)
+
+
+def set_intersect(a: "ColumnSet", b: "ColumnSet") -> Optional["ColumnSet"]:
+    """Rows of ``a`` also in ``b`` (representatives from ``a``)."""
+    mask = _membership_mask(a, b)
+    if mask is None:
+        return None
+    if isinstance(mask, str):  # disjoint: empty intersection
+        return ColumnSet(a.tags, tuple(arr[:0] for arr in a.arrays), 0)
+    n = int(mask.sum())
+    if n == a.length:
+        return a
+    return ColumnSet(a.tags, tuple(arr[mask] for arr in a.arrays), n)
+
+
+def sets_equal(a: "ColumnSet", b: "ColumnSet") -> Optional[bool]:
+    """Key-set equality of two column-backed relations, or ``None`` when
+    the kernel cannot decide exactly. Both sides are distinct row sets, so
+    equal lengths plus a sorted-id match decide it."""
+    if not KERNELS_AVAILABLE:
+        return None
+    if a.length != b.length or a.arity != b.arity:
+        return False
+    try:
+        pair = _factorize_pair(list(zip(a.tags, a.arrays)),
+                               list(zip(b.tags, b.arrays)))
+    except _Unjoinable:
+        return None
+    if pair is None:  # sort-disjoint non-empty sides can never be equal
+        return a.length == 0
+    ids_a, ids_b = pair
+    return bool(_np.array_equal(_np.sort(ids_a), _np.sort(ids_b)))
 
 
 # ---------------------------------------------------------------------------

@@ -18,16 +18,33 @@ Tuple identity is the engine's *value semantics* (:func:`row_key`): ``1``
 and ``1.0`` are the same value, ``True`` and ``1`` are not — Rel's Boolean
 sort is disjoint from the numbers, even though Python's ``==`` (and hence
 ``set``/``frozenset``) identifies them. Storage and every set operation key
-on :func:`row_key`, so ``Relation([(1,), (True,)])`` holds two rows and
-``Relation([(1,)]) != Relation([(True,)])``; this is also what makes deltas
-computed by :meth:`difference` trustworthy for incremental maintenance.
+on :func:`row_key`, so ``Relation([(1,)])`` holds two rows with ``(True,)``
+added and ``Relation([(1,)]) != Relation([(True,)])``; this is also what
+makes deltas computed by :meth:`difference` trustworthy for incremental
+maintenance.
+
+**Two storage planes.** A relation is either *dict-backed* (``_rows`` maps
+``row_key → tuple``, the construction default) or *columnar-native*
+(built via :meth:`Relation.from_columns`: ``_rows`` is ``None`` and the
+typed :class:`~repro.model.columns.ColumnSet` in ``_cols`` IS the storage).
+Columnar-native relations are what the fixpoint drivers produce — derived
+extents stay as vectors across semi-naive iterations and DRed passes, with
+``union``/``difference``/``intersect``/``__eq__`` routed through the
+vectorized set kernels when both sides are column-backed. The keyed dict is
+built lazily, only when something genuinely needs per-row keys (point
+lookups, ``__contains__``, ``select``): every method funnels through
+:meth:`_keyed`, so the fallback is always available and always exact.
+Value semantics are unchanged — the kernels share the dict plane's
+bool/int disjointness and int/float cross-typing by construction (see
+:mod:`repro.model.columns`).
 """
 
 from __future__ import annotations
 
-from typing import (Any, Callable, Dict, FrozenSet, Iterable, Iterator,
-                    Sequence, Tuple, ValuesView)
+from typing import (Any, Callable, Collection, Dict, FrozenSet, Iterable,
+                    Iterator, Sequence, Tuple)
 
+from repro.model import columns as _columns
 from repro.model.values import (is_value, row_key, sort_key, tuple_sort_key,
                                 value_key, value_repr)
 
@@ -62,11 +79,13 @@ class Relation:
     Construct with :func:`relation` / :func:`singleton` or the classmethods;
     the constructor accepts any iterable of sequences. Rows are stored
     keyed by :func:`row_key`, so membership, equality, and the set algebra
-    all follow the engine's value semantics.
+    all follow the engine's value semantics. :meth:`from_columns` builds a
+    columnar-native relation whose keyed dict materializes lazily (see the
+    module docstring).
     """
 
     __slots__ = ("_rows", "_tupleset", "_hash", "_trie", "_arities", "_skey",
-                 "_cols")
+                 "_cols", "_rowlist")
 
     def __init__(self, tuples: Iterable[Sequence[Any]] = ()) -> None:
         rows: Dict[Tup, Tup] = {}
@@ -80,6 +99,62 @@ class Relation:
         object.__setattr__(self, "_arities", None)
         object.__setattr__(self, "_skey", None)
         object.__setattr__(self, "_cols", None)
+        object.__setattr__(self, "_rowlist", None)
+
+    # ------------------------------------------------------------------
+    # Storage planes
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, colset: Any) -> "Relation":
+        """Adopt a typed :class:`~repro.model.columns.ColumnSet` as native
+        storage (trusted: the colset's rows must already be distinct in
+        ``row_key`` space — true of every deduplicated kernel output, since
+        bool and int columns never merge by construction). ``None`` or an
+        empty colset gives :data:`EMPTY`; the keyed dict is built lazily by
+        :meth:`_keyed` only when a consumer needs per-row keys."""
+        if colset is None or not len(colset):
+            return EMPTY
+        rel = cls.__new__(cls)
+        object.__setattr__(rel, "_rows", None)
+        object.__setattr__(rel, "_tupleset", None)
+        object.__setattr__(rel, "_hash", None)
+        object.__setattr__(rel, "_trie", None)
+        object.__setattr__(rel, "_arities", None)
+        object.__setattr__(rel, "_skey", None)
+        object.__setattr__(rel, "_cols", colset)
+        object.__setattr__(rel, "_rowlist", None)
+        _columns.count_plane("relation_native")
+        return rel
+
+    def _materialize_rows(self) -> list:
+        """Decoded row tuples of a columnar-native relation (memoized).
+        Much cheaper than :meth:`_keyed` — no per-row hashing — and enough
+        for plain iteration."""
+        rowlist = self._rowlist
+        if rowlist is None:
+            rowlist = self._cols.to_rows()
+            object.__setattr__(self, "_rowlist", rowlist)
+        return rowlist
+
+    def _keyed(self) -> Dict[Tup, Tup]:
+        """The ``row_key → tuple`` dict — THE funnel for every per-row-key
+        consumer. Dict-backed relations return their storage; columnar-native
+        ones materialize it here, once, on first demand (counted as a
+        ``relation_lazy_dict`` plane event)."""
+        rows = self._rows
+        if rows is None:
+            tuples = self._materialize_rows()
+            if "bool" in self._cols.tags:
+                rows = {}
+                for t in tuples:
+                    rows[row_key(t)] = t
+            else:
+                # Bool-free rows are their own row_keys.
+                rows = dict(zip(tuples, tuples))
+            object.__setattr__(self, "_rows", rows)
+            _columns.count_plane("relation_lazy_dict")
+        return rows
 
     # ------------------------------------------------------------------
     # Fundamental protocol
@@ -92,51 +167,75 @@ class Relation:
         under it). Exact consumers should iterate the relation or use
         :meth:`rows`."""
         if self._tupleset is None:
-            object.__setattr__(self, "_tupleset",
-                               frozenset(self._rows.values()))
+            object.__setattr__(self, "_tupleset", frozenset(self.rows()))
         return self._tupleset
 
-    def rows(self) -> ValuesView[Tup]:
-        """The exact stored rows (sized, re-iterable, no merging)."""
-        return self._rows.values()
+    def rows(self) -> Collection[Tup]:
+        """The exact stored rows (sized, re-iterable, no merging) — a dict
+        values view or, for columnar-native relations, the decoded row
+        list (no keyed dict is built)."""
+        rows = self._rows
+        if rows is not None:
+            return rows.values()
+        return self._materialize_rows()
 
     def __iter__(self) -> Iterator[Tup]:
-        return iter(self._rows.values())
+        return iter(self.rows())
 
     def __len__(self) -> int:
-        return len(self._rows)
+        rows = self._rows
+        if rows is not None:
+            return len(rows)
+        return self._cols.length
 
     def __bool__(self) -> bool:
         """A relation is truthy iff non-empty (``{}`` is Rel's false)."""
-        return bool(self._rows)
+        rows = self._rows
+        return bool(rows) if rows is not None else True  # native: non-empty
 
     def __contains__(self, tup: Sequence[Any]) -> bool:
-        return row_key(tuple(tup)) in self._rows
+        return row_key(tuple(tup)) in self._keyed()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return self._rows.keys() == other._rows.keys()
+        if self is other:
+            return True
+        mine, theirs = self._rows, other._rows
+        if mine is not None and theirs is not None:
+            return mine.keys() == theirs.keys()
+        # At least one side is columnar-native: decide on the vectors when
+        # possible (the semi-naive driver's set_extent equality check runs
+        # here every iteration).
+        if len(self) != len(other):
+            return False
+        ca, cb = self.columns(), other.columns()
+        if ca is not None and cb is not None:
+            verdict = _columns.sets_equal(ca, cb)
+            if verdict is not None:
+                return verdict
+        return self._keyed().keys() == other._keyed().keys()
 
     def __hash__(self) -> int:
         if self._hash is None:
-            object.__setattr__(self, "_hash", hash(frozenset(self._rows)))
+            object.__setattr__(self, "_hash", hash(frozenset(self._keyed())))
         return self._hash
 
     def __repr__(self) -> str:
-        if not self._rows:
+        n = len(self)
+        if not n:
             return "{}"
         parts = []
         for tup in self.sorted_tuples()[:24]:
             parts.append("(" + ", ".join(value_repr(v) for v in tup) + ")")
         body = "; ".join(parts)
-        if len(self._rows) > 24:
-            body += f"; … {len(self._rows) - 24} more"
+        if n > 24:
+            body += f"; … {n - 24} more"
         return "{" + body + "}"
 
     def sorted_tuples(self) -> list[Tup]:
         """Deterministic listing: tuples ordered by arity then value order."""
-        return sorted(self._rows.values(), key=tuple_sort_key)
+        return sorted(self.rows(), key=tuple_sort_key)
 
     def _canonical_sort_key(self) -> Tuple[Any, ...]:
         """Memoized :func:`repro.model.values.sort_key` payload: relations
@@ -158,8 +257,11 @@ class Relation:
         """The set of tuple arities present (memoized: relations are
         immutable, and the join extraction path asks per evaluation)."""
         if self._arities is None:
-            object.__setattr__(self, "_arities",
-                               frozenset(len(t) for t in self._rows.values()))
+            if self._rows is None:
+                found = frozenset({self._cols.arity})
+            else:
+                found = frozenset(len(t) for t in self._rows.values())
+            object.__setattr__(self, "_arities", found)
         return self._arities
 
     @property
@@ -179,30 +281,66 @@ class Relation:
     def is_boolean(self) -> bool:
         """True iff this relation is ``{}`` or ``{⟨⟩}``."""
         rows = self._rows
+        if rows is None:
+            return False  # native relations are non-empty with arity >= 1
         return not rows or (len(rows) == 1 and () in rows)
 
     def to_bool(self) -> bool:
         """Interpret as a Boolean per Section 4.3 (non-empty = true)."""
-        return bool(self._rows)
+        return bool(self)
 
     # ------------------------------------------------------------------
     # Set algebra (keyed on row_key value semantics throughout)
     # ------------------------------------------------------------------
+    #
+    # Every operation preserves the return-self-when-unchanged contract
+    # (id()-pinned trie/index caches and the maintenance driver's identity
+    # checks rely on it) on both planes. The kernels engage only when at
+    # least one side has no keyed dict yet — once both dicts exist, the
+    # dict pass is as cheap and avoids numpy round-trips.
+
+    def _kernel_partner(self, other: "Relation"):
+        """``(cols_self, cols_other)`` when a vectorized set op should be
+        attempted: at least one side is dict-less and both type."""
+        if self._rows is not None and other._rows is not None:
+            return None
+        ca = self.columns()
+        if ca is None:
+            return None
+        cb = other.columns()
+        if cb is None:
+            return None
+        return ca, cb
 
     def union(self, other: "Relation") -> "Relation":
         """Set union — the semantics of ``{e1; e2}`` and ``or``."""
-        if not self._rows:
+        if not self:
             return other
-        if not other._rows:
+        if not other:
             return self
-        merged = {**self._rows, **other._rows}
-        if len(merged) == len(self._rows):
+        pair = self._kernel_partner(other)
+        if pair is not None:
+            out = _columns.set_union(*pair)
+            if out is not None:
+                return self if out is pair[0] else Relation.from_columns(out)
+        mine = self._keyed()
+        merged = {**mine, **other._keyed()}
+        if len(merged) == len(mine):
             return self
         return Relation._from_keyed(merged)
 
     def intersect(self, other: "Relation") -> "Relation":
         """Set intersection — ``and`` on formulas, and `Select`'s core."""
-        mine, theirs = self._rows, other._rows
+        if not self:
+            return self
+        if not other:
+            return EMPTY
+        pair = self._kernel_partner(other)
+        if pair is not None:
+            out = _columns.set_intersect(*pair)
+            if out is not None:
+                return self if out is pair[0] else Relation.from_columns(out)
+        mine, theirs = self._keyed(), other._keyed()
         if len(theirs) < len(mine):
             kept = {k: mine[k] for k in theirs if k in mine}
         else:
@@ -213,10 +351,17 @@ class Relation:
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference — `Minus` in the RA library."""
-        if not self._rows or not other._rows:
+        if not self or not other:
             return self
-        kept = {k: t for k, t in self._rows.items() if k not in other._rows}
-        if len(kept) == len(self._rows):
+        pair = self._kernel_partner(other)
+        if pair is not None:
+            out = _columns.set_difference(*pair)
+            if out is not None:
+                return self if out is pair[0] else Relation.from_columns(out)
+        mine = self._keyed()
+        theirs = other._keyed()
+        kept = {k: t for k, t in mine.items() if k not in theirs}
+        if len(kept) == len(mine):
             return self
         return Relation._from_keyed(kept)
 
@@ -225,7 +370,7 @@ class Relation:
 
         ``TRUE`` is the unit: ``R × {⟨⟩} = R``. ``FALSE`` annihilates.
         """
-        if not self._rows or not other._rows:
+        if not self or not other:
             return EMPTY
         if self._is_unit():
             return other
@@ -234,12 +379,15 @@ class Relation:
         # row_key distributes over concatenation, so stored keys are reused.
         return Relation._from_keyed({
             ka + kb: ta + tb
-            for ka, ta in self._rows.items()
-            for kb, tb in other._rows.items()
+            for ka, ta in self._keyed().items()
+            for kb, tb in other._keyed().items()
         })
 
     def _is_unit(self) -> bool:
-        return len(self._rows) == 1 and () in self._rows
+        rows = self._rows
+        if rows is None:
+            return False  # native colsets have arity >= 1
+        return len(rows) == 1 and () in rows
 
     # ------------------------------------------------------------------
     # Application support (Sections 4.3, Figure 3)
@@ -259,13 +407,13 @@ class Relation:
     def drop_first(self) -> "Relation":
         """``{Expr}[_]``: suffixes after dropping any first element."""
         return Relation._from_rows(
-            t[1:] for t in self._rows.values() if len(t) >= 1
+            t[1:] for t in self.rows() if len(t) >= 1
         )
 
     def all_suffixes(self) -> "Relation":
         """``{Expr}[_...]``: all suffixes of all tuples (every split point)."""
         out: Dict[Tup, Tup] = {}
-        for t in self._rows.values():
+        for t in self.rows():
             for i in range(len(t) + 1):
                 suffix = t[i:]
                 out.setdefault(row_key(suffix), suffix)
@@ -273,11 +421,11 @@ class Relation:
 
     def first_elements(self) -> FrozenSet[Any]:
         """Distinct first elements of non-empty tuples."""
-        return frozenset(t[0] for t in self._rows.values() if t)
+        return frozenset(t[0] for t in self.rows() if t)
 
     def last_elements(self) -> FrozenSet[Any]:
         """Distinct last elements of non-empty tuples."""
-        return frozenset(t[-1] for t in self._rows.values() if t)
+        return frozenset(t[-1] for t in self.rows() if t)
 
     # ------------------------------------------------------------------
     # Relational-algebra conveniences (used by stdlib and the db layer)
@@ -288,20 +436,21 @@ class Relation:
         needed = max(positions) + 1 if positions else 0
         return Relation._from_rows(
             tuple(t[i] for i in positions)
-            for t in self._rows.values()
+            for t in self.rows()
             if len(t) >= needed
         )
 
     def select(self, predicate: Callable[[Tup], bool]) -> "Relation":
         """Keep tuples satisfying a Python predicate."""
-        kept = {k: t for k, t in self._rows.items() if predicate(t)}
-        if len(kept) == len(self._rows):
+        mine = self._keyed()
+        kept = {k: t for k, t in mine.items() if predicate(t)}
+        if len(kept) == len(mine):
             return self
         return Relation._from_keyed(kept)
 
     def map_tuples(self, fn: Callable[[Tup], Tup]) -> "Relation":
         """Apply ``fn`` to every tuple (a relational ``map``)."""
-        return Relation([fn(t) for t in self._rows.values()])
+        return Relation([fn(t) for t in self.rows()])
 
     def append_column(self, value: Any) -> "Relation":
         """Append a constant column — e.g. ``(A, 1)`` in `count`'s definition."""
@@ -309,14 +458,17 @@ class Relation:
 
     def only_arity(self, arity: int) -> "Relation":
         """Restrict to tuples of exactly ``arity``."""
-        kept = {k: t for k, t in self._rows.items() if len(t) == arity}
-        if len(kept) == len(self._rows):
+        if self._rows is None and self._cols.arity == arity:
+            return self  # native relations are arity-homogeneous
+        mine = self._keyed()
+        kept = {k: t for k, t in mine.items() if len(t) == arity}
+        if len(kept) == len(mine):
             return self
         return Relation._from_keyed(kept)
 
     def column(self, position: int) -> FrozenSet[Any]:
         """Distinct values in 0-based column ``position``."""
-        return frozenset(t[position] for t in self._rows.values()
+        return frozenset(t[position] for t in self.rows()
                          if len(t) > position)
 
     def last_column_values(self) -> list[Any]:
@@ -326,7 +478,7 @@ class Relation:
         and extracts the final position, so two distinct keys with the same
         value both contribute (Section 5.2's point about set semantics).
         """
-        return [t[-1] for t in self._rows.values() if t]
+        return [t[-1] for t in self.rows() if t]
 
     def is_functional(self) -> bool:
         """Check the 6NF functional condition: first k-1 columns form a key.
@@ -335,7 +487,7 @@ class Relation:
         (``True ≠ 1``): two rows holding distinct Rel values for one key
         violate the condition even if Python's ``==`` merges them."""
         seen: Dict[Tup, Any] = {}
-        for t in self._rows.values():
+        for t in self.rows():
             if not t:
                 continue
             key, val = row_key(t[:-1]), value_key(t[-1])
@@ -359,6 +511,7 @@ class Relation:
         object.__setattr__(rel, "_arities", None)
         object.__setattr__(rel, "_skey", None)
         object.__setattr__(rel, "_cols", None)
+        object.__setattr__(rel, "_rowlist", None)
         return rel
 
     @classmethod
@@ -371,34 +524,26 @@ class Relation:
         return cls._from_keyed(rows)
 
     def _index(self):
-        """Lazily built prefix trie over the tuples."""
+        """Lazily built prefix trie over the tuples. Column-backed
+        relations (native or typed dict-backed) take the sorted bulk
+        build — see :meth:`repro.model.trie.RelationTrie.from_relation`."""
         if self._trie is None:
             from repro.model.trie import RelationTrie
 
-            cols = self.columns()
-            if cols is not None:
-                # Typed relations build the trie from lexsorted rows: the
-                # sort comes from numpy and consecutive rows share prefixes,
-                # so the bulk inserter skips most per-element dict probes.
-                order = cols.row_order().tolist()
-                rows = list(self._rows.values())
-                trie = RelationTrie.from_sorted(rows[i] for i in order)
-            else:
-                trie = RelationTrie(self._rows.values())
-            object.__setattr__(self, "_trie", trie)
+            object.__setattr__(self, "_trie",
+                               RelationTrie.from_relation(self))
         return self._trie
 
     def columns(self) -> "Any":
         """The typed columnar image (:class:`repro.model.columns.ColumnSet`)
         of this relation, or ``None`` when its rows are not typeable —
         mixed arity, mixed ``bool``/``int`` columns, nested relations,
-        symbols/entities, out-of-range ints. Memoized either way: relations
-        are immutable, so one sniffing pass settles it."""
+        symbols/entities, out-of-range ints. Memoized either way (relations
+        are immutable, so one sniffing pass settles it); columnar-native
+        relations return their storage directly."""
         cols = self._cols
         if cols is None:
-            from repro.model import columns as _columns
-
-            cols = _columns.ColumnSet.from_rows(list(self._rows.values()))
+            cols = _columns.ColumnSet.from_rows(list(self.rows()))
             object.__setattr__(self, "_cols", cols if cols is not None
                                else False)
         return cols or None
@@ -410,7 +555,7 @@ class Relation:
         cols = self.columns()
         if cols is not None:
             return cols.nbytes()
-        return sum(120 + 8 * len(t) for t in self._rows.values())
+        return sum(120 + 8 * len(t) for t in self.rows())
 
 
 #: The empty relation — Rel's ``false`` and the additive identity.

@@ -112,6 +112,22 @@ class RelationTrie:
         trie._count = count
         return trie
 
+    @classmethod
+    def from_relation(cls, rel: Any) -> "RelationTrie":
+        """Build directly from a :class:`~repro.model.relation.Relation`,
+        column-backed or not. Typed relations (including columnar-native
+        ones, which never built a keyed dict) are bulk-loaded through
+        :meth:`from_sorted` using the vectors' lexsort permutation; untyped
+        ones fall back to one-by-one insertion."""
+        cols = rel.columns()
+        rows = rel.rows()
+        if not isinstance(rows, list):
+            rows = list(rows)
+        if cols is not None:
+            order = cols.row_order().tolist()
+            return cls.from_sorted(rows[i] for i in order)
+        return cls(rows)
+
     def __len__(self) -> int:
         return self._count
 

@@ -43,6 +43,20 @@ WALs written by the row codec (PR 6) reopen unchanged; writers fall back
 to the row format whenever a relation is not typeable (mixed arity,
 nested relations, symbols/entities, …) or the columnar plane is
 unavailable (no numpy, ``REPRO_COLUMNAR=off``).
+
+**Interned string tables (PR 8).** Columnar blocks with ``str`` columns
+additionally carry one deduplicated, lexicographically-sorted ``strings``
+table, with the columns holding integer positions into it::
+
+    {"c": {"tags": ["int", "str"], "cols": [[1, 2, ...], [0, 0, 1, ...]],
+           "strings": ["a", "b", ...]}}
+
+Encode reads the distinct intern codes straight out of the typed vectors
+(the process-wide interner of :mod:`repro.model.columns` — each distinct
+string is decoded once, not once per row); decode bulk-interns the table
+and remaps integers, adopting the result as a columnar-native relation.
+All three formats decode forever (blocks self-tag via ``strings``); the
+``INTERN_TABLES`` switch below exists for benchmark A/B only.
 """
 
 from __future__ import annotations
@@ -63,6 +77,21 @@ _SCALARS = (bool, int, float, str)
 #: format. Consulted at every :func:`encode_relation` call so benchmarks
 #: can A/B the codecs in-process; decode needs no switch (self-tagging).
 COLUMNAR_BLOCKS: Optional[bool] = None
+
+#: Tri-state switch for per-block string tables (PR 8): inside a columnar
+#: block, ``str`` columns are written as small local integer codes plus
+#: one deduplicated ``strings`` table, instead of repeating every string
+#: per row. Encode shares the process-wide interner
+#: (:mod:`repro.model.columns`): the distinct codes already sitting in the
+#: typed vectors index the table directly, so a string-heavy relation is
+#: materialized once per *distinct* string rather than once per row.
+#: Decode bulk-interns the table once and rebuilds the vectors by integer
+#: remap — producing a columnar-native relation without touching a row.
+#: ``None`` follows the columnar plane's availability; ``False``/``True``
+#: force the inline/interned format (benchmark A/B). Decode needs no
+#: switch (blocks self-tag via the ``strings`` key) and accepts every
+#: older format forever.
+INTERN_TABLES: Optional[bool] = None
 
 
 def encode_value(value: Any) -> Any:
@@ -123,12 +152,45 @@ def encode_relation(rel: Relation,
         cols = rel.columns()
         if cols is not None:
             order = cols.row_order()
+            intern = INTERN_TABLES
+            if intern is None:
+                intern = True
+            if intern and "str" in cols.tags:
+                return _encode_interned_block(cols, order)
             return {"c": {
                 "tags": list(cols.tags),
                 "cols": [_encode_column(cols.tags[i], cols.arrays[i][order])
                          for i in range(cols.arity)],
             }}
     return [encode_row(row) for row in rel.sorted_tuples()]
+
+
+def _encode_interned_block(cols: Any, order: Any) -> dict:
+    """A columnar block with one shared per-block string table.
+
+    The table holds each distinct string once (sorted lexicographically,
+    so equal relations produce identical bytes regardless of interner
+    history); ``str`` columns carry int positions into it. Building it
+    costs one ``np.unique`` over the stored intern codes plus one decode
+    per *distinct* string — never one per row."""
+    import numpy as _np
+
+    str_idx = [i for i, t in enumerate(cols.tags) if t == "str"]
+    codes = _np.unique(_np.concatenate([cols.arrays[i] for i in str_idx]))
+    strings = [_columns.decode_string(c) for c in codes.tolist()]
+    by_text = sorted(range(len(strings)), key=strings.__getitem__)
+    table = [strings[j] for j in by_text]
+    rank = _np.empty(len(by_text), dtype=_np.int64)
+    rank[_np.asarray(by_text, dtype=_np.int64)] = _np.arange(len(by_text))
+    out_cols: List[Any] = []
+    for i, tag in enumerate(cols.tags):
+        arr = cols.arrays[i][order]
+        if tag == "str":
+            out_cols.append(rank[_np.searchsorted(codes, arr)].tolist())
+        else:
+            out_cols.append(_encode_column(tag, arr))
+    return {"c": {"tags": list(cols.tags), "cols": out_cols,
+                  "strings": table}}
 
 
 def _encode_column(tag: str, arr: Any) -> List[Any]:
@@ -152,6 +214,9 @@ def decode_relation(obj: Union[Iterable[Sequence[Any]], dict]) -> Relation:
             raise CodecError(f"malformed relation block: {obj!r}") from exc
         if len(tags) != len(cols) or not cols:
             raise CodecError(f"malformed relation block: {obj!r}")
+        strings = block.get("strings")
+        if strings is not None:
+            return _decode_interned_block(tags, cols, strings)
         rows = list(zip(*cols))
         if "bool" in tags:
             # row_key tags booleans; re-key through the generic path.
@@ -161,6 +226,41 @@ def decode_relation(obj: Union[Iterable[Sequence[Any]], dict]) -> Relation:
         # the mapping without hashing every row twice.
         return Relation._from_keyed(dict(zip(rows, rows)))
     return Relation._from_rows(map(decode_row, obj))
+
+
+_NUMERIC_DTYPES = {"bool": "uint8", "int": "int64", "float": "float64"}
+
+
+def _decode_interned_block(tags: Sequence[str], cols: Sequence[Any],
+                           strings: Sequence[str]) -> Relation:
+    """Decode a string-table block.
+
+    With the typed plane available this is the checkpoint-reopen fast
+    path: the table is interned in one bulk call, ``str`` columns rebuild
+    by integer remap, and the result is adopted as a columnar-*native*
+    relation — no Python row is ever constructed. Without it, local codes
+    resolve through the table row-by-row (same bytes, same relation)."""
+    if _columns.available():
+        import numpy as _np
+
+        interned = _np.asarray(_columns._encode_strings(list(strings)),
+                               dtype=_np.int64)
+        arrays = []
+        for tag, col in zip(tags, cols):
+            if tag == "str":
+                arrays.append(interned[_np.asarray(col, dtype=_np.int64)])
+            else:
+                arrays.append(_np.asarray(col,
+                                          dtype=_NUMERIC_DTYPES.get(tag)))
+        n = len(cols[0]) if cols else 0
+        return Relation.from_columns(
+            _columns.ColumnSet(tuple(tags), tuple(arrays), n))
+    resolved = [[strings[c] for c in col] if tag == "str" else col
+                for tag, col in zip(tags, cols)]
+    rows = list(zip(*resolved))
+    if "bool" in tags:
+        return Relation._from_rows(rows)
+    return Relation._from_keyed(dict(zip(rows, rows)))
 
 
 def dump_payload(obj: Any) -> bytes:

@@ -32,15 +32,36 @@ class TestFreshSession:
         assert session.program._state is None
         assert session.program._ctx is None
 
-    def test_statistics_is_base_relation_counts_only(self):
+    def test_statistics_is_base_relations_plus_interner(self):
         session = connect()
-        assert session.statistics() == {}
+        assert set(session.statistics()) == {"interner"}
         session.define("E", [(1, 2)])
         stats = session.statistics()
-        assert set(stats) == {"E"}
+        assert set(stats) == {"E", "interner"}
         assert stats["E"]["rows"] == 1
         assert stats["E"]["approx_bytes"] > 0
         assert session.program._state is None
+
+    def test_interner_statistics_report_the_shared_table(self):
+        session = connect()
+        base = session.statistics()["interner"]
+        assert set(base) == {"strings", "approx_bytes"}
+        assert base["strings"] >= 0 and base["approx_bytes"] >= 0
+        from repro.model import columns
+        if not columns.KERNELS_AVAILABLE:
+            return
+        # Interning distinct fresh strings grows the process-wide table —
+        # and the growth is visible from *any* session or snapshot: the
+        # table is shared, not per-session.
+        fresh = [(f"stats-pin-{i}-xyzzy",) for i in range(10)]
+        session.define("S", fresh)
+        Relation(fresh).columns()  # force the typed plane to intern
+        after = session.statistics()["interner"]
+        assert after["strings"] >= base["strings"] + 10
+        assert after["approx_bytes"] > base["approx_bytes"]
+        other = connect()
+        assert other.statistics()["interner"] == after
+        assert session.snapshot().statistics()["interner"] == after
 
 
 class TestAfterInvalidation:

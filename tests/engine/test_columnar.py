@@ -1,4 +1,4 @@
-"""Columnar data plane ≡ dict-of-tuples plane (PR 7 differential suite).
+"""Columnar data plane ≡ dict-of-tuples plane (PR 7/8 differential suite).
 
 The typed columnar kernels are an *implementation* of the same semantics
 as the interpreted row loops — every result, on every program, after
@@ -9,6 +9,13 @@ shared random-program and random-update generators twice, with
 the "on" session actually exercised the kernels, so agreement is not
 vacuous. Value-semantics pins (``True != 1``, ``1 == 1.0``, mixed-arity
 fallback) guard the exact cases a naive numpy port would get wrong.
+
+PR 8 made derived extents columnar-*native* (rules emit
+``Relation.from_columns`` results whose keyed dict builds only on
+demand), so the suite additionally covers those extents through
+incremental maintenance — the semi-naive insert path and the DRed
+over-delete/re-derive path — and through snapshot reads, plus the same
+value-semantics pins routed through the lazy-dict funnel.
 """
 
 import os
@@ -210,3 +217,201 @@ class TestDifferentialUpdateScripts:
         # The agreement is not vacuous: the forced-on session really
         # routed work through the kernels.
         assert columnar.columnar_statistics()
+
+
+TC_RULES = """
+    def TCr(x, y) : E(x, y)
+    def TCr(x, y) : exists((z) | E(x, z) and TCr(z, y))
+"""
+
+
+@kernels
+class TestNativeExtentCounters:
+    """The PR-8 plane counters: ``relation_native`` (a Relation adopted a
+    ColumnSet as its storage, no row dict) vs ``relation_lazy_dict`` (a
+    native relation was forced to build its keyed dict after all), plus
+    ``emit`` (a rule result reached the extent without leaving the typed
+    plane)."""
+
+    def test_fixpoint_emits_native_relations(self):
+        session = connect(columnar="on", load_stdlib=False)
+        session.define("E", [(i, (i * 3 + 1) % 40) for i in range(120)])
+        session.load(TC_RULES)
+        session.relation("TCr")
+        stats = session.columnar_statistics()
+        assert stats.get("emit", 0) >= 1, stats
+        assert stats.get("relation_native", 0) >= 1, stats
+
+    def test_native_and_lazy_dict_counted_separately(self):
+        sink = {}
+        prev = columns.swap_stats_sink(sink)
+        try:
+            rel = Relation.from_columns(
+                columns.ColumnSet.from_rows([(1, "a"), (2, "b")]))
+            assert sink == {"relation_native": 1}
+            assert (1, "a") in rel  # first dict demand builds the dict
+            assert (9, "q") not in rel  # memoized: no second build
+            assert sink == {"relation_native": 1, "relation_lazy_dict": 1}
+        finally:
+            columns.swap_stats_sink(prev)
+
+
+@kernels
+class TestLazyDictValueSemantics:
+    """The PR-7 pins, rerouted through the lazy-dict funnel: a
+    columnar-native relation that is forced to key its rows must apply
+    exactly the ``row_key`` semantics the dict plane always had."""
+
+    def test_true_and_one_stay_distinct_through_lazy_dict(self):
+        # A bool/int mix in one column is untypeable by design — merging
+        # would equate True with 1. The plane declines…
+        assert columns.ColumnSet.from_rows([(True,), (1,)]) is None
+        # …and a pure bool column, keyed lazily, still tags its rows:
+        rel = Relation.from_columns(
+            columns.ColumnSet.from_rows([(True,), (False,)]))
+        assert (True,) in rel  # containment keys the dict
+        assert (1,) not in rel and (0,) not in rel
+        assert rel != Relation([(1,), (0,)])
+        assert rel == Relation([(True,), (False,)])
+        assert {type(r[0]) for r in rel.rows()} == {bool}
+
+    def test_one_and_one_point_zero_merge_through_lazy_dict(self):
+        rel = Relation.from_columns(columns.ColumnSet.from_rows([(1,), (2,)]))
+        assert (1.0,) in rel  # row_key(1.0) == row_key(1)
+        assert rel == Relation([(1.0,), (2.0,)])
+        assert rel.union(Relation([(1.0,)])) is rel  # nothing new
+
+
+@kernels
+class TestNativeMaintenanceDifferential:
+    """Columnar-native derived extents through incremental maintenance:
+    the semi-naive insert path and the DRed delete path both run on
+    native extents under ``columnar="on"`` and must match the row plane
+    step for step."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_delta_maintenance_scripts_agree(self, seed):
+        rng = random.Random(40_000 + seed)
+        sessions = []
+        for mode in ("on", "off"):
+            session = connect(columnar=mode, maintenance="delta")
+            for name, rows in SCRIPT_BASE.items():
+                session.define(name, rows)
+            session.load(SCRIPT_RULES)
+            session.execute("Path")  # warm: updates take the delta path
+            sessions.append(session)
+        columnar, plain = sessions
+        for step in range(10):
+            kind, name, tuples = random_update_op(rng, SCRIPT_ARITIES)
+            for session in sessions:
+                getattr(session, kind)(name, tuples)
+            for query in SCRIPT_QUERIES:
+                got = columnar.execute(query)
+                want = plain.execute(query)
+                assert got == want, (
+                    f"seed {seed} step {step} ({kind} {name} {tuples}): "
+                    f"{query!r} diverged"
+                )
+        assert columnar.columnar_statistics().get("relation_native", 0) >= 1
+        assert columnar.maintenance_statistics().get(
+            "maintained_strata", 0) >= 1
+
+    def test_dred_overdeletes_and_rederives_on_native_extents(self):
+        """A targeted cycle break: deleting one edge of a large cycle
+        forces DRed to over-delete most of the closure and re-derive the
+        surviving chain — on columnar-native extents — and the result
+        must equal both the row plane and recomputation from scratch."""
+        edges = [(i, i + 1) for i in range(1, 80)] + [(80, 1)]
+        sessions = []
+        for mode in ("on", "off"):
+            session = connect(columnar=mode, maintenance="delta",
+                              load_stdlib=False)
+            session.define("E", edges)
+            session.load(TC_RULES)
+            session.relation("TCr")  # warm the fixpoint
+            sessions.append(session)
+        columnar, plain = sessions
+        for session in sessions:
+            session.delete("E", [(80, 1)])
+        assert columnar.relation("TCr") == plain.relation("TCr")
+        maint = columnar.maintenance_statistics()
+        assert maint.get("overdeleted_tuples", 0) >= 1, maint
+        assert maint.get("rederived_tuples", 0) >= 1, maint
+        fresh = connect(columnar="on", load_stdlib=False)
+        fresh.define("E", [(i, i + 1) for i in range(1, 80)])
+        fresh.load(TC_RULES)
+        assert columnar.relation("TCr") == fresh.relation("TCr")
+
+
+@kernels
+class TestSnapshotNativeReads:
+    """Snapshots over columnar-native extents: reads serve the captured
+    vectors (agreeing with the row plane), stay frozen while the parent
+    moves on, and any lazy dict a snapshot read forces is counted in the
+    snapshot's own statistics, never the parent's."""
+
+    def _warm_pair(self):
+        sessions = []
+        for mode in ("on", "off"):
+            session = connect(columnar=mode, load_stdlib=False)
+            session.define("E", [(i, (i * 3 + 1) % 40) for i in range(120)])
+            session.load(TC_RULES)
+            session.relation("TCr")
+            sessions.append(session)
+        return sessions
+
+    def test_snapshot_reads_agree_and_stay_frozen(self):
+        columnar, plain = self._warm_pair()
+        want = plain.relation("TCr")
+        snap_columnar = columnar.snapshot()
+        snap_plain = plain.snapshot()
+        columnar.insert("E", [(500, 501)])
+        plain.insert("E", [(500, 501)])
+        assert snap_columnar.relation("TCr") == want
+        assert snap_columnar.execute("TCr[1]") == snap_plain.execute("TCr[1]")
+        assert columnar.relation("TCr") == plain.relation("TCr")
+        assert (500, 501) in columnar.relation("TCr")
+        assert (500, 501) not in snap_columnar.relation("TCr")
+
+    def test_snapshot_lazy_dict_events_stay_private(self):
+        columnar, _ = self._warm_pair()
+        before = columnar.columnar_statistics()
+        snapshot = columnar.snapshot()
+        snapshot.execute("TCr")
+        snapshot.execute("exists((x) | TCr(x, 1))")
+        snapshot.columnar_statistics()
+        assert columnar.columnar_statistics() == before
+
+
+class TestColumnarMinRowsOption:
+    """The ``EngineOptions.columnar_min_rows`` knob (PR 8): the auto-mode
+    size floor is an option with validation and an env override, no
+    longer a hard-coded constant."""
+
+    def test_default_pins_sixty_four(self):
+        from repro.engine.program import EngineOptions
+        assert EngineOptions().columnar_min_rows == 64
+
+    def test_validation_rejects_non_int_and_negative(self):
+        from repro.engine.program import EngineOptions
+        for bad in (-1, True, "64", 3.5, None):
+            with pytest.raises(ValueError, match="columnar_min_rows"):
+                EngineOptions(columnar_min_rows=bad)
+        assert EngineOptions(columnar_min_rows=0).columnar_min_rows == 0
+
+    def test_env_override(self, monkeypatch):
+        from repro.engine.program import EngineOptions
+        monkeypatch.setenv("REPRO_COLUMNAR_MIN_ROWS", "7")
+        assert EngineOptions().columnar_min_rows == 7
+        monkeypatch.setenv("REPRO_COLUMNAR_MIN_ROWS", "not-a-number")
+        with pytest.raises(ValueError, match="REPRO_COLUMNAR_MIN_ROWS"):
+            EngineOptions()
+
+    @kernels
+    def test_lowered_floor_engages_auto_on_small_inputs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR_MIN_ROWS", "2")
+        session = connect(columnar="auto")
+        session.define("E", [(i, i + 1) for i in range(10)])
+        session.load("def P(x, z) : exists((y) | E(x, y) and E(y, z))")
+        session.relation("P")
+        assert session.columnar_statistics().get("join", 0) >= 1

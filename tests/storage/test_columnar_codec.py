@@ -1,4 +1,4 @@
-"""Columnar checkpoint blocks (PR 7): format, determinism, compatibility.
+"""Columnar checkpoint blocks (PR 7/8): format, determinism, compatibility.
 
 ``encode_relation`` writes typed relations as contiguous per-column
 blocks and everything else as the PR-6 row lists; ``decode_relation``
@@ -6,6 +6,11 @@ accepts both forever. These tests pin the format choice per relation
 shape, byte determinism, exact value round-trips, and — the part users
 depend on — that checkpoints written by either codec reopen under the
 other.
+
+PR 8 adds the interned string-table block variant (``str`` columns as
+integer codes into one sorted per-block ``strings`` table, sharing the
+process-wide interner on both encode and decode); the compatibility
+matrix extends to three formats, all decodable forever.
 """
 
 import json
@@ -80,6 +85,64 @@ class TestRoundTrip:
             codec.decode_relation({"x": 1})
 
 
+@kernels
+class TestInternedStringTables:
+    REL = Relation([(i % 7, f"name-{i % 5}", float(i)) for i in range(40)])
+
+    def test_str_blocks_carry_a_sorted_table(self):
+        enc = codec.encode_relation(self.REL)
+        block = enc["c"]
+        assert block["strings"] == sorted(f"name-{i}" for i in range(5))
+        # str columns hold small local codes, not strings
+        str_col = block["cols"][block["tags"].index("str")]
+        assert set(str_col) <= set(range(5))
+
+    def test_interned_block_round_trips(self):
+        payload = codec.dump_payload(codec.encode_relation(self.REL))
+        back = codec.decode_relation(json.loads(payload))
+        assert back == self.REL
+        # the reopen fast path: the decoded relation is columnar-native
+        assert back.columns() is not None
+
+    def test_bool_columns_round_trip_alongside_strings(self):
+        rel = Relation([(True, "t"), (False, "t"), (True, "f")])
+        back = codec.decode_relation(codec.encode_relation(rel))
+        assert back == rel
+        assert {type(r[0]) for r in back.rows()} == {bool}
+
+    def test_bytes_deterministic_regardless_of_interner_history(self):
+        # Interner codes depend on process history; the sorted table must
+        # erase that — same rows, same bytes, whatever was interned first.
+        rows = [(1, "zeta"), (2, "alpha"), (3, "mu")]
+        a = codec.dump_payload(codec.encode_relation(Relation(rows)))
+        Relation([(9, "omega-first")]).columns()  # shift the interner
+        b = codec.dump_payload(codec.encode_relation(Relation(rows[::-1])))
+        assert a == b
+
+    def test_str_free_blocks_carry_no_table(self):
+        enc = codec.encode_relation(Relation([(1, 2.5), (3, 4.5)]))
+        assert "strings" not in enc["c"]
+
+    def test_intern_tables_flag_forces_inline_strings(self):
+        codec.INTERN_TABLES = False
+        try:
+            enc = codec.encode_relation(self.REL)
+        finally:
+            codec.INTERN_TABLES = None
+        assert "strings" not in enc["c"]
+        assert codec.decode_relation(enc) == self.REL
+
+    def test_decode_without_kernels_resolves_through_the_table(self):
+        enc = codec.encode_relation(self.REL)
+        real = columns.available
+        columns.available = lambda: False
+        try:
+            back = codec.decode_relation(json.loads(codec.dump_payload(enc)))
+        finally:
+            columns.available = real
+        assert back == self.REL
+
+
 class TestCheckpointCompatibility:
     def _write(self, path, columnar):
         codec.COLUMNAR_BLOCKS = columnar
@@ -112,3 +175,24 @@ class TestCheckpointCompatibility:
     def test_columnar_checkpoint_reopens_under_row_codec(self, tmp_path):
         self._write(tmp_path / "db", columnar=True)
         self._reopen_and_check(tmp_path / "db", columnar=False)
+
+    @kernels
+    @pytest.mark.parametrize("write_interned", [True, False])
+    def test_string_checkpoints_reopen_across_intern_formats(
+            self, tmp_path, write_interned):
+        rows = [(i, f"label-{i % 9}") for i in range(80)]
+        codec.INTERN_TABLES = write_interned
+        try:
+            session = connect(path=tmp_path / "db", load_stdlib=False)
+            session.define("S", rows)
+            session.checkpoint()
+            session.close()
+        finally:
+            codec.INTERN_TABLES = None
+        codec.INTERN_TABLES = not write_interned  # decode ignores the knob
+        try:
+            session = connect(path=tmp_path / "db", load_stdlib=False)
+            assert session.relation("S") == Relation(rows)
+            session.close()
+        finally:
+            codec.INTERN_TABLES = None
