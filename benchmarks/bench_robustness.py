@@ -1,0 +1,108 @@
+"""B9 — resource governance overhead and abort latency.
+
+The budget machinery (deadline clock, row counter, iteration counter)
+rides the hot path of every kernel call, so the first claim to pin is
+that it is *cheap*: the hub-graph transitive closure evaluated under a
+generous-but-armed :class:`~repro.engine.budget.EvalBudget` must run at
+≥0.95x the unbudgeted time — at most ~5% overhead for the checks that
+make queries governable. The check is amortized (the wall clock is read
+once per ``EvalBudget.check_interval`` ticks, iteration boundaries
+always), which is what makes this floor reachable.
+
+The second claim is that the governance actually governs: a deadline of
+50 ms on a workload whose full evaluation takes seconds must abort
+within 0.5 s (the ISSUE-9 latency bound), and the abort must leave the
+session consistent — the immediate unbudgeted re-query returns the exact
+closure.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro import EvalBudget, QueryTimeoutError
+
+TC_SOURCE = """
+    def TCr(x, y) : E(x, y)
+    def TCr(x, y) : exists((z) | E(x, z) and TCr(z, y))
+"""
+
+
+def hub_tc_edges(n_spokes, n_hubs=4):
+    """The fat-intermediate TC workload from bench_columnar: dense
+    closure, few fixpoint iterations — maximal kernel-call traffic per
+    second, i.e. the worst case for per-call budget accounting."""
+    edges = []
+    for h in range(n_hubs):
+        hub = 1_000_000 + h
+        for s in range(n_spokes):
+            edges.append((s, hub))
+            edges.append((hub, (s * 7 + 3) % n_spokes))
+    return edges
+
+
+HUB250 = hub_tc_edges(250)
+
+#: A budget that never trips but arms every accounting path: the clock,
+#: the row counter, and the iteration counter all stay live.
+GENEROUS = dict(deadline=3600.0, max_rows=10 ** 12, max_iterations=10 ** 9)
+
+
+def tc_closure(edges, budget=None):
+    # Identical call path either way (cold session, same execute entry):
+    # the A/B isolates the budget accounting, nothing else.
+    session = repro.connect(load_stdlib=False)
+    session.define("E", edges)
+    session.load(TC_SOURCE)
+    return session.execute("TCr", budget=budget)
+
+
+def best_of(fn, repeat=3):
+    best, result = None, None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def budget_overhead(edges=HUB250, repeat=5):
+    """Returns ``(unbudgeted_s, budgeted_s, closure_rows)``."""
+    t_plain, r_plain = best_of(lambda: tc_closure(edges), repeat)
+    t_budget, r_budget = best_of(
+        lambda: tc_closure(edges, EvalBudget(**GENEROUS)), repeat)
+    assert r_plain == r_budget
+    return t_plain, t_budget, len(r_plain)
+
+
+def test_budget_overhead_floor():
+    t_plain, t_budget, rows = budget_overhead()
+    ratio = t_plain / t_budget
+    print(f"\nhub TC ({rows} rows): unbudgeted {t_plain:.3f}s, "
+          f"budgeted {t_budget:.3f}s, ratio {ratio:.2f}x")
+    assert ratio >= 0.95, \
+        f"budget accounting costs more than 5%: {ratio:.2f}x"
+
+
+def test_abort_latency_bound():
+    session = repro.connect(load_stdlib=False)
+    session.define("E", hub_tc_edges(400))
+    session.load(TC_SOURCE)
+    started = time.perf_counter()
+    with pytest.raises(QueryTimeoutError):
+        session.execute("TCr", deadline=0.05)
+    elapsed = time.perf_counter() - started
+    print(f"\nabort after {elapsed * 1000:.0f} ms (deadline 50 ms)")
+    assert elapsed < 0.5
+    # Consistency after the abort: the re-query is exact.
+    assert session.execute("TCr") == tc_closure(hub_tc_edges(400))
+
+
+if __name__ == "__main__":
+    t_plain, t_budget, rows = budget_overhead()
+    print(f"hub TC, {rows} closure rows")
+    print(f"  unbudgeted : {t_plain:.3f}s")
+    print(f"  budgeted   : {t_budget:.3f}s")
+    print(f"  ratio      : {t_plain / t_budget:.2f}x (floor 0.95)")

@@ -1,4 +1,4 @@
-"""Record the gated benchmark timings to BENCH_pr8.json.
+"""Record the gated benchmark timings to BENCH_pr9.json.
 
 The perf trajectory: each PR that claims a gated speedup appends a
 machine-readable snapshot (started at PR 4, extended per PR since) so
@@ -42,7 +42,12 @@ gate. Gates recorded:
   extent re-keys through a Python row dict, on the hub TC (floor 1.5x);
 - ``interned_checkpoint``       — PR 8: per-block string tables sharing
   the process-wide interner vs. inline strings, checkpoint write of a
-  string-heavy 100k-row relation (floor 1.3x).
+  string-heavy 100k-row relation (floor 1.3x);
+- ``budget_overhead``           — PR 9: the hub TC evaluated under a
+  generous-but-armed EvalBudget vs. unbudgeted — resource governance is
+  an *overhead* gate, so the floor is 0.95x (at most ~5% cost for the
+  deadline/row/iteration accounting), with the observed abort latency of
+  a 50 ms deadline riding along as ``extra``.
 
 The snapshot also carries an ungated ``scaled`` section: one-shot
 timings of the B1/E12/E13 workloads at 10x their benchmark sizes
@@ -229,6 +234,32 @@ def columnar_gates():
     return [tc, fixpoint, ckpt, interned]
 
 
+def robustness_gate():
+    import time as _time
+
+    from bench_robustness import budget_overhead, hub_tc_edges
+    from repro import QueryTimeoutError, connect
+
+    t_plain, t_budget, rows = budget_overhead()
+
+    session = connect(load_stdlib=False)
+    session.define("E", hub_tc_edges(400))
+    session.load("""
+        def TCr(x, y) : E(x, y)
+        def TCr(x, y) : exists((z) | E(x, z) and TCr(z, y))
+    """)
+    started = _time.perf_counter()
+    try:
+        session.execute("TCr", deadline=0.05)
+        raise AssertionError("deadline did not abort the hub TC")
+    except QueryTimeoutError:
+        abort_ms = (_time.perf_counter() - started) * 1000
+    return gate("budget_overhead", t_plain, t_budget, 0.95,
+                {"closure_rows": rows,
+                 "abort_latency_ms": round(abort_ms, 1),
+                 "abort_bound_ms": 500})
+
+
 def scaled_timings():
     """Ungated one-shot timings at 10x the benchmark sizes (PR 7)."""
     from bench_apsp import networkx_apsp, rel_apsp
@@ -274,14 +305,15 @@ def main() -> int:
     gates.append(concurrency_gate())
     gates.extend(storage_gates())
     gates.extend(columnar_gates())
+    gates.append(robustness_gate())
     snapshot = {
-        "pr": 8,
+        "pr": 9,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "gates": gates,
         "scaled": scaled_timings(),
     }
-    out = Path(__file__).parent.parent / "BENCH_pr8.json"
+    out = Path(__file__).parent.parent / "BENCH_pr9.json"
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     failed = [g["name"] for g in gates if not g["passed"]]
     print(json.dumps(snapshot, indent=2))

@@ -34,7 +34,11 @@ access; see README.md for the migration table.
 from repro.engine import (
     ConvergenceError,
     DispatchError,
+    EvalBudget,
     EvaluationError,
+    QueryBudgetError,
+    QueryCancelledError,
+    QueryTimeoutError,
     RelError,
     RelProgram,
     SafetyError,
@@ -42,23 +46,29 @@ from repro.engine import (
 )
 from repro.api import (PreparedQuery, Session, Snapshot, SnapshotQuery,
                        connect)
-from repro.server import QueryServer
+from repro.server import AdmissionError, QueryServer, ServerClosedError
 from repro.model import Entity, EntityRegistry, Relation, Symbol, relation, singleton
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionError",
     "ConvergenceError",
     "DispatchError",
     "Entity",
     "EntityRegistry",
+    "EvalBudget",
     "EvaluationError",
     "PreparedQuery",
+    "QueryBudgetError",
+    "QueryCancelledError",
     "QueryServer",
+    "QueryTimeoutError",
     "RelError",
     "RelProgram",
     "Relation",
     "SafetyError",
+    "ServerClosedError",
     "Session",
     "Snapshot",
     "SnapshotQuery",

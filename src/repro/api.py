@@ -47,8 +47,10 @@ from typing import (Any, Dict, Iterable, List, Mapping, Optional, Tuple,
 
 from repro.db.database import Database
 from repro.db.transaction import Transaction, TransactionResult
+from repro.engine import budget as _budget
+from repro.engine.budget import EvalBudget
 from repro.engine.program import EngineOptions, RelProgram
-from repro.lang import ast, parse_expression
+from repro.lang import ast, parse_expression, parse_program
 from repro.model import columns as _columns
 from repro.model.relation import EMPTY, Relation
 
@@ -99,6 +101,19 @@ def _relation_statistics(name: str, rel: Relation) -> Dict[str, int]:
         "approx_bytes": rel.approx_bytes(),
         "columnar_columns": cols.arity if cols is not None else 0,
     }
+
+
+def _resolve_budget(budget: Optional[EvalBudget],
+                    deadline: Optional[float]) -> Optional[EvalBudget]:
+    """One budget per call: an explicit :class:`EvalBudget` wins, a bare
+    ``deadline`` is shorthand for ``EvalBudget(deadline=...)``."""
+    if budget is not None:
+        if deadline is not None:
+            raise ValueError("pass either budget= or deadline=, not both")
+        return budget
+    if deadline is not None:
+        return EvalBudget(deadline=deadline)
+    return None
 
 
 def _as_relation(value: RelationLike) -> Relation:
@@ -224,11 +239,19 @@ class Snapshot:
         return self.execute_node(parse_expression(source), params)
 
     def execute_node(self, node: ast.Node,
-                     params: Optional[Mapping[str, Any]] = None) -> Relation:
-        """Evaluate an already-parsed expression (the server fast path)."""
+                     params: Optional[Mapping[str, Any]] = None,
+                     budget: Optional[EvalBudget] = None) -> Relation:
+        """Evaluate an already-parsed expression (the server fast path).
+
+        ``budget`` installs an :class:`EvalBudget` for this evaluation
+        only; budgets are thread-local, so concurrent readers of the same
+        snapshot each carry their own deadline."""
         bindings = {name: _as_binding(name, value)
                     for name, value in (params or {}).items()}
-        return self.program.query_node(node, bindings or None)
+        if budget is None:
+            return self.program.query_node(node, bindings or None)
+        with _budget.scoped(budget):
+            return self.program.query_node(node, bindings or None)
 
     def query(self, source: str) -> SnapshotQuery:
         """Prepare a query against this snapshot (parse once, run many)."""
@@ -307,6 +330,9 @@ class Session:
                  maintenance: Optional[str] = None,
                  columnar: Optional[str] = None,
                  threads: Optional[int] = None,
+                 queue_limit: Optional[int] = None,
+                 admission: str = "block",
+                 admission_timeout: float = 1.0,
                  path: Optional[Union[str, Path]] = None,
                  fsync: str = "batch",
                  checkpoint_every: Optional[int] = 256) -> None:
@@ -321,6 +347,12 @@ class Session:
         self._eager_publish = False
         self._server = None
         self._server_threads = int(threads) if threads else 0
+        # Admission-control knobs for the attached QueryServer (validated
+        # there, at serve() time): bounded write queue + backpressure.
+        self._server_queue_limit = queue_limit
+        self._server_admission = admission
+        self._server_admission_timeout = admission_timeout
+        self._close_started = False
         # Source texts in load order: with storage attached this is the
         # checkpointable half of the logical state (the other half is the
         # base extents) and the dedup key that makes
@@ -394,10 +426,15 @@ class Session:
             self._check_storage()
             if self._storage is not None and source in self._sources:
                 return self
-            self.program.add_source(source)
-            self._sources.append(source)
+            # Parse before logging (syntax errors must leave no WAL
+            # record), log before ingesting (a failed append must leave
+            # the in-memory catalog in step with the durable log).
+            parsed = parse_program(source)
             if self._storage is not None:
                 self._storage.log_load(source)
+            with _budget.scoped(None):
+                self.program._ingest(parsed)
+            self._sources.append(source)
             self._mutated()
             self._maybe_checkpoint()
         return self
@@ -408,12 +445,19 @@ class Session:
         with self._lock:
             self._check_storage()
             old = self.database[name] if name in self.database else None
-            self.database.install(name, rel)
-            self.program.define(name, rel)
             # A value-unchanged define is a no-op like insert/delete: no
             # version bump, no snapshot republish, no WAL record.
-            if old is None or not (old is rel or old == rel):
+            changed = old is None or not (old is rel or old == rel)
+            if changed:
+                # Log before applying: a failed WAL append must leave the
+                # in-memory state in step with the durable log (the GNF
+                # gate runs first so a rejected value logs nothing).
+                self._precheck_gnf(name, rel)
                 self._log_changed({name: (old, rel)})
+            self.database.install(name, rel)
+            with _budget.scoped(None):
+                self.program.define(name, rel)
+            if changed:
                 self._mutated()
                 self._maybe_checkpoint()
         return self
@@ -429,9 +473,11 @@ class Session:
         with self._lock:
             self._check_storage()
             if name not in self.database:
-                self.database.install(name, delta)
-                self.program.define(name, delta)
+                self._precheck_gnf(name, delta)
                 self._log_changed({name: (None, delta)})
+                self.database.install(name, delta)
+                with _budget.scoped(None):
+                    self.program.define(name, delta)
                 self._mutated()
                 self._maybe_checkpoint()
                 return self
@@ -439,9 +485,11 @@ class Session:
             new = old.union(delta)
             if new is old:
                 return self
-            self.database.install(name, new)
-            self.program.define(name, new)
+            self._precheck_gnf(name, new)
             self._log_changed({name: (old, new)})
+            self.database.install(name, new)
+            with _budget.scoped(None):
+                self.program.define(name, new)
             self._mutated()
             self._maybe_checkpoint()
         return self
@@ -459,9 +507,10 @@ class Session:
             new = old.difference(delta)
             if new is old:
                 return self
-            self.database.install(name, new)
-            self.program.define(name, new)
             self._log_changed({name: (old, new)})
+            self.database.install(name, new)
+            with _budget.scoped(None):
+                self.program.define(name, new)
             self._mutated()
             self._maybe_checkpoint()
         return self
@@ -495,14 +544,18 @@ class Session:
                 old = self.database[name] if name in self.database else None
                 if old is not None and (old is new or old == new):
                     continue
-                self.database.install(name, new)
                 changed[name] = (old, new)
             if changed:
-                self.program.apply_updates(changed)
-                # One WAL record per committed batch: a server write burst
-                # that coalesced into this call is one log append, exactly
-                # mirroring the one maintenance pass and one publish.
+                # One WAL record per committed batch, appended *before*
+                # anything is installed: a server write burst that
+                # coalesced into this call is one log append, exactly
+                # mirroring the one maintenance pass and one publish, and
+                # a failed append leaves the in-memory state untouched.
                 self._log_changed(changed)
+                for name, (_, new) in changed.items():
+                    self.database.install(name, new)
+                with _budget.scoped(None):
+                    self.program.apply_updates(changed)
                 self._mutated()
                 self._maybe_checkpoint()
             return changed
@@ -513,10 +566,24 @@ class Session:
         """Prepare a query: parse/compile once, execute many."""
         return PreparedQuery(self, source)
 
-    def execute(self, source: str) -> Relation:
-        """One-shot: prepare and run."""
+    def execute(self, source: str, *,
+                budget: Optional[EvalBudget] = None,
+                deadline: Optional[float] = None) -> Relation:
+        """One-shot: prepare and run.
+
+        ``deadline`` (seconds) or an explicit ``budget=``
+        :class:`EvalBudget` bounds the evaluation; exceeding it raises
+        :class:`~repro.engine.errors.QueryTimeoutError` /
+        :class:`~repro.engine.errors.QueryBudgetError` and is safe to
+        retry — the abort discards partial fixpoint state rather than
+        installing it."""
+        resolved = _resolve_budget(budget, deadline)
         with self._lock:
-            return self.program.query_node(parse_expression(source))
+            node = parse_expression(source)
+            if resolved is None:
+                return self.program.query_node(node)
+            with _budget.scoped(resolved):
+                return self.program.query_node(node)
 
     def relation(self, name: str) -> Relation:
         """The full extent of a defined or base relation."""
@@ -575,7 +642,10 @@ class Session:
                 snap = self._published
         return snap
 
-    def serve(self, threads: Optional[int] = None):
+    def serve(self, threads: Optional[int] = None,
+              queue_limit: Optional[int] = None,
+              admission: Optional[str] = None,
+              admission_timeout: Optional[float] = None):
         """The session's :class:`~repro.server.QueryServer` (started on
         first use): a thread pool evaluating prepared queries against
         snapshots, plus a serialized, coalescing write queue.
@@ -585,7 +655,16 @@ class Session:
         ``threads``, asking for a *different* count than the running
         server's raises (close() it first) rather than silently handing
         back a pool of the wrong size. A server that was closed directly
-        (e.g. by its context manager) is discarded and replaced."""
+        (e.g. by its context manager) is discarded and replaced.
+
+        ``queue_limit`` / ``admission`` / ``admission_timeout`` override
+        the session-level knobs from :func:`connect` when a *new* server
+        is created here (they are ignored when one is already attached):
+        a bounded write queue whose full-queue policy is ``"block"``
+        (backpressure the producer), ``"reject"`` (raise
+        :class:`~repro.server.AdmissionError` immediately), or
+        ``"timeout"`` (block up to ``admission_timeout`` seconds, then
+        raise)."""
         from repro.server import QueryServer
 
         with self._lock:
@@ -595,7 +674,14 @@ class Session:
                 self._server = QueryServer(
                     self,
                     threads=(threads if threads is not None
-                             else self._server_threads or 4))
+                             else self._server_threads or 4),
+                    queue_limit=(queue_limit if queue_limit is not None
+                                 else self._server_queue_limit),
+                    admission=(admission if admission is not None
+                               else self._server_admission),
+                    admission_timeout=(
+                        admission_timeout if admission_timeout is not None
+                        else self._server_admission_timeout))
             elif threads is not None and self._server.threads != threads:
                 raise ValueError(
                     f"session already serves with "
@@ -614,14 +700,32 @@ class Session:
         """Shut down the attached query server (draining its write queue —
         pending batches still reach the WAL), then seal durable storage.
         After close, reads keep working; mutations on a durable session
-        raise :class:`~repro.storage.StorageClosedError`."""
+        raise :class:`~repro.storage.StorageClosedError`.
+
+        Idempotent and safe under concurrent callers: exactly one caller
+        detaches the server (the others see it already gone), the server
+        and storage close protocols are themselves reentrant, and a
+        deferred background-checkpoint error is raised by whichever
+        caller reaches storage first — once, after resources are
+        released."""
         with self._lock:
+            self._close_started = True
             server, self._server = self._server, None
+        # Outside the session lock: draining the write queue re-enters
+        # apply_batch, which needs the lock (close-during-flush must not
+        # deadlock).
         if server is not None:
             server.close()
-        with self._lock:
-            if self._storage is not None:
-                self._storage.close()
+        storage = self._storage
+        if storage is not None:
+            storage.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun. Reads keep working on a
+        closed session; durable mutations raise
+        :class:`~repro.storage.StorageClosedError`."""
+        return self._close_started
 
     def __enter__(self) -> "Session":
         return self
@@ -641,6 +745,16 @@ class Session:
             raise StorageClosedError(
                 "session storage is closed; reopen with connect(path=...)"
             )
+
+    def _precheck_gnf(self, name: str, rel: Relation) -> None:
+        """GNF-validate ahead of the WAL append on durable sessions: a
+        rejected value must leave no record for recovery to replay.
+        (install() re-validates — the double check only costs on the rare
+        durable + enforce_gnf combination.)"""
+        if self._storage is not None and self.database.enforce_gnf:
+            from repro.db.gnf import check_gnf
+
+            check_gnf(name, rel)
 
     def _log_changed(
         self, changed: Mapping[str, Tuple[Optional[Relation], Relation]],
@@ -735,7 +849,8 @@ class Session:
                 self._storage.log_bulk(
                     name, coerced, use_store=(table_format == "sqlite"))
             self.database.install(name, new)
-            self.program.apply_updates({name: (old, new)})
+            with _budget.scoped(None):
+                self.program.apply_updates({name: (old, new)})
             self._mutated()
             self._maybe_checkpoint()
             return len(new) - len(base)
@@ -775,7 +890,8 @@ class Session:
                 # concurrent readers see the pre- or post-transaction
                 # state, never a half-applied one. Aborted transactions
                 # (constraint violations) log nothing.
-                self.program.apply_updates(result.changed)
+                with _budget.scoped(None):
+                    self.program.apply_updates(result.changed)
                 self._log_changed(result.changed)
                 self._mutated()
                 self._maybe_checkpoint()
@@ -908,7 +1024,13 @@ def connect(database: Optional[Union[Database, Mapping[str, Relation]]] = None,
     session); ``schema`` is Rel source (rules and integrity constraints)
     loaded at connect time. ``threads=N`` sizes the session's
     :attr:`Session.server` thread pool for concurrent serving (see
-    :mod:`repro.server`).
+    :mod:`repro.server`); ``queue_limit=N`` bounds its write queue and
+    ``admission`` picks the backpressure policy when the queue is full
+    (``"block"`` / ``"reject"`` / ``"timeout"`` with
+    ``admission_timeout`` seconds). Per-query resource governance comes
+    from :meth:`Session.execute`'s ``deadline=``/``budget=`` and
+    :meth:`~repro.server.QueryServer.submit`'s matching knobs
+    (:class:`repro.EvalBudget`).
 
     ``path=<dir>`` makes the session *durable*: every committed batch is
     appended to a write-ahead log under that directory, snapshot

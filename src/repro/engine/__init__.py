@@ -14,10 +14,14 @@ The engine has two cooperating evaluators:
 The public entry point is :class:`repro.engine.program.RelProgram`.
 """
 
+from repro.engine.budget import EvalBudget
 from repro.engine.errors import (
     ConvergenceError,
     DispatchError,
     EvaluationError,
+    QueryBudgetError,
+    QueryCancelledError,
+    QueryTimeoutError,
     RelError,
     SafetyError,
     UnknownRelationError,
@@ -27,7 +31,11 @@ from repro.engine.program import RelProgram
 __all__ = [
     "ConvergenceError",
     "DispatchError",
+    "EvalBudget",
     "EvaluationError",
+    "QueryBudgetError",
+    "QueryCancelledError",
+    "QueryTimeoutError",
     "RelError",
     "RelProgram",
     "SafetyError",

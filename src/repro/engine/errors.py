@@ -48,6 +48,25 @@ class ArityError(EvaluationError):
     """An application supplied more arguments than the relation can accept."""
 
 
+class QueryBudgetError(EvaluationError):
+    """A query exceeded its :class:`~repro.engine.budget.EvalBudget`.
+
+    Raised cooperatively from inside the evaluation loops (fixpoint
+    rounds, the conjunction scheduler, rule emission) when a row or
+    iteration limit is hit. The engine guarantees the abort leaves every
+    cache and extent consistent: partial fixpoint results are discarded,
+    never installed, so the same program can be re-queried immediately.
+    """
+
+
+class QueryTimeoutError(QueryBudgetError):
+    """A query ran past its wall-clock deadline."""
+
+
+class QueryCancelledError(QueryBudgetError):
+    """A query's budget was cancelled from another thread."""
+
+
 class ConstraintViolation(RelError):
     """An integrity constraint failed; the transaction must abort (§3.5)."""
 

@@ -42,6 +42,7 @@ from typing import (Any, Callable, Collection, Dict, FrozenSet, Iterable,
                     Iterator, List, Optional, Sequence, Set, Tuple)
 
 from repro.engine import builtins as bi
+from repro.engine.budget import _local as _budget_local
 from repro.engine.builtins import FREE, Builtin
 from repro.engine.errors import (
     ArityError,
@@ -193,6 +194,14 @@ class Frame:
 def expand(node: ast.Node, table: Table, frame: Frame, ctx) -> Table:
     """Expand ``node`` over ``table``; the result's payload column holds the
     node's output tuples (empty tuples for formulas)."""
+    # Cooperative budget check, amortized inside tick(): every node
+    # expansion (and through it every kernel dispatch, row or columnar)
+    # charges one tick, so a long conjunction chain stays cancellable
+    # between fixpoint rounds. The inlined thread-local read is the whole
+    # cost when no budget is installed.
+    budget = getattr(_budget_local, "budget", None)
+    if budget is not None:
+        budget.tick()
     handler = _HANDLERS.get(type(node))
     if handler is None:
         raise EvaluationError(f"cannot evaluate node of type {type(node).__name__}")
@@ -2643,11 +2652,26 @@ def eval_rule_relation(rule: Rule, env: Env, ctx,
     if COLUMNAR_FIXPOINT:
         rel = _emit_columnar(*got, ctx)
         if rel is not None:
-            return rel
+            return _charge_rows(rel)
     keyed = _emit_keyed(*got, ctx)
     if not keyed:
         return EMPTY
-    return Relation._from_keyed(keyed)
+    return _charge_rows(Relation._from_keyed(keyed))
+
+
+def _charge_rows(rel: Relation) -> Relation:
+    """Charge a rule evaluation's output size against the active budget.
+
+    Sits on the one choke point every fixpoint driver funnels through, so
+    ``max_rows`` bounds derivation *work* (re-derivations across rounds
+    count) on both the row and columnar planes — ``len`` on a
+    columnar-native relation reads the vector length, never rows."""
+    budget = getattr(_budget_local, "budget", None)
+    if budget is not None:
+        n = len(rel)
+        if n:
+            budget.count_rows(n)
+    return rel
 
 
 def _eval_rule_keyed(rule: Rule, env: Env, ctx,

@@ -29,10 +29,12 @@ import sys
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.engine import builtins as bi
+from repro.engine import budget as _budget
 from repro.engine.builtins import Builtin
 from repro.engine.errors import (
     ConvergenceError,
     EvaluationError,
+    QueryBudgetError,
     SafetyError,
     UnknownRelationError,
 )
@@ -563,6 +565,7 @@ class EvalContext:
                         f"instance of {closure.name} did not stabilize after "
                         f"{iterations - 1} iterations"
                     )
+                _budget.count_iteration()
                 result = EMPTY
                 for rule in rules:
                     env = closure.env.extend(
@@ -1247,12 +1250,35 @@ class RelProgram:
                                ctx: EvalContext) -> None:
         """From-scratch evaluation of one SCC (shared by the global
         evaluation walk and the maintenance driver's recompute fallback)."""
-        if not self._is_recursive_component(component):
-            self._materialize_stratum_once(materializable, ctx)
-        elif self.options.semi_naive and self._stratum_sn_eligible(component):
-            self._materialize_semi_naive(materializable, ctx)
-        else:
-            self._materialize_kleene(materializable, ctx)
+        try:
+            if not self._is_recursive_component(component):
+                self._materialize_stratum_once(materializable, ctx)
+            elif self.options.semi_naive and \
+                    self._stratum_sn_eligible(component):
+                self._materialize_semi_naive(materializable, ctx)
+            else:
+                self._materialize_kleene(materializable, ctx)
+        except QueryBudgetError:
+            # Abort consistency: a budget abort mid-fixpoint must not leave
+            # a partial approximation installed. Drop the in-flight
+            # members' extents (and delta frontiers) so the next query
+            # recomputes them from scratch; round 0 of that recomputation
+            # always bumps the member generations past any transient ones,
+            # so memos minted against the partial state are unreachable.
+            self._discard_partial_component(materializable, ctx)
+            raise
+
+    def _discard_partial_component(self, names: List[str],
+                                   ctx: EvalContext) -> None:
+        state = ctx.state
+        dropped = []
+        for name in names:
+            rel = state.extents.get(name)
+            if rel is not None:
+                dropped.append(rel)
+            state.drop_extent(name)
+            state.extents.pop("__delta__" + name, None)
+        state.drop_indexes_for(dropped)
 
     def _materialize_single(self, name: str, ctx: EvalContext) -> Relation:
         """Materialize one name lazily (with its component if recursive)."""
@@ -1296,6 +1322,7 @@ class RelProgram:
                     f"stratum {names} did not stabilize after {iterations - 1} "
                     f"iterations"
                 )
+            _budget.count_iteration()
             changed = False
             new_extents = {}
             for name in names:
@@ -1340,6 +1367,7 @@ class RelProgram:
                     f"stratum {names} did not stabilize after {iterations - 1} "
                     f"iterations"
                 )
+            _budget.count_iteration()
             for name in names:
                 state.extents["__delta__" + name] = delta[name]
             new_delta: Dict[str, Relation] = {n: EMPTY for n in names}
@@ -1417,9 +1445,22 @@ class RelProgram:
             if self._state is None:
                 # The new name forced a full reset; nothing left to maintain.
                 return
-        if changed and not self._try_maintain(changed):
-            for name, (old, _) in changed.items():
-                self._invalidate_data(name, old)
+        if changed:
+            try:
+                maintained = self._try_maintain(changed)
+            except QueryBudgetError:
+                # A budget abort mid-maintenance leaves dependent strata
+                # stale relative to the already-installed base; fall back
+                # to drop-and-recompute invalidation (a consistent state)
+                # before letting the abort propagate. The session layer
+                # suspends budgets around writes, so this only triggers
+                # for direct engine users evaluating under a budget.
+                for name, (old, _) in changed.items():
+                    self._invalidate_data(name, old)
+                raise
+            if not maintained:
+                for name, (old, _) in changed.items():
+                    self._invalidate_data(name, old)
 
     def _try_maintain(
             self, updates: Dict[str, Tuple[Relation, Relation]]) -> bool:
@@ -1670,6 +1711,7 @@ class RelProgram:
                         f"over-deletion of {members} did not stabilize after "
                         f"{iterations - 1} iterations"
                     )
+                _budget.count_iteration()
                 for x in watch:
                     state.extents["__delta__" + x] = frontier.get(x, EMPTY)
                 new_frontier: Dict[str, Relation] = {}
@@ -1708,6 +1750,7 @@ class RelProgram:
             state.extents[m] = old_ext[m].difference(c)
         remaining = dict(removed)
         while True:
+            _budget.count_iteration()
             added = False
             for m in members:
                 c = remaining.get(m)
@@ -1781,6 +1824,7 @@ class RelProgram:
                     f"insert maintenance of {members} did not stabilize "
                     f"after {iterations - 1} iterations"
                 )
+            _budget.count_iteration()
             for x in watch:
                 state.extents["__delta__" + x] = frontier.get(x, EMPTY)
             new_frontier: Dict[str, Relation] = {}

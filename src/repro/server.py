@@ -42,12 +42,23 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from repro.engine.budget import EvalBudget
+from repro.engine.errors import QueryBudgetError, QueryTimeoutError
 from repro.lang import ast, parse_expression
 from repro.model.relation import Relation
 
 
 class ServerClosedError(RuntimeError):
     """Raised when submitting to a server that has been shut down."""
+
+
+class AdmissionError(RuntimeError):
+    """A write was refused by the admission policy: the bounded write
+    queue was full (``admission="reject"``) or stayed full past the
+    admission timeout (``admission="timeout"``). The op was *not*
+    enqueued; the caller decides whether to retry, shed, or block."""
+
+_ADMISSION_POLICIES = ("block", "reject", "timeout")
 
 
 class _WriteOp:
@@ -69,15 +80,37 @@ class QueryServer:
     """A thread-pool front end over one :class:`~repro.api.Session`."""
 
     def __init__(self, session, threads: int = 4,
-                 name: str = "repro-server") -> None:
+                 name: str = "repro-server",
+                 queue_limit: Optional[int] = None,
+                 admission: str = "block",
+                 admission_timeout: float = 1.0) -> None:
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if admission not in _ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r}; expected one of "
+                + ", ".join(repr(p) for p in _ADMISSION_POLICIES))
+        if admission_timeout <= 0:
+            raise ValueError(
+                f"admission_timeout must be positive, got {admission_timeout}")
         self.session = session
         self.threads = threads
+        self.queue_limit = queue_limit
+        self.admission = admission
+        self.admission_timeout = admission_timeout
         self._closed = False
+        # drain=False close: the writer resolves remaining queued futures
+        # with ServerClosedError instead of applying them.
+        self._abort = False
         self._readers = ThreadPoolExecutor(
             max_workers=threads, thread_name_prefix=f"{name}-read")
-        self._writes: "queue.SimpleQueue[Any]" = queue.SimpleQueue()
+        # Bounded when queue_limit is set: admission control happens at
+        # the enqueue site, under the write gate. maxsize=0 = unbounded,
+        # the PR-5 behavior.
+        self._writes: "queue.Queue[Any]" = queue.Queue(
+            maxsize=queue_limit or 0)
         # Guards the closed-flag/enqueue pair: once close() has queued the
         # _CLOSE sentinel, no write op can slip in behind it (an op that
         # lost that race would never resolve its future).
@@ -86,7 +119,8 @@ class QueryServer:
         self._prepared_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._stats = {"queries": 0, "write_ops": 0, "write_batches": 0,
-                       "coalesced_ops": 0}
+                       "coalesced_ops": 0, "timeouts": 0, "budget_aborts": 0,
+                       "rejected": 0, "queue_depth_max": 0}
         self._writer = threading.Thread(
             target=self._write_loop, name=f"{name}-write", daemon=True)
         self._writer.start()
@@ -111,8 +145,12 @@ class QueryServer:
 
     def submit(self, query: str,
                params: Optional[Mapping[str, Any]] = None,
-               on_result: Optional[Callable[[Relation], Any]] = None
-               ) -> Future:
+               on_result: Optional[Callable[[Relation], Any]] = None,
+               *,
+               deadline: Optional[float] = None,
+               budget: Optional[EvalBudget] = None,
+               max_rows: Optional[int] = None,
+               max_iterations: Optional[int] = None) -> Future:
         """Evaluate ``query`` on the pool against the current snapshot.
 
         ``params`` are per-call environment bindings (Relations, scalars,
@@ -120,20 +158,68 @@ class QueryServer:
         query serves many concurrent parameterizations. ``on_result``, if
         given, runs in the worker thread with the result before the future
         resolves (the hook for response serialization / streaming the
-        result back to a client)."""
+        result back to a client).
+
+        ``deadline`` / ``max_rows`` / ``max_iterations`` (or an explicit
+        ``budget=`` :class:`~repro.engine.budget.EvalBudget`) bound the
+        evaluation. The deadline clock starts *now*, at submission, so
+        pool queue wait counts against it — a saturated server times out
+        rather than silently growing its backlog. Exceeding a budget
+        *cancels the underlying evaluation* cooperatively (the worker
+        aborts at its next budget check and discards partial state) and
+        the future raises the typed error. The budget rides on the future
+        as ``future.eval_budget``; calling its ``cancel()`` aborts a
+        running evaluation from any thread (see :meth:`cancel`)."""
         if self._closed:
             raise ServerClosedError("submit on a closed QueryServer")
         node = self._node(query)
+        if budget is not None:
+            if (deadline is not None or max_rows is not None
+                    or max_iterations is not None):
+                raise ValueError(
+                    "pass either budget= or deadline=/max_rows="
+                    "/max_iterations=, not both")
+        elif (deadline is not None or max_rows is not None
+                or max_iterations is not None):
+            budget = EvalBudget(deadline=deadline, max_rows=max_rows,
+                                max_iterations=max_iterations)
         frozen = dict(params) if params else None
         try:
-            return self._readers.submit(self._read, node, frozen, on_result)
+            future = self._readers.submit(
+                self._read, node, frozen, on_result, budget)
         except RuntimeError as exc:
             # Lost the race against close(): the pool refused the task.
             raise ServerClosedError("submit on a closed QueryServer") from exc
+        if budget is not None:
+            future.eval_budget = budget
+        return future
 
-    def _read(self, node: ast.Node, params, on_result) -> Relation:
+    def cancel(self, future: Future) -> None:
+        """Best-effort cancellation of a submitted read: cancels the
+        future if it has not started, and cancels its budget (if the read
+        was submitted with one) so a *running* evaluation aborts at its
+        next cooperative check with
+        :class:`~repro.engine.errors.QueryCancelledError`."""
+        future.cancel()
+        budget = getattr(future, "eval_budget", None)
+        if budget is not None:
+            budget.cancel()
+
+    def _read(self, node: ast.Node, params, on_result,
+              budget: Optional[EvalBudget] = None) -> Relation:
         snapshot = self.session.snapshot()
-        result = snapshot.execute_node(node, params)
+        try:
+            result = snapshot.execute_node(node, params, budget)
+        except QueryTimeoutError:
+            with self._stats_lock:
+                self._stats["timeouts"] += 1
+            raise
+        except QueryBudgetError:
+            # Row/iteration limits and cross-thread cancels both land
+            # here (QueryCancelledError subclasses QueryBudgetError).
+            with self._stats_lock:
+                self._stats["budget_aborts"] += 1
+            raise
         with self._stats_lock:
             self._stats["queries"] += 1
         if on_result is not None:
@@ -141,17 +227,44 @@ class QueryServer:
         return result
 
     def execute(self, query: str,
-                params: Optional[Mapping[str, Any]] = None) -> Relation:
-        """Synchronous :meth:`submit`."""
-        return self.submit(query, params).result()
+                params: Optional[Mapping[str, Any]] = None,
+                **limits: Any) -> Relation:
+        """Synchronous :meth:`submit` (accepts the same budget knobs)."""
+        return self.submit(query, params, **limits).result()
 
     # -- writes ------------------------------------------------------------
 
     def _enqueue(self, op: _WriteOp) -> Future:
+        """Admission-controlled enqueue. With a bounded queue, a full
+        queue either blocks the producer (``"block"`` — backpressure
+        propagates to the caller), refuses immediately (``"reject"``), or
+        blocks up to ``admission_timeout`` seconds (``"timeout"``); the
+        refused op raises :class:`AdmissionError` and is never queued.
+        Blocking happens while holding the write gate, so later producers
+        queue up behind the gate in arrival order — the writer thread
+        never takes the gate and keeps draining, which is what guarantees
+        a blocked producer (and a close() behind it) always makes
+        progress."""
         with self._write_gate:
             if self._closed:
                 raise ServerClosedError("write on a closed QueryServer")
-            self._writes.put(op)
+            try:
+                if self.queue_limit is None or self.admission == "block":
+                    self._writes.put(op)
+                elif self.admission == "reject":
+                    self._writes.put_nowait(op)
+                else:  # "timeout"
+                    self._writes.put(op, timeout=self.admission_timeout)
+            except queue.Full:
+                with self._stats_lock:
+                    self._stats["rejected"] += 1
+                raise AdmissionError(
+                    f"write queue full ({self.queue_limit} ops, "
+                    f"admission={self.admission!r})") from None
+            depth = self._writes.qsize()
+        with self._stats_lock:
+            if depth > self._stats["queue_depth_max"]:
+                self._stats["queue_depth_max"] = depth
         return op.future
 
     def insert(self, name: str, tuples) -> Future:
@@ -197,10 +310,23 @@ class QueryServer:
                 except queue.Empty:
                     break
                 if nxt is _CLOSE:
-                    self._apply(batch)
+                    self._finish(batch)
                     return
                 batch.append(nxt)
-            self._apply(batch)
+            self._finish(batch)
+
+    def _finish(self, batch) -> None:
+        """Apply the batch — or, after close(drain=False), resolve every
+        queued future with ServerClosedError instead. Either way no
+        accepted op's future is left pending."""
+        if self._abort:
+            for op in batch:
+                if op.future.set_running_or_notify_cancel():
+                    op.future.set_exception(ServerClosedError(
+                        "QueryServer closed without draining; "
+                        "queued write abandoned"))
+            return
+        self._apply(batch)
 
     def _apply(self, batch) -> None:
         """Apply one drained batch in submission order, coalescing runs of
@@ -311,17 +437,43 @@ class QueryServer:
             stats[f"storage_{key}"] = value
         return stats
 
-    def close(self, wait: bool = True) -> None:
-        """Drain the write queue, stop the writer, shut the pool down.
+    def robustness_statistics(self) -> Dict[str, int]:
+        """The resource-governance counters: ``timeouts`` (reads that hit
+        their deadline), ``budget_aborts`` (row/iteration limits and
+        cancels), ``rejected`` (writes refused by admission control),
+        ``queue_depth_max`` (high-water mark of the write queue), and
+        ``retries`` (storage-layer retried I/O operations — 0 on a
+        non-durable session)."""
+        with self._stats_lock:
+            stats = {key: self._stats[key]
+                     for key in ("timeouts", "budget_aborts", "rejected",
+                                 "queue_depth_max")}
+        stats["retries"] = \
+            self.session.storage_statistics().get("retries", 0)
+        return stats
+
+    def close(self, wait: bool = True, drain: bool = True) -> None:
+        """Stop the writer and shut the pool down; every accepted write's
+        future resolves, with its result (``drain=True``, the default —
+        queued batches still commit and reach the WAL) or with
+        :class:`ServerClosedError` (``drain=False`` — queued-but-unapplied
+        writes are abandoned; the op the writer is mid-apply still
+        completes). In-flight reads always run to completion.
 
         Ordering is guaranteed by the write gate: every accepted write
         precedes the close sentinel in the queue, so its future resolves
-        before the writer exits — no accepted op is ever dropped."""
+        before the writer exits — no accepted op is ever dropped.
+        Idempotent and safe under concurrent callers: one caller queues
+        the sentinel, and every ``wait=True`` caller blocks until the
+        writer has exited and the pool is down."""
         with self._write_gate:
-            if self._closed:
-                return
-            self._closed = True
-            self._writes.put(_CLOSE)
+            if not self._closed:
+                self._closed = True
+                if not drain:
+                    self._abort = True
+                # Blocking put: on a full bounded queue the writer is
+                # still draining, so the sentinel always lands.
+                self._writes.put(_CLOSE)
         if wait:
             self._writer.join()
         self._readers.shutdown(wait=wait)

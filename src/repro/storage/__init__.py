@@ -18,7 +18,11 @@ relations. This package persists exactly that logical state:
   WAL references by id instead of inlining);
 - :mod:`repro.storage.manager` — :class:`StorageManager`, the object a
   durable :class:`repro.api.Session` owns: fsync policy, segment rotation,
-  background checkpoints, and the ``storage_statistics()`` counters.
+  background checkpoints, bounded-backoff retry of transient I/O failures
+  (:class:`RetryPolicy`), and the ``storage_statistics()`` counters;
+- :mod:`repro.storage.faults` — the fault-injection seam: scripted
+  open/write/fsync/rename failures (ENOSPC, EIO, torn writes) that the
+  crash-recovery and degradation tests drive through every I/O site.
 
 The user-facing surface is ``repro.connect(path=...)`` — see
 :mod:`repro.api`.
@@ -26,15 +30,19 @@ The user-facing surface is ``repro.connect(path=...)`` — see
 
 from repro.storage.errors import (CheckpointError, StorageClosedError,
                                   StorageError, WALCorruptionError)
-from repro.storage.manager import StorageManager
+from repro.storage.faults import FaultInjector, injected
+from repro.storage.manager import RetryPolicy, StorageManager
 from repro.storage.recovery import RecoveredState, recover_state
 
 __all__ = [
     "CheckpointError",
+    "FaultInjector",
     "RecoveredState",
+    "RetryPolicy",
     "StorageClosedError",
     "StorageError",
     "StorageManager",
     "WALCorruptionError",
+    "injected",
     "recover_state",
 ]

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.model.relation import Relation
-from repro.storage import codec
+from repro.storage import codec, faults
 from repro.storage.errors import CheckpointError, CodecError
 
 CKPT_MAGIC = b"RCKP\x01\x00\x00\x00"
@@ -72,12 +72,26 @@ def _fsync_dir(directory: Path) -> None:
 
 def _atomic_write(path: Path, data: bytes, *, do_fsync: bool = True) -> None:
     tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "wb") as f:
-        f.write(data)
-        f.flush()
-        if do_fsync:
-            os.fsync(f.fileno())
-    os.replace(tmp, path)
+    faults.before_open(tmp)
+    try:
+        with open(tmp, "wb") as f:
+            partial = faults.before_write(tmp, len(data))
+            if partial is not None:
+                f.write(data[:len(data) // 2])
+                f.flush()
+                faults.raise_partial(partial, tmp)
+            f.write(data)
+            f.flush()
+            if do_fsync:
+                faults.before_fsync(tmp)
+                os.fsync(f.fileno())
+        faults.before_rename(path)
+        os.replace(tmp, path)
+    except OSError:
+        # Never leave a half-written tmp file for recovery scans (or a
+        # later attempt's fresh open) to trip over.
+        tmp.unlink(missing_ok=True)
+        raise
     if do_fsync:
         _fsync_dir(path.parent)
 

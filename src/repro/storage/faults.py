@@ -1,0 +1,210 @@
+"""Fault injection for the storage layer — a testing seam, zero-cost when off.
+
+The durability claims in this package (committed-prefix recovery, WAL
+repair, checkpoint degradation) are only as good as their tests, and real
+disks fail in ways ``tmpfs`` never does: ``ENOSPC`` mid-append, ``EIO`` on
+fsync, a rename that never lands, a write torn halfway through. This
+module lets tests script those failures deterministically.
+
+Every I/O site in :mod:`repro.storage.wal`, :mod:`~repro.storage.checkpoint`
+and :mod:`~repro.storage.manager` consults a module-global injector via
+four hooks — :func:`before_open`, :func:`before_write`,
+:func:`before_fsync`, :func:`before_rename` — before touching the OS.
+With no injector installed (production), each hook is a single global
+load + ``is None`` test.
+
+Usage::
+
+    from repro.storage import faults
+
+    inj = faults.FaultInjector()
+    inj.fail("fsync", err=errno.EIO, after=2)       # 3rd fsync dies
+    inj.fail("write", err=errno.ENOSPC, partial=True)  # torn first write
+    with faults.injected(inj):
+        ...  # exercise a StorageManager
+
+Each :meth:`FaultInjector.fail` spec arms one failure: the matching
+operation raises ``OSError(err)`` after ``after`` successful matches, for
+``times`` occurrences (then the spec is spent). ``partial=True`` on a
+write spec asks the *site* to write a prefix of the buffer first — a torn
+write, not a clean refusal. ``path`` restricts the spec to file names
+containing the substring.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+
+class FaultSpec:
+    """One armed failure. Mutable countdown state lives here; the owning
+    injector's lock guards it."""
+
+    __slots__ = ("op", "err", "after", "times", "partial", "path", "fired")
+
+    def __init__(self, op: str, err: int, after: int, times: int,
+                 partial: bool, path: Optional[str]) -> None:
+        self.op = op
+        self.err = err
+        self.after = after
+        self.times = times
+        self.partial = partial
+        self.path = path
+        #: How many times this spec has raised so far.
+        self.fired = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultSpec(op={self.op!r}, err={self.err}, "
+                f"after={self.after}, times={self.times}, "
+                f"partial={self.partial}, path={self.path!r}, "
+                f"fired={self.fired})")
+
+
+#: Operations a spec may target.
+FAULT_OPS = ("open", "write", "fsync", "rename")
+
+
+class FaultInjector:
+    """A scripted set of storage failures, matched in arming order."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._specs: List[FaultSpec] = []
+        #: Total faults raised through this injector.
+        self.fired = 0
+
+    def fail(self, op: str, *, err: int = _errno.EIO, after: int = 0,
+             times: int = 1, partial: bool = False,
+             path: Optional[str] = None) -> "FaultInjector":
+        """Arm one failure; returns self for chaining.
+
+        ``op``      one of :data:`FAULT_OPS`;
+        ``err``     the errno the ``OSError`` carries;
+        ``after``   matching calls to let through before failing;
+        ``times``   failures before the spec is spent;
+        ``partial`` (write only) tear the write: the site persists a
+                    prefix of the buffer, then the error is raised;
+        ``path``    only match files whose name contains this substring.
+        """
+        if op not in FAULT_OPS:
+            raise ValueError(
+                f"unknown fault op {op!r}; expected one of "
+                + ", ".join(repr(o) for o in FAULT_OPS))
+        if partial and op != "write":
+            raise ValueError("partial=True only applies to 'write' faults")
+        if after < 0 or times < 1:
+            raise ValueError("after must be >= 0 and times >= 1")
+        with self._lock:
+            self._specs.append(
+                FaultSpec(op, err, after, times, partial, path))
+        return self
+
+    def _match(self, op: str, path: os.PathLike) -> Optional[FaultSpec]:
+        """Consume one matching call; returns the spec if it should fire.
+
+        ``path`` filters match the file's *base name* only — a spec
+        targets files, and matching the directory would make it fire on
+        everything in a suggestively-named tmp dir."""
+        name = os.path.basename(os.fspath(path))
+        with self._lock:
+            for spec in self._specs:
+                if spec.op != op:
+                    continue
+                if spec.path is not None and spec.path not in name:
+                    continue
+                if spec.after > 0:
+                    spec.after -= 1
+                    return None
+                if spec.fired >= spec.times:
+                    continue
+                spec.fired += 1
+                self.fired += 1
+                return spec
+            return None
+
+    def _raise(self, spec: FaultSpec, op: str, path: os.PathLike) -> None:
+        raise OSError(
+            spec.err,
+            f"injected {op} fault: {os.strerror(spec.err)}",
+            os.fspath(path))
+
+
+_injector: Optional[FaultInjector] = None
+_install_lock = threading.Lock()
+
+
+def install(injector: Optional[FaultInjector]) -> None:
+    """Install (or, with ``None``, clear) the process-global injector."""
+    global _injector
+    with _install_lock:
+        _injector = injector
+
+
+def clear() -> None:
+    install(None)
+
+
+@contextmanager
+def injected(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Scope an injector: installed on entry, cleared on exit."""
+    install(injector)
+    try:
+        yield injector
+    finally:
+        clear()
+
+
+# -- hooks (called by the storage I/O sites) -------------------------------
+
+def before_open(path: os.PathLike) -> None:
+    inj = _injector
+    if inj is None:
+        return
+    spec = inj._match("open", path)
+    if spec is not None:
+        inj._raise(spec, "open", path)
+
+
+def before_write(path: os.PathLike, nbytes: int) -> Optional[FaultSpec]:
+    """Raises for a full write fault; for a *partial* fault returns the
+    spec so the site can persist a prefix first, then raise via
+    :func:`raise_partial`. Returns None when no fault applies."""
+    inj = _injector
+    if inj is None:
+        return None
+    spec = inj._match("write", path)
+    if spec is None:
+        return None
+    if spec.partial and nbytes > 1:
+        return spec
+    inj._raise(spec, "write", path)
+    return None  # unreachable
+
+
+def raise_partial(spec: FaultSpec, path: os.PathLike) -> None:
+    raise OSError(
+        spec.err,
+        f"injected partial-write fault: {os.strerror(spec.err)}",
+        os.fspath(path))
+
+
+def before_fsync(path: os.PathLike) -> None:
+    inj = _injector
+    if inj is None:
+        return
+    spec = inj._match("fsync", path)
+    if spec is not None:
+        inj._raise(spec, "fsync", path)
+
+
+def before_rename(path: os.PathLike) -> None:
+    inj = _injector
+    if inj is None:
+        return
+    spec = inj._match("rename", path)
+    if spec is not None:
+        inj._raise(spec, "rename", path)

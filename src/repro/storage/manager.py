@@ -26,25 +26,57 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Tuple, TypeVar)
 
 from repro.model.relation import Relation
 from repro.storage import bulkload, checkpoint as ckpt, codec, wal
 from repro.storage.errors import CheckpointError, StorageClosedError
 from repro.storage.recovery import RecoveredState, recover_state
 
+_T = TypeVar("_T")
+
+
+class RetryPolicy:
+    """Bounded exponential backoff for transient I/O failures.
+
+    ``attempts`` is the *total* number of tries (so ``attempts=4`` means
+    one initial try plus up to three retries); delays double from
+    ``base_delay`` and saturate at ``max_delay``. Only :class:`OSError`
+    is retried — a full disk that stays full exhausts the budget and the
+    final error propagates unchanged."""
+
+    __slots__ = ("attempts", "base_delay", "max_delay")
+
+    def __init__(self, attempts: int = 4, base_delay: float = 0.001,
+                 max_delay: float = 0.05) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if base_delay < 0 or max_delay < base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+
 
 class StorageManager:
     """Durability engine behind ``connect(path=...)``."""
 
     def __init__(self, path, *, fsync: str = "batch",
-                 checkpoint_every: Optional[int] = 256) -> None:
+                 checkpoint_every: Optional[int] = 256,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.directory = Path(path)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         #: Auto-checkpoint after this many WAL records (None/0 = manual).
         self.checkpoint_every = checkpoint_every or 0
+        self.retry = retry if retry is not None else RetryPolicy()
 
         self.recovered: RecoveredState = recover_state(self.directory)
         self._repair_torn_tail()
@@ -63,17 +95,23 @@ class StorageManager:
         self._records_since_ckpt = self.recovered.replayed_records
         self._ckpt_thread: Optional[threading.Thread] = None
         self._ckpt_error: Optional[BaseException] = None
+        #: A failed checkpoint leaves this set so the next rotation retries
+        #: as soon as one more record lands (degraded, not dead).
+        self._ckpt_retry = False
 
         self._store: Optional[bulkload.SQLiteStore] = None
         self._closed = False
+        self._close_lock = threading.Lock()
 
         self._stats = {
             "wal_appends": 0,
             "wal_bytes": 0,
             "checkpoints": 0,
+            "checkpoint_errors": 0,
             "recoveries": 1 if self.recovered.found_existing else 0,
             "replayed_records": self.recovered.replayed_records,
             "bulk_rows": 0,
+            "retries": 0,
         }
 
     # -- recovery repair ---------------------------------------------------
@@ -121,13 +159,32 @@ class StorageManager:
                           "rows": [codec.encode_row(r) for r in rows]})
         self._stats["bulk_rows"] += len(rows)
 
+    def _retrying(self, what: str, fn: Callable[[], _T]) -> _T:
+        """Run ``fn`` under the retry policy: transient :class:`OSError`
+        failures back off and retry; the last attempt's error propagates.
+        Every retried attempt bumps the ``retries`` counter."""
+        policy = self.retry
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except OSError:
+                if attempt >= policy.attempts:
+                    raise
+                self._stats["retries"] += 1
+                time.sleep(policy.delay(attempt))
+                attempt += 1
+
     def _append(self, payload: Dict[str, Any]) -> None:
         if self._closed:
             raise StorageClosedError(
                 "write on a closed durable session — reopen with "
                 "connect(path=...)"
             )
-        self._stats["wal_bytes"] += self._writer.append(payload)
+        # Safe to retry: a failed append truncates the segment back to its
+        # committed prefix (WALWriter._repair), so each attempt starts clean.
+        self._stats["wal_bytes"] += self._retrying(
+            "wal append", lambda: self._writer.append(payload))
         self._stats["wal_appends"] += 1
         self._records_since_ckpt += 1
 
@@ -135,9 +192,14 @@ class StorageManager:
 
     @property
     def checkpoint_due(self) -> bool:
+        if self._checkpoint_in_flight():
+            return False
+        if self._ckpt_retry and self._records_since_ckpt >= 1:
+            # Degraded: the last checkpoint failed; retry at the first
+            # opportunity instead of waiting out a full threshold.
+            return True
         return (self.checkpoint_every > 0
-                and self._records_since_ckpt >= self.checkpoint_every
-                and not self._checkpoint_in_flight())
+                and self._records_since_ckpt >= self.checkpoint_every)
 
     def _checkpoint_in_flight(self) -> bool:
         return self._ckpt_thread is not None and self._ckpt_thread.is_alive()
@@ -155,14 +217,26 @@ class StorageManager:
             if not wait:
                 return False
             self.wait_for_checkpoint()
-        self._raise_pending_checkpoint_error()
+        elif wait:
+            # Only the explicit (wait=True) path surfaces an older failure
+            # up front; the auto-rotation path is the *retry* of that
+            # failure and must not throw into an unrelated write call.
+            self._raise_pending_checkpoint_error()
 
-        self._writer.close()
+        try:
+            # Freezing the old segment can hit a (transient or injected)
+            # fsync failure; its records are already flushed to the OS, so
+            # degrade — count it against the checkpoint, keep rotating.
+            self._writer.close()
+        except OSError as exc:
+            self._note_checkpoint_failure(exc)
         through = self._live_index
         self._live_index += 1
-        self._writer = wal.WALWriter(
-            wal.segment_path(self.directory, self._live_index),
-            fsync=self.fsync)
+        self._writer = self._retrying(
+            "wal rotate",
+            lambda: wal.WALWriter(
+                wal.segment_path(self.directory, self._live_index),
+                fsync=self.fsync))
         self._records_since_ckpt = 0
 
         index = self._next_ckpt_index
@@ -185,10 +259,15 @@ class StorageManager:
                           base: List[Tuple[str, Relation]]) -> None:
         try:
             do_fsync = self.fsync != "never"
-            path = ckpt.write_checkpoint(
-                self.directory, index, through_segment=through,
-                sources=sources, base=base, do_fsync=do_fsync)
-            ckpt.set_current(self.directory, path.name, do_fsync=do_fsync)
+            path = self._retrying(
+                "checkpoint write",
+                lambda: ckpt.write_checkpoint(
+                    self.directory, index, through_segment=through,
+                    sources=sources, base=base, do_fsync=do_fsync))
+            self._retrying(
+                "checkpoint publish",
+                lambda: ckpt.set_current(
+                    self.directory, path.name, do_fsync=do_fsync))
             for segment in wal.list_segments(self.directory):
                 if wal.segment_index(segment) <= through:
                     segment.unlink(missing_ok=True)
@@ -196,8 +275,21 @@ class StorageManager:
                 if ckpt.checkpoint_index(old) < index:
                     old.unlink(missing_ok=True)
             self._stats["checkpoints"] += 1
-        except BaseException as exc:  # surfaced at the next storage call
-            self._ckpt_error = exc
+            # Success supersedes any earlier failure: the durable state is
+            # now checkpointed, so nothing remains to warn about at close.
+            self._ckpt_retry = False
+            self._ckpt_error = None
+        except BaseException as exc:  # surfaced via stats and on close/sync
+            self._note_checkpoint_failure(exc)
+
+    def _note_checkpoint_failure(self, exc: BaseException) -> None:
+        """Record a checkpoint failure without interrupting the write path:
+        the WAL keeps accepting records (they still recover by replay), the
+        failure shows in ``statistics()["checkpoint_errors"]`` immediately,
+        close()/sync() re-raise it, and the next rotation retries."""
+        self._ckpt_error = exc
+        self._ckpt_retry = True
+        self._stats["checkpoint_errors"] += 1
 
     def wait_for_checkpoint(self) -> None:
         if self._ckpt_thread is not None:
@@ -223,19 +315,36 @@ class StorageManager:
 
     def sync(self) -> None:
         """Durability barrier: every logged record is fsync'd (policy
-        permitting) when this returns."""
+        permitting) when this returns. Re-raises a pending background
+        checkpoint failure — the barrier is where degraded state must
+        become visible to callers that asked for durability."""
         if not self._closed:
-            self._writer.sync()
+            self._retrying("wal sync", self._writer.sync)
+            self._raise_pending_checkpoint_error()
 
     def close(self) -> None:
-        if self._closed:
-            return
-        if self._checkpoint_in_flight():
-            self._ckpt_thread.join()
-        self._writer.close()
+        """Idempotent and safe under concurrent callers: exactly one
+        caller tears the manager down; the writer and bulk store are
+        always closed *before* any deferred checkpoint failure is
+        re-raised, so a degraded session still releases its resources."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._ckpt_thread
+            self._ckpt_thread = None
+        if thread is not None and thread.is_alive():
+            thread.join()
+        writer_error: Optional[BaseException] = None
+        try:
+            self._writer.close()
+        except OSError as exc:
+            writer_error = exc
         if self._store is not None:
             self._store.close()
-        self._closed = True
+        self._raise_pending_checkpoint_error()
+        if writer_error is not None:
+            raise writer_error
 
     @property
     def closed(self) -> bool:

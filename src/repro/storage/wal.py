@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List
 
+from repro.storage import faults
 from repro.storage.codec import dump_payload, load_payload
 from repro.storage.errors import CodecError, StorageClosedError, StorageError
 
@@ -141,6 +142,8 @@ class WALWriter:
         self.path = path
         self.fsync = fsync
         self._closed = False
+        self._broken = False
+        faults.before_open(path)
         fresh = not path.exists() or path.stat().st_size == 0
         self._file = open(path, "ab")
         if fresh:
@@ -149,19 +152,56 @@ class WALWriter:
         self.bytes_written = self._file.tell()
 
     def append(self, payload_obj: Dict[str, Any]) -> int:
-        """Frame and append one record; returns the bytes written."""
+        """Frame and append one record; returns the bytes written.
+
+        All-or-nothing at the segment level: on any failure (injected or
+        real — ENOSPC, EIO, a torn partial write) the segment is truncated
+        back to its last committed record before the error propagates, so
+        the file never holds a half-frame that a later append would bury.
+        If even the truncate fails the writer marks itself broken and
+        refuses further appends."""
         if self._closed:
             raise StorageClosedError("append on a closed WAL segment")
+        if self._broken:
+            raise StorageError(
+                f"{self.path.name}: WAL segment is broken (a failed append "
+                "could not be rolled back); rotate or reopen the session")
         record = frame_record(dump_payload(payload_obj))
-        self._file.write(record)
-        # Flush to the OS unconditionally: a committed record must survive
-        # *process* death under every policy; only the disk-cache flush
-        # (power-loss durability) is policy-gated.
-        self._file.flush()
-        if self.fsync == "always":
-            os.fsync(self._file.fileno())
+        try:
+            partial = faults.before_write(self.path, len(record))
+            if partial is not None:
+                # Torn write: persist a strict prefix, then fail.
+                self._file.write(record[:len(record) // 2])
+                self._file.flush()
+                faults.raise_partial(partial, self.path)
+            self._file.write(record)
+            # Flush to the OS unconditionally: a committed record must
+            # survive *process* death under every policy; only the
+            # disk-cache flush (power-loss durability) is policy-gated.
+            self._file.flush()
+            if self.fsync == "always":
+                faults.before_fsync(self.path)
+                os.fsync(self._file.fileno())
+        except OSError:
+            self._repair()
+            raise
         self.bytes_written += len(record)
         return len(record)
+
+    def _repair(self) -> None:
+        """Roll a failed append back to the last committed record.
+
+        The file is opened ``"ab"``, so every write lands at EOF and
+        ``bytes_written`` is exactly the committed prefix — truncating to
+        it discards whatever the failed append managed to persist."""
+        try:
+            self._file.flush()
+        except OSError:
+            pass
+        try:
+            self._file.truncate(self.bytes_written)
+        except OSError:
+            self._broken = True
 
     def sync(self) -> None:
         """Durability barrier: flush and (policy permitting) fsync."""
@@ -169,11 +209,17 @@ class WALWriter:
             return
         self._file.flush()
         if self.fsync != "never":
+            faults.before_fsync(self.path)
             os.fsync(self._file.fileno())
 
     def close(self) -> None:
         if self._closed:
             return
-        self.sync()
         self._closed = True
-        self._file.close()
+        try:
+            self._file.flush()
+            if self.fsync != "never":
+                faults.before_fsync(self.path)
+                os.fsync(self._file.fileno())
+        finally:
+            self._file.close()

@@ -162,8 +162,8 @@ class TestStorageStatistics:
     def test_counter_vocabulary_is_stable(self, tmp_path):
         session = connect(path=tmp_path / "db", load_stdlib=False)
         assert sorted(session.storage_statistics()) == [
-            "bulk_rows", "checkpoints", "recoveries", "replayed_records",
-            "wal_appends", "wal_bytes"]
+            "bulk_rows", "checkpoint_errors", "checkpoints", "recoveries",
+            "replayed_records", "retries", "wal_appends", "wal_bytes"]
         session.close()
 
     def test_counters_track_the_write_kinds(self, tmp_path):
