@@ -1,4 +1,4 @@
-"""Record the gated benchmark timings to BENCH_pr9.json.
+"""Record the gated benchmark timings to BENCH_pr10.json.
 
 The perf trajectory: each PR that claims a gated speedup appends a
 machine-readable snapshot (started at PR 4, extended per PR since) so
@@ -47,7 +47,11 @@ gate. Gates recorded:
   generous-but-armed EvalBudget vs. unbudgeted — resource governance is
   an *overhead* gate, so the floor is 0.95x (at most ~5% cost for the
   deadline/row/iteration accounting), with the observed abort latency of
-  a 50 ms deadline riding along as ``extra``.
+  a 50 ms deadline riding along as ``extra``;
+- ``parallel_scaling``          — PR 10: the hub TC at 10x sizes across 4
+  shard worker processes vs. the sequential driver (floor 2.5x, armed
+  only on hosts with ≥4 cores — a 1-CPU container records its honest
+  sub-1x ratio ungated, exactness and engagement still asserted).
 
 The snapshot also carries an ungated ``scaled`` section: one-shot
 timings of the B1/E12/E13 workloads at 10x their benchmark sizes
@@ -260,6 +264,25 @@ def robustness_gate():
                  "abort_bound_ms": 500})
 
 
+def parallel_gate():
+    from bench_concurrency import (PARALLEL_FLOOR, PARALLEL_WORKERS,
+                                   measure_parallel_scaling)
+
+    measured = measure_parallel_scaling()
+    gated = measured["cpus"] >= PARALLEL_WORKERS
+    entry = gate("parallel_scaling", measured["sequential_s"],
+                 measured["parallel_s"], PARALLEL_FLOOR,
+                 {"workers": measured["workers"],
+                  "cpus": measured["cpus"],
+                  "gated": gated,
+                  "parallel_statistics": measured["parallel_statistics"]})
+    if not gated:
+        # Sub-gate hardware: the ratio is recorded for the trajectory but
+        # cannot fail the run (4 shard processes on <4 cores is all IPC).
+        entry["passed"] = True
+    return entry
+
+
 def scaled_timings():
     """Ungated one-shot timings at 10x the benchmark sizes (PR 7)."""
     from bench_apsp import networkx_apsp, rel_apsp
@@ -306,14 +329,15 @@ def main() -> int:
     gates.extend(storage_gates())
     gates.extend(columnar_gates())
     gates.append(robustness_gate())
+    gates.append(parallel_gate())
     snapshot = {
-        "pr": 9,
+        "pr": 10,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "gates": gates,
         "scaled": scaled_timings(),
     }
-    out = Path(__file__).parent.parent / "BENCH_pr9.json"
+    out = Path(__file__).parent.parent / "BENCH_pr10.json"
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     failed = [g["name"] for g in gates if not g["passed"]]
     print(json.dumps(snapshot, indent=2))

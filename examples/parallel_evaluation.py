@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Sharded parallel fixpoint evaluation: workers, statistics, scaling.
+
+The engine is GIL-bound, so CPU-heavy recursive queries gain nothing
+from threads. ``connect(workers=N)`` instead evaluates semi-naive
+fixpoint strata across ``N`` worker *processes*: the frontier is
+hash-partitioned by join key, broadcast once per round through shared
+memory, and each worker derives from its shard against a full replica
+of the stratum totals. The merged result is exact — the differential
+suite pins N shards ≡ one process — and everything ineligible falls
+back to the in-process driver.
+
+Three scenes:
+
+1. *Engagement* — data first, rules after, then the first query
+   materializes the recursive stratum through the parallel driver;
+   ``parallel_statistics()`` shows the shards, rounds, and bytes.
+2. *Exactness* — the same workload, int keys and string keys (string
+   columns cross the process boundary as per-block string tables, never
+   raw interner codes), compared against a sequential twin.
+3. *Scaling* — wall-clock of workers=2 vs. in-process on a hub graph.
+   On a multi-core host the parallel run wins; on a single-core
+   container (like the one this repo grows in) it honestly does not,
+   and the printout says which it measured.
+
+Run:  python examples/parallel_evaluation.py
+"""
+
+import os
+import time
+
+from repro import connect
+
+RULES = """
+    def Reach(x, y) : E(x, y)
+    def Reach(x, y) : exists((z) | E(x, z) and Reach(z, y))
+"""
+
+
+def hub_edges(spokes, hubs):
+    """A dense little world: every spoke feeds every hub, hubs chain."""
+    edges = [(s, spokes + h) for s in range(spokes) for h in range(hubs)]
+    edges += [(spokes + h, spokes + h + 1) for h in range(hubs - 1)]
+    return edges
+
+
+def engagement():
+    session = connect(workers=2, parallel="on", load_stdlib=False)
+    session.define("E", [(i, i + 1) for i in range(400)])  # data first …
+    session.load(RULES)                                    # … rules after
+    rows = session.execute("Reach")                        # shards here
+    stats = session.parallel_statistics()
+    print(f"closure of a 400-chain: {len(rows)} rows")
+    print(f"parallel_statistics():  {stats}")
+    from repro.model.columns import KERNELS_AVAILABLE
+    if KERNELS_AVAILABLE:
+        assert stats.get("parallel_fixpoints", 0) >= 1
+    else:
+        # Without the columnar kernels the driver deliberately falls
+        # back in-process; the result above is still exact.
+        assert stats.get("fallbacks", 0) >= 1
+
+
+def exactness():
+    for label, make in (("int keys", lambda i: i),
+                        ("str keys", lambda i: f"node-{i}")):
+        par = connect(workers=2, parallel="on", load_stdlib=False)
+        seq = connect(load_stdlib=False)
+        edges = [(make(i), make(i + 1)) for i in range(200)]
+        for s in (par, seq):
+            s.define("E", edges)
+            s.load(RULES)
+        assert set(par.execute("Reach")) == set(seq.execute("Reach"))
+        print(f"{label}: workers=2 ≡ in-process "
+              f"({len(par.execute('Reach'))} rows)")
+
+
+def scaling():
+    edges = hub_edges(spokes=120, hubs=40)
+
+    def closure_seconds(workers):
+        session = connect(workers=workers,
+                          parallel="on" if workers else "off",
+                          load_stdlib=False)
+        session.define("E", edges)
+        session.load(RULES)
+        started = time.perf_counter()
+        rows = session.execute("Reach")
+        return time.perf_counter() - started, len(rows)
+
+    seq_s, n = closure_seconds(0)
+    par_s, n2 = closure_seconds(2)
+    assert n == n2
+    cores = os.cpu_count() or 1
+    print(f"hub closure ({n} rows) on {cores} core(s): "
+          f"in-process {seq_s * 1000:.0f} ms, "
+          f"workers=2 {par_s * 1000:.0f} ms "
+          f"({seq_s / par_s:.2f}x)")
+    if cores < 2:
+        print("single-core host: the parallel run pays IPC for no "
+              "extra compute — expected to lose here, wins at ≥2 cores")
+
+
+def main():
+    print("-- engagement & statistics --")
+    engagement()
+    print()
+    print("-- N shards ≡ one process --")
+    exactness()
+    print()
+    print("-- scaling measurement --")
+    scaling()
+    print()
+    print("Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,7 @@ _SCALARS = (bool, int, float, str)
 _JOIN_STRATEGIES = ("auto", "leapfrog", "binary", "off")
 _MAINTENANCE_MODES = ("auto", "delta", "recompute")
 _COLUMNAR_MODES = ("auto", "on", "off")
+_PARALLEL_MODES = ("auto", "on", "off")
 
 
 def _check_join_strategy(value: str) -> str:
@@ -88,6 +89,22 @@ def _check_columnar(value: str) -> str:
             f"unknown columnar mode {value!r}; expected one of "
             + ", ".join(repr(s) for s in _COLUMNAR_MODES)
         )
+    return value
+
+
+def _check_parallel(value: str) -> str:
+    if value not in _PARALLEL_MODES:
+        raise ValueError(
+            f"unknown parallel mode {value!r}; expected one of "
+            + ", ".join(repr(s) for s in _PARALLEL_MODES)
+        )
+    return value
+
+
+def _check_workers(value: int) -> int:
+    if type(value) is not int or value < 0:
+        raise ValueError(
+            f"workers must be a non-negative integer, got {value!r}")
     return value
 
 
@@ -306,6 +323,9 @@ class Snapshot:
     def columnar_statistics(self) -> Dict[str, int]:
         return self.program.columnar_statistics()
 
+    def parallel_statistics(self) -> Dict[str, int]:
+        return self.program.parallel_statistics()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Snapshot(version={self.version}, "
                 f"{len(self.program.base_relations)} base relations)")
@@ -329,6 +349,8 @@ class Session:
                  join_strategy: Optional[str] = None,
                  maintenance: Optional[str] = None,
                  columnar: Optional[str] = None,
+                 parallel: Optional[str] = None,
+                 workers: Optional[int] = None,
                  threads: Optional[int] = None,
                  queue_limit: Optional[int] = None,
                  admission: str = "block",
@@ -394,6 +416,10 @@ class Session:
             options.maintenance = _check_maintenance(maintenance)
         if columnar is not None:
             options.columnar = _check_columnar(columnar)
+        if parallel is not None:
+            options.parallel = _check_parallel(parallel)
+        if workers is not None:
+            options.workers = _check_workers(workers)
         self.program = RelProgram(
             database=self.database.as_mapping(),
             load_stdlib=load_stdlib,
@@ -984,6 +1010,45 @@ class Session:
         vectorized."""
         return self.program.columnar_statistics()
 
+    @property
+    def parallel(self) -> str:
+        """The sharded-parallel-evaluation knob: "auto" (SN-eligible
+        recursive strata whose round-0 totals reach ``parallel_min_rows``
+        run across the worker pool), "on" (force the attempt regardless
+        of size), or "off" (never leave the process). Does nothing until
+        :attr:`workers` is at least 2. Results are identical in all
+        modes — ineligible or unshippable strata always fall back
+        in-process (see :meth:`parallel_statistics`)."""
+        return self.program.options.parallel
+
+    @parallel.setter
+    def parallel(self, value: str) -> None:
+        value = _check_parallel(value)
+        with self._lock:
+            self.program.options.parallel = value
+
+    @property
+    def workers(self) -> int:
+        """Size of the shard worker pool used by parallel fixpoint
+        evaluation; 0 or 1 keeps everything in-process. The pool itself
+        is process-global and shared across sessions (spawned lazily on
+        the first parallel fixpoint)."""
+        return self.program.options.workers
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        value = _check_workers(value)
+        with self._lock:
+            self.program.options.workers = value
+
+    def parallel_statistics(self) -> Dict[str, int]:
+        """Parallel-fixpoint explain counters: "parallel_fixpoints",
+        "shards", "rounds", "exchanged_rows", "shipped_bytes",
+        "fallbacks", and "below_min_rows" — the observability hook for
+        checking whether a recursive workload actually ran sharded, and
+        why it fell back in-process when it did not."""
+        return self.program.parallel_statistics()
+
     def maintenance_statistics(self) -> Dict[str, int]:
         """Per-event maintenance counters ("maintained_strata",
         "recomputed_strata", "overdeleted_tuples", "rederived_tuples",
@@ -1024,7 +1089,12 @@ def connect(database: Optional[Union[Database, Mapping[str, Relation]]] = None,
     session); ``schema`` is Rel source (rules and integrity constraints)
     loaded at connect time. ``threads=N`` sizes the session's
     :attr:`Session.server` thread pool for concurrent serving (see
-    :mod:`repro.server`); ``queue_limit=N`` bounds its write queue and
+    :mod:`repro.server`); ``workers=N`` (with ``parallel="auto"|"on"``)
+    enables sharded parallel fixpoint evaluation across N spawned
+    processes for large recursive strata (see
+    :mod:`repro.engine.parallel` and
+    :meth:`Session.parallel_statistics`); ``queue_limit=N`` bounds its
+    write queue and
     ``admission`` picks the backpressure policy when the queue is full
     (``"block"`` / ``"reject"`` / ``"timeout"`` with
     ``admission_timeout`` seconds). Per-query resource governance comes

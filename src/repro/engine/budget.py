@@ -16,6 +16,15 @@ single thread-local read. Iteration boundaries (:func:`count_iteration`)
 always check the clock — fixpoint rounds are the natural cancellation
 points of a runaway recursive query.
 
+Amortization is wrong at *vectorized* boundaries: one columnar kernel
+call can stand in for millions of row-level operations, so counting it
+as a single tick lets a deadline overshoot by whole kernel invocations
+(observed as multiples of a 0.1s deadline at 10x scale). Boundaries
+that amortize work — a kernel dispatch, a scheduled conjunct, a
+parallel exchange barrier — must use :func:`checkpoint`, which consults
+the clock unconditionally; its cost is one clock read against a kernel
+call that dwarfs it.
+
 Exceeding a budget raises the typed errors from
 :mod:`repro.engine.errors`:
 
@@ -47,6 +56,7 @@ __all__ = [
     "active_budget",
     "scoped",
     "tick",
+    "checkpoint",
     "count_rows",
     "count_iteration",
 ]
@@ -226,6 +236,19 @@ def tick(n: int = 1) -> None:
     budget = getattr(_local, "budget", None)
     if budget is not None:
         budget.tick(n)
+
+
+def checkpoint() -> None:
+    """Unamortized check against the active budget, if any.
+
+    For boundaries where one call amortizes arbitrary work — vectorized
+    kernel dispatches, scheduled conjuncts, worker exchange barriers —
+    so the abort latency is bounded by a single kernel call rather than
+    ``check_interval`` of them.
+    """
+    budget = getattr(_local, "budget", None)
+    if budget is not None:
+        budget.check()
 
 
 def count_rows(n: int) -> None:

@@ -1,0 +1,214 @@
+"""Columnar block exchange for the sharded parallel fixpoint.
+
+This module is the data plane under :mod:`repro.engine.parallel`: it
+serializes typed relations into flat byte blocks that can cross a process
+boundary (through shared memory or a queue), hash-partitions frontier
+rows by join key, and decodes blocks back into columnar-native relations
+on the other side.
+
+The encoding mirrors the PR-8 checkpoint codec's interned-block format,
+binary instead of JSON: numeric columns ship as raw vector bytes, and
+``str`` columns ship a per-block string table (the distinct strings, in
+parent-code order) plus rank-compressed int64 codes. The receiver
+re-interns the table against *its own* process-wide dictionary and remaps
+the ranks — interner codes are process-local and never cross a boundary
+in either direction, which is what makes the worker pool safe to share
+between sessions whose interners have diverged.
+
+Shard assignment is likewise computed once, by the sender, and shipped as
+a vector alongside the block. Workers must agree exactly on which rows
+belong to whom; hashing locally would make that agreement depend on each
+process's interning order for string keys, so the sender's assignment is
+the single source of truth.
+
+Everything here degrades: a relation whose rows are plain scalars but not
+columnar-typeable (mixed arity, booleans-only, arity 0) ships as pickled
+row tuples; a relation holding symbols, entities, or nested relations is
+unshippable and :func:`encode_relation` returns ``None`` — the parallel
+driver treats that as an eligibility failure and falls back in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.model import columns as _columns
+from repro.model.relation import EMPTY, Relation
+
+try:  # pragma: no cover - exercised implicitly when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
+
+#: Relations below this many rows ship as pickled tuples: the codec
+#: round-trip only pays for itself on vectors long enough to amortize it.
+INLINE_ROWS = 64
+
+#: Scalar types that may cross the process boundary as plain rows.
+_PLAIN = (bool, int, float, str)
+
+#: Multiplier for the shard hash (Fibonacci hashing): consecutive join
+#: keys — the common case for generated graph data — spread across shards
+#: instead of landing in runs.
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+# ---------------------------------------------------------------------------
+# Column blocks
+# ---------------------------------------------------------------------------
+
+
+def encode_columns(cols: Any) -> Tuple[Dict[str, Any], bytes]:
+    """Flatten a :class:`~repro.model.columns.ColumnSet` into
+    ``(meta, payload)``.
+
+    ``meta`` is a small picklable dict (tags, dtypes, byte spans, and the
+    per-column string tables); ``payload`` is the concatenated raw vector
+    bytes. ``str`` columns are rank-compressed: the payload holds indexes
+    into the block's own string table, never process-local interner codes.
+    """
+    metas: List[Dict[str, Any]] = []
+    chunks: List[bytes] = []
+    offset = 0
+    for tag, arr in zip(cols.tags, cols.arrays):
+        if tag == "str":
+            distinct = _np.unique(arr)
+            strings = [_columns.decode_string(int(c)) for c in distinct]
+            data = _np.searchsorted(distinct, arr).astype(_np.int64,
+                                                          copy=False)
+            meta: Dict[str, Any] = {"tag": tag, "dtype": "int64",
+                                    "strings": strings}
+        else:
+            data = arr
+            meta = {"tag": tag, "dtype": str(arr.dtype)}
+        raw = data.tobytes()
+        meta["span"] = (offset, len(raw))
+        offset += len(raw)
+        metas.append(meta)
+        chunks.append(raw)
+    return {"length": cols.length, "columns": metas}, b"".join(chunks)
+
+
+def decode_columns(meta: Dict[str, Any], payload: bytes) -> Any:
+    """Rebuild a :class:`ColumnSet` from :func:`encode_columns` output.
+
+    String columns re-intern their block table into this process's
+    dictionary and remap the shipped ranks onto the local codes (the
+    inverse of the encoder's rank compression). Numeric vectors are
+    copied out of ``payload`` so the caller may release the backing
+    buffer (a shared-memory segment) immediately after decoding.
+    """
+    tags: List[str] = []
+    arrays: List[Any] = []
+    for col in meta["columns"]:
+        offset, nbytes = col["span"]
+        dtype = _np.dtype(col["dtype"])
+        raw = _np.frombuffer(payload, dtype=dtype,
+                             count=nbytes // dtype.itemsize, offset=offset)
+        if col["tag"] == "str":
+            local = _np.asarray(_columns._encode_strings(col["strings"]),
+                                dtype=_np.int64)
+            arrays.append(local[raw])
+        else:
+            arrays.append(raw.copy())
+        tags.append(col["tag"])
+    return _columns.ColumnSet(tuple(tags), tuple(arrays), meta["length"])
+
+
+# ---------------------------------------------------------------------------
+# Relation blocks
+# ---------------------------------------------------------------------------
+
+
+def encode_relation(rel: Relation) -> Optional[Tuple[str, Any, bytes]]:
+    """One relation as a ``(kind, meta, payload)`` block, or ``None`` when
+    it cannot cross a process boundary.
+
+    Kinds: ``"empty"`` (no payload), ``"rows"`` (pickled plain-scalar
+    tuples in ``meta``; small or untypeable relations), ``"cols"`` (the
+    columnar block above). The block is self-contained — decoding needs
+    no access to the sending process.
+    """
+    if not rel:
+        return ("empty", None, b"")
+    cols = rel.columns() if _np is not None else None
+    if cols is not None and len(cols) >= INLINE_ROWS:
+        meta, payload = encode_columns(cols)
+        return ("cols", meta, payload)
+    rows = list(rel.rows())
+    if all(type(v) in _PLAIN for t in rows for v in t):
+        return ("rows", rows, b"")
+    if cols is not None:
+        meta, payload = encode_columns(cols)
+        return ("cols", meta, payload)
+    return None
+
+
+def decode_relation(kind: str, meta: Any, payload: bytes) -> Relation:
+    if kind == "empty":
+        return EMPTY
+    if kind == "rows":
+        return Relation._from_rows(tuple(t) for t in meta)
+    return Relation.from_columns(decode_columns(meta, payload))
+
+
+def block_nbytes(kind: str, meta: Any, payload: bytes) -> int:
+    """Approximate wire size of a block (the ``shipped_bytes`` counter)."""
+    if kind == "rows":
+        return sum(24 + 8 * len(t) for t in meta)
+    return len(payload)
+
+
+# ---------------------------------------------------------------------------
+# Shard assignment (hash partitioning by join key)
+# ---------------------------------------------------------------------------
+
+
+def shard_ids(rel: Relation, n_shards: int) -> List[int]:
+    """Assign every row of ``rel`` to one of ``n_shards`` by hashing its
+    first column (the join key).
+
+    Computed by the *sender* and shipped with the block: the assignment
+    must be identical for every consumer, and any locally-computed hash
+    over string keys would depend on the consumer's interning order.
+    Falls back to round-robin for untypeable relations — correctness of
+    the replica-based parallel fixpoint only needs a partition, not any
+    particular one.
+    """
+    cols = rel.columns() if _np is not None else None
+    if cols is None or cols.arity == 0:
+        return [i % n_shards for i in range(len(rel))]
+    arr = cols.arrays[0]
+    if arr.dtype.kind == "f":
+        bits = arr.view(_np.int64)
+    else:
+        bits = arr.astype(_np.int64, copy=False)
+    with _np.errstate(over="ignore"):
+        mixed = bits.astype(_np.uint64) * _np.uint64(_HASH_MULT)
+        out = (mixed >> _np.uint64(33)) % _np.uint64(n_shards)
+    return out.astype(_np.int64).tolist()
+
+
+def select_shard(rel: Relation, ids: Sequence[int], shard: int) -> Relation:
+    """The sub-relation of ``rel`` whose rows are assigned to ``shard``.
+
+    Row order matches the relation's storage order (the order
+    :func:`shard_ids` hashed), so every consumer slices consistently.
+    Vectorized when the relation is column-backed; the empty shard is
+    :data:`EMPTY` — a legal frontier that simply derives nothing.
+    """
+    if len(ids) != len(rel):
+        raise ValueError("shard assignment does not cover the relation")
+    cols = rel.columns() if _np is not None else None
+    if cols is not None:
+        mask = _np.asarray(ids, dtype=_np.int64) == shard
+        n = int(mask.sum())
+        if n == 0:
+            return EMPTY
+        if n == cols.length:
+            return rel
+        return Relation.from_columns(_columns.ColumnSet(
+            cols.tags, tuple(arr[mask] for arr in cols.arrays), n))
+    rows = list(rel.rows())
+    return Relation._from_rows(
+        row for row, sid in zip(rows, ids) if sid == shard)

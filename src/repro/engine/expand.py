@@ -132,12 +132,27 @@ def _count_columnar(ctx, event: str) -> None:
         state.count_columnar(event)
 
 
+def _budget_checkpoint() -> None:
+    """Unamortized budget check at a work-amortizing boundary.
+
+    One vectorized kernel dispatch (or one scheduled conjunct replaying a
+    multiway join) can stand in for millions of row operations, so the
+    amortized tick in :func:`expand` — one clock read per 256 node
+    expansions — lets deadlines overshoot by whole kernel calls. These
+    boundaries check the clock every time; the clock read is noise next
+    to the kernel it brackets."""
+    budget = getattr(_budget_local, "budget", None)
+    if budget is not None:
+        budget.check()
+
+
 def _dedupe(table: Table, ctx) -> Table:
     """:meth:`Table.dedupe` routed through the columnar kernel when the
     knob and input size allow — the result is identical either way."""
     if table.distinct:
         return table
     if len(table) and _kernel_wanted(_columnar_mode(ctx), len(table), ctx):
+        _budget_checkpoint()
         result = dedupe_table(table)
         if result is not None:
             _count_columnar(ctx, "dedupe")
@@ -153,6 +168,7 @@ def _project(table: Table, keep: Sequence[str], ctx) -> Table:
     must reach :func:`project_table` unmaterialized for the vectorized
     fast path to pay off."""
     if len(table) and _kernel_wanted(_columnar_mode(ctx), len(table), ctx):
+        _budget_checkpoint()
         result = project_table(table, keep)
         if result is not None:
             _count_columnar(ctx, "project")
@@ -165,6 +181,7 @@ def _union(tables: List[Table], cols: Tuple[str, ...], ctx) -> Table:
     """:func:`union_tables` routed through the columnar kernel."""
     total = sum(len(t) for t in tables)
     if total and _kernel_wanted(_columnar_mode(ctx), total, ctx):
+        _budget_checkpoint()
         result = union_tables_typed(tables, cols)
         if result is not None:
             _count_columnar(ctx, "union")
@@ -429,6 +446,7 @@ def _schedule(
         table, pending, multiway_rec = _schedule_multiway(pending, table,
                                                           frame, ctx)
     while pending:
+        _budget_checkpoint()
         scheduled = None
         bound = set(table.cols)
         for i, (orig, slot, n) in enumerate(pending):
@@ -490,6 +508,7 @@ def _execute_plan(plan, items, table: Table, frame: Frame, ctx) -> Optional[Tabl
             table = attached
         slot_cols: Dict[int, str] = {}
         for orig in plan.order:
+            _budget_checkpoint()
             slot, n = items[orig]
             expanded = expand(n, table, frame, ctx)
             table = _dedupe(_absorb_conjunct(expanded, slot, slot_cols, ctx),
@@ -2671,6 +2690,10 @@ def _charge_rows(rel: Relation) -> Relation:
         n = len(rel)
         if n:
             budget.count_rows(n)
+        # A columnar-native emission is one kernel-sized unit of work;
+        # check the clock unconditionally so deadlines bound the abort
+        # latency by a single rule evaluation, not check_interval of them.
+        budget.check()
     return rel
 
 

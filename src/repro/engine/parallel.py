@@ -1,0 +1,647 @@
+"""Sharded parallel fixpoint evaluation across processes.
+
+The engine is GIL-bound: threads buy nothing on CPU-heavy fixpoints
+(BENCH_pr5 measured a pure-CPU thread ratio of 0.94). This module runs
+semi-naive iteration across a pool of ``multiprocessing`` workers
+instead, exploiting the observation that a delta-variant rule body is
+*linear* in its redirected ``__delta__`` occurrence: for any partition
+of the frontier, the union of the rows derived from each part equals the
+rows derived from the whole. SN-eligible strata guarantee exactly the
+positivity that makes this hold (no negation/aggregation over the
+recursive names), so the sequential driver's own eligibility test is the
+parallel soundness condition.
+
+The protocol is bulk-synchronous, built on full *total replicas*:
+
+- **setup** (once per fixpoint): the parent ships the round-0 totals,
+  every static upstream extent the variant rules mention, and the
+  pickled delta-variant rules. Each worker builds a minimal
+  :class:`RelProgram` with no rules and installs everything as extents.
+- **iterate** (per round): the parent broadcasts the *global* frontier
+  once — one shared-memory block, written once, attached by every
+  worker — together with a sender-computed shard-assignment vector
+  (see :mod:`repro.engine.exchange` for why the sender must assign).
+  Each worker unions the frontier into its total replica, installs its
+  own shard as the ``__delta__`` extent, evaluates the variant rules,
+  and returns ``derived - replica`` — globally valid because the
+  replicas are complete.
+- **merge**: the parent unions the worker results (the factorize-based
+  set kernels dedupe across shards), differences against its own total,
+  and the result is the next frontier. When it is empty the fixpoint
+  has converged and the workers are torn down.
+
+Everything falls back to the in-process driver — before the first round
+(ineligible strata, unshippable extents, sub-``parallel_min_rows``
+inputs) or between rounds (a frontier that stops being shippable), in
+which case the sequential loop resumes from the exact (total, delta)
+state the parallel rounds produced. Fallbacks are observable via
+``parallel_statistics()["fallbacks"]``.
+
+Budget/cancel propagation (PR 9 semantics with ``workers>1``): the
+parent polls its thread-local :class:`EvalBudget` while waiting at each
+exchange barrier; on a deadline, row-cap, or cross-thread ``cancel()``
+it sets a shared ``multiprocessing`` event that every worker's
+:class:`WorkerBudget` checks at tick boundaries, then resynchronizes the
+pool and re-raises — so ``QueryServer.cancel(future)`` aborts a parallel
+evaluation with the same discard-partial-extents consistency as a
+single-process one.
+
+The pool uses the ``spawn`` start method exclusively. ``fork`` would
+inherit the interner lock and the storage checkpoint thread in whatever
+state the parent happened to be in (see the ``register_at_fork`` guards
+in :mod:`repro.model.columns` and :mod:`repro.storage.manager` for the
+processes users fork themselves); spawned children import a fresh
+interpreter and share nothing but the queues.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine import budget as _budget
+from repro.engine import exchange as _exchange
+from repro.engine.budget import EvalBudget
+from repro.engine.errors import QueryBudgetError
+from repro.model import columns as _columns
+from repro.model.relation import EMPTY, Relation
+
+try:  # pragma: no cover - the container bakes numpy in
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+try:  # pragma: no cover - the container bakes numpy in
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+#: Default engagement floor for ``parallel="auto"``: below this many
+#: frontier+total rows the per-round exchange costs more than the GIL.
+PARALLEL_MIN_ROWS = 4096
+
+#: How long the parent sleeps per poll slice while waiting at an
+#: exchange barrier. Bounds the latency of relaying a cancel/deadline
+#: from the evaluating thread to the shared worker flag.
+_BARRIER_POLL_S = 0.02
+
+#: Hard ceiling on waiting for one worker reply before concluding the
+#: pool is wedged (a worker died mid-round) and failing over in-process.
+_WORKER_TIMEOUT_S = 120.0
+
+
+class WorkerBudget(EvalBudget):
+    """The budget installed in a shard worker's evaluation thread.
+
+    Workers have no deadline of their own — the parent enforces
+    wall-clock and row budgets at the exchange barrier. What a worker
+    must honor is the shared cancellation flag, checked here at every
+    (amortized and unamortized) tick boundary, so a parent-side abort
+    stops in-flight kernels within one check interval.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Any) -> None:
+        super().__init__()
+        self._event = event
+
+    def check(self) -> None:
+        if self._event is not None and self._event.is_set():
+            self.cancel()
+        super().check()
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _decode_block(block: Tuple[str, Any, bytes]) -> Relation:
+    return _exchange.decode_relation(*block)
+
+
+def _worker_setup(states: Dict[str, Any], payload: Dict[str, Any]) -> None:
+    # Imported lazily: RelProgram -> expand -> this module would otherwise
+    # be a cycle at import time.
+    from repro.engine.program import EngineOptions, RelProgram
+    from repro.engine.runtime import Env
+
+    options = EngineOptions(**payload["options"])
+    program = RelProgram(load_stdlib=False, options=options)
+    ctx = program._context()
+    state = ctx.state
+    for name, block in payload["extents"].items():
+        state.extents[name] = _decode_block(block)
+        state.bump_name(name)
+    totals = {}
+    for name, block in payload["totals"].items():
+        totals[name] = _decode_block(block)
+        state.extents[name] = totals[name]
+        state.bump_name(name)
+    states[payload["key"]] = {
+        "ctx": ctx,
+        "env": Env.EMPTY,
+        "names": payload["names"],
+        "variants": payload["variants"],
+        "totals": totals,
+    }
+
+
+def _worker_iterate(entry: Dict[str, Any], worker_id: int,
+                    frontier: Dict[str, Any], payload: bytes,
+                    event: Any) -> Tuple[str, Any]:
+    from repro.engine.expand import eval_rule_relation
+
+    ctx = entry["ctx"]
+    state = ctx.state
+    totals = entry["totals"]
+    for name in entry["names"]:
+        kind, meta, span, shard_span = frontier[name]
+        delta = _exchange.decode_relation(kind, meta,
+                                          payload[span[0]:span[0] + span[1]])
+        shards = _np.frombuffer(
+            payload[shard_span[0]:shard_span[0] + shard_span[1]],
+            dtype=_np.int8)
+        totals[name] = totals[name].union(delta)
+        state.extents[name] = totals[name]
+        state.bump_name(name)
+        shard = _exchange.select_shard(delta, shards, worker_id)
+        state.extents["__delta__" + name] = shard
+        state.bump_name("__delta__" + name)
+    derived: Dict[str, Any] = {}
+    with _budget.scoped(WorkerBudget(event)):
+        for name in entry["names"]:
+            acc = EMPTY
+            for rule in entry["variants"][name]:
+                acc = acc.union(eval_rule_relation(rule, entry["env"], ctx))
+            fresh = acc.difference(totals[name])
+            block = _exchange.encode_relation(fresh)
+            if block is None:
+                return ("untypeable", name)
+            derived[name] = block
+    return ("ok", derived)
+
+
+def _worker_main(worker_id: int, task_queue: Any, result_queue: Any,
+                 cancel_event: Any) -> None:
+    """Entry point of one spawned shard worker (runs until "exit")."""
+    states: Dict[str, Any] = {}
+    while True:
+        task = task_queue.get()
+        op = task[0]
+        if op == "exit":
+            return
+        if op == "sync":
+            # Barrier token: everything sent before it has been processed
+            # and every reply flushed by the time the ack goes out.
+            result_queue.put(("sync", worker_id, task[1]))
+            continue
+        if op == "teardown":
+            states.pop(task[1], None)
+            continue
+        key = task[1]
+        try:
+            if op == "setup":
+                _worker_setup(states, task[2])
+                result_queue.put(("setup", worker_id, key, "ok", None))
+            elif op == "iterate":
+                round_no, frontier, transport = task[2], task[3], task[4]
+                payload = _attach_payload(transport)
+                status, body = _worker_iterate(states[key], worker_id,
+                                               frontier, payload,
+                                               cancel_event)
+                result_queue.put(("iterate", worker_id, (key, round_no),
+                                  status, body))
+        except QueryBudgetError:
+            result_queue.put((op, worker_id,
+                              key if op == "setup" else (key, task[2]),
+                              "aborted", None))
+        except BaseException as exc:  # surface, never kill the worker loop
+            result_queue.put((op, worker_id,
+                              key if op == "setup" else (key, task[2]),
+                              "error", repr(exc)))
+
+
+def _attach_payload(transport: Tuple[str, Any]) -> bytes:
+    """Materialize a broadcast payload in the worker: either inline bytes
+    or a copy out of the named shared-memory segment."""
+    kind, ref = transport
+    if kind == "inline":
+        return ref
+    # Python <=3.12 registers *attached* (not just created) segments with
+    # the resource tracker, which (a) would unlink a segment the parent
+    # still owns when this worker exits and (b) shares one tracker cache
+    # across all spawned workers, so a later unregister from a sibling
+    # that attached the same block raises in the tracker process.
+    # Suppress the attach-side registration instead of unregistering
+    # after the fact.
+    from multiprocessing import resource_tracker
+    orig_register = resource_tracker.register
+    resource_tracker.register = (
+        lambda name, rtype: None if rtype == "shared_memory"
+        else orig_register(name, rtype))
+    try:
+        seg = _shm.SharedMemory(name=ref)
+    finally:
+        resource_tracker.register = orig_register
+    try:
+        return bytes(seg.buf)
+    finally:
+        seg.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker pool (module-global, spawn-only, shared across sessions)
+# ---------------------------------------------------------------------------
+
+
+class _WorkerPool:
+    def __init__(self, size: int) -> None:
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        self.size = size
+        self.cancel_event = ctx.Event()
+        self.result_queue = ctx.Queue()
+        self.task_queues = [ctx.Queue() for _ in range(size)]
+        self.workers = []
+        for i in range(size):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(i, self.task_queues[i], self.result_queue,
+                      self.cancel_event),
+                daemon=True,
+                name=f"repro-shard-{i}",
+            )
+            proc.start()
+            self.workers.append(proc)
+
+    def alive(self) -> bool:
+        return all(p.is_alive() for p in self.workers)
+
+    def broadcast(self, task: Tuple[Any, ...]) -> None:
+        for q in self.task_queues:
+            q.put(task)
+
+    def shutdown(self) -> None:
+        for q in self.task_queues:
+            try:
+                q.put(("exit",))
+            except Exception:
+                pass
+        for p in self.workers:
+            p.join(timeout=5.0)
+            if p.is_alive():
+                p.terminate()
+
+
+_pool: Optional[_WorkerPool] = None
+_pool_lock = threading.Lock()
+#: Serializes parallel fixpoints: the pool's result queue is shared, so
+#: two evaluating threads (e.g. concurrent snapshot reads) must not
+#: interleave rounds. Parallelism lives *inside* a fixpoint.
+_run_lock = threading.Lock()
+_run_counter = itertools.count()
+_shm_broken = False
+
+
+def _get_pool(size: int) -> Optional[_WorkerPool]:
+    """The shared pool, (re)built at exactly ``size`` workers.
+
+    Exact-size rebuilds keep the shard count equal to ``workers=N`` —
+    predictable statistics and partitioning at the cost of a pool restart
+    when sessions with different worker counts interleave (rare in
+    practice; each session usually pins one configuration)."""
+    global _pool
+    with _pool_lock:
+        if _pool is not None and (not _pool.alive() or _pool.size != size):
+            _pool.shutdown()
+            _pool = None
+        if _pool is None:
+            try:
+                _pool = _WorkerPool(size)
+            except Exception:
+                return None
+        return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (atexit, and available to tests)."""
+    global _pool
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown()
+            _pool = None
+
+
+atexit.register(shutdown_pool)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side driver
+# ---------------------------------------------------------------------------
+
+
+def _shippable_options(options: Any) -> Dict[str, Any]:
+    """The subset of EngineOptions a worker evaluates under. Parallelism
+    itself is forced off (no recursive pools), and maintenance never runs
+    in a worker."""
+    return {
+        "join_strategy": options.join_strategy,
+        "leapfrog_min_rows": options.leapfrog_min_rows,
+        "plan_cache": options.plan_cache,
+        "columnar": options.columnar,
+        "columnar_min_rows": options.columnar_min_rows,
+        "parallel": "off",
+        "workers": 0,
+    }
+
+
+def _plan_shipment(program: Any, names: List[str],
+                   variants: Dict[str, List[Any]],
+                   ctx: Any) -> Optional[Dict[str, Any]]:
+    """Resolve and encode everything a worker needs, or ``None`` when the
+    stratum cannot be shipped (unresolvable/closure references,
+    unshippable extents, unpicklable rules)."""
+    upstream: Dict[str, Any] = {}
+    recursive = set(names)
+    for name in names:
+        for rule in variants[name]:
+            for ref in rule.free:
+                if ref in recursive or ref.startswith("__delta__") \
+                        or ref in upstream:
+                    continue
+                try:
+                    kind, payload = ctx.resolve_kind(ref)
+                except Exception:
+                    return None
+                if kind == "builtin":
+                    continue
+                if kind != "extent":
+                    return None  # closure/unknown: worker cannot resolve it
+                if payload is None:
+                    _, payload = ctx.resolve(ref)
+                block = _exchange.encode_relation(payload)
+                if block is None:
+                    return None
+                upstream[ref] = block
+    try:
+        rules = pickle.dumps({n: variants[n] for n in names})
+    except Exception:
+        return None
+    return {"extents": upstream, "rules": rules}
+
+
+def _broadcast_payload(pool: _WorkerPool,
+                       chunks: List[bytes]) -> Tuple[Tuple[str, Any], Any]:
+    """One frontier payload for all workers: a shared-memory segment when
+    available (written once, attached N times), inline bytes otherwise.
+    Returns ``(transport, segment-or-None)``; the caller unlinks the
+    segment after the barrier."""
+    global _shm_broken
+    blob = b"".join(chunks)
+    if _shm is not None and not _shm_broken and blob:
+        try:
+            seg = _shm.SharedMemory(create=True, size=len(blob))
+            seg.buf[: len(blob)] = blob
+            return ("shm", seg.name), seg
+        except Exception:
+            _shm_broken = True
+    return ("inline", blob), None
+
+
+def _release_segment(seg: Any) -> None:
+    if seg is not None:
+        try:
+            seg.close()
+            seg.unlink()
+        except Exception:
+            pass
+
+
+class _PoolDesync(Exception):
+    """A worker died or timed out mid-protocol: the pool state is unknown
+    and must be rebuilt before the next parallel fixpoint."""
+
+
+def _collect(pool: _WorkerPool, op: str, tag: Any,
+             budget: Any) -> List[Any]:
+    """Exchange barrier: one matching reply per worker, polling the
+    evaluating thread's budget between slices (satellite: deadline ticks
+    at worker exchange barriers). On a budget abort the shared cancel
+    flag is raised before the exception propagates."""
+    import queue as _queue
+
+    replies: List[Any] = []
+    waited = 0.0
+    while len(replies) < pool.size:
+        if budget is not None:
+            try:
+                budget.check()
+            except QueryBudgetError:
+                pool.cancel_event.set()
+                raise
+        try:
+            msg = pool.result_queue.get(timeout=_BARRIER_POLL_S)
+        except _queue.Empty:
+            waited += _BARRIER_POLL_S
+            if waited > _WORKER_TIMEOUT_S or not pool.alive():
+                raise _PoolDesync(f"worker pool wedged during {op}")
+            continue
+        if msg[0] == op and msg[2] == tag:
+            replies.append(msg)
+        # Stale replies (an aborted previous round) are dropped here.
+    return replies
+
+
+def _resync(pool: _WorkerPool, key: str) -> None:
+    """Quiesce the pool after an abort or fallback: tear down the run's
+    worker state, then drain the result queue up to a sync token so no
+    stale reply can match a future round."""
+    import queue as _queue
+
+    try:
+        pool.broadcast(("teardown", key))
+        token = f"{key}:sync"
+        pool.broadcast(("sync", token))
+        seen = 0
+        waited = 0.0
+        while seen < pool.size:
+            try:
+                msg = pool.result_queue.get(timeout=_BARRIER_POLL_S)
+            except _queue.Empty:
+                waited += _BARRIER_POLL_S
+                if waited > _WORKER_TIMEOUT_S or not pool.alive():
+                    raise _PoolDesync("worker pool wedged during resync")
+                continue
+            if msg[0] == "sync" and msg[2] == token:
+                seen += 1
+    finally:
+        pool.cancel_event.clear()
+
+
+def try_parallel_fixpoint(program: Any, names: List[str],
+                          variants: Dict[str, List[Any]],
+                          total: Dict[str, Relation],
+                          delta: Dict[str, Relation],
+                          ctx: Any) -> bool:
+    """Drive the semi-naive fixpoint for one stratum across the worker
+    pool. Returns True when the fixpoint converged here; False to let the
+    sequential loop take (or resume) the iteration — ``total``/``delta``
+    and the installed extents are always left in a state the sequential
+    driver can continue from, including after mid-run fallbacks.
+    """
+    options = program.options
+    state = ctx.state
+    if options.workers < 2 or options.parallel == "off":
+        return False
+    if not _columns.KERNELS_AVAILABLE:
+        state.count_parallel("fallbacks")
+        return False
+    if options.parallel == "auto":
+        size = sum(len(total[n]) for n in names)
+        if size < options.parallel_min_rows:
+            state.count_parallel("below_min_rows")
+            return False
+    shipment = _plan_shipment(program, names, variants, ctx)
+    if shipment is None:
+        state.count_parallel("fallbacks")
+        return False
+    pool = _get_pool(options.workers)
+    if pool is None:
+        state.count_parallel("fallbacks")
+        return False
+    with _run_lock:
+        try:
+            return _run_rounds(program, pool, names, shipment, total, delta,
+                               ctx)
+        except _PoolDesync:
+            # A worker died mid-protocol: rebuild the pool lazily and
+            # finish this fixpoint in-process — totals/deltas are only
+            # ever advanced at completed round boundaries, so the
+            # sequential loop resumes exactly.
+            shutdown_pool()
+            state.count_parallel("fallbacks")
+            return False
+
+
+def _run_rounds(program: Any, pool: _WorkerPool, names: List[str],
+                shipment: Dict[str, Any], total: Dict[str, Relation],
+                delta: Dict[str, Relation], ctx: Any) -> bool:
+    from repro.engine.errors import ConvergenceError
+
+    options = program.options
+    state = ctx.state
+    budget = _budget.active_budget()
+    key = f"{os.getpid()}-{next(_run_counter)}"
+    workers = pool.size
+
+    totals_blocks = {}
+    for name in names:
+        block = _exchange.encode_relation(total[name])
+        if block is None:
+            state.count_parallel("fallbacks")
+            return False
+        totals_blocks[name] = block
+
+    setup = {
+        "key": key,
+        "names": list(names),
+        "options": _shippable_options(options),
+        "extents": shipment["extents"],
+        "totals": totals_blocks,
+        "variants": None,  # replaced below; rules ship pre-pickled
+    }
+    try:
+        setup["variants"] = pickle.loads(shipment["rules"])
+        pool.broadcast(("setup", key, setup))
+        replies = _collect(pool, "setup", key, budget)
+        if any(r[3] != "ok" for r in replies):
+            _resync(pool, key)
+            state.count_parallel("fallbacks")
+            return False
+    except QueryBudgetError:
+        _resync(pool, key)
+        raise
+    state.count_parallel("parallel_fixpoints")
+    state.count_parallel("shards", workers)
+    for block in list(shipment["extents"].values()) \
+            + list(totals_blocks.values()):
+        state.count_parallel("shipped_bytes",
+                             _exchange.block_nbytes(*block))
+
+    iterations = 0
+    try:
+        while any(delta[n] for n in names):
+            iterations += 1
+            if iterations > options.max_global_iterations:
+                raise ConvergenceError(
+                    f"stratum {names} did not stabilize after "
+                    f"{iterations - 1} iterations")
+            _budget.count_iteration()
+            # Encode the global frontier once; every worker receives the
+            # same block plus the parent's shard assignment.
+            frontier: Dict[str, Any] = {}
+            chunks: List[bytes] = []
+            offset = 0
+            shippable = True
+            for name in names:
+                block = _exchange.encode_relation(delta[name])
+                if block is None:
+                    shippable = False
+                    break
+                kind, meta, payload = block
+                shard_bytes = _np.asarray(
+                    _exchange.shard_ids(delta[name], workers),
+                    dtype=_np.int8).tobytes()
+                frontier[name] = (kind, meta, (offset, len(payload)),
+                                  (offset + len(payload), len(shard_bytes)))
+                chunks.append(payload)
+                chunks.append(shard_bytes)
+                offset += len(payload) + len(shard_bytes)
+                state.count_parallel("exchanged_rows", len(delta[name]))
+                state.count_parallel("shipped_bytes",
+                                     _exchange.block_nbytes(*block))
+            if not shippable:
+                # Mid-run fallback: the sequential loop resumes from the
+                # current (total, delta) — this round has not started.
+                _resync(pool, key)
+                state.count_parallel("fallbacks")
+                return False
+            transport, seg = _broadcast_payload(pool, chunks)
+            try:
+                pool.broadcast(("iterate", key, iterations, frontier,
+                                transport))
+                replies = _collect(pool, "iterate", (key, iterations),
+                                   budget)
+            finally:
+                _release_segment(seg)
+            if any(r[3] != "ok" for r in replies):
+                _resync(pool, key)
+                state.count_parallel("fallbacks")
+                return False
+            state.count_parallel("rounds")
+            for name in names:
+                fresh = EMPTY
+                for reply in replies:
+                    part = _decode_block(reply[4][name])
+                    if part:
+                        _budget.count_rows(len(part))
+                        state.count_parallel("exchanged_rows", len(part))
+                    fresh = fresh.union(part)
+                new_delta = fresh.difference(total[name])
+                total[name] = total[name].union(new_delta)
+                delta[name] = new_delta
+                state.set_extent(name, total[name])
+                state.extents["__delta__" + name] = new_delta
+    except QueryBudgetError:
+        pool.cancel_event.set()
+        _resync(pool, key)
+        raise
+    _resync(pool, key)
+    return True

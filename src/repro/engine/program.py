@@ -122,6 +122,25 @@ class EngineOptions:
     #: overrides the default of 64.
     columnar_min_rows: int = dataclasses.field(
         default_factory=lambda: _columnar_min_rows_default())
+    #: Sharded parallel fixpoint evaluation across spawned worker
+    #: processes (repro.engine.parallel). "auto" engages on SN-eligible
+    #: recursive strata whose round-0 totals reach ``parallel_min_rows``;
+    #: "on" forces the attempt regardless of size (the differential
+    #: tests); "off" never leaves the process. Requires ``workers >= 2``
+    #: to do anything. The environment variable ``REPRO_PARALLEL``
+    #: overrides the default (CI ablation).
+    parallel: str = dataclasses.field(
+        default_factory=lambda: os.environ.get(
+            "REPRO_PARALLEL", "auto").lower() or "auto")
+    #: Size of the shard worker pool; 0 or 1 disables parallel
+    #: evaluation (the in-process driver runs everything).
+    workers: int = 0
+    #: The ``parallel="auto"`` engagement floor, in round-0 total rows:
+    #: below it the per-round exchange costs more than the GIL. The
+    #: environment variable ``REPRO_PARALLEL_MIN_ROWS`` overrides the
+    #: default of 4096.
+    parallel_min_rows: int = dataclasses.field(
+        default_factory=lambda: _parallel_min_rows_default())
 
     def __post_init__(self) -> None:
         if self.join_strategy not in ("auto", "leapfrog", "binary", "off"):
@@ -144,6 +163,22 @@ class EngineOptions:
             raise ValueError(
                 f"columnar_min_rows must be a non-negative integer, "
                 f"got {self.columnar_min_rows!r}"
+            )
+        if self.parallel not in ("auto", "on", "off"):
+            raise ValueError(
+                f"unknown parallel mode {self.parallel!r}; expected "
+                f"'auto', 'on', or 'off'"
+            )
+        if type(self.workers) is not int or self.workers < 0:
+            raise ValueError(
+                f"workers must be a non-negative integer, "
+                f"got {self.workers!r}"
+            )
+        if type(self.parallel_min_rows) is not int \
+                or self.parallel_min_rows < 0:
+            raise ValueError(
+                f"parallel_min_rows must be a non-negative integer, "
+                f"got {self.parallel_min_rows!r}"
             )
 
 
@@ -180,6 +215,20 @@ def _columnar_min_rows_default() -> int:
         ) from None
 
 
+def _parallel_min_rows_default() -> int:
+    raw = os.environ.get("REPRO_PARALLEL_MIN_ROWS", "").strip()
+    if not raw:
+        from repro.engine import parallel as _parallel
+
+        return _parallel.PARALLEL_MIN_ROWS
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_PARALLEL_MIN_ROWS must be an integer, got {raw!r}"
+        ) from None
+
+
 class EvalState:
     """Mutable evaluation state: extents, instance memos, and indexes.
 
@@ -205,6 +254,7 @@ class EvalState:
         self.join_stats: Dict[str, int] = {}
         self.maint_stats: Dict[str, int] = {}
         self.columnar_stats: Dict[str, int] = {}
+        self.parallel_stats: Dict[str, int] = {}
         self.memo: Dict[Tuple[Any, ...], Relation] = {}
         self.in_progress: Dict[Tuple[Any, ...], Relation] = {}
         self.touch_stack: List[Set[Tuple[Any, ...]]] = []
@@ -358,6 +408,11 @@ class EvalState:
         """Record a columnar-kernel hit or fallback (the counters behind
         ``Session.columnar_statistics()``)."""
         self.columnar_stats[event] = self.columnar_stats.get(event, 0) + n
+
+    def count_parallel(self, event: str, n: int = 1) -> None:
+        """Record a parallel-fixpoint event (the counters behind
+        ``Session.parallel_statistics()``)."""
+        self.parallel_stats[event] = self.parallel_stats.get(event, 0) + n
 
     def clear_indexes(self) -> None:
         """Drop the atom-index, join-index, and sorted-trie caches (and
@@ -1359,6 +1414,20 @@ class RelProgram:
                 for _, variant_rule in self.delta_variants_of(rule, watch):
                     entries.append(variant_rule)
             variants[name] = entries
+        # Sharded parallel evaluation (repro.engine.parallel): when the
+        # options ask for workers and the stratum is shippable, the
+        # remaining rounds run across the process pool. A False return is
+        # a fallback — before the first round or at a round boundary —
+        # and the sequential loop below resumes from the exact
+        # (total, delta) state the parallel rounds left behind.
+        if self.options.workers >= 2 and self.options.parallel != "off":
+            from repro.engine import parallel as _parallel
+
+            if _parallel.try_parallel_fixpoint(self, names, variants,
+                                               total, delta, ctx):
+                for name in names:
+                    state.extents.pop("__delta__" + name, None)
+                return
         iterations = 0
         while any(delta[n] for n in names):
             iterations += 1
@@ -1978,6 +2047,19 @@ class RelProgram:
         if self._state is None:
             return {}
         return dict(self._state.columnar_stats)
+
+    def parallel_statistics(self) -> Dict[str, int]:
+        """Parallel-fixpoint explain counters: "parallel_fixpoints"
+        (strata driven across the worker pool), "shards" (workers
+        engaged, cumulative), "rounds" (exchange barriers crossed),
+        "exchanged_rows" / "shipped_bytes" (frontier traffic, both
+        directions), "fallbacks" (strata that fell back in-process:
+        unshippable extents, closure references, pool failures), and
+        "below_min_rows" (auto-mode strata under the engagement
+        floor)."""
+        if self._state is None:
+            return {}
+        return dict(self._state.parallel_stats)
 
     def output(self) -> Relation:
         """The contents of the ``output`` control relation (Section 3.4)."""

@@ -78,6 +78,27 @@ _intern_codes: Dict[str, int] = {}
 _intern_strings: List[str] = []
 _intern_bytes = 0
 
+
+def _reinit_intern_lock_after_fork() -> None:
+    """Replace the interner lock in a forked child.
+
+    ``fork()`` snapshots the lock in whatever state some other thread
+    held it — a child forked mid-:func:`_encode_strings` inherits it
+    locked forever and deadlocks on its first interning. The *data* is
+    safe to inherit: fork happens while the forking thread holds the
+    GIL, so the append-only table is at a bytecode boundary and the
+    append-before-publish discipline keeps every published code
+    decodable. Only the lock needs to be fresh. (The parallel worker
+    pool sidesteps all of this by spawning; this guard is for processes
+    users fork themselves.)
+    """
+    global _intern_lock
+    _intern_lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX containers
+    os.register_at_fork(after_in_child=_reinit_intern_lock_after_fork)
+
 #: Per-interned-string overhead estimate (CPython ASCII str header plus a
 #: dict entry and a list slot) added to the character count for
 #: :func:`interner_statistics`'s ``approx_bytes``.

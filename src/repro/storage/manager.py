@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import weakref
 from pathlib import Path
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Tuple, TypeVar)
@@ -37,6 +38,30 @@ from repro.storage.errors import CheckpointError, StorageClosedError
 from repro.storage.recovery import RecoveredState, recover_state
 
 _T = TypeVar("_T")
+
+#: Every live manager, so a forked child can poison inherited handles.
+_live_managers: "weakref.WeakSet[StorageManager]" = weakref.WeakSet()
+
+
+def _poison_managers_after_fork() -> None:
+    """Neutralize every inherited StorageManager in a forked child.
+
+    The child shares the parent's WAL file descriptors (and their file
+    offsets) and inherits the checkpoint daemon thread as a dead husk —
+    any write from the child would interleave bytes into the parent's
+    segment, and close() would flush buffers the parent still owns. Mark
+    each manager fork-poisoned: writes raise
+    :class:`~repro.storage.errors.StorageClosedError` and close() becomes
+    a no-op that never touches the shared descriptors. The parent's
+    manager is untouched. (The parallel worker pool spawns instead of
+    forking and never reaches this path.)
+    """
+    for manager in list(_live_managers):
+        manager._poison_after_fork()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX containers
+    os.register_at_fork(after_in_child=_poison_managers_after_fork)
 
 
 class RetryPolicy:
@@ -101,7 +126,9 @@ class StorageManager:
 
         self._store: Optional[bulkload.SQLiteStore] = None
         self._closed = False
+        self._fork_poisoned = False
         self._close_lock = threading.Lock()
+        _live_managers.add(self)
 
         self._stats = {
             "wal_appends": 0,
@@ -322,11 +349,25 @@ class StorageManager:
             self._retrying("wal sync", self._writer.sync)
             self._raise_pending_checkpoint_error()
 
+    def _poison_after_fork(self) -> None:
+        """Forked-child guard (see :func:`_poison_managers_after_fork`):
+        mark closed without touching the descriptors the parent owns."""
+        self._fork_poisoned = True
+        self._closed = True
+        self._ckpt_thread = None
+        # The close lock may have been captured mid-acquire; replace it so
+        # the child's (no-op) close can never deadlock.
+        self._close_lock = threading.Lock()
+
     def close(self) -> None:
         """Idempotent and safe under concurrent callers: exactly one
         caller tears the manager down; the writer and bulk store are
         always closed *before* any deferred checkpoint failure is
         re-raised, so a degraded session still releases its resources."""
+        if self._fork_poisoned:
+            # Forked child: the descriptors belong to the parent; flushing
+            # or closing them here would corrupt the parent's WAL.
+            return
         with self._close_lock:
             if self._closed:
                 return

@@ -1,0 +1,134 @@
+"""Fork-safety guards: the interner lock and storage handles after fork().
+
+A user process that forks (multiprocessing's default start method on
+Linux, os.fork in a web server pre-fork model) clones exactly one
+thread. Two of our process-wide resources used to break under that:
+
+- the string interner's ``_intern_lock`` could be cloned *held* by a
+  thread that does not exist in the child — every later ``intern`` in
+  the child would deadlock. ``os.register_at_fork`` now rebinds a fresh
+  lock in the child (the data is safe: fork lands on a bytecode
+  boundary and the interner appends before publishing);
+- a :class:`StorageManager`'s WAL file descriptor and checkpoint daemon
+  thread are shared with / missing in the child. The child's managers
+  are now poisoned at fork: writes raise ``StorageClosedError`` and
+  ``close()`` is a no-op that never touches the shared descriptors, so
+  a forked child cannot corrupt the parent's WAL.
+
+These tests fork for real and report through the child's exit code, so
+they are skipped on platforms without ``os.fork``.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.model import columns as columns_mod
+from repro.storage.errors import StorageClosedError
+
+fork_only = pytest.mark.skipif(not hasattr(os, "fork"),
+                               reason="requires os.fork")
+
+
+def _child_ok(child_fn):
+    """Fork; run ``child_fn`` in the child; return True when it exits 0."""
+    pid = os.fork()
+    if pid == 0:
+        code = 1
+        try:
+            # A regression here deadlocks the child (e.g. on a cloned-held
+            # lock); turn that into a failing exit code, not a hung suite.
+            signal.alarm(20)
+            child_fn()
+            code = 0
+        except BaseException:
+            code = 1
+        finally:
+            os._exit(code)
+    _, status = os.waitpid(pid, 0)
+    return os.waitstatus_to_exitcode(status) == 0
+
+
+@fork_only
+def test_fork_while_interner_lock_is_held():
+    """Fork with another thread holding the intern lock: the child gets a
+    fresh lock and can keep interning; the parent is untouched."""
+    release = threading.Event()
+
+    def holder():
+        with columns_mod._intern_lock:
+            release.wait(timeout=30)
+
+    thread = threading.Thread(target=holder, daemon=True)
+    thread.start()
+    time.sleep(0.02)  # let the holder actually take the lock
+    try:
+        def child():
+            # With the cloned-held lock this blocks forever; the fresh
+            # lock from the at-fork hook makes it return immediately.
+            codes = columns_mod._encode_strings(
+                [f"forked-{os.getpid()}-{i}" for i in range(10)])
+            assert len(codes) == 10
+        assert _child_ok(child)
+    finally:
+        release.set()
+        thread.join(timeout=5)
+    # Parent interner still functional.
+    assert len(columns_mod._encode_strings(["parent-after-fork"])) == 1
+
+
+@fork_only
+def test_forked_child_storage_is_poisoned(tmp_path):
+    """A child forked with an open durable session must see its storage
+    poisoned: writes raise StorageClosedError, close() is a no-op, and
+    the parent's WAL keeps working afterwards."""
+    session = repro.connect(path=str(tmp_path / "db"), load_stdlib=False)
+    session.define("E", [(1, 2)])
+
+    def child():
+        manager = session._storage
+        assert manager is not None and manager.closed
+        try:
+            session.define("E", [(3, 4)])
+        except StorageClosedError:
+            pass
+        else:
+            raise AssertionError("child write did not raise")
+        # close() must not touch the shared WAL descriptor.
+        session.close()
+
+    assert _child_ok(child)
+
+    # The parent's handles were never the child's to close.
+    session.define("E", [(1, 2), (5, 6)])
+    session.close()
+
+    reopened = repro.connect(path=str(tmp_path / "db"), load_stdlib=False)
+    try:
+        assert set(reopened.execute("E")) == {(1, 2), (5, 6)}
+    finally:
+        reopened.close()
+
+
+@fork_only
+def test_fork_during_background_checkpoint(tmp_path):
+    """Fork racing a background checkpoint: the checkpoint daemon thread
+    does not exist in the child, whose manager must already be poisoned
+    rather than waiting on a thread that will never run."""
+    session = repro.connect(path=str(tmp_path / "db"), load_stdlib=False)
+    session.define("E", [(i, i + 1) for i in range(500)])
+    session.checkpoint()  # may spawn/settle a checkpoint writer
+
+    def child():
+        manager = session._storage
+        assert manager is not None and manager.closed
+        assert manager._ckpt_thread is None
+        session.close()  # no-op, must not join a ghost thread or unlink
+
+    assert _child_ok(child)
+    session.define("E", [(0, 0)])
+    session.close()

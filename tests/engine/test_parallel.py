@@ -1,0 +1,407 @@
+"""Sharded parallel fixpoint evaluation: N shards ≡ one process.
+
+The parallel driver's whole contract is *observational equivalence*: for
+any SN-eligible stratum, evaluating with ``workers=N`` must produce
+exactly the extents the sequential semi-naive loop produces, for every
+N, every partition skew, and every fallback path. The suites here pin
+that three ways:
+
+- unit pins on the exchange kernels (columnar block codec round-trips,
+  including the per-block string-table remap that keeps interner codes
+  process-local; shard assignment/selection edge cases);
+- targeted engagement tests over a known workload (chain closure) with
+  int and str columns, plus the partition edge cases the ISSUE names:
+  every row in one shard, more shards than rows, empty relation;
+- differential sweeps: random generated programs and random update
+  scripts evaluated under ``workers=2`` against an identical sequential
+  twin, compared query-by-query.
+
+Engagement note: incremental maintenance is sequential by design (the
+parallel driver covers from-scratch fixpoints), so these tests install
+data *before* loading rules — the first query then materializes the
+dirty strata through the semi-naive driver where the parallel hook
+lives.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro import connect
+from repro.engine import exchange, parallel
+from repro.engine.program import EngineOptions
+from repro.model import columns as columns_mod
+from repro.model.relation import EMPTY, Relation
+from tests.support.generators import (SCRIPT_BASE, SCRIPT_QUERIES,
+                                      SCRIPT_RULES, random_program,
+                                      random_update_op)
+
+CHAIN_SRC = """
+    def Path(x, y) : Edge(x, y)
+    def Path(x, y) : exists((z) | Edge(x, z) and Path(z, y))
+"""
+
+#: Engagement (as opposed to correctness) needs the columnar kernels:
+#: without them the driver deliberately falls back in-process, which the
+#: differential tests still cover under REPRO_COLUMNAR=off.
+needs_kernels = pytest.mark.skipif(
+    not columns_mod.KERNELS_AVAILABLE,
+    reason="parallel engagement requires the columnar kernels")
+
+
+def _parallel_session(workers=2, **kwargs):
+    session = connect(workers=workers, parallel="on", **kwargs)
+    return session
+
+
+def _chain(n, label=None):
+    if label is None:
+        return [(i, i + 1) for i in range(n)]
+    return [(f"{label}{i}", f"{label}{i + 1}") for i in range(n)]
+
+
+def _closure_size(n):
+    # A chain of n edges has n+1 nodes and (n+1)n/2 ordered reachable pairs.
+    return n * (n + 1) // 2
+
+
+# ---------------------------------------------------------------------------
+# Exchange kernels: block codec round-trips
+# ---------------------------------------------------------------------------
+
+
+def _roundtrip(rel):
+    block = exchange.encode_relation(rel)
+    assert block is not None
+    return exchange.decode_relation(*block)
+
+
+def test_codec_roundtrips_int_columns():
+    rel = Relation([(i, i * 7 - 3) for i in range(500)])
+    assert set(_roundtrip(rel)) == set(rel)
+
+
+def test_codec_roundtrips_str_columns():
+    rel = Relation([(f"node-{i}", f"node-{i + 1}") for i in range(300)])
+    assert set(_roundtrip(rel)) == set(rel)
+
+
+def test_codec_roundtrips_mixed_and_small_relations():
+    for rows in ([], [(1, "a"), (2, "b")], [(True, 0.5), (False, -1.5)],
+                 [(i,) for i in range(3)]):
+        rel = Relation(rows)
+        assert set(_roundtrip(rel)) == set(rel)
+
+
+def test_codec_string_table_is_block_local():
+    """The wire format carries strings, never interner codes: decoding in
+    the same process must go through the string table and agree."""
+    rel = Relation([("alpha", "beta"), ("beta", "gamma"), ("gamma", "alpha")])
+    kind, meta, payload = exchange.encode_relation(rel)
+    if kind == "cols":
+        for col in meta["columns"]:
+            if col["tag"] == "str":
+                assert all(isinstance(s, str) for s in col["strings"])
+    assert set(exchange.decode_relation(kind, meta, payload)) == set(rel)
+
+
+# ---------------------------------------------------------------------------
+# Exchange kernels: shard assignment and selection
+# ---------------------------------------------------------------------------
+
+
+def test_shard_ids_partition_and_cover():
+    rel = Relation([(i, i + 1) for i in range(64)])
+    ids = exchange.shard_ids(rel, 3)
+    assert len(ids) == len(rel)
+    assert set(ids) <= {0, 1, 2}
+    parts = [exchange.select_shard(rel, ids, s) for s in range(3)]
+    assert sum(len(p) for p in parts) == len(rel)
+    merged = set()
+    for part in parts:
+        merged |= set(part)
+    assert merged == set(rel)
+
+
+def test_shard_assignment_is_deterministic():
+    rel = Relation([(i * 3, i) for i in range(40)])
+    assert exchange.shard_ids(rel, 4) == exchange.shard_ids(rel, 4)
+
+
+@needs_kernels
+def test_all_rows_can_land_in_one_shard():
+    """Identical join keys hash identically: the other shard is empty and
+    selection must return EMPTY, not crash."""
+    rel = Relation([(7, i) for i in range(16)])
+    ids = exchange.shard_ids(rel, 2)
+    assert len(set(ids)) == 1
+    owner = ids[0]
+    assert set(exchange.select_shard(rel, ids, owner)) == set(rel)
+    assert exchange.select_shard(rel, ids, 1 - owner) is EMPTY
+
+
+def test_more_shards_than_rows():
+    rel = Relation([(1, 2), (3, 4)])
+    ids = exchange.shard_ids(rel, 8)
+    parts = [exchange.select_shard(rel, ids, s) for s in range(8)]
+    assert sum(len(p) for p in parts) == 2
+    assert sum(1 for p in parts if len(p) == 0) >= 6
+
+
+def test_select_shard_rejects_mismatched_vector():
+    rel = Relation([(1, 2), (3, 4)])
+    with pytest.raises(ValueError):
+        exchange.select_shard(rel, [0], 0)
+
+
+def test_empty_relation_shards_trivially():
+    assert exchange.shard_ids(EMPTY, 4) == []
+    assert len(exchange.select_shard(EMPTY, [], 2)) == 0
+
+
+# ---------------------------------------------------------------------------
+# Engagement: chain closure, int and str columns, skewed partitions
+# ---------------------------------------------------------------------------
+
+
+@needs_kernels
+def test_parallel_chain_matches_sequential_and_counts():
+    n = 80
+    session = _parallel_session(load_stdlib=False)
+    session.program.options.parallel_min_rows = 1
+    session.define("Edge", _chain(n))
+    session.load(CHAIN_SRC)
+    got = session.execute("Path")
+    assert len(got) == _closure_size(n)
+
+    twin = connect(load_stdlib=False, schema=CHAIN_SRC)
+    twin.define("Edge", _chain(n))
+    assert set(got) == set(twin.execute("Path"))
+
+    stats = session.parallel_statistics()
+    assert stats.get("parallel_fixpoints", 0) >= 1
+    assert stats.get("shards", 0) >= 2
+    assert stats.get("rounds", 0) >= 1
+    assert stats.get("exchanged_rows", 0) > 0
+    assert stats.get("shipped_bytes", 0) > 0
+
+
+@needs_kernels
+def test_parallel_str_columns_exercise_code_remap():
+    """String relations ship as per-block string tables; worker-local
+    interner codes must never leak into the merged result."""
+    n = 60
+    session = _parallel_session(load_stdlib=False)
+    session.program.options.parallel_min_rows = 1
+    session.define("Edge", _chain(n, label="v"))
+    session.load(CHAIN_SRC)
+    got = session.execute("Path")
+
+    twin = connect(load_stdlib=False, schema=CHAIN_SRC)
+    twin.define("Edge", _chain(n, label="v"))
+    assert set(got) == set(twin.execute("Path"))
+    assert session.parallel_statistics().get("parallel_fixpoints", 0) >= 1
+    assert ("v0", f"v{n}") in got
+
+
+def test_parallel_hub_graph_skewed_partition():
+    """A hub fan-out concentrates frontier rows on few join keys — the
+    worst partition skew — and must still agree exactly."""
+    edges = [(0, i) for i in range(1, 40)] + [(i, 40) for i in range(1, 40)]
+    session = _parallel_session(load_stdlib=False)
+    session.program.options.parallel_min_rows = 1
+    session.define("Edge", edges)
+    session.load(CHAIN_SRC)
+    got = session.execute("Path")
+
+    twin = connect(load_stdlib=False, schema=CHAIN_SRC)
+    twin.define("Edge", edges)
+    assert set(got) == set(twin.execute("Path"))
+
+
+@needs_kernels
+def test_parallel_workers_exceed_frontier():
+    """More shards than frontier rows: some workers receive empty deltas
+    every round and must still handshake through each barrier."""
+    n = 12
+    session = _parallel_session(workers=4, load_stdlib=False)
+    session.program.options.parallel_min_rows = 1
+    session.define("Edge", _chain(n))
+    session.load(CHAIN_SRC)
+    got = session.execute("Path")
+    assert len(got) == _closure_size(n)
+    assert session.parallel_statistics().get("shards", 0) == 4
+
+
+# ---------------------------------------------------------------------------
+# Modes and fallbacks
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_off_never_engages():
+    session = connect(workers=2, parallel="off", load_stdlib=False)
+    session.define("Edge", _chain(30))
+    session.load(CHAIN_SRC)
+    assert len(session.execute("Path")) == _closure_size(30)
+    assert session.parallel_statistics() == {}
+
+
+def test_workers_default_is_sequential():
+    session = connect(load_stdlib=False)
+    session.define("Edge", _chain(20))
+    session.load(CHAIN_SRC)
+    assert len(session.execute("Path")) == _closure_size(20)
+    assert session.parallel_statistics() == {}
+
+
+@needs_kernels
+def test_auto_mode_falls_back_below_min_rows():
+    session = connect(workers=2, parallel="auto", load_stdlib=False)
+    session.define("Edge", _chain(25))
+    session.load(CHAIN_SRC)
+    assert len(session.execute("Path")) == _closure_size(25)
+    stats = session.parallel_statistics()
+    assert stats.get("below_min_rows", 0) >= 1
+    assert stats.get("parallel_fixpoints", 0) == 0
+
+
+def test_session_validates_parallel_knobs():
+    with pytest.raises(ValueError):
+        connect(parallel="sometimes")
+    with pytest.raises(ValueError):
+        connect(workers=-1)
+    with pytest.raises(ValueError):
+        connect(workers=True)
+    session = connect(workers=3, parallel="auto")
+    assert session.workers == 3
+    assert session.parallel == "auto"
+    session.workers = 0
+    session.parallel = "off"
+    assert session.program.options.workers == 0
+    assert session.program.options.parallel == "off"
+
+
+def test_engine_options_validate_parallel_knobs():
+    with pytest.raises(ValueError):
+        EngineOptions(parallel="yes")
+    with pytest.raises(ValueError):
+        EngineOptions(workers=-2)
+    with pytest.raises(ValueError):
+        EngineOptions(parallel_min_rows=-1)
+
+
+def test_parallel_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "off")
+    assert EngineOptions().parallel == "off"
+    monkeypatch.setenv("REPRO_PARALLEL", "on")
+    assert EngineOptions().parallel == "on"
+    monkeypatch.delenv("REPRO_PARALLEL")
+    assert EngineOptions().parallel == "auto"
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_ROWS", "123")
+    assert EngineOptions().parallel_min_rows == 123
+
+
+def test_pool_failure_falls_back_in_process(monkeypatch):
+    """If workers cannot start, evaluation silently completes in-process
+    and the fallback is counted."""
+    monkeypatch.setattr(parallel, "_get_pool", lambda size: None)
+    session = _parallel_session(load_stdlib=False)
+    session.program.options.parallel_min_rows = 1
+    session.define("Edge", _chain(30))
+    session.load(CHAIN_SRC)
+    assert len(session.execute("Path")) == _closure_size(30)
+    stats = session.parallel_statistics()
+    assert stats.get("fallbacks", 0) >= 1
+    assert stats.get("parallel_fixpoints", 0) == 0
+
+
+def test_worker_death_mid_fixpoint_fails_over(monkeypatch):
+    """A desync (worker died / wedged) mid-protocol must fail over to the
+    sequential loop with exact results, not hang or corrupt state."""
+    def explode(*args, **kwargs):
+        raise parallel._PoolDesync("simulated worker death")
+
+    monkeypatch.setattr(parallel, "_run_rounds", explode)
+    session = _parallel_session(load_stdlib=False)
+    session.program.options.parallel_min_rows = 1
+    session.define("Edge", _chain(40))
+    session.load(CHAIN_SRC)
+    assert len(session.execute("Path")) == _closure_size(40)
+    assert session.parallel_statistics().get("fallbacks", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Differential: random programs, N shards ≡ one process
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_programs_agree_with_sequential(seed):
+    rng = random.Random(seed * 7919 + 13)
+    program = random_program(rng)
+
+    par = _parallel_session()
+    par.program.options.parallel_min_rows = 1
+    seq = connect()
+    for s in (par, seq):
+        for name, rel in program.base.items():
+            s.define(name, list(rel))
+        s.load(program.source)
+    for query in program.queries:
+        assert par.execute(query) == seq.execute(query), \
+            f"seed {seed}: {query!r} diverged under workers=2"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_update_scripts_agree_with_sequential(seed):
+    """Random insert/delete scripts over the shared catalog (recursion,
+    negation, aggregation, delta maintenance): the parallel session and
+    its sequential twin must agree after every step."""
+    rng = random.Random(seed * 6271 + 31)
+    par = _parallel_session()
+    par.program.options.parallel_min_rows = 1
+    seq = connect()
+    for s in (par, seq):
+        for name, rows in SCRIPT_BASE.items():
+            s.define(name, rows)
+        s.load(SCRIPT_RULES)
+
+    for step in range(8):
+        kind, name, tuples = random_update_op(rng)
+        for s in (par, seq):
+            if kind == "insert":
+                s.insert(name, tuples)
+            else:
+                s.delete(name, tuples)
+        query = rng.choice(SCRIPT_QUERIES)
+        assert par.execute(query) == seq.execute(query), \
+            f"seed {seed} step {step}: {query!r} diverged under workers=2"
+
+
+@needs_kernels
+def test_three_shards_agree():
+    n = 50
+    session = _parallel_session(workers=3, load_stdlib=False)
+    session.program.options.parallel_min_rows = 1
+    session.define("Edge", _chain(n))
+    session.load(CHAIN_SRC)
+    assert len(session.execute("Path")) == _closure_size(n)
+    assert session.parallel_statistics().get("shards", 0) == 3
+
+
+# ---------------------------------------------------------------------------
+# Snapshots and the server read path
+# ---------------------------------------------------------------------------
+
+
+@needs_kernels
+def test_snapshot_warmup_engages_parallel():
+    session = _parallel_session(load_stdlib=False)
+    session.program.options.parallel_min_rows = 1
+    session.define("Edge", _chain(40))
+    session.load(CHAIN_SRC)
+    snap = session.snapshot()
+    got = snap.execute("Path")
+    assert len(got) == _closure_size(40)
+    assert snap.parallel_statistics().get("parallel_fixpoints", 0) >= 1
